@@ -1,0 +1,185 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/pdp"
+	"repro/internal/pep"
+	"repro/internal/pki"
+	"repro/internal/policy"
+	"repro/internal/wire"
+	"repro/internal/workload"
+	"repro/internal/xacml"
+)
+
+// --- experiment benchmarks: one per table/figure of EXPERIMENTS.md ---
+//
+// Each benchmark runs the full deterministic experiment per iteration, so
+// `go test -bench=E<k>` regenerates exactly the table recorded in
+// EXPERIMENTS.md (printed once under -v via b.Log).
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	var rows int
+	for i := 0; i < b.N; i++ {
+		table, err := exp.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = len(table.Rows())
+		if i == 0 && testing.Verbose() {
+			b.Log("\n" + table.String())
+		}
+	}
+	b.ReportMetric(float64(rows), "table-rows")
+}
+
+func BenchmarkE1_VirtualOrganisation(b *testing.B) { benchExperiment(b, "E1") }
+func BenchmarkE2_PushCapability(b *testing.B)      { benchExperiment(b, "E2") }
+func BenchmarkE3_PullPolicyIssuing(b *testing.B)   { benchExperiment(b, "E3") }
+func BenchmarkE4_XACMLDataFlow(b *testing.B)       { benchExperiment(b, "E4") }
+func BenchmarkE5_Syndication(b *testing.B)         { benchExperiment(b, "E5") }
+func BenchmarkE6_Combining(b *testing.B)           { benchExperiment(b, "E6") }
+func BenchmarkE7_Caching(b *testing.B)             { benchExperiment(b, "E7") }
+func BenchmarkE8_SecurityOverhead(b *testing.B)    { benchExperiment(b, "E8") }
+func BenchmarkE9_DependablePDP(b *testing.B)       { benchExperiment(b, "E9") }
+func BenchmarkE10_ConflictResolution(b *testing.B) { benchExperiment(b, "E10") }
+func BenchmarkE11_TrustNegotiation(b *testing.B)   { benchExperiment(b, "E11") }
+func BenchmarkE12_Delegation(b *testing.B)         { benchExperiment(b, "E12") }
+func BenchmarkE13_Scalability(b *testing.B)        { benchExperiment(b, "E13") }
+func BenchmarkE14_ChineseWall(b *testing.B)        { benchExperiment(b, "E14") }
+func BenchmarkE15_Heterogeneity(b *testing.B)      { benchExperiment(b, "E15") }
+func BenchmarkE16_Discovery(b *testing.B)          { benchExperiment(b, "E16") }
+
+// --- micro-benchmarks of the hot paths behind the experiments ---
+
+func scalabilityFixture(b *testing.B, n int, index bool) (*pdp.Engine, []*policy.Request) {
+	b.Helper()
+	gen := workload.NewGenerator(workload.Config{Users: 100, Resources: n, Roles: 10, Seed: 1})
+	var opts []pdp.Option
+	opts = append(opts, pdp.WithResolver(gen.Directory("idp")))
+	if index {
+		opts = append(opts, pdp.WithTargetIndex())
+	}
+	engine := pdp.New("bench", opts...)
+	if err := engine.SetRoot(gen.PolicyBase("base")); err != nil {
+		b.Fatal(err)
+	}
+	reqs := make([]*policy.Request, 256)
+	for i := range reqs {
+		reqs[i] = gen.NextRequest()
+	}
+	return engine, reqs
+}
+
+func BenchmarkPDPDecide(b *testing.B) {
+	at := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	for _, n := range []int{10, 100, 1000} {
+		for _, index := range []bool{false, true} {
+			name := fmt.Sprintf("policies=%d/index=%v", n, index)
+			b.Run(name, func(b *testing.B) {
+				engine, reqs := scalabilityFixture(b, n, index)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					engine.DecideAt(reqs[i%len(reqs)], at)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkPEPEnforceCached(b *testing.B) {
+	at := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	engine, reqs := scalabilityFixture(b, 100, true)
+	enf := pep.NewEnforcer("bench", engine,
+		pep.WithDecisionCache(time.Hour, 0),
+		pep.WithClock(func() time.Time { return at }))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enf.EnforceAt(reqs[i%len(reqs)], at)
+	}
+}
+
+func BenchmarkXACMLCodec(b *testing.B) {
+	req := policy.NewAccessRequest("alice", "rec-7", "read").
+		Add(policy.CategorySubject, policy.AttrSubjectRole, policy.String("doctor")).
+		Add(policy.CategorySubject, policy.AttrClearance, policy.Integer(3)).
+		Add(policy.CategoryResource, policy.AttrResourceType, policy.String("patient-record"))
+	b.Run("request-xml", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			data, err := xacml.MarshalRequestXML(req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := xacml.UnmarshalRequestXML(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("request-json", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			data, err := xacml.MarshalRequestJSON(req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := xacml.UnmarshalRequestJSON(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+type zeroReader struct{}
+
+func (zeroReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 0x42
+	}
+	return len(p), nil
+}
+
+func BenchmarkEnvelopeProtect(b *testing.B) {
+	epoch := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	later := epoch.AddDate(1, 0, 0)
+	root, err := pki.NewRootAuthority("ca", zeroReader{}, epoch, later)
+	if err != nil {
+		b.Fatal(err)
+	}
+	trust := pki.NewTrustStore()
+	trust.AddRoot(root.Certificate())
+	key, err := pki.GenerateKeyPair(zeroReader{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cert := root.Issue("node", key.Public, epoch, later, false)
+	sec := wire.NewSecurity(key, cert, trust)
+	sec.AddPeer(cert)
+	if err := sec.EstablishSharedKey("node"); err != nil {
+		b.Fatal(err)
+	}
+	body := []byte(`<Request><Attributes Category="subject">...</Attributes></Request>`)
+	for _, level := range []wire.Protection{wire.Plain, wire.Signed, wire.SignedEncrypted} {
+		b.Run(level.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				env := &wire.Envelope{
+					MessageID: fmt.Sprintf("m-%d", i),
+					From:      "node", To: "node", Action: "pdp:decide",
+					Timestamp: epoch, Body: append([]byte(nil), body...),
+				}
+				if err := sec.Protect(env, level); err != nil {
+					b.Fatal(err)
+				}
+				if err := sec.Verify(env, level, epoch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

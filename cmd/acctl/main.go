@@ -1,0 +1,243 @@
+// Command acctl is the administrator's tool for working with policy files:
+// validating them, evaluating ad-hoc requests against them, converting
+// between the XML and JSON encodings, and running the static conflict
+// analysis of Section 3.1.
+//
+// Usage:
+//
+//	acctl validate <policy.xml|policy.json>...
+//	acctl evaluate <policy-file> subject=<id> resource=<id> action=<id> [cat/attr=value ...]
+//	acctl convert  <policy-file>            # XML<->JSON to stdout
+//	acctl conflicts <policy-file>...        # static modality-conflict report
+//	acctl translate <policy.acl>            # local dialect -> standard XML
+//	acctl fmt <policy.acl>                  # canonical dialect formatting
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/conflict"
+	"repro/internal/dialect"
+	"repro/internal/policy"
+	"repro/internal/xacml"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	if len(args) < 1 {
+		usage()
+		return 2
+	}
+	var err error
+	switch args[0] {
+	case "validate":
+		err = validate(args[1:])
+	case "evaluate":
+		err = evaluate(args[1:])
+	case "convert":
+		err = convert(args[1:])
+	case "conflicts":
+		err = conflicts(args[1:])
+	case "translate":
+		err = translate(args[1:])
+	case "fmt":
+		err = fmtDialect(args[1:])
+	default:
+		usage()
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "acctl:", err)
+		return 1
+	}
+	return 0
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  acctl validate <policy-file>...
+  acctl evaluate <policy-file> subject=<id> resource=<id> action=<id> [category/attr=value ...]
+  acctl convert <policy-file>
+  acctl conflicts <policy-file>...
+  acctl translate <policy.acl>
+  acctl fmt <policy.acl>`)
+}
+
+func loadPolicy(path string) (policy.Evaluable, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case strings.HasSuffix(path, ".json"):
+		return xacml.UnmarshalJSON(data)
+	case strings.HasSuffix(path, ".acl"):
+		return dialect.Translate(strings.TrimSuffix(path, ".acl"), policy.DenyOverrides, string(data))
+	default:
+		return xacml.UnmarshalXML(data)
+	}
+}
+
+// fmtDialect reprints a dialect file in canonical form.
+func fmtDialect(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("fmt needs exactly one dialect file")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	doc, err := dialect.Parse(string(data))
+	if err != nil {
+		return err
+	}
+	fmt.Print(dialect.Format(doc))
+	return nil
+}
+
+// translate converts a local-dialect policy file to the standard XML
+// encoding, the convergence path of Section 3.1's heterogeneity discussion.
+func translate(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("translate needs exactly one dialect file")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	doc, err := dialect.Parse(string(data))
+	if err != nil {
+		return err
+	}
+	pols, err := dialect.Compile(doc)
+	if err != nil {
+		return err
+	}
+	for _, p := range pols {
+		out, err := xacml.MarshalXML(p)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+	}
+	return nil
+}
+
+func validate(paths []string) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("no policy files given")
+	}
+	for _, path := range paths {
+		e, err := loadPolicy(path)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if err := e.Validate(); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Printf("%s: ok (%s)\n", path, e.EntityID())
+	}
+	return nil
+}
+
+func evaluate(args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("evaluate needs a policy file and attribute bindings")
+	}
+	e, err := loadPolicy(args[0])
+	if err != nil {
+		return err
+	}
+	req := policy.NewRequest()
+	for _, binding := range args[1:] {
+		key, value, ok := strings.Cut(binding, "=")
+		if !ok {
+			return fmt.Errorf("binding %q is not key=value", binding)
+		}
+		switch key {
+		case "subject":
+			req.Add(policy.CategorySubject, policy.AttrSubjectID, policy.String(value))
+		case "resource":
+			req.Add(policy.CategoryResource, policy.AttrResourceID, policy.String(value))
+		case "action":
+			req.Add(policy.CategoryAction, policy.AttrActionID, policy.String(value))
+		default:
+			catName, attr, ok := strings.Cut(key, "/")
+			if !ok {
+				return fmt.Errorf("binding %q: want subject|resource|action or category/attribute", key)
+			}
+			cat, err := policy.CategoryFromString(catName)
+			if err != nil {
+				return err
+			}
+			req.Add(cat, attr, policy.String(value))
+		}
+	}
+	res := e.Evaluate(policy.NewContext(req))
+	fmt.Printf("decision: %s\n", res.Decision)
+	if res.By != "" {
+		fmt.Printf("by:       %s\n", res.By)
+	}
+	for _, ob := range res.Obligations {
+		fmt.Printf("obligation: %s %v\n", ob.ID, ob.Attributes)
+	}
+	if res.Err != nil {
+		fmt.Printf("status:   %v\n", res.Err)
+	}
+	return nil
+}
+
+func convert(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("convert needs exactly one policy file")
+	}
+	e, err := loadPolicy(args[0])
+	if err != nil {
+		return err
+	}
+	var out []byte
+	if strings.HasSuffix(args[0], ".json") {
+		out, err = xacml.MarshalXML(e)
+	} else {
+		out, err = xacml.MarshalJSON(e)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
+}
+
+func conflicts(paths []string) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("no policy files given")
+	}
+	var all []*policy.Policy
+	for _, path := range paths {
+		e, err := loadPolicy(path)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		all = append(all, policy.CollectPolicies(e)...)
+	}
+	found := conflict.Analyze(all)
+	if len(found) == 0 {
+		fmt.Println("no modality conflicts")
+		return nil
+	}
+	for _, c := range found {
+		fmt.Println(c)
+		winner, reason, err := conflict.PrecedenceStrategy{}.Resolve(c)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  resolution (deny-overrides): %s — %s\n", winner, reason)
+	}
+	fmt.Printf("%d conflicts found\n", len(found))
+	return nil
+}

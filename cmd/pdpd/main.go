@@ -1,0 +1,85 @@
+// Command pdpd serves a Policy Decision Point over HTTP: the standalone
+// deployment of the pull model. It loads a policy file (XML or JSON),
+// listens for envelope-wrapped XACML request contexts on /decide, answers
+// with response contexts, and exposes engine statistics on /stats.
+//
+// Usage:
+//
+//	pdpd -policy policy.xml [-addr :8080] [-index] [-cache 30s]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/pdp"
+	"repro/internal/policy"
+	"repro/internal/wire"
+	"repro/internal/xacml"
+)
+
+func main() {
+	policyPath := flag.String("policy", "", "policy file (XML or JSON)")
+	addr := flag.String("addr", ":8080", "listen address")
+	useIndex := flag.Bool("index", false, "enable the resource-id target index")
+	cacheTTL := flag.Duration("cache", 0, "decision cache TTL (0 disables)")
+	flag.Parse()
+
+	if *policyPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	engine, err := buildEngine(*policyPath, *useIndex, *cacheTTL)
+	if err != nil {
+		log.Fatalf("pdpd: %v", err)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/decide", wire.HTTPHandler(pdp.Handler(engine)))
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(engine.Stats()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	log.Printf("pdpd: serving %s on %s (index=%v cache=%v)", *policyPath, *addr, *useIndex, *cacheTTL)
+	server := &http.Server{Addr: *addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	log.Fatal(server.ListenAndServe())
+}
+
+func buildEngine(path string, useIndex bool, cacheTTL time.Duration) (*pdp.Engine, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var root policy.Evaluable
+	if strings.HasSuffix(path, ".json") {
+		root, err = xacml.UnmarshalJSON(data)
+	} else {
+		root, err = xacml.UnmarshalXML(data)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var opts []pdp.Option
+	if useIndex {
+		opts = append(opts, pdp.WithTargetIndex())
+	}
+	if cacheTTL > 0 {
+		opts = append(opts, pdp.WithDecisionCache(cacheTTL, 0))
+	}
+	engine := pdp.New("pdpd", opts...)
+	if err := engine.SetRoot(root); err != nil {
+		return nil, err
+	}
+	return engine, nil
+}

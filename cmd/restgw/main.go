@@ -1,0 +1,138 @@
+// Command restgw is a REST enforcement gateway: the PEP-side counterpart
+// of cmd/pdpd. It protects an upstream HTTP service behind the rest
+// middleware, deciding either against a local policy file or against a
+// remote PDP endpoint, with obligation-driven content redaction enabled.
+//
+// Usage:
+//
+//	restgw -upstream http://localhost:9000 -policy policy.xml \
+//	       -route "/records/{id}=patient-record" [-route ...] [-addr :8081]
+//	restgw -upstream http://localhost:9000 -pdp http://pdp:8080/decide \
+//	       -route "/files/...=file"
+//
+// Policies may be XML, JSON or local-dialect (.acl) files. Subjects are
+// taken from the X-Subject / X-Roles headers (substitute a verified-token
+// extractor for production use).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/dialect"
+	"repro/internal/pdp"
+	"repro/internal/policy"
+	"repro/internal/rest"
+	"repro/internal/xacml"
+)
+
+// routeFlags collects repeated -route "pattern=resource-type" flags.
+type routeFlags []string
+
+// String implements flag.Value.
+func (r *routeFlags) String() string { return strings.Join(*r, ",") }
+
+// Set implements flag.Value.
+func (r *routeFlags) Set(v string) error {
+	*r = append(*r, v)
+	return nil
+}
+
+func main() {
+	var routes routeFlags
+	upstream := flag.String("upstream", "", "upstream service base URL (required)")
+	policyPath := flag.String("policy", "", "local policy file (XML, JSON or .acl dialect)")
+	pdpEndpoint := flag.String("pdp", "", "remote PDP envelope endpoint (alternative to -policy)")
+	addr := flag.String("addr", ":8081", "listen address")
+	flag.Var(&routes, "route", "URI route as pattern=resource-type (repeatable)")
+	flag.Parse()
+
+	if err := run(*upstream, *policyPath, *pdpEndpoint, *addr, routes); err != nil {
+		log.Println("restgw:", err)
+		os.Exit(1)
+	}
+}
+
+func run(upstream, policyPath, pdpEndpoint, addr string, routes routeFlags) error {
+	if upstream == "" {
+		return fmt.Errorf("-upstream is required")
+	}
+	if (policyPath == "") == (pdpEndpoint == "") {
+		return fmt.Errorf("exactly one of -policy or -pdp is required")
+	}
+	if len(routes) == 0 {
+		return fmt.Errorf("at least one -route is required")
+	}
+
+	target, err := url.Parse(upstream)
+	if err != nil {
+		return fmt.Errorf("upstream %q: %w", upstream, err)
+	}
+
+	router := rest.NewRouter()
+	for _, r := range routes {
+		pattern, resourceType, ok := strings.Cut(r, "=")
+		if !ok {
+			return fmt.Errorf("route %q: want pattern=resource-type", r)
+		}
+		if err := router.Add(pattern, resourceType); err != nil {
+			return err
+		}
+	}
+
+	provider, err := buildProvider(policyPath, pdpEndpoint)
+	if err != nil {
+		return err
+	}
+
+	mw := rest.NewMiddleware(router, provider, rest.HeaderSubject,
+		rest.WithTransformer("redact", rest.RedactJSON),
+		rest.WithTransformer("check-content", rest.RequireField))
+	proxy := httputil.NewSingleHostReverseProxy(target)
+
+	mux := http.NewServeMux()
+	mux.Handle("/", mw.Wrap(proxy))
+	mux.HandleFunc("/gw/stats", func(w http.ResponseWriter, _ *http.Request) {
+		st := mw.Stats()
+		fmt.Fprintf(w, "requests=%d permitted=%d denied=%d unrouted=%d unauthenticated=%d transformed=%d\n",
+			st.Requests, st.Permitted, st.Denied, st.Unrouted, st.Unauthenticated, st.Transformed)
+	})
+	log.Printf("restgw: protecting %s on %s (%d routes)", upstream, addr, len(routes))
+	server := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	return server.ListenAndServe()
+}
+
+// buildProvider loads the local engine or dials the remote PDP.
+func buildProvider(policyPath, pdpEndpoint string) (rest.DecisionProvider, error) {
+	if pdpEndpoint != "" {
+		return pdp.NewClient(pdpEndpoint, "restgw", "pdp"), nil
+	}
+	data, err := os.ReadFile(policyPath)
+	if err != nil {
+		return nil, err
+	}
+	var root policy.Evaluable
+	switch {
+	case strings.HasSuffix(policyPath, ".json"):
+		root, err = xacml.UnmarshalJSON(data)
+	case strings.HasSuffix(policyPath, ".acl"):
+		root, err = dialect.Translate("restgw", policy.DenyOverrides, string(data))
+	default:
+		root, err = xacml.UnmarshalXML(data)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", policyPath, err)
+	}
+	engine := pdp.New("restgw-pdp")
+	if err := engine.SetRoot(root); err != nil {
+		return nil, err
+	}
+	return engine, nil
+}

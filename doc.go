@@ -1,0 +1,9 @@
+// Package repro is a reproduction of "Architecting Dependable Access
+// Control Systems for Multi-Domain Computing Environments" (Machulak,
+// Parkin, van Moorsel; DSN 2008 / Newcastle CS-TR-1156).
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); runnable examples under examples/; command-line tools under
+// cmd/. The root package holds the benchmark harness (bench_test.go) that
+// regenerates every experiment table recorded in EXPERIMENTS.md.
+package repro

@@ -1,0 +1,64 @@
+// Negotiation: Traust-style automated trust negotiation (§3.1) — a
+// researcher and a hospital with no prior relationship establish enough
+// mutual trust for a dataset release by alternately disclosing guarded
+// credentials, under both the eager and the parsimonious strategy.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/negotiation"
+)
+
+func buildParties() (*negotiation.Party, *negotiation.Party) {
+	researcher := negotiation.NewParty("researcher")
+	researcher.AddCredential(negotiation.Credential{Name: "university-affiliation"})
+	researcher.AddCredential(negotiation.Credential{Name: "ethics-approval"})
+	researcher.AddCredential(negotiation.Credential{
+		// The researcher certificate is sensitive: the hospital must
+		// first prove it is accredited.
+		Name:       "researcher-certificate",
+		Disclosure: negotiation.Requirement{{"hospital-accreditation"}},
+	})
+	researcher.AddCredential(negotiation.Credential{Name: "conference-badge"}) // irrelevant
+
+	hospital := negotiation.NewParty("hospital")
+	hospital.AddCredential(negotiation.Credential{
+		// The hospital only reveals its accreditation to affiliated
+		// researchers.
+		Name:       "hospital-accreditation",
+		Disclosure: negotiation.Requirement{{"university-affiliation"}},
+	})
+	hospital.AddCredential(negotiation.Credential{Name: "iso-certificate"}) // irrelevant
+	hospital.SetAccessPolicy("oncology-dataset",
+		negotiation.Requirement{{"researcher-certificate", "ethics-approval"}})
+	return researcher, hospital
+}
+
+func main() {
+	for _, strategy := range []negotiation.Strategy{negotiation.Eager, negotiation.Parsimonious} {
+		researcher, hospital := buildParties()
+		tr, err := negotiation.Negotiate(researcher, hospital, "oncology-dataset", strategy)
+		fmt.Printf("-- %s strategy --\n", strategy)
+		if err != nil {
+			fmt.Println("negotiation failed:", err)
+			continue
+		}
+		fmt.Printf("succeeded in %d rounds / %d messages\n", tr.Rounds, tr.Messages)
+		fmt.Printf("researcher disclosed %d credentials, hospital %d\n",
+			tr.ClientDisclosed, tr.ServerDisclosed)
+		if strategy == negotiation.Eager {
+			fmt.Println("(note: eager leaked the irrelevant conference badge and ISO certificate)")
+		} else {
+			fmt.Println("(parsimonious disclosed only the backward-chained need set)")
+		}
+		fmt.Println()
+	}
+
+	// A stranger with no credentials fails cleanly.
+	stranger := negotiation.NewParty("stranger")
+	_, hospital := buildParties()
+	if _, err := negotiation.Negotiate(stranger, hospital, "oncology-dataset", negotiation.Eager); err != nil {
+		fmt.Println("stranger without credentials:", err)
+	}
+}

@@ -1,0 +1,76 @@
+// Quickstart: author a policy, stand up a PDP and a PEP, and enforce a few
+// requests — the smallest end-to-end use of the library (the pull model of
+// Fig. 3 within one domain).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/pdp"
+	"repro/internal/pep"
+	"repro/internal/pip"
+	"repro/internal/policy"
+	"repro/internal/xacml"
+)
+
+func main() {
+	// 1. Author a policy with the fluent builders: doctors may read
+	//    patient records; every permitted access must be logged.
+	records := policy.NewPolicy("records").
+		Describe("access to patient records").
+		Combining(policy.FirstApplicable).
+		When(policy.MatchResource(policy.AttrResourceType, policy.String("patient-record"))).
+		Rule(policy.Permit("doctors-read").
+			When(policy.MatchRole("doctor"), policy.MatchActionID("read")).
+			Obligation(policy.RequireObligation("log-access", policy.EffectPermit,
+				map[string]string{"level": "info"})).
+			Build()).
+		Rule(policy.Deny("default").Build()).
+		Build()
+
+	// The same policy round-trips through the XACML-style XML encoding.
+	xmlForm, err := xacml.MarshalXML(records)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("policy as XML (%d bytes):\n%s\n\n", len(xmlForm), xmlForm)
+
+	// 2. An identity provider supplies subject attributes (the PIP).
+	idp := pip.NewDirectory("idp")
+	idp.AddSubject(pip.Subject{ID: "alice", Roles: []string{"doctor"}})
+	idp.AddSubject(pip.Subject{ID: "eve", Roles: []string{"visitor"}})
+
+	// 3. The PDP evaluates requests against the policy.
+	engine := pdp.New("clinic-pdp", pdp.WithResolver(idp))
+	root := policy.NewPolicySet("clinic").Combining(policy.DenyOverrides).Add(records).Build()
+	if err := engine.SetRoot(root); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. The PEP enforces, fulfilling obligations and failing closed.
+	enforcer := pep.NewEnforcer("clinic-pep", engine,
+		pep.WithObligationHandler("log-access", func(ob policy.FulfilledObligation, req *policy.Request) error {
+			fmt.Printf("  [audit %s] %s read %s\n", ob.Attributes["level"], req.SubjectID(), req.ResourceID())
+			return nil
+		}),
+	)
+
+	requests := []*policy.Request{
+		policy.NewAccessRequest("alice", "rec-7", "read").
+			Add(policy.CategoryResource, policy.AttrResourceType, policy.String("patient-record")),
+		policy.NewAccessRequest("alice", "rec-7", "delete").
+			Add(policy.CategoryResource, policy.AttrResourceType, policy.String("patient-record")),
+		policy.NewAccessRequest("eve", "rec-7", "read").
+			Add(policy.CategoryResource, policy.AttrResourceType, policy.String("patient-record")),
+	}
+	for _, req := range requests {
+		out := enforcer.Enforce(req)
+		verdict := "DENIED"
+		if out.Allowed {
+			verdict = "ALLOWED"
+		}
+		fmt.Printf("%s %s %s -> %s (decision %s by %s)\n",
+			req.SubjectID(), req.ActionID(), req.ResourceID(), verdict, out.Decision, out.By)
+	}
+}

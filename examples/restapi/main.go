@@ -1,0 +1,97 @@
+// REST enforcement: protect a RESTful records API with a URI-routing PEP,
+// a local-dialect policy translated into the standard model, and
+// obligation-driven content redaction (the content-based access control of
+// Section 3.1).
+//
+// The example starts an HTTP server on a random port, issues requests as
+// three different principals, and prints what each of them sees:
+//
+//   - doctor alice reads the full record;
+//   - nurse nina reads the record with ssn and insurance-id redacted;
+//   - visitor mallory is refused.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"repro/internal/dialect"
+	"repro/internal/pdp"
+	"repro/internal/policy"
+	"repro/internal/rest"
+)
+
+// clinicPolicy is written in the local dialect a hospital grew before
+// joining the federation; Translate turns it into the standard model.
+const clinicPolicy = `
+policy records first-applicable {
+  target resource.resource-type == "patient-record"
+  permit doctors when subject.role has "doctor"
+  permit nurses-redacted when subject.role has "nurse" and action.action-id == "read" {
+    obligate redact on permit { fields = "ssn,insurance-id" }
+  }
+  deny default
+}
+`
+
+func main() {
+	// 1. Translate the local dialect into the standard policy model and
+	//    install it in a PDP.
+	root, err := dialect.Translate("clinic", policy.DenyOverrides, clinicPolicy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine := pdp.New("clinic-pdp")
+	if err := engine.SetRoot(root); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Describe the URI space: every record URI is a patient-record.
+	router := rest.NewRouter()
+	router.MustAdd("/records/{id}", "patient-record")
+
+	// 3. Wrap the records API behind the REST enforcement point. The
+	//    redact transformer discharges the policy's content obligation.
+	mw := rest.NewMiddleware(router, engine, rest.HeaderSubject,
+		rest.WithTransformer("redact", rest.RedactJSON))
+	api := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"id":%q,"diagnosis":"stable","ssn":"123-45-6789","insurance-id":"I-9"}`,
+			r.URL.Path[len("/records/"):])
+	})
+	srv := httptest.NewServer(mw.Wrap(api))
+	defer srv.Close()
+	fmt.Printf("records API protected at %s\n\n", srv.URL)
+
+	// 4. Access the API as three different principals.
+	principals := []struct{ subject, roles string }{
+		{"alice", "doctor"},
+		{"nina", "nurse"},
+		{"mallory", "visitor"},
+	}
+	for _, p := range principals {
+		req, err := http.NewRequest(http.MethodGet, srv.URL+"/records/rec-7", nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		req.Header.Set("X-Subject", p.subject)
+		req.Header.Set("X-Roles", p.roles)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s (%s): %s\n  %s\n", p.subject, p.roles, resp.Status, body)
+	}
+
+	st := mw.Stats()
+	fmt.Printf("\nenforcement stats: %d requests, %d permitted, %d denied, %d responses transformed\n",
+		st.Requests, st.Permitted, st.Denied, st.Transformed)
+}

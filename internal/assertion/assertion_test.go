@@ -1,0 +1,245 @@
+package assertion
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/pki"
+	"repro/internal/policy"
+)
+
+type detRand struct{ r *rand.Rand }
+
+func newDetRand(seed int64) *detRand { return &detRand{r: rand.New(rand.NewSource(seed))} }
+
+func (d *detRand) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(d.r.Intn(256))
+	}
+	return len(p), nil
+}
+
+var (
+	epoch = time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+	later = epoch.AddDate(1, 0, 0)
+)
+
+type fixture struct {
+	root  *pki.Authority
+	key   pki.KeyPair
+	cert  *pki.Certificate
+	trust *pki.TrustStore
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	root, err := pki.NewRootAuthority("vo-ca", newDetRand(1), epoch, later)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := pki.GenerateKeyPair(newDetRand(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert := root.Issue("cas.vo.example", key.Public, epoch, later, false)
+	trust := pki.NewTrustStore()
+	trust.AddRoot(root.Certificate())
+	return &fixture{root: root, key: key, cert: cert, trust: trust}
+}
+
+func sampleAssertion() *Assertion {
+	return &Assertion{
+		ID:           "as-1",
+		Issuer:       "cas.vo.example",
+		Subject:      "alice",
+		IssuedAt:     epoch.Add(time.Hour),
+		NotBefore:    epoch.Add(time.Hour),
+		NotOnOrAfter: epoch.Add(2 * time.Hour),
+		Audience:     "pep.hospital-b",
+		Attributes: map[string]policy.Bag{
+			policy.AttrSubjectRole: policy.BagOf(policy.String("doctor"), policy.String("researcher")),
+			policy.AttrClearance:   policy.Singleton(policy.Integer(3)),
+		},
+		Decision: &AuthzDecision{
+			Resource: "rec-7",
+			Action:   "read",
+			Decision: policy.DecisionPermit,
+		},
+	}
+}
+
+func (f *fixture) opts(at time.Time) VerifyOptions {
+	return VerifyOptions{
+		Trust:      f.trust,
+		IssuerCert: f.cert,
+		At:         at,
+		Audience:   "pep.hospital-b",
+	}
+}
+
+func TestSignAndVerify(t *testing.T) {
+	f := newFixture(t)
+	a := sampleAssertion()
+	a.Sign(f.key)
+	if err := a.Verify(f.opts(epoch.Add(90 * time.Minute))); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+}
+
+func TestVerifyRejectsUnsigned(t *testing.T) {
+	f := newFixture(t)
+	a := sampleAssertion()
+	if err := a.Verify(f.opts(epoch.Add(90 * time.Minute))); !errors.Is(err, ErrUnsigned) {
+		t.Errorf("want ErrUnsigned, got %v", err)
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	f := newFixture(t)
+	at := epoch.Add(90 * time.Minute)
+
+	tamper := []struct {
+		name string
+		mut  func(*Assertion)
+	}{
+		{"subject", func(a *Assertion) { a.Subject = "mallory" }},
+		{"decision", func(a *Assertion) { a.Decision.Decision = policy.DecisionDeny }},
+		{"resource", func(a *Assertion) { a.Decision.Resource = "rec-8" }},
+		{"attribute", func(a *Assertion) {
+			a.Attributes[policy.AttrSubjectRole] = policy.Singleton(policy.String("admin"))
+		}},
+		{"extend-validity", func(a *Assertion) { a.NotOnOrAfter = a.NotOnOrAfter.Add(24 * time.Hour) }},
+	}
+	for _, tt := range tamper {
+		t.Run(tt.name, func(t *testing.T) {
+			a := sampleAssertion()
+			a.Sign(f.key)
+			tt.mut(a)
+			if err := a.Verify(f.opts(at)); !errors.Is(err, pki.ErrBadSignature) {
+				t.Errorf("want ErrBadSignature after tampering, got %v", err)
+			}
+		})
+	}
+}
+
+func TestVerifyWindow(t *testing.T) {
+	f := newFixture(t)
+	a := sampleAssertion()
+	a.Sign(f.key)
+	if err := a.Verify(f.opts(epoch.Add(30 * time.Minute))); !errors.Is(err, ErrExpired) {
+		t.Errorf("before window: want ErrExpired, got %v", err)
+	}
+	if err := a.Verify(f.opts(epoch.Add(3 * time.Hour))); !errors.Is(err, ErrExpired) {
+		t.Errorf("after window: want ErrExpired, got %v", err)
+	}
+	// NotOnOrAfter is exclusive.
+	if err := a.Verify(f.opts(a.NotOnOrAfter)); !errors.Is(err, ErrExpired) {
+		t.Errorf("at NotOnOrAfter: want ErrExpired, got %v", err)
+	}
+}
+
+func TestVerifyAudience(t *testing.T) {
+	f := newFixture(t)
+	a := sampleAssertion()
+	a.Sign(f.key)
+	opts := f.opts(epoch.Add(90 * time.Minute))
+	opts.Audience = "pep.other-domain"
+	if err := a.Verify(opts); !errors.Is(err, ErrAudience) {
+		t.Errorf("want ErrAudience, got %v", err)
+	}
+	// Empty audience on the assertion means unrestricted.
+	b := sampleAssertion()
+	b.Audience = ""
+	b.Sign(f.key)
+	if err := b.Verify(opts); err != nil {
+		t.Errorf("unrestricted audience: %v", err)
+	}
+}
+
+func TestVerifyRejectsWrongIssuerCert(t *testing.T) {
+	f := newFixture(t)
+	a := sampleAssertion()
+	a.Sign(f.key)
+	otherKey, _ := pki.GenerateKeyPair(newDetRand(9))
+	otherCert := f.root.Issue("someone-else", otherKey.Public, epoch, later, false)
+	opts := f.opts(epoch.Add(90 * time.Minute))
+	opts.IssuerCert = otherCert
+	if err := a.Verify(opts); !errors.Is(err, pki.ErrUntrusted) {
+		t.Errorf("want ErrUntrusted, got %v", err)
+	}
+}
+
+func TestVerifyRejectsRevokedIssuer(t *testing.T) {
+	f := newFixture(t)
+	a := sampleAssertion()
+	a.Sign(f.key)
+	f.root.Revoke(f.cert.Serial, epoch.Add(time.Hour))
+	f.trust.SetCRL(f.root.Name(), f.root.CRL())
+	if err := a.Verify(f.opts(epoch.Add(90 * time.Minute))); !errors.Is(err, pki.ErrRevoked) {
+		t.Errorf("want ErrRevoked, got %v", err)
+	}
+}
+
+func TestXMLRoundTrip(t *testing.T) {
+	f := newFixture(t)
+	a := sampleAssertion()
+	a.Sign(f.key)
+	data, err := MarshalXML(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalXML(data)
+	if err != nil {
+		t.Fatalf("UnmarshalXML: %v\n%s", err, data)
+	}
+	// The round-tripped assertion must still verify: canonical form and
+	// signature survived the encoding.
+	if err := got.Verify(f.opts(epoch.Add(90 * time.Minute))); err != nil {
+		t.Errorf("round-tripped assertion fails verification: %v", err)
+	}
+	if got.Subject != "alice" || got.Decision == nil || got.Decision.Action != "read" {
+		t.Errorf("payload lost: %+v", got)
+	}
+	if !got.Attributes[policy.AttrClearance].Contains(policy.Integer(3)) {
+		t.Error("typed attribute lost")
+	}
+}
+
+func TestXMLRoundTripWithoutOptionalParts(t *testing.T) {
+	f := newFixture(t)
+	a := &Assertion{
+		ID: "bare", Issuer: "cas.vo.example", Subject: "bob",
+		IssuedAt: epoch, NotBefore: epoch, NotOnOrAfter: epoch.Add(time.Hour),
+	}
+	a.Sign(f.key)
+	data, err := MarshalXML(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalXML(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Decision != nil || len(got.Attributes) != 0 || got.Audience != "" {
+		t.Errorf("optional parts should be absent: %+v", got)
+	}
+	opts := VerifyOptions{Trust: f.trust, IssuerCert: f.cert, At: epoch.Add(time.Minute)}
+	if err := got.Verify(opts); err != nil {
+		t.Errorf("bare assertion verification: %v", err)
+	}
+}
+
+func TestCanonicalOrderInsensitive(t *testing.T) {
+	a := sampleAssertion()
+	b := sampleAssertion()
+	// Same content built in a different map insertion order.
+	b.Attributes = map[string]policy.Bag{
+		policy.AttrClearance:   policy.Singleton(policy.Integer(3)),
+		policy.AttrSubjectRole: policy.BagOf(policy.String("researcher"), policy.String("doctor")),
+	}
+	if string(a.Canonical()) != string(b.Canonical()) {
+		t.Error("canonical form must be attribute-order insensitive")
+	}
+}

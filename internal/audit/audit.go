@@ -1,0 +1,226 @@
+// Package audit provides the consolidated accounting and audit trail the
+// paper's management challenge calls for (Section 3.2): every enforcement
+// produces an event, events from all domains land in one queryable log,
+// and compliance checks run over the consolidated view — the capability
+// executives must demonstrate to auditors.
+package audit
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/policy"
+)
+
+// Event is one recorded enforcement.
+type Event struct {
+	// Time is when the access was decided.
+	Time time.Time
+	// Domain and Component locate the enforcement point.
+	Domain    string
+	Component string
+	// Subject, Resource and Action describe the access.
+	Subject  string
+	Resource string
+	Action   string
+	// Decision is the outcome; By identifies the deciding policy.
+	Decision policy.Decision
+	By       string
+	// Latency is the end-to-end authorisation latency.
+	Latency time.Duration
+}
+
+// Query filters events; zero fields match everything.
+type Query struct {
+	Domain   string
+	Subject  string
+	Resource string
+	Decision policy.Decision
+	Since    time.Time
+}
+
+func (q Query) matches(e Event) bool {
+	if q.Domain != "" && e.Domain != q.Domain {
+		return false
+	}
+	if q.Subject != "" && e.Subject != q.Subject {
+		return false
+	}
+	if q.Resource != "" && e.Resource != q.Resource {
+		return false
+	}
+	if q.Decision != 0 && e.Decision != q.Decision {
+		return false
+	}
+	if !q.Since.IsZero() && e.Time.Before(q.Since) {
+		return false
+	}
+	return true
+}
+
+// Log is a bounded in-memory audit log; when full, the oldest events are
+// dropped (a ring buffer).
+type Log struct {
+	capacity int
+
+	mu     sync.RWMutex
+	events []Event
+	start  int
+	count  int
+	total  int64
+}
+
+// NewLog builds a log holding up to capacity events; non-positive
+// capacities default to 65536.
+func NewLog(capacity int) *Log {
+	if capacity <= 0 {
+		capacity = 65536
+	}
+	return &Log{capacity: capacity, events: make([]Event, capacity)}
+}
+
+// Record appends an event.
+func (l *Log) Record(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	idx := (l.start + l.count) % l.capacity
+	l.events[idx] = e
+	if l.count < l.capacity {
+		l.count++
+	} else {
+		l.start = (l.start + 1) % l.capacity
+	}
+	l.total++
+}
+
+// Len reports the number of retained events.
+func (l *Log) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.count
+}
+
+// Total reports the number of events ever recorded.
+func (l *Log) Total() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.total
+}
+
+// Select returns the retained events matching the query, oldest first.
+func (l *Log) Select(q Query) []Event {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []Event
+	for i := 0; i < l.count; i++ {
+		e := l.events[(l.start+i)%l.capacity]
+		if q.matches(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Summary aggregates decisions per domain, the consolidated view of the
+// management challenge.
+type Summary struct {
+	// Domain identifies the aggregated domain.
+	Domain string
+	// Permits, Denies and Errors count outcomes.
+	Permits, Denies, Errors int
+}
+
+// Summarise groups retained events by domain.
+func (l *Log) Summarise() map[string]*Summary {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make(map[string]*Summary)
+	for i := 0; i < l.count; i++ {
+		e := l.events[(l.start+i)%l.capacity]
+		s, ok := out[e.Domain]
+		if !ok {
+			s = &Summary{Domain: e.Domain}
+			out[e.Domain] = s
+		}
+		switch e.Decision {
+		case policy.DecisionPermit:
+			s.Permits++
+		case policy.DecisionDeny:
+			s.Denies++
+		default:
+			s.Errors++
+		}
+	}
+	return out
+}
+
+// Finding is one compliance-check result.
+type Finding struct {
+	// Check names the rule that fired.
+	Check string
+	// Detail explains the finding.
+	Detail string
+	// Event is the offending event.
+	Event Event
+}
+
+// Check is a compliance rule evaluated over the log.
+type Check struct {
+	// Name identifies the rule.
+	Name string
+	// Inspect returns a non-empty detail for offending events.
+	Inspect func(Event) string
+}
+
+// RunChecks evaluates each check over every retained event.
+func (l *Log) RunChecks(checks []Check) []Finding {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []Finding
+	for i := 0; i < l.count; i++ {
+		e := l.events[(l.start+i)%l.capacity]
+		for _, c := range checks {
+			if detail := c.Inspect(e); detail != "" {
+				out = append(out, Finding{Check: c.Name, Detail: detail, Event: e})
+			}
+		}
+	}
+	return out
+}
+
+// StandardChecks returns the built-in compliance rules: every decision
+// names its deciding policy, no enforcement exceeded the latency budget,
+// and no Indeterminate outcome was recorded (each one is an availability
+// or configuration incident).
+func StandardChecks(latencyBudget time.Duration) []Check {
+	return []Check{
+		{
+			Name: "decision-attributed",
+			Inspect: func(e Event) string {
+				if e.Decision != policy.DecisionNotApplicable && e.By == "" {
+					return "decision has no attributed policy"
+				}
+				return ""
+			},
+		},
+		{
+			Name: "latency-budget",
+			Inspect: func(e Event) string {
+				if latencyBudget > 0 && e.Latency > latencyBudget {
+					return fmt.Sprintf("latency %v exceeds budget %v", e.Latency, latencyBudget)
+				}
+				return ""
+			},
+		},
+		{
+			Name: "no-indeterminate",
+			Inspect: func(e Event) string {
+				if e.Decision == policy.DecisionIndeterminate {
+					return "indeterminate decision reached the enforcement point"
+				}
+				return ""
+			},
+		},
+	}
+}

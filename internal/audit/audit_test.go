@@ -1,0 +1,117 @@
+package audit
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+)
+
+var t0 = time.Date(2026, 6, 12, 9, 0, 0, 0, time.UTC)
+
+func event(domain, subject string, dec policy.Decision, at time.Time) Event {
+	return Event{
+		Time: at, Domain: domain, Component: "pep-1",
+		Subject: subject, Resource: "res", Action: "read",
+		Decision: dec, By: "pol/rule", Latency: 5 * time.Millisecond,
+	}
+}
+
+func TestRecordAndSelect(t *testing.T) {
+	l := NewLog(100)
+	l.Record(event("a", "alice", policy.DecisionPermit, t0))
+	l.Record(event("a", "bob", policy.DecisionDeny, t0.Add(time.Second)))
+	l.Record(event("b", "alice", policy.DecisionPermit, t0.Add(2*time.Second)))
+
+	if got := l.Select(Query{Domain: "a"}); len(got) != 2 {
+		t.Errorf("domain a = %d events", len(got))
+	}
+	if got := l.Select(Query{Subject: "alice"}); len(got) != 2 {
+		t.Errorf("alice = %d events", len(got))
+	}
+	if got := l.Select(Query{Decision: policy.DecisionDeny}); len(got) != 1 || got[0].Subject != "bob" {
+		t.Errorf("denies = %v", got)
+	}
+	if got := l.Select(Query{Since: t0.Add(1500 * time.Millisecond)}); len(got) != 1 {
+		t.Errorf("since filter = %d events", len(got))
+	}
+	if got := l.Select(Query{}); len(got) != 3 {
+		t.Errorf("all = %d events", len(got))
+	}
+}
+
+func TestRingBufferEviction(t *testing.T) {
+	l := NewLog(3)
+	for i := 0; i < 5; i++ {
+		l.Record(event("a", fmt.Sprintf("u%d", i), policy.DecisionPermit, t0.Add(time.Duration(i)*time.Second)))
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", l.Len())
+	}
+	if l.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", l.Total())
+	}
+	got := l.Select(Query{})
+	if got[0].Subject != "u2" || got[2].Subject != "u4" {
+		t.Errorf("oldest retained = %s, newest = %s; want u2..u4", got[0].Subject, got[2].Subject)
+	}
+}
+
+func TestSummarise(t *testing.T) {
+	l := NewLog(100)
+	l.Record(event("a", "alice", policy.DecisionPermit, t0))
+	l.Record(event("a", "bob", policy.DecisionDeny, t0))
+	l.Record(event("a", "carol", policy.DecisionIndeterminate, t0))
+	l.Record(event("b", "dave", policy.DecisionPermit, t0))
+
+	sum := l.Summarise()
+	if sum["a"].Permits != 1 || sum["a"].Denies != 1 || sum["a"].Errors != 1 {
+		t.Errorf("domain a summary = %+v", sum["a"])
+	}
+	if sum["b"].Permits != 1 {
+		t.Errorf("domain b summary = %+v", sum["b"])
+	}
+}
+
+func TestStandardChecks(t *testing.T) {
+	l := NewLog(100)
+	ok := event("a", "alice", policy.DecisionPermit, t0)
+	l.Record(ok)
+
+	unattributed := ok
+	unattributed.By = ""
+	l.Record(unattributed)
+
+	slow := ok
+	slow.Latency = 2 * time.Second
+	l.Record(slow)
+
+	indet := ok
+	indet.Decision = policy.DecisionIndeterminate
+	l.Record(indet)
+
+	findings := l.RunChecks(StandardChecks(time.Second))
+	byCheck := make(map[string]int)
+	for _, f := range findings {
+		byCheck[f.Check]++
+	}
+	if byCheck["decision-attributed"] != 1 {
+		t.Errorf("decision-attributed findings = %d", byCheck["decision-attributed"])
+	}
+	if byCheck["latency-budget"] != 1 {
+		t.Errorf("latency-budget findings = %d", byCheck["latency-budget"])
+	}
+	if byCheck["no-indeterminate"] != 1 {
+		t.Errorf("no-indeterminate findings = %d", byCheck["no-indeterminate"])
+	}
+	// NotApplicable without attribution is fine.
+	na := ok
+	na.Decision = policy.DecisionNotApplicable
+	na.By = ""
+	clean := NewLog(10)
+	clean.Record(na)
+	if got := clean.RunChecks(StandardChecks(time.Second)); len(got) != 0 {
+		t.Errorf("clean log findings = %v", got)
+	}
+}

@@ -1,0 +1,206 @@
+package capability
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/pdp"
+	"repro/internal/pip"
+	"repro/internal/pki"
+	"repro/internal/policy"
+)
+
+type detRand struct{ r *rand.Rand }
+
+func newDetRand(seed int64) *detRand { return &detRand{r: rand.New(rand.NewSource(seed))} }
+
+func (d *detRand) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(d.r.Intn(256))
+	}
+	return len(p), nil
+}
+
+var (
+	epoch = time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+	later = epoch.AddDate(1, 0, 0)
+)
+
+type fixture struct {
+	svc       *Service
+	validator *Validator
+	dir       *pip.Directory
+	now       time.Time
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	root, err := pki.NewRootAuthority("vo-ca", newDetRand(1), epoch, later)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := pki.GenerateKeyPair(newDetRand(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert := root.Issue("cas.vo", key.Public, epoch, later, false)
+
+	dir := pip.NewDirectory("idp")
+	dir.AddSubject(pip.Subject{ID: "alice", Roles: []string{"doctor"}, Groups: []string{"cardiology"}})
+
+	engine := pdp.New("cas-pdp", pdp.WithResolver(dir))
+	rootPolicy := policy.NewPolicySet("vo").Combining(policy.DenyUnlessPermit).
+		Add(policy.NewPolicy("doctors").
+			Combining(policy.DenyUnlessPermit).
+			Rule(policy.Permit("doctors-read").
+				When(policy.MatchRole("doctor"), policy.MatchActionID("read")).
+				Build()).
+			Build()).
+		Build()
+	if err := engine.SetRoot(rootPolicy); err != nil {
+		t.Fatal(err)
+	}
+
+	f := &fixture{dir: dir, now: epoch.Add(time.Hour)}
+	f.svc = NewService("cas.vo", key, engine, dir, 15*time.Minute).
+		WithClock(func() time.Time { return f.now })
+
+	trust := pki.NewTrustStore()
+	trust.AddRoot(root.Certificate())
+	f.validator = NewValidator(trust, "pep.hospital-b", cert)
+	return f
+}
+
+func TestIssueAndValidateCapability(t *testing.T) {
+	f := newFixture(t)
+	req := policy.NewAccessRequest("alice", "rec-7", "read")
+	cap, err := f.svc.IssueCapability(req, "pep.hospital-b")
+	if err != nil {
+		t.Fatalf("IssueCapability: %v", err)
+	}
+	if cap.Decision == nil || cap.Decision.Decision != policy.DecisionPermit {
+		t.Fatalf("capability payload: %+v", cap.Decision)
+	}
+	if err := f.validator.ValidateCapability(cap, "rec-7", "read", f.now.Add(time.Minute)); err != nil {
+		t.Errorf("ValidateCapability: %v", err)
+	}
+	issued, rejected := f.svc.Counts()
+	if issued != 1 || rejected != 0 {
+		t.Errorf("counts = %d issued, %d rejected", issued, rejected)
+	}
+}
+
+func TestIssueRefusedWhenPolicyDenies(t *testing.T) {
+	f := newFixture(t)
+	req := policy.NewAccessRequest("alice", "rec-7", "write") // only read is permitted
+	if _, err := f.svc.IssueCapability(req, ""); !errors.Is(err, ErrNotAuthorized) {
+		t.Errorf("want ErrNotAuthorized, got %v", err)
+	}
+	req = policy.NewAccessRequest("mallory", "rec-7", "read") // unknown subject
+	if _, err := f.svc.IssueCapability(req, ""); !errors.Is(err, ErrNotAuthorized) {
+		t.Errorf("unknown subject: want ErrNotAuthorized, got %v", err)
+	}
+	if _, rejected := f.svc.Counts(); rejected != 2 {
+		t.Errorf("rejected = %d, want 2", rejected)
+	}
+}
+
+func TestCapabilityInsufficientForOtherAccess(t *testing.T) {
+	f := newFixture(t)
+	cap, err := f.svc.IssueCapability(policy.NewAccessRequest("alice", "rec-7", "read"), "pep.hospital-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := f.now.Add(time.Minute)
+	if err := f.validator.ValidateCapability(cap, "rec-8", "read", at); !errors.Is(err, ErrInsufficient) {
+		t.Errorf("other resource: want ErrInsufficient, got %v", err)
+	}
+	if err := f.validator.ValidateCapability(cap, "rec-7", "write", at); !errors.Is(err, ErrInsufficient) {
+		t.Errorf("other action: want ErrInsufficient, got %v", err)
+	}
+}
+
+func TestCapabilityExpires(t *testing.T) {
+	f := newFixture(t)
+	cap, err := f.svc.IssueCapability(policy.NewAccessRequest("alice", "rec-7", "read"), "pep.hospital-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.validator.ValidateCapability(cap, "rec-7", "read", f.now.Add(time.Hour)); err == nil {
+		t.Error("expired capability must be rejected")
+	}
+}
+
+func TestCapabilityWrongAudience(t *testing.T) {
+	f := newFixture(t)
+	cap, err := f.svc.IssueCapability(policy.NewAccessRequest("alice", "rec-7", "read"), "pep.other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.validator.ValidateCapability(cap, "rec-7", "read", f.now.Add(time.Minute)); err == nil {
+		t.Error("capability pinned to another audience must be rejected")
+	}
+}
+
+func TestAttributeCertificateFlow(t *testing.T) {
+	// VOMS-style: the certificate carries roles; the provider's local
+	// policy makes the final decision.
+	f := newFixture(t)
+	ac, err := f.svc.IssueAttributeCertificate("alice",
+		[]string{policy.AttrSubjectRole, policy.AttrSubjectGroup, "nonexistent"}, "pep.hospital-b")
+	if err != nil {
+		t.Fatalf("IssueAttributeCertificate: %v", err)
+	}
+	if _, ok := ac.Attributes["nonexistent"]; ok {
+		t.Error("empty attributes must be omitted")
+	}
+	req := policy.NewAccessRequest("alice", "rec-7", "read")
+	if err := f.validator.ExtractAttributes(ac, req, f.now.Add(time.Minute)); err != nil {
+		t.Fatalf("ExtractAttributes: %v", err)
+	}
+	roles, _ := req.Get(policy.CategorySubject, policy.AttrSubjectRole)
+	if !roles.Contains(policy.String("doctor")) {
+		t.Errorf("roles not merged: %v", roles.Strings())
+	}
+}
+
+func TestAttributeCertificateSubjectBinding(t *testing.T) {
+	f := newFixture(t)
+	ac, err := f.svc.IssueAttributeCertificate("alice", []string{policy.AttrSubjectRole}, "pep.hospital-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mallory tries to use alice's attribute certificate.
+	req := policy.NewAccessRequest("mallory", "rec-7", "read")
+	if err := f.validator.ExtractAttributes(ac, req, f.now.Add(time.Minute)); !errors.Is(err, ErrInsufficient) {
+		t.Errorf("want ErrInsufficient for subject mismatch, got %v", err)
+	}
+}
+
+func TestValidateRejectsMissingDecision(t *testing.T) {
+	f := newFixture(t)
+	ac, err := f.svc.IssueAttributeCertificate("alice", []string{policy.AttrSubjectRole}, "pep.hospital-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.validator.ValidateCapability(ac, "rec-7", "read", f.now.Add(time.Minute)); !errors.Is(err, ErrNoDecision) {
+		t.Errorf("want ErrNoDecision, got %v", err)
+	}
+}
+
+func TestCapabilityIDsUnique(t *testing.T) {
+	f := newFixture(t)
+	seen := make(map[string]bool)
+	for i := 0; i < 10; i++ {
+		cap, err := f.svc.IssueCapability(policy.NewAccessRequest("alice", "rec-7", "read"), "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[cap.ID] {
+			t.Fatalf("duplicate capability ID %s", cap.ID)
+		}
+		seen[cap.ID] = true
+	}
+}

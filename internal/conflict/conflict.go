@@ -1,0 +1,405 @@
+// Package conflict implements the static policy-conflict analysis of
+// Section 3.1 of the paper (after Lupu & Sloman): it extracts the
+// {subject, action, target} authorisation claims each policy makes,
+// detects modality conflicts (a permit and a deny applicable to the same
+// tuple), classifies them as potential or actual, and resolves them under
+// the strategies the paper lists — combining-algorithm precedence,
+// specificity, explicit priority, and application-specific meta-policies
+// such as separation of duty.
+package conflict
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/policy"
+)
+
+// ConstraintSet is the set of values a claim requires for one dimension.
+// A nil set means unconstrained (wildcard).
+type ConstraintSet []string
+
+// Wildcard reports whether the set accepts any value.
+func (c ConstraintSet) Wildcard() bool { return len(c) == 0 }
+
+// Overlaps reports whether two constraint sets can both apply to one value.
+func (c ConstraintSet) Overlaps(o ConstraintSet) bool {
+	if c.Wildcard() || o.Wildcard() {
+		return true
+	}
+	for _, v := range c {
+		for _, w := range o {
+			if v == w {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// MoreSpecificThan reports whether this set constrains strictly more than
+// the other (non-wildcard beats wildcard).
+func (c ConstraintSet) MoreSpecificThan(o ConstraintSet) bool {
+	return !c.Wildcard() && o.Wildcard()
+}
+
+func (c ConstraintSet) String() string {
+	if c.Wildcard() {
+		return "*"
+	}
+	return strings.Join(c, "|")
+}
+
+// Claim is one authorisation statement extracted from a rule: the effect a
+// policy asserts for the tuples its targets cover.
+type Claim struct {
+	// PolicyID and RuleID locate the claim's origin.
+	PolicyID string
+	RuleID   string
+	// Issuer is the authority behind the policy, used by cross-domain
+	// analyses.
+	Issuer string
+	// Effect is the asserted outcome.
+	Effect policy.Effect
+	// Subjects, Roles, Actions, Resources and ResourceTypes constrain
+	// applicability.
+	Subjects      ConstraintSet
+	Roles         ConstraintSet
+	Actions       ConstraintSet
+	Resources     ConstraintSet
+	ResourceTypes ConstraintSet
+	// Conditional marks rules with runtime conditions: their conflicts
+	// are potential rather than actual.
+	Conditional bool
+}
+
+// Specificity counts constrained dimensions, the paper's "more specific
+// wins" resolution input.
+func (c Claim) Specificity() int {
+	n := 0
+	for _, s := range []ConstraintSet{c.Subjects, c.Roles, c.Actions, c.Resources, c.ResourceTypes} {
+		if !s.Wildcard() {
+			n++
+		}
+	}
+	return n
+}
+
+func (c Claim) String() string {
+	return fmt.Sprintf("%s/%s %s subjects=%s roles=%s actions=%s resources=%s types=%s",
+		c.PolicyID, c.RuleID, c.Effect, c.Subjects, c.Roles, c.Actions, c.Resources, c.ResourceTypes)
+}
+
+// ExtractClaims derives the claims a policy makes, merging the policy-level
+// target constraints into each rule's.
+func ExtractClaims(p *policy.Policy) []Claim {
+	base := Claim{PolicyID: p.ID, Issuer: p.Issuer}
+	base.Subjects = exact(p.Target, policy.CategorySubject, policy.AttrSubjectID)
+	base.Roles = exact(p.Target, policy.CategorySubject, policy.AttrSubjectRole)
+	base.Actions = exact(p.Target, policy.CategoryAction, policy.AttrActionID)
+	base.Resources = exact(p.Target, policy.CategoryResource, policy.AttrResourceID)
+	base.ResourceTypes = exact(p.Target, policy.CategoryResource, policy.AttrResourceType)
+
+	claims := make([]Claim, 0, len(p.Rules))
+	for _, r := range p.Rules {
+		c := base
+		c.RuleID = r.ID
+		c.Effect = r.Effect
+		c.Conditional = r.Condition != nil
+		c.Subjects = intersectConstraints(c.Subjects, exact(r.Target, policy.CategorySubject, policy.AttrSubjectID))
+		c.Roles = intersectConstraints(c.Roles, exact(r.Target, policy.CategorySubject, policy.AttrSubjectRole))
+		c.Actions = intersectConstraints(c.Actions, exact(r.Target, policy.CategoryAction, policy.AttrActionID))
+		c.Resources = intersectConstraints(c.Resources, exact(r.Target, policy.CategoryResource, policy.AttrResourceID))
+		c.ResourceTypes = intersectConstraints(c.ResourceTypes, exact(r.Target, policy.CategoryResource, policy.AttrResourceType))
+		claims = append(claims, c)
+	}
+	return claims
+}
+
+func exact(t policy.Target, cat policy.Category, name string) ConstraintSet {
+	vals, constrained := t.ExactMatches(cat, name)
+	if !constrained {
+		return nil
+	}
+	out := make(ConstraintSet, 0, len(vals))
+	for _, v := range vals {
+		out = append(out, v.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// intersectConstraints narrows a with b; wildcard is the identity.
+func intersectConstraints(a, b ConstraintSet) ConstraintSet {
+	switch {
+	case a.Wildcard():
+		return b
+	case b.Wildcard():
+		return a
+	default:
+		var out ConstraintSet
+		for _, v := range a {
+			for _, w := range b {
+				if v == w {
+					out = append(out, v)
+					break
+				}
+			}
+		}
+		if out == nil {
+			// Disjoint constraints: the claim is unsatisfiable; keep
+			// the narrower marker so Overlaps() stays false.
+			return ConstraintSet{}
+		}
+		return out
+	}
+}
+
+// Conflict pairs a permit claim with a deny claim covering a shared tuple.
+type Conflict struct {
+	// Permit and Deny are the clashing claims.
+	Permit Claim
+	Deny   Claim
+	// Actual marks condition-free clashes that will certainly fire;
+	// conditional clashes are Potential only.
+	Actual bool
+	// CrossDomain marks conflicts between different issuers, the
+	// multi-domain case of Section 3.1.
+	CrossDomain bool
+}
+
+func (c Conflict) String() string {
+	kind := "potential"
+	if c.Actual {
+		kind = "actual"
+	}
+	return fmt.Sprintf("%s conflict: [%s] vs [%s]", kind, c.Permit, c.Deny)
+}
+
+// unsatisfiable reports a claim whose narrowed constraints admit no tuple.
+func unsatisfiable(c Claim) bool {
+	for _, s := range []ConstraintSet{c.Subjects, c.Roles, c.Actions, c.Resources, c.ResourceTypes} {
+		if s != nil && len(s) == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// overlap reports whether two claims can apply to one access tuple.
+func overlap(a, b Claim) bool {
+	return a.Subjects.Overlaps(b.Subjects) &&
+		a.Roles.Overlaps(b.Roles) &&
+		a.Actions.Overlaps(b.Actions) &&
+		a.Resources.Overlaps(b.Resources) &&
+		a.ResourceTypes.Overlaps(b.ResourceTypes)
+}
+
+// Analyze detects modality conflicts across the policies.
+func Analyze(policies []*policy.Policy) []Conflict {
+	var claims []Claim
+	for _, p := range policies {
+		for _, c := range ExtractClaims(p) {
+			if !unsatisfiable(c) {
+				claims = append(claims, c)
+			}
+		}
+	}
+	var out []Conflict
+	for i, a := range claims {
+		if a.Effect != policy.EffectPermit {
+			continue
+		}
+		for j, b := range claims {
+			if i == j || b.Effect != policy.EffectDeny {
+				continue
+			}
+			if !overlap(a, b) {
+				continue
+			}
+			out = append(out, Conflict{
+				Permit:      a,
+				Deny:        b,
+				Actual:      !a.Conditional && !b.Conditional,
+				CrossDomain: a.Issuer != b.Issuer,
+			})
+		}
+	}
+	return out
+}
+
+// Strategy resolves a conflict to a winning effect.
+type Strategy interface {
+	// Resolve picks the winning effect, or an explanation of why the
+	// conflict cannot be resolved.
+	Resolve(c Conflict) (policy.Effect, string, error)
+	// Name identifies the strategy in reports.
+	Name() string
+}
+
+// PrecedenceStrategy resolves with a fixed modality precedence, mirroring
+// the deny-overrides / permit-overrides combining algorithms.
+type PrecedenceStrategy struct {
+	// PermitWins selects permit-overrides; the default is deny-overrides.
+	PermitWins bool
+}
+
+var _ Strategy = PrecedenceStrategy{}
+
+// Name implements Strategy.
+func (s PrecedenceStrategy) Name() string {
+	if s.PermitWins {
+		return "permit-overrides"
+	}
+	return "deny-overrides"
+}
+
+// Resolve implements Strategy.
+func (s PrecedenceStrategy) Resolve(c Conflict) (policy.Effect, string, error) {
+	if s.PermitWins {
+		return policy.EffectPermit, fmt.Sprintf("permit-overrides favours %s/%s", c.Permit.PolicyID, c.Permit.RuleID), nil
+	}
+	return policy.EffectDeny, fmt.Sprintf("deny-overrides favours %s/%s", c.Deny.PolicyID, c.Deny.RuleID), nil
+}
+
+// SpecificityStrategy resolves in favour of the more specific claim,
+// falling back to deny on ties (fail closed).
+type SpecificityStrategy struct{}
+
+var _ Strategy = SpecificityStrategy{}
+
+// Name implements Strategy.
+func (SpecificityStrategy) Name() string { return "specificity" }
+
+// Resolve implements Strategy.
+func (SpecificityStrategy) Resolve(c Conflict) (policy.Effect, string, error) {
+	ps, ds := c.Permit.Specificity(), c.Deny.Specificity()
+	switch {
+	case ps > ds:
+		return policy.EffectPermit, fmt.Sprintf("permit claim is more specific (%d > %d)", ps, ds), nil
+	case ds > ps:
+		return policy.EffectDeny, fmt.Sprintf("deny claim is more specific (%d > %d)", ds, ps), nil
+	default:
+		return policy.EffectDeny, "equal specificity: failing closed", nil
+	}
+}
+
+// PriorityStrategy resolves by explicit per-policy priorities (higher
+// wins); unknown policies have priority 0; ties fail closed.
+type PriorityStrategy struct {
+	// Priorities maps policy IDs to their rank.
+	Priorities map[string]int
+}
+
+var _ Strategy = PriorityStrategy{}
+
+// Name implements Strategy.
+func (PriorityStrategy) Name() string { return "priority" }
+
+// Resolve implements Strategy.
+func (s PriorityStrategy) Resolve(c Conflict) (policy.Effect, string, error) {
+	pp, dp := s.Priorities[c.Permit.PolicyID], s.Priorities[c.Deny.PolicyID]
+	switch {
+	case pp > dp:
+		return policy.EffectPermit, fmt.Sprintf("policy %s outranks %s (%d > %d)", c.Permit.PolicyID, c.Deny.PolicyID, pp, dp), nil
+	case dp > pp:
+		return policy.EffectDeny, fmt.Sprintf("policy %s outranks %s (%d > %d)", c.Deny.PolicyID, c.Permit.PolicyID, dp, pp), nil
+	default:
+		return policy.EffectDeny, "equal priority: failing closed", nil
+	}
+}
+
+// Resolution is one resolved conflict in a report.
+type Resolution struct {
+	// Conflict is the detected clash.
+	Conflict Conflict
+	// Winner is the effect the strategy chose.
+	Winner policy.Effect
+	// Reason explains the choice.
+	Reason string
+}
+
+// ResolveAll applies a strategy to every conflict.
+func ResolveAll(conflicts []Conflict, s Strategy) ([]Resolution, error) {
+	out := make([]Resolution, 0, len(conflicts))
+	for _, c := range conflicts {
+		winner, reason, err := s.Resolve(c)
+		if err != nil {
+			return nil, fmt.Errorf("conflict: strategy %s: %w", s.Name(), err)
+		}
+		out = append(out, Resolution{Conflict: c, Winner: winner, Reason: reason})
+	}
+	return out, nil
+}
+
+// SoDRequirement is an application-specific meta-policy constraint
+// (Section 3.1): no single subject population may be permitted both of two
+// duties. Duties are (action, resource) pairs.
+type SoDRequirement struct {
+	// Name identifies the requirement.
+	Name string
+	// First and Second are the duties that must be separated.
+	FirstAction, FirstResource   string
+	SecondAction, SecondResource string
+}
+
+// SoDViolation reports two permit claims that jointly break a requirement.
+type SoDViolation struct {
+	// Requirement is the broken constraint.
+	Requirement SoDRequirement
+	// First and Second are the offending permits.
+	First, Second Claim
+}
+
+func (v SoDViolation) String() string {
+	return fmt.Sprintf("SoD %s: [%s] and [%s] reachable by one subject population",
+		v.Requirement.Name, v.First, v.Second)
+}
+
+// CheckSoD searches the policy base for permit claims that grant both
+// duties of a requirement to overlapping subject populations — the
+// meta-policy check the paper proposes for conflicts invisible to pure
+// modality analysis.
+func CheckSoD(policies []*policy.Policy, reqs []SoDRequirement) []SoDViolation {
+	var permits []Claim
+	for _, p := range policies {
+		for _, c := range ExtractClaims(p) {
+			if c.Effect == policy.EffectPermit && !unsatisfiable(c) {
+				permits = append(permits, c)
+			}
+		}
+	}
+	covers := func(c Claim, action, resource string) bool {
+		return (c.Actions.Wildcard() || contains(c.Actions, action)) &&
+			(c.Resources.Wildcard() || contains(c.Resources, resource))
+	}
+	var out []SoDViolation
+	for _, req := range reqs {
+		// i <= j so each unordered pair is reported once; i == j catches a
+		// single blanket permit covering both duties by itself.
+		for i, a := range permits {
+			for j := i; j < len(permits); j++ {
+				b := permits[j]
+				pairCovers := (covers(a, req.FirstAction, req.FirstResource) && covers(b, req.SecondAction, req.SecondResource)) ||
+					(covers(b, req.FirstAction, req.FirstResource) && covers(a, req.SecondAction, req.SecondResource))
+				if !pairCovers {
+					continue
+				}
+				if a.Subjects.Overlaps(b.Subjects) && a.Roles.Overlaps(b.Roles) {
+					out = append(out, SoDViolation{Requirement: req, First: a, Second: b})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func contains(set ConstraintSet, v string) bool {
+	for _, s := range set {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}

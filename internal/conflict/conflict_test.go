@@ -1,0 +1,304 @@
+package conflict
+
+import (
+	"testing"
+
+	"repro/internal/policy"
+)
+
+func permitFor(id, role, action, resource string) *policy.Policy {
+	b := policy.NewPolicy(id).Combining(policy.FirstApplicable)
+	var matches []policy.Match
+	if role != "" {
+		matches = append(matches, policy.MatchRole(role))
+	}
+	if action != "" {
+		matches = append(matches, policy.MatchActionID(action))
+	}
+	if resource != "" {
+		matches = append(matches, policy.MatchResourceID(resource))
+	}
+	return b.Rule(policy.Permit(id + "-allow").When(matches...).Build()).Build()
+}
+
+func denyFor(id, role, action, resource string) *policy.Policy {
+	b := policy.NewPolicy(id).Combining(policy.FirstApplicable)
+	var matches []policy.Match
+	if role != "" {
+		matches = append(matches, policy.MatchRole(role))
+	}
+	if action != "" {
+		matches = append(matches, policy.MatchActionID(action))
+	}
+	if resource != "" {
+		matches = append(matches, policy.MatchResourceID(resource))
+	}
+	return b.Rule(policy.Deny(id + "-deny").When(matches...).Build()).Build()
+}
+
+func TestExtractClaimsMergesTargets(t *testing.T) {
+	p := policy.NewPolicy("p").
+		Combining(policy.FirstApplicable).
+		When(policy.MatchResourceID("db")).
+		Rule(policy.Permit("r1").When(policy.MatchActionID("read")).Build()).
+		Rule(policy.Deny("r2").If(policy.Lit(policy.Boolean(true))).Build()).
+		Build()
+	claims := ExtractClaims(p)
+	if len(claims) != 2 {
+		t.Fatalf("claims = %d, want 2", len(claims))
+	}
+	r1 := claims[0]
+	if r1.Resources.String() != "db" || r1.Actions.String() != "read" || !r1.Subjects.Wildcard() {
+		t.Errorf("r1 constraints wrong: %s", r1)
+	}
+	if r1.Conditional {
+		t.Error("r1 has no condition")
+	}
+	if !claims[1].Conditional {
+		t.Error("r2 must be conditional")
+	}
+}
+
+func TestAnalyzeFindsActualConflict(t *testing.T) {
+	policies := []*policy.Policy{
+		permitFor("p-allow", "doctor", "read", "rec"),
+		denyFor("p-deny", "doctor", "read", "rec"),
+	}
+	conflicts := Analyze(policies)
+	if len(conflicts) != 1 {
+		t.Fatalf("conflicts = %d, want 1", len(conflicts))
+	}
+	c := conflicts[0]
+	if !c.Actual {
+		t.Error("condition-free clash must be Actual")
+	}
+	if c.Permit.PolicyID != "p-allow" || c.Deny.PolicyID != "p-deny" {
+		t.Errorf("wrong pairing: %s", c)
+	}
+}
+
+func TestAnalyzeNoConflictWhenDisjoint(t *testing.T) {
+	cases := []struct {
+		name     string
+		policies []*policy.Policy
+	}{
+		{"different-resources", []*policy.Policy{
+			permitFor("a", "doctor", "read", "rec-1"),
+			denyFor("b", "doctor", "read", "rec-2"),
+		}},
+		{"different-actions", []*policy.Policy{
+			permitFor("a", "doctor", "read", "rec"),
+			denyFor("b", "doctor", "write", "rec"),
+		}},
+		{"different-roles", []*policy.Policy{
+			permitFor("a", "doctor", "read", "rec"),
+			denyFor("b", "nurse", "read", "rec"),
+		}},
+		{"same-modality", []*policy.Policy{
+			permitFor("a", "doctor", "read", "rec"),
+			permitFor("b", "doctor", "read", "rec"),
+		}},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Analyze(tt.policies); len(got) != 0 {
+				t.Errorf("found %d conflicts, want 0: %v", len(got), got)
+			}
+		})
+	}
+}
+
+func TestAnalyzeWildcardOverlaps(t *testing.T) {
+	// A blanket deny conflicts with any permit.
+	policies := []*policy.Policy{
+		permitFor("specific", "doctor", "read", "rec"),
+		denyFor("blanket", "", "", ""),
+	}
+	conflicts := Analyze(policies)
+	if len(conflicts) != 1 {
+		t.Fatalf("conflicts = %d, want 1", len(conflicts))
+	}
+}
+
+func TestAnalyzeConditionalIsPotential(t *testing.T) {
+	conditional := policy.NewPolicy("cond").
+		Combining(policy.FirstApplicable).
+		Rule(policy.Deny("night-deny").
+			When(policy.MatchActionID("read")).
+			If(policy.Lit(policy.Boolean(true))).
+			Build()).
+		Build()
+	policies := []*policy.Policy{permitFor("allow", "", "read", ""), conditional}
+	conflicts := Analyze(policies)
+	if len(conflicts) != 1 {
+		t.Fatalf("conflicts = %d, want 1", len(conflicts))
+	}
+	if conflicts[0].Actual {
+		t.Error("conditional clash must be Potential, not Actual")
+	}
+}
+
+func TestAnalyzeCrossDomain(t *testing.T) {
+	a := permitFor("a", "doctor", "read", "rec")
+	a.Issuer = "hospital-a"
+	b := denyFor("b", "doctor", "read", "rec")
+	b.Issuer = "hospital-b"
+	conflicts := Analyze([]*policy.Policy{a, b})
+	if len(conflicts) != 1 || !conflicts[0].CrossDomain {
+		t.Errorf("cross-domain flag missing: %v", conflicts)
+	}
+}
+
+func TestUnsatisfiableClaimsIgnored(t *testing.T) {
+	// Policy target requires resource db1, rule target requires db2:
+	// the rule can never apply, so it must not report conflicts.
+	impossible := policy.NewPolicy("imp").
+		Combining(policy.FirstApplicable).
+		When(policy.MatchResourceID("db1")).
+		Rule(policy.Deny("never").When(policy.MatchResourceID("db2")).Build()).
+		Build()
+	policies := []*policy.Policy{permitFor("allow", "", "", ""), impossible}
+	if got := Analyze(policies); len(got) != 0 {
+		t.Errorf("unsatisfiable claim produced conflicts: %v", got)
+	}
+}
+
+func conflictFixture() Conflict {
+	return Analyze([]*policy.Policy{
+		permitFor("allow-doctors", "doctor", "read", "rec"),
+		denyFor("blanket", "", "", ""),
+	})[0]
+}
+
+func TestPrecedenceStrategies(t *testing.T) {
+	c := conflictFixture()
+	eff, _, err := PrecedenceStrategy{}.Resolve(c)
+	if err != nil || eff != policy.EffectDeny {
+		t.Errorf("deny-overrides: %v, %v", eff, err)
+	}
+	eff, _, err = PrecedenceStrategy{PermitWins: true}.Resolve(c)
+	if err != nil || eff != policy.EffectPermit {
+		t.Errorf("permit-overrides: %v, %v", eff, err)
+	}
+}
+
+func TestSpecificityStrategy(t *testing.T) {
+	c := conflictFixture() // permit has 3 constrained dims, deny 0
+	eff, reason, err := SpecificityStrategy{}.Resolve(c)
+	if err != nil || eff != policy.EffectPermit {
+		t.Errorf("specificity: %v (%s), %v", eff, reason, err)
+	}
+	// Ties fail closed.
+	tie := Analyze([]*policy.Policy{
+		permitFor("a", "doctor", "read", "rec"),
+		denyFor("b", "doctor", "read", "rec"),
+	})[0]
+	eff, _, err = SpecificityStrategy{}.Resolve(tie)
+	if err != nil || eff != policy.EffectDeny {
+		t.Errorf("tie must fail closed: %v, %v", eff, err)
+	}
+}
+
+func TestPriorityStrategy(t *testing.T) {
+	c := conflictFixture()
+	s := PriorityStrategy{Priorities: map[string]int{"allow-doctors": 10, "blanket": 1}}
+	eff, _, err := s.Resolve(c)
+	if err != nil || eff != policy.EffectPermit {
+		t.Errorf("priority: %v, %v", eff, err)
+	}
+	s = PriorityStrategy{Priorities: map[string]int{"blanket": 10}}
+	eff, _, err = s.Resolve(c)
+	if err != nil || eff != policy.EffectDeny {
+		t.Errorf("priority deny: %v, %v", eff, err)
+	}
+	// Unknown policies tie at 0 and fail closed.
+	eff, _, err = PriorityStrategy{}.Resolve(c)
+	if err != nil || eff != policy.EffectDeny {
+		t.Errorf("default priority: %v, %v", eff, err)
+	}
+}
+
+func TestResolveAll(t *testing.T) {
+	conflicts := Analyze([]*policy.Policy{
+		permitFor("p1", "doctor", "read", "rec"),
+		denyFor("d1", "doctor", "read", "rec"),
+		permitFor("p2", "nurse", "write", "log"),
+		denyFor("d2", "nurse", "write", "log"),
+	})
+	if len(conflicts) != 2 {
+		t.Fatalf("conflicts = %d, want 2", len(conflicts))
+	}
+	res, err := ResolveAll(conflicts, PrecedenceStrategy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Winner != policy.EffectDeny {
+			t.Errorf("deny-overrides resolution = %v", r.Winner)
+		}
+		if r.Reason == "" {
+			t.Error("resolutions must carry explanations")
+		}
+	}
+}
+
+func TestCheckSoD(t *testing.T) {
+	// One role may both raise and approve payments: a violation.
+	policies := []*policy.Policy{
+		permitFor("raise", "clerk", "raise", "payment"),
+		permitFor("approve", "clerk", "approve", "payment"),
+		permitFor("other", "auditor", "read", "ledger"),
+	}
+	reqs := []SoDRequirement{{
+		Name:           "payment-sod",
+		FirstAction:    "raise",
+		FirstResource:  "payment",
+		SecondAction:   "approve",
+		SecondResource: "payment",
+	}}
+	violations := CheckSoD(policies, reqs)
+	if len(violations) == 0 {
+		t.Fatal("expected a SoD violation")
+	}
+	// Separated roles do not violate.
+	separated := []*policy.Policy{
+		permitFor("raise", "clerk", "raise", "payment"),
+		permitFor("approve", "supervisor", "approve", "payment"),
+	}
+	if got := CheckSoD(separated, reqs); len(got) != 0 {
+		t.Errorf("separated duties flagged: %v", got)
+	}
+	// A wildcard-role permit covering both duties violates.
+	blanket := []*policy.Policy{permitFor("super", "", "", "")}
+	if got := CheckSoD(blanket, reqs); len(got) == 0 {
+		t.Error("blanket permit must violate SoD")
+	}
+}
+
+func TestConstraintSetOps(t *testing.T) {
+	var wild ConstraintSet
+	ab := ConstraintSet{"a", "b"}
+	cd := ConstraintSet{"c", "d"}
+	bc := ConstraintSet{"b", "c"}
+	if !wild.Overlaps(ab) || !ab.Overlaps(wild) {
+		t.Error("wildcard overlaps everything")
+	}
+	if ab.Overlaps(cd) {
+		t.Error("disjoint sets must not overlap")
+	}
+	if !ab.Overlaps(bc) {
+		t.Error("sharing b must overlap")
+	}
+	if !ab.MoreSpecificThan(wild) || wild.MoreSpecificThan(ab) {
+		t.Error("specificity ordering wrong")
+	}
+	if got := intersectConstraints(ab, bc); len(got) != 1 || got[0] != "b" {
+		t.Errorf("intersect = %v", got)
+	}
+	if got := intersectConstraints(ab, cd); got == nil || len(got) != 0 {
+		t.Errorf("disjoint intersect must be empty-marker, got %v", got)
+	}
+	if got := intersectConstraints(wild, ab); got.String() != "a|b" {
+		t.Errorf("wildcard identity: %v", got)
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ha"
+	"repro/internal/pip"
+	"repro/internal/policy"
+)
+
+// dependableFixture builds a two-domain VO where hospital-a's decisions
+// are served by a replicated PDP ensemble wired into the federated flow.
+func dependableFixture(t *testing.T, strategy ha.Strategy, n int) (*System, []*ha.Failable) {
+	t.Helper()
+	s, err := NewSystem(Config{Name: "ha-vo", Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.AddDomain("hospital-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.AddDomain("hospital-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Directory.AddSubject(pip.Subject{ID: "bob", Domain: "hospital-b", Roles: []string{"doctor"}})
+	if err := s.AdmitPolicy(a, doctorsReadPolicy("records"), s.At(0)); err != nil {
+		t.Fatal(err)
+	}
+	_, replicas, err := s.InstallReplicatedPDP(a, n, strategy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, replicas
+}
+
+func crossDomainReq() *policy.Request {
+	return policy.NewAccessRequest("bob", "rec-1", "read").
+		Add(policy.CategorySubject, policy.AttrSubjectDomain, policy.String("hospital-b")).
+		Add(policy.CategoryResource, policy.AttrResourceDomain, policy.String("hospital-a")).
+		Add(policy.CategoryResource, policy.AttrResourceType, policy.String("patient-record"))
+}
+
+func TestFederatedRequestsThroughEnsemble(t *testing.T) {
+	s, _ := dependableFixture(t, ha.Failover, 3)
+	out := s.VO.Request("hospital-b", crossDomainReq(), s.At(time.Hour))
+	if !out.Allowed {
+		t.Fatalf("ensemble-backed request refused: %v", out.Err)
+	}
+	// Cross-domain attribute retrieval still happens (6 messages): the
+	// resolver threads through the ensemble into the replica engines.
+	if out.Messages != 6 {
+		t.Errorf("messages = %d, want 6", out.Messages)
+	}
+}
+
+func TestFederatedFlowSurvivesReplicaCrashes(t *testing.T) {
+	s, replicas := dependableFixture(t, ha.Failover, 3)
+	replicas[0].SetDown(true)
+	replicas[1].SetDown(true)
+	out := s.VO.Request("hospital-b", crossDomainReq(), s.At(time.Hour))
+	if !out.Allowed {
+		t.Fatalf("request with 2/3 replicas down refused: %v", out.Err)
+	}
+	// All three down: deny-biased refusal, not a hang or a permit.
+	replicas[2].SetDown(true)
+	out = s.VO.Request("hospital-b", crossDomainReq(), s.At(time.Hour))
+	if out.Allowed {
+		t.Fatal("request with all replicas down must be refused")
+	}
+	if out.Decision != policy.DecisionIndeterminate && out.Decision != policy.DecisionDeny {
+		t.Errorf("decision = %v", out.Decision)
+	}
+}
+
+func TestRevocationReachesAllReplicas(t *testing.T) {
+	s, _ := dependableFixture(t, ha.Quorum, 3)
+	out := s.VO.Request("hospital-b", crossDomainReq(), s.At(time.Hour))
+	if !out.Allowed {
+		t.Fatalf("precondition: %v", out.Err)
+	}
+	// The domain revokes via its PAP; the watch must refresh every
+	// replica, so the quorum flips to deny with no stale minority.
+	a, _ := s.VO.Domain("hospital-a")
+	if _, err := a.PAP.Put(policy.NewPolicy("records").
+		Combining(policy.FirstApplicable).
+		Rule(policy.Deny("lockdown").Build()).
+		Build()); err != nil {
+		t.Fatal(err)
+	}
+	out = s.VO.Request("hospital-b", crossDomainReq(), s.At(2*time.Hour))
+	if out.Allowed {
+		t.Fatal("revocation must propagate to every replica")
+	}
+}
+
+func TestQuorumEnsembleInFederation(t *testing.T) {
+	s, replicas := dependableFixture(t, ha.Quorum, 3)
+	// A quorum tolerates one crash.
+	replicas[1].SetDown(true)
+	out := s.VO.Request("hospital-b", crossDomainReq(), s.At(time.Hour))
+	if !out.Allowed {
+		t.Fatalf("quorum with one crash refused: %v", out.Err)
+	}
+	// Two crashes break the majority: refused.
+	replicas[2].SetDown(true)
+	out = s.VO.Request("hospital-b", crossDomainReq(), s.At(time.Hour))
+	if out.Allowed {
+		t.Fatal("no quorum must refuse")
+	}
+}
+
+func TestUseDeciderRestoresDefault(t *testing.T) {
+	s, replicas := dependableFixture(t, ha.Failover, 1)
+	a, _ := s.VO.Domain("hospital-a")
+	replicas[0].SetDown(true)
+	if out := s.VO.Request("hospital-b", crossDomainReq(), s.At(time.Hour)); out.Allowed {
+		t.Fatal("downed single replica must refuse")
+	}
+	// Restoring the built-in engine brings the domain back.
+	a.UseDecider(nil)
+	if out := s.VO.Request("hospital-b", crossDomainReq(), s.At(time.Hour)); !out.Allowed {
+		t.Fatalf("default engine restore: %v", out.Err)
+	}
+}

@@ -1,0 +1,244 @@
+package delegation
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+)
+
+var (
+	t0 = time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+	t1 = t0.Add(time.Hour)
+)
+
+func newRegistryWithVO() *Registry {
+	r := NewRegistry()
+	r.AddRoot("vo-authority")
+	return r
+}
+
+func TestRootCanDelegate(t *testing.T) {
+	r := newRegistryWithVO()
+	g, err := r.Delegate("vo-authority", "site-a", UnrestrictedScope(), 2, time.Time{}, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.ID == "" || g.Delegate != "site-a" {
+		t.Errorf("grant = %+v", g)
+	}
+	chain, err := r.ValidateIssuer("site-a", "any-resource", "any-action", t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 1 || chain[0].ID != g.ID {
+		t.Errorf("chain = %v", chain)
+	}
+}
+
+func TestRootValidatesWithEmptyChain(t *testing.T) {
+	r := newRegistryWithVO()
+	chain, err := r.ValidateIssuer("vo-authority", "r", "a", t1)
+	if err != nil || len(chain) != 0 {
+		t.Errorf("root chain = %v, %v", chain, err)
+	}
+}
+
+func TestUnknownIssuerRejected(t *testing.T) {
+	r := newRegistryWithVO()
+	if _, err := r.ValidateIssuer("rogue", "r", "a", t1); !errors.Is(err, ErrNotAuthorized) {
+		t.Errorf("want ErrNotAuthorized, got %v", err)
+	}
+}
+
+func TestScopeNarrowing(t *testing.T) {
+	r := newRegistryWithVO()
+	dbScope := Scope{Resources: []string{"db1", "db2"}, Actions: []string{"read", "write"}}
+	if _, err := r.Delegate("vo-authority", "site-a", dbScope, 1, time.Time{}, t0); err != nil {
+		t.Fatal(err)
+	}
+	// Inside scope: fine.
+	if _, err := r.ValidateIssuer("site-a", "db1", "read", t1); err != nil {
+		t.Errorf("in-scope: %v", err)
+	}
+	// Outside scope: refused.
+	if _, err := r.ValidateIssuer("site-a", "db3", "read", t1); !errors.Is(err, ErrScope) {
+		t.Errorf("out-of-scope resource: want ErrScope, got %v", err)
+	}
+	if _, err := r.ValidateIssuer("site-a", "db1", "delete", t1); !errors.Is(err, ErrScope) {
+		t.Errorf("out-of-scope action: want ErrScope, got %v", err)
+	}
+	// Re-delegation cannot widen scope.
+	if _, err := r.Delegate("site-a", "team-x", Scope{Resources: []string{"db3"}}, 0, time.Time{}, t0); !errors.Is(err, ErrScope) {
+		t.Errorf("widening re-delegation: want ErrScope, got %v", err)
+	}
+	// Narrowing is fine.
+	if _, err := r.Delegate("site-a", "team-x", Scope{Resources: []string{"db1"}, Actions: []string{"read"}}, 0, time.Time{}, t0); err != nil {
+		t.Errorf("narrowing re-delegation: %v", err)
+	}
+	if _, err := r.ValidateIssuer("team-x", "db1", "read", t1); err != nil {
+		t.Errorf("narrowed issuer: %v", err)
+	}
+}
+
+func TestDepthLimits(t *testing.T) {
+	r := newRegistryWithVO()
+	// Depth 1: site-a may re-delegate once.
+	if _, err := r.Delegate("vo-authority", "site-a", UnrestrictedScope(), 1, time.Time{}, t0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Delegate("site-a", "team-x", UnrestrictedScope(), 0, time.Time{}, t0); err != nil {
+		t.Fatalf("first re-delegation: %v", err)
+	}
+	// team-x holds depth 0: it may issue policy but not re-delegate.
+	if _, err := r.ValidateIssuer("team-x", "r", "a", t1); err != nil {
+		t.Errorf("depth-0 issuance: %v", err)
+	}
+	if _, err := r.Delegate("team-x", "intern", UnrestrictedScope(), 0, time.Time{}, t0); !errors.Is(err, ErrDepthExceeded) {
+		t.Errorf("re-delegation at depth 0: want ErrDepthExceeded, got %v", err)
+	}
+	// site-a cannot hand out more depth than it has left.
+	if _, err := r.Delegate("site-a", "team-y", UnrestrictedScope(), 5, time.Time{}, t0); !errors.Is(err, ErrDepthExceeded) {
+		t.Errorf("depth inflation: want ErrDepthExceeded, got %v", err)
+	}
+}
+
+func TestExpiry(t *testing.T) {
+	r := newRegistryWithVO()
+	if _, err := r.Delegate("vo-authority", "site-a", UnrestrictedScope(), 0, t0.Add(30*time.Minute), t0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ValidateIssuer("site-a", "r", "a", t0.Add(10*time.Minute)); err != nil {
+		t.Errorf("before expiry: %v", err)
+	}
+	if _, err := r.ValidateIssuer("site-a", "r", "a", t0.Add(time.Hour)); !errors.Is(err, ErrNotAuthorized) {
+		t.Errorf("after expiry: want ErrNotAuthorized, got %v", err)
+	}
+}
+
+func TestRevocationCascades(t *testing.T) {
+	r := newRegistryWithVO()
+	g1, err := r.Delegate("vo-authority", "site-a", UnrestrictedScope(), 2, time.Time{}, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Delegate("site-a", "team-x", UnrestrictedScope(), 1, time.Time{}, t0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Delegate("team-x", "intern", UnrestrictedScope(), 0, time.Time{}, t0); err != nil {
+		t.Fatal(err)
+	}
+	// Whole chain works.
+	if _, err := r.ValidateIssuer("intern", "r", "a", t1); err != nil {
+		t.Fatalf("chain: %v", err)
+	}
+	// The cascade set from g1 covers everyone downstream.
+	reach, err := r.Reachable(g1.ID, t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reach) != 3 {
+		t.Errorf("Reachable = %v, want site-a, team-x, intern", reach)
+	}
+	// Revoking the root grant invalidates the whole chain implicitly.
+	if err := r.Revoke(g1.ID); err != nil {
+		t.Fatal(err)
+	}
+	for _, issuer := range []string{"site-a", "team-x", "intern"} {
+		if _, err := r.ValidateIssuer(issuer, "r", "a", t1); err == nil {
+			t.Errorf("%s: chain must be dead after root revocation", issuer)
+		}
+	}
+	if err := r.Revoke("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestAlternateChainSurvivesRevocation(t *testing.T) {
+	// team-x is delegated by both site-a and site-b; revoking one chain
+	// leaves the other.
+	r := newRegistryWithVO()
+	if _, err := r.Delegate("vo-authority", "site-a", UnrestrictedScope(), 1, time.Time{}, t0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Delegate("vo-authority", "site-b", UnrestrictedScope(), 1, time.Time{}, t0); err != nil {
+		t.Fatal(err)
+	}
+	gA, err := r.Delegate("site-a", "team-x", UnrestrictedScope(), 0, time.Time{}, t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Delegate("site-b", "team-x", UnrestrictedScope(), 0, time.Time{}, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Revoke(gA.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ValidateIssuer("team-x", "r", "a", t1); err != nil {
+		t.Errorf("alternate chain should survive: %v", err)
+	}
+}
+
+func TestValidatePolicy(t *testing.T) {
+	r := newRegistryWithVO()
+	dbScope := Scope{Resources: []string{"db1"}, Actions: []string{"read"}}
+	if _, err := r.Delegate("vo-authority", "site-a", dbScope, 0, time.Time{}, t0); err != nil {
+		t.Fatal(err)
+	}
+	inScope := policy.NewPolicy("ok").
+		IssuedBy("site-a").
+		Combining(policy.FirstApplicable).
+		Rule(policy.Permit("allow").
+			When(policy.MatchResourceID("db1"), policy.MatchActionID("read")).
+			Build()).
+		Build()
+	if err := r.ValidatePolicy(inScope, t1); err != nil {
+		t.Errorf("in-scope policy: %v", err)
+	}
+	outOfScope := policy.NewPolicy("bad").
+		IssuedBy("site-a").
+		Combining(policy.FirstApplicable).
+		Rule(policy.Permit("allow").
+			When(policy.MatchResourceID("db2"), policy.MatchActionID("read")).
+			Build()).
+		Build()
+	if err := r.ValidatePolicy(outOfScope, t1); !errors.Is(err, ErrScope) {
+		t.Errorf("out-of-scope policy: want ErrScope, got %v", err)
+	}
+	// Wildcard claims demand unrestricted grants.
+	blanket := policy.NewPolicy("blanket").
+		IssuedBy("site-a").
+		Combining(policy.FirstApplicable).
+		Rule(policy.Permit("everything").Build()).
+		Build()
+	if err := r.ValidatePolicy(blanket, t1); err == nil {
+		t.Error("wildcard policy under narrow grant must be rejected")
+	}
+	// No issuer at all.
+	anon := policy.NewPolicy("anon").Combining(policy.FirstApplicable).Build()
+	if err := r.ValidatePolicy(anon, t1); !errors.Is(err, ErrNotAuthorized) {
+		t.Errorf("anonymous policy: want ErrNotAuthorized, got %v", err)
+	}
+}
+
+func TestScopeCovers(t *testing.T) {
+	all := UnrestrictedScope()
+	db := Scope{Resources: []string{"db"}}
+	dbRead := Scope{Resources: []string{"db"}, Actions: []string{"read"}}
+	if !all.Covers(db) || !all.Covers(all) {
+		t.Error("unrestricted covers everything")
+	}
+	if db.Covers(all) {
+		t.Error("narrow must not cover unrestricted")
+	}
+	if !db.Covers(dbRead) {
+		t.Error("db covers db+read")
+	}
+	if dbRead.Covers(db) {
+		t.Error("db+read must not cover db with any action")
+	}
+	if !dbRead.CoversAccess("db", "read") || dbRead.CoversAccess("db", "write") {
+		t.Error("CoversAccess wrong")
+	}
+}

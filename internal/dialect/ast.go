@@ -1,0 +1,336 @@
+package dialect
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Document is a parsed dialect source: a sequence of policy declarations.
+type Document struct {
+	Policies []*PolicyDecl
+}
+
+// PolicyDecl is one policy block.
+type PolicyDecl struct {
+	// Name identifies the policy.
+	Name string
+	// Algorithm is the rule-combining algorithm name in dialect spelling
+	// (which coincides with the standard model's canonical names).
+	Algorithm string
+	// Target is the conjunction of target atoms; empty means catch-all.
+	Target []Atom
+	// Rules are the policy's rules in source order.
+	Rules []*RuleDecl
+	// Pos locates the declaration.
+	Pos Pos
+}
+
+// RuleDecl is one permit or deny rule.
+type RuleDecl struct {
+	// Name identifies the rule within its policy.
+	Name string
+	// Deny selects the effect; false means permit.
+	Deny bool
+	// When is the optional condition; nil means unconditional.
+	When Expr
+	// Obligations are attached to the rule.
+	Obligations []*ObligationDecl
+	// Pos locates the rule.
+	Pos Pos
+}
+
+// ObligationDecl attaches an enforcement-time action to a rule.
+type ObligationDecl struct {
+	// Name identifies the obligation handler.
+	Name string
+	// OnDeny selects the triggering effect; false means on permit.
+	OnDeny bool
+	// Assignments parameterise the obligation with constants.
+	Assignments []Assignment
+	// Pos locates the obligation.
+	Pos Pos
+}
+
+// Assignment is one name = literal pair inside an obligation.
+type Assignment struct {
+	Name  string
+	Value Literal
+}
+
+// AttrRef names a request attribute as category.name.
+type AttrRef struct {
+	Category string
+	Name     string
+}
+
+// String renders the reference in source form.
+func (a AttrRef) String() string { return a.Category + "." + a.Name }
+
+// LiteralKind classifies dialect literals.
+type LiteralKind int
+
+// Literal kinds.
+const (
+	LitString LiteralKind = iota + 1
+	LitInt
+	LitFloat
+	LitBool
+)
+
+// Literal is a constant value in the source.
+type Literal struct {
+	Kind  LiteralKind
+	Str   string
+	Int   int64
+	Float float64
+	Bool  bool
+}
+
+// String renders the literal in source form.
+func (l Literal) String() string {
+	switch l.Kind {
+	case LitString:
+		return strconv.Quote(l.Str)
+	case LitInt:
+		return strconv.FormatInt(l.Int, 10)
+	case LitFloat:
+		return formatFloat(l.Float)
+	case LitBool:
+		return strconv.FormatBool(l.Bool)
+	default:
+		return "<invalid>"
+	}
+}
+
+// formatFloat keeps a decimal point so the literal re-lexes as a float.
+func formatFloat(f float64) string {
+	s := strconv.FormatFloat(f, 'g', -1, 64)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}
+
+// Comparison operators of atoms and compare expressions.
+const (
+	OpEq         = "=="
+	OpNeq        = "!="
+	OpLt         = "<"
+	OpLte        = "<="
+	OpGt         = ">"
+	OpGte        = ">="
+	OpHas        = "has"
+	OpStartsWith = "startswith"
+	OpContains   = "contains"
+)
+
+// Atom is one target constraint: attribute op literal.
+type Atom struct {
+	Attr  AttrRef
+	Op    string
+	Value Literal
+	Pos   Pos
+}
+
+// String renders the atom in source form.
+func (a Atom) String() string {
+	return fmt.Sprintf("%s %s %s", a.Attr, a.Op, a.Value)
+}
+
+// Expr is a node of the condition grammar.
+type Expr interface {
+	exprNode()
+	// writeTo renders the expression in source form; prec is the
+	// enclosing operator precedence, used to decide parenthesisation.
+	writeTo(sb *strings.Builder, prec int)
+}
+
+// Operator precedences for rendering: or < and < not < comparison.
+const (
+	precOr = iota + 1
+	precAnd
+	precNot
+	precCmp
+)
+
+// LogicalExpr is an and/or over two or more operands.
+type LogicalExpr struct {
+	// Or selects disjunction; false means conjunction.
+	Or   bool
+	Args []Expr
+}
+
+func (*LogicalExpr) exprNode() {}
+
+func (e *LogicalExpr) prec() int {
+	if e.Or {
+		return precOr
+	}
+	return precAnd
+}
+
+func (e *LogicalExpr) writeTo(sb *strings.Builder, prec int) {
+	op := " and "
+	if e.Or {
+		op = " or "
+	}
+	wrap := e.prec() < prec
+	if wrap {
+		sb.WriteByte('(')
+	}
+	for i, a := range e.Args {
+		if i > 0 {
+			sb.WriteString(op)
+		}
+		a.writeTo(sb, e.prec()+1)
+	}
+	if wrap {
+		sb.WriteByte(')')
+	}
+}
+
+// NotExpr negates its operand.
+type NotExpr struct {
+	X Expr
+}
+
+func (*NotExpr) exprNode() {}
+
+func (e *NotExpr) writeTo(sb *strings.Builder, prec int) {
+	wrap := precNot < prec
+	if wrap {
+		sb.WriteByte('(')
+	}
+	sb.WriteString("not ")
+	e.X.writeTo(sb, precNot+1)
+	if wrap {
+		sb.WriteByte(')')
+	}
+}
+
+// Operand is either an attribute reference or a literal.
+type Operand struct {
+	// IsAttr selects which field is meaningful.
+	IsAttr bool
+	Attr   AttrRef
+	Lit    Literal
+}
+
+// String renders the operand in source form.
+func (o Operand) String() string {
+	if o.IsAttr {
+		return o.Attr.String()
+	}
+	return o.Lit.String()
+}
+
+// CompareExpr applies a comparison operator to two operands.
+type CompareExpr struct {
+	Op       string
+	LHS, RHS Operand
+	Pos      Pos
+}
+
+func (*CompareExpr) exprNode() {}
+
+func (e *CompareExpr) writeTo(sb *strings.Builder, _ int) {
+	sb.WriteString(e.LHS.String())
+	sb.WriteByte(' ')
+	sb.WriteString(e.Op)
+	sb.WriteByte(' ')
+	sb.WriteString(e.RHS.String())
+}
+
+// LiteralExpr is a bare boolean literal used as a condition.
+type LiteralExpr struct {
+	Value Literal
+}
+
+func (*LiteralExpr) exprNode() {}
+
+func (e *LiteralExpr) writeTo(sb *strings.Builder, _ int) {
+	sb.WriteString(e.Value.String())
+}
+
+// Format renders a document in canonical dialect text. Parsing the result
+// reproduces the document (ignoring positions), so Format and Parse form a
+// round trip.
+func Format(doc *Document) string {
+	var sb strings.Builder
+	for i, p := range doc.Policies {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		formatPolicy(&sb, p)
+	}
+	return sb.String()
+}
+
+func formatPolicy(sb *strings.Builder, p *PolicyDecl) {
+	fmt.Fprintf(sb, "policy %s %s {\n", quoteName(p.Name), p.Algorithm)
+	if len(p.Target) > 0 {
+		sb.WriteString("  target ")
+		for i, a := range p.Target {
+			if i > 0 {
+				sb.WriteString(" and ")
+			}
+			sb.WriteString(a.String())
+		}
+		sb.WriteByte('\n')
+	}
+	for _, r := range p.Rules {
+		formatRule(sb, r)
+	}
+	sb.WriteString("}\n")
+}
+
+func formatRule(sb *strings.Builder, r *RuleDecl) {
+	effect := "permit"
+	if r.Deny {
+		effect = "deny"
+	}
+	fmt.Fprintf(sb, "  %s %s", effect, quoteName(r.Name))
+	if r.When != nil {
+		sb.WriteString(" when ")
+		r.When.writeTo(sb, precOr)
+	}
+	if len(r.Obligations) == 0 {
+		sb.WriteByte('\n')
+		return
+	}
+	sb.WriteString(" {\n")
+	for _, ob := range r.Obligations {
+		on := "permit"
+		if ob.OnDeny {
+			on = "deny"
+		}
+		fmt.Fprintf(sb, "    obligate %s on %s", quoteName(ob.Name), on)
+		if len(ob.Assignments) > 0 {
+			sb.WriteString(" {")
+			for _, as := range ob.Assignments {
+				fmt.Fprintf(sb, " %s = %s", quoteName(as.Name), as.Value)
+			}
+			sb.WriteString(" }")
+		}
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("  }\n")
+}
+
+// quoteName renders a name bare when it lexes as a single identifier and
+// quoted otherwise.
+func quoteName(name string) string {
+	if name == "" {
+		return `""`
+	}
+	for i, r := range name {
+		if i == 0 && !isIdentStart(r) {
+			return strconv.Quote(name)
+		}
+		if !isIdentPart(r) {
+			return strconv.Quote(name)
+		}
+	}
+	return name
+}

@@ -1,0 +1,292 @@
+package dialect
+
+import (
+	"fmt"
+
+	"repro/internal/policy"
+)
+
+// Compile translates a parsed document into standard-model policies with
+// identical decision semantics. Each policy declaration becomes one
+// policy.Policy.
+func Compile(doc *Document) ([]*policy.Policy, error) {
+	out := make([]*policy.Policy, 0, len(doc.Policies))
+	for _, decl := range doc.Policies {
+		p, err := compilePolicy(decl)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// CompileSet translates a document into a single policy set combining the
+// document's policies under the given algorithm.
+func CompileSet(id string, combining policy.Algorithm, doc *Document) (*policy.PolicySet, error) {
+	pols, err := Compile(doc)
+	if err != nil {
+		return nil, err
+	}
+	set := &policy.PolicySet{ID: id, Combining: combining}
+	set.Children = make([]policy.Evaluable, len(pols))
+	for i, p := range pols {
+		set.Children[i] = p
+	}
+	if err := set.Validate(); err != nil {
+		return nil, fmt.Errorf("dialect: compiled set: %w", err)
+	}
+	return set, nil
+}
+
+// Translate is the one-call path from dialect source to an installable
+// policy set: Parse then CompileSet.
+func Translate(id string, combining policy.Algorithm, src string) (*policy.PolicySet, error) {
+	doc, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileSet(id, combining, doc)
+}
+
+func compileAlgorithm(name string) (policy.Algorithm, error) {
+	// Dialect spellings coincide with the standard canonical names.
+	return policy.AlgorithmFromString(name)
+}
+
+func compilePolicy(decl *PolicyDecl) (*policy.Policy, error) {
+	alg, err := compileAlgorithm(decl.Algorithm)
+	if err != nil {
+		return nil, errAt(decl.Pos, "policy %s: %v", decl.Name, err)
+	}
+	p := &policy.Policy{
+		ID:          decl.Name,
+		Description: "translated from dialect source",
+		Combining:   alg,
+	}
+	if p.Target, err = compileTarget(decl.Target); err != nil {
+		return nil, err
+	}
+	p.Rules = make([]*policy.Rule, 0, len(decl.Rules))
+	for _, rd := range decl.Rules {
+		r, err := compileRule(rd)
+		if err != nil {
+			return nil, err
+		}
+		p.Rules = append(p.Rules, r)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, errAt(decl.Pos, "policy %s: %v", decl.Name, err)
+	}
+	return p, nil
+}
+
+func compileCategory(name string) (policy.Category, error) {
+	// The parser admits only the four canonical names.
+	return policy.CategoryFromString(name)
+}
+
+func compileLiteral(l Literal) (policy.Value, error) {
+	switch l.Kind {
+	case LitString:
+		return policy.String(l.Str), nil
+	case LitInt:
+		return policy.Integer(l.Int), nil
+	case LitFloat:
+		return policy.Double(l.Float), nil
+	case LitBool:
+		return policy.Boolean(l.Bool), nil
+	default:
+		return policy.Value{}, fmt.Errorf("dialect: invalid literal kind %d", int(l.Kind))
+	}
+}
+
+// compileTarget turns the atom conjunction into a standard target. The
+// match calling convention passes the policy constant as the predicate's
+// first argument, so ordered comparisons compile with the operator flipped:
+// attr > lit holds exactly when less-than(lit, attr) does.
+func compileTarget(atoms []Atom) (policy.Target, error) {
+	if len(atoms) == 0 {
+		return nil, nil
+	}
+	matches := make([]policy.Match, 0, len(atoms))
+	for _, a := range atoms {
+		cat, err := compileCategory(a.Attr.Category)
+		if err != nil {
+			return nil, errAt(a.Pos, "%v", err)
+		}
+		v, err := compileLiteral(a.Value)
+		if err != nil {
+			return nil, errAt(a.Pos, "%v", err)
+		}
+		m := policy.Match{Category: cat, Name: a.Attr.Name, Value: v}
+		switch a.Op {
+		case OpEq, OpHas:
+			// Matching is existential over the attribute bag, so
+			// equality and membership coincide here.
+			m.Function = policy.FnEqual
+		case OpStartsWith:
+			m.Function = policy.FnStringStartsWith
+		case OpContains:
+			m.Function = policy.FnStringContains
+		case OpLt:
+			m.Function = policy.FnGreaterThan // lit > attr  ⇔  attr < lit
+		case OpLte:
+			m.Function = policy.FnGreaterOrEqual
+		case OpGt:
+			m.Function = policy.FnLessThan // lit < attr  ⇔  attr > lit
+		case OpGte:
+			m.Function = policy.FnLessOrEqual
+		default:
+			return nil, errAt(a.Pos, "operator %q not supported in targets", a.Op)
+		}
+		matches = append(matches, m)
+	}
+	return policy.NewTarget(matches...), nil
+}
+
+func compileRule(rd *RuleDecl) (*policy.Rule, error) {
+	r := &policy.Rule{ID: rd.Name, Effect: policy.EffectPermit}
+	if rd.Deny {
+		r.Effect = policy.EffectDeny
+	}
+	if rd.When != nil {
+		cond, err := compileExpr(rd.When)
+		if err != nil {
+			return nil, err
+		}
+		r.Condition = cond
+	}
+	for _, od := range rd.Obligations {
+		ob, err := compileObligation(od)
+		if err != nil {
+			return nil, err
+		}
+		r.Obligations = append(r.Obligations, ob)
+	}
+	return r, nil
+}
+
+func compileObligation(od *ObligationDecl) (policy.Obligation, error) {
+	ob := policy.Obligation{ID: od.Name, FulfillOn: policy.EffectPermit}
+	if od.OnDeny {
+		ob.FulfillOn = policy.EffectDeny
+	}
+	for _, as := range od.Assignments {
+		v, err := compileLiteral(as.Value)
+		if err != nil {
+			return policy.Obligation{}, errAt(od.Pos, "obligation %s: %v", od.Name, err)
+		}
+		ob.Assignments = append(ob.Assignments, policy.Assignment{
+			Name: as.Name,
+			Expr: policy.Lit(v),
+		})
+	}
+	return ob, nil
+}
+
+func compileExpr(e Expr) (policy.Expression, error) {
+	switch x := e.(type) {
+	case *LiteralExpr:
+		v, err := compileLiteral(x.Value)
+		if err != nil {
+			return nil, err
+		}
+		return policy.Lit(v), nil
+	case *NotExpr:
+		inner, err := compileExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		return policy.Not(inner), nil
+	case *LogicalExpr:
+		args := make([]policy.Expression, 0, len(x.Args))
+		for _, a := range x.Args {
+			ca, err := compileExpr(a)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, ca)
+		}
+		if x.Or {
+			return policy.Or(args...), nil
+		}
+		return policy.And(args...), nil
+	case *CompareExpr:
+		return compileCompare(x)
+	default:
+		return nil, fmt.Errorf("dialect: unknown expression node %T", e)
+	}
+}
+
+// compileOperandSingleton produces an expression yielding a singleton value:
+// literals directly, attributes through one-and-only (the dialect's
+// comparisons are scalar; bag semantics are expressed with 'has').
+func compileOperandSingleton(o Operand) (policy.Expression, error) {
+	if !o.IsAttr {
+		v, err := compileLiteral(o.Lit)
+		if err != nil {
+			return nil, err
+		}
+		return policy.Lit(v), nil
+	}
+	cat, err := compileCategory(o.Attr.Category)
+	if err != nil {
+		return nil, err
+	}
+	return policy.Call(policy.FnOneAndOnly, policy.Attr(cat, o.Attr.Name)), nil
+}
+
+func compileCompare(x *CompareExpr) (policy.Expression, error) {
+	switch x.Op {
+	case OpHas:
+		cat, err := compileCategory(x.LHS.Attr.Category)
+		if err != nil {
+			return nil, errAt(x.Pos, "%v", err)
+		}
+		v, err := compileLiteral(x.RHS.Lit)
+		if err != nil {
+			return nil, errAt(x.Pos, "%v", err)
+		}
+		return policy.Call(policy.FnIsIn, policy.Lit(v), policy.Attr(cat, x.LHS.Attr.Name)), nil
+	case OpStartsWith, OpContains:
+		// The standard functions take the needle first.
+		fn := policy.FnStringStartsWith
+		if x.Op == OpContains {
+			fn = policy.FnStringContains
+		}
+		lhs, err := compileOperandSingleton(x.LHS)
+		if err != nil {
+			return nil, errAt(x.Pos, "%v", err)
+		}
+		needle, err := compileLiteral(x.RHS.Lit)
+		if err != nil {
+			return nil, errAt(x.Pos, "%v", err)
+		}
+		return policy.Call(fn, policy.Lit(needle), lhs), nil
+	}
+	lhs, err := compileOperandSingleton(x.LHS)
+	if err != nil {
+		return nil, errAt(x.Pos, "%v", err)
+	}
+	rhs, err := compileOperandSingleton(x.RHS)
+	if err != nil {
+		return nil, errAt(x.Pos, "%v", err)
+	}
+	switch x.Op {
+	case OpEq:
+		return policy.Call(policy.FnEqual, lhs, rhs), nil
+	case OpNeq:
+		return policy.Not(policy.Call(policy.FnEqual, lhs, rhs)), nil
+	case OpLt:
+		return policy.Call(policy.FnLessThan, lhs, rhs), nil
+	case OpLte:
+		return policy.Call(policy.FnLessOrEqual, lhs, rhs), nil
+	case OpGt:
+		return policy.Call(policy.FnGreaterThan, lhs, rhs), nil
+	case OpGte:
+		return policy.Call(policy.FnGreaterOrEqual, lhs, rhs), nil
+	default:
+		return nil, errAt(x.Pos, "unsupported comparison %q", x.Op)
+	}
+}

@@ -1,0 +1,273 @@
+package dialect
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/xacml"
+)
+
+// reencode pushes an evaluable through the standard XML codec.
+func reencode(t *testing.T, e policy.Evaluable) policy.Evaluable {
+	t.Helper()
+	data, err := xacml.MarshalXML(e)
+	if err != nil {
+		t.Fatalf("MarshalXML: %v", err)
+	}
+	decoded, err := xacml.UnmarshalXML(data)
+	if err != nil {
+		t.Fatalf("UnmarshalXML: %v", err)
+	}
+	return decoded
+}
+
+// handBuiltClinic is the standard-model twin of the first policy in
+// clinicSrc, written directly against the policy API. Compiled dialect
+// policies must be decision-equivalent to it.
+func handBuiltClinic() *policy.Policy {
+	return policy.NewPolicy("records").
+		Combining(policy.FirstApplicable).
+		When(
+			policy.MatchResource(policy.AttrResourceType, policy.String("patient-record")),
+			policy.MatchResource(policy.AttrResourceDomain, policy.String("hospital-b")),
+		).
+		Rule(policy.Permit("doctors-read").
+			If(policy.And(
+				policy.AttrContains(policy.CategorySubject, policy.AttrSubjectRole, policy.String("doctor")),
+				policy.Call(policy.FnEqual,
+					policy.Call(policy.FnOneAndOnly, policy.ActionAttr(policy.AttrActionID)),
+					policy.Lit(policy.String("read"))),
+			)).
+			Obligation(policy.Obligation{
+				ID:        "log",
+				FulfillOn: policy.EffectPermit,
+				Assignments: []policy.Assignment{
+					{Name: "level", Expr: policy.Lit(policy.String("info"))},
+					{Name: "count", Expr: policy.Lit(policy.Integer(1))},
+				},
+			}).
+			Build()).
+		Rule(policy.Permit("senior-write").
+			If(policy.And(
+				policy.Call(policy.FnGreaterThan,
+					policy.Call(policy.FnOneAndOnly, policy.SubjectAttr(policy.AttrClearance)),
+					policy.Lit(policy.Integer(3))),
+				policy.Call(policy.FnEqual,
+					policy.Call(policy.FnOneAndOnly, policy.ActionAttr(policy.AttrActionID)),
+					policy.Lit(policy.String("write"))),
+			)).
+			Build()).
+		Rule(policy.Deny("default").
+			Obligation(policy.RequireObligation("alert", policy.EffectDeny, nil)).
+			Build()).
+		Build()
+}
+
+// clinicRequests spans permit, deny, not-applicable and indeterminate
+// outcomes for the clinic policy.
+func clinicRequests() []*policy.Request {
+	base := func(subject, action string) *policy.Request {
+		return policy.NewAccessRequest(subject, "rec-1", action).
+			Add(policy.CategoryResource, policy.AttrResourceType, policy.String("patient-record")).
+			Add(policy.CategoryResource, policy.AttrResourceDomain, policy.String("hospital-b"))
+	}
+	doctor := base("alice", "read").
+		Add(policy.CategorySubject, policy.AttrSubjectRole, policy.String("doctor"))
+	multiRole := base("bob", "read").
+		Add(policy.CategorySubject, policy.AttrSubjectRole, policy.String("nurse"), policy.String("doctor"))
+	senior := base("carol", "write").
+		Add(policy.CategorySubject, policy.AttrClearance, policy.Integer(4))
+	junior := base("dave", "write").
+		Add(policy.CategorySubject, policy.AttrClearance, policy.Integer(2))
+	// Two clearance values make one-and-only fail: Indeterminate.
+	confused := base("eve", "write").
+		Add(policy.CategorySubject, policy.AttrClearance, policy.Integer(4), policy.Integer(5))
+	otherDomain := policy.NewAccessRequest("alice", "rec-1", "read").
+		Add(policy.CategoryResource, policy.AttrResourceType, policy.String("patient-record")).
+		Add(policy.CategoryResource, policy.AttrResourceDomain, policy.String("hospital-a"))
+	return []*policy.Request{doctor, multiRole, senior, junior, confused, otherDomain, policy.NewRequest()}
+}
+
+func TestCompiledClinicMatchesHandBuilt(t *testing.T) {
+	doc, err := Parse(clinicSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pols, err := Compile(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pols) != 2 {
+		t.Fatalf("compiled %d policies, want 2", len(pols))
+	}
+	compiled, want := pols[0], handBuiltClinic()
+	at := time.Date(2026, 6, 12, 11, 0, 0, 0, time.UTC)
+	for i, req := range clinicRequests() {
+		got := compiled.Evaluate(policy.NewContextAt(req, at))
+		exp := want.Evaluate(policy.NewContextAt(req, at))
+		if got.Decision != exp.Decision {
+			t.Errorf("request %d: compiled %v, hand-built %v", i, got.Decision, exp.Decision)
+		}
+		if got.By != exp.By {
+			t.Errorf("request %d: decider %q vs %q", i, got.By, exp.By)
+		}
+		if len(got.Obligations) != len(exp.Obligations) {
+			t.Errorf("request %d: obligations %d vs %d", i, len(got.Obligations), len(exp.Obligations))
+		}
+	}
+}
+
+func TestCompiledObligationAssignments(t *testing.T) {
+	doc, err := Parse(clinicSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pols, err := Compile(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := clinicRequests()[0] // alice the doctor
+	res := pols[0].Evaluate(policy.NewContext(req))
+	if res.Decision != policy.DecisionPermit || len(res.Obligations) != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	ob := res.Obligations[0]
+	if ob.ID != "log" {
+		t.Fatalf("obligation = %+v", ob)
+	}
+	if !ob.Attributes["level"].Equal(policy.String("info")) {
+		t.Errorf("level = %v", ob.Attributes["level"])
+	}
+	if !ob.Attributes["count"].Equal(policy.Integer(1)) {
+		t.Errorf("count = %v", ob.Attributes["count"])
+	}
+}
+
+func TestCompileComparisonDirections(t *testing.T) {
+	// Ordered comparisons appear flipped in targets (the match convention
+	// passes the constant first); both target and condition forms must
+	// mean the same thing.
+	src := `
+policy gate first-applicable {
+  target subject.clearance > 2
+  permit ok when subject.clearance > 2
+  deny no
+}`
+	set, err := Translate("t", policy.DenyOverrides, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		clearance int64
+		want      policy.Decision
+	}{
+		{3, policy.DecisionPermit},
+		{2, policy.DecisionNotApplicable}, // target does not match: 2 > 2 is false
+		{1, policy.DecisionNotApplicable},
+	}
+	for _, tt := range cases {
+		req := policy.NewAccessRequest("u", "r", "a").
+			Add(policy.CategorySubject, policy.AttrClearance, policy.Integer(tt.clearance))
+		if got := set.Evaluate(policy.NewContext(req)); got.Decision != tt.want {
+			t.Errorf("clearance %d: got %v, want %v", tt.clearance, got.Decision, tt.want)
+		}
+	}
+	// The strictly-between shape: target <= upper bound, condition > lower.
+	src = `
+policy band first-applicable {
+  target subject.clearance <= 5 and subject.clearance >= 2
+  permit in-band
+}`
+	set, err = Translate("t2", policy.DenyOverrides, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for clearance, want := range map[int64]policy.Decision{
+		1: policy.DecisionNotApplicable,
+		2: policy.DecisionPermit,
+		5: policy.DecisionPermit,
+		6: policy.DecisionNotApplicable,
+	} {
+		req := policy.NewAccessRequest("u", "r", "a").
+			Add(policy.CategorySubject, policy.AttrClearance, policy.Integer(clearance))
+		if got := set.Evaluate(policy.NewContext(req)); got.Decision != want {
+			t.Errorf("clearance %d: got %v, want %v", clearance, got.Decision, want)
+		}
+	}
+}
+
+func TestCompileStringOperators(t *testing.T) {
+	src := `
+policy strings deny-unless-permit {
+  permit prefixed when subject.subject-id startswith "svc-"
+  permit infix when resource.owner contains "lab"
+  permit exact when not subject.subject-id != "root"
+}`
+	set, err := Translate("s", policy.DenyOverrides, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		req  *policy.Request
+		want policy.Decision
+	}{
+		{"prefix", policy.NewAccessRequest("svc-backup", "r", "a"), policy.DecisionPermit},
+		{"no-prefix", policy.NewAccessRequest("backup-svc", "r", "a"), policy.DecisionDeny},
+		{"contains", policy.NewAccessRequest("u", "r", "a").
+			Add(policy.CategoryResource, policy.AttrResourceOwner, policy.String("bio-lab-7")), policy.DecisionPermit},
+		{"double-negation", policy.NewAccessRequest("root", "r", "a"), policy.DecisionPermit},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := set.Evaluate(policy.NewContext(tt.req)); got.Decision != tt.want {
+				t.Errorf("got %v, want %v", got.Decision, tt.want)
+			}
+		})
+	}
+}
+
+func TestCompileRejectsDuplicateRuleIDs(t *testing.T) {
+	_, err := Translate("d", policy.DenyOverrides,
+		`policy p first-applicable { permit r deny r }`)
+	if err == nil || !strings.Contains(err.Error(), "duplicate rule ID") {
+		t.Errorf("err = %v, want duplicate rule ID", err)
+	}
+}
+
+func TestTranslateParseFailure(t *testing.T) {
+	if _, err := Translate("x", policy.DenyOverrides, "policy"); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestCompileSetValidates(t *testing.T) {
+	doc, err := Parse(`policy p first-applicable { permit r }
+policy p first-applicable { permit r }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompileSet("dup", policy.DenyOverrides, doc); err == nil {
+		t.Error("duplicate policy IDs must fail set validation")
+	}
+}
+
+// TestCompiledSurvivesCodecs closes the interoperability loop of Section
+// 3.1: a local-dialect policy, translated to the standard model, must
+// survive the standard XML codec and still decide identically.
+func TestCompiledSurvivesCodecs(t *testing.T) {
+	set, err := Translate("clinic", policy.DenyOverrides, clinicSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := time.Date(2026, 6, 12, 11, 0, 0, 0, time.UTC)
+	for i, req := range clinicRequests() {
+		want := set.Evaluate(policy.NewContextAt(req, at))
+		got := reencode(t, set).Evaluate(policy.NewContextAt(req, at))
+		if got.Decision != want.Decision || got.By != want.By {
+			t.Errorf("request %d: reencoded %v/%q, want %v/%q", i, got.Decision, got.By, want.Decision, want.By)
+		}
+	}
+}

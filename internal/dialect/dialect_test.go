@@ -1,0 +1,254 @@
+package dialect
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lex(`policy p first-applicable { # comment
+  target subject.role == "doc\"tor" and resource.clearance >= 3
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokenKind
+	var texts []string
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+		texts = append(texts, tok.Text)
+	}
+	wantKinds := []TokenKind{
+		TokenIdent, TokenIdent, TokenIdent, TokenLBrace,
+		TokenIdent, TokenIdent, TokenDot, TokenIdent, TokenEq, TokenString,
+		TokenIdent, TokenIdent, TokenDot, TokenIdent, TokenGte, TokenInt,
+		TokenRBrace, TokenEOF,
+	}
+	if !reflect.DeepEqual(kinds, wantKinds) {
+		t.Errorf("kinds = %v\nwant    %v\ntexts: %q", kinds, wantKinds, texts)
+	}
+	if texts[9] != `doc"tor` {
+		t.Errorf("escaped string = %q", texts[9])
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := lex("policy\n  p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (Pos{Line: 1, Col: 1}) {
+		t.Errorf("first token at %v", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{Line: 2, Col: 3}) {
+		t.Errorf("second token at %v", toks[1].Pos)
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := lex(`5 -3 2.5 -0.25 subject.x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		kind TokenKind
+		text string
+	}{
+		{TokenInt, "5"}, {TokenInt, "-3"}, {TokenFloat, "2.5"}, {TokenFloat, "-0.25"},
+		{TokenIdent, "subject"}, {TokenDot, "."}, {TokenIdent, "x"}, {TokenEOF, ""},
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Errorf("token %d = (%v, %q), want (%v, %q)", i, toks[i].Kind, toks[i].Text, w.kind, w.text)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"unterminated", `"abc`, "unterminated string"},
+		{"newline-in-string", "\"ab\nc\"", "unterminated string"},
+		{"bad-escape", `"a\q"`, "unknown escape"},
+		{"lone-bang", `a ! b`, "unexpected '!'"},
+		{"bad-char", `a @ b`, "unexpected character"},
+		{"dash-no-digit", `- x`, "expected digit after '-'"},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := lex(tt.in)
+			if err == nil || !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("err = %v, want contains %q", err, tt.want)
+			}
+			var se *SyntaxError
+			if err != nil && !errors.As(err, &se) {
+				t.Errorf("error is %T, want *SyntaxError", err)
+			}
+		})
+	}
+}
+
+const clinicSrc = `
+# hospital-b local dialect policy
+policy records first-applicable {
+  target resource.resource-type == "patient-record" and resource.resource-domain == "hospital-b"
+  permit doctors-read when subject.role has "doctor" and action.action-id == "read" {
+    obligate log on permit { level = "info" count = 1 }
+  }
+  permit senior-write when subject.clearance > 3 and action.action-id == "write"
+  deny default {
+    obligate alert on deny
+  }
+}
+
+policy "printer room" deny-unless-permit {
+  permit anyone when not (subject.role has "banned") or environment.override == true
+}
+`
+
+func TestParseClinic(t *testing.T) {
+	doc, err := Parse(clinicSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Policies) != 2 {
+		t.Fatalf("policies = %d, want 2", len(doc.Policies))
+	}
+	rec := doc.Policies[0]
+	if rec.Name != "records" || rec.Algorithm != "first-applicable" {
+		t.Errorf("header = %q %q", rec.Name, rec.Algorithm)
+	}
+	if len(rec.Target) != 2 || rec.Target[0].Op != OpEq {
+		t.Errorf("target = %+v", rec.Target)
+	}
+	if len(rec.Rules) != 3 {
+		t.Fatalf("rules = %d, want 3", len(rec.Rules))
+	}
+	read := rec.Rules[0]
+	if read.Name != "doctors-read" || read.Deny || read.When == nil {
+		t.Errorf("rule 0 = %+v", read)
+	}
+	if len(read.Obligations) != 1 || len(read.Obligations[0].Assignments) != 2 {
+		t.Errorf("obligations = %+v", read.Obligations)
+	}
+	deny := rec.Rules[2]
+	if !deny.Deny || deny.When != nil || len(deny.Obligations) != 1 || !deny.Obligations[0].OnDeny {
+		t.Errorf("default rule = %+v", deny)
+	}
+	if doc.Policies[1].Name != "printer room" {
+		t.Errorf("quoted policy name = %q", doc.Policies[1].Name)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{"empty", "", "empty document"},
+		{"not-policy", "target x", `expected "policy"`},
+		{"bad-algorithm", "policy p sometimes { permit r }", "unknown combining algorithm"},
+		{"no-rules", "policy p first-applicable { }", "no rules"},
+		{"dup-target", "policy p first-applicable { target subject.a == 1 target subject.b == 2 permit r }", "duplicate target"},
+		{"target-after-rule", "policy p first-applicable { permit r target subject.a == 1 }", "must precede rules"},
+		{"neq-in-target", `policy p first-applicable { target subject.a != 1 permit r }`, "'!=' is not allowed in targets"},
+		{"bad-category", "policy p first-applicable { target nowhere.a == 1 permit r }", "unknown attribute category"},
+		{"bad-op", "policy p first-applicable { permit r when subject.a near 3 }", "expected comparison operator"},
+		{"has-literal-lhs", `policy p first-applicable { permit r when 3 has "x" }`, `left side of "has" must be an attribute`},
+		{"has-attr-rhs", `policy p first-applicable { permit r when subject.a has resource.b }`, `right side of "has" must be a literal`},
+		{"unclosed-paren", "policy p first-applicable { permit r when (subject.a == 1 }", "expected ')'"},
+		{"bad-on", "policy p first-applicable { permit r { obligate log on maybe } }", "expected 'permit' or 'deny'"},
+		{"junk-in-policy", "policy p first-applicable { permit r 42 }", "expected 'target', 'permit', 'deny' or '}'"},
+		{"missing-assign", "policy p first-applicable { permit r { obligate log on permit { level \"x\" } } }", "expected '='"},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Parse(tt.in)
+			if err == nil || !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("err = %v, want contains %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseErrorsCarryPositions(t *testing.T) {
+	_, err := Parse("policy p first-applicable {\n  permit r when subject.a near 3\n}")
+	var se *SyntaxError
+	if !errors.As(err, &se) {
+		t.Fatalf("error is %T: %v", err, err)
+	}
+	if se.Pos.Line != 2 {
+		t.Errorf("error at %v, want line 2", se.Pos)
+	}
+}
+
+// stripPositions zeroes Pos fields so structural comparison ignores layout.
+func stripPositions(doc *Document) {
+	for _, p := range doc.Policies {
+		p.Pos = Pos{}
+		for i := range p.Target {
+			p.Target[i].Pos = Pos{}
+		}
+		for _, r := range p.Rules {
+			r.Pos = Pos{}
+			stripExprPositions(r.When)
+			for _, ob := range r.Obligations {
+				ob.Pos = Pos{}
+			}
+		}
+	}
+}
+
+func stripExprPositions(e Expr) {
+	switch x := e.(type) {
+	case *LogicalExpr:
+		for _, a := range x.Args {
+			stripExprPositions(a)
+		}
+	case *NotExpr:
+		stripExprPositions(x.X)
+	case *CompareExpr:
+		x.Pos = Pos{}
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	sources := []string{
+		clinicSrc,
+		`policy p deny-overrides { permit r when not subject.a == 1 and (subject.b == 2 or subject.c == 3) }`,
+		`policy p permit-unless-deny { deny r when true }`,
+		`policy "we ird" first-applicable {
+  target subject.role startswith "doc" and subject.clearance <= 2.5
+  permit "spaced rule" when resource.owner contains "x" {
+    obligate "audit log" on permit { "strange key" = -7 }
+  }
+}`,
+	}
+	for i, src := range sources {
+		doc, err := Parse(src)
+		if err != nil {
+			t.Fatalf("source %d: %v", i, err)
+		}
+		text := Format(doc)
+		doc2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("source %d: reparse: %v\nformatted:\n%s", i, err, text)
+		}
+		stripPositions(doc)
+		stripPositions(doc2)
+		if !reflect.DeepEqual(doc, doc2) {
+			t.Errorf("source %d: round trip diverges\nformatted:\n%s\nfirst:  %#v\nsecond: %#v",
+				i, text, doc, doc2)
+		}
+		// Format must itself be a fixpoint.
+		if text2 := Format(doc2); text2 != text {
+			t.Errorf("source %d: Format not a fixpoint:\n%s\nvs\n%s", i, text, text2)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+// Package dialect implements a local access-control policy language and its
+// translation into the repository's standard policy model.
+//
+// Section 3.1 of the paper ("Policy Heterogeneity Management") observes that
+// domains joining a federation arrive with their own policy languages, and
+// names two integration strategies: mediating between representations with
+// meta-policies, or converging on one standard language. This package models
+// the situation concretely: it defines a compact rule dialect of the kind a
+// single organisation would grow locally, for example
+//
+//	policy records first-applicable {
+//	  target resource.resource-type == "patient-record"
+//	  permit doctors-read when subject.role has "doctor" and action.action-id == "read" {
+//	    obligate log on permit { level = "info" }
+//	  }
+//	  deny default
+//	}
+//
+// and provides the convergence path: Parse builds an AST with positioned
+// error reporting, Compile translates the AST into policy.Policy values with
+// identical decision semantics, and Format renders an AST back to canonical
+// dialect text (Parse∘Format is the identity on parsed documents, which the
+// tests verify by property).
+//
+// The translation is semantics-preserving by construction: target atoms
+// become policy.Match entries (with comparison operands flipped to fit the
+// match calling convention, where the predicate receives the policy constant
+// first), and rule conditions become expression trees over the standard
+// function registry.
+package dialect

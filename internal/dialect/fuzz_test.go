@@ -1,0 +1,75 @@
+package dialect
+
+import (
+	"testing"
+
+	"repro/internal/policy"
+)
+
+// FuzzParse drives the lexer, parser and compiler with arbitrary input.
+// The contract under fuzzing: never panic; on a successful parse, Format
+// must re-parse to an equivalent document and Compile must either fail
+// cleanly or produce policies that Validate.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		clinicSrc,
+		`policy p first-applicable { permit r }`,
+		`policy p deny-overrides { target subject.role == "a" deny d when not (true or false) }`,
+		`policy "q x" permit-unless-deny { permit r when subject.a has 3 { obligate o on deny { k = 2.5 } } }`,
+		`policy p first-applicable { permit r when subject.a startswith "x" and resource.b <= -4 }`,
+		"policy p first-applicable {\n  # comment\n  deny r\n}",
+		`policy`,
+		`policy p bogus { permit r }`,
+		`{}[]==..""`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		doc, err := Parse(src)
+		if err != nil {
+			return
+		}
+		text := Format(doc)
+		doc2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("formatted output does not reparse: %v\ninput: %q\nformatted:\n%s", err, src, text)
+		}
+		if len(doc2.Policies) != len(doc.Policies) {
+			t.Fatalf("round trip changed policy count: %d -> %d", len(doc.Policies), len(doc2.Policies))
+		}
+		pols, err := Compile(doc)
+		if err != nil {
+			return // clean compile refusals (e.g. duplicate IDs) are fine
+		}
+		for _, p := range pols {
+			if verr := p.Validate(); verr != nil {
+				t.Fatalf("compiled policy fails validation: %v\ninput: %q", verr, src)
+			}
+		}
+	})
+}
+
+// FuzzCompiledEvaluation checks that compiled policies never panic during
+// evaluation, whatever the request shape.
+func FuzzCompiledEvaluation(f *testing.F) {
+	f.Add(clinicSrc, "alice", "rec-1", "read", "doctor")
+	f.Add(`policy p first-applicable { permit r when subject.clearance > 2 }`, "", "", "", "")
+	f.Fuzz(func(t *testing.T, src, subject, resource, action, role string) {
+		set, err := Translate("fuzz", policy.DenyOverrides, src)
+		if err != nil {
+			return
+		}
+		req := policy.NewAccessRequest(subject, resource, action)
+		if role != "" {
+			req.Add(policy.CategorySubject, policy.AttrSubjectRole, policy.String(role))
+		}
+		res := set.Evaluate(policy.NewContext(req))
+		switch res.Decision {
+		case policy.DecisionPermit, policy.DecisionDeny,
+			policy.DecisionNotApplicable, policy.DecisionIndeterminate:
+		default:
+			t.Fatalf("evaluation produced invalid decision %d", int(res.Decision))
+		}
+	})
+}

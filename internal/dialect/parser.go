@@ -1,0 +1,437 @@
+package dialect
+
+import (
+	"strconv"
+)
+
+// Parse builds the AST for a dialect source document.
+func Parse(src string) (*Document, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	doc := &Document{}
+	for !p.at(TokenEOF) {
+		decl, err := p.parsePolicy()
+		if err != nil {
+			return nil, err
+		}
+		doc.Policies = append(doc.Policies, decl)
+	}
+	if len(doc.Policies) == 0 {
+		return nil, errAt(p.peek().Pos, "empty document: expected at least one policy")
+	}
+	return doc, nil
+}
+
+type parser struct {
+	toks []Token
+	off  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.off] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.off]
+	if t.Kind != TokenEOF {
+		p.off++
+	}
+	return t
+}
+
+func (p *parser) at(kind TokenKind) bool { return p.peek().Kind == kind }
+
+// atKeyword reports whether the next token is the given bare identifier.
+func (p *parser) atKeyword(kw string) bool {
+	t := p.peek()
+	return t.Kind == TokenIdent && t.Text == kw
+}
+
+func (p *parser) expect(kind TokenKind) (Token, error) {
+	t := p.peek()
+	if t.Kind != kind {
+		return Token{}, errAt(t.Pos, "expected %s, found %s %q", kind, t.Kind, t.Text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) expectKeyword(kw string) (Token, error) {
+	t := p.peek()
+	if t.Kind != TokenIdent || t.Text != kw {
+		return Token{}, errAt(t.Pos, "expected %q, found %s %q", kw, t.Kind, t.Text)
+	}
+	return p.next(), nil
+}
+
+// parseName accepts a bare identifier or a quoted string as an entity name.
+func (p *parser) parseName(what string) (string, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokenIdent, TokenString:
+		p.next()
+		return t.Text, nil
+	default:
+		return "", errAt(t.Pos, "expected %s name, found %s %q", what, t.Kind, t.Text)
+	}
+}
+
+var knownAlgorithms = map[string]bool{
+	"deny-overrides":     true,
+	"permit-overrides":   true,
+	"first-applicable":   true,
+	"deny-unless-permit": true,
+	"permit-unless-deny": true,
+}
+
+func (p *parser) parsePolicy() (*PolicyDecl, error) {
+	kw, err := p.expectKeyword("policy")
+	if err != nil {
+		return nil, err
+	}
+	decl := &PolicyDecl{Pos: kw.Pos}
+	if decl.Name, err = p.parseName("policy"); err != nil {
+		return nil, err
+	}
+	alg, err := p.expect(TokenIdent)
+	if err != nil {
+		return nil, err
+	}
+	if !knownAlgorithms[alg.Text] {
+		return nil, errAt(alg.Pos, "unknown combining algorithm %q", alg.Text)
+	}
+	decl.Algorithm = alg.Text
+	if _, err := p.expect(TokenLBrace); err != nil {
+		return nil, err
+	}
+	for !p.at(TokenRBrace) {
+		switch {
+		case p.atKeyword("target"):
+			if len(decl.Target) > 0 {
+				return nil, errAt(p.peek().Pos, "duplicate target clause")
+			}
+			if len(decl.Rules) > 0 {
+				return nil, errAt(p.peek().Pos, "target clause must precede rules")
+			}
+			p.next()
+			if decl.Target, err = p.parseTarget(); err != nil {
+				return nil, err
+			}
+		case p.atKeyword("permit"), p.atKeyword("deny"):
+			r, err := p.parseRule()
+			if err != nil {
+				return nil, err
+			}
+			decl.Rules = append(decl.Rules, r)
+		default:
+			t := p.peek()
+			return nil, errAt(t.Pos, "expected 'target', 'permit', 'deny' or '}', found %s %q", t.Kind, t.Text)
+		}
+	}
+	p.next() // }
+	if len(decl.Rules) == 0 {
+		return nil, errAt(decl.Pos, "policy %s has no rules", decl.Name)
+	}
+	return decl, nil
+}
+
+func (p *parser) parseTarget() ([]Atom, error) {
+	var atoms []Atom
+	for {
+		a, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		atoms = append(atoms, a)
+		if !p.atKeyword("and") {
+			return atoms, nil
+		}
+		p.next()
+	}
+}
+
+var comparisonOps = map[TokenKind]string{
+	TokenEq:  OpEq,
+	TokenNeq: OpNeq,
+	TokenLt:  OpLt,
+	TokenLte: OpLte,
+	TokenGt:  OpGt,
+	TokenGte: OpGte,
+}
+
+var wordOps = map[string]string{
+	"has":        OpHas,
+	"startswith": OpStartsWith,
+	"contains":   OpContains,
+}
+
+func (p *parser) parseOp() (string, error) {
+	t := p.peek()
+	if op, ok := comparisonOps[t.Kind]; ok {
+		p.next()
+		return op, nil
+	}
+	if t.Kind == TokenIdent {
+		if op, ok := wordOps[t.Text]; ok {
+			p.next()
+			return op, nil
+		}
+	}
+	return "", errAt(t.Pos, "expected comparison operator, found %s %q", t.Kind, t.Text)
+}
+
+// parseAtom parses one target constraint: attrref op literal.
+func (p *parser) parseAtom() (Atom, error) {
+	pos := p.peek().Pos
+	attr, err := p.parseAttrRef()
+	if err != nil {
+		return Atom{}, err
+	}
+	op, err := p.parseOp()
+	if err != nil {
+		return Atom{}, err
+	}
+	if op == OpNeq {
+		return Atom{}, errAt(pos, "'!=' is not allowed in targets; express exclusions as rule conditions")
+	}
+	lit, err := p.parseLiteral()
+	if err != nil {
+		return Atom{}, err
+	}
+	return Atom{Attr: attr, Op: op, Value: lit, Pos: pos}, nil
+}
+
+var knownCategories = map[string]bool{
+	"subject": true, "resource": true, "action": true, "environment": true,
+}
+
+func (p *parser) parseAttrRef() (AttrRef, error) {
+	cat, err := p.expect(TokenIdent)
+	if err != nil {
+		return AttrRef{}, err
+	}
+	if !knownCategories[cat.Text] {
+		return AttrRef{}, errAt(cat.Pos, "unknown attribute category %q (want subject, resource, action or environment)", cat.Text)
+	}
+	if _, err := p.expect(TokenDot); err != nil {
+		return AttrRef{}, err
+	}
+	name := p.peek()
+	if name.Kind != TokenIdent && name.Kind != TokenString {
+		return AttrRef{}, errAt(name.Pos, "expected attribute name, found %s %q", name.Kind, name.Text)
+	}
+	p.next()
+	return AttrRef{Category: cat.Text, Name: name.Text}, nil
+}
+
+func (p *parser) parseLiteral() (Literal, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokenString:
+		p.next()
+		return Literal{Kind: LitString, Str: t.Text}, nil
+	case TokenInt:
+		i, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return Literal{}, errAt(t.Pos, "invalid integer %q", t.Text)
+		}
+		p.next()
+		return Literal{Kind: LitInt, Int: i}, nil
+	case TokenFloat:
+		f, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return Literal{}, errAt(t.Pos, "invalid number %q", t.Text)
+		}
+		p.next()
+		return Literal{Kind: LitFloat, Float: f}, nil
+	case TokenIdent:
+		if t.Text == "true" || t.Text == "false" {
+			p.next()
+			return Literal{Kind: LitBool, Bool: t.Text == "true"}, nil
+		}
+	}
+	return Literal{}, errAt(t.Pos, "expected literal, found %s %q", t.Kind, t.Text)
+}
+
+func (p *parser) parseRule() (*RuleDecl, error) {
+	kw := p.next() // permit | deny
+	r := &RuleDecl{Deny: kw.Text == "deny", Pos: kw.Pos}
+	var err error
+	if r.Name, err = p.parseName("rule"); err != nil {
+		return nil, err
+	}
+	if p.atKeyword("when") {
+		p.next()
+		if r.When, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	if p.at(TokenLBrace) {
+		p.next()
+		for !p.at(TokenRBrace) {
+			ob, err := p.parseObligation()
+			if err != nil {
+				return nil, err
+			}
+			r.Obligations = append(r.Obligations, ob)
+		}
+		p.next() // }
+	}
+	return r, nil
+}
+
+func (p *parser) parseObligation() (*ObligationDecl, error) {
+	kw, err := p.expectKeyword("obligate")
+	if err != nil {
+		return nil, err
+	}
+	ob := &ObligationDecl{Pos: kw.Pos}
+	if ob.Name, err = p.parseName("obligation"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expectKeyword("on"); err != nil {
+		return nil, err
+	}
+	on := p.peek()
+	switch {
+	case on.Kind == TokenIdent && on.Text == "permit":
+		p.next()
+	case on.Kind == TokenIdent && on.Text == "deny":
+		ob.OnDeny = true
+		p.next()
+	default:
+		return nil, errAt(on.Pos, "expected 'permit' or 'deny' after 'on', found %s %q", on.Kind, on.Text)
+	}
+	if p.at(TokenLBrace) {
+		p.next()
+		for !p.at(TokenRBrace) {
+			name, err := p.parseName("assignment")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokenAssign); err != nil {
+				return nil, err
+			}
+			lit, err := p.parseLiteral()
+			if err != nil {
+				return nil, err
+			}
+			ob.Assignments = append(ob.Assignments, Assignment{Name: name, Value: lit})
+		}
+		p.next() // }
+	}
+	return ob, nil
+}
+
+// parseExpr parses an or-expression, the lowest-precedence level.
+func (p *parser) parseExpr() (Expr, error) {
+	lhs, err := p.parseAndExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atKeyword("or") {
+		return lhs, nil
+	}
+	args := []Expr{lhs}
+	for p.atKeyword("or") {
+		p.next()
+		arg, err := p.parseAndExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, arg)
+	}
+	return &LogicalExpr{Or: true, Args: args}, nil
+}
+
+func (p *parser) parseAndExpr() (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atKeyword("and") {
+		return lhs, nil
+	}
+	args := []Expr{lhs}
+	for p.atKeyword("and") {
+		p.next()
+		arg, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, arg)
+	}
+	return &LogicalExpr{Args: args}, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.atKeyword("not") {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{X: x}, nil
+	}
+	if p.at(TokenLParen) {
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokenRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	pos := p.peek().Pos
+	lhs, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	// A bare boolean literal is a valid condition.
+	if !lhs.IsAttr && lhs.Lit.Kind == LitBool {
+		if _, isOp := comparisonOps[p.peek().Kind]; !isOp {
+			if p.peek().Kind != TokenIdent || wordOps[p.peek().Text] == "" {
+				return &LiteralExpr{Value: lhs.Lit}, nil
+			}
+		}
+	}
+	op, err := p.parseOp()
+	if err != nil {
+		return nil, err
+	}
+	rhs, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	if op == OpHas || op == OpStartsWith || op == OpContains {
+		if !lhs.IsAttr {
+			return nil, errAt(pos, "left side of %q must be an attribute", op)
+		}
+		if rhs.IsAttr {
+			return nil, errAt(pos, "right side of %q must be a literal", op)
+		}
+	}
+	return &CompareExpr{Op: op, LHS: lhs, RHS: rhs, Pos: pos}, nil
+}
+
+func (p *parser) parseOperand() (Operand, error) {
+	t := p.peek()
+	if t.Kind == TokenIdent && knownCategories[t.Text] {
+		attr, err := p.parseAttrRef()
+		if err != nil {
+			return Operand{}, err
+		}
+		return Operand{IsAttr: true, Attr: attr}, nil
+	}
+	lit, err := p.parseLiteral()
+	if err != nil {
+		return Operand{}, err
+	}
+	return Operand{Lit: lit}, nil
+}

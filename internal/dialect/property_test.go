@@ -1,0 +1,256 @@
+package dialect
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+)
+
+// Property tests: randomly generated documents must survive
+// Format∘Parse structurally, and their compiled form must decide
+// identically before and after the text round trip. A separate robustness
+// property feeds the parser random garbage, which must error (never
+// panic, never mis-accept).
+
+type docGen struct {
+	r *rand.Rand
+	n int
+}
+
+func newDocGen(seed int64) *docGen { return &docGen{r: rand.New(rand.NewSource(seed))} }
+
+func (g *docGen) id(prefix string) string {
+	g.n++
+	return fmt.Sprintf("%s-%d", prefix, g.n)
+}
+
+// name sometimes produces strings that need quoting.
+func (g *docGen) name(prefix string) string {
+	if g.r.Intn(4) == 0 {
+		g.n++
+		return prefix + " with spaces " + fmt.Sprint(g.n)
+	}
+	return g.id(prefix)
+}
+
+var docGenAttrs = []string{"role", "clearance", "dept", "resource-id", "action-id", "owner"}
+
+var docGenCategories = []string{"subject", "resource", "action", "environment"}
+
+func (g *docGen) attrRef() AttrRef {
+	return AttrRef{
+		Category: docGenCategories[g.r.Intn(len(docGenCategories))],
+		Name:     docGenAttrs[g.r.Intn(len(docGenAttrs))],
+	}
+}
+
+func (g *docGen) literal() Literal {
+	switch g.r.Intn(4) {
+	case 0:
+		return Literal{Kind: LitString, Str: g.id("v")}
+	case 1:
+		return Literal{Kind: LitInt, Int: int64(g.r.Intn(201) - 100)}
+	case 2:
+		return Literal{Kind: LitFloat, Float: float64(g.r.Intn(1000)) / 16}
+	default:
+		return Literal{Kind: LitBool, Bool: g.r.Intn(2) == 0}
+	}
+}
+
+func (g *docGen) stringLiteral() Literal {
+	return Literal{Kind: LitString, Str: g.id("s")}
+}
+
+var atomOps = []string{OpEq, OpHas, OpStartsWith, OpContains, OpLt, OpLte, OpGt, OpGte}
+
+func (g *docGen) atom() Atom {
+	op := atomOps[g.r.Intn(len(atomOps))]
+	lit := g.literal()
+	if op == OpStartsWith || op == OpContains {
+		lit = g.stringLiteral()
+	}
+	return Atom{Attr: g.attrRef(), Op: op, Value: lit}
+}
+
+func (g *docGen) expr(depth int) Expr {
+	if depth <= 0 {
+		switch g.r.Intn(3) {
+		case 0:
+			return &LiteralExpr{Value: Literal{Kind: LitBool, Bool: g.r.Intn(2) == 0}}
+		case 1:
+			return &CompareExpr{Op: OpHas,
+				LHS: Operand{IsAttr: true, Attr: g.attrRef()},
+				RHS: Operand{Lit: g.literal()}}
+		default:
+			ops := []string{OpEq, OpNeq, OpLt, OpLte, OpGt, OpGte}
+			return &CompareExpr{Op: ops[g.r.Intn(len(ops))],
+				LHS: Operand{IsAttr: true, Attr: g.attrRef()},
+				RHS: Operand{Lit: g.literal()}}
+		}
+	}
+	switch g.r.Intn(3) {
+	case 0:
+		return &NotExpr{X: g.expr(depth - 1)}
+	case 1:
+		n := 2 + g.r.Intn(2)
+		args := make([]Expr, n)
+		for i := range args {
+			args[i] = g.expr(depth - 1)
+		}
+		return &LogicalExpr{Or: true, Args: args}
+	default:
+		n := 2 + g.r.Intn(2)
+		args := make([]Expr, n)
+		for i := range args {
+			args[i] = g.expr(depth - 1)
+		}
+		return &LogicalExpr{Args: args}
+	}
+}
+
+func (g *docGen) rule() *RuleDecl {
+	r := &RuleDecl{Name: g.name("rule"), Deny: g.r.Intn(2) == 0}
+	if g.r.Intn(3) > 0 {
+		r.When = g.expr(1 + g.r.Intn(2))
+	}
+	for i := 0; i < g.r.Intn(3); i++ {
+		ob := &ObligationDecl{Name: g.name("ob"), OnDeny: g.r.Intn(2) == 0}
+		for j := 0; j < g.r.Intn(3); j++ {
+			ob.Assignments = append(ob.Assignments, Assignment{Name: g.name("k"), Value: g.literal()})
+		}
+		r.Obligations = append(r.Obligations, ob)
+	}
+	return r
+}
+
+var docGenAlgorithms = []string{
+	"deny-overrides", "permit-overrides", "first-applicable",
+	"deny-unless-permit", "permit-unless-deny",
+}
+
+func (g *docGen) policy() *PolicyDecl {
+	p := &PolicyDecl{
+		Name:      g.name("pol"),
+		Algorithm: docGenAlgorithms[g.r.Intn(len(docGenAlgorithms))],
+	}
+	for i := 0; i < g.r.Intn(3); i++ {
+		p.Target = append(p.Target, g.atom())
+	}
+	for i := 0; i < 1+g.r.Intn(4); i++ {
+		p.Rules = append(p.Rules, g.rule())
+	}
+	return p
+}
+
+func (g *docGen) document() *Document {
+	doc := &Document{}
+	for i := 0; i < 1+g.r.Intn(4); i++ {
+		doc.Policies = append(doc.Policies, g.policy())
+	}
+	return doc
+}
+
+func (g *docGen) request() *policy.Request {
+	req := policy.NewRequest()
+	cats := []policy.Category{
+		policy.CategorySubject, policy.CategoryResource,
+		policy.CategoryAction, policy.CategoryEnvironment,
+	}
+	for _, cat := range cats {
+		for i := 0; i < g.r.Intn(4); i++ {
+			name := docGenAttrs[g.r.Intn(len(docGenAttrs))]
+			switch g.r.Intn(3) {
+			case 0:
+				req.Add(cat, name, policy.String(g.id("v")))
+			case 1:
+				req.Add(cat, name, policy.Integer(int64(g.r.Intn(201)-100)))
+			default:
+				req.Add(cat, name, policy.Boolean(g.r.Intn(2) == 0))
+			}
+		}
+	}
+	return req
+}
+
+func TestPropertyFormatParseRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 80; seed++ {
+		g := newDocGen(seed)
+		doc := g.document()
+		text := Format(doc)
+		parsed, err := Parse(text)
+		if err != nil {
+			t.Fatalf("seed %d: reparse failed: %v\nformatted:\n%s", seed, err, text)
+		}
+		stripPositions(parsed)
+		stripPositions(doc)
+		if !reflect.DeepEqual(doc, parsed) {
+			t.Fatalf("seed %d: structural round trip diverges\nformatted:\n%s", seed, text)
+		}
+	}
+}
+
+func TestPropertyCompileSurvivesTextRoundTrip(t *testing.T) {
+	at := time.Date(2026, 6, 12, 14, 0, 0, 0, time.UTC)
+	for seed := int64(100); seed < 160; seed++ {
+		g := newDocGen(seed)
+		doc := g.document()
+		direct, err := CompileSet("prop", policy.DenyOverrides, doc)
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+		text := Format(doc)
+		viaText, err := Translate("prop", policy.DenyOverrides, text)
+		if err != nil {
+			t.Fatalf("seed %d: translate formatted text: %v\n%s", seed, err, text)
+		}
+		for i := 0; i < 20; i++ {
+			req := g.request()
+			a := direct.Evaluate(policy.NewContextAt(req, at))
+			b := viaText.Evaluate(policy.NewContextAt(req, at))
+			if a.Decision != b.Decision || a.By != b.By {
+				t.Fatalf("seed %d request %d: %v/%q vs %v/%q\nsource:\n%s",
+					seed, i, a.Decision, a.By, b.Decision, b.By, text)
+			}
+		}
+	}
+}
+
+func TestPropertyParserNeverPanics(t *testing.T) {
+	// Token soup: random fragments of valid syntax glued together. The
+	// parser must return an error or a document, never panic.
+	fragments := []string{
+		"policy", "permit", "deny", "target", "when", "obligate", "on",
+		"and", "or", "not", "has", "startswith", "{", "}", "(", ")",
+		"==", "!=", "<", "<=", ">", ">=", "=", ".", `"str"`, "42", "-7",
+		"2.5", "true", "false", "subject", "resource", "p", "first-applicable",
+		"subject.role", `"unterminated`, "@",
+	}
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 3000; i++ {
+		n := r.Intn(25)
+		parts := make([]string, n)
+		for j := range parts {
+			parts[j] = fragments[r.Intn(len(fragments))]
+		}
+		src := strings.Join(parts, " ")
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("parser panicked on %q: %v", src, p)
+				}
+			}()
+			doc, err := Parse(src)
+			if err == nil {
+				// Accepted input must at least compile or fail cleanly.
+				if _, cerr := Compile(doc); cerr != nil {
+					_ = cerr // compile errors on valid parses are fine
+				}
+			}
+		}()
+	}
+}

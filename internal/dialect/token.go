@@ -1,0 +1,310 @@
+package dialect
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+// Token kinds. Keywords are reported as TokenIdent and recognised by the
+// parser, so the lexer stays free of grammar knowledge.
+const (
+	TokenIdent TokenKind = iota + 1
+	TokenString
+	TokenInt
+	TokenFloat
+	TokenLBrace // {
+	TokenRBrace // }
+	TokenLParen // (
+	TokenRParen // )
+	TokenDot    // .
+	TokenAssign // =
+	TokenEq     // ==
+	TokenNeq    // !=
+	TokenLt     // <
+	TokenLte    // <=
+	TokenGt     // >
+	TokenGte    // >=
+	TokenEOF
+)
+
+// String names the token kind for error messages.
+func (k TokenKind) String() string {
+	switch k {
+	case TokenIdent:
+		return "identifier"
+	case TokenString:
+		return "string"
+	case TokenInt:
+		return "integer"
+	case TokenFloat:
+		return "number"
+	case TokenLBrace:
+		return "'{'"
+	case TokenRBrace:
+		return "'}'"
+	case TokenLParen:
+		return "'('"
+	case TokenRParen:
+		return "')'"
+	case TokenDot:
+		return "'.'"
+	case TokenAssign:
+		return "'='"
+	case TokenEq:
+		return "'=='"
+	case TokenNeq:
+		return "'!='"
+	case TokenLt:
+		return "'<'"
+	case TokenLte:
+		return "'<='"
+	case TokenGt:
+		return "'>'"
+	case TokenGte:
+		return "'>='"
+	case TokenEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+// Pos locates a token in the source for error reporting.
+type Pos struct {
+	Line, Col int
+}
+
+// String renders the position as line:col.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical unit.
+type Token struct {
+	Kind TokenKind
+	// Text is the token's literal content; for strings it is the decoded
+	// value, without quotes.
+	Text string
+	Pos  Pos
+}
+
+// SyntaxError reports a lexical or grammatical failure with its position.
+type SyntaxError struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string { return fmt.Sprintf("dialect: %s: %s", e.Pos, e.Msg) }
+
+func errAt(pos Pos, format string, args ...any) *SyntaxError {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lexer produces tokens from dialect source.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *lexer) peek() rune {
+	if l.off >= len(l.src) {
+		return -1
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.off:])
+	return r
+}
+
+func (l *lexer) advance() rune {
+	if l.off >= len(l.src) {
+		return -1
+	}
+	r, size := utf8.DecodeRuneInString(l.src[l.off:])
+	l.off += size
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for {
+		r := l.peek()
+		switch {
+		case r == '#':
+			for l.peek() != '\n' && l.peek() != -1 {
+				l.advance()
+			}
+		case r == ' ' || r == '\t' || r == '\r' || r == '\n':
+			l.advance()
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	// Hyphens are identifier characters so names such as first-applicable
+	// and doctors-read lex as single tokens.
+	return r == '_' || r == '-' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// next returns the next token.
+func (l *lexer) next() (Token, error) {
+	l.skipSpaceAndComments()
+	pos := l.pos()
+	r := l.peek()
+	switch {
+	case r == -1:
+		return Token{Kind: TokenEOF, Pos: pos}, nil
+	case r == '{':
+		l.advance()
+		return Token{Kind: TokenLBrace, Text: "{", Pos: pos}, nil
+	case r == '}':
+		l.advance()
+		return Token{Kind: TokenRBrace, Text: "}", Pos: pos}, nil
+	case r == '(':
+		l.advance()
+		return Token{Kind: TokenLParen, Text: "(", Pos: pos}, nil
+	case r == ')':
+		l.advance()
+		return Token{Kind: TokenRParen, Text: ")", Pos: pos}, nil
+	case r == '.':
+		l.advance()
+		return Token{Kind: TokenDot, Text: ".", Pos: pos}, nil
+	case r == '=':
+		l.advance()
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: TokenEq, Text: "==", Pos: pos}, nil
+		}
+		return Token{Kind: TokenAssign, Text: "=", Pos: pos}, nil
+	case r == '!':
+		l.advance()
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: TokenNeq, Text: "!=", Pos: pos}, nil
+		}
+		return Token{}, errAt(pos, "unexpected '!'; did you mean '!='?")
+	case r == '<':
+		l.advance()
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: TokenLte, Text: "<=", Pos: pos}, nil
+		}
+		return Token{Kind: TokenLt, Text: "<", Pos: pos}, nil
+	case r == '>':
+		l.advance()
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: TokenGte, Text: ">=", Pos: pos}, nil
+		}
+		return Token{Kind: TokenGt, Text: ">", Pos: pos}, nil
+	case r == '"':
+		return l.lexString(pos)
+	case unicode.IsDigit(r) || r == '-':
+		return l.lexNumber(pos)
+	case isIdentStart(r):
+		return l.lexIdent(pos), nil
+	default:
+		return Token{}, errAt(pos, "unexpected character %q", r)
+	}
+}
+
+func (l *lexer) lexIdent(pos Pos) Token {
+	var sb strings.Builder
+	for isIdentPart(l.peek()) {
+		sb.WriteRune(l.advance())
+	}
+	return Token{Kind: TokenIdent, Text: sb.String(), Pos: pos}
+}
+
+func (l *lexer) lexNumber(pos Pos) (Token, error) {
+	var sb strings.Builder
+	if l.peek() == '-' {
+		sb.WriteRune(l.advance())
+		if !unicode.IsDigit(l.peek()) {
+			return Token{}, errAt(pos, "expected digit after '-'")
+		}
+	}
+	kind := TokenInt
+	for unicode.IsDigit(l.peek()) {
+		sb.WriteRune(l.advance())
+	}
+	if l.peek() == '.' {
+		// Lookahead: a dot is part of the number only when a digit
+		// follows; otherwise it is the attrref separator.
+		if l.off+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.off+1])) {
+			kind = TokenFloat
+			sb.WriteRune(l.advance())
+			for unicode.IsDigit(l.peek()) {
+				sb.WriteRune(l.advance())
+			}
+		}
+	}
+	return Token{Kind: kind, Text: sb.String(), Pos: pos}, nil
+}
+
+func (l *lexer) lexString(pos Pos) (Token, error) {
+	l.advance() // opening quote
+	var sb strings.Builder
+	for {
+		r := l.advance()
+		switch r {
+		case -1, '\n':
+			return Token{}, errAt(pos, "unterminated string")
+		case '"':
+			return Token{Kind: TokenString, Text: sb.String(), Pos: pos}, nil
+		case '\\':
+			esc := l.advance()
+			switch esc {
+			case '"':
+				sb.WriteByte('"')
+			case '\\':
+				sb.WriteByte('\\')
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case -1:
+				return Token{}, errAt(pos, "unterminated string")
+			default:
+				return Token{}, errAt(l.pos(), "unknown escape \\%c", esc)
+			}
+		default:
+			sb.WriteRune(r)
+		}
+	}
+}
+
+// lex tokenises the whole source, used by tests and the parser.
+func lex(src string) ([]Token, error) {
+	l := newLexer(src)
+	var out []Token
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tok)
+		if tok.Kind == TokenEOF {
+			return out, nil
+		}
+	}
+}

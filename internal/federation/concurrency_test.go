@@ -1,0 +1,64 @@
+package federation
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+)
+
+// TestConcurrentFederatedTraffic drives local and cross-domain pull
+// requests from parallel clients while an administrator republishes the
+// records policy (which rebuilds the PDP root through the PAP watch).
+// Decisions must remain principal-correct throughout: doctors always
+// permitted, visitors never.
+func TestConcurrentFederatedTraffic(t *testing.T) {
+	vo, a, _ := twoHospitalVO(t)
+	const perClient = 80
+	var wg sync.WaitGroup
+	errs := make(chan string, 3)
+
+	run := func(subject, domain string, wantAllowed bool) {
+		defer wg.Done()
+		for i := 0; i < perClient; i++ {
+			out := vo.Request(domain, recordReq(subject, domain), at.Add(time.Duration(i)*time.Second))
+			if out.Allowed != wantAllowed {
+				errs <- subject + ": unexpected outcome"
+				return
+			}
+		}
+	}
+	wg.Add(3)
+	go run("alice", "hospital-a", true)
+	go run("bob", "hospital-b", true)
+	go run("mallory", "hospital-b", false)
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Republishing the same policy exercises the PAP->PDP rebuild
+		// path without changing semantics.
+		for i := 0; i < 40; i++ {
+			if _, err := a.PAP.Put(policy.NewPolicy("records").
+				Combining(policy.FirstApplicable).
+				When(policy.MatchResource(policy.AttrResourceType, policy.String("patient-record"))).
+				Rule(policy.Permit("doctors-read").
+					When(policy.MatchRole("doctor"), policy.MatchActionID("read")).
+					Build()).
+				Rule(policy.Deny("default").Build()).
+				Build()); err != nil {
+				errs <- "republish: " + err.Error()
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+	if got := vo.Audit.Len(); got != 3*perClient {
+		t.Errorf("audit recorded %d events, want %d", got, 3*perClient)
+	}
+}

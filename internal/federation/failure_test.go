@@ -1,0 +1,147 @@
+package federation
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/wire"
+)
+
+// Failure-path behaviour of the federation flows: every infrastructure
+// fault must end in a refusal (fail closed), never a permit and never a
+// hang.
+
+func TestRequestWithoutResourceDomain(t *testing.T) {
+	vo, _, _ := twoHospitalVO(t)
+	req := policy.NewAccessRequest("alice", "rec-7", "read") // no resource-domain
+	out := vo.Request("hospital-a", req, at)
+	if out.Allowed {
+		t.Fatal("domainless request permitted")
+	}
+	if !errors.Is(out.Err, ErrUnknownDomain) {
+		t.Errorf("err = %v, want ErrUnknownDomain", out.Err)
+	}
+}
+
+func TestRequestToUnknownDomain(t *testing.T) {
+	vo, _, _ := twoHospitalVO(t)
+	req := policy.NewAccessRequest("alice", "rec-7", "read").
+		Add(policy.CategoryResource, policy.AttrResourceDomain, policy.String("hospital-z"))
+	if out := vo.Request("hospital-a", req, at); !errors.Is(out.Err, ErrUnknownDomain) {
+		t.Errorf("err = %v, want ErrUnknownDomain", out.Err)
+	}
+}
+
+func TestSubjectFromUnknownDomainFailsClosed(t *testing.T) {
+	vo, _, _ := twoHospitalVO(t)
+	req := policy.NewAccessRequest("ghost", "rec-7", "read").
+		Add(policy.CategorySubject, policy.AttrSubjectDomain, policy.String("hospital-z")).
+		Add(policy.CategoryResource, policy.AttrResourceDomain, policy.String("hospital-a")).
+		Add(policy.CategoryResource, policy.AttrResourceType, policy.String("patient-record"))
+	out := vo.Request("hospital-a", req, at)
+	if out.Allowed {
+		t.Fatal("subject with unknown home domain permitted")
+	}
+}
+
+func TestCrashedPDPFailsClosed(t *testing.T) {
+	vo, _, _ := twoHospitalVO(t)
+	vo.Net.SetNodeDown(PDPAddr("hospital-a"), true)
+	out := vo.Request("hospital-a", recordReq("alice", "hospital-a"), at)
+	if out.Allowed {
+		t.Fatal("request permitted with the PDP down")
+	}
+	if out.Decision == policy.DecisionPermit {
+		t.Errorf("decision = %v", out.Decision)
+	}
+}
+
+func TestCrashedForeignIdPFailsClosed(t *testing.T) {
+	// bob's attributes live in hospital-b; with that IdP down, the
+	// cross-domain read must be refused, not permitted on empty
+	// attributes.
+	vo, _, _ := twoHospitalVO(t)
+	vo.Net.SetNodeDown(IdPAddr("hospital-b"), true)
+	out := vo.Request("hospital-b", recordReq("bob", "hospital-b"), at)
+	if out.Allowed {
+		t.Fatal("cross-domain request permitted with the home IdP down")
+	}
+}
+
+func TestCapabilityForUnknownDomainRefused(t *testing.T) {
+	vo, _, _ := twoHospitalVO(t)
+	req := policy.NewAccessRequest("alice", "rec-7", "read").
+		Add(policy.CategoryResource, policy.AttrResourceDomain, policy.String("hospital-z"))
+	cap, out := vo.RequestCapability("hospital-a", req, at)
+	if cap != nil || out.Allowed {
+		t.Fatalf("capability issued for unknown domain: %+v", out)
+	}
+}
+
+func TestCapabilityRequestMismatchRefused(t *testing.T) {
+	// A capability for rec-7/read presented with a request for rec-8 must
+	// be refused by the outcome binding even though the token verifies.
+	vo, _, _ := twoHospitalVO(t)
+	issueReq := recordReq("alice", "hospital-a")
+	cap, out := vo.RequestCapability("hospital-a", issueReq, at)
+	if cap == nil {
+		t.Fatalf("issuance failed: %v", out.Err)
+	}
+	otherReq := policy.NewAccessRequest("alice", "rec-8", "read").
+		Add(policy.CategoryResource, policy.AttrResourceDomain, policy.String("hospital-a"))
+	out = vo.RequestWithCapability("hospital-a", otherReq, cap, at.Add(time.Minute))
+	if out.Allowed {
+		t.Fatal("capability accepted for a different resource")
+	}
+	if !errors.Is(out.Err, ErrDenied) {
+		t.Errorf("err = %v, want ErrDenied", out.Err)
+	}
+}
+
+func TestPushToUnknownDomainRefused(t *testing.T) {
+	vo, _, _ := twoHospitalVO(t)
+	cap, out := vo.RequestCapability("hospital-a", recordReq("alice", "hospital-a"), at)
+	if cap == nil {
+		t.Fatalf("issuance failed: %v", out.Err)
+	}
+	req := policy.NewAccessRequest("alice", "rec-7", "read").
+		Add(policy.CategoryResource, policy.AttrResourceDomain, policy.String("hospital-z"))
+	if out := vo.RequestWithCapability("hospital-a", req, cap, at); !errors.Is(out.Err, ErrUnknownDomain) {
+		t.Errorf("err = %v, want ErrUnknownDomain", out.Err)
+	}
+}
+
+func TestIdPRejectsMalformedQueries(t *testing.T) {
+	vo, _, _ := twoHospitalVO(t)
+	send := func(body []byte) error {
+		_, err := vo.Net.Send(&wire.Call{}, &wire.Envelope{
+			From: ClientAddr("hospital-a"), To: IdPAddr("hospital-a"),
+			Action: "idp:query", Timestamp: at, Body: body,
+		})
+		return err
+	}
+	if err := send([]byte("not json")); err == nil {
+		t.Error("malformed attribute query accepted")
+	}
+	bad, err := json.Marshal(map[string]string{"subject": "alice", "category": "nowhere", "name": "role"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := send(bad); err == nil {
+		t.Error("unknown category accepted")
+	}
+}
+
+func TestPEPRejectsMalformedAccessBody(t *testing.T) {
+	vo, _, _ := twoHospitalVO(t)
+	_, err := vo.Net.Send(&wire.Call{}, &wire.Envelope{
+		From: ClientAddr("hospital-a"), To: PEPAddr("hospital-a"),
+		Action: "resource:access", Timestamp: at, Body: []byte("garbage"),
+	})
+	if err == nil {
+		t.Error("malformed access body accepted")
+	}
+}

@@ -1,0 +1,283 @@
+// Package ha provides the dependability mechanisms behind the paper's
+// title: replicated Policy Decision Point ensembles that keep authorising
+// under component failure. Two strategies are offered — ordered failover
+// (try replicas until one answers) and quorum voting (majority of all
+// replicas, which additionally masks a minority of corrupt or stale
+// answers) — plus a health monitor that reorders failover chains away from
+// dead replicas.
+//
+// Failure injection is first-class: replicas are wrapped in Failable
+// handles that experiments crash and revive on a virtual-time schedule.
+package ha
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/policy"
+)
+
+// Dependability errors, matched with errors.Is.
+var (
+	// ErrUnavailable reports a crashed or unreachable replica.
+	ErrUnavailable = errors.New("ha: replica unavailable")
+	// ErrAllReplicasDown reports a failover that exhausted its chain.
+	ErrAllReplicasDown = errors.New("ha: all replicas down")
+	// ErrNoQuorum reports a vote without a majority agreement.
+	ErrNoQuorum = errors.New("ha: no quorum")
+)
+
+// DecisionProvider is re-declared from pep to keep the package
+// dependency-light; *pdp.Engine satisfies it.
+type DecisionProvider interface {
+	DecideAt(req *policy.Request, at time.Time) policy.Result
+}
+
+// Failable wraps a decision provider with a crash switch, the failure
+// injection handle used by experiments E9.
+type Failable struct {
+	name  string
+	inner DecisionProvider
+	down  atomic.Bool
+	// Queries counts decision attempts routed to this replica.
+	queries atomic.Int64
+}
+
+// NewFailable wraps a provider.
+func NewFailable(name string, inner DecisionProvider) *Failable {
+	return &Failable{name: name, inner: inner}
+}
+
+// Name identifies the replica.
+func (f *Failable) Name() string { return f.name }
+
+// SetDown crashes or revives the replica.
+func (f *Failable) SetDown(down bool) { f.down.Store(down) }
+
+// Down reports the crash state.
+func (f *Failable) Down() bool { return f.down.Load() }
+
+// Queries reports how many decisions were attempted against this replica.
+func (f *Failable) Queries() int64 { return f.queries.Load() }
+
+// DecideAt implements DecisionProvider: a crashed replica yields an
+// unavailable Indeterminate, which ensembles treat as a liveness failure
+// rather than a decision.
+func (f *Failable) DecideAt(req *policy.Request, at time.Time) policy.Result {
+	return f.DecideAtWith(req, at, nil)
+}
+
+// ResolverProvider is the optional extension a replica may implement to
+// accept a per-call attribute resolver (pdp.Engine does); multi-domain
+// deployments use it to thread cross-domain attribute retrieval through
+// replicated decision points.
+type ResolverProvider interface {
+	DecideAtWith(req *policy.Request, at time.Time, resolver policy.Resolver) policy.Result
+}
+
+// DecideAtWith decides with a caller-supplied resolver when the wrapped
+// provider supports one, falling back to DecideAt otherwise.
+func (f *Failable) DecideAtWith(req *policy.Request, at time.Time, resolver policy.Resolver) policy.Result {
+	f.queries.Add(1)
+	if f.down.Load() {
+		return policy.Result{
+			Decision: policy.DecisionIndeterminate,
+			Err:      fmt.Errorf("ha: replica %s: %w", f.name, ErrUnavailable),
+		}
+	}
+	if resolver != nil {
+		if rp, ok := f.inner.(ResolverProvider); ok {
+			return rp.DecideAtWith(req, at, resolver)
+		}
+	}
+	return f.inner.DecideAt(req, at)
+}
+
+// Strategy selects how an ensemble combines its replicas.
+type Strategy int
+
+// Ensemble strategies.
+const (
+	// Failover queries replicas in (health-ordered) sequence and returns
+	// the first available answer.
+	Failover Strategy = iota + 1
+	// Quorum queries every replica and returns the majority decision,
+	// masking minority corruption at the cost of querying all.
+	Quorum
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case Failover:
+		return "failover"
+	case Quorum:
+		return "quorum"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// Stats counts ensemble activity for the availability experiments.
+type Stats struct {
+	// Requests counts decisions asked of the ensemble.
+	Requests int64
+	// Failovers counts requests that skipped at least one dead replica.
+	Failovers int64
+	// Unavailable counts requests no replica could answer.
+	Unavailable int64
+	// Disagreements counts quorum votes whose replicas split.
+	Disagreements int64
+	// ReplicaQueries counts individual replica decisions issued.
+	ReplicaQueries int64
+}
+
+// Ensemble is a replicated decision provider.
+type Ensemble struct {
+	name     string
+	strategy Strategy
+
+	mu       sync.Mutex
+	replicas []*Failable
+	order    []int // failover preference, updated by Probe
+	stats    Stats
+}
+
+// NewEnsemble builds an ensemble over the replicas.
+func NewEnsemble(name string, strategy Strategy, replicas ...*Failable) *Ensemble {
+	order := make([]int, len(replicas))
+	for i := range order {
+		order[i] = i
+	}
+	return &Ensemble{name: name, strategy: strategy, replicas: replicas, order: order}
+}
+
+// Name identifies the ensemble.
+func (e *Ensemble) Name() string { return e.name }
+
+// Stats returns a snapshot of ensemble counters.
+func (e *Ensemble) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Probe health-checks every replica and moves dead ones to the back of the
+// failover order, preserving relative preference among live replicas. It
+// models the periodic heartbeat of a health monitor.
+func (e *Ensemble) Probe() (alive int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var live, dead []int
+	for _, idx := range e.order {
+		if e.replicas[idx].Down() {
+			dead = append(dead, idx)
+		} else {
+			live = append(live, idx)
+		}
+	}
+	e.order = append(live, dead...)
+	return len(live)
+}
+
+// DecideAt implements DecisionProvider.
+func (e *Ensemble) DecideAt(req *policy.Request, at time.Time) policy.Result {
+	return e.DecideAtWith(req, at, nil)
+}
+
+// DecideAtWith implements ResolverProvider, threading a per-call resolver
+// to every queried replica.
+func (e *Ensemble) DecideAtWith(req *policy.Request, at time.Time, resolver policy.Resolver) policy.Result {
+	e.mu.Lock()
+	e.stats.Requests++
+	strategy := e.strategy
+	order := make([]int, len(e.order))
+	copy(order, e.order)
+	replicas := e.replicas
+	e.mu.Unlock()
+
+	switch strategy {
+	case Quorum:
+		return e.quorum(replicas, req, at, resolver)
+	default:
+		return e.failover(replicas, order, req, at, resolver)
+	}
+}
+
+func unavailable(res policy.Result) bool {
+	return res.Decision == policy.DecisionIndeterminate && errors.Is(res.Err, ErrUnavailable)
+}
+
+func (e *Ensemble) failover(replicas []*Failable, order []int, req *policy.Request, at time.Time, resolver policy.Resolver) policy.Result {
+	skipped := false
+	for _, idx := range order {
+		res := replicas[idx].DecideAtWith(req, at, resolver)
+		e.mu.Lock()
+		e.stats.ReplicaQueries++
+		e.mu.Unlock()
+		if unavailable(res) {
+			skipped = true
+			continue
+		}
+		if skipped {
+			e.mu.Lock()
+			e.stats.Failovers++
+			e.mu.Unlock()
+		}
+		return res
+	}
+	e.mu.Lock()
+	e.stats.Unavailable++
+	e.mu.Unlock()
+	return policy.Result{
+		Decision: policy.DecisionIndeterminate,
+		Err:      fmt.Errorf("ha: ensemble %s: %w", e.name, ErrAllReplicasDown),
+	}
+}
+
+func (e *Ensemble) quorum(replicas []*Failable, req *policy.Request, at time.Time, resolver policy.Resolver) policy.Result {
+	votes := make(map[policy.Decision]int, 4)
+	results := make(map[policy.Decision]policy.Result, 4)
+	answered := 0
+	for _, r := range replicas {
+		res := r.DecideAtWith(req, at, resolver)
+		e.mu.Lock()
+		e.stats.ReplicaQueries++
+		e.mu.Unlock()
+		if unavailable(res) {
+			continue
+		}
+		answered++
+		votes[res.Decision]++
+		if _, ok := results[res.Decision]; !ok {
+			results[res.Decision] = res
+		}
+	}
+	need := len(replicas)/2 + 1
+	var winner policy.Decision
+	best := 0
+	for d, n := range votes {
+		if n > best {
+			best, winner = n, d
+		}
+	}
+	if answered > 0 && len(votes) > 1 {
+		e.mu.Lock()
+		e.stats.Disagreements++
+		e.mu.Unlock()
+	}
+	if best >= need {
+		return results[winner]
+	}
+	e.mu.Lock()
+	e.stats.Unavailable++
+	e.mu.Unlock()
+	return policy.Result{
+		Decision: policy.DecisionIndeterminate,
+		Err: fmt.Errorf("ha: ensemble %s: %d/%d answered, need %d agreeing: %w",
+			e.name, answered, len(replicas), need, ErrNoQuorum),
+	}
+}

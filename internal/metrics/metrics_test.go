@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 1000; i++ {
+				c.Add(1)
+			}
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if c.Value() != 4000 {
+		t.Errorf("Value = %d, want 4000", c.Value())
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if got := h.Percentile(50); got != 50*time.Millisecond {
+		t.Errorf("p50 = %v, want 50ms", got)
+	}
+	if got := h.Percentile(99); got != 99*time.Millisecond {
+		t.Errorf("p99 = %v, want 99ms", got)
+	}
+	if got := h.Max(); got != 100*time.Millisecond {
+		t.Errorf("max = %v, want 100ms", got)
+	}
+	if got := h.Mean(); got != 50500*time.Microsecond {
+		t.Errorf("mean = %v, want 50.5ms", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Percentile(50) != 0 || h.Max() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+}
+
+func TestHistogramObserveAfterPercentile(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Second)
+	_ = h.Percentile(50)
+	h.Observe(time.Millisecond)
+	if got := h.Percentile(1); got != time.Millisecond {
+		t.Errorf("p1 after re-observe = %v, want 1ms (re-sort required)", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("E1: example", "domains", "latency", "rate")
+	tbl.AddRow(2, 40*time.Millisecond, 0.5)
+	tbl.AddRow(32, 120*time.Millisecond, 0.98765)
+	out := tbl.String()
+	for _, want := range []string{"E1: example", "domains", "40ms", "0.99", "32"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	if len(tbl.Rows()) != 2 {
+		t.Errorf("Rows = %d", len(tbl.Rows()))
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+}

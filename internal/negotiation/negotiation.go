@@ -1,0 +1,276 @@
+// Package negotiation implements automated trust negotiation (Section 3.1
+// of the paper, after Winsborough et al. and the Traust service): two
+// strangers incrementally establish trust by alternately disclosing
+// credentials, each protected by its own disclosure policy naming the
+// credentials the peer must reveal first.
+//
+// Two classic strategies are provided:
+//
+//   - eager: each turn discloses every credential whose disclosure policy
+//     the peer has already satisfied — converges fast but over-shares;
+//   - parsimonious: discloses only credentials on a backward-chained path
+//     from the access policy under negotiation — shares minimally at the
+//     cost of extra rounds of computation.
+package negotiation
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Negotiation errors, matched with errors.Is.
+var (
+	// ErrFailed reports a negotiation that reached a fixpoint without
+	// satisfying the access policy.
+	ErrFailed = errors.New("negotiation: negotiation failed")
+	// ErrNoPolicy reports a resource the server has no access policy for.
+	ErrNoPolicy = errors.New("negotiation: no access policy for resource")
+)
+
+// Requirement is a disjunction of conjunctions over credential names: it is
+// satisfied when every credential of at least one alternative has been
+// disclosed. A nil Requirement is trivially satisfied (unprotected).
+type Requirement [][]string
+
+// Satisfied evaluates the requirement against a disclosed set.
+func (r Requirement) Satisfied(disclosed map[string]struct{}) bool {
+	if len(r) == 0 {
+		return true
+	}
+	for _, alt := range r {
+		ok := true
+		for _, c := range alt {
+			if _, has := disclosed[c]; !has {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// credentials mentions every credential named anywhere in the requirement.
+func (r Requirement) credentials() []string {
+	seen := make(map[string]struct{})
+	var out []string
+	for _, alt := range r {
+		for _, c := range alt {
+			if _, ok := seen[c]; !ok {
+				seen[c] = struct{}{}
+				out = append(out, c)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Credential is a named credential with a disclosure policy.
+type Credential struct {
+	// Name identifies the credential, e.g. "employee-of-hospital-a".
+	Name string
+	// Disclosure must be satisfied by the peer's disclosures before this
+	// credential is released. Nil means freely disclosable.
+	Disclosure Requirement
+}
+
+// Party is one side of a negotiation: its credential wallet and, for
+// resource providers, per-resource access policies.
+type Party struct {
+	// Name identifies the party.
+	Name string
+
+	credentials map[string]Credential
+	access      map[string]Requirement
+}
+
+// NewParty builds a party with an empty wallet.
+func NewParty(name string) *Party {
+	return &Party{
+		Name:        name,
+		credentials: make(map[string]Credential),
+		access:      make(map[string]Requirement),
+	}
+}
+
+// AddCredential places a credential in the wallet.
+func (p *Party) AddCredential(c Credential) {
+	p.credentials[c.Name] = c
+}
+
+// SetAccessPolicy declares what a peer must disclose to access a resource.
+func (p *Party) SetAccessPolicy(resource string, req Requirement) {
+	p.access[resource] = req
+}
+
+// Strategy selects which disclosable credentials to actually disclose.
+type Strategy int
+
+// Available strategies.
+const (
+	// Eager discloses everything currently disclosable.
+	Eager Strategy = iota + 1
+	// Parsimonious discloses only credentials relevant to the
+	// negotiation goal, computed by backward chaining.
+	Parsimonious
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case Eager:
+		return "eager"
+	case Parsimonious:
+		return "parsimonious"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// Transcript records the outcome of a negotiation for experiments.
+type Transcript struct {
+	// Succeeded reports whether the access policy was satisfied.
+	Succeeded bool
+	// Rounds counts alternating disclosure turns consumed.
+	Rounds int
+	// ClientDisclosed and ServerDisclosed count credentials revealed by
+	// each side — the over-sharing metric distinguishing strategies.
+	ClientDisclosed int
+	ServerDisclosed int
+	// Messages counts protocol messages (one per turn plus the initial
+	// request and final grant/refusal).
+	Messages int
+}
+
+// relevant computes, for both parties, the credentials worth disclosing
+// under the parsimonious strategy: a backward-chained need set rooted at
+// the access requirement.
+func relevant(goal Requirement, client, server *Party) (clientNeed, serverNeed map[string]struct{}) {
+	clientNeed = make(map[string]struct{})
+	serverNeed = make(map[string]struct{})
+	// Worklist items are (owner, credential name).
+	type item struct {
+		fromClient bool
+		name       string
+	}
+	var queue []item
+	for _, c := range goal.credentials() {
+		queue = append(queue, item{fromClient: true, name: c})
+	}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		var owner *Party
+		var need map[string]struct{}
+		if it.fromClient {
+			owner, need = client, clientNeed
+		} else {
+			owner, need = server, serverNeed
+		}
+		if _, done := need[it.name]; done {
+			continue
+		}
+		need[it.name] = struct{}{}
+		cred, ok := owner.credentials[it.name]
+		if !ok {
+			continue
+		}
+		// Whatever guards this credential must come from the peer.
+		for _, peerCred := range cred.Disclosure.credentials() {
+			queue = append(queue, item{fromClient: !it.fromClient, name: peerCred})
+		}
+	}
+	return clientNeed, serverNeed
+}
+
+// disclosable lists the party's not-yet-disclosed credentials whose
+// disclosure policies the peer's disclosures satisfy, filtered to the need
+// set when one is given. Output is sorted for determinism.
+func disclosable(p *Party, own, peer map[string]struct{}, need map[string]struct{}) []string {
+	var out []string
+	for name, cred := range p.credentials {
+		if _, done := own[name]; done {
+			continue
+		}
+		if need != nil {
+			if _, ok := need[name]; !ok {
+				continue
+			}
+		}
+		if cred.Disclosure.Satisfied(peer) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Negotiate runs a bilateral negotiation: the client requests access to the
+// server's resource and the parties alternate disclosure turns (client
+// first) until the access policy is satisfied or neither side can move.
+func Negotiate(client, server *Party, resource string, strategy Strategy) (*Transcript, error) {
+	goal, ok := server.access[resource]
+	if !ok {
+		return nil, fmt.Errorf("negotiation: %s has no policy for %q: %w", server.Name, resource, ErrNoPolicy)
+	}
+	var clientNeed, serverNeed map[string]struct{}
+	if strategy == Parsimonious {
+		clientNeed, serverNeed = relevant(goal, client, server)
+	}
+
+	clientDisclosed := make(map[string]struct{})
+	serverDisclosed := make(map[string]struct{})
+	tr := &Transcript{Messages: 1} // the initial access request
+
+	const maxRounds = 64
+	for round := 0; round < maxRounds; round++ {
+		if goal.Satisfied(clientDisclosed) {
+			tr.Succeeded = true
+			tr.Messages++ // the final grant
+			return tr, nil
+		}
+		progress := false
+
+		// Client turn.
+		give := disclosable(client, clientDisclosed, serverDisclosed, clientNeed)
+		if len(give) > 0 {
+			for _, name := range give {
+				clientDisclosed[name] = struct{}{}
+			}
+			tr.ClientDisclosed += len(give)
+			tr.Messages++
+			progress = true
+		}
+		tr.Rounds++
+		if goal.Satisfied(clientDisclosed) {
+			tr.Succeeded = true
+			tr.Messages++
+			return tr, nil
+		}
+
+		// Server turn.
+		give = disclosable(server, serverDisclosed, clientDisclosed, serverNeed)
+		if len(give) > 0 {
+			for _, name := range give {
+				serverDisclosed[name] = struct{}{}
+			}
+			tr.ServerDisclosed += len(give)
+			tr.Messages++
+			progress = true
+		}
+		tr.Rounds++
+
+		if !progress {
+			tr.Messages++ // the final refusal
+			return tr, fmt.Errorf("negotiation: %s -> %s for %q stalled after %d rounds: %w",
+				client.Name, server.Name, resource, tr.Rounds, ErrFailed)
+		}
+	}
+	tr.Messages++
+	return tr, fmt.Errorf("negotiation: %s -> %s for %q exceeded %d rounds: %w",
+		client.Name, server.Name, resource, maxRounds, ErrFailed)
+}

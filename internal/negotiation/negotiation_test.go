@@ -1,0 +1,186 @@
+package negotiation
+
+import (
+	"errors"
+	"testing"
+)
+
+// hospitalScenario models the paper's stranger-collaboration case: a
+// researcher wants a dataset from a hospital neither has met before.
+//
+//	server policy: dataset needs {researcher-cert AND ethics-approval}
+//	researcher-cert is guarded by the server first proving accreditation
+//	accreditation is guarded by the client first showing affiliation
+//	affiliation and ethics-approval are freely disclosable
+func hospitalScenario() (*Party, *Party) {
+	client := NewParty("researcher")
+	client.AddCredential(Credential{Name: "affiliation"})
+	client.AddCredential(Credential{Name: "ethics-approval"})
+	client.AddCredential(Credential{
+		Name:       "researcher-cert",
+		Disclosure: Requirement{{"hospital-accreditation"}},
+	})
+	client.AddCredential(Credential{Name: "irrelevant-gym-membership"})
+
+	server := NewParty("hospital")
+	server.AddCredential(Credential{
+		Name:       "hospital-accreditation",
+		Disclosure: Requirement{{"affiliation"}},
+	})
+	server.AddCredential(Credential{Name: "irrelevant-iso-cert"})
+	server.SetAccessPolicy("dataset", Requirement{{"researcher-cert", "ethics-approval"}})
+	return client, server
+}
+
+func TestEagerNegotiationSucceeds(t *testing.T) {
+	client, server := hospitalScenario()
+	tr, err := Negotiate(client, server, "dataset", Eager)
+	if err != nil {
+		t.Fatalf("Negotiate: %v", err)
+	}
+	if !tr.Succeeded {
+		t.Fatal("negotiation should succeed")
+	}
+	if tr.Rounds == 0 || tr.Messages < 4 {
+		t.Errorf("transcript = %+v", tr)
+	}
+	// Eager over-shares: the irrelevant credential leaks.
+	if tr.ClientDisclosed < 4 {
+		t.Errorf("eager client disclosed %d credentials, expected all 4", tr.ClientDisclosed)
+	}
+}
+
+func TestParsimoniousDisclosesLess(t *testing.T) {
+	client, server := hospitalScenario()
+	eager, err := Negotiate(client, server, "dataset", Eager)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client2, server2 := hospitalScenario()
+	pars, err := Negotiate(client2, server2, "dataset", Parsimonious)
+	if err != nil {
+		t.Fatalf("parsimonious: %v", err)
+	}
+	if !pars.Succeeded {
+		t.Fatal("parsimonious negotiation should succeed")
+	}
+	if pars.ClientDisclosed >= eager.ClientDisclosed {
+		t.Errorf("parsimonious disclosed %d, eager %d: parsimonious must share less",
+			pars.ClientDisclosed, eager.ClientDisclosed)
+	}
+	// Exactly the 3 relevant client credentials.
+	if pars.ClientDisclosed != 3 {
+		t.Errorf("parsimonious client disclosed %d, want 3", pars.ClientDisclosed)
+	}
+	if pars.ServerDisclosed != 1 {
+		t.Errorf("parsimonious server disclosed %d, want 1 (accreditation)", pars.ServerDisclosed)
+	}
+}
+
+func TestNegotiationFailsWithoutCredentials(t *testing.T) {
+	client := NewParty("stranger")
+	_, server := hospitalScenario()
+	tr, err := Negotiate(client, server, "dataset", Eager)
+	if !errors.Is(err, ErrFailed) {
+		t.Fatalf("want ErrFailed, got %v", err)
+	}
+	if tr.Succeeded {
+		t.Error("transcript must record failure")
+	}
+}
+
+func TestNegotiationFailsOnDeadlock(t *testing.T) {
+	// Mutual guarding with no unprotected entry point: a deadlock.
+	client := NewParty("c")
+	client.AddCredential(Credential{Name: "a", Disclosure: Requirement{{"b"}}})
+	server := NewParty("s")
+	server.AddCredential(Credential{Name: "b", Disclosure: Requirement{{"a"}}})
+	server.SetAccessPolicy("r", Requirement{{"a"}})
+	if _, err := Negotiate(client, server, "r", Eager); !errors.Is(err, ErrFailed) {
+		t.Errorf("deadlock: want ErrFailed, got %v", err)
+	}
+}
+
+func TestNegotiationUnknownResource(t *testing.T) {
+	client, server := hospitalScenario()
+	if _, err := Negotiate(client, server, "ghost", Eager); !errors.Is(err, ErrNoPolicy) {
+		t.Errorf("want ErrNoPolicy, got %v", err)
+	}
+}
+
+func TestDisjunctiveAccessPolicy(t *testing.T) {
+	// Either a researcher certificate or a staff badge suffices.
+	client := NewParty("staff-member")
+	client.AddCredential(Credential{Name: "staff-badge"})
+	server := NewParty("hospital")
+	server.SetAccessPolicy("dataset", Requirement{
+		{"researcher-cert", "ethics-approval"},
+		{"staff-badge"},
+	})
+	tr, err := Negotiate(client, server, "dataset", Parsimonious)
+	if err != nil || !tr.Succeeded {
+		t.Fatalf("disjunctive policy: %+v, %v", tr, err)
+	}
+	if tr.ClientDisclosed != 1 {
+		t.Errorf("disclosed %d, want just the badge", tr.ClientDisclosed)
+	}
+}
+
+func TestUnprotectedResource(t *testing.T) {
+	client := NewParty("anyone")
+	server := NewParty("open-server")
+	server.SetAccessPolicy("public", nil)
+	tr, err := Negotiate(client, server, "public", Eager)
+	if err != nil || !tr.Succeeded {
+		t.Fatalf("open resource: %+v, %v", tr, err)
+	}
+	if tr.ClientDisclosed != 0 {
+		t.Errorf("no credentials should be needed, disclosed %d", tr.ClientDisclosed)
+	}
+}
+
+func TestRequirementSatisfied(t *testing.T) {
+	disclosed := map[string]struct{}{"a": {}, "b": {}}
+	cases := []struct {
+		name string
+		req  Requirement
+		want bool
+	}{
+		{"nil", nil, true},
+		{"single-hit", Requirement{{"a"}}, true},
+		{"conjunction-hit", Requirement{{"a", "b"}}, true},
+		{"conjunction-miss", Requirement{{"a", "c"}}, false},
+		{"disjunction-hit", Requirement{{"c"}, {"b"}}, true},
+		{"disjunction-miss", Requirement{{"c"}, {"d"}}, false},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.req.Satisfied(disclosed); got != tt.want {
+				t.Errorf("got %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDeepChainNegotiation(t *testing.T) {
+	// A five-deep alternating guard chain still converges.
+	client := NewParty("c")
+	server := NewParty("s")
+	client.AddCredential(Credential{Name: "c0"})
+	server.AddCredential(Credential{Name: "s0", Disclosure: Requirement{{"c0"}}})
+	client.AddCredential(Credential{Name: "c1", Disclosure: Requirement{{"s0"}}})
+	server.AddCredential(Credential{Name: "s1", Disclosure: Requirement{{"c1"}}})
+	client.AddCredential(Credential{Name: "c2", Disclosure: Requirement{{"s1"}}})
+	server.SetAccessPolicy("r", Requirement{{"c2"}})
+
+	for _, strat := range []Strategy{Eager, Parsimonious} {
+		c, s := client, server
+		tr, err := Negotiate(c, s, "r", strat)
+		if err != nil || !tr.Succeeded {
+			t.Errorf("%s: %+v, %v", strat, tr, err)
+		}
+		if tr.Rounds < 4 {
+			t.Errorf("%s: deep chain resolved in %d rounds, expected several", strat, tr.Rounds)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+// Package pap implements Policy Administration Points: versioned policy
+// repositories with validation, change notification, and self-protection
+// (Sections 2.2 and 3.2 of the paper).
+//
+// A Store holds validated policies with full version history and notifies
+// watchers of changes, which the syndication and PDP layers build on. A
+// GuardedStore protects the administrative interface itself with the same
+// PEP/PDP mechanism that protects ordinary resources — the administrative
+// self-protection design the paper highlights (Section 3.2, "Security of
+// Access Control Systems"), which keeps the whole system manageable with a
+// single policy language.
+package pap
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/pep"
+	"repro/internal/policy"
+)
+
+// Store errors, matched with errors.Is.
+var (
+	// ErrNotFound reports an unknown policy ID or version.
+	ErrNotFound = errors.New("pap: policy not found")
+	// ErrForbidden reports an administrative request the guard denied.
+	ErrForbidden = errors.New("pap: administrative request denied")
+)
+
+// Update describes one change to the store.
+type Update struct {
+	// ID names the changed policy.
+	ID string
+	// Version is the new version number, 0 for deletions.
+	Version int
+	// Deleted marks removal.
+	Deleted bool
+}
+
+// Watcher receives store change notifications.
+type Watcher func(Update)
+
+// entry is the version history of one policy.
+type entry struct {
+	versions []policy.Evaluable // index i holds version i+1
+	deleted  bool
+}
+
+// Store is a thread-safe versioned policy repository.
+type Store struct {
+	name string
+
+	mu       sync.RWMutex
+	entries  map[string]*entry
+	watchers []Watcher
+}
+
+// NewStore builds an empty administration point.
+func NewStore(name string) *Store {
+	return &Store{name: name, entries: make(map[string]*entry)}
+}
+
+// Name identifies the store.
+func (s *Store) Name() string { return s.name }
+
+// Watch registers a watcher invoked synchronously after every change.
+func (s *Store) Watch(w Watcher) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.watchers = append(s.watchers, w)
+}
+
+func (s *Store) notify(u Update) {
+	for _, w := range s.watchers {
+		w(u)
+	}
+}
+
+// Put validates and stores a policy, returning its new version number. The
+// policy's Version field is rewritten to the store-assigned version so
+// retrieved policies self-describe.
+func (s *Store) Put(e policy.Evaluable) (int, error) {
+	if e == nil {
+		return 0, fmt.Errorf("pap %s: nil policy", s.name)
+	}
+	if err := e.Validate(); err != nil {
+		return 0, fmt.Errorf("pap %s: %w", s.name, err)
+	}
+	id := e.EntityID()
+	s.mu.Lock()
+	ent, ok := s.entries[id]
+	if !ok {
+		ent = &entry{}
+		s.entries[id] = ent
+	}
+	ent.deleted = false
+	version := len(ent.versions) + 1
+	setVersion(e, version)
+	ent.versions = append(ent.versions, e)
+	watchers := s.watchers
+	s.mu.Unlock()
+
+	u := Update{ID: id, Version: version}
+	for _, w := range watchers {
+		w(u)
+	}
+	return version, nil
+}
+
+func setVersion(e policy.Evaluable, v int) {
+	switch x := e.(type) {
+	case *policy.Policy:
+		x.Version = strconv.Itoa(v)
+	case *policy.PolicySet:
+		x.Version = strconv.Itoa(v)
+	}
+}
+
+// Get returns the latest version of the policy.
+func (s *Store) Get(id string) (policy.Evaluable, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ent, ok := s.entries[id]
+	if !ok || ent.deleted || len(ent.versions) == 0 {
+		return nil, fmt.Errorf("pap %s: %q: %w", s.name, id, ErrNotFound)
+	}
+	return ent.versions[len(ent.versions)-1], nil
+}
+
+// GetVersion returns a specific historical version (1-based).
+func (s *Store) GetVersion(id string, version int) (policy.Evaluable, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ent, ok := s.entries[id]
+	if !ok || version < 1 || version > len(ent.versions) {
+		return nil, fmt.Errorf("pap %s: %q version %d: %w", s.name, id, version, ErrNotFound)
+	}
+	return ent.versions[version-1], nil
+}
+
+// Delete removes the policy (history is retained for audit).
+func (s *Store) Delete(id string) error {
+	s.mu.Lock()
+	ent, ok := s.entries[id]
+	if !ok || ent.deleted {
+		s.mu.Unlock()
+		return fmt.Errorf("pap %s: %q: %w", s.name, id, ErrNotFound)
+	}
+	ent.deleted = true
+	watchers := s.watchers
+	s.mu.Unlock()
+	u := Update{ID: id, Deleted: true}
+	for _, w := range watchers {
+		w(u)
+	}
+	return nil
+}
+
+// List returns the IDs of live policies, sorted.
+func (s *Store) List() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]string, 0, len(s.entries))
+	for id, ent := range s.entries {
+		if !ent.deleted && len(ent.versions) > 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// History returns how many versions a policy has accumulated (including
+// versions of deleted policies).
+func (s *Store) History(id string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ent, ok := s.entries[id]
+	if !ok {
+		return 0
+	}
+	return len(ent.versions)
+}
+
+// BuildRoot assembles all live policies into a policy set ready to install
+// in a PDP. Children are ordered by ID for determinism; the caller selects
+// the combining algorithm.
+func (s *Store) BuildRoot(id string, combining policy.Algorithm) (*policy.PolicySet, error) {
+	ids := s.List()
+	b := policy.NewPolicySet(id).Combining(combining)
+	for _, pid := range ids {
+		e, err := s.Get(pid)
+		if err != nil {
+			return nil, err
+		}
+		b.Add(e)
+	}
+	root := b.Build()
+	if err := root.Validate(); err != nil {
+		return nil, fmt.Errorf("pap %s: assembled root: %w", s.name, err)
+	}
+	return root, nil
+}
+
+// Administrative action and resource-type names used by GuardedStore when
+// composing administrative access requests. Administrative policies target
+// these, so the authorisation system protects itself with its own language.
+const (
+	ActionPolicyRead   = "policy:read"
+	ActionPolicyWrite  = "policy:write"
+	ActionPolicyDelete = "policy:delete"
+	ResourceTypePolicy = "policy"
+)
+
+// AdminRequest builds the access request describing an administrative
+// operation on the store, evaluated against administrative policies.
+func AdminRequest(admin, storeName, policyID, action string) *policy.Request {
+	return policy.NewAccessRequest(admin, "pap:"+storeName+"/"+policyID, action).
+		Add(policy.CategoryResource, policy.AttrResourceType, policy.String(ResourceTypePolicy)).
+		Add(policy.CategoryResource, "policy-id", policy.String(policyID))
+}
+
+// GuardedStore protects a Store's administrative interface with an
+// enforcement point.
+type GuardedStore struct {
+	store *Store
+	guard *pep.Enforcer
+}
+
+// NewGuardedStore wraps the store behind the enforcer.
+func NewGuardedStore(store *Store, guard *pep.Enforcer) *GuardedStore {
+	return &GuardedStore{store: store, guard: guard}
+}
+
+// Put stores a policy if the administrator is authorised to write it.
+func (g *GuardedStore) Put(admin string, e policy.Evaluable) (int, error) {
+	if e == nil {
+		return 0, fmt.Errorf("pap %s: nil policy", g.store.Name())
+	}
+	req := AdminRequest(admin, g.store.Name(), e.EntityID(), ActionPolicyWrite)
+	if out := g.guard.Enforce(req); !out.Allowed {
+		return 0, fmt.Errorf("pap %s: %s may not write %s: %v: %w",
+			g.store.Name(), admin, e.EntityID(), out.Err, ErrForbidden)
+	}
+	return g.store.Put(e)
+}
+
+// Get retrieves a policy if the administrator is authorised to read it.
+func (g *GuardedStore) Get(admin, id string) (policy.Evaluable, error) {
+	req := AdminRequest(admin, g.store.Name(), id, ActionPolicyRead)
+	if out := g.guard.Enforce(req); !out.Allowed {
+		return nil, fmt.Errorf("pap %s: %s may not read %s: %v: %w",
+			g.store.Name(), admin, id, out.Err, ErrForbidden)
+	}
+	return g.store.Get(id)
+}
+
+// Delete removes a policy if the administrator is authorised to delete it.
+func (g *GuardedStore) Delete(admin, id string) error {
+	req := AdminRequest(admin, g.store.Name(), id, ActionPolicyDelete)
+	if out := g.guard.Enforce(req); !out.Allowed {
+		return fmt.Errorf("pap %s: %s may not delete %s: %v: %w",
+			g.store.Name(), admin, id, out.Err, ErrForbidden)
+	}
+	return g.store.Delete(id)
+}
+
+// Store exposes the underlying unguarded store for trusted internal use
+// (PDP refresh, syndication).
+func (g *GuardedStore) Store() *Store { return g.store }

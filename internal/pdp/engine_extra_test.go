@@ -1,0 +1,121 @@
+package pdp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+)
+
+// rolePolicy permits read when the subject carries the doctor role, which
+// only a resolver can supply in these tests (requests omit it).
+func rolePolicy() *policy.PolicySet {
+	return policy.NewPolicySet("base").Combining(policy.DenyUnlessPermit).
+		Add(policy.NewPolicy("doctors").
+			Combining(policy.DenyUnlessPermit).
+			Rule(policy.Permit("doctors-read").
+				When(policy.MatchRole("doctor"), policy.MatchActionID("read")).
+				Build()).
+			Build()).
+		Build()
+}
+
+func roleResolver(role string) policy.Resolver {
+	return policy.ResolverFunc(func(_ *policy.Request, cat policy.Category, name string) (policy.Bag, error) {
+		if cat == policy.CategorySubject && name == policy.AttrSubjectRole {
+			return policy.Singleton(policy.String(role)), nil
+		}
+		return nil, nil
+	})
+}
+
+func TestDecideAtWithOverridesResolver(t *testing.T) {
+	// The engine's configured resolver says "visitor"; a per-call resolver
+	// (the multi-domain cross-domain retrieval path) says "doctor" and must
+	// win for that call only.
+	e := New("pdp", WithResolver(roleResolver("visitor")))
+	if err := e.SetRoot(rolePolicy()); err != nil {
+		t.Fatal(err)
+	}
+	at := time.Date(2026, 6, 12, 10, 0, 0, 0, time.UTC)
+	req := policy.NewAccessRequest("alice", "rec-1", "read")
+
+	if got := e.DecideAt(req, at); got.Decision != policy.DecisionDeny {
+		t.Fatalf("configured resolver: got %v, want Deny", got.Decision)
+	}
+	if got := e.DecideAtWith(req, at, roleResolver("doctor")); got.Decision != policy.DecisionPermit {
+		t.Fatalf("per-call resolver: got %v, want Permit", got.Decision)
+	}
+	// Falling back to nil must use the configured resolver again.
+	if got := e.DecideAtWith(req, at, nil); got.Decision != policy.DecisionDeny {
+		t.Fatalf("nil per-call resolver: got %v, want Deny", got.Decision)
+	}
+}
+
+func TestDecideAtWithBypassesCache(t *testing.T) {
+	// Per-call resolvers see per-call state; their decisions must neither
+	// read nor populate the shared decision cache.
+	e := New("pdp", WithDecisionCache(time.Minute, 0))
+	if err := e.SetRoot(rolePolicy()); err != nil {
+		t.Fatal(err)
+	}
+	at := time.Date(2026, 6, 12, 10, 0, 0, 0, time.UTC)
+	req := policy.NewAccessRequest("alice", "rec-1", "read")
+
+	if got := e.DecideAtWith(req, at, roleResolver("doctor")); got.Decision != policy.DecisionPermit {
+		t.Fatalf("got %v, want Permit", got.Decision)
+	}
+	// A cached permit here would be a cross-context information leak.
+	if got := e.DecideAt(req, at.Add(time.Second)); got.Decision != policy.DecisionDeny {
+		t.Fatalf("cache leaked a per-call decision: got %v, want Deny", got.Decision)
+	}
+	if hits := e.Stats().CacheHits; hits != 0 {
+		t.Errorf("cache hits = %d, want 0", hits)
+	}
+}
+
+func TestDecideAtWithNoPolicy(t *testing.T) {
+	e := New("empty")
+	res := e.DecideAtWith(policy.NewRequest(), time.Now(), nil)
+	if res.Decision != policy.DecisionIndeterminate || res.Err == nil {
+		t.Errorf("no-policy engine: got %+v, want Indeterminate with error", res)
+	}
+}
+
+func TestRootAndName(t *testing.T) {
+	e := New("pdp-7")
+	if e.Name() != "pdp-7" {
+		t.Errorf("Name = %q", e.Name())
+	}
+	if e.Root() != nil {
+		t.Error("fresh engine must have nil root")
+	}
+	root := rolePolicy()
+	if err := e.SetRoot(root); err != nil {
+		t.Fatal(err)
+	}
+	if e.Root() != policy.Evaluable(root) {
+		t.Error("Root() does not return the installed base")
+	}
+}
+
+func TestFlushCacheForcesReevaluation(t *testing.T) {
+	e := New("pdp", WithDecisionCache(time.Hour, 0))
+	if err := e.SetRoot(rolePolicy()); err != nil {
+		t.Fatal(err)
+	}
+	at := time.Date(2026, 6, 12, 10, 0, 0, 0, time.UTC)
+	req := policy.NewAccessRequest("alice", "rec-1", "read").
+		Add(policy.CategorySubject, policy.AttrSubjectRole, policy.String("doctor"))
+
+	e.DecideAt(req, at)
+	e.DecideAt(req, at.Add(time.Second))
+	if st := e.Stats(); st.CacheHits != 1 || st.Evaluations != 1 {
+		t.Fatalf("before flush: %+v", st)
+	}
+	e.FlushCache()
+	e.DecideAt(req, at.Add(2*time.Second))
+	if st := e.Stats(); st.CacheHits != 1 || st.Evaluations != 2 {
+		t.Errorf("after flush: %+v, want a fresh evaluation", st)
+	}
+}

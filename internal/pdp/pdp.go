@@ -1,0 +1,342 @@
+// Package pdp implements the Policy Decision Point: the engine that
+// evaluates authorisation decision queries against the policy base
+// (Section 2.2 of the paper).
+//
+// The engine supports two performance mechanisms the paper's challenges
+// motivate: a target index that narrows evaluation to policies whose
+// targets can apply to the requested resource (Section 3 scalability), and
+// a TTL decision cache bounding PEP–PDP traffic (Section 3.2 Communication
+// Performance). Both are optional and ablated in the benchmarks.
+package pdp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/policy"
+)
+
+// ErrNoPolicy is returned when the engine is asked to decide before any
+// policy has been loaded.
+var ErrNoPolicy = errors.New("pdp: no policy loaded")
+
+// Stats aggregates engine activity for experiments and monitoring.
+type Stats struct {
+	// Evaluations counts decisions computed (cache misses included).
+	Evaluations int64
+	// CacheHits counts decisions served from the decision cache.
+	CacheHits int64
+	// Permits, Denies, NotApplicables and Indeterminates count outcomes.
+	Permits, Denies, NotApplicables, Indeterminates int64
+	// IndexedCandidates sums the candidate-set sizes considered when the
+	// target index is enabled, for measuring index selectivity.
+	IndexedCandidates int64
+}
+
+func (s *Stats) record(d policy.Decision) {
+	switch d {
+	case policy.DecisionPermit:
+		s.Permits++
+	case policy.DecisionDeny:
+		s.Denies++
+	case policy.DecisionNotApplicable:
+		s.NotApplicables++
+	case policy.DecisionIndeterminate:
+		s.Indeterminates++
+	}
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithResolver attaches the information-point resolver consulted for
+// attributes missing from requests.
+func WithResolver(r policy.Resolver) Option {
+	return func(e *Engine) { e.resolver = r }
+}
+
+// WithTargetIndex enables resource-id target indexing of the root policy
+// set's direct children.
+func WithTargetIndex() Option {
+	return func(e *Engine) { e.indexEnabled = true }
+}
+
+// WithDecisionCache enables a TTL decision cache. maxItems <= 0 defaults to
+// 8192 entries.
+func WithDecisionCache(ttl time.Duration, maxItems int) Option {
+	return func(e *Engine) {
+		if maxItems <= 0 {
+			maxItems = 8192
+		}
+		e.cacheTTL = ttl
+		e.cacheMax = maxItems
+		e.cache = make(map[string]cacheEntry, 64)
+	}
+}
+
+// WithClock overrides the engine clock, used by deterministic tests and the
+// virtual-time simulator.
+func WithClock(now func() time.Time) Option {
+	return func(e *Engine) { e.now = now }
+}
+
+type cacheEntry struct {
+	res     policy.Result
+	expires time.Time
+}
+
+// Engine is a thread-safe Policy Decision Point.
+type Engine struct {
+	name         string
+	resolver     policy.Resolver
+	indexEnabled bool
+	cacheTTL     time.Duration
+	cacheMax     int
+	now          func() time.Time
+
+	mu    sync.RWMutex
+	root  policy.Evaluable
+	index *targetIndex
+	cache map[string]cacheEntry
+	stats Stats
+}
+
+// New builds an engine with the given options.
+func New(name string, opts ...Option) *Engine {
+	e := &Engine{name: name, now: time.Now}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
+}
+
+// Name identifies the engine in diagnostics.
+func (e *Engine) Name() string { return e.name }
+
+// SetRoot validates and installs the policy base, rebuilding the target
+// index and flushing the decision cache so revocations take effect.
+func (e *Engine) SetRoot(root policy.Evaluable) error {
+	if root == nil {
+		return fmt.Errorf("pdp %s: nil root", e.name)
+	}
+	if err := root.Validate(); err != nil {
+		return fmt.Errorf("pdp %s: %w", e.name, err)
+	}
+	var idx *targetIndex
+	if e.indexEnabled {
+		if set, ok := root.(*policy.PolicySet); ok {
+			idx = buildIndex(set)
+		}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.root = root
+	e.index = idx
+	if e.cache != nil {
+		e.cache = make(map[string]cacheEntry, 64)
+	}
+	return nil
+}
+
+// Root returns the installed policy base, or nil.
+func (e *Engine) Root() policy.Evaluable {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.root
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.stats
+}
+
+// FlushCache drops all cached decisions.
+func (e *Engine) FlushCache() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.cache != nil {
+		e.cache = make(map[string]cacheEntry, 64)
+	}
+}
+
+// Decide evaluates the request against the policy base at the current
+// engine clock.
+func (e *Engine) Decide(req *policy.Request) policy.Result {
+	return e.DecideAt(req, e.now())
+}
+
+// DecideAtWith evaluates the request at an explicit time with a caller-
+// supplied resolver overriding the engine's configured one. Multi-domain
+// deployments use this to thread per-call network context (virtual clocks,
+// message accounting) into cross-domain attribute retrieval. Decisions
+// made through a caller-supplied resolver bypass the decision cache, since
+// the resolver's view may differ per call.
+func (e *Engine) DecideAtWith(req *policy.Request, at time.Time, resolver policy.Resolver) policy.Result {
+	e.mu.RLock()
+	root := e.root
+	idx := e.index
+	e.mu.RUnlock()
+	if root == nil {
+		return policy.Result{Decision: policy.DecisionIndeterminate, Err: ErrNoPolicy}
+	}
+	ctx := policy.NewContextAt(req, at)
+	if resolver != nil {
+		ctx.WithResolver(resolver)
+	} else if e.resolver != nil {
+		ctx.WithResolver(e.resolver)
+	}
+	var res policy.Result
+	var candidates int
+	if idx != nil {
+		res, candidates = idx.evaluate(ctx, req)
+	} else {
+		res = root.Evaluate(ctx)
+	}
+	e.mu.Lock()
+	e.stats.Evaluations++
+	e.stats.IndexedCandidates += int64(candidates)
+	e.stats.record(res.Decision)
+	e.mu.Unlock()
+	return res
+}
+
+// DecideAt evaluates the request at an explicit time.
+func (e *Engine) DecideAt(req *policy.Request, at time.Time) policy.Result {
+	e.mu.RLock()
+	root := e.root
+	idx := e.index
+	useCache := e.cache != nil
+	e.mu.RUnlock()
+
+	if root == nil {
+		return policy.Result{Decision: policy.DecisionIndeterminate, Err: ErrNoPolicy}
+	}
+
+	var key string
+	if useCache {
+		key = req.CacheKey()
+		e.mu.Lock()
+		if entry, ok := e.cache[key]; ok && at.Before(entry.expires) {
+			e.stats.CacheHits++
+			e.stats.record(entry.res.Decision)
+			e.mu.Unlock()
+			return entry.res
+		}
+		e.mu.Unlock()
+	}
+
+	ctx := policy.NewContextAt(req, at)
+	if e.resolver != nil {
+		ctx.WithResolver(e.resolver)
+	}
+
+	var res policy.Result
+	var candidates int
+	if idx != nil {
+		res, candidates = idx.evaluate(ctx, req)
+	} else {
+		res = root.Evaluate(ctx)
+	}
+
+	e.mu.Lock()
+	e.stats.Evaluations++
+	e.stats.IndexedCandidates += int64(candidates)
+	e.stats.record(res.Decision)
+	if useCache {
+		if len(e.cache) >= e.cacheMax {
+			for k := range e.cache {
+				delete(e.cache, k)
+				break
+			}
+		}
+		e.cache[key] = cacheEntry{res: res, expires: at.Add(e.cacheTTL)}
+	}
+	e.mu.Unlock()
+	return res
+}
+
+// targetIndex partitions the direct children of a policy set by the exact
+// resource-id values their targets require. Children whose targets do not
+// constrain resource-id by equality land in the catch-all list and are
+// considered for every request. Original child order is preserved within
+// the merged candidate list, keeping order-dependent combining algorithms
+// (first-applicable) correct.
+type targetIndex struct {
+	set        *policy.PolicySet
+	byResource map[string][]int
+	catchAll   []int
+}
+
+func buildIndex(set *policy.PolicySet) *targetIndex {
+	idx := &targetIndex{set: set, byResource: make(map[string][]int)}
+	for i, ch := range set.Children {
+		var target policy.Target
+		switch v := ch.(type) {
+		case *policy.Policy:
+			target = v.Target
+		case *policy.PolicySet:
+			target = v.Target
+		}
+		vals, constrained := target.ExactMatches(policy.CategoryResource, policy.AttrResourceID)
+		if !constrained || len(vals) == 0 {
+			idx.catchAll = append(idx.catchAll, i)
+			continue
+		}
+		for _, v := range vals {
+			key := v.String()
+			idx.byResource[key] = append(idx.byResource[key], i)
+		}
+	}
+	return idx
+}
+
+// evaluate runs the set's combining algorithm over the candidate children
+// only, reporting the candidate count for selectivity metrics.
+func (idx *targetIndex) evaluate(ctx *policy.Context, req *policy.Request) (policy.Result, int) {
+	resID := req.ResourceID()
+	matched := idx.byResource[resID]
+	candidates := mergeSorted(matched, idx.catchAll)
+
+	children := make([]policy.Evaluable, len(candidates))
+	for i, pos := range candidates {
+		children[i] = idx.set.Children[pos]
+	}
+	sub := policy.PolicySet{
+		ID:          idx.set.ID,
+		Version:     idx.set.Version,
+		Issuer:      idx.set.Issuer,
+		Target:      idx.set.Target,
+		Combining:   idx.set.Combining,
+		Children:    children,
+		Obligations: idx.set.Obligations,
+	}
+	return sub.Evaluate(ctx), len(candidates)
+}
+
+// mergeSorted merges two ascending index slices preserving order and
+// dropping duplicates.
+func mergeSorted(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

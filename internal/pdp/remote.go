@@ -1,0 +1,102 @@
+package pdp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/wire"
+	"repro/internal/xacml"
+)
+
+// Client is a decision provider backed by a remote PDP's envelope endpoint
+// (the deployment cmd/pdpd serves): the static PEP→PDP binding of Section
+// 3.2 "Location of Policy Decision Points". It satisfies the
+// DecisionProvider interfaces of the pep, rest and capability packages, so
+// an enforcement point moves from an in-process engine to a remote one by
+// swapping a constructor.
+//
+// Transport failures surface as Indeterminate decisions, which deny-biased
+// enforcement points refuse — losing the PDP fails closed, never open.
+type Client struct {
+	http *wire.HTTPClient
+	from string
+	to   string
+	now  func() time.Time
+}
+
+// NewClient builds a client for the PDP at the given envelope endpoint
+// (e.g. "http://pdp.example:8080/decide"). from names this enforcement
+// point in envelope headers; to names the decision point.
+func NewClient(endpoint, from, to string) *Client {
+	return &Client{
+		http: &wire.HTTPClient{Endpoint: endpoint},
+		from: from,
+		to:   to,
+		now:  time.Now,
+	}
+}
+
+// WithClock overrides the message-ID clock, used by deterministic tests.
+func (c *Client) WithClock(now func() time.Time) *Client {
+	c.now = now
+	return c
+}
+
+// Decide queries the remote PDP at the current time.
+func (c *Client) Decide(req *policy.Request) policy.Result {
+	return c.DecideAt(req, c.now())
+}
+
+// DecideAt queries the remote PDP. The at time stamps the envelope; the
+// remote engine evaluates at its own clock, as a real deployment would.
+func (c *Client) DecideAt(req *policy.Request, at time.Time) policy.Result {
+	body, err := xacml.MarshalRequestXML(req)
+	if err != nil {
+		return policy.Result{Decision: policy.DecisionIndeterminate,
+			Err: fmt.Errorf("pdp client: encode request: %w", err)}
+	}
+	reply, err := c.http.Send(&wire.Envelope{
+		MessageID: fmt.Sprintf("%s-%d", c.from, at.UnixNano()),
+		From:      c.from,
+		To:        c.to,
+		Action:    "pdp:decide",
+		Timestamp: at,
+		Body:      body,
+	})
+	if err != nil {
+		return policy.Result{Decision: policy.DecisionIndeterminate,
+			Err: fmt.Errorf("pdp client: %w", err)}
+	}
+	if reply == nil {
+		return policy.Result{Decision: policy.DecisionIndeterminate,
+			Err: fmt.Errorf("pdp client: empty reply from %s", c.to)}
+	}
+	res, err := xacml.UnmarshalResponseXML(reply.Body)
+	if err != nil {
+		return policy.Result{Decision: policy.DecisionIndeterminate,
+			Err: fmt.Errorf("pdp client: decode response: %w", err)}
+	}
+	return res
+}
+
+// Handler adapts an engine to the envelope endpoint the Client speaks,
+// shared by cmd/pdpd and tests. It accepts XML or JSON request contexts
+// and answers XML response contexts.
+func Handler(engine *Engine) wire.Handler {
+	return func(_ *wire.Call, env *wire.Envelope) (*wire.Envelope, error) {
+		req, err := xacml.UnmarshalRequestXML(env.Body)
+		if err != nil {
+			req, err = xacml.UnmarshalRequestJSON(env.Body)
+			if err != nil {
+				return nil, fmt.Errorf("pdp: undecodable request context: %w", err)
+			}
+		}
+		res := engine.Decide(req)
+		body, err := xacml.MarshalResponseXML(res)
+		if err != nil {
+			return nil, err
+		}
+		return &wire.Envelope{Action: "pdp:decision", Timestamp: env.Timestamp, Body: body}, nil
+	}
+}

@@ -1,0 +1,82 @@
+package pdp
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/wire"
+)
+
+// newRemotePDP serves an engine over the envelope HTTP binding, the
+// cmd/pdpd deployment in miniature.
+func newRemotePDP(t *testing.T) *httptest.Server {
+	t.Helper()
+	engine := New("remote")
+	if err := engine.SetRoot(rolePolicy()); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(wire.HTTPHandler(Handler(engine)))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestRemoteClientRoundTrip(t *testing.T) {
+	srv := newRemotePDP(t)
+	client := NewClient(srv.URL, "pep.test", "pdp.remote")
+	at := time.Date(2026, 6, 12, 10, 0, 0, 0, time.UTC)
+
+	doctor := policy.NewAccessRequest("alice", "rec-1", "read").
+		Add(policy.CategorySubject, policy.AttrSubjectRole, policy.String("doctor"))
+	res := client.DecideAt(doctor, at)
+	if res.Decision != policy.DecisionPermit {
+		t.Fatalf("remote decision = %v (%v), want Permit", res.Decision, res.Err)
+	}
+	if res.By == "" {
+		t.Error("decider attribution lost in transit")
+	}
+
+	visitor := policy.NewAccessRequest("eve", "rec-1", "read")
+	if res := client.Decide(visitor); res.Decision != policy.DecisionDeny {
+		t.Errorf("visitor decision = %v, want Deny", res.Decision)
+	}
+}
+
+func TestRemoteClientFailsClosed(t *testing.T) {
+	// A dead endpoint must produce Indeterminate (which deny-biased PEPs
+	// refuse), never a permit and never a panic.
+	srv := newRemotePDP(t)
+	srv.Close()
+	client := NewClient(srv.URL, "pep.test", "pdp.remote")
+	res := client.Decide(policy.NewAccessRequest("alice", "rec-1", "read"))
+	if res.Decision != policy.DecisionIndeterminate || res.Err == nil {
+		t.Errorf("dead PDP: got %+v, want Indeterminate with error", res)
+	}
+}
+
+func TestRemoteClientRejectsGarbageEndpoint(t *testing.T) {
+	// An endpoint that answers non-envelope bodies fails closed too.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte("I am not an envelope"))
+	}))
+	defer srv.Close()
+	client := NewClient(srv.URL, "pep.test", "pdp.remote")
+	res := client.Decide(policy.NewAccessRequest("alice", "rec-1", "read"))
+	if res.Decision != policy.DecisionIndeterminate {
+		t.Errorf("garbage endpoint: got %v, want Indeterminate", res.Decision)
+	}
+}
+
+func TestHandlerRejectsUndecodableContext(t *testing.T) {
+	engine := New("remote")
+	if err := engine.SetRoot(rolePolicy()); err != nil {
+		t.Fatal(err)
+	}
+	h := Handler(engine)
+	_, err := h(&wire.Call{}, &wire.Envelope{Body: []byte("neither xml nor json")})
+	if err == nil {
+		t.Error("undecodable context must error")
+	}
+}

@@ -1,0 +1,403 @@
+// Package pip implements Policy Information Points: the components that
+// supply subject, resource and environment attributes to decision points
+// during evaluation (Section 2.2 of the paper).
+//
+// The package offers composable resolvers: static stores, a directory of
+// subjects (the Identity Provider view), an access-history provider backing
+// Chinese-Wall policies, a chain combining several providers, and a caching
+// layer that bounds information-point traffic.
+package pip
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/policy"
+)
+
+// Provider is a named attribute source. It extends policy.Resolver with
+// introspection used by diagnostics and experiments.
+type Provider interface {
+	policy.Resolver
+	// Name identifies the provider in diagnostics.
+	Name() string
+}
+
+// StaticStore resolves attributes from an in-memory table keyed by category
+// and attribute name. It is safe for concurrent use.
+type StaticStore struct {
+	name string
+
+	mu    sync.RWMutex
+	attrs map[string]policy.Bag
+}
+
+var _ Provider = (*StaticStore)(nil)
+
+// NewStaticStore builds an empty static attribute store.
+func NewStaticStore(name string) *StaticStore {
+	return &StaticStore{name: name, attrs: make(map[string]policy.Bag)}
+}
+
+// Name implements Provider.
+func (s *StaticStore) Name() string { return s.name }
+
+func staticKey(cat policy.Category, name string) string {
+	return cat.String() + "/" + name
+}
+
+// Set replaces the values of an attribute.
+func (s *StaticStore) Set(cat policy.Category, name string, vals ...policy.Value) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.attrs[staticKey(cat, name)] = policy.BagOf(vals...)
+}
+
+// ResolveAttribute implements policy.Resolver.
+func (s *StaticStore) ResolveAttribute(_ *policy.Request, cat policy.Category, name string) (policy.Bag, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.attrs[staticKey(cat, name)].Clone(), nil
+}
+
+// Subject is one entry of the Directory: the attributes an Identity
+// Provider asserts about a principal.
+type Subject struct {
+	// ID is the principal's identifier.
+	ID string
+	// Domain is the administrative domain that issued the identity.
+	Domain string
+	// Roles are the subject's activatable roles.
+	Roles []string
+	// Groups are organisational group memberships.
+	Groups []string
+	// Clearance is the MAC authorisation level.
+	Clearance int64
+	// Extra holds any additional attributes by name.
+	Extra map[string]policy.Bag
+}
+
+// Directory is a subject-attribute provider: given a request carrying a
+// subject-id, it supplies the subject's roles, groups, domain, clearance and
+// custom attributes. It models the Identity Provider / attribute authority
+// the paper's identity-based trust approach relies on.
+type Directory struct {
+	name string
+
+	mu       sync.RWMutex
+	subjects map[string]Subject
+}
+
+var _ Provider = (*Directory)(nil)
+
+// NewDirectory builds an empty subject directory.
+func NewDirectory(name string) *Directory {
+	return &Directory{name: name, subjects: make(map[string]Subject)}
+}
+
+// Name implements Provider.
+func (d *Directory) Name() string { return d.name }
+
+// AddSubject inserts or replaces a subject entry.
+func (d *Directory) AddSubject(s Subject) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.subjects[s.ID] = s
+}
+
+// RemoveSubject deletes a subject entry, modelling deprovisioning.
+func (d *Directory) RemoveSubject(id string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.subjects, id)
+}
+
+// Subject looks up a subject by ID.
+func (d *Directory) Subject(id string) (Subject, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	s, ok := d.subjects[id]
+	return s, ok
+}
+
+// Len reports the number of provisioned subjects.
+func (d *Directory) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.subjects)
+}
+
+// SubjectIDs returns all provisioned subject identifiers, sorted.
+func (d *Directory) SubjectIDs() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	ids := make([]string, 0, len(d.subjects))
+	for id := range d.subjects {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// ResolveAttribute implements policy.Resolver: subject-category attributes
+// are looked up by the request's subject-id.
+func (d *Directory) ResolveAttribute(req *policy.Request, cat policy.Category, name string) (policy.Bag, error) {
+	if cat != policy.CategorySubject || req == nil {
+		return nil, nil
+	}
+	id := req.SubjectID()
+	if id == "" {
+		return nil, nil
+	}
+	d.mu.RLock()
+	s, ok := d.subjects[id]
+	d.mu.RUnlock()
+	if !ok {
+		return nil, nil
+	}
+	switch name {
+	case policy.AttrSubjectRole:
+		bag := make(policy.Bag, 0, len(s.Roles))
+		for _, r := range s.Roles {
+			bag = append(bag, policy.String(r))
+		}
+		return bag, nil
+	case policy.AttrSubjectGroup:
+		bag := make(policy.Bag, 0, len(s.Groups))
+		for _, g := range s.Groups {
+			bag = append(bag, policy.String(g))
+		}
+		return bag, nil
+	case policy.AttrSubjectDomain:
+		if s.Domain == "" {
+			return nil, nil
+		}
+		return policy.Singleton(policy.String(s.Domain)), nil
+	case policy.AttrClearance:
+		return policy.Singleton(policy.Integer(s.Clearance)), nil
+	default:
+		return s.Extra[name].Clone(), nil
+	}
+}
+
+// HistoryProvider records which conflict-of-interest datasets each subject
+// has touched, and serves that history as a subject attribute. It backs the
+// Brewer–Nash Chinese Wall model (Section 3.1 of the paper).
+type HistoryProvider struct {
+	name string
+	// AttributeName is the subject attribute under which history is
+	// served; defaults to "accessed-dataset".
+	AttributeName string
+
+	mu      sync.RWMutex
+	touched map[string]map[string]struct{} // subject -> dataset set
+}
+
+var _ Provider = (*HistoryProvider)(nil)
+
+// NewHistoryProvider builds an empty access-history provider.
+func NewHistoryProvider(name string) *HistoryProvider {
+	return &HistoryProvider{
+		name:          name,
+		AttributeName: "accessed-dataset",
+		touched:       make(map[string]map[string]struct{}),
+	}
+}
+
+// Name implements Provider.
+func (h *HistoryProvider) Name() string { return h.name }
+
+// Record notes that the subject accessed the dataset.
+func (h *HistoryProvider) Record(subject, dataset string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	set, ok := h.touched[subject]
+	if !ok {
+		set = make(map[string]struct{})
+		h.touched[subject] = set
+	}
+	set[dataset] = struct{}{}
+}
+
+// Accessed reports whether the subject has touched the dataset.
+func (h *HistoryProvider) Accessed(subject, dataset string) bool {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	_, ok := h.touched[subject][dataset]
+	return ok
+}
+
+// ResolveAttribute implements policy.Resolver.
+func (h *HistoryProvider) ResolveAttribute(req *policy.Request, cat policy.Category, name string) (policy.Bag, error) {
+	if cat != policy.CategorySubject || name != h.AttributeName || req == nil {
+		return nil, nil
+	}
+	id := req.SubjectID()
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	set := h.touched[id]
+	if len(set) == 0 {
+		return nil, nil
+	}
+	names := make([]string, 0, len(set))
+	for ds := range set {
+		names = append(names, ds)
+	}
+	sort.Strings(names)
+	bag := make(policy.Bag, len(names))
+	for i, ds := range names {
+		bag[i] = policy.String(ds)
+	}
+	return bag, nil
+}
+
+// Chain queries providers in order and returns the first non-empty bag. It
+// is the composition mechanism for multi-source attribute retrieval.
+type Chain struct {
+	name      string
+	providers []Provider
+}
+
+var _ Provider = (*Chain)(nil)
+
+// NewChain builds a resolver chain over the given providers.
+func NewChain(name string, providers ...Provider) *Chain {
+	return &Chain{name: name, providers: providers}
+}
+
+// Name implements Provider.
+func (c *Chain) Name() string { return c.name }
+
+// Append adds a provider at the end of the chain.
+func (c *Chain) Append(p Provider) { c.providers = append(c.providers, p) }
+
+// ResolveAttribute implements policy.Resolver.
+func (c *Chain) ResolveAttribute(req *policy.Request, cat policy.Category, name string) (policy.Bag, error) {
+	for _, p := range c.providers {
+		bag, err := p.ResolveAttribute(req, cat, name)
+		if err != nil {
+			return nil, fmt.Errorf("pip: provider %s: %w", p.Name(), err)
+		}
+		if !bag.Empty() {
+			return bag, nil
+		}
+	}
+	return nil, nil
+}
+
+// CacheStats summarises cache effectiveness for experiments.
+type CacheStats struct {
+	// Hits counts lookups served from cache.
+	Hits int64
+	// Misses counts lookups that reached the underlying provider.
+	Misses int64
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 for no traffic.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type cacheEntry struct {
+	bag     policy.Bag
+	expires time.Time
+}
+
+// Cache wraps a provider with a TTL cache keyed by subject/attribute. It
+// implements the information-point caching the paper discusses under
+// Communication Performance (Section 3.2), including the staleness risk:
+// values changed at the source remain visible until their entry expires.
+type Cache struct {
+	name     string
+	inner    Provider
+	ttl      time.Duration
+	now      func() time.Time
+	maxItems int
+
+	mu      sync.Mutex
+	entries map[string]cacheEntry
+	stats   CacheStats
+}
+
+var _ Provider = (*Cache)(nil)
+
+// NewCache wraps inner with a TTL cache. A non-positive maxItems defaults to
+// 4096 entries; eviction discards an arbitrary entry when full (the cache is
+// a bound, not an LRU, which keeps the hot path allocation-free).
+func NewCache(inner Provider, ttl time.Duration, maxItems int) *Cache {
+	if maxItems <= 0 {
+		maxItems = 4096
+	}
+	return &Cache{
+		name:     inner.Name() + "+cache",
+		inner:    inner,
+		ttl:      ttl,
+		now:      time.Now,
+		maxItems: maxItems,
+		entries:  make(map[string]cacheEntry),
+	}
+}
+
+// WithClock overrides the cache clock, for deterministic tests.
+func (c *Cache) WithClock(now func() time.Time) *Cache {
+	c.now = now
+	return c
+}
+
+// Name implements Provider.
+func (c *Cache) Name() string { return c.name }
+
+// Stats returns a snapshot of cache effectiveness counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Invalidate drops every cached entry, modelling explicit revocation push.
+func (c *Cache) Invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]cacheEntry)
+}
+
+// ResolveAttribute implements policy.Resolver.
+func (c *Cache) ResolveAttribute(req *policy.Request, cat policy.Category, name string) (policy.Bag, error) {
+	subject := ""
+	if req != nil {
+		subject = req.SubjectID()
+	}
+	key := subject + "|" + staticKey(cat, name)
+	now := c.now()
+
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok && now.Before(e.expires) {
+		c.stats.Hits++
+		c.mu.Unlock()
+		return e.bag.Clone(), nil
+	}
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	bag, err := c.inner.ResolveAttribute(req, cat, name)
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	if len(c.entries) >= c.maxItems {
+		for k := range c.entries {
+			delete(c.entries, k)
+			break
+		}
+	}
+	c.entries[key] = cacheEntry{bag: bag.Clone(), expires: now.Add(c.ttl)}
+	c.mu.Unlock()
+	return bag, nil
+}

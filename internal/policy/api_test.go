@@ -1,0 +1,199 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBuilderSurface exercises the fluent builder paths end to end: every
+// setter must land in the built value and the result must evaluate.
+func TestBuilderSurface(t *testing.T) {
+	p := NewPolicy("p1").
+		Version("2.1").
+		Describe("builder surface").
+		IssuedBy("authority.test").
+		Combining(FirstApplicable).
+		WhenAny(MatchActionID("read"), MatchActionID("list")).
+		Rule(NewRule("r1").
+			Describe("either action for doctors").
+			Permits().
+			When(MatchRole("doctor")).
+			If(AttrContains(CategorySubject, AttrSubjectGroup, String("cardiology"))).
+			Obligation(RequireObligation("log", EffectPermit, map[string]string{"level": "info"})).
+			Build()).
+		Rule(Deny("default").Build()).
+		Build()
+
+	if p.Version != "2.1" || p.Description != "builder surface" || p.Issuer != "authority.test" {
+		t.Errorf("policy metadata lost: %+v", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	req := NewAccessRequest("alice", "rec", "list").
+		Add(CategorySubject, AttrSubjectRole, String("doctor")).
+		Add(CategorySubject, AttrSubjectGroup, String("cardiology"))
+	res := p.Evaluate(NewContext(req))
+	if res.Decision != DecisionPermit || res.By != "p1/r1" {
+		t.Errorf("result = %+v", res)
+	}
+	// The disjunctive target must also admit "read" and reject others.
+	if res := p.Evaluate(NewContext(NewAccessRequest("alice", "rec", "write"))); res.Decision != DecisionNotApplicable {
+		t.Errorf("write: %v, want NotApplicable", res.Decision)
+	}
+}
+
+func TestPolicySetBuilderSurface(t *testing.T) {
+	inner := NewPolicy("inner").Combining(DenyUnlessPermit).
+		Rule(Permit("ok").Build()).Build()
+	s := NewPolicySet("s1").
+		Describe("set surface").
+		IssuedBy("authority.test").
+		Combining(OnlyOneApplicable).
+		Add(inner).
+		Build()
+	s.Target = TargetAnyOf(MatchResourceID("a"), MatchResourceID("b"))
+	if s.Issuer != "authority.test" || s.Description != "set surface" {
+		t.Errorf("set metadata lost: %+v", s)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	match, err := s.TargetMatch(NewContext(NewAccessRequest("u", "b", "read")))
+	if err != nil || match != MatchYes {
+		t.Errorf("TargetMatch = %v, %v", match, err)
+	}
+	if res := s.Evaluate(NewContext(NewAccessRequest("u", "a", "read"))); res.Decision != DecisionPermit {
+		t.Errorf("set evaluation = %v", res.Decision)
+	}
+}
+
+func TestRuleBuilderTargetSetter(t *testing.T) {
+	// Target() installs a pre-built target wholesale.
+	target := TargetAnyOf(MatchActionID("read"), MatchActionID("write"))
+	p := NewPolicy("p").Combining(DenyUnlessPermit).
+		Target(target).
+		Rule(Permit("ok").Build()).
+		Build()
+	if res := p.Evaluate(NewContext(NewAccessRequest("u", "r", "write"))); res.Decision != DecisionPermit {
+		t.Errorf("write through TargetAnyOf: %v", res.Decision)
+	}
+	if res := p.Evaluate(NewContext(NewAccessRequest("u", "r", "delete"))); res.Decision != DecisionNotApplicable {
+		t.Errorf("delete: %v", res.Decision)
+	}
+}
+
+func TestRequestAccessorsAndSet(t *testing.T) {
+	req := NewAccessRequest("alice", "rec-7", "read")
+	if req.SubjectID() != "alice" || req.ResourceID() != "rec-7" || req.ActionID() != "read" {
+		t.Errorf("accessors: %q %q %q", req.SubjectID(), req.ResourceID(), req.ActionID())
+	}
+	// Set replaces the whole bag; Add appends.
+	req.Set(CategorySubject, AttrSubjectRole, BagOf(String("nurse")))
+	req.Set(CategorySubject, AttrSubjectRole, BagOf(String("doctor")))
+	bag, ok := req.Get(CategorySubject, AttrSubjectRole)
+	if !ok || len(bag) != 1 || bag[0].Str() != "doctor" {
+		t.Errorf("Set did not replace: %v", bag)
+	}
+	if NewRequest().SubjectID() != "" {
+		t.Error("empty request must have empty subject")
+	}
+	s := req.String()
+	for _, want := range []string{"alice", "rec-7", "read"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() lacks %q: %s", want, s)
+		}
+	}
+}
+
+func TestCategoryRoundTrip(t *testing.T) {
+	for _, cat := range Categories() {
+		got, err := CategoryFromString(cat.String())
+		if err != nil || got != cat {
+			t.Errorf("category %v round trip: %v, %v", cat, got, err)
+		}
+	}
+	if _, err := CategoryFromString("nowhere"); err == nil {
+		t.Error("unknown category accepted")
+	}
+	if !strings.Contains(Category(99).String(), "category(99)") {
+		t.Errorf("invalid category String: %s", Category(99))
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	// String methods are diagnostics; they must be stable and non-empty.
+	p := NewPolicy("p").Combining(FirstApplicable).
+		Rule(Permit("r1").Build()).Rule(Deny("r2").Build()).Build()
+	if s := p.String(); !strings.Contains(s, "policy p") || !strings.Contains(s, "r1,r2") {
+		t.Errorf("policy String: %s", s)
+	}
+	set := NewPolicySet("s").Combining(DenyOverrides).Add(p).Build()
+	if s := set.String(); !strings.Contains(s, "policyset s") || !strings.Contains(s, "p") {
+		t.Errorf("set String: %s", s)
+	}
+	if s := Lit(Integer(4)).String(); !strings.Contains(s, "integer") || !strings.Contains(s, "4") {
+		t.Errorf("literal String: %s", s)
+	}
+	if s := SubjectAttr(AttrSubjectRole).String(); s != "subject/role" {
+		t.Errorf("designator String: %s", s)
+	}
+	if s := EffectPermit.String(); s != "Permit" {
+		t.Errorf("effect String: %s", s)
+	}
+	if s := Effect(9).String(); !strings.Contains(s, "effect(9)") {
+		t.Errorf("invalid effect String: %s", s)
+	}
+}
+
+func TestDesignatorShorthands(t *testing.T) {
+	req := NewAccessRequest("alice", "rec", "read").
+		Add(CategoryEnvironment, "risk", Double(0.5))
+	ctx := NewContextAt(req, time.Date(2026, 6, 12, 8, 0, 0, 0, time.UTC))
+	cases := []struct {
+		expr Expression
+		want Value
+	}{
+		{ResourceAttr(AttrResourceID), String("rec")},
+		{ActionAttr(AttrActionID), String("read")},
+		{EnvAttr("risk"), Double(0.5)},
+	}
+	for i, tt := range cases {
+		bag, err := tt.expr.Eval(ctx)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		v, err := bag.One()
+		if err != nil || !v.Equal(tt.want) {
+			t.Errorf("case %d: got %v, want %v", i, v, tt.want)
+		}
+	}
+}
+
+func TestAttrEqualsAndContains(t *testing.T) {
+	req := NewAccessRequest("alice", "rec", "read").
+		Add(CategorySubject, AttrClearance, Integer(3)).
+		Add(CategorySubject, AttrSubjectRole, String("nurse"), String("doctor"))
+	ctx := NewContext(req)
+
+	ok, err := EvalCondition(ctx, AttrEquals(CategorySubject, AttrClearance, Integer(3)))
+	if err != nil || !ok {
+		t.Errorf("AttrEquals: %v, %v", ok, err)
+	}
+	// AttrEquals on a multi-valued bag is an evaluation error
+	// (one-and-only), surfacing as Indeterminate upstream.
+	if _, err := EvalCondition(ctx, AttrEquals(CategorySubject, AttrSubjectRole, String("doctor"))); err == nil {
+		t.Error("AttrEquals over a multi-valued bag must fail")
+	}
+	// AttrContains is the bag-safe membership form.
+	ok, err = EvalCondition(ctx, AttrContains(CategorySubject, AttrSubjectRole, String("doctor")))
+	if err != nil || !ok {
+		t.Errorf("AttrContains: %v, %v", ok, err)
+	}
+	ok, err = EvalCondition(ctx, AttrContains(CategorySubject, AttrSubjectRole, String("janitor")))
+	if err != nil || ok {
+		t.Errorf("AttrContains absent value: %v, %v", ok, err)
+	}
+}

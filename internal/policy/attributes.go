@@ -1,0 +1,201 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Category partitions request attributes, mirroring the XACML attribute
+// categories. Enums start at one so the zero Category is invalid.
+type Category int
+
+// The four standard attribute categories.
+const (
+	CategorySubject Category = iota + 1
+	CategoryResource
+	CategoryAction
+	CategoryEnvironment
+)
+
+// Categories lists all valid categories in canonical order.
+func Categories() []Category {
+	return []Category{CategorySubject, CategoryResource, CategoryAction, CategoryEnvironment}
+}
+
+// String returns the canonical name of the category.
+func (c Category) String() string {
+	switch c {
+	case CategorySubject:
+		return "subject"
+	case CategoryResource:
+		return "resource"
+	case CategoryAction:
+		return "action"
+	case CategoryEnvironment:
+		return "environment"
+	default:
+		return fmt.Sprintf("category(%d)", int(c))
+	}
+}
+
+// CategoryFromString parses a canonical category name.
+func CategoryFromString(s string) (Category, error) {
+	switch s {
+	case "subject":
+		return CategorySubject, nil
+	case "resource":
+		return CategoryResource, nil
+	case "action":
+		return CategoryAction, nil
+	case "environment":
+		return CategoryEnvironment, nil
+	default:
+		return 0, fmt.Errorf("policy: unknown category %q", s)
+	}
+}
+
+// Well-known attribute names used across the repository. Using shared
+// constants keeps policies, information points and enforcement points
+// interoperable, which Section 3.2 of the paper calls out as a necessity.
+const (
+	AttrSubjectID     = "subject-id"
+	AttrSubjectRole   = "role"
+	AttrSubjectDomain = "subject-domain"
+	AttrSubjectGroup  = "group"
+	AttrClearance     = "clearance"
+
+	AttrResourceID       = "resource-id"
+	AttrResourceOwner    = "owner"
+	AttrResourceDomain   = "resource-domain"
+	AttrResourceType     = "resource-type"
+	AttrClassification   = "classification"
+	AttrConflictOfIntSet = "conflict-of-interest-class"
+
+	AttrActionID = "action-id"
+
+	AttrCurrentTime = "current-time"
+	AttrCurrentDate = "current-date"
+)
+
+// Request holds the attributes describing one access request: who (subject)
+// wants to do what (action) to which resource, in which environment. It is
+// the in-memory form of an XACML request context.
+type Request struct {
+	attrs map[Category]map[string]Bag
+}
+
+// NewRequest returns an empty request.
+func NewRequest() *Request {
+	return &Request{attrs: make(map[Category]map[string]Bag, 4)}
+}
+
+// NewAccessRequest builds the common subject/resource/action triple request.
+func NewAccessRequest(subject, resource, action string) *Request {
+	r := NewRequest()
+	r.Add(CategorySubject, AttrSubjectID, String(subject))
+	r.Add(CategoryResource, AttrResourceID, String(resource))
+	r.Add(CategoryAction, AttrActionID, String(action))
+	return r
+}
+
+// Add appends values to the named attribute, creating it if necessary.
+// It returns the request to allow chaining during construction.
+func (r *Request) Add(cat Category, name string, vals ...Value) *Request {
+	byName, ok := r.attrs[cat]
+	if !ok {
+		byName = make(map[string]Bag)
+		r.attrs[cat] = byName
+	}
+	byName[name] = append(byName[name], vals...)
+	return r
+}
+
+// Set replaces the named attribute's bag.
+func (r *Request) Set(cat Category, name string, bag Bag) *Request {
+	byName, ok := r.attrs[cat]
+	if !ok {
+		byName = make(map[string]Bag)
+		r.attrs[cat] = byName
+	}
+	byName[name] = bag.Clone()
+	return r
+}
+
+// Get returns the named attribute's bag and whether it is present.
+func (r *Request) Get(cat Category, name string) (Bag, bool) {
+	byName, ok := r.attrs[cat]
+	if !ok {
+		return nil, false
+	}
+	bag, ok := byName[name]
+	return bag, ok
+}
+
+// SubjectID returns the well-known subject identifier, or "" if absent.
+func (r *Request) SubjectID() string { return r.first(CategorySubject, AttrSubjectID) }
+
+// ResourceID returns the well-known resource identifier, or "" if absent.
+func (r *Request) ResourceID() string { return r.first(CategoryResource, AttrResourceID) }
+
+// ActionID returns the well-known action identifier, or "" if absent.
+func (r *Request) ActionID() string { return r.first(CategoryAction, AttrActionID) }
+
+func (r *Request) first(cat Category, name string) string {
+	bag, ok := r.Get(cat, name)
+	if !ok || bag.Empty() {
+		return ""
+	}
+	return bag[0].String()
+}
+
+// Names returns the attribute names present in a category, sorted.
+func (r *Request) Names(cat Category) []string {
+	byName := r.attrs[cat]
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Clone returns a deep copy of the request.
+func (r *Request) Clone() *Request {
+	out := NewRequest()
+	for cat, byName := range r.attrs {
+		dst := make(map[string]Bag, len(byName))
+		for n, bag := range byName {
+			dst[n] = bag.Clone()
+		}
+		out.attrs[cat] = dst
+	}
+	return out
+}
+
+// CacheKey renders a deterministic string identifying the request's
+// attribute content, used by decision caches. Attributes are serialised in
+// sorted order so logically equal requests share a key.
+func (r *Request) CacheKey() string {
+	var sb strings.Builder
+	for _, cat := range Categories() {
+		names := r.Names(cat)
+		for _, n := range names {
+			bag, _ := r.Get(cat, n)
+			vals := bag.Strings()
+			sort.Strings(vals)
+			sb.WriteString(cat.String())
+			sb.WriteByte('/')
+			sb.WriteString(n)
+			sb.WriteByte('=')
+			sb.WriteString(strings.Join(vals, ","))
+			sb.WriteByte(';')
+		}
+	}
+	return sb.String()
+}
+
+// String renders a compact human-readable summary of the request.
+func (r *Request) String() string {
+	return fmt.Sprintf("request{subject=%s action=%s resource=%s}", r.SubjectID(), r.ActionID(), r.ResourceID())
+}

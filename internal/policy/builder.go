@@ -1,0 +1,200 @@
+package policy
+
+// Builders provide a fluent construction API so examples and tests read
+// close to the prose of the policies they encode.
+
+// PolicyBuilder assembles a Policy.
+type PolicyBuilder struct {
+	p Policy
+}
+
+// NewPolicy starts a policy with deny-overrides combining, the safe default.
+func NewPolicy(id string) *PolicyBuilder {
+	return &PolicyBuilder{p: Policy{ID: id, Version: "1", Combining: DenyOverrides}}
+}
+
+// Describe sets the human-readable description.
+func (b *PolicyBuilder) Describe(d string) *PolicyBuilder {
+	b.p.Description = d
+	return b
+}
+
+// Version sets the policy version.
+func (b *PolicyBuilder) Version(v string) *PolicyBuilder {
+	b.p.Version = v
+	return b
+}
+
+// IssuedBy records the issuing authority.
+func (b *PolicyBuilder) IssuedBy(issuer string) *PolicyBuilder {
+	b.p.Issuer = issuer
+	return b
+}
+
+// Combining selects the rule-combining algorithm.
+func (b *PolicyBuilder) Combining(alg Algorithm) *PolicyBuilder {
+	b.p.Combining = alg
+	return b
+}
+
+// When adds a conjunctive target: every given match must hold.
+func (b *PolicyBuilder) When(matches ...Match) *PolicyBuilder {
+	b.p.Target = NewTarget(matches...)
+	return b
+}
+
+// WhenAny adds a disjunctive target: any one match suffices.
+func (b *PolicyBuilder) WhenAny(matches ...Match) *PolicyBuilder {
+	b.p.Target = TargetAnyOf(matches...)
+	return b
+}
+
+// Target sets an explicit target.
+func (b *PolicyBuilder) Target(t Target) *PolicyBuilder {
+	b.p.Target = t
+	return b
+}
+
+// Rule appends a finished rule.
+func (b *PolicyBuilder) Rule(r *Rule) *PolicyBuilder {
+	b.p.Rules = append(b.p.Rules, r)
+	return b
+}
+
+// Obligation attaches a policy-level obligation.
+func (b *PolicyBuilder) Obligation(ob Obligation) *PolicyBuilder {
+	b.p.Obligations = append(b.p.Obligations, ob)
+	return b
+}
+
+// Build returns the assembled policy.
+func (b *PolicyBuilder) Build() *Policy {
+	p := b.p
+	return &p
+}
+
+// RuleBuilder assembles a Rule.
+type RuleBuilder struct {
+	r Rule
+}
+
+// NewRule starts a rule; set the effect with Permits or Denies.
+func NewRule(id string) *RuleBuilder {
+	return &RuleBuilder{r: Rule{ID: id, Effect: EffectDeny}}
+}
+
+// Permit starts a permit rule.
+func Permit(id string) *RuleBuilder { return NewRule(id).Permits() }
+
+// Deny starts a deny rule.
+func Deny(id string) *RuleBuilder { return NewRule(id).Denies() }
+
+// Describe sets the human-readable description.
+func (b *RuleBuilder) Describe(d string) *RuleBuilder {
+	b.r.Description = d
+	return b
+}
+
+// Permits sets the effect to Permit.
+func (b *RuleBuilder) Permits() *RuleBuilder {
+	b.r.Effect = EffectPermit
+	return b
+}
+
+// Denies sets the effect to Deny.
+func (b *RuleBuilder) Denies() *RuleBuilder {
+	b.r.Effect = EffectDeny
+	return b
+}
+
+// When adds a conjunctive target.
+func (b *RuleBuilder) When(matches ...Match) *RuleBuilder {
+	b.r.Target = NewTarget(matches...)
+	return b
+}
+
+// WhenAny adds a disjunctive target.
+func (b *RuleBuilder) WhenAny(matches ...Match) *RuleBuilder {
+	b.r.Target = TargetAnyOf(matches...)
+	return b
+}
+
+// If sets the rule condition.
+func (b *RuleBuilder) If(cond Expression) *RuleBuilder {
+	b.r.Condition = cond
+	return b
+}
+
+// Obligation attaches an obligation to the rule.
+func (b *RuleBuilder) Obligation(ob Obligation) *RuleBuilder {
+	b.r.Obligations = append(b.r.Obligations, ob)
+	return b
+}
+
+// Build returns the assembled rule.
+func (b *RuleBuilder) Build() *Rule {
+	r := b.r
+	return &r
+}
+
+// PolicySetBuilder assembles a PolicySet.
+type PolicySetBuilder struct {
+	s PolicySet
+}
+
+// NewPolicySet starts a policy set with deny-overrides combining.
+func NewPolicySet(id string) *PolicySetBuilder {
+	return &PolicySetBuilder{s: PolicySet{ID: id, Version: "1", Combining: DenyOverrides}}
+}
+
+// Describe sets the human-readable description.
+func (b *PolicySetBuilder) Describe(d string) *PolicySetBuilder {
+	b.s.Description = d
+	return b
+}
+
+// IssuedBy records the issuing authority.
+func (b *PolicySetBuilder) IssuedBy(issuer string) *PolicySetBuilder {
+	b.s.Issuer = issuer
+	return b
+}
+
+// Combining selects the policy-combining algorithm.
+func (b *PolicySetBuilder) Combining(alg Algorithm) *PolicySetBuilder {
+	b.s.Combining = alg
+	return b
+}
+
+// When adds a conjunctive target.
+func (b *PolicySetBuilder) When(matches ...Match) *PolicySetBuilder {
+	b.s.Target = NewTarget(matches...)
+	return b
+}
+
+// Add appends child policies or policy sets.
+func (b *PolicySetBuilder) Add(children ...Evaluable) *PolicySetBuilder {
+	b.s.Children = append(b.s.Children, children...)
+	return b
+}
+
+// Obligation attaches a set-level obligation.
+func (b *PolicySetBuilder) Obligation(ob Obligation) *PolicySetBuilder {
+	b.s.Obligations = append(b.s.Obligations, ob)
+	return b
+}
+
+// Build returns the assembled policy set.
+func (b *PolicySetBuilder) Build() *PolicySet {
+	s := b.s
+	return &s
+}
+
+// RequireObligation builds an obligation with literal string attributes, the
+// most common authoring shape.
+func RequireObligation(id string, on Effect, attrs map[string]string) Obligation {
+	ob := Obligation{ID: id, FulfillOn: on}
+	for name, val := range attrs {
+		ob.Assignments = append(ob.Assignments, Assignment{Name: name, Expr: Lit(String(val))})
+	}
+	return ob
+}

@@ -1,0 +1,231 @@
+package policy
+
+import "fmt"
+
+// Algorithm identifies a rule- or policy-combining algorithm. The set is the
+// six standard XACML algorithms the paper's Section 2.3 discusses for
+// resolving contradictions between applicable rules and policies.
+type Algorithm int
+
+// Combining algorithms.
+const (
+	DenyOverrides Algorithm = iota + 1
+	PermitOverrides
+	FirstApplicable
+	OnlyOneApplicable
+	DenyUnlessPermit
+	PermitUnlessDeny
+)
+
+// Algorithms lists every combining algorithm in canonical order.
+func Algorithms() []Algorithm {
+	return []Algorithm{
+		DenyOverrides, PermitOverrides, FirstApplicable,
+		OnlyOneApplicable, DenyUnlessPermit, PermitUnlessDeny,
+	}
+}
+
+// String returns the canonical hyphenated identifier of the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case DenyOverrides:
+		return "deny-overrides"
+	case PermitOverrides:
+		return "permit-overrides"
+	case FirstApplicable:
+		return "first-applicable"
+	case OnlyOneApplicable:
+		return "only-one-applicable"
+	case DenyUnlessPermit:
+		return "deny-unless-permit"
+	case PermitUnlessDeny:
+		return "permit-unless-deny"
+	default:
+		return fmt.Sprintf("algorithm(%d)", int(a))
+	}
+}
+
+// AlgorithmFromString parses a canonical algorithm identifier.
+func AlgorithmFromString(s string) (Algorithm, error) {
+	for _, a := range Algorithms() {
+		if a.String() == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("policy: unknown combining algorithm %q", s)
+}
+
+// combinable abstracts the children a combining algorithm iterates over:
+// rules inside a policy, or policies inside a policy set.
+type combinable interface {
+	// evaluate produces the child's decision.
+	evaluate(c *Context) Result
+	// applicable reports whether the child's target matches, used only by
+	// only-one-applicable.
+	applicable(c *Context) (MatchResult, error)
+	// id names the child for diagnostics.
+	id() string
+}
+
+type ruleChild struct{ r *Rule }
+
+func (rc ruleChild) evaluate(c *Context) Result { return rc.r.Evaluate(c) }
+func (rc ruleChild) applicable(c *Context) (MatchResult, error) {
+	return rc.r.Target.Evaluate(c)
+}
+func (rc ruleChild) id() string { return rc.r.ID }
+
+type evaluableChild struct{ e Evaluable }
+
+func (ec evaluableChild) evaluate(c *Context) Result { return ec.e.Evaluate(c) }
+func (ec evaluableChild) applicable(c *Context) (MatchResult, error) {
+	return ec.e.TargetMatch(c)
+}
+func (ec evaluableChild) id() string { return ec.e.EntityID() }
+
+// combine runs the algorithm over the children. The implementations follow
+// the XACML 2.0 normative semantics, with extended Indeterminate handling
+// simplified to the plain Indeterminate decision.
+func combine(alg Algorithm, c *Context, children []combinable) Result {
+	switch alg {
+	case DenyOverrides:
+		return combineDenyOverrides(c, children)
+	case PermitOverrides:
+		return combinePermitOverrides(c, children)
+	case FirstApplicable:
+		return combineFirstApplicable(c, children)
+	case OnlyOneApplicable:
+		return combineOnlyOneApplicable(c, children)
+	case DenyUnlessPermit:
+		return combineDefaulting(c, children, DecisionPermit, DecisionDeny)
+	case PermitUnlessDeny:
+		return combineDefaulting(c, children, DecisionDeny, DecisionPermit)
+	default:
+		return indeterminate("", fmt.Errorf("policy: unknown combining algorithm %v", alg))
+	}
+}
+
+func combineDenyOverrides(c *Context, children []combinable) Result {
+	var (
+		sawPermit        bool
+		permitRes        Result
+		sawIndeterminate bool
+		indetRes         Result
+	)
+	for _, ch := range children {
+		res := ch.evaluate(c)
+		switch res.Decision {
+		case DecisionDeny:
+			return res
+		case DecisionPermit:
+			if !sawPermit {
+				sawPermit = true
+				permitRes = res
+			} else {
+				permitRes.Obligations = append(permitRes.Obligations, res.Obligations...)
+			}
+		case DecisionIndeterminate:
+			// A potential deny hides behind the error: the combined
+			// decision cannot safely be Permit.
+			if !sawIndeterminate {
+				sawIndeterminate = true
+				indetRes = res
+			}
+		case DecisionNotApplicable:
+			// skip
+		}
+	}
+	if sawIndeterminate {
+		return indetRes
+	}
+	if sawPermit {
+		return permitRes
+	}
+	return notApplicable()
+}
+
+func combinePermitOverrides(c *Context, children []combinable) Result {
+	var (
+		sawDeny          bool
+		denyRes          Result
+		sawIndeterminate bool
+		indetRes         Result
+	)
+	for _, ch := range children {
+		res := ch.evaluate(c)
+		switch res.Decision {
+		case DecisionPermit:
+			return res
+		case DecisionDeny:
+			if !sawDeny {
+				sawDeny = true
+				denyRes = res
+			} else {
+				denyRes.Obligations = append(denyRes.Obligations, res.Obligations...)
+			}
+		case DecisionIndeterminate:
+			if !sawIndeterminate {
+				sawIndeterminate = true
+				indetRes = res
+			}
+		case DecisionNotApplicable:
+			// skip
+		}
+	}
+	if sawIndeterminate {
+		return indetRes
+	}
+	if sawDeny {
+		return denyRes
+	}
+	return notApplicable()
+}
+
+func combineFirstApplicable(c *Context, children []combinable) Result {
+	for _, ch := range children {
+		res := ch.evaluate(c)
+		switch res.Decision {
+		case DecisionPermit, DecisionDeny, DecisionIndeterminate:
+			return res
+		case DecisionNotApplicable:
+			// keep scanning
+		}
+	}
+	return notApplicable()
+}
+
+func combineOnlyOneApplicable(c *Context, children []combinable) Result {
+	selected := -1
+	for i, ch := range children {
+		match, err := ch.applicable(c)
+		if match == MatchIndeterminate {
+			return indeterminate(ch.id(), err)
+		}
+		if match != MatchYes {
+			continue
+		}
+		if selected >= 0 {
+			return indeterminate(ch.id(), fmt.Errorf("policy: %s and %s both applicable: %w",
+				children[selected].id(), ch.id(), ErrOnlyOneApplicable))
+		}
+		selected = i
+	}
+	if selected < 0 {
+		return notApplicable()
+	}
+	return children[selected].evaluate(c)
+}
+
+// combineDefaulting implements deny-unless-permit / permit-unless-deny: the
+// overriding decision wins if any child produces it; otherwise the default
+// decision is returned. These algorithms never yield NotApplicable or
+// Indeterminate, which makes enforcement-point behaviour total.
+func combineDefaulting(c *Context, children []combinable, override, def Decision) Result {
+	for _, ch := range children {
+		res := ch.evaluate(c)
+		if res.Decision == override {
+			return res
+		}
+	}
+	return Result{Decision: def}
+}

@@ -1,0 +1,233 @@
+package policy
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// fixedRule builds a rule that always evaluates to the given decision.
+func fixedRule(id string, d Decision) *Rule {
+	switch d {
+	case DecisionPermit:
+		return Permit(id).Build()
+	case DecisionDeny:
+		return Deny(id).Build()
+	case DecisionNotApplicable:
+		return Permit(id).If(Lit(Boolean(false))).Build()
+	default: // Indeterminate: condition errors out
+		return Permit(id).If(Call("no-such-function")).Build()
+	}
+}
+
+func policyOf(alg Algorithm, decisions ...Decision) *Policy {
+	b := NewPolicy("p").Combining(alg)
+	for i, d := range decisions {
+		b.Rule(fixedRule(ruleID(i), d))
+	}
+	return b.Build()
+}
+
+func ruleID(i int) string { return string(rune('a' + i)) }
+
+func TestCombiningAlgorithmMatrix(t *testing.T) {
+	P, D, NA, IN := DecisionPermit, DecisionDeny, DecisionNotApplicable, DecisionIndeterminate
+	tests := []struct {
+		name     string
+		alg      Algorithm
+		children []Decision
+		want     Decision
+	}{
+		{"deny-overrides/deny-wins", DenyOverrides, []Decision{P, D, P}, D},
+		{"deny-overrides/all-permit", DenyOverrides, []Decision{P, P}, P},
+		{"deny-overrides/indet-blocks-permit", DenyOverrides, []Decision{P, IN}, IN},
+		{"deny-overrides/na-skipped", DenyOverrides, []Decision{NA, P}, P},
+		{"deny-overrides/all-na", DenyOverrides, []Decision{NA, NA}, NA},
+		{"deny-overrides/empty", DenyOverrides, nil, NA},
+
+		{"permit-overrides/permit-wins", PermitOverrides, []Decision{D, P, D}, P},
+		{"permit-overrides/all-deny", PermitOverrides, []Decision{D, D}, D},
+		{"permit-overrides/indet-blocks-deny", PermitOverrides, []Decision{D, IN}, IN},
+		{"permit-overrides/permit-beats-indet", PermitOverrides, []Decision{IN, P}, P},
+		{"permit-overrides/all-na", PermitOverrides, []Decision{NA}, NA},
+
+		{"first-applicable/first-wins", FirstApplicable, []Decision{NA, D, P}, D},
+		{"first-applicable/skips-na", FirstApplicable, []Decision{NA, NA, P}, P},
+		{"first-applicable/indet-stops", FirstApplicable, []Decision{IN, P}, IN},
+		{"first-applicable/empty", FirstApplicable, nil, NA},
+
+		{"deny-unless-permit/permit", DenyUnlessPermit, []Decision{NA, P}, P},
+		{"deny-unless-permit/default-deny", DenyUnlessPermit, []Decision{NA, IN}, D},
+		{"deny-unless-permit/empty", DenyUnlessPermit, nil, D},
+
+		{"permit-unless-deny/deny", PermitUnlessDeny, []Decision{NA, D}, D},
+		{"permit-unless-deny/default-permit", PermitUnlessDeny, []Decision{NA, IN}, P},
+		{"permit-unless-deny/empty", PermitUnlessDeny, nil, P},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := policyOf(tt.alg, tt.children...)
+			got := p.Evaluate(NewContext(NewRequest()))
+			if got.Decision != tt.want {
+				t.Errorf("got %v, want %v", got.Decision, tt.want)
+			}
+		})
+	}
+}
+
+func TestOnlyOneApplicable(t *testing.T) {
+	mk := func(id, resource string, d Decision) *Policy {
+		b := NewPolicy(id).When(MatchResourceID(resource))
+		if d == DecisionPermit {
+			b.Rule(Permit(id + "-r").Build())
+		} else {
+			b.Rule(Deny(id + "-r").Build())
+		}
+		return b.Build()
+	}
+	set := NewPolicySet("s").Combining(OnlyOneApplicable).
+		Add(mk("p1", "res-a", DecisionPermit), mk("p2", "res-b", DecisionDeny)).
+		Build()
+
+	// Exactly one applicable: its decision flows through.
+	res := set.Evaluate(NewContext(NewAccessRequest("u", "res-a", "read")))
+	if res.Decision != DecisionPermit {
+		t.Errorf("res-a: got %v, want Permit", res.Decision)
+	}
+	res = set.Evaluate(NewContext(NewAccessRequest("u", "res-b", "read")))
+	if res.Decision != DecisionDeny {
+		t.Errorf("res-b: got %v, want Deny", res.Decision)
+	}
+	// None applicable.
+	res = set.Evaluate(NewContext(NewAccessRequest("u", "res-c", "read")))
+	if res.Decision != DecisionNotApplicable {
+		t.Errorf("res-c: got %v, want NotApplicable", res.Decision)
+	}
+
+	// Two applicable: Indeterminate with ErrOnlyOneApplicable.
+	overlapping := NewPolicySet("s2").Combining(OnlyOneApplicable).
+		Add(mk("p1", "res-a", DecisionPermit), mk("p3", "res-a", DecisionDeny)).
+		Build()
+	res = overlapping.Evaluate(NewContext(NewAccessRequest("u", "res-a", "read")))
+	if res.Decision != DecisionIndeterminate {
+		t.Fatalf("overlap: got %v, want Indeterminate", res.Decision)
+	}
+	if !errors.Is(res.Err, ErrOnlyOneApplicable) {
+		t.Errorf("overlap: want ErrOnlyOneApplicable, got %v", res.Err)
+	}
+}
+
+func TestCombineReportsDecidingChild(t *testing.T) {
+	p := NewPolicy("p").Combining(FirstApplicable).
+		Rule(Permit("allow-doctors").When(MatchRole("doctor")).Build()).
+		Rule(Deny("default-deny").Build()).
+		Build()
+	res := p.Evaluate(NewContext(requestDoctorRead()))
+	if res.Decision != DecisionPermit || res.By != "p/allow-doctors" {
+		t.Errorf("got %v by %q, want Permit by p/allow-doctors", res.Decision, res.By)
+	}
+	res = p.Evaluate(NewContext(NewAccessRequest("x", "y", "z")))
+	if res.Decision != DecisionDeny || res.By != "p/default-deny" {
+		t.Errorf("got %v by %q, want Deny by p/default-deny", res.Decision, res.By)
+	}
+}
+
+func randomDecisions(r *rand.Rand) []Decision {
+	n := r.Intn(6)
+	out := make([]Decision, n)
+	for i := range out {
+		out[i] = Decision(1 + r.Intn(4))
+	}
+	return out
+}
+
+func contains(ds []Decision, d Decision) bool {
+	for _, x := range ds {
+		if x == d {
+			return true
+		}
+	}
+	return false
+}
+
+// Property: deny-overrides never permits when any child denies, and
+// permit-overrides never denies when any child permits.
+func TestPropertyOverridesSafety(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ds := randomDecisions(r)
+		c := NewContext(NewRequest())
+		dRes := policyOf(DenyOverrides, ds...).Evaluate(c)
+		if contains(ds, DecisionDeny) && dRes.Decision != DecisionDeny {
+			return false
+		}
+		if dRes.Decision == DecisionPermit && !contains(ds, DecisionPermit) {
+			return false
+		}
+		pRes := policyOf(PermitOverrides, ds...).Evaluate(c)
+		if contains(ds, DecisionPermit) && pRes.Decision != DecisionPermit {
+			return false
+		}
+		if pRes.Decision == DecisionDeny && !contains(ds, DecisionDeny) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the defaulting algorithms are total — they always yield Permit
+// or Deny, never NotApplicable or Indeterminate.
+func TestPropertyDefaultingAlgorithmsTotal(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ds := randomDecisions(r)
+		c := NewContext(NewRequest())
+		for _, alg := range []Algorithm{DenyUnlessPermit, PermitUnlessDeny} {
+			res := policyOf(alg, ds...).Evaluate(c)
+			if res.Decision != DecisionPermit && res.Decision != DecisionDeny {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: first-applicable returns the first non-NotApplicable child
+// decision.
+func TestPropertyFirstApplicable(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ds := randomDecisions(r)
+		c := NewContext(NewRequest())
+		res := policyOf(FirstApplicable, ds...).Evaluate(c)
+		for _, d := range ds {
+			if d == DecisionNotApplicable {
+				continue
+			}
+			return res.Decision == d
+		}
+		return res.Decision == DecisionNotApplicable
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlgorithmStringRoundTrip(t *testing.T) {
+	for _, a := range Algorithms() {
+		got, err := AlgorithmFromString(a.String())
+		if err != nil || got != a {
+			t.Errorf("round trip %v: got %v, %v", a, got, err)
+		}
+	}
+	if _, err := AlgorithmFromString("nonsense"); err == nil {
+		t.Error("expected error for unknown algorithm")
+	}
+}

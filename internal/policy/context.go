@@ -1,0 +1,115 @@
+package policy
+
+import (
+	"fmt"
+	"time"
+)
+
+// Resolver supplies attribute values that are not carried in the request
+// itself. It is the hook through which the Policy Decision Point consults
+// Policy Information Points (Section 2.2 of the paper).
+type Resolver interface {
+	// ResolveAttribute returns the bag of values for the named attribute,
+	// or an empty bag if the attribute is unknown. Implementations may
+	// consult the partially-populated request for correlation (for
+	// example, looking up roles by subject identifier).
+	ResolveAttribute(req *Request, cat Category, name string) (Bag, error)
+}
+
+// ResolverFunc adapts a function to the Resolver interface.
+type ResolverFunc func(req *Request, cat Category, name string) (Bag, error)
+
+var _ Resolver = (ResolverFunc)(nil)
+
+// ResolveAttribute implements Resolver.
+func (f ResolverFunc) ResolveAttribute(req *Request, cat Category, name string) (Bag, error) {
+	return f(req, cat, name)
+}
+
+type attrKey struct {
+	cat  Category
+	name string
+}
+
+// Context carries everything one evaluation needs: the request, the
+// information-point resolver, and the evaluation clock. A Context is used by
+// a single evaluation and is not safe for concurrent use.
+type Context struct {
+	// Request holds the attributes supplied by the enforcement point.
+	Request *Request
+	// Resolver optionally supplies attributes missing from the request.
+	Resolver Resolver
+	// Now is the evaluation time used by time functions and the
+	// current-time environment attribute. The zero value means wall-clock
+	// time captured lazily on first use.
+	Now time.Time
+
+	resolved map[attrKey]Bag
+	// ResolverCalls counts round-trips to the resolver, exposed so
+	// experiments can account PIP traffic (experiment E4).
+	ResolverCalls int
+}
+
+// NewContext builds an evaluation context over the request with no resolver
+// and the current wall-clock time.
+func NewContext(req *Request) *Context {
+	return &Context{Request: req, Now: time.Now().UTC()}
+}
+
+// NewContextAt builds an evaluation context with an explicit clock, used by
+// deterministic tests and the virtual-time simulator.
+func NewContextAt(req *Request, now time.Time) *Context {
+	return &Context{Request: req, Now: now.UTC()}
+}
+
+// WithResolver attaches an attribute resolver and returns the context.
+func (c *Context) WithResolver(r Resolver) *Context {
+	c.Resolver = r
+	return c
+}
+
+func (c *Context) now() time.Time {
+	if c.Now.IsZero() {
+		c.Now = time.Now().UTC()
+	}
+	return c.Now
+}
+
+// Attribute fetches an attribute bag, looking first at the request, then at
+// built-in environment attributes, then at the resolver. Resolved values are
+// memoised for the lifetime of the context so repeated designators do not
+// repeat information-point traffic. A missing attribute yields an empty bag
+// and no error; designators enforce MustBePresent themselves.
+func (c *Context) Attribute(cat Category, name string) (Bag, error) {
+	if c.Request != nil {
+		if bag, ok := c.Request.Get(cat, name); ok {
+			return bag, nil
+		}
+	}
+	if cat == CategoryEnvironment {
+		switch name {
+		case AttrCurrentTime:
+			return Singleton(Time(c.now())), nil
+		case AttrCurrentDate:
+			y, m, d := c.now().Date()
+			return Singleton(String(fmt.Sprintf("%04d-%02d-%02d", y, m, d))), nil
+		}
+	}
+	if c.Resolver == nil {
+		return nil, nil
+	}
+	key := attrKey{cat: cat, name: name}
+	if bag, ok := c.resolved[key]; ok {
+		return bag, nil
+	}
+	c.ResolverCalls++
+	bag, err := c.Resolver.ResolveAttribute(c.Request, cat, name)
+	if err != nil {
+		return nil, fmt.Errorf("policy: resolve %s/%s: %w", cat, name, err)
+	}
+	if c.resolved == nil {
+		c.resolved = make(map[attrKey]Bag, 8)
+	}
+	c.resolved[key] = bag
+	return bag, nil
+}

@@ -1,0 +1,16 @@
+// Package policy implements the core access-control policy language and
+// evaluation semantics used throughout the repository.
+//
+// The model follows the XACML architecture the paper builds on: attribute
+// values grouped into bags, attributes keyed by category (subject, resource,
+// action, environment), targets made of disjunctions of conjunctions of
+// matches, rules with effects and conditions, policies combining rules, and
+// policy sets combining policies. All six standard combining algorithms are
+// provided, along with obligations that are returned to enforcement points
+// for fulfilment.
+//
+// Evaluation is performed against a Context, which carries the request
+// attributes, an optional attribute Resolver (the Policy Information Point
+// hook), and the evaluation time. Expressions are evaluated through a
+// function registry mirroring the XACML standard function library.
+package policy

@@ -1,0 +1,33 @@
+package policy
+
+import "errors"
+
+// Sentinel errors surfaced by policy evaluation. Callers match them with
+// errors.Is; evaluation errors are additionally folded into Indeterminate
+// decisions per the XACML semantics.
+var (
+	// ErrTypeMismatch reports an operation applied to values of
+	// incompatible kinds.
+	ErrTypeMismatch = errors.New("type mismatch")
+
+	// ErrMissingAttribute reports a designator whose attribute could not
+	// be found in the request or resolved through the information point,
+	// and which was declared MustBePresent.
+	ErrMissingAttribute = errors.New("missing attribute")
+
+	// ErrNotSingleton reports a bag used where exactly one value was
+	// required.
+	ErrNotSingleton = errors.New("bag is not a singleton")
+
+	// ErrUnknownFunction reports an Apply naming a function that is not
+	// registered.
+	ErrUnknownFunction = errors.New("unknown function")
+
+	// ErrArity reports a function applied to the wrong number of
+	// arguments.
+	ErrArity = errors.New("wrong number of arguments")
+
+	// ErrOnlyOneApplicable reports that the only-one-applicable combining
+	// algorithm found zero or multiple applicable children.
+	ErrOnlyOneApplicable = errors.New("not exactly one applicable policy")
+)

@@ -1,0 +1,175 @@
+package policy
+
+import "fmt"
+
+// Expression is a node of the condition language. Every expression evaluates
+// to a bag of values; primitive results are singleton bags, mirroring the
+// XACML evaluation model.
+type Expression interface {
+	// Eval computes the expression's value bag in the given context.
+	Eval(c *Context) (Bag, error)
+}
+
+// Literal is a constant expression wrapping a single value.
+type Literal struct {
+	Value Value
+}
+
+var _ Expression = (*Literal)(nil)
+
+// Lit builds a literal expression.
+func Lit(v Value) *Literal { return &Literal{Value: v} }
+
+// Eval implements Expression.
+func (l *Literal) Eval(*Context) (Bag, error) { return Singleton(l.Value), nil }
+
+// String renders the literal for diagnostics.
+func (l *Literal) String() string { return fmt.Sprintf("%s:%s", l.Value.Kind(), l.Value) }
+
+// BagLiteral is a constant expression wrapping a whole bag of values.
+type BagLiteral struct {
+	Values Bag
+}
+
+var _ Expression = (*BagLiteral)(nil)
+
+// LitBag builds a bag-literal expression.
+func LitBag(vals ...Value) *BagLiteral { return &BagLiteral{Values: BagOf(vals...)} }
+
+// Eval implements Expression.
+func (b *BagLiteral) Eval(*Context) (Bag, error) { return b.Values, nil }
+
+// Designator references a request attribute by category and name, the
+// XACML AttributeDesignator. It evaluates to the attribute's bag.
+type Designator struct {
+	Category Category
+	Name     string
+	// MustBePresent makes evaluation fail (and the enclosing decision
+	// Indeterminate) when the attribute resolves to an empty bag.
+	MustBePresent bool
+}
+
+var _ Expression = (*Designator)(nil)
+
+// Attr builds a designator for the named attribute.
+func Attr(cat Category, name string) *Designator {
+	return &Designator{Category: cat, Name: name}
+}
+
+// Required builds a designator that must resolve to at least one value.
+func Required(cat Category, name string) *Designator {
+	return &Designator{Category: cat, Name: name, MustBePresent: true}
+}
+
+// SubjectAttr is shorthand for a subject-category designator.
+func SubjectAttr(name string) *Designator { return Attr(CategorySubject, name) }
+
+// ResourceAttr is shorthand for a resource-category designator.
+func ResourceAttr(name string) *Designator { return Attr(CategoryResource, name) }
+
+// ActionAttr is shorthand for an action-category designator.
+func ActionAttr(name string) *Designator { return Attr(CategoryAction, name) }
+
+// EnvAttr is shorthand for an environment-category designator.
+func EnvAttr(name string) *Designator { return Attr(CategoryEnvironment, name) }
+
+// Eval implements Expression.
+func (d *Designator) Eval(c *Context) (Bag, error) {
+	bag, err := c.Attribute(d.Category, d.Name)
+	if err != nil {
+		return nil, err
+	}
+	if d.MustBePresent && bag.Empty() {
+		return nil, fmt.Errorf("policy: attribute %s/%s: %w", d.Category, d.Name, ErrMissingAttribute)
+	}
+	return bag, nil
+}
+
+// String renders the designator for diagnostics.
+func (d *Designator) String() string { return d.Category.String() + "/" + d.Name }
+
+// Apply invokes a registered function over argument expressions, the XACML
+// Apply element.
+type Apply struct {
+	Function string
+	Args     []Expression
+}
+
+var _ Expression = (*Apply)(nil)
+
+// Call builds an Apply expression for the named function.
+func Call(function string, args ...Expression) *Apply {
+	return &Apply{Function: function, Args: args}
+}
+
+// Eval implements Expression. Arguments are evaluated eagerly left to right;
+// an argument error aborts the application and surfaces as Indeterminate in
+// the enclosing rule.
+func (a *Apply) Eval(c *Context) (Bag, error) {
+	fn, ok := LookupFunction(a.Function)
+	if !ok {
+		return nil, fmt.Errorf("policy: %q: %w", a.Function, ErrUnknownFunction)
+	}
+	if fn.Arity >= 0 && fn.Arity != len(a.Args) {
+		return nil, fmt.Errorf("policy: %s expects %d args, got %d: %w", a.Function, fn.Arity, len(a.Args), ErrArity)
+	}
+	args := make([]Bag, len(a.Args))
+	for i, e := range a.Args {
+		bag, err := e.Eval(c)
+		if err != nil {
+			return nil, fmt.Errorf("policy: %s arg %d: %w", a.Function, i, err)
+		}
+		args[i] = bag
+	}
+	out, err := fn.Call(c, args)
+	if err != nil {
+		return nil, fmt.Errorf("policy: %s: %w", a.Function, err)
+	}
+	return out, nil
+}
+
+// EvalCondition evaluates an expression expected to produce a singleton
+// boolean, the contract for rule conditions. A nil expression is treated as
+// the constant true, matching a rule without a condition.
+func EvalCondition(c *Context, e Expression) (bool, error) {
+	if e == nil {
+		return true, nil
+	}
+	bag, err := e.Eval(c)
+	if err != nil {
+		return false, err
+	}
+	v, err := bag.One()
+	if err != nil {
+		return false, fmt.Errorf("policy: condition result: %w", err)
+	}
+	if v.Kind() != KindBoolean {
+		return false, fmt.Errorf("policy: condition produced %s, want boolean: %w", v.Kind(), ErrTypeMismatch)
+	}
+	return v.Bool(), nil
+}
+
+// Convenience constructors for the most common condition shapes.
+
+// And builds a conjunction.
+func And(args ...Expression) *Apply { return Call(FnAnd, args...) }
+
+// Or builds a disjunction.
+func Or(args ...Expression) *Apply { return Call(FnOr, args...) }
+
+// Not negates a boolean expression.
+func Not(arg Expression) *Apply { return Call(FnNot, arg) }
+
+// Equals compares two singleton expressions for typed equality.
+func Equals(a, b Expression) *Apply { return Call(FnEqual, a, b) }
+
+// AttrEquals tests a singleton attribute against a constant.
+func AttrEquals(cat Category, name string, v Value) *Apply {
+	return Call(FnEqual, Call(FnOneAndOnly, Attr(cat, name)), Lit(v))
+}
+
+// AttrContains tests whether the attribute bag contains the constant, the
+// common "subject has role R" shape.
+func AttrContains(cat Category, name string, v Value) *Apply {
+	return Call(FnIsIn, Lit(v), Attr(cat, name))
+}

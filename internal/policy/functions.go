@@ -1,0 +1,553 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"strings"
+	"sync"
+)
+
+// Function names understood by Apply. The set mirrors the portion of the
+// XACML standard function library the paper's scenarios require, plus a few
+// generic conveniences (typed generic equality and comparison).
+const (
+	FnAnd = "and"
+	FnOr  = "or"
+	FnNot = "not"
+
+	FnEqual          = "equal"
+	FnLessThan       = "less-than"
+	FnLessOrEqual    = "less-than-or-equal"
+	FnGreaterThan    = "greater-than"
+	FnGreaterOrEqual = "greater-than-or-equal"
+
+	FnIntegerAdd      = "integer-add"
+	FnIntegerSubtract = "integer-subtract"
+	FnIntegerMultiply = "integer-multiply"
+	FnIntegerDivide   = "integer-divide"
+	FnIntegerMod      = "integer-mod"
+	FnIntegerAbs      = "integer-abs"
+	FnDoubleAdd       = "double-add"
+	FnDoubleSubtract  = "double-subtract"
+	FnDoubleMultiply  = "double-multiply"
+	FnDoubleDivide    = "double-divide"
+	FnRound           = "round"
+	FnFloor           = "floor"
+
+	FnStringConcat     = "string-concatenate"
+	FnStringContains   = "string-contains"
+	FnStringStartsWith = "string-starts-with"
+	FnStringEndsWith   = "string-ends-with"
+	FnStringRegexp     = "string-regexp-match"
+	FnStringToLower    = "string-to-lower"
+	FnStringToUpper    = "string-to-upper"
+	FnStringLength     = "string-length"
+
+	FnStringToInteger = "string-to-integer"
+	FnIntegerToString = "integer-to-string"
+	FnStringToDouble  = "string-to-double"
+	FnIntegerToDouble = "integer-to-double"
+	FnDoubleToInteger = "double-to-integer"
+
+	FnOneAndOnly  = "one-and-only"
+	FnBagSize     = "bag-size"
+	FnIsIn        = "is-in"
+	FnBag         = "bag"
+	FnUnion       = "union"
+	FnIntersect   = "intersection"
+	FnSubset      = "subset"
+	FnSetEquals   = "set-equals"
+	FnAtLeastOne  = "at-least-one-member-of"
+	FnBagIsEmpty  = "bag-is-empty"
+	FnAnyOf       = "any-of"
+	FnAllOf       = "all-of"
+	FnAnyOfAnyOf  = "any-of-any"
+	FnTimeInRange = "time-in-range"
+	FnTimeAdd     = "time-add"
+	FnHourOfDay   = "hour-of-day"
+	FnDayOfWeek   = "day-of-week"
+)
+
+// Function is an entry in the function registry.
+type Function struct {
+	// Name is the identifier used by Apply expressions.
+	Name string
+	// Arity is the required argument count, or -1 for variadic.
+	Arity int
+	// Call computes the result over pre-evaluated argument bags.
+	Call func(c *Context, args []Bag) (Bag, error)
+}
+
+var (
+	_functionsOnce sync.Once
+	_functions     map[string]Function
+)
+
+// LookupFunction finds a registered function by name.
+func LookupFunction(name string) (Function, bool) {
+	_functionsOnce.Do(func() { _functions = buildFunctions() })
+	fn, ok := _functions[name]
+	return fn, ok
+}
+
+// FunctionNames returns the names of all registered functions, for
+// validation tooling.
+func FunctionNames() []string {
+	_functionsOnce.Do(func() { _functions = buildFunctions() })
+	names := make([]string, 0, len(_functions))
+	for n := range _functions {
+		names = append(names, n)
+	}
+	return names
+}
+
+func one(b Bag) (Value, error) { return b.One() }
+
+func oneKind(b Bag, k Kind) (Value, error) {
+	v, err := b.One()
+	if err != nil {
+		return Value{}, err
+	}
+	if v.Kind() != k {
+		return Value{}, fmt.Errorf("got %s, want %s: %w", v.Kind(), k, ErrTypeMismatch)
+	}
+	return v, nil
+}
+
+func boolResult(b bool) Bag { return Singleton(Boolean(b)) }
+
+func binaryInt(f func(a, b int64) (int64, error)) func(*Context, []Bag) (Bag, error) {
+	return func(_ *Context, args []Bag) (Bag, error) {
+		a, err := oneKind(args[0], KindInteger)
+		if err != nil {
+			return nil, err
+		}
+		b, err := oneKind(args[1], KindInteger)
+		if err != nil {
+			return nil, err
+		}
+		out, err := f(a.Int(), b.Int())
+		if err != nil {
+			return nil, err
+		}
+		return Singleton(Integer(out)), nil
+	}
+}
+
+func binaryDouble(f func(a, b float64) (float64, error)) func(*Context, []Bag) (Bag, error) {
+	return func(_ *Context, args []Bag) (Bag, error) {
+		a, err := oneKind(args[0], KindDouble)
+		if err != nil {
+			return nil, err
+		}
+		b, err := oneKind(args[1], KindDouble)
+		if err != nil {
+			return nil, err
+		}
+		out, err := f(a.Float(), b.Float())
+		if err != nil {
+			return nil, err
+		}
+		return Singleton(Double(out)), nil
+	}
+}
+
+func binaryString(f func(a, b string) Value) func(*Context, []Bag) (Bag, error) {
+	return func(_ *Context, args []Bag) (Bag, error) {
+		a, err := oneKind(args[0], KindString)
+		if err != nil {
+			return nil, err
+		}
+		b, err := oneKind(args[1], KindString)
+		if err != nil {
+			return nil, err
+		}
+		return Singleton(f(a.Str(), b.Str())), nil
+	}
+}
+
+func unaryString(f func(a string) Value) func(*Context, []Bag) (Bag, error) {
+	return func(_ *Context, args []Bag) (Bag, error) {
+		a, err := oneKind(args[0], KindString)
+		if err != nil {
+			return nil, err
+		}
+		return Singleton(f(a.Str())), nil
+	}
+}
+
+func comparison(want func(cmp int) bool) func(*Context, []Bag) (Bag, error) {
+	return func(_ *Context, args []Bag) (Bag, error) {
+		a, err := one(args[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := one(args[1])
+		if err != nil {
+			return nil, err
+		}
+		cmp, err := a.Compare(b)
+		if err != nil {
+			return nil, err
+		}
+		return boolResult(want(cmp)), nil
+	}
+}
+
+// applyPredicate resolves a predicate function named by a string literal,
+// used by the higher-order functions.
+func applyPredicate(name string, c *Context, args []Bag) (bool, error) {
+	fn, ok := LookupFunction(name)
+	if !ok {
+		return false, fmt.Errorf("%q: %w", name, ErrUnknownFunction)
+	}
+	out, err := fn.Call(c, args)
+	if err != nil {
+		return false, err
+	}
+	v, err := out.One()
+	if err != nil {
+		return false, err
+	}
+	if v.Kind() != KindBoolean {
+		return false, fmt.Errorf("predicate %q produced %s: %w", name, v.Kind(), ErrTypeMismatch)
+	}
+	return v.Bool(), nil
+}
+
+func buildFunctions() map[string]Function {
+	fns := []Function{
+		{Name: FnAnd, Arity: -1, Call: func(_ *Context, args []Bag) (Bag, error) {
+			for _, a := range args {
+				v, err := oneKind(a, KindBoolean)
+				if err != nil {
+					return nil, err
+				}
+				if !v.Bool() {
+					return boolResult(false), nil
+				}
+			}
+			return boolResult(true), nil
+		}},
+		{Name: FnOr, Arity: -1, Call: func(_ *Context, args []Bag) (Bag, error) {
+			for _, a := range args {
+				v, err := oneKind(a, KindBoolean)
+				if err != nil {
+					return nil, err
+				}
+				if v.Bool() {
+					return boolResult(true), nil
+				}
+			}
+			return boolResult(false), nil
+		}},
+		{Name: FnNot, Arity: 1, Call: func(_ *Context, args []Bag) (Bag, error) {
+			v, err := oneKind(args[0], KindBoolean)
+			if err != nil {
+				return nil, err
+			}
+			return boolResult(!v.Bool()), nil
+		}},
+
+		{Name: FnEqual, Arity: 2, Call: func(_ *Context, args []Bag) (Bag, error) {
+			a, err := one(args[0])
+			if err != nil {
+				return nil, err
+			}
+			b, err := one(args[1])
+			if err != nil {
+				return nil, err
+			}
+			return boolResult(a.Equal(b)), nil
+		}},
+		{Name: FnLessThan, Arity: 2, Call: comparison(func(c int) bool { return c < 0 })},
+		{Name: FnLessOrEqual, Arity: 2, Call: comparison(func(c int) bool { return c <= 0 })},
+		{Name: FnGreaterThan, Arity: 2, Call: comparison(func(c int) bool { return c > 0 })},
+		{Name: FnGreaterOrEqual, Arity: 2, Call: comparison(func(c int) bool { return c >= 0 })},
+
+		{Name: FnIntegerAdd, Arity: 2, Call: binaryInt(func(a, b int64) (int64, error) { return a + b, nil })},
+		{Name: FnIntegerSubtract, Arity: 2, Call: binaryInt(func(a, b int64) (int64, error) { return a - b, nil })},
+		{Name: FnIntegerMultiply, Arity: 2, Call: binaryInt(func(a, b int64) (int64, error) { return a * b, nil })},
+		{Name: FnIntegerDivide, Arity: 2, Call: binaryInt(func(a, b int64) (int64, error) {
+			if b == 0 {
+				return 0, fmt.Errorf("integer division by zero")
+			}
+			return a / b, nil
+		})},
+		{Name: FnIntegerMod, Arity: 2, Call: binaryInt(func(a, b int64) (int64, error) {
+			if b == 0 {
+				return 0, fmt.Errorf("integer modulo by zero")
+			}
+			return a % b, nil
+		})},
+		{Name: FnIntegerAbs, Arity: 1, Call: func(_ *Context, args []Bag) (Bag, error) {
+			v, err := oneKind(args[0], KindInteger)
+			if err != nil {
+				return nil, err
+			}
+			n := v.Int()
+			if n < 0 {
+				n = -n
+			}
+			return Singleton(Integer(n)), nil
+		}},
+		{Name: FnDoubleAdd, Arity: 2, Call: binaryDouble(func(a, b float64) (float64, error) { return a + b, nil })},
+		{Name: FnDoubleSubtract, Arity: 2, Call: binaryDouble(func(a, b float64) (float64, error) { return a - b, nil })},
+		{Name: FnDoubleMultiply, Arity: 2, Call: binaryDouble(func(a, b float64) (float64, error) { return a * b, nil })},
+		{Name: FnDoubleDivide, Arity: 2, Call: binaryDouble(func(a, b float64) (float64, error) {
+			if b == 0 {
+				return 0, fmt.Errorf("double division by zero")
+			}
+			return a / b, nil
+		})},
+		{Name: FnRound, Arity: 1, Call: func(_ *Context, args []Bag) (Bag, error) {
+			v, err := oneKind(args[0], KindDouble)
+			if err != nil {
+				return nil, err
+			}
+			return Singleton(Double(math.Round(v.Float()))), nil
+		}},
+		{Name: FnFloor, Arity: 1, Call: func(_ *Context, args []Bag) (Bag, error) {
+			v, err := oneKind(args[0], KindDouble)
+			if err != nil {
+				return nil, err
+			}
+			return Singleton(Double(math.Floor(v.Float()))), nil
+		}},
+
+		{Name: FnStringConcat, Arity: -1, Call: func(_ *Context, args []Bag) (Bag, error) {
+			var sb strings.Builder
+			for _, a := range args {
+				v, err := oneKind(a, KindString)
+				if err != nil {
+					return nil, err
+				}
+				sb.WriteString(v.Str())
+			}
+			return Singleton(String(sb.String())), nil
+		}},
+		{Name: FnStringContains, Arity: 2, Call: binaryString(func(a, b string) Value { return Boolean(strings.Contains(b, a)) })},
+		{Name: FnStringStartsWith, Arity: 2, Call: binaryString(func(a, b string) Value { return Boolean(strings.HasPrefix(b, a)) })},
+		{Name: FnStringEndsWith, Arity: 2, Call: binaryString(func(a, b string) Value { return Boolean(strings.HasSuffix(b, a)) })},
+		{Name: FnStringRegexp, Arity: 2, Call: func(_ *Context, args []Bag) (Bag, error) {
+			pat, err := oneKind(args[0], KindString)
+			if err != nil {
+				return nil, err
+			}
+			s, err := oneKind(args[1], KindString)
+			if err != nil {
+				return nil, err
+			}
+			re, err := regexp.Compile(pat.Str())
+			if err != nil {
+				return nil, fmt.Errorf("compile %q: %w", pat.Str(), err)
+			}
+			return boolResult(re.MatchString(s.Str())), nil
+		}},
+		{Name: FnStringToLower, Arity: 1, Call: unaryString(func(a string) Value { return String(strings.ToLower(a)) })},
+		{Name: FnStringToUpper, Arity: 1, Call: unaryString(func(a string) Value { return String(strings.ToUpper(a)) })},
+		{Name: FnStringLength, Arity: 1, Call: unaryString(func(a string) Value { return Integer(int64(len(a))) })},
+
+		{Name: FnStringToInteger, Arity: 1, Call: func(_ *Context, args []Bag) (Bag, error) {
+			v, err := oneKind(args[0], KindString)
+			if err != nil {
+				return nil, err
+			}
+			out, err := ParseValue(KindInteger, v.Str())
+			if err != nil {
+				return nil, err
+			}
+			return Singleton(out), nil
+		}},
+		{Name: FnIntegerToString, Arity: 1, Call: func(_ *Context, args []Bag) (Bag, error) {
+			v, err := oneKind(args[0], KindInteger)
+			if err != nil {
+				return nil, err
+			}
+			return Singleton(String(v.String())), nil
+		}},
+		{Name: FnStringToDouble, Arity: 1, Call: func(_ *Context, args []Bag) (Bag, error) {
+			v, err := oneKind(args[0], KindString)
+			if err != nil {
+				return nil, err
+			}
+			out, err := ParseValue(KindDouble, v.Str())
+			if err != nil {
+				return nil, err
+			}
+			return Singleton(out), nil
+		}},
+		{Name: FnIntegerToDouble, Arity: 1, Call: func(_ *Context, args []Bag) (Bag, error) {
+			v, err := oneKind(args[0], KindInteger)
+			if err != nil {
+				return nil, err
+			}
+			return Singleton(Double(float64(v.Int()))), nil
+		}},
+		{Name: FnDoubleToInteger, Arity: 1, Call: func(_ *Context, args []Bag) (Bag, error) {
+			v, err := oneKind(args[0], KindDouble)
+			if err != nil {
+				return nil, err
+			}
+			return Singleton(Integer(int64(v.Float()))), nil
+		}},
+
+		{Name: FnOneAndOnly, Arity: 1, Call: func(_ *Context, args []Bag) (Bag, error) {
+			v, err := args[0].One()
+			if err != nil {
+				return nil, err
+			}
+			return Singleton(v), nil
+		}},
+		{Name: FnBagSize, Arity: 1, Call: func(_ *Context, args []Bag) (Bag, error) {
+			return Singleton(Integer(int64(args[0].Size()))), nil
+		}},
+		{Name: FnBagIsEmpty, Arity: 1, Call: func(_ *Context, args []Bag) (Bag, error) {
+			return boolResult(args[0].Empty()), nil
+		}},
+		{Name: FnIsIn, Arity: 2, Call: func(_ *Context, args []Bag) (Bag, error) {
+			v, err := one(args[0])
+			if err != nil {
+				return nil, err
+			}
+			return boolResult(args[1].Contains(v)), nil
+		}},
+		{Name: FnBag, Arity: -1, Call: func(_ *Context, args []Bag) (Bag, error) {
+			out := make(Bag, 0, len(args))
+			for _, a := range args {
+				out = append(out, a...)
+			}
+			return out, nil
+		}},
+		{Name: FnUnion, Arity: 2, Call: func(_ *Context, args []Bag) (Bag, error) {
+			return args[0].Union(args[1]), nil
+		}},
+		{Name: FnIntersect, Arity: 2, Call: func(_ *Context, args []Bag) (Bag, error) {
+			return args[0].Intersection(args[1]), nil
+		}},
+		{Name: FnSubset, Arity: 2, Call: func(_ *Context, args []Bag) (Bag, error) {
+			return boolResult(args[0].SubsetOf(args[1])), nil
+		}},
+		{Name: FnSetEquals, Arity: 2, Call: func(_ *Context, args []Bag) (Bag, error) {
+			return boolResult(args[0].SetEquals(args[1])), nil
+		}},
+		{Name: FnAtLeastOne, Arity: 2, Call: func(_ *Context, args []Bag) (Bag, error) {
+			return boolResult(args[0].AtLeastOneMemberOf(args[1])), nil
+		}},
+
+		// any-of(predicate-name, value, bag): true when predicate(value, x)
+		// holds for at least one x in bag.
+		{Name: FnAnyOf, Arity: 3, Call: func(c *Context, args []Bag) (Bag, error) {
+			name, err := oneKind(args[0], KindString)
+			if err != nil {
+				return nil, err
+			}
+			v, err := one(args[1])
+			if err != nil {
+				return nil, err
+			}
+			for _, x := range args[2] {
+				ok, err := applyPredicate(name.Str(), c, []Bag{Singleton(v), Singleton(x)})
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					return boolResult(true), nil
+				}
+			}
+			return boolResult(false), nil
+		}},
+		// all-of(predicate-name, value, bag): true when predicate(value, x)
+		// holds for every x in bag.
+		{Name: FnAllOf, Arity: 3, Call: func(c *Context, args []Bag) (Bag, error) {
+			name, err := oneKind(args[0], KindString)
+			if err != nil {
+				return nil, err
+			}
+			v, err := one(args[1])
+			if err != nil {
+				return nil, err
+			}
+			for _, x := range args[2] {
+				ok, err := applyPredicate(name.Str(), c, []Bag{Singleton(v), Singleton(x)})
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					return boolResult(false), nil
+				}
+			}
+			return boolResult(true), nil
+		}},
+		// any-of-any(predicate-name, bagA, bagB): true when predicate(a, b)
+		// holds for some a in bagA and b in bagB.
+		{Name: FnAnyOfAnyOf, Arity: 3, Call: func(c *Context, args []Bag) (Bag, error) {
+			name, err := oneKind(args[0], KindString)
+			if err != nil {
+				return nil, err
+			}
+			for _, a := range args[1] {
+				for _, b := range args[2] {
+					ok, err := applyPredicate(name.Str(), c, []Bag{Singleton(a), Singleton(b)})
+					if err != nil {
+						return nil, err
+					}
+					if ok {
+						return boolResult(true), nil
+					}
+				}
+			}
+			return boolResult(false), nil
+		}},
+
+		{Name: FnTimeInRange, Arity: 3, Call: func(_ *Context, args []Bag) (Bag, error) {
+			t, err := oneKind(args[0], KindTime)
+			if err != nil {
+				return nil, err
+			}
+			lo, err := oneKind(args[1], KindTime)
+			if err != nil {
+				return nil, err
+			}
+			hi, err := oneKind(args[2], KindTime)
+			if err != nil {
+				return nil, err
+			}
+			ts := t.TimeValue()
+			in := !ts.Before(lo.TimeValue()) && !ts.After(hi.TimeValue())
+			return boolResult(in), nil
+		}},
+		{Name: FnTimeAdd, Arity: 2, Call: func(_ *Context, args []Bag) (Bag, error) {
+			t, err := oneKind(args[0], KindTime)
+			if err != nil {
+				return nil, err
+			}
+			d, err := oneKind(args[1], KindDuration)
+			if err != nil {
+				return nil, err
+			}
+			return Singleton(Time(t.TimeValue().Add(d.DurationValue()))), nil
+		}},
+		{Name: FnHourOfDay, Arity: 1, Call: func(_ *Context, args []Bag) (Bag, error) {
+			t, err := oneKind(args[0], KindTime)
+			if err != nil {
+				return nil, err
+			}
+			return Singleton(Integer(int64(t.TimeValue().Hour()))), nil
+		}},
+		{Name: FnDayOfWeek, Arity: 1, Call: func(_ *Context, args []Bag) (Bag, error) {
+			t, err := oneKind(args[0], KindTime)
+			if err != nil {
+				return nil, err
+			}
+			return Singleton(Integer(int64(t.TimeValue().Weekday()))), nil
+		}},
+	}
+
+	out := make(map[string]Function, len(fns))
+	for _, fn := range fns {
+		out[fn.Name] = fn
+	}
+	return out
+}

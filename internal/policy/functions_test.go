@@ -1,0 +1,315 @@
+package policy
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func evalExpr(t *testing.T, e Expression) Bag {
+	t.Helper()
+	c := NewContext(NewRequest())
+	bag, err := e.Eval(c)
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	return bag
+}
+
+func evalBool(t *testing.T, e Expression) bool {
+	t.Helper()
+	bag := evalExpr(t, e)
+	v, err := bag.One()
+	if err != nil || v.Kind() != KindBoolean {
+		t.Fatalf("expected singleton boolean, got %v (%v)", bag.Strings(), err)
+	}
+	return v.Bool()
+}
+
+func TestLogicalFunctions(t *testing.T) {
+	tr, fa := Lit(Boolean(true)), Lit(Boolean(false))
+	tests := []struct {
+		name string
+		expr Expression
+		want bool
+	}{
+		{"and-true", And(tr, tr, tr), true},
+		{"and-false", And(tr, fa), false},
+		{"and-empty", And(), true},
+		{"or-true", Or(fa, tr), true},
+		{"or-false", Or(fa, fa), false},
+		{"or-empty", Or(), false},
+		{"not", Not(fa), true},
+		{"nested", And(Or(fa, tr), Not(fa)), true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := evalBool(t, tt.expr); got != tt.want {
+				t.Errorf("got %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestComparisonFunctions(t *testing.T) {
+	tests := []struct {
+		name string
+		expr Expression
+		want bool
+	}{
+		{"lt", Call(FnLessThan, Lit(Integer(1)), Lit(Integer(2))), true},
+		{"lt-false", Call(FnLessThan, Lit(Integer(2)), Lit(Integer(2))), false},
+		{"le", Call(FnLessOrEqual, Lit(Integer(2)), Lit(Integer(2))), true},
+		{"gt", Call(FnGreaterThan, Lit(Double(3.5)), Lit(Double(2))), true},
+		{"ge-strings", Call(FnGreaterOrEqual, Lit(String("b")), Lit(String("a"))), true},
+		{"eq-times", Equals(Lit(Time(time.Unix(5, 0))), Lit(Time(time.Unix(5, 0)))), true},
+		{"eq-cross-kind", Equals(Lit(Integer(1)), Lit(String("1"))), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := evalBool(t, tt.expr); got != tt.want {
+				t.Errorf("got %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestArithmeticFunctions(t *testing.T) {
+	tests := []struct {
+		name string
+		expr Expression
+		want Value
+	}{
+		{"int-add", Call(FnIntegerAdd, Lit(Integer(2)), Lit(Integer(3))), Integer(5)},
+		{"int-sub", Call(FnIntegerSubtract, Lit(Integer(2)), Lit(Integer(3))), Integer(-1)},
+		{"int-mul", Call(FnIntegerMultiply, Lit(Integer(4)), Lit(Integer(3))), Integer(12)},
+		{"int-div", Call(FnIntegerDivide, Lit(Integer(7)), Lit(Integer(2))), Integer(3)},
+		{"int-mod", Call(FnIntegerMod, Lit(Integer(7)), Lit(Integer(2))), Integer(1)},
+		{"int-abs", Call(FnIntegerAbs, Lit(Integer(-9))), Integer(9)},
+		{"dbl-add", Call(FnDoubleAdd, Lit(Double(0.5)), Lit(Double(0.25))), Double(0.75)},
+		{"dbl-div", Call(FnDoubleDivide, Lit(Double(1)), Lit(Double(4))), Double(0.25)},
+		{"round", Call(FnRound, Lit(Double(2.6))), Double(3)},
+		{"floor", Call(FnFloor, Lit(Double(2.6))), Double(2)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := evalExpr(t, tt.expr).One()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(tt.want) {
+				t.Errorf("got %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	c := NewContext(NewRequest())
+	for _, e := range []Expression{
+		Call(FnIntegerDivide, Lit(Integer(1)), Lit(Integer(0))),
+		Call(FnIntegerMod, Lit(Integer(1)), Lit(Integer(0))),
+		Call(FnDoubleDivide, Lit(Double(1)), Lit(Double(0))),
+	} {
+		if _, err := e.Eval(c); err == nil {
+			t.Errorf("%v: expected division-by-zero error", e)
+		}
+	}
+}
+
+func TestStringFunctions(t *testing.T) {
+	tests := []struct {
+		name string
+		expr Expression
+		want Value
+	}{
+		{"concat", Call(FnStringConcat, Lit(String("foo")), Lit(String("-")), Lit(String("bar"))), String("foo-bar")},
+		{"contains", Call(FnStringContains, Lit(String("oo")), Lit(String("foo"))), Boolean(true)},
+		{"starts", Call(FnStringStartsWith, Lit(String("fo")), Lit(String("foo"))), Boolean(true)},
+		{"ends", Call(FnStringEndsWith, Lit(String("oo")), Lit(String("foo"))), Boolean(true)},
+		{"regexp", Call(FnStringRegexp, Lit(String("^d[0-9]+$")), Lit(String("d42"))), Boolean(true)},
+		{"regexp-no", Call(FnStringRegexp, Lit(String("^d[0-9]+$")), Lit(String("x42"))), Boolean(false)},
+		{"lower", Call(FnStringToLower, Lit(String("ABC"))), String("abc")},
+		{"upper", Call(FnStringToUpper, Lit(String("abc"))), String("ABC")},
+		{"length", Call(FnStringLength, Lit(String("abcd"))), Integer(4)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := evalExpr(t, tt.expr).One()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(tt.want) {
+				t.Errorf("got %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestConversionFunctions(t *testing.T) {
+	tests := []struct {
+		name string
+		expr Expression
+		want Value
+	}{
+		{"s2i", Call(FnStringToInteger, Lit(String("42"))), Integer(42)},
+		{"i2s", Call(FnIntegerToString, Lit(Integer(42))), String("42")},
+		{"s2d", Call(FnStringToDouble, Lit(String("2.5"))), Double(2.5)},
+		{"i2d", Call(FnIntegerToDouble, Lit(Integer(2))), Double(2)},
+		{"d2i", Call(FnDoubleToInteger, Lit(Double(2.9))), Integer(2)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := evalExpr(t, tt.expr).One()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(tt.want) {
+				t.Errorf("got %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestBagFunctions(t *testing.T) {
+	bag := LitBag(String("a"), String("b"), String("b"))
+	tests := []struct {
+		name string
+		expr Expression
+		want Value
+	}{
+		{"size", Call(FnBagSize, bag), Integer(3)},
+		{"is-in", Call(FnIsIn, Lit(String("a")), bag), Boolean(true)},
+		{"is-in-no", Call(FnIsIn, Lit(String("z")), bag), Boolean(false)},
+		{"empty", Call(FnBagIsEmpty, LitBag()), Boolean(true)},
+		{"subset", Call(FnSubset, LitBag(String("a")), bag), Boolean(true)},
+		{"set-eq", Call(FnSetEquals, LitBag(String("b"), String("a")), bag), Boolean(true)},
+		{"at-least-one", Call(FnAtLeastOne, LitBag(String("z"), String("a")), bag), Boolean(true)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := evalExpr(t, tt.expr).One()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(tt.want) {
+				t.Errorf("got %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestBagConstructionAndSetOps(t *testing.T) {
+	u := evalExpr(t, Call(FnUnion, LitBag(String("a")), LitBag(String("b"), String("a"))))
+	if !u.SetEquals(BagOf(String("a"), String("b"))) {
+		t.Errorf("union = %v", u.Strings())
+	}
+	i := evalExpr(t, Call(FnIntersect, LitBag(String("a"), String("b")), LitBag(String("b"))))
+	if !i.SetEquals(BagOf(String("b"))) {
+		t.Errorf("intersection = %v", i.Strings())
+	}
+	b := evalExpr(t, Call(FnBag, Lit(String("x")), LitBag(String("y"), String("z"))))
+	if b.Size() != 3 {
+		t.Errorf("bag() size = %d, want 3", b.Size())
+	}
+}
+
+func TestHigherOrderFunctions(t *testing.T) {
+	roles := LitBag(String("doctor"), String("nurse"))
+	tests := []struct {
+		name string
+		expr Expression
+		want bool
+	}{
+		{"any-of-hit", Call(FnAnyOf, Lit(String(FnEqual)), Lit(String("nurse")), roles), true},
+		{"any-of-miss", Call(FnAnyOf, Lit(String(FnEqual)), Lit(String("admin")), roles), false},
+		{"all-of-hit", Call(FnAllOf, Lit(String(FnLessThan)), Lit(Integer(0)), LitBag(Integer(1), Integer(2))), true},
+		{"all-of-miss", Call(FnAllOf, Lit(String(FnLessThan)), Lit(Integer(0)), LitBag(Integer(1), Integer(-2))), false},
+		{"any-any-hit", Call(FnAnyOfAnyOf, Lit(String(FnEqual)), LitBag(String("a"), String("b")), LitBag(String("b"), String("c"))), true},
+		{"any-any-miss", Call(FnAnyOfAnyOf, Lit(String(FnEqual)), LitBag(String("a")), LitBag(String("c"))), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := evalBool(t, tt.expr); got != tt.want {
+				t.Errorf("got %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTimeFunctions(t *testing.T) {
+	base := time.Date(2026, 6, 12, 14, 30, 0, 0, time.UTC) // a Friday
+	tests := []struct {
+		name string
+		expr Expression
+		want Value
+	}{
+		{"in-range", Call(FnTimeInRange, Lit(Time(base)), Lit(Time(base.Add(-time.Hour))), Lit(Time(base.Add(time.Hour)))), Boolean(true)},
+		{"out-of-range", Call(FnTimeInRange, Lit(Time(base.Add(2*time.Hour))), Lit(Time(base.Add(-time.Hour))), Lit(Time(base.Add(time.Hour)))), Boolean(false)},
+		{"boundary", Call(FnTimeInRange, Lit(Time(base)), Lit(Time(base)), Lit(Time(base))), Boolean(true)},
+		{"add", Call(FnTimeAdd, Lit(Time(base)), Lit(Duration(time.Hour))), Time(base.Add(time.Hour))},
+		{"hour", Call(FnHourOfDay, Lit(Time(base))), Integer(14)},
+		{"weekday", Call(FnDayOfWeek, Lit(Time(base))), Integer(int64(time.Friday))},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := evalExpr(t, tt.expr).One()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(tt.want) {
+				t.Errorf("got %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestUnknownFunctionAndArity(t *testing.T) {
+	c := NewContext(NewRequest())
+	if _, err := Call("no-such-fn").Eval(c); !errors.Is(err, ErrUnknownFunction) {
+		t.Errorf("expected ErrUnknownFunction, got %v", err)
+	}
+	if _, err := Call(FnNot).Eval(c); !errors.Is(err, ErrArity) {
+		t.Errorf("expected ErrArity, got %v", err)
+	}
+	if _, err := Call(FnNot, Lit(Boolean(true)), Lit(Boolean(true))).Eval(c); !errors.Is(err, ErrArity) {
+		t.Errorf("expected ErrArity for extra arg, got %v", err)
+	}
+}
+
+func TestTypeMismatchErrors(t *testing.T) {
+	c := NewContext(NewRequest())
+	cases := []Expression{
+		Call(FnIntegerAdd, Lit(String("1")), Lit(Integer(1))),
+		Call(FnStringConcat, Lit(Integer(1))),
+		Not(Lit(Integer(1))),
+		Call(FnHourOfDay, Lit(String("noon"))),
+	}
+	for _, e := range cases {
+		if _, err := e.Eval(c); !errors.Is(err, ErrTypeMismatch) {
+			t.Errorf("%v: expected ErrTypeMismatch, got %v", e, err)
+		}
+	}
+}
+
+func TestOneAndOnlyOnEmptyAndMulti(t *testing.T) {
+	c := NewContext(NewRequest())
+	if _, err := Call(FnOneAndOnly, LitBag()).Eval(c); !errors.Is(err, ErrNotSingleton) {
+		t.Errorf("empty bag: expected ErrNotSingleton, got %v", err)
+	}
+	if _, err := Call(FnOneAndOnly, LitBag(Integer(1), Integer(2))).Eval(c); !errors.Is(err, ErrNotSingleton) {
+		t.Errorf("2-bag: expected ErrNotSingleton, got %v", err)
+	}
+}
+
+func TestFunctionNamesComplete(t *testing.T) {
+	names := FunctionNames()
+	if len(names) < 40 {
+		t.Errorf("function registry has %d entries, expected a rich library (>=40)", len(names))
+	}
+	for _, n := range names {
+		if _, ok := LookupFunction(n); !ok {
+			t.Errorf("FunctionNames lists %q but LookupFunction misses it", n)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package policy
+
+import "fmt"
+
+// Effect is the outcome a rule asserts when it applies.
+type Effect int
+
+// Rule effects.
+const (
+	EffectPermit Effect = iota + 1
+	EffectDeny
+)
+
+// String returns the canonical name of the effect.
+func (e Effect) String() string {
+	switch e {
+	case EffectPermit:
+		return "Permit"
+	case EffectDeny:
+		return "Deny"
+	default:
+		return fmt.Sprintf("effect(%d)", int(e))
+	}
+}
+
+// Decision is the outcome of evaluating a rule, policy or policy set.
+type Decision int
+
+// The four XACML decisions.
+const (
+	DecisionPermit Decision = iota + 1
+	DecisionDeny
+	DecisionNotApplicable
+	DecisionIndeterminate
+)
+
+// String returns the canonical name of the decision.
+func (d Decision) String() string {
+	switch d {
+	case DecisionPermit:
+		return "Permit"
+	case DecisionDeny:
+		return "Deny"
+	case DecisionNotApplicable:
+		return "NotApplicable"
+	case DecisionIndeterminate:
+		return "Indeterminate"
+	default:
+		return fmt.Sprintf("decision(%d)", int(d))
+	}
+}
+
+// DecisionFromString parses a canonical decision name.
+func DecisionFromString(s string) (Decision, error) {
+	switch s {
+	case "Permit":
+		return DecisionPermit, nil
+	case "Deny":
+		return DecisionDeny, nil
+	case "NotApplicable":
+		return DecisionNotApplicable, nil
+	case "Indeterminate":
+		return DecisionIndeterminate, nil
+	default:
+		return 0, fmt.Errorf("policy: unknown decision %q", s)
+	}
+}
+
+// Allows reports whether the decision authorises access. Enforcement points
+// are deny-biased: anything but an explicit Permit denies access.
+func (d Decision) Allows() bool { return d == DecisionPermit }
+
+// Assignment computes one named attribute of a fulfilled obligation.
+type Assignment struct {
+	// Name identifies the obligation attribute.
+	Name string
+	// Expr computes the attribute value at decision time.
+	Expr Expression
+}
+
+// Obligation is an action the enforcement point must perform when a decision
+// with the given effect is returned (Section 2.3 of the paper). Assignments
+// parameterise the action with values computed from the request context.
+type Obligation struct {
+	// ID names the obligation so enforcement points can dispatch handlers.
+	ID string
+	// FulfillOn selects the decisions (by effect) carrying the obligation.
+	FulfillOn Effect
+	// Assignments parameterise the obligation.
+	Assignments []Assignment
+}
+
+// FulfilledObligation is an obligation with its assignments evaluated,
+// carried inside a Result back to the enforcement point.
+type FulfilledObligation struct {
+	// ID names the obligation.
+	ID string
+	// Attributes holds the evaluated assignment values by name.
+	Attributes map[string]Value
+}
+
+func fulfillObligations(c *Context, obs []Obligation, effect Effect) ([]FulfilledObligation, error) {
+	var out []FulfilledObligation
+	for _, ob := range obs {
+		if ob.FulfillOn != effect {
+			continue
+		}
+		f := FulfilledObligation{ID: ob.ID}
+		if len(ob.Assignments) > 0 {
+			f.Attributes = make(map[string]Value, len(ob.Assignments))
+		}
+		for _, as := range ob.Assignments {
+			bag, err := as.Expr.Eval(c)
+			if err != nil {
+				return nil, fmt.Errorf("policy: obligation %s assignment %s: %w", ob.ID, as.Name, err)
+			}
+			v, err := bag.One()
+			if err != nil {
+				return nil, fmt.Errorf("policy: obligation %s assignment %s: %w", ob.ID, as.Name, err)
+			}
+			f.Attributes[as.Name] = v
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// Result is the outcome of an evaluation: the decision, the obligations the
+// enforcement point must fulfil, the identifier of the entity that
+// determined the decision, and the error behind an Indeterminate.
+type Result struct {
+	// Decision is the evaluation outcome.
+	Decision Decision
+	// Obligations must be fulfilled by the enforcement point before
+	// acting on the decision.
+	Obligations []FulfilledObligation
+	// By identifies the rule or policy that produced the decision.
+	By string
+	// Err carries the evaluation failure behind an Indeterminate.
+	Err error
+}
+
+func permit(by string) Result { return Result{Decision: DecisionPermit, By: by} }
+func deny(by string) Result   { return Result{Decision: DecisionDeny, By: by} }
+func notApplicable() Result   { return Result{Decision: DecisionNotApplicable} }
+func indeterminate(by string, err error) Result {
+	return Result{Decision: DecisionIndeterminate, By: by, Err: err}
+}
+
+// Rule is the smallest evaluable unit: an effect guarded by a target and an
+// optional condition.
+type Rule struct {
+	// ID names the rule within its policy.
+	ID string
+	// Description documents intent for audits.
+	Description string
+	// Effect is asserted when target and condition hold.
+	Effect Effect
+	// Target gates applicability; an empty target always applies.
+	Target Target
+	// Condition optionally refines applicability; nil means true.
+	Condition Expression
+	// Obligations are attached to the rule's decision.
+	Obligations []Obligation
+}
+
+// Evaluate applies the rule to the context.
+func (r *Rule) Evaluate(c *Context) Result {
+	match, err := r.Target.Evaluate(c)
+	if match == MatchIndeterminate {
+		return indeterminate(r.ID, err)
+	}
+	if match == MatchNo {
+		return notApplicable()
+	}
+	ok, err := EvalCondition(c, r.Condition)
+	if err != nil {
+		return indeterminate(r.ID, err)
+	}
+	if !ok {
+		return notApplicable()
+	}
+	obs, err := fulfillObligations(c, r.Obligations, r.Effect)
+	if err != nil {
+		return indeterminate(r.ID, err)
+	}
+	res := Result{By: r.ID, Obligations: obs}
+	if r.Effect == EffectPermit {
+		res.Decision = DecisionPermit
+	} else {
+		res.Decision = DecisionDeny
+	}
+	return res
+}

@@ -1,0 +1,204 @@
+package policy
+
+import "fmt"
+
+// MatchResult is the ternary outcome of target matching.
+type MatchResult int
+
+// Target matching outcomes.
+const (
+	MatchYes MatchResult = iota + 1
+	MatchNo
+	MatchIndeterminate
+)
+
+// String returns a readable name for the match result.
+func (m MatchResult) String() string {
+	switch m {
+	case MatchYes:
+		return "match"
+	case MatchNo:
+		return "no-match"
+	case MatchIndeterminate:
+		return "indeterminate"
+	default:
+		return fmt.Sprintf("matchresult(%d)", int(m))
+	}
+}
+
+// Match tests one request attribute against a constant using a registered
+// predicate function, the XACML Match element. The predicate receives
+// (Literal, attribute-value) and must return a boolean; the match succeeds
+// when the predicate holds for at least one value in the attribute's bag.
+type Match struct {
+	// Category and Name designate the attribute under test.
+	Category Category
+	Name     string
+	// Function names the predicate; FnEqual when empty.
+	Function string
+	// Value is the constant compared against the attribute.
+	Value Value
+}
+
+// MatchAttr builds an equality match for the named attribute.
+func MatchAttr(cat Category, name string, v Value) Match {
+	return Match{Category: cat, Name: name, Function: FnEqual, Value: v}
+}
+
+// MatchSubject matches a subject attribute by equality.
+func MatchSubject(name string, v Value) Match { return MatchAttr(CategorySubject, name, v) }
+
+// MatchResource matches a resource attribute by equality.
+func MatchResource(name string, v Value) Match { return MatchAttr(CategoryResource, name, v) }
+
+// MatchAction matches an action attribute by equality.
+func MatchAction(name string, v Value) Match { return MatchAttr(CategoryAction, name, v) }
+
+// MatchResourceID matches the well-known resource identifier.
+func MatchResourceID(id string) Match { return MatchResource(AttrResourceID, String(id)) }
+
+// MatchActionID matches the well-known action identifier.
+func MatchActionID(id string) Match { return MatchAction(AttrActionID, String(id)) }
+
+// MatchRole matches the subject role attribute.
+func MatchRole(role string) Match { return MatchSubject(AttrSubjectRole, String(role)) }
+
+// Evaluate tests the match against the context.
+func (m Match) Evaluate(c *Context) (MatchResult, error) {
+	fname := m.Function
+	if fname == "" {
+		fname = FnEqual
+	}
+	fn, ok := LookupFunction(fname)
+	if !ok {
+		return MatchIndeterminate, fmt.Errorf("policy: match function %q: %w", fname, ErrUnknownFunction)
+	}
+	bag, err := c.Attribute(m.Category, m.Name)
+	if err != nil {
+		return MatchIndeterminate, err
+	}
+	for _, v := range bag {
+		out, err := fn.Call(c, []Bag{Singleton(m.Value), Singleton(v)})
+		if err != nil {
+			return MatchIndeterminate, err
+		}
+		b, err := out.One()
+		if err != nil || b.Kind() != KindBoolean {
+			return MatchIndeterminate, fmt.Errorf("policy: match predicate %q did not return a boolean", fname)
+		}
+		if b.Bool() {
+			return MatchYes, nil
+		}
+	}
+	return MatchNo, nil
+}
+
+// AllOf is a conjunction of matches: every match must succeed.
+type AllOf []Match
+
+// Evaluate tests the conjunction.
+func (a AllOf) Evaluate(c *Context) (MatchResult, error) {
+	for _, m := range a {
+		r, err := m.Evaluate(c)
+		if err != nil || r == MatchIndeterminate {
+			return MatchIndeterminate, err
+		}
+		if r == MatchNo {
+			return MatchNo, nil
+		}
+	}
+	return MatchYes, nil
+}
+
+// AnyOf is a disjunction of conjunctions: at least one AllOf must succeed.
+type AnyOf []AllOf
+
+// Evaluate tests the disjunction. Indeterminate branches are tolerated when
+// another branch matches, per XACML target semantics.
+func (a AnyOf) Evaluate(c *Context) (MatchResult, error) {
+	sawIndeterminate := false
+	var firstErr error
+	for _, all := range a {
+		r, err := all.Evaluate(c)
+		switch r {
+		case MatchYes:
+			return MatchYes, nil
+		case MatchIndeterminate:
+			sawIndeterminate = true
+			if firstErr == nil {
+				firstErr = err
+			}
+		case MatchNo:
+			// keep scanning
+		}
+	}
+	if sawIndeterminate {
+		return MatchIndeterminate, firstErr
+	}
+	return MatchNo, nil
+}
+
+// Target is a conjunction of AnyOf groups. An empty target matches every
+// request, which is how catch-all policies are written.
+type Target []AnyOf
+
+// NewTarget builds a single-group target where each given match must hold
+// (a pure conjunction), the most common authoring shape.
+func NewTarget(matches ...Match) Target {
+	if len(matches) == 0 {
+		return nil
+	}
+	groups := make(Target, 0, len(matches))
+	for _, m := range matches {
+		groups = append(groups, AnyOf{AllOf{m}})
+	}
+	return groups
+}
+
+// TargetAnyOf builds a single-group disjunctive target: any one of the given
+// matches suffices.
+func TargetAnyOf(matches ...Match) Target {
+	group := make(AnyOf, 0, len(matches))
+	for _, m := range matches {
+		group = append(group, AllOf{m})
+	}
+	return Target{group}
+}
+
+// Evaluate tests the target against the context.
+func (t Target) Evaluate(c *Context) (MatchResult, error) {
+	for _, group := range t {
+		r, err := group.Evaluate(c)
+		if err != nil || r == MatchIndeterminate {
+			return MatchIndeterminate, err
+		}
+		if r == MatchNo {
+			return MatchNo, nil
+		}
+	}
+	return MatchYes, nil
+}
+
+// ExactMatches extracts the equality constraints the target places on the
+// given attribute, used by the static conflict analyser and the PDP target
+// index. The boolean reports whether the attribute is constrained at all by
+// pure equality matches; a false means the target accepts any value for it.
+func (t Target) ExactMatches(cat Category, name string) ([]Value, bool) {
+	var vals []Value
+	constrained := false
+	for _, group := range t {
+		for _, all := range group {
+			for _, m := range all {
+				if m.Category != cat || m.Name != name {
+					continue
+				}
+				if m.Function != "" && m.Function != FnEqual {
+					return nil, false
+				}
+				constrained = true
+				vals = append(vals, m.Value)
+			}
+		}
+	}
+	return vals, constrained
+}

@@ -1,0 +1,183 @@
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func requestDoctorRead() *Request {
+	return NewAccessRequest("alice", "patient-record-7", "read").
+		Add(CategorySubject, AttrSubjectRole, String("doctor"))
+}
+
+func TestEmptyTargetMatchesEverything(t *testing.T) {
+	var target Target
+	c := NewContext(NewRequest())
+	got, err := target.Evaluate(c)
+	if err != nil || got != MatchYes {
+		t.Errorf("empty target: got %v, %v; want MatchYes", got, err)
+	}
+}
+
+func TestTargetConjunction(t *testing.T) {
+	target := NewTarget(
+		MatchResourceID("patient-record-7"),
+		MatchActionID("read"),
+	)
+	tests := []struct {
+		name string
+		req  *Request
+		want MatchResult
+	}{
+		{"both-match", requestDoctorRead(), MatchYes},
+		{"wrong-action", NewAccessRequest("alice", "patient-record-7", "write"), MatchNo},
+		{"wrong-resource", NewAccessRequest("alice", "other", "read"), MatchNo},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := target.Evaluate(NewContext(tt.req))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tt.want {
+				t.Errorf("got %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTargetDisjunction(t *testing.T) {
+	target := TargetAnyOf(MatchRole("doctor"), MatchRole("nurse"))
+	doctor := requestDoctorRead()
+	nurse := NewAccessRequest("bob", "r", "read").Add(CategorySubject, AttrSubjectRole, String("nurse"))
+	admin := NewAccessRequest("eve", "r", "read").Add(CategorySubject, AttrSubjectRole, String("admin"))
+
+	for _, tt := range []struct {
+		name string
+		req  *Request
+		want MatchResult
+	}{
+		{"doctor", doctor, MatchYes},
+		{"nurse", nurse, MatchYes},
+		{"admin", admin, MatchNo},
+	} {
+		got, err := target.Evaluate(NewContext(tt.req))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tt.want {
+			t.Errorf("%s: got %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestTargetMatchesAnyValueInBag(t *testing.T) {
+	// A subject with several roles matches if any role equals the target.
+	target := NewTarget(MatchRole("auditor"))
+	req := NewAccessRequest("carol", "r", "read").
+		Add(CategorySubject, AttrSubjectRole, String("clerk"), String("auditor"))
+	got, err := target.Evaluate(NewContext(req))
+	if err != nil || got != MatchYes {
+		t.Errorf("multi-valued role: got %v, %v; want MatchYes", got, err)
+	}
+}
+
+func TestTargetMissingAttributeIsNoMatch(t *testing.T) {
+	target := NewTarget(MatchRole("doctor"))
+	req := NewAccessRequest("dave", "r", "read") // no role attribute
+	got, err := target.Evaluate(NewContext(req))
+	if err != nil || got != MatchNo {
+		t.Errorf("missing attribute: got %v, %v; want MatchNo", got, err)
+	}
+}
+
+func TestTargetCustomPredicate(t *testing.T) {
+	target := Target{AnyOf{AllOf{Match{
+		Category: CategoryResource,
+		Name:     AttrResourceID,
+		Function: FnStringRegexp,
+		Value:    String("^patient-record-[0-9]+$"),
+	}}}}
+	yes := NewContext(NewAccessRequest("a", "patient-record-12", "read"))
+	no := NewContext(NewAccessRequest("a", "invoice-12", "read"))
+	if got, _ := target.Evaluate(yes); got != MatchYes {
+		t.Errorf("regexp target should match, got %v", got)
+	}
+	if got, _ := target.Evaluate(no); got != MatchNo {
+		t.Errorf("regexp target should not match, got %v", got)
+	}
+}
+
+func TestTargetUnknownPredicateIndeterminate(t *testing.T) {
+	target := Target{AnyOf{AllOf{Match{
+		Category: CategoryResource,
+		Name:     AttrResourceID,
+		Function: "bogus",
+		Value:    String("x"),
+	}}}}
+	got, err := target.Evaluate(NewContext(NewAccessRequest("a", "x", "read")))
+	if got != MatchIndeterminate {
+		t.Errorf("got %v, want MatchIndeterminate", got)
+	}
+	if !errors.Is(err, ErrUnknownFunction) {
+		t.Errorf("want ErrUnknownFunction, got %v", err)
+	}
+}
+
+func TestTargetResolverErrorIndeterminate(t *testing.T) {
+	target := NewTarget(MatchRole("doctor"))
+	c := NewContext(NewAccessRequest("a", "x", "read")).WithResolver(
+		ResolverFunc(func(*Request, Category, string) (Bag, error) {
+			return nil, fmt.Errorf("directory down")
+		}))
+	got, err := target.Evaluate(c)
+	if got != MatchIndeterminate || err == nil {
+		t.Errorf("resolver failure: got %v, %v; want MatchIndeterminate with error", got, err)
+	}
+}
+
+func TestAnyOfToleratesIndeterminateWhenAnotherBranchMatches(t *testing.T) {
+	// Branch 1 errors (unknown function), branch 2 matches: XACML target
+	// semantics allow the disjunction to succeed.
+	target := Target{AnyOf{
+		AllOf{Match{Category: CategoryResource, Name: AttrResourceID, Function: "bogus", Value: String("x")}},
+		AllOf{MatchResourceID("x")},
+	}}
+	got, err := target.Evaluate(NewContext(NewAccessRequest("a", "x", "read")))
+	if err != nil || got != MatchYes {
+		t.Errorf("got %v, %v; want MatchYes", got, err)
+	}
+}
+
+func TestExactMatches(t *testing.T) {
+	target := NewTarget(MatchResourceID("db1"), MatchActionID("read"))
+	vals, constrained := target.ExactMatches(CategoryResource, AttrResourceID)
+	if !constrained || len(vals) != 1 || !vals[0].Equal(String("db1")) {
+		t.Errorf("ExactMatches resource-id = %v, %v", vals, constrained)
+	}
+	if _, constrained := target.ExactMatches(CategorySubject, AttrSubjectRole); constrained {
+		t.Error("role should be unconstrained")
+	}
+	// A non-equality predicate disables index-ability.
+	regexTarget := Target{AnyOf{AllOf{Match{
+		Category: CategoryResource, Name: AttrResourceID,
+		Function: FnStringRegexp, Value: String(".*"),
+	}}}}
+	if _, constrained := regexTarget.ExactMatches(CategoryResource, AttrResourceID); constrained {
+		t.Error("regexp-matched attribute must report unconstrained")
+	}
+}
+
+func TestMatchResultString(t *testing.T) {
+	for _, tt := range []struct {
+		m    MatchResult
+		want string
+	}{
+		{MatchYes, "match"}, {MatchNo, "no-match"}, {MatchIndeterminate, "indeterminate"},
+	} {
+		if got := tt.m.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,352 @@
+package policy
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind identifies the data type of a Value.
+type Kind int
+
+// Supported value kinds. Enums start at one so the zero Kind is invalid and
+// detectable.
+const (
+	KindString Kind = iota + 1
+	KindInteger
+	KindDouble
+	KindBoolean
+	KindTime
+	KindDuration
+)
+
+// String returns the canonical name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindString:
+		return "string"
+	case KindInteger:
+		return "integer"
+	case KindDouble:
+		return "double"
+	case KindBoolean:
+		return "boolean"
+	case KindTime:
+		return "time"
+	case KindDuration:
+		return "duration"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// KindFromString parses a canonical kind name as produced by Kind.String.
+func KindFromString(s string) (Kind, error) {
+	switch s {
+	case "string":
+		return KindString, nil
+	case "integer":
+		return KindInteger, nil
+	case "double":
+		return KindDouble, nil
+	case "boolean":
+		return KindBoolean, nil
+	case "time":
+		return KindTime, nil
+	case "duration":
+		return KindDuration, nil
+	default:
+		return 0, fmt.Errorf("policy: unknown value kind %q", s)
+	}
+}
+
+// Value is a single typed attribute value. Values are immutable and
+// comparable through Equal and Compare. The zero Value is invalid.
+type Value struct {
+	kind Kind
+	str  string
+	num  int64
+	flt  float64
+	bit  bool
+	ts   time.Time
+	dur  time.Duration
+}
+
+// String constructs a string Value.
+func String(s string) Value { return Value{kind: KindString, str: s} }
+
+// Integer constructs an integer Value.
+func Integer(i int64) Value { return Value{kind: KindInteger, num: i} }
+
+// Double constructs a double-precision Value.
+func Double(f float64) Value { return Value{kind: KindDouble, flt: f} }
+
+// Boolean constructs a boolean Value.
+func Boolean(b bool) Value { return Value{kind: KindBoolean, bit: b} }
+
+// Time constructs a time Value. The time is normalised to UTC so that
+// equality does not depend on location metadata.
+func Time(t time.Time) Value { return Value{kind: KindTime, ts: t.UTC()} }
+
+// Duration constructs a duration Value.
+func Duration(d time.Duration) Value { return Value{kind: KindDuration, dur: d} }
+
+// Kind reports the value's kind. The zero Value reports zero.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsValid reports whether the value carries a recognised kind.
+func (v Value) IsValid() bool { return v.kind >= KindString && v.kind <= KindDuration }
+
+// Str returns the underlying string; it is only meaningful for KindString.
+func (v Value) Str() string { return v.str }
+
+// Int returns the underlying integer; it is only meaningful for KindInteger.
+func (v Value) Int() int64 { return v.num }
+
+// Float returns the underlying double; it is only meaningful for KindDouble.
+func (v Value) Float() float64 { return v.flt }
+
+// Bool returns the underlying boolean; it is only meaningful for KindBoolean.
+func (v Value) Bool() bool { return v.bit }
+
+// TimeValue returns the underlying time; it is only meaningful for KindTime.
+func (v Value) TimeValue() time.Time { return v.ts }
+
+// DurationValue returns the underlying duration; it is only meaningful for
+// KindDuration.
+func (v Value) DurationValue() time.Duration { return v.dur }
+
+// Equal reports whether two values have the same kind and payload.
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindString:
+		return v.str == o.str
+	case KindInteger:
+		return v.num == o.num
+	case KindDouble:
+		return v.flt == o.flt
+	case KindBoolean:
+		return v.bit == o.bit
+	case KindTime:
+		return v.ts.Equal(o.ts)
+	case KindDuration:
+		return v.dur == o.dur
+	default:
+		return false
+	}
+}
+
+// Compare orders two values of the same kind, returning -1, 0 or +1. Booleans
+// order false before true. An error is returned for mismatched kinds.
+func (v Value) Compare(o Value) (int, error) {
+	if v.kind != o.kind {
+		return 0, fmt.Errorf("policy: cannot compare %s with %s: %w", v.kind, o.kind, ErrTypeMismatch)
+	}
+	switch v.kind {
+	case KindString:
+		return strings.Compare(v.str, o.str), nil
+	case KindInteger:
+		return compareOrdered(v.num, o.num), nil
+	case KindDouble:
+		return compareOrdered(v.flt, o.flt), nil
+	case KindBoolean:
+		return compareOrdered(boolToInt(v.bit), boolToInt(o.bit)), nil
+	case KindTime:
+		return v.ts.Compare(o.ts), nil
+	case KindDuration:
+		return compareOrdered(v.dur, o.dur), nil
+	default:
+		return 0, fmt.Errorf("policy: cannot compare invalid values: %w", ErrTypeMismatch)
+	}
+}
+
+func compareOrdered[T int64 | float64 | time.Duration](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func boolToInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// String renders the value payload in its canonical textual form, suitable
+// for round-tripping through ParseValue.
+func (v Value) String() string {
+	switch v.kind {
+	case KindString:
+		return v.str
+	case KindInteger:
+		return strconv.FormatInt(v.num, 10)
+	case KindDouble:
+		return strconv.FormatFloat(v.flt, 'g', -1, 64)
+	case KindBoolean:
+		return strconv.FormatBool(v.bit)
+	case KindTime:
+		return v.ts.Format(time.RFC3339Nano)
+	case KindDuration:
+		return v.dur.String()
+	default:
+		return "<invalid>"
+	}
+}
+
+// ParseValue parses the canonical textual form of a value of the given kind,
+// inverting Value.String.
+func ParseValue(kind Kind, text string) (Value, error) {
+	switch kind {
+	case KindString:
+		return String(text), nil
+	case KindInteger:
+		i, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("policy: parse integer %q: %w", text, err)
+		}
+		return Integer(i), nil
+	case KindDouble:
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("policy: parse double %q: %w", text, err)
+		}
+		return Double(f), nil
+	case KindBoolean:
+		b, err := strconv.ParseBool(text)
+		if err != nil {
+			return Value{}, fmt.Errorf("policy: parse boolean %q: %w", text, err)
+		}
+		return Boolean(b), nil
+	case KindTime:
+		t, err := time.Parse(time.RFC3339Nano, text)
+		if err != nil {
+			return Value{}, fmt.Errorf("policy: parse time %q: %w", text, err)
+		}
+		return Time(t), nil
+	case KindDuration:
+		d, err := time.ParseDuration(text)
+		if err != nil {
+			return Value{}, fmt.Errorf("policy: parse duration %q: %w", text, err)
+		}
+		return Duration(d), nil
+	default:
+		return Value{}, fmt.Errorf("policy: cannot parse value of kind %v", kind)
+	}
+}
+
+// Bag is an unordered multiset of values, the result type of attribute
+// lookups and expression evaluation. A nil Bag is a valid empty bag.
+type Bag []Value
+
+// BagOf builds a bag from the given values.
+func BagOf(vals ...Value) Bag { return Bag(vals) }
+
+// Singleton wraps one value in a bag.
+func Singleton(v Value) Bag { return Bag{v} }
+
+// Empty reports whether the bag holds no values.
+func (b Bag) Empty() bool { return len(b) == 0 }
+
+// Size returns the number of values in the bag.
+func (b Bag) Size() int { return len(b) }
+
+// Contains reports whether the bag holds a value equal to v.
+func (b Bag) Contains(v Value) bool {
+	for _, e := range b {
+		if e.Equal(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// One extracts the single value from a singleton bag, failing otherwise.
+// This mirrors the XACML type-one-and-only functions.
+func (b Bag) One() (Value, error) {
+	if len(b) != 1 {
+		return Value{}, fmt.Errorf("policy: expected singleton bag, got %d values: %w", len(b), ErrNotSingleton)
+	}
+	return b[0], nil
+}
+
+// Union returns a bag holding every value appearing in either bag, with
+// duplicates (by Equal) removed.
+func (b Bag) Union(o Bag) Bag {
+	out := make(Bag, 0, len(b)+len(o))
+	for _, v := range b {
+		if !out.Contains(v) {
+			out = append(out, v)
+		}
+	}
+	for _, v := range o {
+		if !out.Contains(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Intersection returns a bag holding every value appearing in both bags,
+// de-duplicated.
+func (b Bag) Intersection(o Bag) Bag {
+	out := make(Bag, 0, min(len(b), len(o)))
+	for _, v := range b {
+		if o.Contains(v) && !out.Contains(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// SubsetOf reports whether every value of b appears in o.
+func (b Bag) SubsetOf(o Bag) bool {
+	for _, v := range b {
+		if !o.Contains(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// SetEquals reports whether the two bags contain the same set of values,
+// ignoring multiplicity and order.
+func (b Bag) SetEquals(o Bag) bool { return b.SubsetOf(o) && o.SubsetOf(b) }
+
+// AtLeastOneMemberOf reports whether any value of b appears in o.
+func (b Bag) AtLeastOneMemberOf(o Bag) bool {
+	for _, v := range b {
+		if o.Contains(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns an independent copy of the bag.
+func (b Bag) Clone() Bag {
+	if b == nil {
+		return nil
+	}
+	out := make(Bag, len(b))
+	copy(out, b)
+	return out
+}
+
+// Strings renders every value in the bag via Value.String.
+func (b Bag) Strings() []string {
+	out := make([]string, len(b))
+	for i, v := range b {
+		out[i] = v.String()
+	}
+	return out
+}

@@ -1,0 +1,305 @@
+package policy
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestValueKinds(t *testing.T) {
+	now := time.Date(2026, 6, 12, 10, 0, 0, 0, time.UTC)
+	tests := []struct {
+		name string
+		v    Value
+		kind Kind
+		text string
+	}{
+		{"string", String("abc"), KindString, "abc"},
+		{"integer", Integer(-42), KindInteger, "-42"},
+		{"double", Double(2.5), KindDouble, "2.5"},
+		{"boolean", Boolean(true), KindBoolean, "true"},
+		{"time", Time(now), KindTime, "2026-06-12T10:00:00Z"},
+		{"duration", Duration(90 * time.Second), KindDuration, "1m30s"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.v.Kind(); got != tt.kind {
+				t.Errorf("Kind() = %v, want %v", got, tt.kind)
+			}
+			if got := tt.v.String(); got != tt.text {
+				t.Errorf("String() = %q, want %q", got, tt.text)
+			}
+			if !tt.v.IsValid() {
+				t.Error("IsValid() = false, want true")
+			}
+		})
+	}
+}
+
+func TestValueParseRoundTrip(t *testing.T) {
+	vals := []Value{
+		String("hello world"),
+		Integer(9223372036854775807),
+		Double(-0.125),
+		Boolean(false),
+		Time(time.Date(1999, 12, 31, 23, 59, 59, 123456789, time.UTC)),
+		Duration(3*time.Hour + 7*time.Minute),
+	}
+	for _, v := range vals {
+		got, err := ParseValue(v.Kind(), v.String())
+		if err != nil {
+			t.Fatalf("ParseValue(%v, %q): %v", v.Kind(), v.String(), err)
+		}
+		if !got.Equal(v) {
+			t.Errorf("round trip of %v: got %v", v, got)
+		}
+	}
+}
+
+func TestParseValueErrors(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		text string
+	}{
+		{KindInteger, "not-a-number"},
+		{KindDouble, "x"},
+		{KindBoolean, "maybe"},
+		{KindTime, "tomorrow"},
+		{KindDuration, "5 parsecs"},
+		{Kind(99), "anything"},
+	}
+	for _, c := range cases {
+		if _, err := ParseValue(c.kind, c.text); err == nil {
+			t.Errorf("ParseValue(%v, %q): expected error", c.kind, c.text)
+		}
+	}
+}
+
+func TestZeroValueInvalid(t *testing.T) {
+	var v Value
+	if v.IsValid() {
+		t.Error("zero Value should be invalid")
+	}
+	if v.Equal(String("")) {
+		t.Error("zero Value should not equal any valid value")
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	tests := []struct {
+		a, b Value
+		want int
+	}{
+		{Integer(1), Integer(2), -1},
+		{Integer(2), Integer(2), 0},
+		{Integer(3), Integer(2), 1},
+		{String("a"), String("b"), -1},
+		{Double(1.5), Double(1.25), 1},
+		{Boolean(false), Boolean(true), -1},
+		{Duration(time.Second), Duration(time.Minute), -1},
+		{Time(time.Unix(1, 0)), Time(time.Unix(2, 0)), -1},
+	}
+	for _, tt := range tests {
+		got, err := tt.a.Compare(tt.b)
+		if err != nil {
+			t.Fatalf("Compare(%v, %v): %v", tt.a, tt.b, err)
+		}
+		if got != tt.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestValueCompareTypeMismatch(t *testing.T) {
+	_, err := Integer(1).Compare(String("1"))
+	if !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("expected ErrTypeMismatch, got %v", err)
+	}
+}
+
+func TestKindStringRoundTrip(t *testing.T) {
+	for k := KindString; k <= KindDuration; k++ {
+		got, err := KindFromString(k.String())
+		if err != nil {
+			t.Fatalf("KindFromString(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Errorf("round trip of kind %v: got %v", k, got)
+		}
+	}
+	if _, err := KindFromString("nope"); err == nil {
+		t.Error("expected error for unknown kind name")
+	}
+}
+
+func TestBagOperations(t *testing.T) {
+	b := BagOf(String("a"), String("b"), String("a"))
+	if b.Size() != 3 {
+		t.Errorf("Size() = %d, want 3", b.Size())
+	}
+	if !b.Contains(String("b")) {
+		t.Error("Contains(b) = false")
+	}
+	if b.Contains(String("c")) {
+		t.Error("Contains(c) = true")
+	}
+	if _, err := b.One(); !errors.Is(err, ErrNotSingleton) {
+		t.Errorf("One() on 3-bag: expected ErrNotSingleton, got %v", err)
+	}
+	v, err := Singleton(Integer(7)).One()
+	if err != nil || v.Int() != 7 {
+		t.Errorf("One() on singleton = %v, %v", v, err)
+	}
+}
+
+func TestBagSetOperations(t *testing.T) {
+	a := BagOf(String("x"), String("y"))
+	b := BagOf(String("y"), String("z"))
+
+	union := a.Union(b)
+	if union.Size() != 3 {
+		t.Errorf("Union size = %d, want 3", union.Size())
+	}
+	inter := a.Intersection(b)
+	if inter.Size() != 1 || !inter.Contains(String("y")) {
+		t.Errorf("Intersection = %v, want [y]", inter.Strings())
+	}
+	if a.SubsetOf(b) {
+		t.Error("a should not be a subset of b")
+	}
+	if !inter.SubsetOf(a) || !inter.SubsetOf(b) {
+		t.Error("intersection must be a subset of both operands")
+	}
+	if !a.AtLeastOneMemberOf(b) {
+		t.Error("a shares y with b")
+	}
+	if !BagOf(String("y"), String("x"), String("x")).SetEquals(a) {
+		t.Error("SetEquals should ignore order and multiplicity")
+	}
+}
+
+func TestBagCloneIndependence(t *testing.T) {
+	a := BagOf(String("one"))
+	b := a.Clone()
+	b[0] = String("two")
+	if a[0].Str() != "one" {
+		t.Error("Clone must not alias the original backing array")
+	}
+	var nilBag Bag
+	if nilBag.Clone() != nil {
+		t.Error("Clone of nil bag should be nil")
+	}
+}
+
+// randomValue generates an arbitrary Value for property tests.
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(6) {
+	case 0:
+		return String(quickString(r))
+	case 1:
+		return Integer(r.Int63() - r.Int63())
+	case 2:
+		return Double(r.NormFloat64())
+	case 3:
+		return Boolean(r.Intn(2) == 0)
+	case 4:
+		return Time(time.Unix(r.Int63n(1<<32), r.Int63n(1e9)))
+	default:
+		return Duration(time.Duration(r.Int63n(int64(time.Hour * 24))))
+	}
+}
+
+func quickString(r *rand.Rand) string {
+	n := r.Intn(12)
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = byte('a' + r.Intn(26))
+	}
+	return string(buf)
+}
+
+func randomBag(r *rand.Rand, n int) Bag {
+	b := make(Bag, 0, n)
+	for i := 0; i < n; i++ {
+		b = append(b, randomValue(r))
+	}
+	return b
+}
+
+func TestPropertyValueStringRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randomValue(r)
+		parsed, err := ParseValue(v.Kind(), v.String())
+		return err == nil && parsed.Equal(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyValueEqualReflexiveSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomValue(r), randomValue(r)
+		if !a.Equal(a) {
+			return false
+		}
+		return a.Equal(b) == b.Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyBagUnionCommutativeAsSets(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomBag(r, r.Intn(6)), randomBag(r, r.Intn(6))
+		return a.Union(b).SetEquals(b.Union(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyBagIntersectionSubset(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomBag(r, r.Intn(8)), randomBag(r, r.Intn(8))
+		in := a.Intersection(b)
+		return in.SubsetOf(a) && in.SubsetOf(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCompareAntisymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomValue(r)
+		b := randomValue(r)
+		if a.Kind() != b.Kind() {
+			_, err := a.Compare(b)
+			return err != nil
+		}
+		ab, err1 := a.Compare(b)
+		ba, err2 := b.Compare(a)
+		return err1 == nil && err2 == nil && ab == -ba
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBagStrings(t *testing.T) {
+	b := BagOf(Integer(1), Integer(2))
+	want := []string{"1", "2"}
+	if got := b.Strings(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Strings() = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,447 @@
+// Package rbac implements role-based access control in the ANSI/INCITS
+// 359 style the paper's Section 2.2 describes: users acquire permissions
+// through roles, roles form an inheritance hierarchy, and separation-of-
+// duty constraints restrict role combinations both statically (assignment
+// time) and dynamically (session activation time).
+//
+// The model bridges into the policy engine two ways: as a pip-compatible
+// attribute resolver serving the effective roles of a subject, and through
+// PolicyFor, which compiles a role's permissions into a policy evaluable by
+// any PDP.
+package rbac
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/policy"
+)
+
+// Errors surfaced by the model, matched with errors.Is.
+var (
+	// ErrUnknownRole reports an operation naming an undefined role.
+	ErrUnknownRole = errors.New("rbac: unknown role")
+	// ErrUnknownUser reports an operation naming an unprovisioned user.
+	ErrUnknownUser = errors.New("rbac: unknown user")
+	// ErrSSDViolation reports a user-role assignment breaking a static
+	// separation-of-duty constraint.
+	ErrSSDViolation = errors.New("rbac: static separation-of-duty violation")
+	// ErrDSDViolation reports a session activation breaking a dynamic
+	// separation-of-duty constraint.
+	ErrDSDViolation = errors.New("rbac: dynamic separation-of-duty violation")
+	// ErrNotAssigned reports activating a role the user is not
+	// (directly or through inheritance) assigned.
+	ErrNotAssigned = errors.New("rbac: role not assigned to user")
+	// ErrCycle reports a role inheritance edge that would create a cycle.
+	ErrCycle = errors.New("rbac: role hierarchy cycle")
+)
+
+// Permission pairs an action with a resource identifier (or resource type).
+type Permission struct {
+	// Action is the operation, e.g. "read".
+	Action string
+	// Resource identifies the object or object class.
+	Resource string
+}
+
+// SoDConstraint is a separation-of-duty constraint: out of the RoleSet, a
+// user (SSD) or session (DSD) may hold fewer than Cardinality roles.
+// Cardinality 2 therefore means "mutually exclusive".
+type SoDConstraint struct {
+	// Name identifies the constraint in errors and audits.
+	Name string
+	// RoleSet lists the conflicting roles.
+	RoleSet []string
+	// Cardinality is the maximum permitted count plus one, following the
+	// ANSI definition: holding >= Cardinality roles violates it.
+	Cardinality int
+}
+
+func (c SoDConstraint) violated(roles map[string]struct{}) bool {
+	n := 0
+	for _, r := range c.RoleSet {
+		if _, ok := roles[r]; ok {
+			n++
+		}
+	}
+	return n >= c.Cardinality
+}
+
+// Model is a thread-safe RBAC model.
+type Model struct {
+	mu          sync.RWMutex
+	roles       map[string]map[string]struct{} // role -> junior roles it inherits
+	permissions map[string][]Permission        // role -> direct permissions
+	assignments map[string]map[string]struct{} // user -> directly assigned roles
+	ssd         []SoDConstraint
+	dsd         []SoDConstraint
+}
+
+// NewModel builds an empty RBAC model.
+func NewModel() *Model {
+	return &Model{
+		roles:       make(map[string]map[string]struct{}),
+		permissions: make(map[string][]Permission),
+		assignments: make(map[string]map[string]struct{}),
+	}
+}
+
+// AddRole defines a role.
+func (m *Model) AddRole(role string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.roles[role]; !ok {
+		m.roles[role] = make(map[string]struct{})
+	}
+}
+
+// AddInheritance declares that senior inherits all permissions of junior
+// (senior ≥ junior). Cycles are rejected.
+func (m *Model) AddInheritance(senior, junior string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.roles[senior]; !ok {
+		return fmt.Errorf("rbac: senior %q: %w", senior, ErrUnknownRole)
+	}
+	if _, ok := m.roles[junior]; !ok {
+		return fmt.Errorf("rbac: junior %q: %w", junior, ErrUnknownRole)
+	}
+	if senior == junior || m.inheritsLocked(junior, senior) {
+		return fmt.Errorf("rbac: %s -> %s: %w", senior, junior, ErrCycle)
+	}
+	m.roles[senior][junior] = struct{}{}
+	return nil
+}
+
+// inheritsLocked reports whether from transitively inherits to.
+func (m *Model) inheritsLocked(from, to string) bool {
+	if from == to {
+		return true
+	}
+	seen := make(map[string]struct{})
+	stack := []string{from}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur == to {
+			return true
+		}
+		if _, ok := seen[cur]; ok {
+			continue
+		}
+		seen[cur] = struct{}{}
+		for j := range m.roles[cur] {
+			stack = append(stack, j)
+		}
+	}
+	return false
+}
+
+// Grant attaches a permission to a role.
+func (m *Model) Grant(role string, p Permission) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.roles[role]; !ok {
+		return fmt.Errorf("rbac: %q: %w", role, ErrUnknownRole)
+	}
+	m.permissions[role] = append(m.permissions[role], p)
+	return nil
+}
+
+// AddUser provisions a user.
+func (m *Model) AddUser(user string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.assignments[user]; !ok {
+		m.assignments[user] = make(map[string]struct{})
+	}
+}
+
+// AddSSD installs a static separation-of-duty constraint. Existing
+// assignments violating it are rejected.
+func (m *Model) AddSSD(c SoDConstraint) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for user, roles := range m.assignments {
+		eff := m.effectiveRolesLocked(roles)
+		if c.violated(eff) {
+			return fmt.Errorf("rbac: constraint %s already violated by user %s: %w", c.Name, user, ErrSSDViolation)
+		}
+	}
+	m.ssd = append(m.ssd, c)
+	return nil
+}
+
+// AddDSD installs a dynamic separation-of-duty constraint, enforced at
+// session activation time.
+func (m *Model) AddDSD(c SoDConstraint) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dsd = append(m.dsd, c)
+}
+
+// Assign gives the user a role, enforcing static separation of duty over
+// the user's effective (inherited) role set.
+func (m *Model) Assign(user, role string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.roles[role]; !ok {
+		return fmt.Errorf("rbac: %q: %w", role, ErrUnknownRole)
+	}
+	roles, ok := m.assignments[user]
+	if !ok {
+		return fmt.Errorf("rbac: %q: %w", user, ErrUnknownUser)
+	}
+	trial := make(map[string]struct{}, len(roles)+1)
+	for r := range roles {
+		trial[r] = struct{}{}
+	}
+	trial[role] = struct{}{}
+	eff := m.effectiveRolesLocked(trial)
+	for _, c := range m.ssd {
+		if c.violated(eff) {
+			return fmt.Errorf("rbac: assigning %s to %s breaks %s: %w", role, user, c.Name, ErrSSDViolation)
+		}
+	}
+	roles[role] = struct{}{}
+	return nil
+}
+
+// Deassign removes a direct role assignment.
+func (m *Model) Deassign(user, role string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	roles, ok := m.assignments[user]
+	if !ok {
+		return fmt.Errorf("rbac: %q: %w", user, ErrUnknownUser)
+	}
+	delete(roles, role)
+	return nil
+}
+
+// effectiveRolesLocked expands a direct role set through inheritance.
+func (m *Model) effectiveRolesLocked(direct map[string]struct{}) map[string]struct{} {
+	eff := make(map[string]struct{}, len(direct)*2)
+	var stack []string
+	for r := range direct {
+		stack = append(stack, r)
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if _, ok := eff[cur]; ok {
+			continue
+		}
+		eff[cur] = struct{}{}
+		for j := range m.roles[cur] {
+			stack = append(stack, j)
+		}
+	}
+	return eff
+}
+
+// EffectiveRoles returns the user's assigned roles expanded through
+// inheritance, sorted.
+func (m *Model) EffectiveRoles(user string) ([]string, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	direct, ok := m.assignments[user]
+	if !ok {
+		return nil, fmt.Errorf("rbac: %q: %w", user, ErrUnknownUser)
+	}
+	eff := m.effectiveRolesLocked(direct)
+	out := make([]string, 0, len(eff))
+	for r := range eff {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Permissions returns every permission a role holds, directly or through
+// inheritance.
+func (m *Model) Permissions(role string) ([]Permission, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if _, ok := m.roles[role]; !ok {
+		return nil, fmt.Errorf("rbac: %q: %w", role, ErrUnknownRole)
+	}
+	eff := m.effectiveRolesLocked(map[string]struct{}{role: {}})
+	var out []Permission
+	roles := make([]string, 0, len(eff))
+	for r := range eff {
+		roles = append(roles, r)
+	}
+	sort.Strings(roles)
+	for _, r := range roles {
+		out = append(out, m.permissions[r]...)
+	}
+	return out, nil
+}
+
+// CheckAccess reports whether the user holds a role granting the
+// permission, the core RBAC decision function.
+func (m *Model) CheckAccess(user string, p Permission) (bool, error) {
+	roles, err := m.EffectiveRoles(user)
+	if err != nil {
+		return false, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for _, r := range roles {
+		for _, held := range m.permissions[r] {
+			if held == p {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+// Session is an activated subset of a user's roles, the dynamic context of
+// the ANSI model.
+type Session struct {
+	// User owns the session.
+	User string
+
+	model  *Model
+	mu     sync.Mutex
+	active map[string]struct{}
+}
+
+// NewSession opens a session for the user with no roles active.
+func (m *Model) NewSession(user string) (*Session, error) {
+	m.mu.RLock()
+	_, ok := m.assignments[user]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("rbac: %q: %w", user, ErrUnknownUser)
+	}
+	return &Session{User: user, model: m, active: make(map[string]struct{})}, nil
+}
+
+// Activate adds a role to the session, enforcing assignment and dynamic
+// separation of duty over the session's effective role set.
+func (s *Session) Activate(role string) error {
+	assigned, err := s.model.EffectiveRoles(s.User)
+	if err != nil {
+		return err
+	}
+	found := false
+	for _, r := range assigned {
+		if r == role {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("rbac: %s for user %s: %w", role, s.User, ErrNotAssigned)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	trial := make(map[string]struct{}, len(s.active)+1)
+	for r := range s.active {
+		trial[r] = struct{}{}
+	}
+	trial[role] = struct{}{}
+	s.model.mu.RLock()
+	eff := s.model.effectiveRolesLocked(trial)
+	dsd := s.model.dsd
+	s.model.mu.RUnlock()
+	for _, c := range dsd {
+		if c.violated(eff) {
+			return fmt.Errorf("rbac: activating %s breaks %s: %w", role, c.Name, ErrDSDViolation)
+		}
+	}
+	s.active[role] = struct{}{}
+	return nil
+}
+
+// Deactivate drops a role from the session.
+func (s *Session) Deactivate(role string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.active, role)
+}
+
+// ActiveRoles returns the session's active roles expanded through
+// inheritance, sorted.
+func (s *Session) ActiveRoles() []string {
+	s.mu.Lock()
+	direct := make(map[string]struct{}, len(s.active))
+	for r := range s.active {
+		direct[r] = struct{}{}
+	}
+	s.mu.Unlock()
+	s.model.mu.RLock()
+	eff := s.model.effectiveRolesLocked(direct)
+	s.model.mu.RUnlock()
+	out := make([]string, 0, len(eff))
+	for r := range eff {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CheckAccess reports whether the session's active roles grant the
+// permission.
+func (s *Session) CheckAccess(p Permission) bool {
+	roles := s.ActiveRoles()
+	s.model.mu.RLock()
+	defer s.model.mu.RUnlock()
+	for _, r := range roles {
+		for _, held := range s.model.permissions[r] {
+			if held == p {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ResolveAttribute implements policy.Resolver: the model serves each
+// subject's effective roles, bridging RBAC into attribute-based policies.
+func (m *Model) ResolveAttribute(req *policy.Request, cat policy.Category, name string) (policy.Bag, error) {
+	if cat != policy.CategorySubject || name != policy.AttrSubjectRole || req == nil {
+		return nil, nil
+	}
+	roles, err := m.EffectiveRoles(req.SubjectID())
+	if err != nil {
+		if errors.Is(err, ErrUnknownUser) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	bag := make(policy.Bag, len(roles))
+	for i, r := range roles {
+		bag[i] = policy.String(r)
+	}
+	return bag, nil
+}
+
+var _ policy.Resolver = (*Model)(nil)
+
+// PolicyFor compiles a role's effective permissions into a policy: any
+// subject holding the role may perform exactly those (action, resource)
+// pairs. This is the translation path from the RBAC model into the
+// XACML-style engine.
+func (m *Model) PolicyFor(role string) (*policy.Policy, error) {
+	perms, err := m.Permissions(role)
+	if err != nil {
+		return nil, err
+	}
+	b := policy.NewPolicy("rbac-" + role).
+		Describe(fmt.Sprintf("permissions of role %s", role)).
+		Combining(policy.FirstApplicable).
+		When(policy.MatchRole(role))
+	for i, p := range perms {
+		b.Rule(policy.Permit(fmt.Sprintf("perm-%d", i)).
+			When(policy.MatchResourceID(p.Resource), policy.MatchActionID(p.Action)).
+			Build())
+	}
+	return b.Build(), nil
+}

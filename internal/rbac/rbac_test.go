@@ -1,0 +1,273 @@
+package rbac
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/pdp"
+	"repro/internal/policy"
+)
+
+// hospitalModel builds the canonical hierarchy:
+//
+//	chief-physician > doctor > clinician
+//	nurse > clinician
+//
+// with SSD(doctor, pharmacist) and DSD(doctor, auditor).
+func hospitalModel(t *testing.T) *Model {
+	t.Helper()
+	m := NewModel()
+	for _, r := range []string{"chief-physician", "doctor", "nurse", "clinician", "pharmacist", "auditor"} {
+		m.AddRole(r)
+	}
+	mustOK := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustOK(m.AddInheritance("chief-physician", "doctor"))
+	mustOK(m.AddInheritance("doctor", "clinician"))
+	mustOK(m.AddInheritance("nurse", "clinician"))
+	mustOK(m.Grant("clinician", Permission{Action: "read", Resource: "vitals"}))
+	mustOK(m.Grant("doctor", Permission{Action: "write", Resource: "prescription"}))
+	mustOK(m.Grant("chief-physician", Permission{Action: "approve", Resource: "schedule"}))
+	mustOK(m.Grant("auditor", Permission{Action: "read", Resource: "audit-log"}))
+	mustOK(m.AddSSD(SoDConstraint{Name: "prescribe-dispense", RoleSet: []string{"doctor", "pharmacist"}, Cardinality: 2}))
+	m.AddDSD(SoDConstraint{Name: "treat-audit", RoleSet: []string{"doctor", "auditor"}, Cardinality: 2})
+	return m
+}
+
+func TestHierarchyInheritance(t *testing.T) {
+	m := hospitalModel(t)
+	m.AddUser("carla")
+	if err := m.Assign("carla", "chief-physician"); err != nil {
+		t.Fatal(err)
+	}
+	roles, err := m.EffectiveRoles("carla")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"chief-physician", "clinician", "doctor"}
+	if len(roles) != len(want) {
+		t.Fatalf("EffectiveRoles = %v, want %v", roles, want)
+	}
+	for i := range want {
+		if roles[i] != want[i] {
+			t.Fatalf("EffectiveRoles = %v, want %v", roles, want)
+		}
+	}
+	// Permissions flow down the hierarchy.
+	for _, p := range []Permission{
+		{Action: "read", Resource: "vitals"},
+		{Action: "write", Resource: "prescription"},
+		{Action: "approve", Resource: "schedule"},
+	} {
+		ok, err := m.CheckAccess("carla", p)
+		if err != nil || !ok {
+			t.Errorf("CheckAccess(%v) = %v, %v; want true", p, ok, err)
+		}
+	}
+	ok, _ := m.CheckAccess("carla", Permission{Action: "read", Resource: "audit-log"})
+	if ok {
+		t.Error("carla must not hold auditor permissions")
+	}
+}
+
+func TestCycleRejected(t *testing.T) {
+	m := hospitalModel(t)
+	if err := m.AddInheritance("clinician", "chief-physician"); !errors.Is(err, ErrCycle) {
+		t.Errorf("want ErrCycle, got %v", err)
+	}
+	if err := m.AddInheritance("doctor", "doctor"); !errors.Is(err, ErrCycle) {
+		t.Errorf("self edge: want ErrCycle, got %v", err)
+	}
+}
+
+func TestUnknownEntities(t *testing.T) {
+	m := hospitalModel(t)
+	if err := m.AddInheritance("doctor", "ghost"); !errors.Is(err, ErrUnknownRole) {
+		t.Errorf("want ErrUnknownRole, got %v", err)
+	}
+	if err := m.Grant("ghost", Permission{}); !errors.Is(err, ErrUnknownRole) {
+		t.Errorf("want ErrUnknownRole, got %v", err)
+	}
+	if _, err := m.EffectiveRoles("nobody"); !errors.Is(err, ErrUnknownUser) {
+		t.Errorf("want ErrUnknownUser, got %v", err)
+	}
+	m.AddUser("u")
+	if err := m.Assign("u", "ghost"); !errors.Is(err, ErrUnknownRole) {
+		t.Errorf("want ErrUnknownRole, got %v", err)
+	}
+	if err := m.Assign("nobody", "doctor"); !errors.Is(err, ErrUnknownUser) {
+		t.Errorf("want ErrUnknownUser, got %v", err)
+	}
+}
+
+func TestStaticSeparationOfDuty(t *testing.T) {
+	m := hospitalModel(t)
+	m.AddUser("dave")
+	if err := m.Assign("dave", "doctor"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Assign("dave", "pharmacist"); !errors.Is(err, ErrSSDViolation) {
+		t.Errorf("want ErrSSDViolation, got %v", err)
+	}
+	// SSD sees through the hierarchy: chief-physician inherits doctor.
+	m.AddUser("erin")
+	if err := m.Assign("erin", "pharmacist"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Assign("erin", "chief-physician"); !errors.Is(err, ErrSSDViolation) {
+		t.Errorf("inherited conflict: want ErrSSDViolation, got %v", err)
+	}
+	// Deassigning clears the conflict.
+	if err := m.Deassign("dave", "doctor"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Assign("dave", "pharmacist"); err != nil {
+		t.Errorf("after deassign: %v", err)
+	}
+}
+
+func TestAddSSDRejectsExistingViolation(t *testing.T) {
+	m := NewModel()
+	m.AddRole("a")
+	m.AddRole("b")
+	m.AddUser("u")
+	if err := m.Assign("u", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Assign("u", "b"); err != nil {
+		t.Fatal(err)
+	}
+	err := m.AddSSD(SoDConstraint{Name: "ab", RoleSet: []string{"a", "b"}, Cardinality: 2})
+	if !errors.Is(err, ErrSSDViolation) {
+		t.Errorf("want ErrSSDViolation, got %v", err)
+	}
+}
+
+func TestDynamicSeparationOfDuty(t *testing.T) {
+	m := hospitalModel(t)
+	m.AddUser("frank")
+	// DSD allows holding both roles, just not in one session.
+	if err := m.Assign("frank", "doctor"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Assign("frank", "auditor"); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := m.NewSession("frank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Activate("doctor"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Activate("auditor"); !errors.Is(err, ErrDSDViolation) {
+		t.Errorf("want ErrDSDViolation, got %v", err)
+	}
+	// Dropping the conflicting role allows activation.
+	sess.Deactivate("doctor")
+	if err := sess.Activate("auditor"); err != nil {
+		t.Errorf("after deactivate: %v", err)
+	}
+}
+
+func TestSessionAccessChecks(t *testing.T) {
+	m := hospitalModel(t)
+	m.AddUser("gina")
+	if err := m.Assign("gina", "doctor"); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := m.NewSession("gina")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Permission{Action: "write", Resource: "prescription"}
+	if sess.CheckAccess(p) {
+		t.Error("no active roles: access must be refused (least privilege)")
+	}
+	if err := sess.Activate("doctor"); err != nil {
+		t.Fatal(err)
+	}
+	if !sess.CheckAccess(p) {
+		t.Error("active doctor must hold the permission")
+	}
+	// Activating an unassigned role fails.
+	if err := sess.Activate("pharmacist"); !errors.Is(err, ErrNotAssigned) {
+		t.Errorf("want ErrNotAssigned, got %v", err)
+	}
+	// Activation of an inherited (junior) role is allowed.
+	if err := sess.Activate("clinician"); err != nil {
+		t.Errorf("junior activation: %v", err)
+	}
+}
+
+func TestModelAsResolver(t *testing.T) {
+	m := hospitalModel(t)
+	m.AddUser("hank")
+	if err := m.Assign("hank", "nurse"); err != nil {
+		t.Fatal(err)
+	}
+	req := policy.NewAccessRequest("hank", "vitals", "read")
+	bag, err := m.ResolveAttribute(req, policy.CategorySubject, policy.AttrSubjectRole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bag.Contains(policy.String("nurse")) || !bag.Contains(policy.String("clinician")) {
+		t.Errorf("resolver roles = %v", bag.Strings())
+	}
+	// Unknown users resolve to empty, not error: attribute absence.
+	bag, err = m.ResolveAttribute(policy.NewAccessRequest("ghost", "r", "a"), policy.CategorySubject, policy.AttrSubjectRole)
+	if err != nil || !bag.Empty() {
+		t.Errorf("ghost: %v, %v", bag, err)
+	}
+}
+
+func TestPolicyForCompilesRole(t *testing.T) {
+	m := hospitalModel(t)
+	pol, err := m.PolicyFor("doctor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pol.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	engine := pdp.New("pdp", pdp.WithResolver(m))
+	root := policy.NewPolicySet("root").Combining(policy.DenyUnlessPermit).Add(pol).Build()
+	if err := engine.SetRoot(root); err != nil {
+		t.Fatal(err)
+	}
+	m.AddUser("iris")
+	if err := m.Assign("iris", "doctor"); err != nil {
+		t.Fatal(err)
+	}
+	// Inherited clinician permission compiled into the doctor policy.
+	res := engine.Decide(policy.NewAccessRequest("iris", "vitals", "read"))
+	if res.Decision != policy.DecisionPermit {
+		t.Errorf("vitals read = %v, want Permit", res.Decision)
+	}
+	res = engine.Decide(policy.NewAccessRequest("iris", "schedule", "approve"))
+	if res.Decision != policy.DecisionDeny {
+		t.Errorf("senior permission must not leak down: %v", res.Decision)
+	}
+	res = engine.Decide(policy.NewAccessRequest("mallory", "vitals", "read"))
+	if res.Decision != policy.DecisionDeny {
+		t.Errorf("unknown user = %v, want Deny", res.Decision)
+	}
+}
+
+func TestPermissionsSortedAndComplete(t *testing.T) {
+	m := hospitalModel(t)
+	perms, err := m.Permissions("chief-physician")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perms) != 3 {
+		t.Errorf("chief-physician permissions = %v, want 3", perms)
+	}
+	if _, err := m.Permissions("ghost"); !errors.Is(err, ErrUnknownRole) {
+		t.Errorf("want ErrUnknownRole, got %v", err)
+	}
+}

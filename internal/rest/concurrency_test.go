@@ -1,0 +1,80 @@
+package rest
+
+import (
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentMiddleware hammers the enforcement point with parallel
+// clients of different privilege levels. Outcomes must stay principal-
+// correct under contention: redaction applies exactly to nurses, refusals
+// exactly to visitors.
+func TestConcurrentMiddleware(t *testing.T) {
+	mw, srv := newClinicServer(t)
+	const perClient = 60
+	var wg sync.WaitGroup
+	errs := make(chan string, 3)
+	run := func(subject, roles string, check func(status int, body string) string) {
+		defer wg.Done()
+		for i := 0; i < perClient; i++ {
+			resp, body := get(t, srv.URL+"/records/rec-7", subject, roles)
+			if msg := check(resp.StatusCode, body); msg != "" {
+				errs <- subject + ": " + msg
+				return
+			}
+		}
+	}
+	wg.Add(3)
+	go run("alice", "doctor", func(status int, body string) string {
+		if status != http.StatusOK || !strings.Contains(body, "ssn") {
+			return "doctor lost full view"
+		}
+		return ""
+	})
+	go run("nina", "nurse", func(status int, body string) string {
+		if status != http.StatusOK || strings.Contains(body, "ssn") {
+			return "nurse redaction broke"
+		}
+		return ""
+	})
+	go run("mallory", "visitor", func(status int, _ string) string {
+		if status != http.StatusForbidden {
+			return "visitor slipped through"
+		}
+		return ""
+	})
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+	st := mw.Stats()
+	if st.Requests != 3*perClient || st.Permitted != 2*perClient || st.Denied != perClient {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Transformed != perClient {
+		t.Errorf("transformed = %d, want %d", st.Transformed, perClient)
+	}
+}
+
+// TestConcurrentRouterMutation exercises Add concurrent with Match; the
+// race detector guards the route table.
+func TestConcurrentRouterMutation(t *testing.T) {
+	r := NewRouter()
+	r.MustAdd("/records/{id}", "patient-record")
+	srvDone := make(chan struct{})
+	go func() {
+		defer close(srvDone)
+		for i := 0; i < 500; i++ {
+			_ = r.Add("/extra/{id}", "extra")
+		}
+	}()
+	for i := 0; i < 500; i++ {
+		if _, err := r.Match("/records/rec-1"); err != nil {
+			t.Fatalf("match lost existing route: %v", err)
+		}
+	}
+	<-srvDone
+}

@@ -1,0 +1,52 @@
+package rest
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/pdp"
+	"repro/internal/wire"
+)
+
+// TestMiddlewareAgainstRemotePDP is the full externalised-authorisation
+// deployment of the paper: the REST enforcement point in one process, the
+// decision point behind an HTTP envelope endpoint in another. Decisions,
+// obligations (content redaction) and fail-closed behaviour must all
+// survive the network hop.
+func TestMiddlewareAgainstRemotePDP(t *testing.T) {
+	pdpSrv := httptest.NewServer(wire.HTTPHandler(pdp.Handler(clinicEngine(t))))
+	defer pdpSrv.Close()
+	client := pdp.NewClient(pdpSrv.URL, "pep.rest", "pdp.clinic")
+
+	router := NewRouter()
+	router.MustAdd("/records/{id}", "patient-record")
+	mw := NewMiddleware(router, client, HeaderSubject,
+		WithTransformer("redact", RedactJSON))
+	apiSrv := httptest.NewServer(mw.Wrap(recordsAPI()))
+	defer apiSrv.Close()
+
+	resp, body := get(t, apiSrv.URL+"/records/rec-7", "alice", "doctor")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "ssn") {
+		t.Errorf("doctor via remote PDP: %d %s", resp.StatusCode, body)
+	}
+	resp, body = get(t, apiSrv.URL+"/records/rec-7", "nina", "nurse")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("nurse via remote PDP: %d %s", resp.StatusCode, body)
+	}
+	if strings.Contains(body, "ssn") {
+		t.Errorf("obligation lost crossing the wire: %s", body)
+	}
+	resp, _ = get(t, apiSrv.URL+"/records/rec-7", "mallory", "visitor")
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("visitor via remote PDP: %d, want 403", resp.StatusCode)
+	}
+
+	// Kill the PDP: enforcement must fail closed, not open.
+	pdpSrv.Close()
+	resp, _ = get(t, apiSrv.URL+"/records/rec-7", "alice", "doctor")
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("dead PDP: %d, want 403 (fail closed)", resp.StatusCode)
+	}
+}

@@ -1,0 +1,310 @@
+package rest
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/pdp"
+	"repro/internal/policy"
+)
+
+func TestRouterMatching(t *testing.T) {
+	r := NewRouter()
+	r.MustAdd("/records/{id}", "patient-record")
+	r.MustAdd("/wards/{ward}/records/{id}", "patient-record")
+	r.MustAdd("/files/...", "file")
+	r.MustAdd("/files/manifest", "manifest")
+	r.MustAdd("/", "root")
+
+	cases := []struct {
+		path     string
+		wantType string
+		wantVars map[string]string
+		wantRest string
+	}{
+		{"/records/rec-7", "patient-record", map[string]string{"id": "rec-7"}, ""},
+		{"/wards/3/records/rec-9", "patient-record", map[string]string{"ward": "3", "id": "rec-9"}, ""},
+		{"/files/a/b/c.txt", "file", nil, "a/b/c.txt"},
+		// The literal route must beat the wildcard.
+		{"/files/manifest", "manifest", nil, ""},
+		{"/", "root", nil, ""},
+	}
+	for _, tt := range cases {
+		t.Run(tt.path, func(t *testing.T) {
+			m, err := r.Match(tt.path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Route.ResourceType != tt.wantType {
+				t.Errorf("type = %q, want %q", m.Route.ResourceType, tt.wantType)
+			}
+			if len(m.Vars) != len(tt.wantVars) {
+				t.Errorf("vars = %v, want %v", m.Vars, tt.wantVars)
+			}
+			for k, v := range tt.wantVars {
+				if m.Vars[k] != v {
+					t.Errorf("var %s = %q, want %q", k, m.Vars[k], v)
+				}
+			}
+			if m.Rest != tt.wantRest {
+				t.Errorf("rest = %q, want %q", m.Rest, tt.wantRest)
+			}
+		})
+	}
+
+	if _, err := r.Match("/nowhere/at/all"); !errors.Is(err, ErrNoRoute) {
+		t.Errorf("unrouted path: %v", err)
+	}
+}
+
+func TestRouterBadPatterns(t *testing.T) {
+	r := NewRouter()
+	cases := []string{
+		"records/{id}", // no leading slash
+		"/a/.../b",     // wildcard not last
+		"/a/{}",        // empty variable
+		"/a//b",        // empty segment
+		"/{x}/{x}",     // duplicate variable
+	}
+	for _, pattern := range cases {
+		if err := r.Add(pattern, "t"); !errors.Is(err, ErrBadPattern) {
+			t.Errorf("%q: err = %v, want ErrBadPattern", pattern, err)
+		}
+	}
+}
+
+func TestBuildRequest(t *testing.T) {
+	r := NewRouter()
+	r.MustAdd("/wards/{ward}/records/{id}", "patient-record")
+	req, m, err := r.BuildRequest(http.MethodGet, "/wards/3/records/rec-7", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Route.Pattern != "/wards/{ward}/records/{id}" {
+		t.Errorf("route = %q", m.Route.Pattern)
+	}
+	if req.ResourceID() != "/wards/3/records/rec-7" {
+		t.Errorf("resource-id = %q", req.ResourceID())
+	}
+	if req.ActionID() != "read" {
+		t.Errorf("action = %q", req.ActionID())
+	}
+	if bag, _ := req.Get(policy.CategoryResource, "ward"); len(bag) != 1 || bag[0].Str() != "3" {
+		t.Errorf("ward = %v", bag)
+	}
+	if bag, _ := req.Get(policy.CategoryResource, policy.AttrResourceType); len(bag) != 1 || bag[0].Str() != "patient-record" {
+		t.Errorf("resource-type = %v", bag)
+	}
+
+	// Custom action table and unknown methods.
+	req, _, err = r.BuildRequest("PROPFIND", "/wards/3/records/rec-7", map[string]string{"PROPFIND": "list"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.ActionID() != "list" {
+		t.Errorf("custom action = %q", req.ActionID())
+	}
+	req, _, err = r.BuildRequest("BREW", "/wards/3/records/rec-7", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.ActionID() != "brew" {
+		t.Errorf("fallback action = %q", req.ActionID())
+	}
+}
+
+// recordsAPI is the protected upstream: it serves a JSON patient record.
+func recordsAPI() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = io.WriteString(w, `{"id":"rec-7","diagnosis":"...","ssn":"123-45-6789","insurance-id":"I-9"}`)
+	})
+}
+
+// clinicEngine permits doctors everything and nurses read-with-redaction.
+func clinicEngine(t *testing.T) *pdp.Engine {
+	t.Helper()
+	root := policy.NewPolicySet("root").Combining(policy.DenyUnlessPermit).
+		Add(policy.NewPolicy("records").
+			Combining(policy.FirstApplicable).
+			When(policy.MatchResource(policy.AttrResourceType, policy.String("patient-record"))).
+			Rule(policy.Permit("doctors").
+				When(policy.MatchRole("doctor")).
+				Build()).
+			Rule(policy.Permit("nurses-redacted").
+				When(policy.MatchRole("nurse"), policy.MatchActionID("read")).
+				Obligation(policy.RequireObligation("redact", policy.EffectPermit,
+					map[string]string{"fields": "ssn,insurance-id"})).
+				Build()).
+			Rule(policy.Permit("auditors-checked").
+				When(policy.MatchRole("auditor")).
+				Obligation(policy.RequireObligation("mystery-check", policy.EffectPermit, nil)).
+				Build()).
+			Build()).
+		Build()
+	e := pdp.New("clinic")
+	if err := e.SetRoot(root); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func newClinicServer(t *testing.T) (*Middleware, *httptest.Server) {
+	t.Helper()
+	router := NewRouter()
+	router.MustAdd("/records/{id}", "patient-record")
+	mw := NewMiddleware(router, clinicEngine(t), HeaderSubject,
+		WithTransformer("redact", RedactJSON))
+	srv := httptest.NewServer(mw.Wrap(recordsAPI()))
+	t.Cleanup(srv.Close)
+	return mw, srv
+}
+
+func get(t *testing.T, url, subject, roles string) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if subject != "" {
+		req.Header.Set("X-Subject", subject)
+	}
+	if roles != "" {
+		req.Header.Set("X-Roles", roles)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+func TestMiddlewareDoctorSeesEverything(t *testing.T) {
+	_, srv := newClinicServer(t)
+	resp, body := get(t, srv.URL+"/records/rec-7", "alice", "doctor")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, "ssn") {
+		t.Errorf("doctor response redacted: %s", body)
+	}
+}
+
+func TestMiddlewareNurseGetsRedactedContent(t *testing.T) {
+	mw, srv := newClinicServer(t)
+	resp, body := get(t, srv.URL+"/records/rec-7", "nina", "nurse")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	if strings.Contains(body, "ssn") || strings.Contains(body, "insurance-id") {
+		t.Errorf("redaction failed: %s", body)
+	}
+	if !strings.Contains(body, "diagnosis") {
+		t.Errorf("over-redacted: %s", body)
+	}
+	if st := mw.Stats(); st.Transformed != 1 || st.Permitted != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestMiddlewareDeniesStrangersAndUnknownPaths(t *testing.T) {
+	mw, srv := newClinicServer(t)
+	resp, _ := get(t, srv.URL+"/records/rec-7", "mallory", "visitor")
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("visitor status = %d, want 403", resp.StatusCode)
+	}
+	resp, _ = get(t, srv.URL+"/records/rec-7", "", "")
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("anonymous status = %d, want 401", resp.StatusCode)
+	}
+	resp, _ = get(t, srv.URL+"/admin/users", "alice", "doctor")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unrouted status = %d, want 404", resp.StatusCode)
+	}
+	st := mw.Stats()
+	if st.Denied != 3 || st.Unauthenticated != 1 || st.Unrouted != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestMiddlewareUnknownObligationFailsClosed(t *testing.T) {
+	// The auditor's permit carries mystery-check, for which no transformer
+	// is registered: obligations are must-understand, so access is refused.
+	_, srv := newClinicServer(t)
+	resp, _ := get(t, srv.URL+"/records/rec-7", "audrey", "auditor")
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("status = %d, want 403", resp.StatusCode)
+	}
+}
+
+func TestMiddlewareFailedContentCheckRefuses(t *testing.T) {
+	// RedactJSON on a non-JSON body must refuse the whole response.
+	router := NewRouter()
+	router.MustAdd("/records/{id}", "patient-record")
+	mw := NewMiddleware(router, clinicEngine(t), HeaderSubject,
+		WithTransformer("redact", RedactJSON))
+	srv := httptest.NewServer(mw.Wrap(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = io.WriteString(w, "this is not json")
+	})))
+	defer srv.Close()
+	resp, _ := get(t, srv.URL+"/records/rec-7", "nina", "nurse")
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("status = %d, want 403 (content check failed)", resp.StatusCode)
+	}
+}
+
+func TestRedactJSONNestedAndArrays(t *testing.T) {
+	ob := policy.FulfilledObligation{
+		ID:         "redact",
+		Attributes: map[string]policy.Value{"fields": policy.String("secret")},
+	}
+	in := []byte(`[{"a":1,"secret":2,"nested":{"secret":3,"keep":4}},{"secret":5}]`)
+	out, err := RedactJSON(ob, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(out)
+	if strings.Contains(s, "secret") {
+		t.Errorf("redaction incomplete: %s", s)
+	}
+	if !strings.Contains(s, `"keep":4`) || !strings.Contains(s, `"a":1`) {
+		t.Errorf("over-redaction: %s", s)
+	}
+}
+
+func TestRedactJSONMissingFieldsAssignment(t *testing.T) {
+	if _, err := RedactJSON(policy.FulfilledObligation{ID: "redact"}, []byte(`{}`)); err == nil {
+		t.Error("missing fields assignment must fail")
+	}
+}
+
+func TestRequireField(t *testing.T) {
+	ob := policy.FulfilledObligation{
+		ID: "check",
+		Attributes: map[string]policy.Value{
+			"field": policy.String("classification"),
+			"value": policy.String("public"),
+		},
+	}
+	if _, err := RequireField(ob, []byte(`{"classification":"public","body":"x"}`)); err != nil {
+		t.Errorf("matching content refused: %v", err)
+	}
+	if _, err := RequireField(ob, []byte(`{"classification":"secret"}`)); err == nil {
+		t.Error("mismatching content released")
+	}
+	if _, err := RequireField(ob, []byte(`{"body":"x"}`)); err == nil {
+		t.Error("missing field released")
+	}
+	if _, err := RequireField(ob, []byte(`not json`)); err == nil {
+		t.Error("non-JSON released")
+	}
+}

@@ -1,0 +1,93 @@
+package rest
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/policy"
+)
+
+// Ready-made content transformers for the obligation-driven content-based
+// access control of Section 3.1. Policies parameterise them through
+// obligation assignments, so one registered transformer serves arbitrarily
+// many policies.
+
+// RedactJSON removes fields from a JSON object (or from every element of a
+// JSON array of objects) before release. The obligation's "fields"
+// assignment names the fields to drop, comma-separated:
+//
+//	obligate redact on permit { fields = "ssn,insurance-id" }
+func RedactJSON(ob policy.FulfilledObligation, body []byte) ([]byte, error) {
+	spec, ok := ob.Attributes["fields"]
+	if !ok {
+		return nil, fmt.Errorf("rest: obligation %s: no fields assignment", ob.ID)
+	}
+	fields := make(map[string]struct{})
+	for _, f := range strings.Split(spec.Str(), ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			fields[f] = struct{}{}
+		}
+	}
+	var doc any
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return nil, fmt.Errorf("rest: obligation %s: response is not JSON: %w", ob.ID, err)
+	}
+	doc = redactValue(doc, fields)
+	out, err := json.Marshal(doc)
+	if err != nil {
+		return nil, fmt.Errorf("rest: obligation %s: %w", ob.ID, err)
+	}
+	return out, nil
+}
+
+func redactValue(v any, fields map[string]struct{}) any {
+	switch x := v.(type) {
+	case map[string]any:
+		for name := range fields {
+			delete(x, name)
+		}
+		for k, inner := range x {
+			x[k] = redactValue(inner, fields)
+		}
+		return x
+	case []any:
+		for i, inner := range x {
+			x[i] = redactValue(inner, fields)
+		}
+		return x
+	default:
+		return v
+	}
+}
+
+// RequireField refuses release unless the JSON response object carries the
+// field/value pair named by the obligation's "field" and "value"
+// assignments — the paper's "advanced checks ... determine whether the
+// resource should be sent back" case. For example, a policy may release
+// documents only when their embedded classification matches the request:
+//
+//	obligate check-classification on permit { field = "classification" value = "public" }
+func RequireField(ob policy.FulfilledObligation, body []byte) ([]byte, error) {
+	fieldAttr, ok := ob.Attributes["field"]
+	if !ok {
+		return nil, fmt.Errorf("rest: obligation %s: no field assignment", ob.ID)
+	}
+	wantAttr, ok := ob.Attributes["value"]
+	if !ok {
+		return nil, fmt.Errorf("rest: obligation %s: no value assignment", ob.ID)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return nil, fmt.Errorf("rest: obligation %s: response is not a JSON object: %w", ob.ID, err)
+	}
+	got, ok := doc[fieldAttr.Str()]
+	if !ok {
+		return nil, fmt.Errorf("rest: obligation %s: response lacks field %q", ob.ID, fieldAttr.Str())
+	}
+	if fmt.Sprint(got) != wantAttr.String() {
+		return nil, fmt.Errorf("rest: obligation %s: content check failed: %s = %v, want %s",
+			ob.ID, fieldAttr.Str(), got, wantAttr)
+	}
+	return body, nil
+}

@@ -1,0 +1,244 @@
+// Package syndication implements the Policy Administration Point /
+// policy-syndication-server hierarchy of Fig. 5 in the paper: a global PAP
+// holds the authoritative policy and pushes updates down a tree of local
+// PAPs, each of which applies the update only when its local constraints
+// accept it, relays it onward, and reports the outcome back up.
+//
+// The tree rides on the wire package's simulated network, so every push is
+// a real envelope with a realistic encoded size, and propagation latency
+// is accounted on virtual clocks. Fan-out at each level is concurrent in
+// the modelled system, so subtree propagation latency is the edge latency
+// plus the maximum over children, not the sum.
+package syndication
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/pap"
+	"repro/internal/policy"
+	"repro/internal/wire"
+	"repro/internal/xacml"
+)
+
+// Filter decides whether a node's local constraints accept a policy; nil
+// accepts everything.
+type Filter func(policy.Evaluable) bool
+
+// Node is one PAP in the syndication tree.
+type Node struct {
+	// Name is the node's network address.
+	Name string
+	// Store is the node's local administration point.
+	Store *pap.Store
+	// Filter guards local application of syndicated updates.
+	Filter Filter
+
+	net      *wire.Network
+	mu       sync.Mutex
+	children []*Node
+}
+
+// NewNode builds a syndication node on the network. The node registers an
+// acknowledgement handler so pushes to it are countable network messages.
+func NewNode(name string, net *wire.Network, filter Filter) *Node {
+	n := &Node{
+		Name:   name,
+		Store:  pap.NewStore(name),
+		Filter: filter,
+		net:    net,
+	}
+	net.Register(name, func(_ *wire.Call, env *wire.Envelope) (*wire.Envelope, error) {
+		// The push protocol acknowledges receipt; application and
+		// further relaying are handled by the tree walk, which owns
+		// the recursion so propagation latency composes correctly.
+		return &wire.Envelope{Action: env.Action + "-ack", Timestamp: env.Timestamp}, nil
+	})
+	return n
+}
+
+// Attach adds a child node.
+func (n *Node) Attach(child *Node) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.children = append(n.children, child)
+}
+
+// Children returns a snapshot of the node's children.
+func (n *Node) Children() []*Node {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]*Node, len(n.children))
+	copy(out, n.children)
+	return out
+}
+
+// Report summarises one publication.
+type Report struct {
+	// Applied and Rejected count nodes that stored or filtered out the
+	// update; Unreachable counts nodes the push could not reach.
+	Applied     int
+	Rejected    int
+	Unreachable int
+	// Messages and Bytes count syndication traffic.
+	Messages int
+	Bytes    int
+	// Propagation is the virtual time until the last reachable node
+	// applied the update (concurrent fan-out).
+	Propagation time.Duration
+}
+
+func (r *Report) merge(child Report) {
+	r.Applied += child.Applied
+	r.Rejected += child.Rejected
+	r.Unreachable += child.Unreachable
+	r.Messages += child.Messages
+	r.Bytes += child.Bytes
+	if child.Propagation > r.Propagation {
+		r.Propagation = child.Propagation
+	}
+}
+
+// Publish stores the policy at this node (subject to its filter) and
+// syndicates it through the subtree, returning the aggregated report.
+func (n *Node) Publish(e policy.Evaluable, at time.Time) (Report, error) {
+	data, err := xacml.MarshalXML(e)
+	if err != nil {
+		return Report{}, fmt.Errorf("syndication: encode: %w", err)
+	}
+	return n.apply(e, data, at)
+}
+
+// apply stores locally and pushes to children.
+func (n *Node) apply(e policy.Evaluable, data []byte, at time.Time) (Report, error) {
+	var rep Report
+	if n.Filter == nil || n.Filter(e) {
+		if _, err := n.Store.Put(e); err != nil {
+			return rep, fmt.Errorf("syndication: node %s: %w", n.Name, err)
+		}
+		rep.Applied++
+	} else {
+		rep.Rejected++
+	}
+	for _, child := range n.Children() {
+		call := &wire.Call{}
+		env := &wire.Envelope{
+			From:      n.Name,
+			To:        child.Name,
+			Action:    "pap:syndicate",
+			Timestamp: at,
+			Body:      data,
+		}
+		if _, err := n.net.Send(call, env); err != nil {
+			// The child (and its whole subtree) misses this update:
+			// the staleness risk of Section 3.2.
+			rep.Unreachable += child.subtreeSize()
+			continue
+		}
+		childRep, err := child.apply(e, data, at)
+		if err != nil {
+			return rep, err
+		}
+		childRep.Messages += call.Messages
+		childRep.Bytes += call.Bytes
+		childRep.Propagation += call.Elapsed
+		rep.merge(childRep)
+	}
+	return rep, nil
+}
+
+func (n *Node) subtreeSize() int {
+	size := 1
+	for _, c := range n.Children() {
+		size += c.subtreeSize()
+	}
+	return size
+}
+
+// SubtreeSize reports the number of nodes in this node's subtree
+// (including itself).
+func (n *Node) SubtreeSize() int { return n.subtreeSize() }
+
+// BuildTree assembles a uniform tree of the given fan-out and depth under
+// a root node (depth 0 is just the root). Node names are
+// "<prefix>-d<depth>-<index>". All nodes accept all policies.
+func BuildTree(prefix string, net *wire.Network, fanOut, depth int) *Node {
+	root := NewNode(prefix+"-root", net, nil)
+	level := []*Node{root}
+	for d := 1; d <= depth; d++ {
+		var next []*Node
+		for _, parent := range level {
+			for i := 0; i < fanOut; i++ {
+				child := NewNode(fmt.Sprintf("%s-d%d-%d", prefix, d, len(next)), net, nil)
+				parent.Attach(child)
+				next = append(next, child)
+			}
+		}
+		level = next
+	}
+	return root
+}
+
+// Leaves returns the leaf nodes of the subtree.
+func (n *Node) Leaves() []*Node {
+	children := n.Children()
+	if len(children) == 0 {
+		return []*Node{n}
+	}
+	var out []*Node
+	for _, c := range children {
+		out = append(out, c.Leaves()...)
+	}
+	return out
+}
+
+// PullAll models the centralised alternative the paper contrasts with
+// syndication: every leaf PAP pulls the named policy directly from this
+// (global) node on demand. It returns the traffic such a refresh costs,
+// for the E5 ablation.
+func (n *Node) PullAll(policyID string, at time.Time) (Report, error) {
+	e, err := n.Store.Get(policyID)
+	if err != nil {
+		return Report{}, err
+	}
+	data, err := xacml.MarshalXML(e)
+	if err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	for _, leaf := range n.Leaves() {
+		if leaf == n {
+			continue
+		}
+		call := &wire.Call{}
+		reqEnv := &wire.Envelope{
+			From:      leaf.Name,
+			To:        n.Name,
+			Action:    "pap:pull",
+			Timestamp: at,
+			Body:      []byte(policyID),
+		}
+		if _, err := n.net.Send(call, reqEnv); err != nil {
+			rep.Unreachable++
+			continue
+		}
+		// The response carries the policy body; account its size
+		// explicitly since the ack handler returns a small envelope.
+		respEnv := &wire.Envelope{
+			From: n.Name, To: leaf.Name, Action: "pap:pull-response",
+			Timestamp: at, Body: data,
+		}
+		rep.Bytes += respEnv.WireSize()
+		rep.Messages += call.Messages
+		rep.Bytes += call.Bytes
+		if call.Elapsed > rep.Propagation {
+			rep.Propagation = call.Elapsed
+		}
+		if _, err := leaf.Store.Put(e); err != nil {
+			return rep, err
+		}
+		rep.Applied++
+	}
+	return rep, nil
+}

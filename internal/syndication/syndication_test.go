@@ -1,0 +1,157 @@
+package syndication
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/wire"
+)
+
+var at = time.Date(2026, 6, 12, 9, 0, 0, 0, time.UTC)
+
+func permitPolicy(id string) *policy.Policy {
+	return policy.NewPolicy(id).
+		Combining(policy.DenyUnlessPermit).
+		Rule(policy.Permit(id + "-allow").Build()).
+		Build()
+}
+
+func TestPublishReachesWholeTree(t *testing.T) {
+	net := wire.NewNetwork(5*time.Millisecond, 1)
+	root := BuildTree("pap", net, 2, 2) // 1 + 2 + 4 = 7 nodes
+	if root.SubtreeSize() != 7 {
+		t.Fatalf("tree size = %d, want 7", root.SubtreeSize())
+	}
+	rep, err := root.Publish(permitPolicy("global"), at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Applied != 7 || rep.Rejected != 0 || rep.Unreachable != 0 {
+		t.Errorf("report = %+v", rep)
+	}
+	// Every node stores the policy.
+	for _, leaf := range root.Leaves() {
+		if _, err := leaf.Store.Get("global"); err != nil {
+			t.Errorf("leaf %s missing policy: %v", leaf.Name, err)
+		}
+	}
+	// 6 edges, each a request + ack: 12 messages.
+	if rep.Messages != 12 {
+		t.Errorf("messages = %d, want 12", rep.Messages)
+	}
+	// Concurrent fan-out: propagation is depth * round-trip edge cost,
+	// not the sum over all 6 edges.
+	if rep.Propagation != 2*10*time.Millisecond {
+		t.Errorf("propagation = %v, want 20ms (2 levels x 10ms round trip)", rep.Propagation)
+	}
+}
+
+func TestLocalConstraintsFilter(t *testing.T) {
+	net := wire.NewNetwork(time.Millisecond, 1)
+	root := NewNode("root", net, nil)
+	// The strict child refuses policies that are not deny-biased; its
+	// child still receives the relay.
+	strict := NewNode("strict", net, func(e policy.Evaluable) bool {
+		p, ok := e.(*policy.Policy)
+		return ok && p.Combining == policy.DenyOverrides
+	})
+	grandchild := NewNode("grandchild", net, nil)
+	root.Attach(strict)
+	strict.Attach(grandchild)
+
+	rep, err := root.Publish(permitPolicy("permissive"), at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Applied != 2 || rep.Rejected != 1 {
+		t.Errorf("report = %+v, want 2 applied (root+grandchild), 1 rejected", rep)
+	}
+	if _, err := strict.Store.Get("permissive"); err == nil {
+		t.Error("strict node must not store the filtered policy")
+	}
+	if _, err := grandchild.Store.Get("permissive"); err != nil {
+		t.Error("relaying must continue past a rejecting node")
+	}
+}
+
+func TestUnreachableSubtreeCounted(t *testing.T) {
+	net := wire.NewNetwork(time.Millisecond, 1)
+	root := BuildTree("pap", net, 2, 2)
+	// Cut one depth-1 node: its subtree of 3 goes stale.
+	victim := root.Children()[0]
+	net.SetNodeDown(victim.Name, true)
+
+	rep, err := root.Publish(permitPolicy("p"), at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Unreachable != 3 {
+		t.Errorf("unreachable = %d, want 3", rep.Unreachable)
+	}
+	if rep.Applied != 4 { // root + other child + its 2 children
+		t.Errorf("applied = %d, want 4", rep.Applied)
+	}
+	if _, err := victim.Store.Get("p"); err == nil {
+		t.Error("unreachable node must be stale")
+	}
+}
+
+func TestRepublishBumpsVersions(t *testing.T) {
+	net := wire.NewNetwork(time.Millisecond, 1)
+	root := BuildTree("pap", net, 2, 1)
+	if _, err := root.Publish(permitPolicy("p"), at); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := root.Publish(permitPolicy("p"), at.Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	for _, leaf := range root.Leaves() {
+		if leaf.Store.History("p") != 2 {
+			t.Errorf("leaf %s history = %d, want 2", leaf.Name, leaf.Store.History("p"))
+		}
+	}
+}
+
+func TestPullAllComparison(t *testing.T) {
+	net := wire.NewNetwork(5*time.Millisecond, 1)
+	root := BuildTree("pap", net, 3, 2) // 9 leaves
+	if _, err := root.Store.Put(permitPolicy("p")); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := root.PullAll("p", at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Applied != 9 {
+		t.Errorf("applied = %d, want 9 leaves", rep.Applied)
+	}
+	if rep.Messages != 18 { // request + response per leaf
+		t.Errorf("messages = %d, want 18", rep.Messages)
+	}
+	if rep.Bytes == 0 {
+		t.Error("pull traffic must be accounted")
+	}
+	for _, leaf := range root.Leaves() {
+		if _, err := leaf.Store.Get("p"); err != nil {
+			t.Errorf("leaf %s missing pulled policy", leaf.Name)
+		}
+	}
+}
+
+func TestBuildTreeShape(t *testing.T) {
+	net := wire.NewNetwork(time.Millisecond, 1)
+	root := BuildTree("x", net, 3, 3)
+	want := 1 + 3 + 9 + 27
+	if got := root.SubtreeSize(); got != want {
+		t.Errorf("size = %d, want %d", got, want)
+	}
+	if got := len(root.Leaves()); got != 27 {
+		t.Errorf("leaves = %d, want 27", got)
+	}
+	// Depth 0 tree is a single node that is its own leaf.
+	solo := BuildTree("solo", net, 4, 0)
+	if solo.SubtreeSize() != 1 || len(solo.Leaves()) != 1 {
+		t.Error("depth-0 tree malformed")
+	}
+}

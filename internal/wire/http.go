@@ -1,0 +1,91 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// HTTPHandler adapts an envelope Handler to net/http, the real-network
+// binding used by cmd/pdpd. Envelopes travel as XML request and response
+// bodies over POST.
+func HTTPHandler(h Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		data, err := io.ReadAll(io.LimitReader(r.Body, 10<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		env, err := DecodeXML(data)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		call := &Call{}
+		reply, err := h(call, env)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if reply == nil {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		reply.From, reply.To = env.To, env.From
+		if reply.MessageID == "" {
+			reply.MessageID = env.MessageID + "-reply"
+		}
+		out, err := reply.EncodeXML()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/xml")
+		if _, err := w.Write(out); err != nil {
+			return
+		}
+	})
+}
+
+// HTTPClient sends envelopes to a remote envelope endpoint.
+type HTTPClient struct {
+	// Endpoint is the full URL of the envelope endpoint.
+	Endpoint string
+	// Client is the underlying HTTP client; nil uses a 10-second-timeout
+	// default.
+	Client *http.Client
+}
+
+// Send posts the envelope and decodes the reply.
+func (c *HTTPClient) Send(env *Envelope) (*Envelope, error) {
+	data, err := env.EncodeXML()
+	if err != nil {
+		return nil, err
+	}
+	httpClient := c.Client
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 10 * time.Second}
+	}
+	resp, err := httpClient.Post(c.Endpoint, "application/xml", bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("wire: post %s: %w", c.Endpoint, err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 10<<20))
+	if err != nil {
+		return nil, fmt.Errorf("wire: read reply: %w", err)
+	}
+	if resp.StatusCode == http.StatusNoContent {
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("wire: %s returned %s: %s", c.Endpoint, resp.Status, body)
+	}
+	return DecodeXML(body)
+}

@@ -1,0 +1,97 @@
+package wire
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHTTPHandlerRejectsNonPost(t *testing.T) {
+	srv := httptest.NewServer(HTTPHandler(func(_ *Call, env *Envelope) (*Envelope, error) {
+		return env, nil
+	}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestHTTPHandlerRejectsMalformedEnvelope(t *testing.T) {
+	srv := httptest.NewServer(HTTPHandler(func(_ *Call, env *Envelope) (*Envelope, error) {
+		return env, nil
+	}))
+	defer srv.Close()
+	resp, err := http.Post(srv.URL, "application/xml", strings.NewReader("not xml at all"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHTTPHandlerSurfacesHandlerError(t *testing.T) {
+	srv := httptest.NewServer(HTTPHandler(func(*Call, *Envelope) (*Envelope, error) {
+		return nil, errors.New("pdp exploded")
+	}))
+	defer srv.Close()
+	client := &HTTPClient{Endpoint: srv.URL}
+	_, err := client.Send(sampleEnvelope())
+	if err == nil || !strings.Contains(err.Error(), "pdp exploded") {
+		t.Errorf("handler error not surfaced: %v", err)
+	}
+}
+
+func TestHTTPHandlerNoContentReply(t *testing.T) {
+	srv := httptest.NewServer(HTTPHandler(func(*Call, *Envelope) (*Envelope, error) {
+		return nil, nil // one-way message
+	}))
+	defer srv.Close()
+	client := &HTTPClient{Endpoint: srv.URL}
+	reply, err := client.Send(sampleEnvelope())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply != nil {
+		t.Errorf("one-way reply = %+v, want nil", reply)
+	}
+}
+
+func TestProtectionString(t *testing.T) {
+	cases := map[Protection]string{
+		Plain:           "plain",
+		Signed:          "signed",
+		SignedEncrypted: "signed+encrypted",
+		Protection(9):   "protection(9)",
+	}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("Protection(%d).String() = %q, want %q", int(p), got, want)
+		}
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	n := NewNetwork(time.Millisecond, 1)
+	n.Register("a", func(_ *Call, env *Envelope) (*Envelope, error) { return env, nil })
+	n.Register("b", func(_ *Call, env *Envelope) (*Envelope, error) { return env, nil })
+	if _, err := n.Send(&Call{}, &Envelope{From: "a", To: "b", Timestamp: time.Unix(0, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	if n.Stats().Messages == 0 {
+		t.Fatal("no traffic recorded")
+	}
+	n.ResetStats()
+	if st := n.Stats(); st.Messages != 0 || st.Bytes != 0 {
+		t.Errorf("stats after reset = %+v", st)
+	}
+}

@@ -1,0 +1,225 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Network errors, matched with errors.Is.
+var (
+	// ErrUnknownNode reports a destination not registered on the network.
+	ErrUnknownNode = errors.New("wire: unknown node")
+	// ErrUnreachable reports a crashed node or partitioned link.
+	ErrUnreachable = errors.New("wire: node unreachable")
+	// ErrLost reports a message dropped by the lossy link model.
+	ErrLost = errors.New("wire: message lost")
+)
+
+// Handler processes an incoming envelope at a node and returns the reply.
+// Handlers may issue nested Sends with the same Call to model multi-hop
+// protocols (PEP → PDP → PIP); the virtual clock accumulates across hops.
+type Handler func(call *Call, env *Envelope) (*Envelope, error)
+
+// Call carries the per-request virtual clock and traffic counters through
+// a (possibly nested) message exchange.
+type Call struct {
+	// Elapsed is the accumulated virtual network latency.
+	Elapsed time.Duration
+	// Messages and Bytes count traffic attributed to this call.
+	Messages int
+	Bytes    int
+}
+
+// LinkProps configures one directed link.
+type LinkProps struct {
+	// Latency is the one-way delay.
+	Latency time.Duration
+	// Loss is the message-drop probability in [0, 1).
+	Loss float64
+	// Down marks a partitioned link.
+	Down bool
+}
+
+// Stats aggregates network-wide traffic.
+type Stats struct {
+	// Messages and Bytes count every envelope accepted onto the network
+	// (requests and replies).
+	Messages int64
+	Bytes    int64
+	// Lost counts messages dropped by the loss model.
+	Lost int64
+}
+
+type linkKey struct{ from, to string }
+
+// Network is a deterministic simulated message network. Latency is
+// accounted on the Call's virtual clock rather than slept, so experiments
+// over hundreds of domains run in microseconds and are exactly
+// reproducible for a given seed.
+type Network struct {
+	defaultLatency time.Duration
+
+	mu        sync.Mutex
+	nodes     map[string]Handler
+	down      map[string]bool
+	links     map[linkKey]LinkProps
+	rng       *rand.Rand
+	stats     Stats
+	msgSerial int64
+}
+
+// NewNetwork builds a network with the given default one-way latency and
+// RNG seed (for the loss model).
+func NewNetwork(defaultLatency time.Duration, seed int64) *Network {
+	return &Network{
+		defaultLatency: defaultLatency,
+		nodes:          make(map[string]Handler),
+		down:           make(map[string]bool),
+		links:          make(map[linkKey]LinkProps),
+		rng:            rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Register attaches a handler at the named node, replacing any existing
+// one.
+func (n *Network) Register(name string, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nodes[name] = h
+}
+
+// SetLink configures the directed link between two nodes.
+func (n *Network) SetLink(from, to string, props LinkProps) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.links[linkKey{from: from, to: to}] = props
+}
+
+// SetNodeDown crashes or revives a node.
+func (n *Network) SetNodeDown(name string, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down[name] = down
+}
+
+// NodeDown reports whether the node is crashed.
+func (n *Network) NodeDown(name string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.down[name]
+}
+
+// Stats returns a snapshot of network-wide counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// ResetStats zeroes the traffic counters between experiment phases.
+func (n *Network) ResetStats() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats = Stats{}
+}
+
+// NextMessageID mints a network-unique message identifier.
+func (n *Network) NextMessageID(from string) string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.msgSerial++
+	return from + "-m" + strconv.FormatInt(n.msgSerial, 10)
+}
+
+func (n *Network) linkProps(from, to string) LinkProps {
+	if p, ok := n.links[linkKey{from: from, to: to}]; ok {
+		return p
+	}
+	return LinkProps{Latency: n.defaultLatency}
+}
+
+// traverse accounts one directed hop, returning an error when the link or
+// destination refuses it.
+func (n *Network) traverse(call *Call, from, to string, size int) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.nodes[to]; !ok {
+		return fmt.Errorf("wire: %s: %w", to, ErrUnknownNode)
+	}
+	props := n.linkProps(from, to)
+	if props.Down {
+		return fmt.Errorf("wire: link %s->%s partitioned: %w", from, to, ErrUnreachable)
+	}
+	if n.down[to] {
+		// The message travels, then times out against a dead host.
+		call.Elapsed += props.Latency
+		return fmt.Errorf("wire: %s is down: %w", to, ErrUnreachable)
+	}
+	if props.Loss > 0 && n.rng.Float64() < props.Loss {
+		call.Elapsed += props.Latency
+		n.stats.Lost++
+		return fmt.Errorf("wire: %s->%s: %w", from, to, ErrLost)
+	}
+	call.Elapsed += props.Latency
+	call.Messages++
+	call.Bytes += size
+	n.stats.Messages++
+	n.stats.Bytes += int64(size)
+	return nil
+}
+
+// Send delivers the envelope to its destination's handler and returns the
+// reply, accounting both directions on the call's virtual clock.
+func (n *Network) Send(call *Call, env *Envelope) (*Envelope, error) {
+	if env.MessageID == "" {
+		env.MessageID = n.NextMessageID(env.From)
+	}
+	size := env.WireSize()
+	if err := n.traverse(call, env.From, env.To, size); err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	handler := n.nodes[env.To]
+	n.mu.Unlock()
+
+	reply, err := handler(call, env)
+	if err != nil {
+		return nil, fmt.Errorf("wire: %s handling %s: %w", env.To, env.Action, err)
+	}
+	if reply == nil {
+		return nil, nil
+	}
+	if reply.MessageID == "" {
+		reply.MessageID = n.NextMessageID(env.To)
+	}
+	reply.From, reply.To = env.To, env.From
+	if err := n.traverse(call, reply.From, reply.To, reply.WireSize()); err != nil {
+		return nil, err
+	}
+	return reply, nil
+}
+
+// SendWithRetry retries a Send up to attempts times on loss or
+// unreachability, adding a timeout penalty to the virtual clock for each
+// failed attempt — the PEP-side resilience mechanism used by the
+// dependability experiments.
+func (n *Network) SendWithRetry(call *Call, env *Envelope, attempts int, timeout time.Duration) (*Envelope, error) {
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		reply, err := n.Send(call, env)
+		if err == nil {
+			return reply, nil
+		}
+		lastErr = err
+		if !errors.Is(err, ErrLost) && !errors.Is(err, ErrUnreachable) {
+			return nil, err
+		}
+		call.Elapsed += timeout
+		env.MessageID = "" // a retry is a fresh message
+	}
+	return nil, fmt.Errorf("wire: %d attempts to %s failed: %w", attempts, env.To, lastErr)
+}

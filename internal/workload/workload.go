@@ -1,0 +1,145 @@
+// Package workload synthesises the populations and request streams the
+// experiments run against: users with roles, resources with Zipf-skewed
+// popularity, Poisson arrivals, and bulk policy-base generation for the
+// scalability experiments (Section 3 of the paper argues authorisation
+// must scale to large user and resource bases; this package supplies
+// those bases).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/pip"
+	"repro/internal/policy"
+)
+
+// Config parameterises a workload.
+type Config struct {
+	// Users, Resources and Roles size the populations.
+	Users     int
+	Resources int
+	Roles     int
+	// Actions lists the operations in the mix; defaults to read/write.
+	Actions []string
+	// ZipfS is the skew of resource popularity (>1); 1.2 when zero.
+	ZipfS float64
+	// ReadFraction is the share of requests using Actions[0]; 0.8 when
+	// zero.
+	ReadFraction float64
+	// MeanInterarrival spaces request arrivals for the Poisson process;
+	// 10ms when zero.
+	MeanInterarrival time.Duration
+	// Seed makes the workload reproducible.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Actions) == 0 {
+		c.Actions = []string{"read", "write"}
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.2
+	}
+	if c.ReadFraction == 0 {
+		c.ReadFraction = 0.8
+	}
+	if c.MeanInterarrival == 0 {
+		c.MeanInterarrival = 10 * time.Millisecond
+	}
+	return c
+}
+
+// Generator produces deterministic request streams.
+type Generator struct {
+	cfg  Config
+	rng  *rand.Rand
+	zipf *rand.Zipf
+}
+
+// NewGenerator builds a generator from the config.
+func NewGenerator(cfg Config) *Generator {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var zipf *rand.Zipf
+	if cfg.Resources > 1 {
+		zipf = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Resources-1))
+	}
+	return &Generator{cfg: cfg, rng: rng, zipf: zipf}
+}
+
+// UserID names the i-th user.
+func UserID(i int) string { return fmt.Sprintf("user-%d", i) }
+
+// ResourceID names the i-th resource.
+func ResourceID(i int) string { return fmt.Sprintf("res-%d", i) }
+
+// RoleID names the i-th role.
+func RoleID(i int) string { return fmt.Sprintf("role-%d", i) }
+
+// NextRequest draws one access request: a uniform user, a Zipf-popular
+// resource, and an action from the read/write mix.
+func (g *Generator) NextRequest() *policy.Request {
+	user := UserID(g.rng.Intn(g.cfg.Users))
+	res := 0
+	if g.zipf != nil {
+		res = int(g.zipf.Uint64())
+	}
+	action := g.cfg.Actions[0]
+	if g.rng.Float64() >= g.cfg.ReadFraction && len(g.cfg.Actions) > 1 {
+		action = g.cfg.Actions[1+g.rng.Intn(len(g.cfg.Actions)-1)]
+	}
+	return policy.NewAccessRequest(user, ResourceID(res), action)
+}
+
+// NextInterarrival draws an exponential interarrival time for the Poisson
+// arrival process.
+func (g *Generator) NextInterarrival() time.Duration {
+	u := g.rng.Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	d := time.Duration(-math.Log(u) * float64(g.cfg.MeanInterarrival))
+	if d <= 0 {
+		d = time.Nanosecond
+	}
+	return d
+}
+
+// Directory provisions a subject directory where user i holds role
+// i mod Roles, the identity-provider population of the experiments.
+func (g *Generator) Directory(name string) *pip.Directory {
+	dir := pip.NewDirectory(name)
+	for i := 0; i < g.cfg.Users; i++ {
+		dir.AddSubject(pip.Subject{
+			ID:    UserID(i),
+			Roles: []string{RoleID(i % g.cfg.Roles)},
+		})
+	}
+	return dir
+}
+
+// PolicyBase builds one policy per resource permitting reads to the role
+// owning the resource (role r owns resources where i mod Roles == r) and
+// denying everything else — the bulk policy base of the scalability
+// experiment E13.
+func (g *Generator) PolicyBase(rootID string) *policy.PolicySet {
+	b := policy.NewPolicySet(rootID).Combining(policy.DenyOverrides)
+	for i := 0; i < g.cfg.Resources; i++ {
+		role := RoleID(i % g.cfg.Roles)
+		b.Add(policy.NewPolicy(fmt.Sprintf("pol-%s", ResourceID(i))).
+			Combining(policy.FirstApplicable).
+			When(policy.MatchResourceID(ResourceID(i))).
+			Rule(policy.Permit("owner-read").
+				When(policy.MatchRole(role), policy.MatchActionID("read")).
+				Build()).
+			Rule(policy.Permit("owner-write").
+				When(policy.MatchRole(role), policy.MatchActionID("write")).
+				Build()).
+			Rule(policy.Deny("default").Build()).
+			Build())
+	}
+	return b.Build()
+}

@@ -1,0 +1,362 @@
+package xacml
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+)
+
+// samplePolicySet builds a structurally rich policy set exercising every
+// encodable construct: nesting, targets, conditions, obligations, bags.
+func samplePolicySet() *policy.PolicySet {
+	cond := policy.And(
+		policy.AttrContains(policy.CategorySubject, policy.AttrSubjectRole, policy.String("doctor")),
+		policy.Call(policy.FnGreaterThan,
+			policy.Call(policy.FnOneAndOnly, policy.SubjectAttr(policy.AttrClearance)),
+			policy.Lit(policy.Integer(2))),
+		policy.Call(policy.FnIsIn,
+			policy.Lit(policy.String("ward-3")),
+			&policy.BagLiteral{Values: policy.BagOf(policy.String("ward-3"), policy.String("ward-4"))}),
+	)
+	inner := policy.NewPolicy("records").
+		Describe("patient record access").
+		IssuedBy("hospital-a").
+		Combining(policy.FirstApplicable).
+		When(policy.MatchResource(policy.AttrResourceType, policy.String("patient-record"))).
+		Rule(policy.Permit("doctors").
+			Describe("doctors with clearance on listed wards").
+			If(cond).
+			Obligation(policy.Obligation{
+				ID:        "log",
+				FulfillOn: policy.EffectPermit,
+				Assignments: []policy.Assignment{
+					{Name: "who", Expr: policy.Call(policy.FnOneAndOnly, policy.SubjectAttr(policy.AttrSubjectID))},
+				},
+			}).
+			Build()).
+		Rule(policy.Deny("default").Build()).
+		Build()
+	nested := policy.NewPolicySet("sub").
+		Combining(policy.PermitOverrides).
+		Add(policy.NewPolicy("empty-policy").Combining(policy.DenyUnlessPermit).Build()).
+		Build()
+	return policy.NewPolicySet("org").
+		Describe("organisation root").
+		Combining(policy.DenyOverrides).
+		When(policy.MatchResource(policy.AttrResourceDomain, policy.String("hospital-a"))).
+		Add(inner, nested).
+		Obligation(policy.RequireObligation("audit", policy.EffectDeny, map[string]string{"level": "warn"})).
+		Build()
+}
+
+func sampleRequest() *policy.Request {
+	return policy.NewAccessRequest("alice", "rec-9", "read").
+		Add(policy.CategorySubject, policy.AttrSubjectRole, policy.String("doctor")).
+		Add(policy.CategorySubject, policy.AttrClearance, policy.Integer(3)).
+		Add(policy.CategoryResource, policy.AttrResourceType, policy.String("patient-record")).
+		Add(policy.CategoryResource, policy.AttrResourceDomain, policy.String("hospital-a"))
+}
+
+// decisionsAgree checks that two evaluables produce identical results over a
+// spread of requests, the semantic definition of codec fidelity.
+func decisionsAgree(t *testing.T, a, b policy.Evaluable) {
+	t.Helper()
+	reqs := []*policy.Request{
+		sampleRequest(),
+		policy.NewAccessRequest("bob", "rec-9", "read").
+			Add(policy.CategorySubject, policy.AttrSubjectRole, policy.String("visitor")).
+			Add(policy.CategoryResource, policy.AttrResourceType, policy.String("patient-record")).
+			Add(policy.CategoryResource, policy.AttrResourceDomain, policy.String("hospital-a")),
+		policy.NewAccessRequest("carol", "printer", "use").
+			Add(policy.CategoryResource, policy.AttrResourceDomain, policy.String("hospital-b")),
+		policy.NewRequest(),
+	}
+	at := time.Date(2026, 6, 12, 12, 0, 0, 0, time.UTC)
+	for i, req := range reqs {
+		ra := a.Evaluate(policy.NewContextAt(req, at))
+		rb := b.Evaluate(policy.NewContextAt(req, at))
+		if ra.Decision != rb.Decision {
+			t.Errorf("request %d: decisions diverge: %v vs %v", i, ra.Decision, rb.Decision)
+		}
+		if ra.By != rb.By {
+			t.Errorf("request %d: deciders diverge: %q vs %q", i, ra.By, rb.By)
+		}
+		if len(ra.Obligations) != len(rb.Obligations) {
+			t.Errorf("request %d: obligation counts diverge: %d vs %d", i, len(ra.Obligations), len(rb.Obligations))
+		}
+	}
+}
+
+func TestXMLRoundTripPolicySet(t *testing.T) {
+	orig := samplePolicySet()
+	data, err := MarshalXML(orig)
+	if err != nil {
+		t.Fatalf("MarshalXML: %v", err)
+	}
+	decoded, err := UnmarshalXML(data)
+	if err != nil {
+		t.Fatalf("UnmarshalXML: %v\n%s", err, data)
+	}
+	set, ok := decoded.(*policy.PolicySet)
+	if !ok {
+		t.Fatalf("decoded %T, want *PolicySet", decoded)
+	}
+	if set.ID != "org" || set.Description != "organisation root" || set.Combining != policy.DenyOverrides {
+		t.Errorf("metadata lost: %+v", set)
+	}
+	if err := set.Validate(); err != nil {
+		t.Fatalf("decoded set invalid: %v", err)
+	}
+	decisionsAgree(t, orig, set)
+}
+
+func TestXMLRoundTripBarePolicy(t *testing.T) {
+	orig := samplePolicySet().Children[0].(*policy.Policy)
+	data, err := MarshalXML(orig)
+	if err != nil {
+		t.Fatalf("MarshalXML: %v", err)
+	}
+	decoded, err := UnmarshalXML(data)
+	if err != nil {
+		t.Fatalf("UnmarshalXML: %v", err)
+	}
+	p, ok := decoded.(*policy.Policy)
+	if !ok {
+		t.Fatalf("decoded %T, want *Policy", decoded)
+	}
+	if p.Issuer != "hospital-a" {
+		t.Errorf("issuer lost: %q", p.Issuer)
+	}
+	decisionsAgree(t, orig, p)
+}
+
+func TestXMLPreservesChildOrder(t *testing.T) {
+	// first-applicable depends on child order; interleave policies and sets.
+	set := policy.NewPolicySet("ordered").
+		Combining(policy.FirstApplicable).
+		Add(
+			policy.NewPolicy("p1").Combining(policy.FirstApplicable).
+				When(policy.MatchActionID("read")).
+				Rule(policy.Permit("allow").Build()).Build(),
+			policy.NewPolicySet("s1").Combining(policy.DenyUnlessPermit).Build(),
+			policy.NewPolicy("p2").Combining(policy.DenyUnlessPermit).Build(),
+		).
+		Build()
+	data, err := MarshalXML(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := UnmarshalXML(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decoded.(*policy.PolicySet)
+	wantOrder := []string{"p1", "s1", "p2"}
+	if len(got.Children) != len(wantOrder) {
+		t.Fatalf("child count = %d, want %d", len(got.Children), len(wantOrder))
+	}
+	for i, id := range wantOrder {
+		if got.Children[i].EntityID() != id {
+			t.Errorf("child %d = %s, want %s", i, got.Children[i].EntityID(), id)
+		}
+	}
+	// read permits via p1; a deny-unless-permit later must not pre-empt it.
+	res := got.Evaluate(policy.NewContext(policy.NewAccessRequest("u", "r", "read")))
+	if res.Decision != policy.DecisionPermit {
+		t.Errorf("order-sensitive decision = %v, want Permit", res.Decision)
+	}
+}
+
+func TestJSONRoundTripPolicySet(t *testing.T) {
+	orig := samplePolicySet()
+	data, err := MarshalJSON(orig)
+	if err != nil {
+		t.Fatalf("MarshalJSON: %v", err)
+	}
+	decoded, err := UnmarshalJSON(data)
+	if err != nil {
+		t.Fatalf("UnmarshalJSON: %v\n%s", err, data)
+	}
+	decisionsAgree(t, orig, decoded)
+}
+
+func TestJSONRoundTripConjunctiveTarget(t *testing.T) {
+	// NewTarget(m1, m2) is a conjunction; the codec must not degrade it
+	// into a disjunction.
+	p := policy.NewPolicy("conj").
+		Combining(policy.DenyUnlessPermit).
+		When(policy.MatchResourceID("db"), policy.MatchActionID("write")).
+		Rule(policy.Permit("ok").Build()).
+		Build()
+	data, err := MarshalJSON(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := UnmarshalJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Matching only one conjunct must not apply the policy.
+	res := decoded.Evaluate(policy.NewContext(policy.NewAccessRequest("u", "db", "read")))
+	if res.Decision != policy.DecisionNotApplicable {
+		t.Errorf("half-matching conjunction: got %v, want NotApplicable", res.Decision)
+	}
+	res = decoded.Evaluate(policy.NewContext(policy.NewAccessRequest("u", "db", "write")))
+	if res.Decision != policy.DecisionPermit {
+		t.Errorf("full match: got %v, want Permit", res.Decision)
+	}
+}
+
+func TestRequestXMLRoundTrip(t *testing.T) {
+	orig := sampleRequest().
+		Add(policy.CategoryEnvironment, "risk-score", policy.Double(0.25)).
+		Add(policy.CategorySubject, "member-since", policy.Time(time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)))
+	data, err := MarshalRequestXML(orig)
+	if err != nil {
+		t.Fatalf("MarshalRequestXML: %v", err)
+	}
+	decoded, err := UnmarshalRequestXML(data)
+	if err != nil {
+		t.Fatalf("UnmarshalRequestXML: %v\n%s", err, data)
+	}
+	if decoded.CacheKey() != orig.CacheKey() {
+		t.Errorf("request round trip diverges:\n got %s\nwant %s", decoded.CacheKey(), orig.CacheKey())
+	}
+}
+
+func TestRequestJSONRoundTrip(t *testing.T) {
+	orig := sampleRequest()
+	data, err := MarshalRequestJSON(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := UnmarshalRequestJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.CacheKey() != orig.CacheKey() {
+		t.Errorf("json request round trip diverges")
+	}
+}
+
+func TestResponseRoundTrips(t *testing.T) {
+	orig := policy.Result{
+		Decision: policy.DecisionPermit,
+		By:       "org/records/doctors",
+		Obligations: []policy.FulfilledObligation{{
+			ID: "log",
+			Attributes: map[string]policy.Value{
+				"who":   policy.String("alice"),
+				"count": policy.Integer(3),
+			},
+		}},
+	}
+	xmlData, err := MarshalResponseXML(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromXML, err := UnmarshalResponseXML(xmlData)
+	if err != nil {
+		t.Fatalf("UnmarshalResponseXML: %v\n%s", err, xmlData)
+	}
+	jsonData, err := MarshalResponseJSON(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := UnmarshalResponseJSON(jsonData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, got := range map[string]policy.Result{"xml": fromXML, "json": fromJSON} {
+		if got.Decision != orig.Decision || got.By != orig.By {
+			t.Errorf("%s: decision/by diverge: %+v", name, got)
+		}
+		if len(got.Obligations) != 1 || got.Obligations[0].ID != "log" {
+			t.Fatalf("%s: obligations lost: %+v", name, got.Obligations)
+		}
+		if !got.Obligations[0].Attributes["who"].Equal(policy.String("alice")) {
+			t.Errorf("%s: obligation attribute lost", name)
+		}
+		if !got.Obligations[0].Attributes["count"].Equal(policy.Integer(3)) {
+			t.Errorf("%s: typed obligation attribute lost", name)
+		}
+	}
+}
+
+func TestResponseCarriesIndeterminateStatus(t *testing.T) {
+	orig := policy.Result{Decision: policy.DecisionIndeterminate, Err: errors.New("pip unreachable")}
+	data, err := MarshalResponseXML(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalResponseXML(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Err == nil || !strings.Contains(got.Err.Error(), "pip unreachable") {
+		t.Errorf("status message lost: %v", got.Err)
+	}
+}
+
+func TestUnmarshalXMLErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"wrong-root", "<Bogus/>"},
+		{"bad-algorithm", `<Policy PolicyId="p" RuleCombiningAlgId="nope"></Policy>`},
+		{"bad-effect", `<Policy PolicyId="p" RuleCombiningAlgId="deny-overrides"><Rule RuleId="r" Effect="Maybe"></Rule></Policy>`},
+		{"bad-datatype", `<Policy PolicyId="p" RuleCombiningAlgId="deny-overrides"><Target><AnyOf><AllOf><Match MatchId="equal" Category="subject" AttributeId="a" DataType="blob">x</Match></AllOf></AnyOf></Target></Policy>`},
+		{"bad-category", `<Policy PolicyId="p" RuleCombiningAlgId="deny-overrides"><Target><AnyOf><AllOf><Match MatchId="equal" Category="nowhere" AttributeId="a" DataType="string">x</Match></AllOf></AnyOf></Target></Policy>`},
+		{"truncated", `<Policy PolicyId="p" RuleCombiningAlgId="deny-overrides">`},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := UnmarshalXML([]byte(tt.in)); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestUnmarshalJSONErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"not-json", "{"},
+		{"empty-doc", "{}"},
+		{"bad-combining", `{"policy":{"id":"p","combining":"nope","rules":[]}}`},
+		{"bad-effect", `{"policy":{"id":"p","combining":"deny-overrides","rules":[{"id":"r","effect":"Sometimes"}]}}`},
+		{"empty-expr", `{"policy":{"id":"p","combining":"deny-overrides","rules":[{"id":"r","effect":"Permit","condition":{}}]}}`},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := UnmarshalJSON([]byte(tt.in)); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestMarshalSizesReasonable(t *testing.T) {
+	// The paper highlights XML verbosity (Section 3.2): the XML encoding
+	// should be measurably larger than JSON for the same policy.
+	set := samplePolicySet()
+	xmlData, err := MarshalXML(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonData, err := MarshalJSON(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xmlData) == 0 || len(jsonData) == 0 {
+		t.Fatal("empty encodings")
+	}
+	t.Logf("xml=%dB json=%dB", len(xmlData), len(jsonData))
+}

@@ -1,0 +1,182 @@
+package xacml
+
+import (
+	"bytes"
+	"encoding/xml"
+	"errors"
+	"fmt"
+
+	"repro/internal/policy"
+)
+
+// The request/response context types mirror the XACML context schema: the
+// messages a PEP and PDP exchange (Fig. 4 of the paper).
+
+type xmlAttributeValue struct {
+	DataType string `xml:"DataType,attr"`
+	Text     string `xml:",chardata"`
+}
+
+type xmlAttribute struct {
+	AttributeID string              `xml:"AttributeId,attr"`
+	Values      []xmlAttributeValue `xml:"AttributeValue"`
+}
+
+type xmlAttributes struct {
+	Category   string         `xml:"Category,attr"`
+	Attributes []xmlAttribute `xml:"Attribute"`
+}
+
+type xmlRequest struct {
+	XMLName    xml.Name        `xml:"Request"`
+	Categories []xmlAttributes `xml:"Attributes"`
+}
+
+type xmlAssignment struct {
+	AttributeID string `xml:"AttributeId,attr"`
+	DataType    string `xml:"DataType,attr"`
+	Text        string `xml:",chardata"`
+}
+
+type xmlResultObligation struct {
+	ObligationID string          `xml:"ObligationId,attr"`
+	Assignments  []xmlAssignment `xml:"AttributeAssignment"`
+}
+
+type xmlStatus struct {
+	Message string `xml:"Message,omitempty"`
+}
+
+type xmlResult struct {
+	Decision    string                `xml:"Decision,attr"`
+	By          string                `xml:"By,attr,omitempty"`
+	Status      *xmlStatus            `xml:"Status,omitempty"`
+	Obligations []xmlResultObligation `xml:"Obligations>Obligation,omitempty"`
+}
+
+type xmlResponse struct {
+	XMLName xml.Name  `xml:"Response"`
+	Result  xmlResult `xml:"Result"`
+}
+
+// MarshalRequestXML encodes a request context.
+func MarshalRequestXML(req *policy.Request) ([]byte, error) {
+	var out xmlRequest
+	for _, cat := range policy.Categories() {
+		names := req.Names(cat)
+		if len(names) == 0 {
+			continue
+		}
+		xc := xmlAttributes{Category: cat.String()}
+		for _, name := range names {
+			bag, _ := req.Get(cat, name)
+			xa := xmlAttribute{AttributeID: name}
+			for _, v := range bag {
+				xa.Values = append(xa.Values, xmlAttributeValue{
+					DataType: v.Kind().String(),
+					Text:     v.String(),
+				})
+			}
+			xc.Attributes = append(xc.Attributes, xa)
+		}
+		out.Categories = append(out.Categories, xc)
+	}
+	data, err := xml.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("xacml: marshal request: %w", err)
+	}
+	return data, nil
+}
+
+// UnmarshalRequestXML decodes a request context.
+func UnmarshalRequestXML(data []byte) (*policy.Request, error) {
+	var in xmlRequest
+	if err := xml.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("xacml: unmarshal request: %w", err)
+	}
+	req := policy.NewRequest()
+	for _, xc := range in.Categories {
+		cat, err := policy.CategoryFromString(xc.Category)
+		if err != nil {
+			return nil, fmt.Errorf("xacml: request: %w", err)
+		}
+		for _, xa := range xc.Attributes {
+			for _, xv := range xa.Values {
+				kind, err := policy.KindFromString(xv.DataType)
+				if err != nil {
+					return nil, fmt.Errorf("xacml: request attribute %s: %w", xa.AttributeID, err)
+				}
+				v, err := policy.ParseValue(kind, xv.Text)
+				if err != nil {
+					return nil, fmt.Errorf("xacml: request attribute %s: %w", xa.AttributeID, err)
+				}
+				req.Add(cat, xa.AttributeID, v)
+			}
+		}
+	}
+	return req, nil
+}
+
+// MarshalResponseXML encodes a decision result.
+func MarshalResponseXML(res policy.Result) ([]byte, error) {
+	out := xmlResponse{Result: xmlResult{
+		Decision: res.Decision.String(),
+		By:       res.By,
+	}}
+	if res.Err != nil {
+		out.Result.Status = &xmlStatus{Message: res.Err.Error()}
+	}
+	for _, ob := range res.Obligations {
+		xo := xmlResultObligation{ObligationID: ob.ID}
+		for name, v := range ob.Attributes {
+			xo.Assignments = append(xo.Assignments, xmlAssignment{
+				AttributeID: name,
+				DataType:    v.Kind().String(),
+				Text:        v.String(),
+			})
+		}
+		out.Result.Obligations = append(out.Result.Obligations, xo)
+	}
+	data, err := xml.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("xacml: marshal response: %w", err)
+	}
+	return data, nil
+}
+
+// UnmarshalResponseXML decodes a decision result. The Err field of an
+// Indeterminate result is reconstructed as an opaque error carrying the
+// status message.
+func UnmarshalResponseXML(data []byte) (policy.Result, error) {
+	var in xmlResponse
+	if err := xml.Unmarshal(bytes.TrimSpace(data), &in); err != nil {
+		return policy.Result{}, fmt.Errorf("xacml: unmarshal response: %w", err)
+	}
+	dec, err := policy.DecisionFromString(in.Result.Decision)
+	if err != nil {
+		return policy.Result{}, fmt.Errorf("xacml: response: %w", err)
+	}
+	res := policy.Result{Decision: dec, By: in.Result.By}
+	if in.Result.Status != nil && in.Result.Status.Message != "" {
+		res.Err = errors.New(in.Result.Status.Message)
+	}
+	for _, xo := range in.Result.Obligations {
+		ob := policy.FulfilledObligation{ID: xo.ObligationID}
+		if len(xo.Assignments) > 0 {
+			ob.Attributes = make(map[string]policy.Value, len(xo.Assignments))
+		}
+		for _, xa := range xo.Assignments {
+			kind, err := policy.KindFromString(xa.DataType)
+			if err != nil {
+				return policy.Result{}, fmt.Errorf("xacml: response obligation %s: %w", xo.ObligationID, err)
+			}
+			v, err := policy.ParseValue(kind, xa.Text)
+			if err != nil {
+				return policy.Result{}, fmt.Errorf("xacml: response obligation %s: %w", xo.ObligationID, err)
+			}
+			ob.Attributes[xa.AttributeID] = v
+		}
+		res.Obligations = append(res.Obligations, ob)
+	}
+	return res, nil
+}

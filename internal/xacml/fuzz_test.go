@@ -1,0 +1,57 @@
+package xacml
+
+import (
+	"testing"
+)
+
+// FuzzUnmarshalXML drives the policy XML decoder with arbitrary bytes: it
+// must never panic, and anything it accepts must re-encode and re-decode.
+func FuzzUnmarshalXML(f *testing.F) {
+	if data, err := MarshalXML(samplePolicySet()); err == nil {
+		f.Add(data)
+	}
+	f.Add([]byte(`<Policy PolicyId="p" RuleCombiningAlgId="deny-overrides"></Policy>`))
+	f.Add([]byte(`<PolicySet PolicySetId="s" PolicyCombiningAlgId="first-applicable"></PolicySet>`))
+	f.Add([]byte(`<Bogus/>`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := UnmarshalXML(data)
+		if err != nil {
+			return
+		}
+		out, err := MarshalXML(e)
+		if err != nil {
+			t.Fatalf("accepted document does not re-encode: %v", err)
+		}
+		if _, err := UnmarshalXML(out); err != nil {
+			t.Fatalf("re-encoded document does not decode: %v\n%s", err, out)
+		}
+	})
+}
+
+// FuzzUnmarshalRequestJSON drives the request-context JSON decoder.
+func FuzzUnmarshalRequestJSON(f *testing.F) {
+	if data, err := MarshalRequestJSON(sampleRequest()); err == nil {
+		f.Add(data)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"subject":{"role":[{"kind":"string","value":"doctor"}]}}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := UnmarshalRequestJSON(data)
+		if err != nil {
+			return
+		}
+		out, err := MarshalRequestJSON(req)
+		if err != nil {
+			t.Fatalf("accepted request does not re-encode: %v", err)
+		}
+		req2, err := UnmarshalRequestJSON(out)
+		if err != nil {
+			t.Fatalf("re-encoded request does not decode: %v", err)
+		}
+		if req2.CacheKey() != req.CacheKey() {
+			t.Fatalf("request canonical form unstable:\n%s\nvs\n%s", req.CacheKey(), req2.CacheKey())
+		}
+	})
+}

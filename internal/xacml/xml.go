@@ -1,0 +1,768 @@
+package xacml
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/policy"
+)
+
+// Element and attribute names of the XML dialect. They follow XACML 2.0
+// element naming with the namespace prefixes elided.
+const (
+	elemPolicySet   = "PolicySet"
+	elemPolicy      = "Policy"
+	elemRule        = "Rule"
+	elemDescription = "Description"
+	elemTarget      = "Target"
+	elemAnyOf       = "AnyOf"
+	elemAllOf       = "AllOf"
+	elemMatch       = "Match"
+	elemCondition   = "Condition"
+	elemApply       = "Apply"
+	elemDesignator  = "AttributeDesignator"
+	elemValue       = "AttributeValue"
+	elemBag         = "AttributeBag"
+	elemObligations = "ObligationExpressions"
+	elemObligation  = "ObligationExpression"
+	elemAssignment  = "AttributeAssignmentExpression"
+
+	attrPolicySetID  = "PolicySetId"
+	attrPolicyID     = "PolicyId"
+	attrRuleID       = "RuleId"
+	attrVersion      = "Version"
+	attrIssuer       = "Issuer"
+	attrEffect       = "Effect"
+	attrPolicyAlg    = "PolicyCombiningAlgId"
+	attrRuleAlg      = "RuleCombiningAlgId"
+	attrMatchID      = "MatchId"
+	attrCategory     = "Category"
+	attrAttributeID  = "AttributeId"
+	attrDataType     = "DataType"
+	attrMustPresent  = "MustBePresent"
+	attrFunctionID   = "FunctionId"
+	attrObligationID = "ObligationId"
+	attrFulfillOn    = "FulfillOn"
+)
+
+// MarshalXML encodes a policy or policy set into the XML dialect.
+func MarshalXML(e policy.Evaluable) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := xml.NewEncoder(&buf)
+	enc.Indent("", "  ")
+	var err error
+	switch v := e.(type) {
+	case *policy.PolicySet:
+		err = encodePolicySet(enc, v)
+	case *policy.Policy:
+		err = encodePolicy(enc, v)
+	default:
+		return nil, fmt.Errorf("xacml: cannot marshal %T", e)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := enc.Flush(); err != nil {
+		return nil, fmt.Errorf("xacml: flush: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalXML decodes a policy or policy set from the XML dialect.
+func UnmarshalXML(data []byte) (policy.Evaluable, error) {
+	dec := xml.NewDecoder(bytes.NewReader(data))
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			return nil, fmt.Errorf("xacml: no policy element found")
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xacml: %w", err)
+		}
+		start, ok := tok.(xml.StartElement)
+		if !ok {
+			continue
+		}
+		switch start.Name.Local {
+		case elemPolicySet:
+			return decodePolicySet(dec, start)
+		case elemPolicy:
+			return decodePolicy(dec, start)
+		default:
+			return nil, fmt.Errorf("xacml: unexpected root element %q", start.Name.Local)
+		}
+	}
+}
+
+// --- encoding ---
+
+func start(name string, attrs ...xml.Attr) xml.StartElement {
+	return xml.StartElement{Name: xml.Name{Local: name}, Attr: attrs}
+}
+
+func attr(name, value string) xml.Attr {
+	return xml.Attr{Name: xml.Name{Local: name}, Value: value}
+}
+
+func encodePolicySet(enc *xml.Encoder, s *policy.PolicySet) error {
+	attrs := []xml.Attr{
+		attr(attrPolicySetID, s.ID),
+		attr(attrVersion, s.Version),
+		attr(attrPolicyAlg, s.Combining.String()),
+	}
+	if s.Issuer != "" {
+		attrs = append(attrs, attr(attrIssuer, s.Issuer))
+	}
+	el := start(elemPolicySet, attrs...)
+	if err := enc.EncodeToken(el); err != nil {
+		return err
+	}
+	if err := encodeDescription(enc, s.Description); err != nil {
+		return err
+	}
+	if err := encodeTarget(enc, s.Target); err != nil {
+		return err
+	}
+	for _, ch := range s.Children {
+		var err error
+		switch v := ch.(type) {
+		case *policy.PolicySet:
+			err = encodePolicySet(enc, v)
+		case *policy.Policy:
+			err = encodePolicy(enc, v)
+		default:
+			err = fmt.Errorf("xacml: cannot marshal child %T", ch)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if err := encodeObligations(enc, s.Obligations); err != nil {
+		return err
+	}
+	return enc.EncodeToken(el.End())
+}
+
+func encodePolicy(enc *xml.Encoder, p *policy.Policy) error {
+	attrs := []xml.Attr{
+		attr(attrPolicyID, p.ID),
+		attr(attrVersion, p.Version),
+		attr(attrRuleAlg, p.Combining.String()),
+	}
+	if p.Issuer != "" {
+		attrs = append(attrs, attr(attrIssuer, p.Issuer))
+	}
+	el := start(elemPolicy, attrs...)
+	if err := enc.EncodeToken(el); err != nil {
+		return err
+	}
+	if err := encodeDescription(enc, p.Description); err != nil {
+		return err
+	}
+	if err := encodeTarget(enc, p.Target); err != nil {
+		return err
+	}
+	for _, r := range p.Rules {
+		if err := encodeRule(enc, r); err != nil {
+			return err
+		}
+	}
+	if err := encodeObligations(enc, p.Obligations); err != nil {
+		return err
+	}
+	return enc.EncodeToken(el.End())
+}
+
+func encodeDescription(enc *xml.Encoder, d string) error {
+	if d == "" {
+		return nil
+	}
+	el := start(elemDescription)
+	if err := enc.EncodeToken(el); err != nil {
+		return err
+	}
+	if err := enc.EncodeToken(xml.CharData(d)); err != nil {
+		return err
+	}
+	return enc.EncodeToken(el.End())
+}
+
+func encodeRule(enc *xml.Encoder, r *policy.Rule) error {
+	el := start(elemRule, attr(attrRuleID, r.ID), attr(attrEffect, r.Effect.String()))
+	if err := enc.EncodeToken(el); err != nil {
+		return err
+	}
+	if err := encodeDescription(enc, r.Description); err != nil {
+		return err
+	}
+	if err := encodeTarget(enc, r.Target); err != nil {
+		return err
+	}
+	if r.Condition != nil {
+		cel := start(elemCondition)
+		if err := enc.EncodeToken(cel); err != nil {
+			return err
+		}
+		if err := encodeExpr(enc, r.Condition); err != nil {
+			return err
+		}
+		if err := enc.EncodeToken(cel.End()); err != nil {
+			return err
+		}
+	}
+	if err := encodeObligations(enc, r.Obligations); err != nil {
+		return err
+	}
+	return enc.EncodeToken(el.End())
+}
+
+func encodeTarget(enc *xml.Encoder, t policy.Target) error {
+	if len(t) == 0 {
+		return nil
+	}
+	tel := start(elemTarget)
+	if err := enc.EncodeToken(tel); err != nil {
+		return err
+	}
+	for _, anyOf := range t {
+		ael := start(elemAnyOf)
+		if err := enc.EncodeToken(ael); err != nil {
+			return err
+		}
+		for _, allOf := range anyOf {
+			lel := start(elemAllOf)
+			if err := enc.EncodeToken(lel); err != nil {
+				return err
+			}
+			for _, m := range allOf {
+				if err := encodeMatch(enc, m); err != nil {
+					return err
+				}
+			}
+			if err := enc.EncodeToken(lel.End()); err != nil {
+				return err
+			}
+		}
+		if err := enc.EncodeToken(ael.End()); err != nil {
+			return err
+		}
+	}
+	return enc.EncodeToken(tel.End())
+}
+
+func encodeMatch(enc *xml.Encoder, m policy.Match) error {
+	fn := m.Function
+	if fn == "" {
+		fn = policy.FnEqual
+	}
+	el := start(elemMatch,
+		attr(attrMatchID, fn),
+		attr(attrCategory, m.Category.String()),
+		attr(attrAttributeID, m.Name),
+		attr(attrDataType, m.Value.Kind().String()),
+	)
+	if err := enc.EncodeToken(el); err != nil {
+		return err
+	}
+	if err := enc.EncodeToken(xml.CharData(m.Value.String())); err != nil {
+		return err
+	}
+	return enc.EncodeToken(el.End())
+}
+
+func encodeExpr(enc *xml.Encoder, e policy.Expression) error {
+	switch v := e.(type) {
+	case *policy.Literal:
+		return encodeValue(enc, v.Value)
+	case *policy.BagLiteral:
+		el := start(elemBag)
+		if err := enc.EncodeToken(el); err != nil {
+			return err
+		}
+		for _, val := range v.Values {
+			if err := encodeValue(enc, val); err != nil {
+				return err
+			}
+		}
+		return enc.EncodeToken(el.End())
+	case *policy.Designator:
+		el := start(elemDesignator,
+			attr(attrCategory, v.Category.String()),
+			attr(attrAttributeID, v.Name),
+			attr(attrMustPresent, strconv.FormatBool(v.MustBePresent)),
+		)
+		if err := enc.EncodeToken(el); err != nil {
+			return err
+		}
+		return enc.EncodeToken(el.End())
+	case *policy.Apply:
+		el := start(elemApply, attr(attrFunctionID, v.Function))
+		if err := enc.EncodeToken(el); err != nil {
+			return err
+		}
+		for _, arg := range v.Args {
+			if err := encodeExpr(enc, arg); err != nil {
+				return err
+			}
+		}
+		return enc.EncodeToken(el.End())
+	default:
+		return fmt.Errorf("xacml: cannot marshal expression %T", e)
+	}
+}
+
+func encodeValue(enc *xml.Encoder, v policy.Value) error {
+	el := start(elemValue, attr(attrDataType, v.Kind().String()))
+	if err := enc.EncodeToken(el); err != nil {
+		return err
+	}
+	if err := enc.EncodeToken(xml.CharData(v.String())); err != nil {
+		return err
+	}
+	return enc.EncodeToken(el.End())
+}
+
+func encodeObligations(enc *xml.Encoder, obs []policy.Obligation) error {
+	if len(obs) == 0 {
+		return nil
+	}
+	wrap := start(elemObligations)
+	if err := enc.EncodeToken(wrap); err != nil {
+		return err
+	}
+	for _, ob := range obs {
+		el := start(elemObligation,
+			attr(attrObligationID, ob.ID),
+			attr(attrFulfillOn, ob.FulfillOn.String()),
+		)
+		if err := enc.EncodeToken(el); err != nil {
+			return err
+		}
+		for _, as := range ob.Assignments {
+			ael := start(elemAssignment, attr(attrAttributeID, as.Name))
+			if err := enc.EncodeToken(ael); err != nil {
+				return err
+			}
+			if err := encodeExpr(enc, as.Expr); err != nil {
+				return err
+			}
+			if err := enc.EncodeToken(ael.End()); err != nil {
+				return err
+			}
+		}
+		if err := enc.EncodeToken(el.End()); err != nil {
+			return err
+		}
+	}
+	return enc.EncodeToken(wrap.End())
+}
+
+// --- decoding ---
+
+func findAttr(se xml.StartElement, name string) string {
+	for _, a := range se.Attr {
+		if a.Name.Local == name {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// childWalker iterates the direct child elements of the element opened by
+// start, invoking fn with each child's StartElement. fn must fully consume
+// the child (including its EndElement).
+func childWalker(dec *xml.Decoder, fn func(se xml.StartElement) error) error {
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return fmt.Errorf("xacml: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if err := fn(t); err != nil {
+				return err
+			}
+		case xml.EndElement:
+			return nil
+		}
+	}
+}
+
+// textContent consumes the element body and returns its character data.
+func textContent(dec *xml.Decoder) (string, error) {
+	var sb bytes.Buffer
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return "", fmt.Errorf("xacml: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.CharData:
+			sb.Write(t)
+		case xml.EndElement:
+			return sb.String(), nil
+		case xml.StartElement:
+			return "", fmt.Errorf("xacml: unexpected element %q in text content", t.Name.Local)
+		}
+	}
+}
+
+func decodePolicySet(dec *xml.Decoder, se xml.StartElement) (*policy.PolicySet, error) {
+	alg, err := policy.AlgorithmFromString(findAttr(se, attrPolicyAlg))
+	if err != nil {
+		return nil, fmt.Errorf("xacml: policy set %s: %w", findAttr(se, attrPolicySetID), err)
+	}
+	s := &policy.PolicySet{
+		ID:        findAttr(se, attrPolicySetID),
+		Version:   findAttr(se, attrVersion),
+		Issuer:    findAttr(se, attrIssuer),
+		Combining: alg,
+	}
+	err = childWalker(dec, func(ch xml.StartElement) error {
+		switch ch.Name.Local {
+		case elemDescription:
+			text, err := textContent(dec)
+			if err != nil {
+				return err
+			}
+			s.Description = text
+			return nil
+		case elemTarget:
+			t, err := decodeTarget(dec)
+			if err != nil {
+				return err
+			}
+			s.Target = t
+			return nil
+		case elemPolicySet:
+			child, err := decodePolicySet(dec, ch)
+			if err != nil {
+				return err
+			}
+			s.Children = append(s.Children, child)
+			return nil
+		case elemPolicy:
+			child, err := decodePolicy(dec, ch)
+			if err != nil {
+				return err
+			}
+			s.Children = append(s.Children, child)
+			return nil
+		case elemObligations:
+			obs, err := decodeObligations(dec)
+			if err != nil {
+				return err
+			}
+			s.Obligations = obs
+			return nil
+		default:
+			return dec.Skip()
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func decodePolicy(dec *xml.Decoder, se xml.StartElement) (*policy.Policy, error) {
+	alg, err := policy.AlgorithmFromString(findAttr(se, attrRuleAlg))
+	if err != nil {
+		return nil, fmt.Errorf("xacml: policy %s: %w", findAttr(se, attrPolicyID), err)
+	}
+	p := &policy.Policy{
+		ID:        findAttr(se, attrPolicyID),
+		Version:   findAttr(se, attrVersion),
+		Issuer:    findAttr(se, attrIssuer),
+		Combining: alg,
+	}
+	err = childWalker(dec, func(ch xml.StartElement) error {
+		switch ch.Name.Local {
+		case elemDescription:
+			text, err := textContent(dec)
+			if err != nil {
+				return err
+			}
+			p.Description = text
+			return nil
+		case elemTarget:
+			t, err := decodeTarget(dec)
+			if err != nil {
+				return err
+			}
+			p.Target = t
+			return nil
+		case elemRule:
+			r, err := decodeRule(dec, ch)
+			if err != nil {
+				return err
+			}
+			p.Rules = append(p.Rules, r)
+			return nil
+		case elemObligations:
+			obs, err := decodeObligations(dec)
+			if err != nil {
+				return err
+			}
+			p.Obligations = obs
+			return nil
+		default:
+			return dec.Skip()
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func decodeRule(dec *xml.Decoder, se xml.StartElement) (*policy.Rule, error) {
+	r := &policy.Rule{ID: findAttr(se, attrRuleID)}
+	switch findAttr(se, attrEffect) {
+	case "Permit":
+		r.Effect = policy.EffectPermit
+	case "Deny":
+		r.Effect = policy.EffectDeny
+	default:
+		return nil, fmt.Errorf("xacml: rule %s: invalid effect %q", r.ID, findAttr(se, attrEffect))
+	}
+	err := childWalker(dec, func(ch xml.StartElement) error {
+		switch ch.Name.Local {
+		case elemDescription:
+			text, err := textContent(dec)
+			if err != nil {
+				return err
+			}
+			r.Description = text
+			return nil
+		case elemTarget:
+			t, err := decodeTarget(dec)
+			if err != nil {
+				return err
+			}
+			r.Target = t
+			return nil
+		case elemCondition:
+			var cond policy.Expression
+			err := childWalker(dec, func(inner xml.StartElement) error {
+				e, err := decodeExpr(dec, inner)
+				if err != nil {
+					return err
+				}
+				if cond != nil {
+					return fmt.Errorf("xacml: rule %s: multiple condition expressions", r.ID)
+				}
+				cond = e
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			r.Condition = cond
+			return nil
+		case elemObligations:
+			obs, err := decodeObligations(dec)
+			if err != nil {
+				return err
+			}
+			r.Obligations = obs
+			return nil
+		default:
+			return dec.Skip()
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func decodeTarget(dec *xml.Decoder) (policy.Target, error) {
+	var target policy.Target
+	err := childWalker(dec, func(anyEl xml.StartElement) error {
+		if anyEl.Name.Local != elemAnyOf {
+			return dec.Skip()
+		}
+		var anyOf policy.AnyOf
+		err := childWalker(dec, func(allEl xml.StartElement) error {
+			if allEl.Name.Local != elemAllOf {
+				return dec.Skip()
+			}
+			var allOf policy.AllOf
+			err := childWalker(dec, func(mEl xml.StartElement) error {
+				if mEl.Name.Local != elemMatch {
+					return dec.Skip()
+				}
+				m, err := decodeMatch(dec, mEl)
+				if err != nil {
+					return err
+				}
+				allOf = append(allOf, m)
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			anyOf = append(anyOf, allOf)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		target = append(target, anyOf)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return target, nil
+}
+
+func decodeMatch(dec *xml.Decoder, se xml.StartElement) (policy.Match, error) {
+	cat, err := policy.CategoryFromString(findAttr(se, attrCategory))
+	if err != nil {
+		return policy.Match{}, fmt.Errorf("xacml: match: %w", err)
+	}
+	kind, err := policy.KindFromString(findAttr(se, attrDataType))
+	if err != nil {
+		return policy.Match{}, fmt.Errorf("xacml: match: %w", err)
+	}
+	text, err := textContent(dec)
+	if err != nil {
+		return policy.Match{}, err
+	}
+	val, err := policy.ParseValue(kind, text)
+	if err != nil {
+		return policy.Match{}, fmt.Errorf("xacml: match value: %w", err)
+	}
+	return policy.Match{
+		Category: cat,
+		Name:     findAttr(se, attrAttributeID),
+		Function: findAttr(se, attrMatchID),
+		Value:    val,
+	}, nil
+}
+
+func decodeExpr(dec *xml.Decoder, se xml.StartElement) (policy.Expression, error) {
+	switch se.Name.Local {
+	case elemValue:
+		v, err := decodeValueElement(dec, se)
+		if err != nil {
+			return nil, err
+		}
+		return policy.Lit(v), nil
+	case elemBag:
+		var vals policy.Bag
+		err := childWalker(dec, func(ch xml.StartElement) error {
+			if ch.Name.Local != elemValue {
+				return dec.Skip()
+			}
+			v, err := decodeValueElement(dec, ch)
+			if err != nil {
+				return err
+			}
+			vals = append(vals, v)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &policy.BagLiteral{Values: vals}, nil
+	case elemDesignator:
+		cat, err := policy.CategoryFromString(findAttr(se, attrCategory))
+		if err != nil {
+			return nil, fmt.Errorf("xacml: designator: %w", err)
+		}
+		must := findAttr(se, attrMustPresent) == "true"
+		d := &policy.Designator{Category: cat, Name: findAttr(se, attrAttributeID), MustBePresent: must}
+		if err := dec.Skip(); err != nil {
+			return nil, fmt.Errorf("xacml: %w", err)
+		}
+		return d, nil
+	case elemApply:
+		a := &policy.Apply{Function: findAttr(se, attrFunctionID)}
+		err := childWalker(dec, func(ch xml.StartElement) error {
+			arg, err := decodeExpr(dec, ch)
+			if err != nil {
+				return err
+			}
+			a.Args = append(a.Args, arg)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return a, nil
+	default:
+		return nil, fmt.Errorf("xacml: unexpected expression element %q", se.Name.Local)
+	}
+}
+
+func decodeValueElement(dec *xml.Decoder, se xml.StartElement) (policy.Value, error) {
+	kind, err := policy.KindFromString(findAttr(se, attrDataType))
+	if err != nil {
+		return policy.Value{}, fmt.Errorf("xacml: attribute value: %w", err)
+	}
+	text, err := textContent(dec)
+	if err != nil {
+		return policy.Value{}, err
+	}
+	v, err := policy.ParseValue(kind, text)
+	if err != nil {
+		return policy.Value{}, fmt.Errorf("xacml: attribute value: %w", err)
+	}
+	return v, nil
+}
+
+func decodeObligations(dec *xml.Decoder) ([]policy.Obligation, error) {
+	var obs []policy.Obligation
+	err := childWalker(dec, func(obEl xml.StartElement) error {
+		if obEl.Name.Local != elemObligation {
+			return dec.Skip()
+		}
+		ob := policy.Obligation{ID: findAttr(obEl, attrObligationID)}
+		switch findAttr(obEl, attrFulfillOn) {
+		case "Permit":
+			ob.FulfillOn = policy.EffectPermit
+		case "Deny":
+			ob.FulfillOn = policy.EffectDeny
+		default:
+			return fmt.Errorf("xacml: obligation %s: invalid FulfillOn", ob.ID)
+		}
+		err := childWalker(dec, func(asEl xml.StartElement) error {
+			if asEl.Name.Local != elemAssignment {
+				return dec.Skip()
+			}
+			name := findAttr(asEl, attrAttributeID)
+			var expr policy.Expression
+			err := childWalker(dec, func(inner xml.StartElement) error {
+				e, err := decodeExpr(dec, inner)
+				if err != nil {
+					return err
+				}
+				expr = e
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			if expr == nil {
+				return fmt.Errorf("xacml: obligation %s assignment %s: empty expression", ob.ID, name)
+			}
+			ob.Assignments = append(ob.Assignments, policy.Assignment{Name: name, Expr: expr})
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		obs = append(obs, ob)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return obs, nil
+}
