@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/pdp"
 	"repro/internal/pep"
@@ -57,6 +58,7 @@ func BenchmarkE13_Scalability(b *testing.B)        { benchExperiment(b, "E13") }
 func BenchmarkE14_ChineseWall(b *testing.B)        { benchExperiment(b, "E14") }
 func BenchmarkE15_Heterogeneity(b *testing.B)      { benchExperiment(b, "E15") }
 func BenchmarkE16_Discovery(b *testing.B)          { benchExperiment(b, "E16") }
+func BenchmarkE17_Cluster(b *testing.B)            { benchExperiment(b, "E17") }
 
 // --- micro-benchmarks of the hot paths behind the experiments ---
 
@@ -92,6 +94,84 @@ func BenchmarkPDPDecide(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// clusterFixture builds a sharded cluster over an internal/workload
+// population, the fleet-scale counterpart of scalabilityFixture. extra
+// engine options select the configuration under test.
+func clusterFixture(b *testing.B, shards int, extra ...pdp.Option) (*cluster.Router, []*policy.Request) {
+	b.Helper()
+	gen := workload.NewGenerator(workload.Config{Users: 100, Resources: 2000, Roles: 10, Seed: 1})
+	opts := append([]pdp.Option{pdp.WithResolver(gen.Directory("idp"))}, extra...)
+	router, err := cluster.New("bench", cluster.Config{
+		Shards:        shards,
+		EngineOptions: opts,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := router.SetRoot(gen.PolicyBase("base")); err != nil {
+		b.Fatal(err)
+	}
+	return router, gen.Requests(1024)
+}
+
+// fullConfig is the production engine configuration cmd/pdpd serves with
+// -index -cache: target-indexed evaluation plus a TTL decision cache.
+func fullConfig() []pdp.Option {
+	return []pdp.Option{pdp.WithTargetIndex(), pdp.WithDecisionCache(time.Hour, 0)}
+}
+
+// BenchmarkClusterDecide routes one decision at a time through clusters of
+// growing shard counts. config=scan runs bare engines (linear evaluation):
+// per-op time shrinks with shard count because each shard scans only its
+// slice of the policy base — the horizontal-scaling story. config=full
+// runs the production engine configuration (target index + decision
+// cache), the baseline BenchmarkClusterDecideBatch compares against.
+func BenchmarkClusterDecide(b *testing.B) {
+	at := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	for _, cfg := range []struct {
+		name string
+		opts []pdp.Option
+	}{{"scan", nil}, {"full", fullConfig()}} {
+		for _, shards := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("config=%s/shards=%d", cfg.name, shards), func(b *testing.B) {
+				router, reqs := clusterFixture(b, shards, cfg.opts...)
+				for _, req := range reqs {
+					router.DecideAt(req, at) // warm caches and indexes
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					router.DecideAt(reqs[i%len(reqs)], at)
+				}
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "decisions/s")
+			})
+		}
+	}
+}
+
+// BenchmarkClusterDecideBatch evaluates the same workload in 256-request
+// batches on the production configuration: requests group by owning shard
+// and each group runs in one engine pass, sweeping the decision cache and
+// sharing index candidate sets under one critical section instead of two
+// per request. Per-decision time should beat the config=full rows of
+// BenchmarkClusterDecide.
+func BenchmarkClusterDecideBatch(b *testing.B) {
+	at := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	const batch = 256
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("config=full/shards=%d", shards), func(b *testing.B) {
+			router, reqs := clusterFixture(b, shards, fullConfig()...)
+			router.DecideBatchAt(reqs, at) // warm caches and indexes
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				off := (i * batch) % (len(reqs) - batch + 1)
+				router.DecideBatchAt(reqs[off:off+batch], at)
+			}
+			b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "decisions/s")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/decision")
+		})
 	}
 }
 

@@ -28,7 +28,7 @@ func run(args []string) int {
 		for _, id := range args {
 			exp, ok := experiments.ByID(id)
 			if !ok {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q; known: E1..E16\n", id)
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; known: E1..E%d\n", id, len(experiments.All()))
 				return 2
 			}
 			selected = append(selected, exp)

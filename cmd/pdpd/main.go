@@ -1,11 +1,19 @@
 // Command pdpd serves a Policy Decision Point over HTTP: the standalone
 // deployment of the pull model. It loads a policy file (XML or JSON),
-// listens for envelope-wrapped XACML request contexts on /decide, answers
-// with response contexts, and exposes engine statistics on /stats.
+// listens for envelope-wrapped XACML request contexts on /decide (one per
+// envelope) and /decide-batch (many per envelope, wire batch framing),
+// answers with response contexts, and exposes statistics on /stats.
+//
+// With -shards > 1 the daemon runs a sharded cluster instead of a single
+// engine: the policy base is partitioned across shard groups by a
+// consistent-hash ring over resource keys, and each shard is replicated
+// -replicas ways under the chosen -strategy, so decisions survive replica
+// crashes. The endpoints are identical in both modes.
 //
 // Usage:
 //
 //	pdpd -policy policy.xml [-addr :8080] [-index] [-cache 30s]
+//	     [-shards N] [-replicas M] [-strategy failover|quorum]
 package main
 
 import (
@@ -18,57 +26,62 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
+	"repro/internal/ha"
 	"repro/internal/pdp"
 	"repro/internal/policy"
 	"repro/internal/wire"
 	"repro/internal/xacml"
 )
 
+// decisionPoint is the deployment-independent surface pdpd serves: a
+// single pdp.Engine or a cluster.Router.
+type decisionPoint interface {
+	Decide(req *policy.Request) policy.Result
+	DecideBatch(reqs []*policy.Request) []policy.Result
+}
+
 func main() {
 	policyPath := flag.String("policy", "", "policy file (XML or JSON)")
 	addr := flag.String("addr", ":8080", "listen address")
 	useIndex := flag.Bool("index", false, "enable the resource-id target index")
 	cacheTTL := flag.Duration("cache", 0, "decision cache TTL (0 disables)")
+	shards := flag.Int("shards", 1, "shard count; > 1 serves a consistent-hash cluster")
+	replicas := flag.Int("replicas", 1, "replicas per shard group (cluster mode)")
+	strategy := flag.String("strategy", "failover", "shard replication strategy: failover or quorum")
 	flag.Parse()
 
 	if *policyPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	engine, err := buildEngine(*policyPath, *useIndex, *cacheTTL)
+	point, stats, err := buildDecisionPoint(*policyPath, *useIndex, *cacheTTL, *shards, *replicas, *strategy)
 	if err != nil {
 		log.Fatalf("pdpd: %v", err)
 	}
 
 	mux := http.NewServeMux()
-	mux.Handle("/decide", wire.HTTPHandler(pdp.Handler(engine)))
+	mux.Handle("/decide", wire.HTTPHandler(pdp.Handler(point)))
+	mux.Handle("/decide-batch", wire.HTTPHandler(pdp.BatchHandler(point)))
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(engine.Stats()); err != nil {
+		if err := json.NewEncoder(w).Encode(stats()); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
-	log.Printf("pdpd: serving %s on %s (index=%v cache=%v)", *policyPath, *addr, *useIndex, *cacheTTL)
+	log.Printf("pdpd: serving %s on %s (index=%v cache=%v shards=%d replicas=%d strategy=%s)",
+		*policyPath, *addr, *useIndex, *cacheTTL, *shards, *replicas, *strategy)
 	server := &http.Server{Addr: *addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	log.Fatal(server.ListenAndServe())
 }
 
-func buildEngine(path string, useIndex bool, cacheTTL time.Duration) (*pdp.Engine, error) {
-	data, err := os.ReadFile(path)
+func buildDecisionPoint(path string, useIndex bool, cacheTTL time.Duration, shards, replicas int, strategy string) (decisionPoint, func() any, error) {
+	root, err := loadPolicy(path)
 	if err != nil {
-		return nil, err
-	}
-	var root policy.Evaluable
-	if strings.HasSuffix(path, ".json") {
-		root, err = xacml.UnmarshalJSON(data)
-	} else {
-		root, err = xacml.UnmarshalXML(data)
-	}
-	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var opts []pdp.Option
 	if useIndex {
@@ -77,9 +90,53 @@ func buildEngine(path string, useIndex bool, cacheTTL time.Duration) (*pdp.Engin
 	if cacheTTL > 0 {
 		opts = append(opts, pdp.WithDecisionCache(cacheTTL, 0))
 	}
-	engine := pdp.New("pdpd", opts...)
-	if err := engine.SetRoot(root); err != nil {
+
+	if shards <= 1 && replicas <= 1 {
+		engine := pdp.New("pdpd", opts...)
+		if err := engine.SetRoot(root); err != nil {
+			return nil, nil, err
+		}
+		return engine, func() any { return engine.Stats() }, nil
+	}
+
+	var strat ha.Strategy
+	switch strategy {
+	case "failover":
+		strat = ha.Failover
+	case "quorum":
+		strat = ha.Quorum
+	default:
+		return nil, nil, fmt.Errorf("unknown strategy %q (want failover or quorum)", strategy)
+	}
+	router, err := cluster.New("pdpd", cluster.Config{
+		Shards:        shards,
+		Replicas:      replicas,
+		Strategy:      strat,
+		EngineOptions: opts,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := router.SetRoot(root); err != nil {
+		return nil, nil, err
+	}
+	return router, func() any {
+		return struct {
+			Cluster cluster.Stats
+			Shards  []string
+			Loads   []int64
+			Groups  map[string]ha.Stats
+		}{router.Stats(), router.Shards(), router.ShardLoads(), router.GroupStats()}
+	}, nil
+}
+
+func loadPolicy(path string) (policy.Evaluable, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
 		return nil, err
 	}
-	return engine, nil
+	if strings.HasSuffix(path, ".json") {
+		return xacml.UnmarshalJSON(data)
+	}
+	return xacml.UnmarshalXML(data)
 }

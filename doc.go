@@ -6,4 +6,13 @@
 // inventory); runnable examples under examples/; command-line tools under
 // cmd/. The root package holds the benchmark harness (bench_test.go) that
 // regenerates every experiment table recorded in EXPERIMENTS.md.
+//
+// Decision-making is layered to meet the paper's Section 3 scalability
+// challenge at three scales: internal/pdp is the single evaluation engine
+// (target index, decision cache, batch/scatter paths); internal/ha
+// replicates an engine for dependability (failover and quorum ensembles);
+// internal/cluster shards the policy base across many replicated engines
+// behind one consistent-hash router, turning the decision point into a
+// horizontally scalable fleet without changing the enforcement-point
+// contract.
 package repro

@@ -1,0 +1,579 @@
+// Package cluster scales the Policy Decision Point horizontally: the
+// paper's Section 3 scalability challenge met by a fleet of engines rather
+// than one. A consistent-hash ring partitions the policy base across N
+// shards by the resource keys their targets constrain; a Router implements
+// the same DecisionProvider contract as a single pdp.Engine, so
+// enforcement points (pep, rest, capability) work against a cluster
+// unchanged. Each shard is a replicated group built from the ha package's
+// failover or quorum ensembles, so a shard survives replica crashes.
+//
+// Routing preserves single-engine semantics: a shard's base holds, in
+// original order, every root child whose resource-id target maps to a key
+// the shard owns, plus every child that does not constrain resource-id
+// (the catch-alls, replicated to all shards). For any request the owning
+// shard therefore sees exactly the children a single engine's evaluation
+// could match, and returns the identical decision.
+//
+// DecideBatch groups requests by owning shard and evaluates each group in
+// one engine pass through the zero-copy scatter path (one shared result
+// buffer from router to engine), amortising lock, cache-sweep and index
+// overhead; groups evaluate concurrently across shards when the runtime
+// has spare parallelism. AddShard and RemoveShard rebalance live:
+// consistent hashing moves only ~1/N of the key space, and only shards
+// whose ownership changed have their policy base reinstalled (which also
+// invalidates their decision caches — stale entries cannot outlive a
+// rebalance).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ha"
+	"repro/internal/pdp"
+	"repro/internal/policy"
+)
+
+// Cluster errors, matched with errors.Is.
+var (
+	// ErrNoShards reports an operation against an empty cluster.
+	ErrNoShards = errors.New("cluster: no shards")
+	// ErrLastShard reports a RemoveShard that would empty the cluster.
+	ErrLastShard = errors.New("cluster: cannot remove the last shard")
+	// ErrUnknownShard reports a shard name not in the ring.
+	ErrUnknownShard = errors.New("cluster: unknown shard")
+)
+
+// Config parameterises a Router.
+type Config struct {
+	// Shards is the initial shard count; at least 1.
+	Shards int
+	// Replicas is the number of engine replicas per shard group; 1 when
+	// zero or negative.
+	Replicas int
+	// Strategy combines a shard group's replicas; ha.Failover when zero.
+	Strategy ha.Strategy
+	// VirtualNodes sets ring balance; DefaultVirtualNodes when zero.
+	VirtualNodes int
+	// EngineOptions configure every replica engine (resolver, target
+	// index, decision cache, clock).
+	EngineOptions []pdp.Option
+	// Clock drives Decide and DecideBatch; time.Now when nil.
+	Clock func() time.Time
+}
+
+// Stats aggregates router activity.
+type Stats struct {
+	// Requests counts single decisions routed.
+	Requests int64
+	// Batches and BatchRequests count DecideBatch calls and the requests
+	// they carried.
+	Batches, BatchRequests int64
+	// Rebalances counts AddShard/RemoveShard membership changes.
+	Rebalances int64
+	// ChildrenMoved counts policy-base children whose owning shard changed
+	// across rebalances, the rebalancing cost measure.
+	ChildrenMoved int64
+}
+
+// counters is the lock-free mutable form of Stats: decisions increment it
+// under the router's read lock, so the fields must be atomic.
+type counters struct {
+	requests, batches, batchRequests, rebalances, childrenMoved atomic.Int64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Requests:      c.requests.Load(),
+		Batches:       c.batches.Load(),
+		BatchRequests: c.batchRequests.Load(),
+		Rebalances:    c.rebalances.Load(),
+		ChildrenMoved: c.childrenMoved.Load(),
+	}
+}
+
+// shard is one replicated partition of the policy base.
+type shard struct {
+	name string
+	// ord is the shard's position in the router's creation order, used
+	// for map-free batch grouping.
+	ord      int
+	engines  []*pdp.Engine
+	replicas []*ha.Failable
+	group    *ha.Ensemble
+	// children are the root-child indexes this shard currently serves
+	// (nil means the whole, unpartitionable root).
+	children []int
+	// installed reports whether a base has ever been installed, so fresh
+	// shards are always populated on their first repartition.
+	installed bool
+}
+
+// Router is a horizontally sharded Policy Decision Point. It satisfies the
+// DecisionProvider interfaces of pep, rest, capability and ha, and the
+// pdp.BatchProvider/ha.BatchProvider batch contract.
+type Router struct {
+	name string
+	cfg  Config
+	now  func() time.Time
+
+	mu     sync.RWMutex
+	ring   *Ring
+	shards map[string]*shard
+	order  []string // shard names in creation order, for deterministic iteration
+	byOrd  []*shard // shards indexed by ordinal, maintained on membership change
+	nextID int
+	root   policy.Evaluable
+	// ownerIndex maps every resource key the policy base constrains by
+	// equality to its owning shard, built during repartition: O(1) routing
+	// for the hot path, with the ring as fallback for unlisted keys. The
+	// index agrees with the ring by construction, so both routes give the
+	// same owner.
+	ownerIndex map[string]*shard
+	stats      counters
+}
+
+// New builds a cluster of cfg.Shards empty shard groups.
+func New(name string, cfg Config) (*Router, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("cluster %s: need at least 1 shard, got %d", name, cfg.Shards)
+	}
+	if cfg.Replicas < 1 {
+		cfg.Replicas = 1
+	}
+	if cfg.Strategy == 0 {
+		cfg.Strategy = ha.Failover
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	r := &Router{
+		name:   name,
+		cfg:    cfg,
+		now:    cfg.Clock,
+		ring:   NewRing(cfg.VirtualNodes),
+		shards: make(map[string]*shard, cfg.Shards),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		r.addShardLocked()
+	}
+	return r, nil
+}
+
+// addShardLocked creates the next shard group and joins it to the ring.
+// Callers hold r.mu (or own r exclusively during construction).
+func (r *Router) addShardLocked() *shard {
+	name := fmt.Sprintf("%s/shard-%d", r.name, r.nextID)
+	r.nextID++
+	s := &shard{name: name, ord: len(r.order)}
+	for j := 0; j < r.cfg.Replicas; j++ {
+		engine := pdp.New(fmt.Sprintf("%s/r%d", name, j), r.cfg.EngineOptions...)
+		s.engines = append(s.engines, engine)
+		s.replicas = append(s.replicas, ha.NewFailable(fmt.Sprintf("%s/r%d", name, j), engine))
+	}
+	s.group = ha.NewEnsemble(name, r.cfg.Strategy, s.replicas...)
+	r.shards[name] = s
+	r.order = append(r.order, name)
+	r.byOrd = append(r.byOrd, s)
+	r.ring.Add(name)
+	return s
+}
+
+// Name identifies the cluster in diagnostics.
+func (r *Router) Name() string { return r.name }
+
+// Stats returns a snapshot of router counters.
+func (r *Router) Stats() Stats {
+	return r.stats.snapshot()
+}
+
+// Shards returns the current shard names in creation order.
+func (r *Router) Shards() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.order...)
+}
+
+// Replicas exposes a shard group's failure-injection handles, so
+// experiments and tests can crash and revive replicas (ha.Failable).
+func (r *Router) Replicas(shardName string) ([]*ha.Failable, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.shards[shardName]
+	if !ok {
+		return nil, fmt.Errorf("cluster %s: %q: %w", r.name, shardName, ErrUnknownShard)
+	}
+	return append([]*ha.Failable(nil), s.replicas...), nil
+}
+
+// GroupStats returns each shard group's ensemble counters, keyed by shard
+// name.
+func (r *Router) GroupStats() map[string]ha.Stats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]ha.Stats, len(r.shards))
+	for name, s := range r.shards {
+		out[name] = s.group.Stats()
+	}
+	return out
+}
+
+// ShardLoads returns per-shard decision counts (replica queries summed
+// over the group), in shard creation order — the balance measure.
+func (r *Router) ShardLoads() []int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]int64, 0, len(r.order))
+	for _, name := range r.order {
+		var n int64
+		for _, rep := range r.shards[name].replicas {
+			n += rep.Queries()
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// Owner reports which shard currently owns a resource key.
+func (r *Router) Owner(resourceID string) (string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.ring.Owner(resourceID)
+}
+
+// SetRoot validates the policy base, partitions it across the shards and
+// installs each partition on every replica of its group.
+func (r *Router) SetRoot(root policy.Evaluable) error {
+	if root == nil {
+		return fmt.Errorf("cluster %s: nil root", r.name)
+	}
+	if err := root.Validate(); err != nil {
+		return fmt.Errorf("cluster %s: %w", r.name, err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.root = root
+	return r.repartitionLocked(true)
+}
+
+// Root returns the installed (unpartitioned) policy base, or nil.
+func (r *Router) Root() policy.Evaluable {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.root
+}
+
+// AddShard grows the cluster by one replicated shard group, rebalancing
+// policy ownership. It returns the new shard's name.
+func (r *Router) AddShard() (string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.addShardLocked()
+	r.stats.rebalances.Add(1)
+	if err := r.repartitionLocked(false); err != nil {
+		return "", err
+	}
+	return s.name, nil
+}
+
+// RemoveShard shrinks the cluster, folding the shard's key range into its
+// ring successors. The last shard cannot be removed.
+func (r *Router) RemoveShard(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.shards[name]; !ok {
+		return fmt.Errorf("cluster %s: %q: %w", r.name, name, ErrUnknownShard)
+	}
+	if len(r.shards) == 1 {
+		return fmt.Errorf("cluster %s: %w", r.name, ErrLastShard)
+	}
+	r.ring.Remove(name)
+	delete(r.shards, name)
+	for i, n := range r.order {
+		if n == name {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	r.byOrd = make([]*shard, len(r.order))
+	for i, n := range r.order {
+		r.shards[n].ord = i
+		r.byOrd[i] = r.shards[n]
+	}
+	r.stats.rebalances.Add(1)
+	return r.repartitionLocked(false)
+}
+
+// repartitionLocked recomputes every shard's slice of the policy base and
+// reinstalls the bases that changed. force reinstalls everywhere (a new
+// root). Reinstalling flushes the affected engines' decision caches, so a
+// rebalance invalidates exactly the cached decisions whose ownership
+// moved. Callers hold r.mu.
+func (r *Router) repartitionLocked(force bool) error {
+	if r.root == nil {
+		return nil
+	}
+	set, partitionable := r.root.(*policy.PolicySet)
+	var parts map[string][]int
+	var ownerIndex map[string]*shard
+	if partitionable {
+		// One pass over the root children assigns each child to the
+		// shards serving it and records every exact resource key's owner
+		// for O(1) request routing. A child with an exact resource-id
+		// target goes to the owners of its keys; a catch-all child (no
+		// equality constraint) goes to every shard. Appending in child
+		// order keeps each shard's list ascending, preserving
+		// order-dependent combining semantics.
+		parts = make(map[string][]int, len(r.order))
+		ownerIndex = make(map[string]*shard, len(set.Children))
+		for i, ch := range set.Children {
+			var target policy.Target
+			switch v := ch.(type) {
+			case *policy.Policy:
+				target = v.Target
+			case *policy.PolicySet:
+				target = v.Target
+			}
+			vals, constrained := target.ExactMatches(policy.CategoryResource, policy.AttrResourceID)
+			if !constrained || len(vals) == 0 {
+				for _, name := range r.order {
+					parts[name] = append(parts[name], i)
+				}
+				continue
+			}
+			var assigned []string
+			for _, v := range vals {
+				key := v.String()
+				owner, ok := r.ring.Owner(key)
+				if !ok {
+					continue
+				}
+				ownerIndex[key] = r.shards[owner]
+				dup := false
+				for _, a := range assigned {
+					if a == owner {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					assigned = append(assigned, owner)
+					parts[owner] = append(parts[owner], i)
+				}
+			}
+		}
+	}
+	r.ownerIndex = ownerIndex
+	for _, name := range r.order {
+		s := r.shards[name]
+		var children []int
+		var base policy.Evaluable
+		if partitionable {
+			children = parts[name]
+			base = subsetPolicySet(set, children)
+		} else {
+			base = r.root
+		}
+		if !force && s.installed && equalInts(children, s.children) {
+			continue
+		}
+		if !force {
+			// Children arriving at this shard (including a brand-new
+			// shard's first slice) moved here from elsewhere.
+			r.stats.childrenMoved.Add(int64(movedCount(s.children, children)))
+		}
+		for _, engine := range s.engines {
+			if err := engine.SetRoot(base); err != nil {
+				return fmt.Errorf("cluster %s: install %s: %w", r.name, s.name, err)
+			}
+		}
+		s.children = children
+		s.installed = true
+	}
+	return nil
+}
+
+// subsetPolicySet rebuilds the root set over the selected children,
+// preserving identity, combining algorithm and obligations so combining
+// semantics (including order dependence) match the full base.
+func subsetPolicySet(set *policy.PolicySet, children []int) *policy.PolicySet {
+	subset := make([]policy.Evaluable, len(children))
+	for i, pos := range children {
+		subset[i] = set.Children[pos]
+	}
+	return &policy.PolicySet{
+		ID:          set.ID,
+		Version:     set.Version,
+		Issuer:      set.Issuer,
+		Target:      set.Target,
+		Combining:   set.Combining,
+		Children:    subset,
+		Obligations: set.Obligations,
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// movedCount counts elements of next absent from prev: the children whose
+// ownership arrived at this shard in a rebalance.
+func movedCount(prev, next []int) int {
+	had := make(map[int]struct{}, len(prev))
+	for _, i := range prev {
+		had[i] = struct{}{}
+	}
+	moved := 0
+	for _, i := range next {
+		if _, ok := had[i]; !ok {
+			moved++
+		}
+	}
+	return moved
+}
+
+// Decide routes the request at the router clock.
+func (r *Router) Decide(req *policy.Request) policy.Result {
+	return r.DecideAt(req, r.now())
+}
+
+// DecideAt implements the DecisionProvider contract: route the request to
+// the shard owning its resource key and decide there. The read lock is
+// held across evaluation so a concurrent rebalance can never route a
+// request to a shard that no longer serves its policies.
+func (r *Router) DecideAt(req *policy.Request, at time.Time) policy.Result {
+	return r.DecideAtWith(req, at, nil)
+}
+
+// DecideAtWith implements the ha.ResolverProvider extension, threading a
+// per-call attribute resolver to the owning shard group.
+func (r *Router) DecideAtWith(req *policy.Request, at time.Time, resolver policy.Resolver) policy.Result {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	r.stats.requests.Add(1)
+	s := r.shardForLocked(req)
+	if s == nil {
+		return r.noShards()
+	}
+	return s.group.DecideAtWith(req, at, resolver)
+}
+
+// shardForLocked resolves the owning shard. Keys the policy base
+// constrains resolve through the O(1) owner index; anything else falls
+// back to the ring (same owner either way). A nil shard means the cluster
+// is empty. Callers hold r.mu.
+func (r *Router) shardForLocked(req *policy.Request) *shard {
+	key := req.ResourceID()
+	if s, ok := r.ownerIndex[key]; ok {
+		return s
+	}
+	owner, ok := r.ring.Owner(key)
+	if !ok {
+		return nil
+	}
+	return r.shards[owner]
+}
+
+// noShards reports an empty cluster as a fail-closed result.
+func (r *Router) noShards() policy.Result {
+	return policy.Result{Decision: policy.DecisionIndeterminate,
+		Err: fmt.Errorf("cluster %s: %w", r.name, ErrNoShards)}
+}
+
+// DecideBatch evaluates many requests at the router clock. See
+// DecideBatchAt.
+func (r *Router) DecideBatch(reqs []*policy.Request) []policy.Result {
+	return r.DecideBatchAt(reqs, r.now())
+}
+
+// DecideBatchAt implements the batch contract: requests are grouped by
+// owning shard and each group is evaluated in one pass on its shard group,
+// amortising lock, cache-sweep and index overhead in the engines. Result i
+// answers request i.
+//
+// Groups evaluate concurrently across shards only when the runtime has
+// spare parallelism (GOMAXPROCS > 2): policy evaluation is allocation-
+// heavy, and on small or heavily virtualised hosts the scheduler and GC
+// handoff cost of fan-out goroutines exceeds the overlap they buy.
+func (r *Router) DecideBatchAt(reqs []*policy.Request, at time.Time) []policy.Result {
+	if len(reqs) == 0 {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	r.stats.batches.Add(1)
+	r.stats.batchRequests.Add(int64(len(reqs)))
+
+	out := make([]policy.Result, len(reqs))
+	// Group request positions by shard ordinal: a slice walk, not a map,
+	// on the hot path.
+	groups := make([][]int, len(r.order))
+	byOrd := r.byOrd
+	live := 0
+	for i, req := range reqs {
+		s := r.shardForLocked(req)
+		if s == nil {
+			out[i] = r.noShards()
+			continue
+		}
+		if groups[s.ord] == nil {
+			live++
+		}
+		groups[s.ord] = append(groups[s.ord], i)
+	}
+
+	// The scatter path threads the shared out buffer through ensemble,
+	// replica and engine: no per-group request slice, no per-layer result
+	// allocation, no copy-back.
+	evaluate := func(s *shard, indexes []int) {
+		s.group.DecideScatterAt(reqs, indexes, at, out)
+	}
+
+	if live <= 1 || runtime.GOMAXPROCS(0) <= 2 {
+		for ord, indexes := range groups {
+			if indexes != nil {
+				evaluate(byOrd[ord], indexes)
+			}
+		}
+		return out
+	}
+	// Bounded fan-out: one worker per available P, never more than one
+	// goroutine per group. Unbounded fan-out loses on small hosts, where
+	// scheduler and GC handoff for excess goroutines costs more than the
+	// overlap buys.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > live {
+		workers = live
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				ord := int(next.Add(1)) - 1
+				if ord >= len(groups) {
+					return
+				}
+				if groups[ord] != nil {
+					evaluate(byOrd[ord], groups[ord])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingOwnerDeterministic(t *testing.T) {
+	a := NewRing(0)
+	b := NewRing(0)
+	for _, n := range []string{"s0", "s1", "s2"} {
+		a.Add(n)
+		b.Add(n)
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("res-%d", i)
+		oa, ok := a.Owner(key)
+		if !ok {
+			t.Fatalf("no owner for %s", key)
+		}
+		ob, _ := b.Owner(key)
+		if oa != ob {
+			t.Fatalf("rings disagree on %s: %s vs %s", key, oa, ob)
+		}
+	}
+}
+
+func TestRingEmptyAndMembership(t *testing.T) {
+	r := NewRing(8)
+	if _, ok := r.Owner("res-1"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	r.Add("s0")
+	r.Add("s0") // duplicate add is a no-op
+	if got := r.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1", got)
+	}
+	r.Remove("nope") // unknown remove is a no-op
+	if owner, ok := r.Owner("res-1"); !ok || owner != "s0" {
+		t.Fatalf("Owner = %q,%v, want s0", owner, ok)
+	}
+	r.Remove("s0")
+	if _, ok := r.Owner("res-1"); ok {
+		t.Fatal("emptied ring claimed an owner")
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := NewRing(0)
+	const nodes = 4
+	for i := 0; i < nodes; i++ {
+		r.Add(fmt.Sprintf("s%d", i))
+	}
+	counts := make(map[string]int, nodes)
+	const keys = 10000
+	for i := 0; i < keys; i++ {
+		owner, _ := r.Owner(fmt.Sprintf("res-%d", i))
+		counts[owner]++
+	}
+	for node, n := range counts {
+		share := float64(n) / keys
+		// Perfect balance is 25%; virtual nodes should hold every shard
+		// within a loose 2x band.
+		if share < 0.125 || share > 0.5 {
+			t.Errorf("node %s owns %.1f%% of keys, outside [12.5%%, 50%%]", node, 100*share)
+		}
+	}
+}
+
+func TestRingStabilityOnMembershipChange(t *testing.T) {
+	r := NewRing(0)
+	const nodes = 4
+	for i := 0; i < nodes; i++ {
+		r.Add(fmt.Sprintf("s%d", i))
+	}
+	const keys = 10000
+	before := make([]string, keys)
+	for i := range before {
+		before[i], _ = r.Owner(fmt.Sprintf("res-%d", i))
+	}
+
+	r.Add("s4")
+	movedOnAdd := 0
+	for i := range before {
+		owner, _ := r.Owner(fmt.Sprintf("res-%d", i))
+		if owner != before[i] {
+			if owner != "s4" {
+				t.Fatalf("key res-%d moved between pre-existing nodes (%s -> %s)", i, before[i], owner)
+			}
+			movedOnAdd++
+		}
+	}
+	// Expected move share is 1/5; allow up to double.
+	if share := float64(movedOnAdd) / keys; share > 0.4 {
+		t.Errorf("add moved %.1f%% of keys, want ≲ 20%%", 100*share)
+	}
+
+	r.Remove("s4")
+	for i := range before {
+		owner, _ := r.Owner(fmt.Sprintf("res-%d", i))
+		if owner != before[i] {
+			t.Fatalf("remove did not restore ownership of res-%d (%s -> %s)", i, before[i], owner)
+		}
+	}
+}

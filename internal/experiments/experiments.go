@@ -41,6 +41,7 @@ func All() []Experiment {
 		{ID: "E14", Title: "§3.1 — Chinese Wall / separation-of-duty enforcement", Run: RunE14ChineseWall},
 		{ID: "E15", Title: "§3.1 — policy heterogeneity: dialect translation cost and representation sizes", Run: RunE15Heterogeneity},
 		{ID: "E16", Title: "§3.2 — PDP discovery with signed decisions under crashes and rogue nodes", Run: RunE16Discovery},
+		{ID: "E17", Title: "§3 — horizontal PDP scaling: sharded cluster throughput and batch amortisation", Run: RunE17Cluster},
 	}
 	sort.Slice(exps, func(i, j int) bool {
 		// Numeric ID order (E2 < E10).

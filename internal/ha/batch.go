@@ -1,0 +1,216 @@
+package ha
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/policy"
+)
+
+// BatchProvider is the optional extension a decision provider may implement
+// to answer many requests in one call, amortising per-decision lock and
+// cache overhead (pdp.Engine does). The result slice is positional: result
+// i answers request i.
+type BatchProvider interface {
+	DecideBatchAt(reqs []*policy.Request, at time.Time) []policy.Result
+}
+
+// ScatterProvider is the zero-copy batch extension: evaluate reqs[p] for
+// every p in positions (nil means every request) and write each result to
+// out[p]. Callers own out, so stacked layers (cluster router → ensemble →
+// replica → engine) share one result buffer instead of allocating and
+// copying one per layer. pdp.Engine implements it.
+type ScatterProvider interface {
+	DecideScatterAt(reqs []*policy.Request, positions []int, at time.Time, out []policy.Result)
+}
+
+// eachPosition visits every selected request position.
+func eachPosition(n int, positions []int, visit func(p int)) {
+	if positions == nil {
+		for p := 0; p < n; p++ {
+			visit(p)
+		}
+		return
+	}
+	for _, p := range positions {
+		visit(p)
+	}
+}
+
+// DecideBatchAt implements BatchProvider over the replica; see
+// DecideScatterAt.
+func (f *Failable) DecideBatchAt(reqs []*policy.Request, at time.Time) []policy.Result {
+	out := make([]policy.Result, len(reqs))
+	f.DecideScatterAt(reqs, nil, at, out)
+	return out
+}
+
+// DecideScatterAt implements ScatterProvider: a crashed replica yields an
+// unavailable Indeterminate at every position; a live one delegates to the
+// wrapped provider's scatter path when it has one and loops otherwise.
+func (f *Failable) DecideScatterAt(reqs []*policy.Request, positions []int, at time.Time, out []policy.Result) {
+	n := len(reqs)
+	if positions != nil {
+		n = len(positions)
+	}
+	f.queries.Add(int64(n))
+	if f.down.Load() {
+		eachPosition(len(reqs), positions, func(p int) {
+			out[p] = policy.Result{
+				Decision: policy.DecisionIndeterminate,
+				Err:      fmt.Errorf("ha: replica %s: %w", f.name, ErrUnavailable),
+			}
+		})
+		return
+	}
+	if sp, ok := f.inner.(ScatterProvider); ok {
+		sp.DecideScatterAt(reqs, positions, at, out)
+		return
+	}
+	eachPosition(len(reqs), positions, func(p int) {
+		out[p] = f.inner.DecideAt(reqs[p], at)
+	})
+}
+
+// DecideBatchAt implements BatchProvider over the ensemble; see
+// DecideScatterAt.
+func (e *Ensemble) DecideBatchAt(reqs []*policy.Request, at time.Time) []policy.Result {
+	if len(reqs) == 0 {
+		return nil
+	}
+	out := make([]policy.Result, len(reqs))
+	e.DecideScatterAt(reqs, nil, at, out)
+	return out
+}
+
+// DecideScatterAt implements ScatterProvider over the ensemble. Failover
+// sends the whole batch to the first live replica (a replica is
+// all-or-nothing: crashed replicas fail every request, live ones answer
+// every request); quorum sends the batch to all replicas and
+// majority-votes per position.
+func (e *Ensemble) DecideScatterAt(reqs []*policy.Request, positions []int, at time.Time, out []policy.Result) {
+	n := len(reqs)
+	if positions != nil {
+		n = len(positions)
+	}
+	if n == 0 {
+		return
+	}
+	e.mu.Lock()
+	e.stats.Requests += int64(n)
+	strategy := e.strategy
+	order := make([]int, len(e.order))
+	copy(order, e.order)
+	replicas := e.replicas
+	e.mu.Unlock()
+
+	switch strategy {
+	case Quorum:
+		e.quorumScatter(replicas, reqs, positions, n, at, out)
+	default:
+		e.failoverScatter(replicas, order, reqs, positions, n, at, out)
+	}
+}
+
+// probe is the position checked to classify a replica's batch answer:
+// replicas are all-or-nothing, so one position reveals availability.
+func probe(positions []int) int {
+	if positions == nil {
+		return 0
+	}
+	return positions[0]
+}
+
+func (e *Ensemble) failoverScatter(replicas []*Failable, order []int, reqs []*policy.Request, positions []int, n int, at time.Time, out []policy.Result) {
+	skipped := false
+	for _, idx := range order {
+		replicas[idx].DecideScatterAt(reqs, positions, at, out)
+		e.mu.Lock()
+		e.stats.ReplicaQueries += int64(n)
+		e.mu.Unlock()
+		if unavailable(out[probe(positions)]) {
+			skipped = true
+			continue
+		}
+		if skipped {
+			e.mu.Lock()
+			e.stats.Failovers += int64(n)
+			e.mu.Unlock()
+		}
+		return
+	}
+	e.mu.Lock()
+	e.stats.Unavailable += int64(n)
+	e.mu.Unlock()
+	eachPosition(len(reqs), positions, func(p int) {
+		out[p] = policy.Result{
+			Decision: policy.DecisionIndeterminate,
+			Err:      fmt.Errorf("ha: ensemble %s: %w", e.name, ErrAllReplicasDown),
+		}
+	})
+}
+
+func (e *Ensemble) quorumScatter(replicas []*Failable, reqs []*policy.Request, positions []int, n int, at time.Time, out []policy.Result) {
+	// Compact the selected requests so per-replica vote buffers are sized
+	// to the selection, not the caller's whole batch.
+	sel := reqs
+	if positions != nil {
+		sel = make([]*policy.Request, n)
+		for k, p := range positions {
+			sel[k] = reqs[p]
+		}
+	}
+	votes := make([][]policy.Result, 0, len(replicas))
+	for _, r := range replicas {
+		rep := make([]policy.Result, n)
+		r.DecideScatterAt(sel, nil, at, rep)
+		votes = append(votes, rep)
+	}
+	need := len(replicas)/2 + 1
+	var disagreements, unavail int64
+	for k := 0; k < n; k++ {
+		p := k
+		if positions != nil {
+			p = positions[k]
+		}
+		tally := make(map[policy.Decision]int, 4)
+		results := make(map[policy.Decision]policy.Result, 4)
+		answered := 0
+		for _, rep := range votes {
+			res := rep[k]
+			if unavailable(res) {
+				continue
+			}
+			answered++
+			tally[res.Decision]++
+			if _, ok := results[res.Decision]; !ok {
+				results[res.Decision] = res
+			}
+		}
+		var winner policy.Decision
+		best := 0
+		for d, count := range tally {
+			if count > best {
+				best, winner = count, d
+			}
+		}
+		if answered > 0 && len(tally) > 1 {
+			disagreements++
+		}
+		if best >= need {
+			out[p] = results[winner]
+			continue
+		}
+		unavail++
+		out[p] = policy.Result{
+			Decision: policy.DecisionIndeterminate,
+			Err: fmt.Errorf("ha: ensemble %s: %d/%d answered, need %d agreeing: %w",
+				e.name, answered, len(replicas), need, ErrNoQuorum),
+		}
+	}
+	e.mu.Lock()
+	e.stats.ReplicaQueries += int64(n) * int64(len(replicas))
+	e.stats.Disagreements += disagreements
+	e.stats.Unavailable += unavail
+	e.mu.Unlock()
+}

@@ -94,6 +94,28 @@ func (h *Histogram) Percentile(p float64) time.Duration {
 // Max returns the largest sample.
 func (h *Histogram) Max() time.Duration { return h.Percentile(100) }
 
+// Imbalance reports how unevenly load spreads across units as the ratio
+// of the largest load to the mean (1.0 is perfect balance). The cluster
+// experiments use it to judge consistent-hash shard placement. Zero total
+// load reports 1.0.
+func Imbalance(loads []int64) float64 {
+	if len(loads) == 0 {
+		return 1.0
+	}
+	var sum, max int64
+	for _, l := range loads {
+		sum += l
+		if l > max {
+			max = l
+		}
+	}
+	if sum == 0 {
+		return 1.0
+	}
+	mean := float64(sum) / float64(len(loads))
+	return float64(max) / mean
+}
+
 // Table renders experiment results as an aligned text table, the output
 // format of cmd/experiments and EXPERIMENTS.md.
 type Table struct {

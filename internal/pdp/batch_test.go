@@ -1,0 +1,73 @@
+package pdp
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/workload"
+)
+
+func TestEngineDecideBatchMatchesDecide(t *testing.T) {
+	at := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	gen := workload.NewGenerator(workload.Config{Users: 20, Resources: 100, Roles: 5, Seed: 3})
+	for _, opts := range map[string][]Option{
+		"plain":   {WithResolver(gen.Directory("idp"))},
+		"indexed": {WithResolver(gen.Directory("idp")), WithTargetIndex()},
+		"cached":  {WithResolver(gen.Directory("idp")), WithDecisionCache(time.Hour, 0)},
+	} {
+		reference := New("ref", WithResolver(gen.Directory("idp")))
+		if err := reference.SetRoot(gen.PolicyBase("base")); err != nil {
+			t.Fatal(err)
+		}
+		engine := New("batch", opts...)
+		if err := engine.SetRoot(gen.PolicyBase("base")); err != nil {
+			t.Fatal(err)
+		}
+		reqs := gen.Requests(200)
+		results := engine.DecideBatchAt(reqs, at)
+		if len(results) != len(reqs) {
+			t.Fatalf("got %d results for %d requests", len(results), len(reqs))
+		}
+		for i, res := range results {
+			want := reference.DecideAt(reqs[i], at)
+			if res.Decision != want.Decision || res.By != want.By {
+				t.Fatalf("item %d: %s by %s, want %s by %s", i, res.Decision, res.By, want.Decision, want.By)
+			}
+		}
+	}
+}
+
+func TestEngineDecideBatchCacheHits(t *testing.T) {
+	at := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	gen := workload.NewGenerator(workload.Config{Users: 10, Resources: 20, Roles: 2, Seed: 5})
+	engine := New("e", WithResolver(gen.Directory("idp")), WithDecisionCache(time.Hour, 0))
+	if err := engine.SetRoot(gen.PolicyBase("base")); err != nil {
+		t.Fatal(err)
+	}
+	reqs := gen.Requests(50)
+	engine.DecideBatchAt(reqs, at)
+	first := engine.Stats()
+	engine.DecideBatchAt(reqs, at)
+	second := engine.Stats()
+	if second.Evaluations != first.Evaluations {
+		t.Fatalf("second batch evaluated %d fresh decisions, want 0",
+			second.Evaluations-first.Evaluations)
+	}
+	if second.CacheHits-first.CacheHits != int64(len(reqs)) {
+		t.Fatalf("second batch hit cache %d times, want %d",
+			second.CacheHits-first.CacheHits, len(reqs))
+	}
+}
+
+func TestEngineDecideBatchNoRoot(t *testing.T) {
+	engine := New("e")
+	results := engine.DecideBatchAt([]*policy.Request{policy.NewAccessRequest("u", "r", "read")}, time.Now())
+	if len(results) != 1 || !errors.Is(results[0].Err, ErrNoPolicy) {
+		t.Fatalf("rootless batch = %+v, want ErrNoPolicy", results)
+	}
+	if got := engine.DecideBatchAt(nil, time.Now()); got != nil {
+		t.Fatalf("empty batch returned %v", got)
+	}
+}

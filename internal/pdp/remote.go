@@ -80,23 +80,135 @@ func (c *Client) DecideAt(req *policy.Request, at time.Time) policy.Result {
 	return res
 }
 
-// Handler adapts an engine to the envelope endpoint the Client speaks,
-// shared by cmd/pdpd and tests. It accepts XML or JSON request contexts
-// and answers XML response contexts.
-func Handler(engine *Engine) wire.Handler {
-	return func(_ *wire.Call, env *wire.Envelope) (*wire.Envelope, error) {
-		req, err := xacml.UnmarshalRequestXML(env.Body)
-		if err != nil {
-			req, err = xacml.UnmarshalRequestJSON(env.Body)
-			if err != nil {
-				return nil, fmt.Errorf("pdp: undecodable request context: %w", err)
-			}
+// DecideBatchAt queries a remote batch endpoint (cmd/pdpd's
+// /decide-batch) with every request in one envelope. Transport failures
+// fail every request closed, mirroring DecideAt.
+func (c *Client) DecideBatchAt(reqs []*policy.Request, at time.Time) []policy.Result {
+	if len(reqs) == 0 {
+		return nil
+	}
+	fail := func(err error) []policy.Result {
+		out := make([]policy.Result, len(reqs))
+		for i := range out {
+			out[i] = policy.Result{Decision: policy.DecisionIndeterminate, Err: err}
 		}
-		res := engine.Decide(req)
+		return out
+	}
+	bodies := make([][]byte, len(reqs))
+	for i, req := range reqs {
+		body, err := xacml.MarshalRequestXML(req)
+		if err != nil {
+			return fail(fmt.Errorf("pdp client: encode request %d: %w", i, err))
+		}
+		bodies[i] = body
+	}
+	frame, err := wire.EncodeBodies(bodies)
+	if err != nil {
+		return fail(fmt.Errorf("pdp client: %w", err))
+	}
+	reply, err := c.http.Send(&wire.Envelope{
+		MessageID: fmt.Sprintf("%s-%d", c.from, at.UnixNano()),
+		From:      c.from,
+		To:        c.to,
+		Action:    "pdp:decide-batch",
+		Timestamp: at,
+		Body:      frame,
+	})
+	if err != nil {
+		return fail(fmt.Errorf("pdp client: %w", err))
+	}
+	if reply == nil {
+		return fail(fmt.Errorf("pdp client: empty reply from %s", c.to))
+	}
+	replies, err := wire.DecodeBodies(reply.Body)
+	if err != nil {
+		return fail(fmt.Errorf("pdp client: %w", err))
+	}
+	if len(replies) != len(reqs) {
+		return fail(fmt.Errorf("pdp client: %d replies for %d requests", len(replies), len(reqs)))
+	}
+	out := make([]policy.Result, len(reqs))
+	for i, b := range replies {
+		res, err := xacml.UnmarshalResponseXML(b)
+		if err != nil {
+			out[i] = policy.Result{Decision: policy.DecisionIndeterminate,
+				Err: fmt.Errorf("pdp client: decode response %d: %w", i, err)}
+			continue
+		}
+		out[i] = res
+	}
+	return out
+}
+
+// Provider is the minimal decision interface Handler serves; *Engine and
+// cluster.Router satisfy it, so cmd/pdpd exposes a single engine and a
+// sharded cluster through the same endpoint.
+type Provider interface {
+	Decide(req *policy.Request) policy.Result
+}
+
+// BatchProvider answers many requests in one pass; result i answers
+// request i. *Engine and cluster.Router satisfy it.
+type BatchProvider interface {
+	DecideBatch(reqs []*policy.Request) []policy.Result
+}
+
+// Handler adapts a decision provider to the envelope endpoint the Client
+// speaks, shared by cmd/pdpd and tests. It accepts XML or JSON request
+// contexts and answers XML response contexts.
+func Handler(p Provider) wire.Handler {
+	return func(_ *wire.Call, env *wire.Envelope) (*wire.Envelope, error) {
+		req, err := decodeRequestContext(env.Body)
+		if err != nil {
+			return nil, err
+		}
+		res := p.Decide(req)
 		body, err := xacml.MarshalResponseXML(res)
 		if err != nil {
 			return nil, err
 		}
 		return &wire.Envelope{Action: "pdp:decision", Timestamp: env.Timestamp, Body: body}, nil
 	}
+}
+
+// BatchHandler serves the pdp:decide-batch action: the envelope body is a
+// wire batch frame of request contexts; the reply is a frame of response
+// contexts in the same order. Clusters use it to amortise transport and
+// evaluation overhead across a whole burst of queries.
+func BatchHandler(p BatchProvider) wire.Handler {
+	return func(_ *wire.Call, env *wire.Envelope) (*wire.Envelope, error) {
+		bodies, err := wire.DecodeBodies(env.Body)
+		if err != nil {
+			return nil, err
+		}
+		reqs := make([]*policy.Request, len(bodies))
+		for i, b := range bodies {
+			if reqs[i], err = decodeRequestContext(b); err != nil {
+				return nil, fmt.Errorf("pdp: batch item %d: %w", i, err)
+			}
+		}
+		results := p.DecideBatch(reqs)
+		replies := make([][]byte, len(results))
+		for i, res := range results {
+			if replies[i], err = xacml.MarshalResponseXML(res); err != nil {
+				return nil, err
+			}
+		}
+		body, err := wire.EncodeBodies(replies)
+		if err != nil {
+			return nil, err
+		}
+		return &wire.Envelope{Action: "pdp:decision-batch", Timestamp: env.Timestamp, Body: body}, nil
+	}
+}
+
+func decodeRequestContext(body []byte) (*policy.Request, error) {
+	req, err := xacml.UnmarshalRequestXML(body)
+	if err != nil {
+		req, err = xacml.UnmarshalRequestJSON(body)
+		if err != nil {
+			return nil, fmt.Errorf("pdp: undecodable request context: %w", err)
+		}
+	}
+	return req, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Category partitions request attributes, mirroring the XACML attribute
@@ -83,6 +84,11 @@ const (
 // the in-memory form of an XACML request context.
 type Request struct {
 	attrs map[Category]map[string]Bag
+	// key memoises CacheKey: decision caches at the PEP, the PDP and the
+	// cluster batch sweep all key on it, and rendering it dominates the
+	// cache-hit path. Stored atomically so concurrent evaluations of a
+	// shared request stay race-free; Add and Set invalidate it.
+	key atomic.Pointer[string]
 }
 
 // NewRequest returns an empty request.
@@ -108,6 +114,7 @@ func (r *Request) Add(cat Category, name string, vals ...Value) *Request {
 		r.attrs[cat] = byName
 	}
 	byName[name] = append(byName[name], vals...)
+	r.key.Store(nil)
 	return r
 }
 
@@ -119,6 +126,7 @@ func (r *Request) Set(cat Category, name string, bag Bag) *Request {
 		r.attrs[cat] = byName
 	}
 	byName[name] = bag.Clone()
+	r.key.Store(nil)
 	return r
 }
 
@@ -175,8 +183,13 @@ func (r *Request) Clone() *Request {
 
 // CacheKey renders a deterministic string identifying the request's
 // attribute content, used by decision caches. Attributes are serialised in
-// sorted order so logically equal requests share a key.
+// sorted order so logically equal requests share a key. The rendering is
+// memoised until the next Add or Set, so stacked cache layers (PEP, PDP,
+// batch sweep) pay for it once per request, not once per lookup.
 func (r *Request) CacheKey() string {
+	if k := r.key.Load(); k != nil {
+		return *k
+	}
 	var sb strings.Builder
 	for _, cat := range Categories() {
 		names := r.Names(cat)
@@ -192,7 +205,9 @@ func (r *Request) CacheKey() string {
 			sb.WriteByte(';')
 		}
 	}
-	return sb.String()
+	key := sb.String()
+	r.key.Store(&key)
+	return key
 }
 
 // String renders a compact human-readable summary of the request.

@@ -180,25 +180,48 @@ func (t Target) Evaluate(c *Context) (MatchResult, error) {
 }
 
 // ExactMatches extracts the equality constraints the target places on the
-// given attribute, used by the static conflict analyser and the PDP target
-// index. The boolean reports whether the attribute is constrained at all by
-// pure equality matches; a false means the target accepts any value for it.
+// given attribute, used by the static conflict analyser, the PDP target
+// index and the cluster partitioner. The boolean reports whether the
+// target can only match requests whose attribute equals one of the
+// returned values; a false means the target may accept other values.
+//
+// Soundness requires a whole ANDed group to constrain the attribute: a
+// group is an OR of alternatives, so it pins the attribute only when
+// EVERY alternative carries a pure equality match on it (a disjunction
+// like resource-id==A OR role==admin matches any resource for admins and
+// must report unconstrained). The first fully-constraining group
+// suffices: the target cannot match unless that group does.
 func (t Target) ExactMatches(cat Category, name string) ([]Value, bool) {
-	var vals []Value
-	constrained := false
 	for _, group := range t {
-		for _, all := range group {
-			for _, m := range all {
-				if m.Category != cat || m.Name != name {
-					continue
-				}
-				if m.Function != "" && m.Function != FnEqual {
-					return nil, false
-				}
-				constrained = true
-				vals = append(vals, m.Value)
-			}
+		if vals, ok := group.exactMatches(cat, name); ok {
+			return vals, true
 		}
 	}
-	return vals, constrained
+	return nil, false
+}
+
+// exactMatches reports the equality values a disjunction pins the
+// attribute to, and whether every alternative pins it.
+func (a AnyOf) exactMatches(cat Category, name string) ([]Value, bool) {
+	if len(a) == 0 {
+		return nil, false
+	}
+	var vals []Value
+	for _, all := range a {
+		found := false
+		for _, m := range all {
+			if m.Category != cat || m.Name != name {
+				continue
+			}
+			if m.Function != "" && m.Function != FnEqual {
+				continue
+			}
+			vals = append(vals, m.Value)
+			found = true
+		}
+		if !found {
+			return nil, false
+		}
+	}
+	return vals, true
 }

@@ -169,6 +169,32 @@ func TestExactMatches(t *testing.T) {
 	}
 }
 
+func TestExactMatchesDisjunction(t *testing.T) {
+	// resource-id==A OR role==admin matches ANY resource for admins: the
+	// attribute must report unconstrained, or indexes and shard routing
+	// would drop the policy for every other resource.
+	mixed := TargetAnyOf(MatchResourceID("A"), MatchRole("admin"))
+	if _, constrained := mixed.ExactMatches(CategoryResource, AttrResourceID); constrained {
+		t.Error("disjunction with a non-resource alternative must report unconstrained")
+	}
+	// Every alternative pins the resource: constrained to the union.
+	pure := TargetAnyOf(MatchResourceID("A"), MatchResourceID("B"))
+	vals, constrained := pure.ExactMatches(CategoryResource, AttrResourceID)
+	if !constrained || len(vals) != 2 {
+		t.Errorf("pure resource disjunction = %v, %v; want [A B], true", vals, constrained)
+	}
+	// One fully-constraining group suffices even when another group is
+	// unconstrained on the attribute (groups are ANDed).
+	anded := Target{
+		AnyOf{AllOf{MatchRole("admin")}},
+		AnyOf{AllOf{MatchResourceID("A")}, AllOf{MatchResourceID("B")}},
+	}
+	vals, constrained = anded.ExactMatches(CategoryResource, AttrResourceID)
+	if !constrained || len(vals) != 2 {
+		t.Errorf("ANDed groups = %v, %v; want [A B], true", vals, constrained)
+	}
+}
+
 func TestMatchResultString(t *testing.T) {
 	for _, tt := range []struct {
 		m    MatchResult

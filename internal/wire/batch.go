@@ -1,0 +1,30 @@
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Batch framing: a cluster deployment answers many authorisation decision
+// queries per envelope (the pdp:decide-batch action), so one envelope body
+// must carry several XACML documents. The framing is a JSON array of the
+// raw documents; order is positional — reply document i answers request
+// document i.
+
+// EncodeBodies frames multiple message bodies into one envelope body.
+func EncodeBodies(bodies [][]byte) ([]byte, error) {
+	data, err := json.Marshal(bodies)
+	if err != nil {
+		return nil, fmt.Errorf("wire: encode batch: %w", err)
+	}
+	return data, nil
+}
+
+// DecodeBodies unpacks an envelope body framed by EncodeBodies.
+func DecodeBodies(data []byte) ([][]byte, error) {
+	var bodies [][]byte
+	if err := json.Unmarshal(data, &bodies); err != nil {
+		return nil, fmt.Errorf("wire: decode batch: %w", err)
+	}
+	return bodies, nil
+}

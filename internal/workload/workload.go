@@ -94,6 +94,16 @@ func (g *Generator) NextRequest() *policy.Request {
 	return policy.NewAccessRequest(user, ResourceID(res), action)
 }
 
+// Requests draws n access requests, the bulk form of NextRequest used by
+// batch-decision experiments and benchmarks.
+func (g *Generator) Requests(n int) []*policy.Request {
+	reqs := make([]*policy.Request, n)
+	for i := range reqs {
+		reqs[i] = g.NextRequest()
+	}
+	return reqs
+}
+
 // NextInterarrival draws an exponential interarrival time for the Poisson
 // arrival process.
 func (g *Generator) NextInterarrival() time.Duration {
