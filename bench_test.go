@@ -175,6 +175,68 @@ func BenchmarkClusterDecideBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkPolicyChurn measures the hot path under sustained policy
+// writes on the production 4-shard cluster: one policy is rewritten every
+// 64 decisions. The full-rebuild pipeline reinstalls the whole root per
+// write, revalidating O(policies) and flushing every shard's decision
+// cache; the incremental pipeline (Router.ApplyUpdate) routes a delta to
+// the owning shard group and invalidates only the rewritten resource's
+// cached decisions, so the other shards keep serving hits. Compare the
+// decisions/s and cache-hit% metrics across the two sub-benchmarks.
+func BenchmarkPolicyChurn(b *testing.B) {
+	at := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	const (
+		writeEvery = 64
+		resources  = 2000 // matches clusterFixture's generator
+		roles      = 10
+	)
+	churnChild := func(w int) *policy.Policy {
+		return workload.ResourcePolicy((w*61)%resources, roles)
+	}
+	for _, mode := range []string{"full-rebuild", "incremental"} {
+		b.Run(mode, func(b *testing.B) {
+			router, reqs := clusterFixture(b, 4, fullConfig()...)
+			base := router.Root().(*policy.PolicySet)
+			for _, req := range reqs {
+				router.DecideAt(req, at) // warm caches and indexes
+			}
+			before := router.EngineStats()
+			writes := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%writeEvery == writeEvery-1 {
+					idx := (writes * 61) % resources
+					child := churnChild(writes)
+					writes++
+					var err error
+					if mode == "incremental" {
+						err = router.ApplyUpdate(pdp.Update{ID: child.ID, Child: child})
+					} else {
+						children := make([]policy.Evaluable, len(base.Children))
+						copy(children, base.Children)
+						children[idx] = child
+						err = router.SetRoot(&policy.PolicySet{
+							ID: base.ID, Combining: base.Combining, Children: children,
+						})
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				router.DecideAt(reqs[i%len(reqs)], at)
+			}
+			b.StopTimer()
+			after := router.EngineStats()
+			hits := after.CacheHits - before.CacheHits
+			misses := after.Evaluations - before.Evaluations
+			if hits+misses > 0 {
+				b.ReportMetric(100*float64(hits)/float64(hits+misses), "cache-hit%")
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "decisions/s")
+		})
+	}
+}
+
 func BenchmarkPEPEnforceCached(b *testing.B) {
 	at := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
 	engine, reqs := scalabilityFixture(b, 100, true)

@@ -10,6 +10,17 @@
 // -replicas ways under the chosen -strategy, so decisions survive replica
 // crashes. The endpoints are identical in both modes.
 //
+// The daemon administers policy live: the loaded file seeds an in-process
+// Policy Administration Point, and /admin/policy accepts writes while
+// decisions are being served. POST (or PUT) stores the XACML policy in the
+// body; DELETE ?id=... removes one. Each change propagates through the
+// incremental delta pipeline — only the affected root child is patched and
+// only its resource keys' cached decisions are invalidated, on only the
+// owning shard group(s) in cluster mode — so policy churn does not flush
+// the decision caches or stall the hot path. Root children are kept in
+// policy-ID order, the administration pipeline's deterministic ordering.
+// Refresh failures are counted in /stats as refresh_errors.
+//
 // Usage:
 //
 //	pdpd -policy policy.xml [-addr :8080] [-index] [-cache 30s]
@@ -17,17 +28,22 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/ha"
+	"repro/internal/pap"
 	"repro/internal/pdp"
 	"repro/internal/policy"
 	"repro/internal/wire"
@@ -39,6 +55,8 @@ import (
 type decisionPoint interface {
 	Decide(req *policy.Request) policy.Result
 	DecideBatch(reqs []*policy.Request) []policy.Result
+	ApplyUpdate(u pdp.Update) error
+	SetRoot(root policy.Evaluable) error
 }
 
 func main() {
@@ -55,7 +73,15 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	point, stats, err := buildDecisionPoint(*policyPath, *useIndex, *cacheTTL, *shards, *replicas, *strategy)
+	root, err := loadPolicy(*policyPath)
+	if err != nil {
+		log.Fatalf("pdpd: %v", err)
+	}
+	point, stats, err := buildDecisionPoint(*useIndex, *cacheTTL, *shards, *replicas, *strategy)
+	if err != nil {
+		log.Fatalf("pdpd: %v", err)
+	}
+	adm, err := newAdmin(point, root)
 	if err != nil {
 		log.Fatalf("pdpd: %v", err)
 	}
@@ -63,9 +89,15 @@ func main() {
 	mux := http.NewServeMux()
 	mux.Handle("/decide", wire.HTTPHandler(pdp.Handler(point)))
 	mux.Handle("/decide-batch", wire.HTTPHandler(pdp.BatchHandler(point)))
+	mux.HandleFunc("/admin/policy", adm.handlePolicy)
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		if err := json.NewEncoder(w).Encode(stats()); err != nil {
+		out := struct {
+			Point         any   `json:"point"`
+			Policies      int   `json:"policies"`
+			RefreshErrors int64 `json:"refresh_errors"`
+		}{stats(), len(adm.store.List()), adm.refreshErrs.Load()}
+		if err := json.NewEncoder(w).Encode(out); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
@@ -78,11 +110,7 @@ func main() {
 	log.Fatal(server.ListenAndServe())
 }
 
-func buildDecisionPoint(path string, useIndex bool, cacheTTL time.Duration, shards, replicas int, strategy string) (decisionPoint, func() any, error) {
-	root, err := loadPolicy(path)
-	if err != nil {
-		return nil, nil, err
-	}
+func buildDecisionPoint(useIndex bool, cacheTTL time.Duration, shards, replicas int, strategy string) (decisionPoint, func() any, error) {
 	var opts []pdp.Option
 	if useIndex {
 		opts = append(opts, pdp.WithTargetIndex())
@@ -93,9 +121,6 @@ func buildDecisionPoint(path string, useIndex bool, cacheTTL time.Duration, shar
 
 	if shards <= 1 && replicas <= 1 {
 		engine := pdp.New("pdpd", opts...)
-		if err := engine.SetRoot(root); err != nil {
-			return nil, nil, err
-		}
 		return engine, func() any { return engine.Stats() }, nil
 	}
 
@@ -117,17 +142,153 @@ func buildDecisionPoint(path string, useIndex bool, cacheTTL time.Duration, shar
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := router.SetRoot(root); err != nil {
-		return nil, nil, err
-	}
 	return router, func() any {
 		return struct {
 			Cluster cluster.Stats
+			Engines pdp.Stats
 			Shards  []string
 			Loads   []int64
 			Groups  map[string]ha.Stats
-		}{router.Stats(), router.Shards(), router.ShardLoads(), router.GroupStats()}
+		}{router.Stats(), router.EngineStats(), router.Shards(), router.ShardLoads(), router.GroupStats()}
 	}, nil
+}
+
+// admin owns the daemon's Policy Administration Point and pushes its
+// updates into the decision point through the delta pipeline.
+type admin struct {
+	store     *pap.Store
+	point     decisionPoint
+	rootID    string
+	combining policy.Algorithm
+	// rootTarget and rootObligations are the loaded file root's own
+	// target and obligations, carried onto every assembled root so the
+	// administration pipeline preserves root-level applicability and
+	// obligation semantics (the delta path preserves them via PatchChild).
+	rootTarget      policy.Target
+	rootObligations []policy.Obligation
+	refreshErrs     atomic.Int64
+}
+
+// newAdmin seeds the store from the loaded policy file (a policy set
+// contributes its children, its ID and its combining algorithm; a single
+// policy becomes the lone child under deny-overrides), installs the
+// assembled root, and wires store updates to the delta path. Root
+// children are administered by ID, so the assembled root holds them in ID
+// order and duplicate child IDs are rejected (as root validation always
+// has).
+func newAdmin(point decisionPoint, root policy.Evaluable) (*admin, error) {
+	a := &admin{store: pap.NewStore("pdpd"), point: point, rootID: "pdpd-root", combining: policy.DenyOverrides}
+	switch v := root.(type) {
+	case *policy.PolicySet:
+		a.rootID = v.ID
+		a.combining = v.Combining
+		a.rootTarget = v.Target
+		a.rootObligations = v.Obligations
+		seen := make(map[string]struct{}, len(v.Children))
+		for _, ch := range v.Children {
+			id := ch.EntityID()
+			if _, dup := seen[id]; dup {
+				return nil, fmt.Errorf("policy set %s: duplicate child ID %q", v.ID, id)
+			}
+			seen[id] = struct{}{}
+			if _, err := a.store.Put(ch); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		if _, err := a.store.Put(root); err != nil {
+			return nil, err
+		}
+	}
+	if set, ok := root.(*policy.PolicySet); ok && !set.ChildrenSortedByID() {
+		log.Printf("pdpd: root %s children re-ordered by policy ID for live administration; order-dependent combining (e.g. first-applicable) may decide differently than the file order", set.ID)
+	}
+	if err := a.installRoot(); err != nil {
+		return nil, err
+	}
+	a.store.Watch(a.apply)
+	return a, nil
+}
+
+// installRoot assembles the store into a root and installs it, restoring
+// the loaded file root's target and obligations (BuildRoot assembles a
+// bare set). This is pdpd's variant of pap.Apply's rebuild fallback —
+// federation/core roots are bare BuildRoot products, pdpd roots are not.
+func (a *admin) installRoot() error {
+	built, err := a.store.BuildRoot(a.rootID, a.combining)
+	if err != nil {
+		return err
+	}
+	built.Target = a.rootTarget
+	built.Obligations = a.rootObligations
+	return a.point.SetRoot(built)
+}
+
+// apply pushes one store change into the decision point: the delta path
+// first, a full reassembly only when the point cannot patch; failures are
+// counted and logged — the PDP may be serving stale policy and that must
+// be observable.
+func (a *admin) apply(u pap.Update) {
+	err := a.point.ApplyUpdate(pdp.Update{ID: u.ID, Child: u.Policy})
+	if errors.Is(err, pdp.ErrNotIncremental) {
+		err = a.installRoot()
+	}
+	if err != nil {
+		a.refreshErrs.Add(1)
+		log.Printf("pdpd: policy refresh %s: %v", u.ID, err)
+	}
+}
+
+// handlePolicy serves the live-administration endpoint.
+func (a *admin) handlePolicy(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost, http.MethodPut:
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		e, err := parsePolicy(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		version, err := a.store.Put(e)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(struct {
+			ID      string `json:"id"`
+			Version int    `json:"version"`
+		}{e.EntityID(), version})
+	case http.MethodDelete:
+		id := r.URL.Query().Get("id")
+		if id == "" {
+			http.Error(w, "missing id parameter", http.StatusBadRequest)
+			return
+		}
+		if err := a.store.Delete(id); err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, pap.ErrNotFound) {
+				status = http.StatusNotFound
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// parsePolicy decodes an XACML policy document, sniffing XML vs JSON.
+func parsePolicy(body []byte) (policy.Evaluable, error) {
+	if bytes.HasPrefix(bytes.TrimSpace(body), []byte("<")) {
+		return xacml.UnmarshalXML(body)
+	}
+	return xacml.UnmarshalJSON(body)
 }
 
 func loadPolicy(path string) (policy.Evaluable, error) {

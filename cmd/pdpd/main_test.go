@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/xacml"
+)
+
+func testBase(resources int) *policy.PolicySet {
+	b := policy.NewPolicySet("base").Combining(policy.DenyOverrides)
+	for i := 0; i < resources; i++ {
+		res := fmt.Sprintf("res-%d", i)
+		b.Add(policy.NewPolicy("pol-" + res).
+			Combining(policy.FirstApplicable).
+			When(policy.MatchResourceID(res)).
+			Rule(policy.Permit("allow").When(policy.MatchActionID("read")).Build()).
+			Rule(policy.Deny("default").Build()).
+			Build())
+	}
+	return b.Build()
+}
+
+// TestAdminPreservesRootTarget pins root-level semantics across the
+// administration pipeline: a file root carrying its own target (and
+// obligations) must keep gating applicability after the store reassembles
+// the root, and across live updates.
+func TestAdminPreservesRootTarget(t *testing.T) {
+	point, _, err := buildDecisionPoint(false, 0, 1, 1, "failover")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Root target admits only res-0: requests for other resources must
+	// stay NotApplicable even though a child for res-1 exists.
+	root := policy.NewPolicySet("gated").
+		Combining(policy.DenyOverrides).
+		When(policy.MatchResourceID("res-0")).
+		Add(testBase(2).Children[0]).
+		Add(testBase(2).Children[1]).
+		Build()
+	adm, err := newAdmin(point, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outside := policy.NewAccessRequest("u", "res-1", "read")
+	if got := point.Decide(outside); got.Decision != policy.DecisionNotApplicable {
+		t.Fatalf("out-of-target decision = %v, want not-applicable (root target dropped?)", got.Decision)
+	}
+	if got := point.Decide(policy.NewAccessRequest("u", "res-0", "read")); got.Decision != policy.DecisionPermit {
+		t.Fatalf("in-target decision = %v, want permit", got.Decision)
+	}
+	// The delta path preserves the root target too.
+	body, err := xacml.MarshalJSON(testBase(2).Children[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	adm.handlePolicy(rec, httptest.NewRequest(http.MethodPost, "/admin/policy", bytes.NewReader(body)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST = %d: %s", rec.Code, rec.Body)
+	}
+	if got := point.Decide(outside); got.Decision != policy.DecisionNotApplicable {
+		t.Fatalf("out-of-target decision after update = %v, want not-applicable", got.Decision)
+	}
+}
+
+// TestAdminLiveUpdates drives the daemon's live-administration pipeline in
+// both deployment modes: policies posted to /admin/policy change decisions
+// without a restart, deletes revoke, and updates flow through the delta
+// path rather than a rebuild.
+func TestAdminLiveUpdates(t *testing.T) {
+	for _, tc := range []struct {
+		name             string
+		shards, replicas int
+	}{
+		{"single-engine", 1, 1},
+		{"4-shard-cluster", 4, 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			point, _, err := buildDecisionPoint(true, time.Hour, tc.shards, tc.replicas, "failover")
+			if err != nil {
+				t.Fatal(err)
+			}
+			adm, err := newAdmin(point, testBase(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			req := policy.NewAccessRequest("u", "res-1", "write")
+			if got := point.Decide(req); got.Decision != policy.DecisionDeny {
+				t.Fatalf("seed decision = %v, want deny", got.Decision)
+			}
+
+			// POST a replacement permitting write on res-1.
+			updated := policy.NewPolicy("pol-res-1").
+				Combining(policy.FirstApplicable).
+				When(policy.MatchResourceID("res-1")).
+				Rule(policy.Permit("allow").When(policy.MatchActionID("write")).Build()).
+				Rule(policy.Deny("default").Build()).
+				Build()
+			body, err := xacml.MarshalJSON(updated)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := httptest.NewRecorder()
+			adm.handlePolicy(rec, httptest.NewRequest(http.MethodPost, "/admin/policy", bytes.NewReader(body)))
+			if rec.Code != http.StatusOK {
+				t.Fatalf("POST = %d: %s", rec.Code, rec.Body)
+			}
+			if got := point.Decide(req); got.Decision != policy.DecisionPermit {
+				t.Fatalf("decision after POST = %v, want permit", got.Decision)
+			}
+
+			// DELETE revokes live.
+			rec = httptest.NewRecorder()
+			adm.handlePolicy(rec, httptest.NewRequest(http.MethodDelete, "/admin/policy?id=pol-res-1", nil))
+			if rec.Code != http.StatusNoContent {
+				t.Fatalf("DELETE = %d: %s", rec.Code, rec.Body)
+			}
+			if got := point.Decide(req); got.Decision != policy.DecisionNotApplicable {
+				t.Fatalf("decision after DELETE = %v, want not-applicable", got.Decision)
+			}
+			rec = httptest.NewRecorder()
+			adm.handlePolicy(rec, httptest.NewRequest(http.MethodDelete, "/admin/policy?id=pol-res-1", nil))
+			if rec.Code != http.StatusNotFound {
+				t.Fatalf("second DELETE = %d, want 404", rec.Code)
+			}
+
+			// Invalid documents are refused without touching the point.
+			rec = httptest.NewRecorder()
+			adm.handlePolicy(rec, httptest.NewRequest(http.MethodPost, "/admin/policy", bytes.NewReader([]byte("{not json"))))
+			if rec.Code != http.StatusBadRequest {
+				t.Fatalf("bad body = %d, want 400", rec.Code)
+			}
+			if adm.refreshErrs.Load() != 0 {
+				t.Fatalf("refresh errors = %d, want 0", adm.refreshErrs.Load())
+			}
+		})
+	}
+}

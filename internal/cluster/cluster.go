@@ -78,21 +78,29 @@ type Stats struct {
 	// ChildrenMoved counts policy-base children whose owning shard changed
 	// across rebalances, the rebalancing cost measure.
 	ChildrenMoved int64
+	// Updates counts incremental policy deltas applied via ApplyUpdate.
+	Updates int64
+	// UpdateShardsTouched sums the shard groups each delta reached; the
+	// remaining shards kept their policy bases and decision caches.
+	UpdateShardsTouched int64
 }
 
 // counters is the lock-free mutable form of Stats: decisions increment it
 // under the router's read lock, so the fields must be atomic.
 type counters struct {
 	requests, batches, batchRequests, rebalances, childrenMoved atomic.Int64
+	updates, updateShardsTouched                                atomic.Int64
 }
 
 func (c *counters) snapshot() Stats {
 	return Stats{
-		Requests:      c.requests.Load(),
-		Batches:       c.batches.Load(),
-		BatchRequests: c.batchRequests.Load(),
-		Rebalances:    c.rebalances.Load(),
-		ChildrenMoved: c.childrenMoved.Load(),
+		Requests:            c.requests.Load(),
+		Batches:             c.batches.Load(),
+		BatchRequests:       c.batchRequests.Load(),
+		Rebalances:          c.rebalances.Load(),
+		ChildrenMoved:       c.childrenMoved.Load(),
+		Updates:             c.updates.Load(),
+		UpdateShardsTouched: c.updateShardsTouched.Load(),
 	}
 }
 
@@ -268,15 +276,27 @@ func (r *Router) Root() policy.Evaluable {
 }
 
 // AddShard grows the cluster by one replicated shard group, rebalancing
-// policy ownership. It returns the new shard's name.
+// policy ownership. It returns the new shard's name. If installing the
+// rebalanced bases fails, the membership change is rolled back so the
+// half-joined empty shard cannot stay in the ring fail-closing its slice
+// of the key space.
 func (r *Router) AddShard() (string, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := r.addShardLocked()
-	r.stats.rebalances.Add(1)
 	if err := r.repartitionLocked(false); err != nil {
+		r.ring.Remove(s.name)
+		delete(r.shards, s.name)
+		r.order = r.order[:len(r.order)-1]
+		r.byOrd = r.byOrd[:len(r.byOrd)-1]
+		// Reinstall any shard the failed repartition already shrank;
+		// shards whose recorded children still match skip the install.
+		if rerr := r.repartitionLocked(false); rerr != nil {
+			return "", fmt.Errorf("cluster %s: rollback after failed add: %w", r.name, errors.Join(err, rerr))
+		}
 		return "", err
 	}
+	r.stats.rebalances.Add(1)
 	return s.name, nil
 }
 
@@ -331,23 +351,15 @@ func (r *Router) repartitionLocked(force bool) error {
 		parts = make(map[string][]int, len(r.order))
 		ownerIndex = make(map[string]*shard, len(set.Children))
 		for i, ch := range set.Children {
-			var target policy.Target
-			switch v := ch.(type) {
-			case *policy.Policy:
-				target = v.Target
-			case *policy.PolicySet:
-				target = v.Target
-			}
-			vals, constrained := target.ExactMatches(policy.CategoryResource, policy.AttrResourceID)
-			if !constrained || len(vals) == 0 {
+			keys, catchAll := policy.ResourceKeys(ch)
+			if catchAll {
 				for _, name := range r.order {
 					parts[name] = append(parts[name], i)
 				}
 				continue
 			}
 			var assigned []string
-			for _, v := range vals {
-				key := v.String()
+			for _, key := range keys {
 				owner, ok := r.ring.Owner(key)
 				if !ok {
 					continue

@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/pdp"
+	"repro/internal/policy"
+)
+
+// ApplyUpdate routes a single-child policy delta to just the shard groups
+// whose ownership the change touches, leaving the other N-1 shards' policy
+// bases — and, critically, their decision caches — untouched. The owning
+// shards patch their subsets through pdp.Engine.ApplyUpdate, so within a
+// touched shard only the cached decisions for the changed child's resource
+// keys are invalidated.
+//
+// A replace whose keys moved between shards decomposes into a delete on the
+// old owners and an insert on the new; a catch-all child (no resource-id
+// equality constraint on either side) is replicated everywhere and touches
+// every shard, exactly as repartitioning would. The routing ownerIndex
+// gains the new child's keys in place; keys only a removed child
+// constrained are left to resolve through the ring (same owner either way)
+// until the next repartition rebuilds the index.
+//
+// The router root must be a partitionable *policy.PolicySet; otherwise the
+// error wraps pdp.ErrNotIncremental and the caller should fall back to a
+// full SetRoot. If an engine rejects its patch mid-way, the router restores
+// consistency with a full repartition of the updated root before returning.
+func (r *Router) ApplyUpdate(u pdp.Update) error {
+	if u.ID == "" {
+		return fmt.Errorf("cluster %s: update with empty ID", r.name)
+	}
+	if u.Child != nil {
+		if got := u.Child.EntityID(); got != u.ID {
+			return fmt.Errorf("cluster %s: update ID %q does not match child ID %q", r.name, u.ID, got)
+		}
+		if err := u.Child.Validate(); err != nil {
+			return fmt.Errorf("cluster %s: %w", r.name, err)
+		}
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	set, ok := r.root.(*policy.PolicySet)
+	if !ok || set == nil {
+		return fmt.Errorf("cluster %s: %w", r.name, pdp.ErrNotIncremental)
+	}
+
+	// Patch the unpartitioned root copy-on-write through the same
+	// policy.PatchChild rule the engines apply, so router bookkeeping and
+	// engine subsets cannot diverge.
+	newRoot, pos, delta, oldChild := set.PatchChild(u.ID, u.Child)
+	if newRoot == nil {
+		return nil // removing an absent child is a no-op
+	}
+	oldOwners := r.ownersLocked(oldChild)
+	newOwners := r.ownersLocked(u.Child)
+	// An engine-subset insert happens on a global insert (delta > 0) and
+	// on a replace whose keys reached a shard that did not serve the old
+	// child. On a root whose children are not ID-ordered (a caller-built
+	// SetRoot base rather than a BuildRoot one), the router's global
+	// position and an engine's independent subset insert search could
+	// disagree, so such updates take the full repartition path instead of
+	// the delta.
+	needsInsert := delta > 0
+	if !needsInsert {
+		for s := range newOwners {
+			if _, ok := oldOwners[s]; !ok {
+				needsInsert = true
+				break
+			}
+		}
+	}
+	if needsInsert && !set.ChildrenSortedByID() {
+		r.root = newRoot
+		if err := r.repartitionLocked(true); err != nil {
+			return fmt.Errorf("cluster %s: update %s: %w", r.name, u.ID, err)
+		}
+		r.stats.updates.Add(1)
+		r.stats.updateShardsTouched.Add(int64(len(r.byOrd)))
+		return nil
+	}
+	r.root = newRoot
+
+	touched := 0
+	for _, s := range r.byOrd {
+		_, isOld := oldOwners[s]
+		_, isNew := newOwners[s]
+		if !isOld && !isNew {
+			continue
+		}
+		touched++
+		op := pdp.Update{ID: u.ID} // delete from shards losing the child
+		if isNew {
+			op = u // engine replaces or inserts by ID
+		}
+		for _, engine := range s.engines {
+			if err := engine.ApplyUpdate(op); err != nil {
+				// A half-applied delta would desynchronise replicas;
+				// restore consistency with a full reinstall of the
+				// updated root.
+				if ferr := r.repartitionLocked(true); ferr != nil {
+					return fmt.Errorf("cluster %s: update %s: %w", r.name, u.ID, errors.Join(err, ferr))
+				}
+				r.stats.updates.Add(1)
+				r.stats.updateShardsTouched.Add(int64(len(r.byOrd)))
+				return nil
+			}
+		}
+	}
+
+	// Bookkeeping: an insert or delete shifts every shard's recorded
+	// child positions, owners also gain or lose pos; no engine other than
+	// the touched shards' is reinstalled.
+	for _, s := range r.byOrd {
+		_, isNew := newOwners[s]
+		s.children = remapPositions(s.children, pos, delta, isNew)
+	}
+	if u.Child != nil {
+		if keys, catchAll := policy.ResourceKeys(u.Child); !catchAll {
+			if r.ownerIndex == nil {
+				r.ownerIndex = make(map[string]*shard, len(keys))
+			}
+			for _, k := range keys {
+				if owner, ok := r.ring.Owner(k); ok {
+					r.ownerIndex[k] = r.shards[owner]
+				}
+			}
+		}
+	}
+	r.stats.updates.Add(1)
+	r.stats.updateShardsTouched.Add(int64(touched))
+	return nil
+}
+
+// ownersLocked resolves the set of shards serving a child: the ring owners
+// of its exact resource keys, or every shard for a catch-all. Callers hold
+// r.mu.
+func (r *Router) ownersLocked(ch policy.Evaluable) map[*shard]struct{} {
+	if ch == nil {
+		return nil
+	}
+	keys, catchAll := policy.ResourceKeys(ch)
+	if catchAll {
+		all := make(map[*shard]struct{}, len(r.byOrd))
+		for _, s := range r.byOrd {
+			all[s] = struct{}{}
+		}
+		return all
+	}
+	owners := make(map[*shard]struct{}, len(keys))
+	for _, k := range keys {
+		if owner, ok := r.ring.Owner(k); ok {
+			owners[r.shards[owner]] = struct{}{}
+		}
+	}
+	return owners
+}
+
+// remapPositions rewrites one shard's recorded child positions after the
+// root child at pos changed, via the shared policy rule; pos is re-added
+// when the shard owns the new child.
+func remapPositions(positions []int, pos, delta int, owns bool) []int {
+	next := policy.RemapPositions(positions, pos, delta)
+	if owns {
+		next = policy.InsertPosition(next, pos)
+	}
+	return next
+}
+
+// EngineStats sums replica engine counters across every shard group: the
+// cluster-wide view of evaluations, cache hits and incremental updates the
+// churn experiment and benchmarks report.
+func (r *Router) EngineStats() pdp.Stats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var sum pdp.Stats
+	for _, s := range r.byOrd {
+		for _, engine := range s.engines {
+			st := engine.Stats()
+			sum.Evaluations += st.Evaluations
+			sum.CacheHits += st.CacheHits
+			sum.Permits += st.Permits
+			sum.Denies += st.Denies
+			sum.NotApplicables += st.NotApplicables
+			sum.Indeterminates += st.Indeterminates
+			sum.IndexedCandidates += st.IndexedCandidates
+			sum.Updates += st.Updates
+			sum.CacheInvalidations += st.CacheInvalidations
+		}
+	}
+	return sum
+}

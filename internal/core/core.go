@@ -220,38 +220,50 @@ func (s *System) ReplicatePDP(d *federation.Domain, n int, strategy ha.Strategy)
 
 // InstallReplicatedPDP replicates a domain's decision point and wires the
 // ensemble into the federated flows: every access handled by the domain's
-// PEP is decided by the ensemble, and PAP updates refresh every replica so
-// revocations reach the whole ensemble. Returns the replica handles for
-// failure injection.
+// PEP is decided by the ensemble, and PAP updates reach every replica
+// through the incremental delta pipeline — each update patches the one
+// affected root child per replica (invalidating only that child's cached
+// decisions) instead of rebuilding and reinstalling the whole root, so
+// revocations reach the ensemble without flushing every decision cache.
+// Refresh failures are surfaced through the domain's RefreshErrors counter
+// and OnRefreshError callback. Returns the replica handles for failure
+// injection.
 func (s *System) InstallReplicatedPDP(d *federation.Domain, n int, strategy ha.Strategy) (*ha.Ensemble, []*ha.Failable, error) {
 	if n < 1 {
 		return nil, nil, fmt.Errorf("core: need at least one replica")
 	}
 	engines := make([]*pdp.Engine, n)
 	replicas := make([]*ha.Failable, n)
-	refresh := func() error {
-		root, err := d.PAP.BuildRoot(d.Name+"-root", policy.DenyOverrides)
+	for i := 0; i < n; i++ {
+		engines[i] = pdp.New(fmt.Sprintf("%s-replica-%d", d.Name, i))
+		replicas[i] = ha.NewFailable(engines[i].Name(), engines[i])
+	}
+	// Initial install and watcher registration are atomic (WatchInstall):
+	// an update committing between a plain snapshot and a later Watch
+	// would never reach the delta pipeline, leaving replicas permanently
+	// serving the missed version.
+	install := func(store *pap.Store) error {
+		root, err := store.BuildRoot(d.Name+"-root", policy.DenyOverrides)
 		if err != nil {
 			return err
 		}
 		for _, e := range engines {
-			if e == nil {
-				continue
-			}
 			if err := e.SetRoot(root); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	for i := 0; i < n; i++ {
-		engines[i] = pdp.New(fmt.Sprintf("%s-replica-%d", d.Name, i))
-		replicas[i] = ha.NewFailable(engines[i].Name(), engines[i])
-	}
-	if err := refresh(); err != nil {
+	err := d.PAP.WatchInstall(install, func(u pap.Update) {
+		for _, e := range engines {
+			if err := federation.ApplyPAPUpdate(e, d.PAP, u, d.Name+"-root"); err != nil {
+				d.ReportRefreshError(err)
+			}
+		}
+	})
+	if err != nil {
 		return nil, nil, fmt.Errorf("core: replicate %s: %w", d.Name, err)
 	}
-	d.PAP.Watch(func(pap.Update) { _ = refresh() })
 	ensemble := ha.NewEnsemble(d.Name+"-ensemble", strategy, replicas...)
 	d.UseDecider(ensemble)
 	return ensemble, replicas, nil

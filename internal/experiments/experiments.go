@@ -42,6 +42,7 @@ func All() []Experiment {
 		{ID: "E15", Title: "§3.1 — policy heterogeneity: dialect translation cost and representation sizes", Run: RunE15Heterogeneity},
 		{ID: "E16", Title: "§3.2 — PDP discovery with signed decisions under crashes and rogue nodes", Run: RunE16Discovery},
 		{ID: "E17", Title: "§3 — horizontal PDP scaling: sharded cluster throughput and batch amortisation", Run: RunE17Cluster},
+		{ID: "E18", Title: "§3.2 — live administration: policy churn, full rebuild vs incremental delta", Run: RunE18Churn},
 	}
 	sort.Slice(exps, func(i, j int) bool {
 		// Numeric ID order (E2 < E10).

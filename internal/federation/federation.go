@@ -29,6 +29,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/assertion"
@@ -85,6 +86,10 @@ type Domain struct {
 
 	deciderMu sync.RWMutex
 	decider   Decider
+
+	refreshMu    sync.Mutex
+	refreshErrs  atomic.Int64
+	onRefreshErr func(error)
 }
 
 // Decider abstracts where a domain's decisions come from: the single PDP
@@ -115,7 +120,12 @@ func (d *Domain) currentDecider() Decider {
 
 // NewDomain builds a domain with a fresh CA (deterministic from the
 // entropy source), an empty directory and an empty PAP. Policies put into
-// the PAP are assembled into the PDP root with deny-overrides combining.
+// the PAP reach the PDP through the incremental delta pipeline: each
+// pap.Update patches the one affected root child in place (invalidating
+// only the cached decisions its resource keys constrain), falling back to
+// a full BuildRoot+SetRoot only when the PDP has no patchable root yet.
+// Refresh failures are counted and reported through OnRefreshError, so a
+// PDP silently serving stale policy is observable.
 func NewDomain(name string, entropy io.Reader, notBefore, notAfter time.Time) (*Domain, error) {
 	ca, err := pki.NewRootAuthority("ca."+name, entropy, notBefore, notAfter)
 	if err != nil {
@@ -128,17 +138,45 @@ func NewDomain(name string, entropy io.Reader, notBefore, notAfter time.Time) (*
 		PAP:       pap.NewStore("pap." + name),
 		PDP:       pdp.New(PDPAddr(name)),
 	}
-	d.PAP.Watch(func(pap.Update) { d.refreshPDP() })
+	d.PAP.Watch(func(u pap.Update) {
+		if err := ApplyPAPUpdate(d.PDP, d.PAP, u, d.Name+"-root"); err != nil {
+			d.ReportRefreshError(err)
+		}
+	})
 	return d, nil
 }
 
-// refreshPDP reassembles the PDP root from the PAP contents.
-func (d *Domain) refreshPDP() {
-	root, err := d.PAP.BuildRoot(d.Name+"-root", policy.DenyOverrides)
-	if err != nil {
-		return
+// ApplyPAPUpdate pushes one store change into a decision point through
+// pap.Apply with the domain convention (deny-overrides combining): the
+// delta path, rebuilding the root from the store only when the target
+// cannot be patched incrementally.
+func ApplyPAPUpdate(point pap.RootInstaller, store *pap.Store, u pap.Update, rootID string) error {
+	return pap.Apply(point, store, u, rootID, policy.DenyOverrides)
+}
+
+// ReportRefreshError records a failed PAP→PDP refresh: the PDP may be
+// serving stale policy. Exported so the core facade's replicated deciders
+// report through the same counter.
+func (d *Domain) ReportRefreshError(err error) {
+	d.refreshErrs.Add(1)
+	d.refreshMu.Lock()
+	cb := d.onRefreshErr
+	d.refreshMu.Unlock()
+	if cb != nil {
+		cb(err)
 	}
-	_ = d.PDP.SetRoot(root)
+}
+
+// RefreshErrors reports how many PAP→PDP refreshes have failed since the
+// domain was built.
+func (d *Domain) RefreshErrors() int64 { return d.refreshErrs.Load() }
+
+// OnRefreshError registers a callback invoked with every refresh failure,
+// for alerting on stale-policy serving; a nil fn clears it.
+func (d *Domain) OnRefreshError(fn func(error)) {
+	d.refreshMu.Lock()
+	defer d.refreshMu.Unlock()
+	d.onRefreshErr = fn
 }
 
 // VO is a Virtual Organisation: the federation of domains.

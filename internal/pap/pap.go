@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"sync"
 
+	"repro/internal/pdp"
 	"repro/internal/pep"
 	"repro/internal/policy"
 )
@@ -30,7 +31,10 @@ var (
 	ErrForbidden = errors.New("pap: administrative request denied")
 )
 
-// Update describes one change to the store.
+// Update describes one change to the store. Carrying the new policy itself
+// makes the notification a self-contained delta: watchers feed it straight
+// into pdp.Engine.ApplyUpdate / cluster.Router.ApplyUpdate without a
+// read-back that could race later writes.
 type Update struct {
 	// ID names the changed policy.
 	ID string
@@ -38,9 +42,17 @@ type Update struct {
 	Version int
 	// Deleted marks removal.
 	Deleted bool
+	// Policy is the stored policy this update installed, nil for
+	// deletions.
+	Policy policy.Evaluable
 }
 
-// Watcher receives store change notifications.
+// Watcher receives store change notifications. Watchers run synchronously
+// in commit order: the store serialises notification delivery, so a
+// watcher observing version n for a policy has already observed every
+// earlier version. Watchers may read from the store but must not write to
+// it (a write from a watcher would self-deadlock on the notification
+// lock).
 type Watcher func(Update)
 
 // entry is the version history of one policy.
@@ -52,6 +64,13 @@ type entry struct {
 // Store is a thread-safe versioned policy repository.
 type Store struct {
 	name string
+
+	// notifyMu serialises change notification: it is taken before mu by
+	// every writer and held until the watchers have run, so watchers see
+	// updates in commit order — without it, two concurrent Puts of the
+	// same policy could reach a watcher newest-first and leave a PDP
+	// serving the older version (the PAP→PDP refresh race).
+	notifyMu sync.Mutex
 
 	mu       sync.RWMutex
 	entries  map[string]*entry
@@ -73,10 +92,24 @@ func (s *Store) Watch(w Watcher) {
 	s.watchers = append(s.watchers, w)
 }
 
-func (s *Store) notify(u Update) {
-	for _, w := range s.watchers {
-		w(u)
+// WatchInstall runs install while change notification is quiesced and then
+// registers the watcher, atomically: no Put or Delete can commit between
+// install's snapshot of the store (e.g. BuildRoot + SetRoot on a fleet of
+// engines) and the registration. A delta-driven consumer attached to a
+// live store needs this — with plain Watch after a snapshot, an update
+// committing in between would never reach the watcher, and a delta
+// pipeline (unlike a full-rebuild watcher) would never heal the gap.
+// install must not write to the store.
+func (s *Store) WatchInstall(install func(*Store) error, w Watcher) error {
+	s.notifyMu.Lock()
+	defer s.notifyMu.Unlock()
+	if err := install(s); err != nil {
+		return err
 	}
+	s.mu.Lock()
+	s.watchers = append(s.watchers, w)
+	s.mu.Unlock()
+	return nil
 }
 
 // Put validates and stores a policy, returning its new version number. The
@@ -90,6 +123,8 @@ func (s *Store) Put(e policy.Evaluable) (int, error) {
 		return 0, fmt.Errorf("pap %s: %w", s.name, err)
 	}
 	id := e.EntityID()
+	s.notifyMu.Lock()
+	defer s.notifyMu.Unlock()
 	s.mu.Lock()
 	ent, ok := s.entries[id]
 	if !ok {
@@ -103,7 +138,7 @@ func (s *Store) Put(e policy.Evaluable) (int, error) {
 	watchers := s.watchers
 	s.mu.Unlock()
 
-	u := Update{ID: id, Version: version}
+	u := Update{ID: id, Version: version, Policy: e}
 	for _, w := range watchers {
 		w(u)
 	}
@@ -143,6 +178,8 @@ func (s *Store) GetVersion(id string, version int) (policy.Evaluable, error) {
 
 // Delete removes the policy (history is retained for audit).
 func (s *Store) Delete(id string) error {
+	s.notifyMu.Lock()
+	defer s.notifyMu.Unlock()
 	s.mu.Lock()
 	ent, ok := s.entries[id]
 	if !ok || ent.deleted {
@@ -187,15 +224,21 @@ func (s *Store) History(id string) int {
 
 // BuildRoot assembles all live policies into a policy set ready to install
 // in a PDP. Children are ordered by ID for determinism; the caller selects
-// the combining algorithm.
+// the combining algorithm. The live set is snapshotted under one read lock,
+// so a concurrent Put or Delete can never make assembly fail or mix pre-
+// and post-update state.
 func (s *Store) BuildRoot(id string, combining policy.Algorithm) (*policy.PolicySet, error) {
-	ids := s.List()
-	b := policy.NewPolicySet(id).Combining(combining)
-	for _, pid := range ids {
-		e, err := s.Get(pid)
-		if err != nil {
-			return nil, err
+	s.mu.RLock()
+	live := make([]policy.Evaluable, 0, len(s.entries))
+	for _, ent := range s.entries {
+		if !ent.deleted && len(ent.versions) > 0 {
+			live = append(live, ent.versions[len(ent.versions)-1])
 		}
+	}
+	s.mu.RUnlock()
+	sort.Slice(live, func(i, j int) bool { return live[i].EntityID() < live[j].EntityID() })
+	b := policy.NewPolicySet(id).Combining(combining)
+	for _, e := range live {
 		b.Add(e)
 	}
 	root := b.Build()
@@ -203,6 +246,32 @@ func (s *Store) BuildRoot(id string, combining policy.Algorithm) (*policy.Policy
 		return nil, fmt.Errorf("pap %s: assembled root: %w", s.name, err)
 	}
 	return root, nil
+}
+
+// RootInstaller is the decision-point surface the PAP→PDP refresh
+// pipeline drives: incremental deltas with a full reinstall as fallback.
+// Both *pdp.Engine and *cluster.Router satisfy it.
+type RootInstaller interface {
+	ApplyUpdate(u pdp.Update) error
+	SetRoot(root policy.Evaluable) error
+}
+
+// Apply pushes one store change into a decision point: the delta path
+// first, a full BuildRoot+SetRoot only when the point cannot be patched
+// incrementally (pdp.ErrNotIncremental — e.g. no root installed yet).
+// This is the one canonical refresh protocol; federation domains, the
+// core facade's replicated deciders and the pdpd daemon all route
+// through it.
+func Apply(point RootInstaller, store *Store, u Update, rootID string, combining policy.Algorithm) error {
+	err := point.ApplyUpdate(pdp.Update{ID: u.ID, Child: u.Policy})
+	if errors.Is(err, pdp.ErrNotIncremental) {
+		root, berr := store.BuildRoot(rootID, combining)
+		if berr != nil {
+			return berr
+		}
+		err = point.SetRoot(root)
+	}
+	return err
 }
 
 // Administrative action and resource-type names used by GuardedStore when

@@ -17,6 +17,12 @@
 // across many such ensembles behind a consistent-hash router — the
 // horizontal answer to the Section 3 performance argument when one
 // engine's throughput ceiling is reached.
+//
+// The engine also supports live policy administration: ApplyUpdate
+// patches one root child in place — index patched, not rebuilt; only the
+// changed child's resource keys invalidated from the decision cache — so
+// a policy write never flushes the working set the way SetRoot must (see
+// update.go).
 package pdp
 
 import (
@@ -43,6 +49,11 @@ type Stats struct {
 	// IndexedCandidates sums the candidate-set sizes considered when the
 	// target index is enabled, for measuring index selectivity.
 	IndexedCandidates int64
+	// Updates counts incremental root patches applied via ApplyUpdate.
+	Updates int64
+	// CacheInvalidations counts cached decisions dropped by ApplyUpdate
+	// (a full catch-all flush counts once).
+	CacheInvalidations int64
 }
 
 func (s *Stats) record(d policy.Decision) {
@@ -95,6 +106,9 @@ func WithClock(now func() time.Time) Option {
 type cacheEntry struct {
 	res     policy.Result
 	expires time.Time
+	// resID keys the entry by the request's resource, so ApplyUpdate can
+	// invalidate only the decisions a changed child constrains.
+	resID string
 }
 
 // Engine is a thread-safe Policy Decision Point.
@@ -111,6 +125,11 @@ type Engine struct {
 	index *targetIndex
 	cache map[string]cacheEntry
 	stats Stats
+	// epoch counts root installs, patches and flushes. Decisions snapshot
+	// it with the root and skip the cache fill when it moved, so an
+	// evaluation that raced a policy change can never write a stale
+	// decision back into the freshly invalidated cache.
+	epoch uint64
 }
 
 // New builds an engine with the given options.
@@ -144,6 +163,7 @@ func (e *Engine) SetRoot(root policy.Evaluable) error {
 	defer e.mu.Unlock()
 	e.root = root
 	e.index = idx
+	e.epoch++
 	if e.cache != nil {
 		e.cache = make(map[string]cacheEntry, 64)
 	}
@@ -168,6 +188,7 @@ func (e *Engine) Stats() Stats {
 func (e *Engine) FlushCache() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.epoch++
 	if e.cache != nil {
 		e.cache = make(map[string]cacheEntry, 64)
 	}
@@ -220,6 +241,7 @@ func (e *Engine) DecideAt(req *policy.Request, at time.Time) policy.Result {
 	root := e.root
 	idx := e.index
 	useCache := e.cache != nil
+	epoch := e.epoch
 	e.mu.RUnlock()
 
 	if root == nil {
@@ -256,14 +278,16 @@ func (e *Engine) DecideAt(req *policy.Request, at time.Time) policy.Result {
 	e.stats.Evaluations++
 	e.stats.IndexedCandidates += int64(candidates)
 	e.stats.record(res.Decision)
-	if useCache {
+	// A moved epoch means the policy base changed under this evaluation;
+	// writing the result back could resurrect a just-invalidated decision.
+	if useCache && e.epoch == epoch {
 		if len(e.cache) >= e.cacheMax {
 			for k := range e.cache {
 				delete(e.cache, k)
 				break
 			}
 		}
-		e.cache[key] = cacheEntry{res: res, expires: at.Add(e.cacheTTL)}
+		e.cache[key] = cacheEntry{res: res, expires: at.Add(e.cacheTTL), resID: req.ResourceID()}
 	}
 	e.mu.Unlock()
 	return res
@@ -307,6 +331,7 @@ func (e *Engine) DecideScatterAt(reqs []*policy.Request, positions []int, at tim
 	root := e.root
 	idx := e.index
 	useCache := e.cache != nil
+	epoch := e.epoch
 	e.mu.RUnlock()
 
 	if root == nil {
@@ -397,18 +422,21 @@ func (e *Engine) DecideScatterAt(reqs []*policy.Request, positions []int, at tim
 	}
 
 	e.mu.Lock()
+	// See DecideAt: a moved epoch means the policy base changed under
+	// this batch, so the results must not be written back.
+	fill := useCache && e.epoch == epoch
 	for mi, p := range misses {
 		e.stats.Evaluations++
 		e.stats.IndexedCandidates += int64(candidates[mi])
 		e.stats.record(out[p].Decision)
-		if useCache {
+		if fill {
 			if len(e.cache) >= e.cacheMax {
 				for k := range e.cache {
 					delete(e.cache, k)
 					break
 				}
 			}
-			e.cache[reqs[p].CacheKey()] = cacheEntry{res: out[p], expires: at.Add(e.cacheTTL)}
+			e.cache[reqs[p].CacheKey()] = cacheEntry{res: out[p], expires: at.Add(e.cacheTTL), resID: reqs[p].ResourceID()}
 		}
 	}
 	e.mu.Unlock()
@@ -429,20 +457,12 @@ type targetIndex struct {
 func buildIndex(set *policy.PolicySet) *targetIndex {
 	idx := &targetIndex{set: set, byResource: make(map[string][]int)}
 	for i, ch := range set.Children {
-		var target policy.Target
-		switch v := ch.(type) {
-		case *policy.Policy:
-			target = v.Target
-		case *policy.PolicySet:
-			target = v.Target
-		}
-		vals, constrained := target.ExactMatches(policy.CategoryResource, policy.AttrResourceID)
-		if !constrained || len(vals) == 0 {
+		keys, catchAll := policy.ResourceKeys(ch)
+		if catchAll {
 			idx.catchAll = append(idx.catchAll, i)
 			continue
 		}
-		for _, v := range vals {
-			key := v.String()
+		for _, key := range keys {
 			idx.byResource[key] = append(idx.byResource[key], i)
 		}
 	}

@@ -1,0 +1,134 @@
+package pdp
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/policy"
+)
+
+// ErrNotIncremental reports an update the engine cannot apply as a delta —
+// no root is loaded yet, or the root is not a policy set whose children can
+// be patched one at a time. Callers fall back to a full SetRoot rebuild.
+var ErrNotIncremental = errors.New("pdp: root cannot be patched incrementally")
+
+// Update describes one change to a single direct child of the root policy
+// set: the delta unit of the PAP→PDP propagation pipeline. A nil Child
+// removes the identified child; a non-nil Child replaces the child with the
+// same ID, or inserts it (in ID order, matching pap.Store.BuildRoot's
+// deterministic child ordering) when no child carries that ID.
+type Update struct {
+	// ID names the root child being changed.
+	ID string
+	// Child is the new version of the child, nil for removal.
+	Child policy.Evaluable
+}
+
+// ApplyUpdate patches a single root child in place of a full rebuild: the
+// delta path of live policy administration. Only the new child is
+// validated (the rest of the root was validated when installed), the target
+// index is patched rather than rebuilt, and — the point of the exercise —
+// only cached decisions whose resource keys the old or new child constrains
+// are invalidated. When either side of the change is a catch-all (its
+// target does not pin resource-id), any cached decision could be affected
+// and the whole cache is flushed, exactly as SetRoot would.
+//
+// The installed root and index are never mutated: readers that loaded them
+// before the swap keep evaluating a consistent snapshot. The root must be a
+// *policy.PolicySet; otherwise ErrNotIncremental is returned and the caller
+// should rebuild via SetRoot.
+func (e *Engine) ApplyUpdate(u Update) error {
+	if u.ID == "" {
+		return fmt.Errorf("pdp %s: update with empty ID", e.name)
+	}
+	if u.Child != nil {
+		if got := u.Child.EntityID(); got != u.ID {
+			return fmt.Errorf("pdp %s: update ID %q does not match child ID %q", e.name, u.ID, got)
+		}
+		if err := u.Child.Validate(); err != nil {
+			return fmt.Errorf("pdp %s: %w", e.name, err)
+		}
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	set, ok := e.root.(*policy.PolicySet)
+	if !ok || set == nil {
+		return fmt.Errorf("pdp %s: %w", e.name, ErrNotIncremental)
+	}
+
+	newSet, pos, delta, oldChild := set.PatchChild(u.ID, u.Child)
+	if newSet == nil {
+		return nil // removing an absent child is a no-op
+	}
+	e.root = newSet
+	if e.indexEnabled {
+		if e.index != nil {
+			e.index = e.index.patched(newSet, pos, delta, u.Child)
+		} else {
+			e.index = buildIndex(newSet)
+		}
+	}
+	e.stats.Updates++
+	e.epoch++ // in-flight evaluations of the old root must not cache
+	e.invalidateLocked(oldChild, u.Child)
+	return nil
+}
+
+// invalidateLocked drops exactly the cached decisions the change can
+// affect: entries whose resource key the old or new child constrains. A
+// catch-all on either side forces a full flush. Callers hold e.mu.
+func (e *Engine) invalidateLocked(oldChild, newChild policy.Evaluable) {
+	if e.cache == nil {
+		return
+	}
+	affected := make(map[string]struct{}, 4)
+	for _, ch := range []policy.Evaluable{oldChild, newChild} {
+		if ch == nil {
+			continue
+		}
+		keys, catchAll := policy.ResourceKeys(ch)
+		if catchAll {
+			e.cache = make(map[string]cacheEntry, 64)
+			e.stats.CacheInvalidations++
+			return
+		}
+		for _, k := range keys {
+			affected[k] = struct{}{}
+		}
+	}
+	for key, entry := range e.cache {
+		if _, hit := affected[entry.resID]; hit {
+			delete(e.cache, key)
+			e.stats.CacheInvalidations++
+		}
+	}
+}
+
+// patched returns a copy of the index over newSet's children where the
+// child at pos was replaced (delta 0), inserted (delta +1) or removed
+// (delta -1), via the shared policy.RemapPositions rule. add (nil on
+// delete) is then indexed at pos. The receiver is never mutated, so
+// concurrent readers holding it keep a consistent snapshot. Cost is
+// O(index size) integer work — no target re-derivation for unchanged
+// children, and no revalidation of anything.
+func (idx *targetIndex) patched(newSet *policy.PolicySet, pos, delta int, add policy.Evaluable) *targetIndex {
+	out := &targetIndex{set: newSet, byResource: make(map[string][]int, len(idx.byResource))}
+	for key, positions := range idx.byResource {
+		if next := policy.RemapPositions(positions, pos, delta); len(next) > 0 {
+			out.byResource[key] = next
+		}
+	}
+	out.catchAll = policy.RemapPositions(idx.catchAll, pos, delta)
+	if add != nil {
+		keys, catchAll := policy.ResourceKeys(add)
+		if catchAll {
+			out.catchAll = policy.InsertPosition(out.catchAll, pos)
+		} else {
+			for _, k := range keys {
+				out.byResource[k] = policy.InsertPosition(out.byResource[k], pos)
+			}
+		}
+	}
+	return out
+}

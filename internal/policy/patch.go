@@ -1,0 +1,115 @@
+package policy
+
+import "sort"
+
+// PatchChild returns a copy of the set with the child carrying the given
+// ID replaced (child non-nil, ID present), inserted in ID order (child
+// non-nil, ID absent — the deterministic child ordering pap.Store.BuildRoot
+// establishes), or removed (child nil). It is the single structural delta
+// rule shared by the PDP engine and the cluster router, so their patched
+// roots can never diverge.
+//
+// The receiver is never mutated: its children slice is cloned, so readers
+// holding the old set keep a consistent snapshot. Returns the new set, the
+// position the change landed at, the position delta (+1 insert, -1 delete,
+// 0 replace) and the displaced child (nil on insert). Removing an absent
+// ID is a no-op reported as out == nil.
+func (s *PolicySet) PatchChild(id string, child Evaluable) (out *PolicySet, pos, delta int, old Evaluable) {
+	pos = -1
+	for i, ch := range s.Children {
+		if ch.EntityID() == id {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 && child == nil {
+		return nil, -1, 0, nil
+	}
+
+	var children []Evaluable
+	switch {
+	case child == nil: // delete
+		old = s.Children[pos]
+		delta = -1
+		children = make([]Evaluable, 0, len(s.Children)-1)
+		children = append(children, s.Children[:pos]...)
+		children = append(children, s.Children[pos+1:]...)
+	case pos >= 0: // replace
+		old = s.Children[pos]
+		delta = 0
+		children = make([]Evaluable, len(s.Children))
+		copy(children, s.Children)
+		children[pos] = child
+	default: // insert, keeping ID ordering
+		delta = +1
+		pos = sort.Search(len(s.Children), func(i int) bool {
+			return s.Children[i].EntityID() > id
+		})
+		children = make([]Evaluable, 0, len(s.Children)+1)
+		children = append(children, s.Children[:pos]...)
+		children = append(children, child)
+		children = append(children, s.Children[pos:]...)
+	}
+	out = &PolicySet{
+		ID:          s.ID,
+		Version:     s.Version,
+		Description: s.Description,
+		Issuer:      s.Issuer,
+		Target:      s.Target,
+		Combining:   s.Combining,
+		Children:    children,
+		Obligations: s.Obligations,
+	}
+	return out, pos, delta, old
+}
+
+// ChildrenSortedByID reports whether the set's children are in ascending
+// EntityID order — the ordering PatchChild's insert position assumes.
+// Delta pipelines check it to fall back to a full rebuild when a caller
+// installed an unsorted root, where independent insert searches over
+// different child subsets could disagree.
+func (s *PolicySet) ChildrenSortedByID() bool {
+	for i := 1; i < len(s.Children); i++ {
+		if s.Children[i-1].EntityID() > s.Children[i].EntityID() {
+			return false
+		}
+	}
+	return true
+}
+
+// RemapPositions rewrites an ascending child-position list after the
+// child at pos was replaced (delta 0), inserted (delta +1) or removed
+// (delta -1), matching PatchChild's structural change: positions at or
+// above pos shift by delta, and pos itself is dropped on replace or
+// delete (callers re-add it with InsertPosition where the new child
+// lands). Always returns a freshly allocated slice, so copy-on-write
+// index snapshots never share backing arrays with their successors.
+func RemapPositions(positions []int, pos, delta int) []int {
+	next := make([]int, 0, len(positions)+1)
+	for _, p := range positions {
+		switch {
+		case delta <= 0 && p == pos:
+			// replaced or removed: dropped; re-added by the caller when
+			// the new child keeps this slot
+		case p >= pos:
+			next = append(next, p+delta)
+		default:
+			next = append(next, p)
+		}
+	}
+	return next
+}
+
+// InsertPosition adds pos to an ascending position slice, keeping it
+// sorted and duplicate-free. The input is not modified.
+func InsertPosition(positions []int, pos int) []int {
+	i := sort.SearchInts(positions, pos)
+	if i < len(positions) && positions[i] == pos {
+		return positions
+	}
+	out := make([]int, 0, len(positions)+1)
+	out = append(out, positions[:i]...)
+	out = append(out, pos)
+	out = append(out, positions[i:]...)
+	return out
+}

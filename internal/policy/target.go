@@ -200,6 +200,33 @@ func (t Target) ExactMatches(cat Category, name string) ([]Value, bool) {
 	return nil, false
 }
 
+// ResourceKeys reports the exact resource-id keys an evaluable's target
+// constrains by equality, or catchAll when the target can apply to any
+// resource. It is the single key-derivation rule shared by the PDP target
+// index, the cluster shard partitioner and the incremental update
+// pipeline's cache invalidation, so all three always agree on which
+// requests a policy can influence.
+func ResourceKeys(e Evaluable) (keys []string, catchAll bool) {
+	var target Target
+	switch v := e.(type) {
+	case *Policy:
+		target = v.Target
+	case *PolicySet:
+		target = v.Target
+	default:
+		return nil, true
+	}
+	vals, constrained := target.ExactMatches(CategoryResource, AttrResourceID)
+	if !constrained || len(vals) == 0 {
+		return nil, true
+	}
+	keys = make([]string, len(vals))
+	for i, v := range vals {
+		keys[i] = v.String()
+	}
+	return keys, false
+}
+
 // exactMatches reports the equality values a disjunction pins the
 // attribute to, and whether every alternative pins it.
 func (a AnyOf) exactMatches(cat Category, name string) ([]Value, bool) {

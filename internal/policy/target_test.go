@@ -169,6 +169,30 @@ func TestExactMatches(t *testing.T) {
 	}
 }
 
+func TestResourceKeys(t *testing.T) {
+	pinned := NewPolicy("p").Combining(FirstApplicable).
+		When(MatchResourceID("db1")).
+		Rule(Permit("r").Build()).Build()
+	keys, catchAll := ResourceKeys(pinned)
+	if catchAll || len(keys) != 1 || keys[0] != "db1" {
+		t.Errorf("ResourceKeys(pinned) = %v, %v", keys, catchAll)
+	}
+	open := NewPolicy("o").Combining(FirstApplicable).
+		Rule(Permit("r").Build()).Build()
+	if _, catchAll := ResourceKeys(open); !catchAll {
+		t.Error("a policy without a resource-id pin must be catch-all")
+	}
+	set := NewPolicySet("s").Combining(DenyOverrides).
+		When(MatchResourceID("db2")).Add(open).Build()
+	keys, catchAll = ResourceKeys(set)
+	if catchAll || len(keys) != 1 || keys[0] != "db2" {
+		t.Errorf("ResourceKeys(set) = %v, %v", keys, catchAll)
+	}
+	if _, catchAll := ResourceKeys(nil); !catchAll {
+		t.Error("nil evaluable must be catch-all")
+	}
+}
+
 func TestExactMatchesDisjunction(t *testing.T) {
 	// resource-id==A OR role==admin matches ANY resource for admins: the
 	// attribute must report unconstrained, or indexes and shard routing

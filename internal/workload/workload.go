@@ -131,6 +131,27 @@ func (g *Generator) Directory(name string) *pip.Directory {
 	return dir
 }
 
+// ResourcePolicy builds the administered policy of resource i under a
+// population with the given role count: the owning role (i mod roles) may
+// read and write, everyone else is denied. It is the per-resource child of
+// PolicyBase and the write unit of the policy-churn experiment and
+// benchmark, shared so a rewritten child is always semantically identical
+// to the original.
+func ResourcePolicy(i, roles int) *policy.Policy {
+	role := RoleID(i % roles)
+	return policy.NewPolicy(fmt.Sprintf("pol-%s", ResourceID(i))).
+		Combining(policy.FirstApplicable).
+		When(policy.MatchResourceID(ResourceID(i))).
+		Rule(policy.Permit("owner-read").
+			When(policy.MatchRole(role), policy.MatchActionID("read")).
+			Build()).
+		Rule(policy.Permit("owner-write").
+			When(policy.MatchRole(role), policy.MatchActionID("write")).
+			Build()).
+		Rule(policy.Deny("default").Build()).
+		Build()
+}
+
 // PolicyBase builds one policy per resource permitting reads to the role
 // owning the resource (role r owns resources where i mod Roles == r) and
 // denying everything else — the bulk policy base of the scalability
@@ -138,18 +159,7 @@ func (g *Generator) Directory(name string) *pip.Directory {
 func (g *Generator) PolicyBase(rootID string) *policy.PolicySet {
 	b := policy.NewPolicySet(rootID).Combining(policy.DenyOverrides)
 	for i := 0; i < g.cfg.Resources; i++ {
-		role := RoleID(i % g.cfg.Roles)
-		b.Add(policy.NewPolicy(fmt.Sprintf("pol-%s", ResourceID(i))).
-			Combining(policy.FirstApplicable).
-			When(policy.MatchResourceID(ResourceID(i))).
-			Rule(policy.Permit("owner-read").
-				When(policy.MatchRole(role), policy.MatchActionID("read")).
-				Build()).
-			Rule(policy.Permit("owner-write").
-				When(policy.MatchRole(role), policy.MatchActionID("write")).
-				Build()).
-			Rule(policy.Deny("default").Build()).
-			Build())
+		b.Add(ResourcePolicy(i, g.cfg.Roles))
 	}
 	return b.Build()
 }
