@@ -29,6 +29,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -37,8 +38,10 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/cluster"
@@ -46,6 +49,7 @@ import (
 	"repro/internal/pap"
 	"repro/internal/pdp"
 	"repro/internal/policy"
+	"repro/internal/store"
 	"repro/internal/wire"
 	"repro/internal/xacml"
 )
@@ -67,6 +71,8 @@ func main() {
 	shards := flag.Int("shards", 1, "shard count; > 1 serves a consistent-hash cluster")
 	replicas := flag.Int("replicas", 1, "replicas per shard group (cluster mode)")
 	strategy := flag.String("strategy", "failover", "shard replication strategy: failover or quorum")
+	dataDir := flag.String("data-dir", "", "durable policy store directory (empty runs in-memory only)")
+	snapshotEvery := flag.Int("snapshot-every", 1024, "WAL records between snapshot/compact cycles (persistence mode)")
 	flag.Parse()
 
 	if *policyPath == "" {
@@ -77,11 +83,21 @@ func main() {
 	if err != nil {
 		log.Fatalf("pdpd: %v", err)
 	}
+	var lg *store.Log
+	if *dataDir != "" {
+		lg, err = store.Open(*dataDir, store.Options{SnapshotEvery: *snapshotEvery})
+		if err != nil {
+			log.Fatalf("pdpd: %v", err)
+		}
+		st := lg.Stats()
+		log.Printf("pdpd: recovered %s: %d snapshot entries + %d WAL records (seq %d, %d torn bytes truncated)",
+			*dataDir, st.RecoveredSnapshot, st.RecoveredTail, st.LastSeq, st.TruncatedBytes)
+	}
 	point, stats, err := buildDecisionPoint(*useIndex, *cacheTTL, *shards, *replicas, *strategy)
 	if err != nil {
 		log.Fatalf("pdpd: %v", err)
 	}
-	adm, err := newAdmin(point, root)
+	adm, err := newAdmin(point, root, lg)
 	if err != nil {
 		log.Fatalf("pdpd: %v", err)
 	}
@@ -93,10 +109,15 @@ func main() {
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		out := struct {
-			Point         any   `json:"point"`
-			Policies      int   `json:"policies"`
-			RefreshErrors int64 `json:"refresh_errors"`
-		}{stats(), len(adm.store.List()), adm.refreshErrs.Load()}
+			Point         any          `json:"point"`
+			Policies      int          `json:"policies"`
+			RefreshErrors int64        `json:"refresh_errors"`
+			Persistence   *store.Stats `json:"persistence,omitempty"`
+		}{stats(), len(adm.store.List()), adm.refreshErrs.Load(), nil}
+		if lg != nil {
+			st := lg.Stats()
+			out.Persistence = &st
+		}
 		if err := json.NewEncoder(w).Encode(out); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
@@ -104,10 +125,34 @@ func main() {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
-	log.Printf("pdpd: serving %s on %s (index=%v cache=%v shards=%d replicas=%d strategy=%s)",
-		*policyPath, *addr, *useIndex, *cacheTTL, *shards, *replicas, *strategy)
+	log.Printf("pdpd: serving %s on %s (index=%v cache=%v shards=%d replicas=%d strategy=%s data-dir=%q)",
+		*policyPath, *addr, *useIndex, *cacheTTL, *shards, *replicas, *strategy, *dataDir)
 	server := &http.Server{Addr: *addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	log.Fatal(server.ListenAndServe())
+
+	// SIGINT/SIGTERM trigger a graceful shutdown: stop accepting
+	// connections, drain in-flight requests, then flush and close the
+	// durable log so a restart recovers from the snapshot fast path.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- server.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("pdpd: signal received, shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := server.Shutdown(shutCtx); err != nil {
+			log.Printf("pdpd: http shutdown: %v", err)
+		}
+		if lg != nil {
+			if err := lg.Close(); err != nil {
+				log.Printf("pdpd: close policy log: %v", err)
+			}
+		}
+	}
 }
 
 func buildDecisionPoint(useIndex bool, cacheTTL time.Duration, shards, replicas int, strategy string) (decisionPoint, func() any, error) {
@@ -176,8 +221,29 @@ type admin struct {
 // children are administered by ID, so the assembled root holds them in ID
 // order and duplicate child IDs are rejected (as root validation always
 // has).
-func newAdmin(point decisionPoint, root policy.Evaluable) (*admin, error) {
+//
+// With a durable log the store hydrates from the recovered snapshot+WAL
+// state first, and the file seeds only policies the store has never seen:
+// live administration — updated versions and deletes alike — wins over
+// the seed file across restarts. The log is attached as the store's
+// backend during bootstrap, so the seeding Puts and every /admin/policy
+// write after them are committed to the WAL before they are acknowledged.
+func newAdmin(point decisionPoint, root policy.Evaluable, lg *store.Log) (*admin, error) {
 	a := &admin{store: pap.NewStore("pdpd"), point: point, rootID: "pdpd-root", combining: policy.DenyOverrides}
+	if lg != nil {
+		// Hydrate the store only; installRoot below assembles the
+		// decorated root (file-level target and obligations) itself.
+		if err := lg.Bootstrap(a.store, nil, a.rootID, a.combining); err != nil {
+			return nil, err
+		}
+	}
+	seed := func(ch policy.Evaluable) error {
+		if a.store.History(ch.EntityID()) > 0 {
+			return nil // recovered state supersedes the seed file
+		}
+		_, err := a.store.Put(ch)
+		return err
+	}
 	switch v := root.(type) {
 	case *policy.PolicySet:
 		a.rootID = v.ID
@@ -191,12 +257,12 @@ func newAdmin(point decisionPoint, root policy.Evaluable) (*admin, error) {
 				return nil, fmt.Errorf("policy set %s: duplicate child ID %q", v.ID, id)
 			}
 			seen[id] = struct{}{}
-			if _, err := a.store.Put(ch); err != nil {
+			if err := seed(ch); err != nil {
 				return nil, err
 			}
 		}
 	default:
-		if _, err := a.store.Put(root); err != nil {
+		if err := seed(root); err != nil {
 			return nil, err
 		}
 	}

@@ -43,7 +43,7 @@ func TestAdminPreservesRootTarget(t *testing.T) {
 		Add(testBase(2).Children[0]).
 		Add(testBase(2).Children[1]).
 		Build()
-	adm, err := newAdmin(point, root)
+	adm, err := newAdmin(point, root, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestAdminLiveUpdates(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			adm, err := newAdmin(point, testBase(4))
+			adm, err := newAdmin(point, testBase(4), nil)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -27,4 +27,16 @@
 // N-1 shards' caches stay warm through policy churn. Any delta sequence
 // yields decisions identical to a from-scratch rebuild; experiment E18 and
 // BenchmarkPolicyChurn quantify the win over the rebuild pipeline.
+//
+// The policy base itself is durable (Section 3.3 dependability):
+// internal/store backs the pap.Store with a CRC-framed, group-commit
+// write-ahead log whose records are the same pap.Update deltas, plus
+// periodic snapshots with WAL compaction. Writes are committed before
+// they are visible or acknowledged; crash recovery loads the newest
+// snapshot, truncates a torn tail (never applying a partial record), and
+// replays the surviving tail through the delta pipeline above — so a
+// pdpd restart, a new shard, or a rehydrated federation domain serves
+// exactly the acknowledged pre-crash decisions. Experiment E19 and
+// BenchmarkWALAppend/BenchmarkRecovery measure the write and restart
+// paths.
 package repro

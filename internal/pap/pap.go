@@ -75,6 +75,12 @@ type Store struct {
 	mu       sync.RWMutex
 	entries  map[string]*entry
 	watchers []Watcher
+
+	// backend, when attached, makes writes durable: every change is
+	// committed to it — under notifyMu, so in commit order — before it
+	// becomes visible to readers or watchers, and a failed commit aborts
+	// the write entirely. See Backend in persist.go.
+	backend Backend
 }
 
 // NewStore builds an empty administration point.
@@ -125,6 +131,30 @@ func (s *Store) Put(e policy.Evaluable) (int, error) {
 	id := e.EntityID()
 	s.notifyMu.Lock()
 	defer s.notifyMu.Unlock()
+
+	// Writers are serialised by notifyMu, so the version assigned under a
+	// read lock cannot be invalidated by a concurrent writer; only readers
+	// run while the backend makes the write durable below.
+	s.mu.RLock()
+	version := 1
+	if ent, ok := s.entries[id]; ok {
+		version = len(ent.versions) + 1
+	}
+	backend := s.backend
+	s.mu.RUnlock()
+	setVersion(e, version)
+	u := Update{ID: id, Version: version, Policy: e}
+
+	// Durability before visibility: the change reaches the backend before
+	// the in-memory state or any watcher can observe it, so an
+	// acknowledged write survives a crash and an aborted one was never
+	// served.
+	if backend != nil {
+		if err := backend.Commit(u); err != nil {
+			return 0, fmt.Errorf("pap %s: commit %s: %w", s.name, id, err)
+		}
+	}
+
 	s.mu.Lock()
 	ent, ok := s.entries[id]
 	if !ok {
@@ -132,13 +162,10 @@ func (s *Store) Put(e policy.Evaluable) (int, error) {
 		s.entries[id] = ent
 	}
 	ent.deleted = false
-	version := len(ent.versions) + 1
-	setVersion(e, version)
 	ent.versions = append(ent.versions, e)
 	watchers := s.watchers
 	s.mu.Unlock()
 
-	u := Update{ID: id, Version: version, Policy: e}
 	for _, w := range watchers {
 		w(u)
 	}
@@ -173,23 +200,38 @@ func (s *Store) GetVersion(id string, version int) (policy.Evaluable, error) {
 	if !ok || version < 1 || version > len(ent.versions) {
 		return nil, fmt.Errorf("pap %s: %q version %d: %w", s.name, id, version, ErrNotFound)
 	}
-	return ent.versions[version-1], nil
+	e := ent.versions[version-1]
+	if e == nil {
+		// Pre-snapshot history is compacted away by crash recovery
+		// (Store.Hydrate): the slot exists to keep numbering, the
+		// policy itself is gone.
+		return nil, fmt.Errorf("pap %s: %q version %d: history compacted: %w", s.name, id, version, ErrNotFound)
+	}
+	return e, nil
 }
 
 // Delete removes the policy (history is retained for audit).
 func (s *Store) Delete(id string) error {
 	s.notifyMu.Lock()
 	defer s.notifyMu.Unlock()
-	s.mu.Lock()
+	s.mu.RLock()
 	ent, ok := s.entries[id]
-	if !ok || ent.deleted {
-		s.mu.Unlock()
+	live := ok && !ent.deleted
+	backend := s.backend
+	s.mu.RUnlock()
+	if !live {
 		return fmt.Errorf("pap %s: %q: %w", s.name, id, ErrNotFound)
 	}
+	u := Update{ID: id, Deleted: true}
+	if backend != nil {
+		if err := backend.Commit(u); err != nil {
+			return fmt.Errorf("pap %s: commit delete %s: %w", s.name, id, err)
+		}
+	}
+	s.mu.Lock()
 	ent.deleted = true
 	watchers := s.watchers
 	s.mu.Unlock()
-	u := Update{ID: id, Deleted: true}
 	for _, w := range watchers {
 		w(u)
 	}

@@ -1,0 +1,188 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/pap"
+	"repro/internal/policy"
+	"repro/internal/xacml"
+)
+
+// FormatVersion tags every on-disk record and snapshot. Decoders accept
+// exactly the versions they understand, so a future format change bumps
+// the number instead of silently misreading old state. The golden files
+// under testdata/ pin the v1 encoding.
+const FormatVersion = 1
+
+const (
+	opPut    = "put"
+	opDelete = "delete"
+)
+
+// record is the WAL payload: one pap.Update with its log sequence number.
+// The policy document is the compacted xacml JSON encoding, the one
+// serialisation of policy trees the system already exchanges over the
+// wire.
+type record struct {
+	V       int             `json:"v"`
+	Seq     uint64          `json:"seq"`
+	Op      string          `json:"op"`
+	ID      string          `json:"id"`
+	Version int             `json:"version,omitempty"`
+	Policy  json.RawMessage `json:"policy,omitempty"`
+}
+
+// MarshalUpdate encodes one pap.Update as a versioned WAL payload.
+func MarshalUpdate(seq uint64, u pap.Update) ([]byte, error) {
+	payload, _, err := encodeRecord(seq, u)
+	return payload, err
+}
+
+// encodeRecord also returns the embedded policy document so the log can
+// reuse it for its materialised state without re-marshalling.
+func encodeRecord(seq uint64, u pap.Update) ([]byte, json.RawMessage, error) {
+	if u.ID == "" {
+		return nil, nil, errors.New("store: update with empty ID")
+	}
+	rec := record{V: FormatVersion, Seq: seq, ID: u.ID}
+	if u.Deleted {
+		rec.Op = opDelete
+	} else {
+		rec.Op = opPut
+		rec.Version = u.Version
+		if u.Policy == nil {
+			return nil, nil, fmt.Errorf("store: update %s has no policy", u.ID)
+		}
+		doc, err := marshalPolicy(u.Policy)
+		if err != nil {
+			return nil, nil, err
+		}
+		rec.Policy = doc
+	}
+	payload, err := json.Marshal(&rec)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: encode record: %w", err)
+	}
+	// Enforce the frame bound at write time: a payload the recovery
+	// scanner would reject as corrupt must never be acknowledged in the
+	// first place.
+	if len(payload) > maxFramePayload {
+		return nil, nil, fmt.Errorf("store: record %s is %d bytes, exceeding the %d-byte frame bound", u.ID, len(payload), maxFramePayload)
+	}
+	return payload, rec.Policy, nil
+}
+
+// UnmarshalUpdate decodes a WAL payload back into its sequence number and
+// pap.Update, inverting MarshalUpdate.
+func UnmarshalUpdate(data []byte) (uint64, pap.Update, error) {
+	rec, u, err := decodeRecord(data)
+	if err != nil {
+		return 0, pap.Update{}, err
+	}
+	return rec.Seq, u, nil
+}
+
+func decodeRecord(data []byte) (record, pap.Update, error) {
+	var rec record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return rec, pap.Update{}, fmt.Errorf("store: decode record: %w", err)
+	}
+	if rec.V != FormatVersion {
+		return rec, pap.Update{}, fmt.Errorf("store: record format v%d unsupported (have v%d)", rec.V, FormatVersion)
+	}
+	if rec.ID == "" {
+		return rec, pap.Update{}, errors.New("store: record with empty ID")
+	}
+	u := pap.Update{ID: rec.ID}
+	switch rec.Op {
+	case opDelete:
+		u.Deleted = true
+	case opPut:
+		u.Version = rec.Version
+		e, err := unmarshalPolicy(rec.Policy)
+		if err != nil {
+			return rec, pap.Update{}, fmt.Errorf("store: record %s: %w", rec.ID, err)
+		}
+		u.Policy = e
+	default:
+		return rec, pap.Update{}, fmt.Errorf("store: record op %q unknown", rec.Op)
+	}
+	return rec, u, nil
+}
+
+// marshalPolicy produces the stable on-disk policy document: the xacml
+// JSON encoding, compacted. The encoding is deterministic (struct fields,
+// no maps), which the golden-file tests rely on.
+func marshalPolicy(e policy.Evaluable) (json.RawMessage, error) {
+	doc, err := xacml.MarshalJSON(e)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, doc); err != nil {
+		return nil, fmt.Errorf("store: compact policy document: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func unmarshalPolicy(doc json.RawMessage) (policy.Evaluable, error) {
+	if len(doc) == 0 {
+		return nil, errors.New("record has no policy document")
+	}
+	return xacml.UnmarshalJSON(doc)
+}
+
+// stateEntry is the materialised latest state of one policy ID, the unit
+// a snapshot persists: the current version counter, the tombstone flag,
+// and (for live policies) the latest policy document.
+type stateEntry struct {
+	ID       string          `json:"id"`
+	Versions int             `json:"versions"`
+	Deleted  bool            `json:"deleted,omitempty"`
+	Policy   json.RawMessage `json:"policy,omitempty"`
+}
+
+// snapshotDoc is the snapshot payload: the full state as of sequence
+// number Seq, entries sorted by ID for deterministic bytes.
+type snapshotDoc struct {
+	V       int          `json:"v"`
+	Seq     uint64       `json:"seq"`
+	Entries []stateEntry `json:"entries"`
+}
+
+func marshalSnapshot(seq uint64, state map[string]*stateEntry) ([]byte, error) {
+	doc := snapshotDoc{V: FormatVersion, Seq: seq, Entries: make([]stateEntry, 0, len(state))}
+	for _, ent := range state {
+		doc.Entries = append(doc.Entries, *ent)
+	}
+	sort.Slice(doc.Entries, func(i, j int) bool { return doc.Entries[i].ID < doc.Entries[j].ID })
+	data, err := json.Marshal(&doc)
+	if err != nil {
+		return nil, fmt.Errorf("store: encode snapshot: %w", err)
+	}
+	return data, nil
+}
+
+func unmarshalSnapshot(data []byte) (*snapshotDoc, error) {
+	var doc snapshotDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("store: decode snapshot: %w", err)
+	}
+	if doc.V != FormatVersion {
+		return nil, fmt.Errorf("store: snapshot format v%d unsupported (have v%d)", doc.V, FormatVersion)
+	}
+	for i := range doc.Entries {
+		ent := &doc.Entries[i]
+		if ent.ID == "" || ent.Versions < 1 {
+			return nil, fmt.Errorf("store: snapshot entry %d malformed", i)
+		}
+		if !ent.Deleted && len(ent.Policy) == 0 {
+			return nil, fmt.Errorf("store: snapshot entry %s: live entry without a policy", ent.ID)
+		}
+	}
+	return &doc, nil
+}

@@ -1,0 +1,132 @@
+package store
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/pap"
+	"repro/internal/policy"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenUpdates are the fixtures whose encodings are pinned on disk: the
+// on-disk format is a compatibility surface (a node must replay logs an
+// older build wrote), so any byte change here must be deliberate and
+// version-bumped.
+func goldenUpdates() []struct {
+	name string
+	seq  uint64
+	u    pap.Update
+} {
+	withObligation := policy.NewPolicy("audit-reads").
+		Combining(policy.DenyOverrides).
+		When(policy.MatchResourceID("res-ledger")).
+		Rule(policy.Permit("allow").When(policy.MatchActionID("read")).Build()).
+		Obligation(policy.Obligation{
+			ID:        "log-access",
+			FulfillOn: policy.EffectPermit,
+			Assignments: []policy.Assignment{
+				{Name: "subject", Expr: policy.Attr(policy.CategorySubject, policy.AttrSubjectID)},
+			},
+		}).
+		Build()
+	return []struct {
+		name string
+		seq  uint64
+		u    pap.Update
+	}{
+		{"record-put", 7, pap.Update{ID: "pol-res-0", Version: 3, Policy: testPolicy("pol-res-0", "res-0", "v3")}},
+		{"record-put-obligation", 8, pap.Update{ID: "audit-reads", Version: 1, Policy: withObligation}},
+		{"record-delete", 9, pap.Update{ID: "pol-res-0", Deleted: true}},
+	}
+}
+
+func TestUpdateCodecGolden(t *testing.T) {
+	for _, tc := range goldenUpdates() {
+		t.Run(tc.name, func(t *testing.T) {
+			data, err := MarshalUpdate(tc.seq, tc.u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", tc.name+".golden")
+			if *updateGolden {
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read golden (run with -update to regenerate): %v", err)
+			}
+			if string(data) != string(want) {
+				t.Fatalf("on-disk format drifted from %s:\n got: %s\nwant: %s", path, data, want)
+			}
+			// And the pinned bytes still decode to the same update.
+			seq, u, err := UnmarshalUpdate(want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seq != tc.seq {
+				t.Fatalf("seq = %d, want %d", seq, tc.seq)
+			}
+			sameUpdate(t, u, tc.u)
+		})
+	}
+}
+
+func TestSnapshotCodecGolden(t *testing.T) {
+	state := map[string]*stateEntry{}
+	for _, tc := range goldenUpdates() {
+		payload, doc, err := encodeRecord(tc.seq, tc.u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := decodeRecord(payload); err != nil {
+			t.Fatal(err)
+		}
+		ent := &stateEntry{ID: tc.u.ID, Versions: tc.u.Version, Deleted: tc.u.Deleted, Policy: doc}
+		if tc.u.Deleted {
+			ent.Versions = 3
+		}
+		state[tc.u.ID] = ent
+	}
+	data, err := marshalSnapshot(9, state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "snapshot.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if string(data) != string(want) {
+		t.Fatalf("snapshot format drifted from %s:\n got: %s\nwant: %s", path, data, want)
+	}
+	doc, err := unmarshalSnapshot(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Seq != 9 || len(doc.Entries) != 2 {
+		t.Fatalf("decoded snapshot = seq %d, %d entries", doc.Seq, len(doc.Entries))
+	}
+}
+
+func TestCodecRejectsUnknownVersionAndOp(t *testing.T) {
+	if _, _, err := UnmarshalUpdate([]byte(`{"v":99,"seq":1,"op":"put","id":"x"}`)); err == nil {
+		t.Fatal("future format version accepted")
+	}
+	if _, _, err := UnmarshalUpdate([]byte(`{"v":1,"seq":1,"op":"merge","id":"x"}`)); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	if _, err := unmarshalSnapshot([]byte(`{"v":2,"seq":1,"entries":[]}`)); err == nil {
+		t.Fatal("future snapshot version accepted")
+	}
+}

@@ -1,0 +1,414 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/pap"
+	"repro/internal/pdp"
+	"repro/internal/policy"
+	"repro/internal/xacml"
+)
+
+// testPolicy builds a small deterministic policy: permit "read" on the
+// resource, deny otherwise, with a marker rule ID so revisions differ.
+func testPolicy(id, resource, marker string) *policy.Policy {
+	return policy.NewPolicy(id).
+		Combining(policy.FirstApplicable).
+		When(policy.MatchResourceID(resource)).
+		Rule(policy.Permit("allow-" + marker).When(policy.MatchActionID("read")).Build()).
+		Rule(policy.Deny("default").Build()).
+		Build()
+}
+
+func putUpdate(id, resource, marker string, version int) pap.Update {
+	return pap.Update{ID: id, Version: version, Policy: testPolicy(id, resource, marker)}
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) *Log {
+	t.Helper()
+	l, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l
+}
+
+func policyJSON(t *testing.T, e policy.Evaluable) string {
+	t.Helper()
+	data, err := xacml.MarshalJSON(e)
+	if err != nil {
+		t.Fatalf("marshal policy: %v", err)
+	}
+	return string(data)
+}
+
+func sameUpdate(t *testing.T, got, want pap.Update) {
+	t.Helper()
+	if got.ID != want.ID || got.Version != want.Version || got.Deleted != want.Deleted {
+		t.Fatalf("update = %+v, want %+v", got, want)
+	}
+	if (got.Policy == nil) != (want.Policy == nil) {
+		t.Fatalf("update policy presence = %v, want %v", got.Policy != nil, want.Policy != nil)
+	}
+	if got.Policy != nil && policyJSON(t, got.Policy) != policyJSON(t, want.Policy) {
+		t.Fatalf("update %s policy round-trip drifted", got.ID)
+	}
+}
+
+func TestAppendRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{SnapshotEvery: -1})
+	seq := []pap.Update{
+		putUpdate("p-a", "res-1", "v1", 1),
+		putUpdate("p-b", "res-2", "v1", 1),
+		putUpdate("p-a", "res-1", "v2", 2),
+		{ID: "p-b", Deleted: true},
+		putUpdate("p-c", "res-3", "v1", 1),
+	}
+	for _, u := range seq {
+		if err := l.Append(u); err != nil {
+			t.Fatalf("Append(%s): %v", u.ID, err)
+		}
+	}
+	if st := l.Stats(); st.LastSeq != uint64(len(seq)) || st.Appends != uint64(len(seq)) {
+		t.Fatalf("stats after appends = %+v", st)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := l.Append(seq[0]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after Close = %v, want ErrClosed", err)
+	}
+
+	r := mustOpen(t, dir, Options{SnapshotEvery: -1})
+	defer r.Close()
+	tail := r.RecoveredTail()
+	if len(r.RecoveredSnapshot()) != 0 || len(tail) != len(seq) {
+		t.Fatalf("recovered %d snapshot + %d tail, want 0 + %d",
+			len(r.RecoveredSnapshot()), len(tail), len(seq))
+	}
+	for i := range seq {
+		sameUpdate(t, tail[i], seq[i])
+	}
+
+	s := pap.NewStore("recovered")
+	engine := pdp.New("recovered")
+	if err := r.Bootstrap(s, engine, "root", policy.DenyOverrides); err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	if got := s.List(); len(got) != 2 || got[0] != "p-a" || got[1] != "p-c" {
+		t.Fatalf("List = %v", got)
+	}
+	if s.History("p-a") != 2 {
+		t.Fatalf("History(p-a) = %d, want 2", s.History("p-a"))
+	}
+	if res := engine.Decide(policy.NewAccessRequest("u", "res-1", "read")); res.Decision != policy.DecisionPermit {
+		t.Fatalf("decide res-1 = %v, want permit", res.Decision)
+	}
+	if res := engine.Decide(policy.NewAccessRequest("u", "res-2", "read")); res.Decision != policy.DecisionNotApplicable {
+		t.Fatalf("decide deleted res-2 = %v, want not-applicable", res.Decision)
+	}
+	// A write after bootstrap goes through the reattached backend.
+	if _, err := s.Put(testPolicy("p-d", "res-4", "v1")); err != nil {
+		t.Fatalf("Put after bootstrap: %v", err)
+	}
+	if st := r.Stats(); st.LastSeq != uint64(len(seq))+1 {
+		t.Fatalf("LastSeq after post-bootstrap put = %d, want %d", st.LastSeq, len(seq)+1)
+	}
+}
+
+func TestSnapshotCompactsWAL(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{SnapshotEvery: 4})
+	var want []pap.Update
+	for i := 0; i < 11; i++ {
+		u := putUpdate(fmt.Sprintf("p-%02d", i%5), fmt.Sprintf("res-%d", i%5), fmt.Sprintf("v%d", i), i/5+1)
+		want = append(want, u)
+		if err := l.Append(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.Snapshots < 2 {
+		t.Fatalf("Snapshots = %d, want >= 2 (11 appends at interval 4)", st.Snapshots)
+	}
+	if err := l.Close(); err != nil { // close snapshots the remainder
+		t.Fatal(err)
+	}
+
+	segs, snaps, err := scanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 || len(snaps) > 2 {
+		t.Fatalf("snapshots on disk = %d, want 1..2 (pruned)", len(snaps))
+	}
+	if len(segs) != 1 {
+		t.Fatalf("segments on disk = %v, want exactly the fresh one", segs)
+	}
+
+	r := mustOpen(t, dir, Options{SnapshotEvery: 4})
+	defer r.Close()
+	if n := len(r.RecoveredTail()); n != 0 {
+		t.Fatalf("tail after graceful close = %d records, want 0 (all in snapshot)", n)
+	}
+	s := pap.NewStore("s")
+	if err := r.Bootstrap(s, nil, "root", policy.DenyOverrides); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.List()); got != 5 {
+		t.Fatalf("recovered %d live policies, want 5", got)
+	}
+	if s.History("p-00") != 3 {
+		t.Fatalf("History(p-00) = %d, want 3 (counter survives compaction)", s.History("p-00"))
+	}
+}
+
+func TestTornTailTruncatedNeverPartiallyApplied(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{SnapshotEvery: -1})
+	for i := 0; i < 3; i++ {
+		if err := l.Append(putUpdate(fmt.Sprintf("p-%d", i), "res", fmt.Sprintf("v%d", i), 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, segName(1))
+	whole, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name     string
+		mutate   []byte
+		wantTail int
+	}{
+		{"garbage-appended", append(append([]byte{}, whole...), 0xde, 0xad, 0xbe), 3},
+		{"last-record-halved", whole[:len(whole)-7], 2},
+		{"crc-flipped", flipLastPayloadByte(whole), 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir2 := t.TempDir()
+			if err := os.WriteFile(filepath.Join(dir2, segName(1)), tc.mutate, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			r := mustOpen(t, dir2, Options{SnapshotEvery: -1})
+			defer r.Close()
+			if got := len(r.RecoveredTail()); got != tc.wantTail {
+				t.Fatalf("recovered %d records, want %d", got, tc.wantTail)
+			}
+			if st := r.Stats(); st.TruncatedBytes == 0 {
+				t.Fatal("TruncatedBytes = 0, want > 0")
+			}
+			// The torn bytes are gone from disk: a second recovery is clean.
+			if err := r.Close(); err != nil {
+				t.Fatal(err)
+			}
+			r2 := mustOpen(t, dir2, Options{SnapshotEvery: -1})
+			defer r2.Close()
+			if st := r2.Stats(); st.TruncatedBytes != 0 {
+				t.Fatalf("second recovery still truncating %d bytes", st.TruncatedBytes)
+			}
+		})
+	}
+}
+
+// flipLastPayloadByte corrupts the final byte of the file (inside the last
+// record's payload), leaving the length field intact so only the CRC can
+// catch it.
+func flipLastPayloadByte(whole []byte) []byte {
+	out := append([]byte(nil), whole...)
+	out[len(out)-1] ^= 0xFF
+	return out
+}
+
+func TestCorruptionMidLogIsFatal(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{SnapshotEvery: 2})
+	for i := 0; i < 5; i++ {
+		if err := l.Append(putUpdate(fmt.Sprintf("p-%d", i), "res", "v", 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _, err := scanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Damage a non-final segment: that is not a torn tail, and recovery
+	// must refuse rather than guess.
+	if len(segs) < 2 {
+		// Graceful close compacted everything into one snapshot; force
+		// the shape with a synthetic earlier segment of garbage.
+		if err := os.WriteFile(filepath.Join(dir, segName(1)), []byte("garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		path := filepath.Join(dir, segName(segs[0]))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) == 0 {
+			t.Skip("first segment empty")
+		}
+		data[len(data)/2] ^= 0xFF
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open succeeded over mid-log corruption")
+	}
+}
+
+func TestGroupCommitConcurrentAppends(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{SnapshotEvery: -1, MaxBatch: 16})
+	const writers, perWriter = 8, 20
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				id := fmt.Sprintf("p-%d-%d", w, i)
+				if err := l.Append(putUpdate(id, "res-"+id, "v1", 1)); err != nil {
+					t.Errorf("Append(%s): %v", id, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := l.Stats()
+	if st.Appends != writers*perWriter {
+		t.Fatalf("Appends = %d, want %d", st.Appends, writers*perWriter)
+	}
+	if st.Fsyncs != st.Batches {
+		t.Fatalf("Fsyncs = %d, Batches = %d: want one fsync per batch", st.Fsyncs, st.Batches)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := mustOpen(t, dir, Options{SnapshotEvery: -1})
+	defer r.Close()
+	if got := len(r.RecoveredTail()); got != writers*perWriter {
+		t.Fatalf("recovered %d records, want %d", got, writers*perWriter)
+	}
+	seen := make(map[string]bool)
+	for _, u := range r.RecoveredTail() {
+		if seen[u.ID] {
+			t.Fatalf("record %s recovered twice", u.ID)
+		}
+		seen[u.ID] = true
+	}
+}
+
+func TestSnapshotFallsBackWhenNewestDamaged(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{SnapshotEvery: 2})
+	for i := 0; i < 8; i++ {
+		if err := l.Append(putUpdate(fmt.Sprintf("p-%d", i), "res", "v", 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, snaps, err := scanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) < 2 {
+		t.Skipf("only %d snapshots retained", len(snaps))
+	}
+	// Zero out the newest snapshot; recovery must fall back to the older
+	// one and replay the still-present WAL tail beyond it... which was
+	// compacted, so this only works when the fallback is self-sufficient
+	// or the gap is detected. Either a clean fallback or a loud error is
+	// acceptable; silently losing acknowledged writes is not.
+	newest := filepath.Join(dir, snapName(snaps[len(snaps)-1]))
+	if err := os.WriteFile(newest, bytes.Repeat([]byte{0}, 16), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(dir, Options{SnapshotEvery: 2})
+	if err != nil {
+		return // loud failure: acceptable, nothing silently lost
+	}
+	defer r.Close()
+	s := pap.NewStore("s")
+	if err := r.Bootstrap(s, nil, "root", policy.DenyOverrides); err != nil {
+		return
+	}
+	if got := len(s.List()); got == 8 {
+		return // full state recovered through the fallback
+	}
+	t.Fatalf("recovery silently returned partial state (%d of 8 policies)", len(s.List()))
+}
+
+// TestSecondOpenRefused: two writers interleaving one WAL would brick the
+// next recovery, so the directory lock must turn the mistake into a
+// startup error instead.
+func TestSecondOpenRefused(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{})
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("second Open of a locked directory succeeded")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2 := mustOpen(t, dir, Options{}) // released on close
+	defer l2.Close()
+}
+
+// TestOversizedRecordRejectedAtWrite: a record the recovery scanner would
+// refuse as corrupt must never be acknowledged.
+func TestOversizedRecordRejected(t *testing.T) {
+	huge := testPolicy("p-huge", "res", "v")
+	huge.Description = string(make([]byte, maxFramePayload+1))
+	if _, err := MarshalUpdate(1, pap.Update{ID: "p-huge", Version: 1, Policy: huge}); err == nil {
+		t.Fatal("oversized record encoded without error")
+	}
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{SnapshotEvery: -1})
+	defer l.Close()
+	if err := l.Append(pap.Update{ID: "p-huge", Version: 1, Policy: huge}); err == nil {
+		t.Fatal("oversized record acknowledged")
+	}
+	if err := l.Append(putUpdate("p-ok", "res", "v", 1)); err != nil {
+		t.Fatalf("log unusable after rejected oversized record: %v", err)
+	}
+}
+
+// TestCrashSkipsFinalSnapshot pins the Crash/Close distinction the crash
+// tests and benchmarks rely on.
+func TestCrashSkipsFinalSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{SnapshotEvery: 100})
+	for i := 0; i < 3; i++ {
+		if err := l.Append(putUpdate(fmt.Sprintf("p-%d", i), "res", "v", 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	r := mustOpen(t, dir, Options{SnapshotEvery: 100})
+	defer r.Close()
+	if st := r.Stats(); st.RecoveredTail != 3 || st.RecoveredSnapshot != 0 {
+		t.Fatalf("after Crash want a pure WAL tail, got %+v", st)
+	}
+}
