@@ -430,3 +430,71 @@ func BenchmarkRecovery(b *testing.B) {
 }
 
 func BenchmarkE19_Durability(b *testing.B) { benchExperiment(b, "E19") }
+func BenchmarkE20_Contention(b *testing.B) { benchExperiment(b, "E20") }
+
+// parallelSeed hands each RunParallel goroutine a distinct starting offset
+// into the shared request slice, so concurrent workers spread across cache
+// shards instead of marching over the same keys in lockstep.
+var parallelSeed atomic.Int64
+
+// BenchmarkParallelDecide measures the lock-free decision hot path under
+// b.RunParallel (run with -cpu 1,4,16). hit is the production
+// configuration (target index + warmed decision cache): one snapshot load,
+// one cache-shard lock, zero allocations per op, so throughput should
+// scale with procs instead of serializing on an engine-wide mutex. miss
+// ablates the cache (index-only evaluation) to show the uncached
+// evaluation path also shares no engine-wide locks.
+func BenchmarkParallelDecide(b *testing.B) {
+	at := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	fixture := func(b *testing.B, cached bool) (*pdp.Engine, []*policy.Request) {
+		b.Helper()
+		gen := workload.NewGenerator(workload.Config{Users: 100, Resources: 1000, Roles: 10, Seed: 7})
+		opts := []pdp.Option{pdp.WithResolver(gen.Directory("idp")), pdp.WithTargetIndex()}
+		if cached {
+			opts = append(opts, pdp.WithDecisionCache(time.Hour, 1<<16))
+		}
+		engine := pdp.New("parallel", opts...)
+		if err := engine.SetRoot(gen.PolicyBase("base")); err != nil {
+			b.Fatal(err)
+		}
+		return engine, gen.Requests(1024)
+	}
+	for _, mode := range []string{"hit", "miss"} {
+		b.Run(mode, func(b *testing.B) {
+			engine, reqs := fixture(b, mode == "hit")
+			for _, req := range reqs {
+				engine.DecideAt(req, at) // warm cache, index and key memos
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := int(parallelSeed.Add(7919))
+				for pb.Next() {
+					engine.DecideAt(reqs[i%len(reqs)], at)
+					i++
+				}
+			})
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "decisions/s")
+		})
+	}
+}
+
+// BenchmarkParallelClusterDecide routes the parallel workload through a
+// 4-shard production-configuration cluster router (run with -cpu 1,4,16):
+// the router's read lock is shared and every engine below it is lock-free,
+// so the fleet path should scale alongside the single engine.
+func BenchmarkParallelClusterDecide(b *testing.B) {
+	at := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	router, reqs := clusterFixture(b, 4, fullConfig()...)
+	for _, req := range reqs {
+		router.DecideAt(req, at) // warm caches and indexes
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(parallelSeed.Add(7919))
+		for pb.Next() {
+			router.DecideAt(reqs[i%len(reqs)], at)
+			i++
+		}
+	})
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "decisions/s")
+}

@@ -2,7 +2,10 @@
 // deployment of the pull model. It loads a policy file (XML or JSON),
 // listens for envelope-wrapped XACML request contexts on /decide (one per
 // envelope) and /decide-batch (many per envelope, wire batch framing),
-// answers with response contexts, and exposes statistics on /stats.
+// answers with response contexts, and exposes statistics on /stats. The
+// statistics are harvested from the engines' atomic counter stripes (and
+// include CacheEntries, the live decision-cache occupancy summed across
+// cache shards), so polling /stats never stalls the decision hot path.
 //
 // With -shards > 1 the daemon runs a sharded cluster instead of a single
 // engine: the policy base is partitioned across shard groups by a

@@ -171,7 +171,9 @@ func remapPositions(positions []int, pos, delta int, owns bool) []int {
 
 // EngineStats sums replica engine counters across every shard group: the
 // cluster-wide view of evaluations, cache hits and incremental updates the
-// churn experiment and benchmarks report.
+// churn experiment and benchmarks report. Each engine aggregates its own
+// atomic stat stripes (and cache-shard occupancy) at read time, so this
+// never pauses the decision hot path.
 func (r *Router) EngineStats() pdp.Stats {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -188,6 +190,7 @@ func (r *Router) EngineStats() pdp.Stats {
 			sum.IndexedCandidates += st.IndexedCandidates
 			sum.Updates += st.Updates
 			sum.CacheInvalidations += st.CacheInvalidations
+			sum.CacheEntries += st.CacheEntries
 		}
 	}
 	return sum

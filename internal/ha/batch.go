@@ -96,19 +96,12 @@ func (e *Ensemble) DecideScatterAt(reqs []*policy.Request, positions []int, at t
 	if n == 0 {
 		return
 	}
-	e.mu.Lock()
-	e.stats.Requests += int64(n)
-	strategy := e.strategy
-	order := make([]int, len(e.order))
-	copy(order, e.order)
-	replicas := e.replicas
-	e.mu.Unlock()
-
-	switch strategy {
+	e.stats.requests.Add(int64(n))
+	switch e.strategy {
 	case Quorum:
-		e.quorumScatter(replicas, reqs, positions, n, at, out)
+		e.quorumScatter(e.replicas, reqs, positions, n, at, out)
 	default:
-		e.failoverScatter(replicas, order, reqs, positions, n, at, out)
+		e.failoverScatter(e.replicas, *e.order.Load(), reqs, positions, n, at, out)
 	}
 }
 
@@ -125,23 +118,17 @@ func (e *Ensemble) failoverScatter(replicas []*Failable, order []int, reqs []*po
 	skipped := false
 	for _, idx := range order {
 		replicas[idx].DecideScatterAt(reqs, positions, at, out)
-		e.mu.Lock()
-		e.stats.ReplicaQueries += int64(n)
-		e.mu.Unlock()
+		e.stats.replicaQueries.Add(int64(n))
 		if unavailable(out[probe(positions)]) {
 			skipped = true
 			continue
 		}
 		if skipped {
-			e.mu.Lock()
-			e.stats.Failovers += int64(n)
-			e.mu.Unlock()
+			e.stats.failovers.Add(int64(n))
 		}
 		return
 	}
-	e.mu.Lock()
-	e.stats.Unavailable += int64(n)
-	e.mu.Unlock()
+	e.stats.unavailable.Add(int64(n))
 	eachPosition(len(reqs), positions, func(p int) {
 		out[p] = policy.Result{
 			Decision: policy.DecisionIndeterminate,
@@ -208,9 +195,7 @@ func (e *Ensemble) quorumScatter(replicas []*Failable, reqs []*policy.Request, p
 				e.name, answered, len(replicas), need, ErrNoQuorum),
 		}
 	}
-	e.mu.Lock()
-	e.stats.ReplicaQueries += int64(n) * int64(len(replicas))
-	e.stats.Disagreements += disagreements
-	e.stats.Unavailable += unavail
-	e.mu.Unlock()
+	e.stats.replicaQueries.Add(int64(n) * int64(len(replicas)))
+	e.stats.disagreements.Add(disagreements)
+	e.stats.unavailable.Add(unavail)
 }

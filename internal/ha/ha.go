@@ -135,15 +135,38 @@ type Stats struct {
 	ReplicaQueries int64
 }
 
-// Ensemble is a replicated decision provider.
+// counters is the lock-free mutable form of Stats: decision paths
+// increment the fields without taking a lock, so an ensemble in the
+// cluster hot path adds no per-decision critical section of its own
+// (mirrors the PDP engine's atomic stat stripes).
+type counters struct {
+	requests, failovers, unavailable, disagreements, replicaQueries atomic.Int64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Requests:       c.requests.Load(),
+		Failovers:      c.failovers.Load(),
+		Unavailable:    c.unavailable.Load(),
+		Disagreements:  c.disagreements.Load(),
+		ReplicaQueries: c.replicaQueries.Load(),
+	}
+}
+
+// Ensemble is a replicated decision provider. The replica set is fixed at
+// construction and the failover order is published as an immutable slice
+// behind an atomic pointer, so the decision paths are lock-free: they load
+// the current order, query replicas, and bump atomic counters.
 type Ensemble struct {
 	name     string
 	strategy Strategy
+	replicas []*Failable // immutable after construction
 
-	mu       sync.Mutex
-	replicas []*Failable
-	order    []int // failover preference, updated by Probe
-	stats    Stats
+	// order is the failover preference: deciders load it without locking,
+	// Probe builds a reordered copy and swaps it in.
+	order   atomic.Pointer[[]int]
+	probeMu sync.Mutex // serializes Probe's read-modify-write of order
+	stats   counters
 }
 
 // NewEnsemble builds an ensemble over the replicas.
@@ -152,7 +175,9 @@ func NewEnsemble(name string, strategy Strategy, replicas ...*Failable) *Ensembl
 	for i := range order {
 		order[i] = i
 	}
-	return &Ensemble{name: name, strategy: strategy, replicas: replicas, order: order}
+	e := &Ensemble{name: name, strategy: strategy, replicas: replicas}
+	e.order.Store(&order)
+	return e
 }
 
 // Name identifies the ensemble.
@@ -160,26 +185,27 @@ func (e *Ensemble) Name() string { return e.name }
 
 // Stats returns a snapshot of ensemble counters.
 func (e *Ensemble) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
+	return e.stats.snapshot()
 }
 
 // Probe health-checks every replica and moves dead ones to the back of the
 // failover order, preserving relative preference among live replicas. It
 // models the periodic heartbeat of a health monitor.
 func (e *Ensemble) Probe() (alive int) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	var live, dead []int
-	for _, idx := range e.order {
+	e.probeMu.Lock()
+	defer e.probeMu.Unlock()
+	cur := *e.order.Load()
+	live := make([]int, 0, len(cur))
+	var dead []int
+	for _, idx := range cur {
 		if e.replicas[idx].Down() {
 			dead = append(dead, idx)
 		} else {
 			live = append(live, idx)
 		}
 	}
-	e.order = append(live, dead...)
+	next := append(live, dead...)
+	e.order.Store(&next)
 	return len(live)
 }
 
@@ -191,19 +217,12 @@ func (e *Ensemble) DecideAt(req *policy.Request, at time.Time) policy.Result {
 // DecideAtWith implements ResolverProvider, threading a per-call resolver
 // to every queried replica.
 func (e *Ensemble) DecideAtWith(req *policy.Request, at time.Time, resolver policy.Resolver) policy.Result {
-	e.mu.Lock()
-	e.stats.Requests++
-	strategy := e.strategy
-	order := make([]int, len(e.order))
-	copy(order, e.order)
-	replicas := e.replicas
-	e.mu.Unlock()
-
-	switch strategy {
+	e.stats.requests.Add(1)
+	switch e.strategy {
 	case Quorum:
-		return e.quorum(replicas, req, at, resolver)
+		return e.quorum(e.replicas, req, at, resolver)
 	default:
-		return e.failover(replicas, order, req, at, resolver)
+		return e.failover(e.replicas, *e.order.Load(), req, at, resolver)
 	}
 }
 
@@ -215,23 +234,17 @@ func (e *Ensemble) failover(replicas []*Failable, order []int, req *policy.Reque
 	skipped := false
 	for _, idx := range order {
 		res := replicas[idx].DecideAtWith(req, at, resolver)
-		e.mu.Lock()
-		e.stats.ReplicaQueries++
-		e.mu.Unlock()
+		e.stats.replicaQueries.Add(1)
 		if unavailable(res) {
 			skipped = true
 			continue
 		}
 		if skipped {
-			e.mu.Lock()
-			e.stats.Failovers++
-			e.mu.Unlock()
+			e.stats.failovers.Add(1)
 		}
 		return res
 	}
-	e.mu.Lock()
-	e.stats.Unavailable++
-	e.mu.Unlock()
+	e.stats.unavailable.Add(1)
 	return policy.Result{
 		Decision: policy.DecisionIndeterminate,
 		Err:      fmt.Errorf("ha: ensemble %s: %w", e.name, ErrAllReplicasDown),
@@ -244,9 +257,7 @@ func (e *Ensemble) quorum(replicas []*Failable, req *policy.Request, at time.Tim
 	answered := 0
 	for _, r := range replicas {
 		res := r.DecideAtWith(req, at, resolver)
-		e.mu.Lock()
-		e.stats.ReplicaQueries++
-		e.mu.Unlock()
+		e.stats.replicaQueries.Add(1)
 		if unavailable(res) {
 			continue
 		}
@@ -265,16 +276,12 @@ func (e *Ensemble) quorum(replicas []*Failable, req *policy.Request, at time.Tim
 		}
 	}
 	if answered > 0 && len(votes) > 1 {
-		e.mu.Lock()
-		e.stats.Disagreements++
-		e.mu.Unlock()
+		e.stats.disagreements.Add(1)
 	}
 	if best >= need {
 		return results[winner]
 	}
-	e.mu.Lock()
-	e.stats.Unavailable++
-	e.mu.Unlock()
+	e.stats.unavailable.Add(1)
 	return policy.Result{
 		Decision: policy.DecisionIndeterminate,
 		Err: fmt.Errorf("ha: ensemble %s: %d/%d answered, need %d agreeing: %w",

@@ -9,28 +9,21 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// Counter is a monotonically increasing count.
+// Counter is a monotonically increasing count, lock-free so counters on
+// measured hot paths do not serialize the code they observe.
 type Counter struct {
-	mu sync.Mutex
-	n  int64
+	n atomic.Int64
 }
 
 // Add increments the counter.
-func (c *Counter) Add(delta int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.n += delta
-}
+func (c *Counter) Add(delta int64) { c.n.Add(delta) }
 
 // Value returns the current count.
-func (c *Counter) Value() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.n
-}
+func (c *Counter) Value() int64 { return c.n.Load() }
 
 // Histogram collects duration samples and reports percentiles. It stores
 // raw samples, which keeps percentiles exact for experiment-scale counts.

@@ -8,10 +8,21 @@
 // a TTL decision cache bounding PEP–PDP traffic (Section 3.2 Communication
 // Performance). Both are optional and ablated in the benchmarks.
 //
+// The decision hot path is lock-free for readers, RCU-style: the root,
+// target index and epoch live in one immutable snapshot published through
+// an atomic pointer, so Decide* loads a single pointer per call (per batch,
+// for the batch paths) and never blocks on policy administration. The
+// decision cache is striped across power-of-two shards keyed by a hash of
+// the request's cache key — a cache hit costs one shard lock and zero
+// allocations — and engine counters are padded atomic stripes aggregated on
+// read. Writers (SetRoot, ApplyUpdate, FlushCache) serialize on a writer
+// lock, publish the next snapshot, and then invalidate; the epoch carried
+// in each snapshot guards the cache against resurrection of a decision
+// evaluated against a superseded root (see cache.go).
+//
 // A single engine is also the building block of larger deployments. The
 // batch entry points (DecideBatch, DecideScatterAt) answer many requests
-// per call, sweeping the decision cache and recording stats in one
-// critical section per batch and sharing index candidate sets across
+// per call, sharing one snapshot load and index candidate sets across
 // same-resource requests. internal/ha replicates engines into
 // failover/quorum ensembles, and internal/cluster shards the policy base
 // across many such ensembles behind a consistent-hash router — the
@@ -29,6 +40,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/policy"
@@ -54,19 +66,9 @@ type Stats struct {
 	// CacheInvalidations counts cached decisions dropped by ApplyUpdate
 	// (a full catch-all flush counts once).
 	CacheInvalidations int64
-}
-
-func (s *Stats) record(d policy.Decision) {
-	switch d {
-	case policy.DecisionPermit:
-		s.Permits++
-	case policy.DecisionDeny:
-		s.Denies++
-	case policy.DecisionNotApplicable:
-		s.NotApplicables++
-	case policy.DecisionIndeterminate:
-		s.Indeterminates++
-	}
+	// CacheEntries is the number of decisions cached at snapshot time, a
+	// gauge summed across cache shards (zero when the cache is disabled).
+	CacheEntries int64
 }
 
 // Option configures an Engine.
@@ -91,9 +93,7 @@ func WithDecisionCache(ttl time.Duration, maxItems int) Option {
 		if maxItems <= 0 {
 			maxItems = 8192
 		}
-		e.cacheTTL = ttl
-		e.cacheMax = maxItems
-		e.cache = make(map[string]cacheEntry, 64)
+		e.cache = newDecisionCache(ttl, maxItems)
 	}
 }
 
@@ -103,33 +103,42 @@ func WithClock(now func() time.Time) Option {
 	return func(e *Engine) { e.now = now }
 }
 
-type cacheEntry struct {
-	res     policy.Result
-	expires time.Time
-	// resID keys the entry by the request's resource, so ApplyUpdate can
-	// invalidate only the decisions a changed child constrains.
-	resID string
+// snapshot is the immutable unit of the engine's RCU scheme: the installed
+// policy base, its target index, and the epoch that publication bumped.
+// Readers load one snapshot per decision (per batch, for the batch paths)
+// and evaluate against it without locks; writers construct the next
+// snapshot copy-on-write and publish it atomically, never mutating one a
+// reader may hold.
+type snapshot struct {
+	root  policy.Evaluable
+	index *targetIndex
+	// epoch counts snapshot publications (installs, patches and flushes).
+	// Cache fills re-check it inside the shard lock and skip the write
+	// when it moved, so an evaluation that raced a policy change can never
+	// resurrect a stale decision in the freshly invalidated cache.
+	epoch uint64
 }
 
-// Engine is a thread-safe Policy Decision Point.
+// Engine is a thread-safe Policy Decision Point. Decisions never block on
+// each other or on policy administration: they share an atomically
+// published snapshot, a striped decision cache and striped atomic counters.
 type Engine struct {
 	name         string
 	resolver     policy.Resolver
 	indexEnabled bool
-	cacheTTL     time.Duration
-	cacheMax     int
 	now          func() time.Time
 
-	mu    sync.RWMutex
-	root  policy.Evaluable
-	index *targetIndex
-	cache map[string]cacheEntry
-	stats Stats
-	// epoch counts root installs, patches and flushes. Decisions snapshot
-	// it with the root and skip the cache fill when it moved, so an
-	// evaluation that raced a policy change can never write a stale
-	// decision back into the freshly invalidated cache.
-	epoch uint64
+	// snap is the current root/index/epoch triple, nil until SetRoot.
+	snap atomic.Pointer[snapshot]
+	// cache is the striped TTL decision cache, nil when disabled.
+	cache *decisionCache
+	stats engineStats
+
+	// writerMu serializes snapshot publication (SetRoot, ApplyUpdate,
+	// FlushCache) and orders each publication before its cache
+	// invalidation — the pairing the epoch guard's correctness relies on.
+	// Decision paths never take it.
+	writerMu sync.Mutex
 }
 
 // New builds an engine with the given options.
@@ -159,38 +168,48 @@ func (e *Engine) SetRoot(root policy.Evaluable) error {
 			idx = buildIndex(set)
 		}
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.root = root
-	e.index = idx
-	e.epoch++
+	e.writerMu.Lock()
+	defer e.writerMu.Unlock()
+	epoch := uint64(1)
+	if old := e.snap.Load(); old != nil {
+		epoch = old.epoch + 1
+	}
+	e.snap.Store(&snapshot{root: root, index: idx, epoch: epoch})
 	if e.cache != nil {
-		e.cache = make(map[string]cacheEntry, 64)
+		e.cache.flush()
 	}
 	return nil
 }
 
 // Root returns the installed policy base, or nil.
 func (e *Engine) Root() policy.Evaluable {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.root
+	if snap := e.snap.Load(); snap != nil {
+		return snap.root
+	}
+	return nil
 }
 
-// Stats returns a snapshot of the engine counters.
+// Stats returns a snapshot of the engine counters, aggregated across the
+// atomic stat stripes.
 func (e *Engine) Stats() Stats {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.stats
+	st := e.stats.snapshot()
+	if e.cache != nil {
+		st.CacheEntries = e.cache.len()
+	}
+	return st
 }
 
 // FlushCache drops all cached decisions.
 func (e *Engine) FlushCache() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.epoch++
+	e.writerMu.Lock()
+	defer e.writerMu.Unlock()
+	// Publish the epoch move first: in-flight evaluations of the current
+	// root must not refill the cache behind the flush.
+	if old := e.snap.Load(); old != nil {
+		e.snap.Store(&snapshot{root: old.root, index: old.index, epoch: old.epoch + 1})
+	}
 	if e.cache != nil {
-		e.cache = make(map[string]cacheEntry, 64)
+		e.cache.flush()
 	}
 }
 
@@ -207,90 +226,80 @@ func (e *Engine) Decide(req *policy.Request) policy.Result {
 // made through a caller-supplied resolver bypass the decision cache, since
 // the resolver's view may differ per call.
 func (e *Engine) DecideAtWith(req *policy.Request, at time.Time, resolver policy.Resolver) policy.Result {
-	e.mu.RLock()
-	root := e.root
-	idx := e.index
-	e.mu.RUnlock()
-	if root == nil {
+	snap := e.snap.Load()
+	if snap == nil {
 		return policy.Result{Decision: policy.DecisionIndeterminate, Err: ErrNoPolicy}
 	}
-	ctx := policy.NewContextAt(req, at)
-	if resolver != nil {
-		ctx.WithResolver(resolver)
-	} else if e.resolver != nil {
-		ctx.WithResolver(e.resolver)
-	}
-	var res policy.Result
-	var candidates int
-	if idx != nil {
-		res, candidates = idx.evaluate(ctx, req)
-	} else {
-		res = root.Evaluate(ctx)
-	}
-	e.mu.Lock()
-	e.stats.Evaluations++
-	e.stats.IndexedCandidates += int64(candidates)
-	e.stats.record(res.Decision)
-	e.mu.Unlock()
+	res, candidates := e.evaluate(snap, req, at, resolver)
+	e.stats.stripe(policy.HashString(req.ResourceID())).recordEvaluation(res, candidates)
 	return res
 }
 
-// DecideAt evaluates the request at an explicit time.
-func (e *Engine) DecideAt(req *policy.Request, at time.Time) policy.Result {
-	e.mu.RLock()
-	root := e.root
-	idx := e.index
-	useCache := e.cache != nil
-	epoch := e.epoch
-	e.mu.RUnlock()
+// evaluate runs one uncached evaluation against the snapshot with a pooled
+// context. resolver nil falls back to the engine's configured resolver.
+// The Result never aliases the context, so it is released before return.
+func (e *Engine) evaluate(snap *snapshot, req *policy.Request, at time.Time, resolver policy.Resolver) (policy.Result, int) {
+	ctx := policy.AcquireContext(req, at)
+	if resolver == nil {
+		resolver = e.resolver
+	}
+	if resolver != nil {
+		ctx.WithResolver(resolver)
+	}
+	var res policy.Result
+	candidates := 0
+	if snap.index != nil {
+		res, candidates = snap.index.evaluate(ctx, req)
+	} else {
+		res = snap.root.Evaluate(ctx)
+	}
+	policy.ReleaseContext(ctx)
+	return res, candidates
+}
 
-	if root == nil {
+// DecideAt evaluates the request at an explicit time. A cache hit takes no
+// engine-wide lock — one snapshot pointer load, one shard mutex, zero
+// allocations.
+func (e *Engine) DecideAt(req *policy.Request, at time.Time) policy.Result {
+	snap := e.snap.Load()
+	if snap == nil {
 		return policy.Result{Decision: policy.DecisionIndeterminate, Err: ErrNoPolicy}
 	}
 
-	var key string
-	if useCache {
-		key = req.CacheKey()
-		e.mu.Lock()
-		if entry, ok := e.cache[key]; ok && at.Before(entry.expires) {
-			e.stats.CacheHits++
-			e.stats.record(entry.res.Decision)
-			e.mu.Unlock()
-			return entry.res
-		}
-		e.mu.Unlock()
+	if e.cache == nil {
+		res, candidates := e.evaluate(snap, req, at, nil)
+		e.stats.stripe(policy.HashString(req.ResourceID())).recordEvaluation(res, candidates)
+		return res
 	}
 
-	ctx := policy.NewContextAt(req, at)
-	if e.resolver != nil {
-		ctx.WithResolver(e.resolver)
+	key := req.CacheKey()
+	hash := req.CacheKeyHash()
+	st := e.stats.stripe(hash)
+	if res, ok := e.cache.get(key, hash, at); ok {
+		st.cacheHits.Add(1)
+		st.record(res.Decision)
+		return res
 	}
 
-	var res policy.Result
-	var candidates int
-	if idx != nil {
-		res, candidates = idx.evaluate(ctx, req)
-	} else {
-		res = root.Evaluate(ctx)
-	}
-
-	e.mu.Lock()
-	e.stats.Evaluations++
-	e.stats.IndexedCandidates += int64(candidates)
-	e.stats.record(res.Decision)
-	// A moved epoch means the policy base changed under this evaluation;
-	// writing the result back could resurrect a just-invalidated decision.
-	if useCache && e.epoch == epoch {
-		if len(e.cache) >= e.cacheMax {
-			for k := range e.cache {
-				delete(e.cache, k)
-				break
-			}
-		}
-		e.cache[key] = cacheEntry{res: res, expires: at.Add(e.cacheTTL), resID: req.ResourceID()}
-	}
-	e.mu.Unlock()
+	res, candidates := e.evaluate(snap, req, at, nil)
+	st.recordEvaluation(res, candidates)
+	e.fill(snap, key, hash, req.ResourceID(), res, at)
 	return res
+}
+
+// fill writes an evaluated decision back into the cache unless the policy
+// base changed since the evaluation's snapshot was loaded. The epoch
+// re-check happens inside the shard lock: a writer publishes its snapshot
+// before sweeping shards, so either this fill observes the moved epoch and
+// skips, or its entry lands before the sweep and the sweep removes it —
+// a stale decision can never outlive the update that invalidated it.
+func (e *Engine) fill(snap *snapshot, key string, hash uint64, resID string, res policy.Result, at time.Time) {
+	sh := e.cache.shard(hash)
+	sh.mu.Lock()
+	if cur := e.snap.Load(); cur != nil && cur.epoch == snap.epoch {
+		sh.insertLocked(key, cacheEntry{res: res, expires: at.Add(e.cache.ttl), resID: resID}, at)
+	}
+	sh.mu.Unlock()
 }
 
 // DecideBatch evaluates many requests at the current engine clock. See
@@ -301,10 +310,9 @@ func (e *Engine) DecideBatch(reqs []*policy.Request) []policy.Result {
 
 // DecideBatchAt evaluates many requests in one pass, answering position i
 // of the result slice for request i. Compared to per-request DecideAt it
-// amortises lock traffic: one critical section sweeps the decision cache
-// for the whole batch and one more records stats and fills the cache,
-// instead of two per request. Evaluation of cache misses runs outside any
-// lock, exactly as in DecideAt.
+// amortises snapshot loads (one per batch) and shares index candidate
+// sets across same-resource requests; cache lookups and fills still cost
+// only their one shard lock each.
 func (e *Engine) DecideBatchAt(reqs []*policy.Request, at time.Time) []policy.Result {
 	if len(reqs) == 0 {
 		return nil
@@ -318,7 +326,8 @@ func (e *Engine) DecideBatchAt(reqs []*policy.Request, at time.Time) []policy.Re
 // evaluate reqs[p] for every p in positions (nil means every request) and
 // write each result to out[p]. The caller owns out, so layered deployments
 // (cluster router → ha ensemble → engine) share one result buffer instead
-// of allocating and copying per layer.
+// of allocating and copying per layer. The whole batch evaluates against
+// one snapshot, so its decisions are mutually consistent.
 func (e *Engine) DecideScatterAt(reqs []*policy.Request, positions []int, at time.Time, out []policy.Result) {
 	n := len(reqs)
 	if positions != nil {
@@ -327,14 +336,8 @@ func (e *Engine) DecideScatterAt(reqs []*policy.Request, positions []int, at tim
 	if n == 0 {
 		return
 	}
-	e.mu.RLock()
-	root := e.root
-	idx := e.index
-	useCache := e.cache != nil
-	epoch := e.epoch
-	e.mu.RUnlock()
-
-	if root == nil {
+	snap := e.snap.Load()
+	if snap == nil {
 		res := policy.Result{Decision: policy.DecisionIndeterminate, Err: ErrNoPolicy}
 		if positions == nil {
 			for i := range out {
@@ -349,25 +352,16 @@ func (e *Engine) DecideScatterAt(reqs []*policy.Request, positions []int, at tim
 	}
 
 	misses := make([]int, 0, n)
-	if useCache {
-		// Render any unmemoised cache keys before taking the lock, so the
-		// critical section is map lookups only; re-reading CacheKey inside
-		// (and in the fill stage below) is then a pointer load.
-		if positions == nil {
-			for _, req := range reqs {
-				_ = req.CacheKey()
-			}
-		} else {
-			for _, p := range positions {
-				_ = reqs[p].CacheKey()
-			}
-		}
-		e.mu.Lock()
+	if e.cache != nil {
 		sweep := func(p int) {
-			if entry, ok := e.cache[reqs[p].CacheKey()]; ok && at.Before(entry.expires) {
-				out[p] = entry.res
-				e.stats.CacheHits++
-				e.stats.record(entry.res.Decision)
+			req := reqs[p]
+			key := req.CacheKey()
+			hash := req.CacheKeyHash()
+			if res, ok := e.cache.get(key, hash, at); ok {
+				out[p] = res
+				st := e.stats.stripe(hash)
+				st.cacheHits.Add(1)
+				st.record(res.Decision)
 				return
 			}
 			misses = append(misses, p)
@@ -381,7 +375,6 @@ func (e *Engine) DecideScatterAt(reqs []*policy.Request, positions []int, at tim
 				sweep(p)
 			}
 		}
-		e.mu.Unlock()
 		if len(misses) == 0 {
 			return
 		}
@@ -393,53 +386,46 @@ func (e *Engine) DecideScatterAt(reqs []*policy.Request, positions []int, at tim
 		misses = positions
 	}
 
-	candidates := make([]int, len(misses))
 	// Within one batch, requests for the same resource share the same
 	// index candidate set; memoising the assembled subset amortises the
 	// per-request candidate merge across the batch (Zipf-skewed workloads
 	// repeat popular resources heavily).
 	var subsets map[string]indexSubset
-	if idx != nil {
+	if snap.index != nil {
 		subsets = make(map[string]indexSubset, len(misses))
 	}
-	for mi, p := range misses {
-		ctx := policy.NewContextAt(reqs[p], at)
+	for _, p := range misses {
+		req := reqs[p]
+		ctx := policy.AcquireContext(req, at)
 		if e.resolver != nil {
 			ctx.WithResolver(e.resolver)
 		}
-		if idx != nil {
-			resID := reqs[p].ResourceID()
+		candidates := 0
+		if snap.index != nil {
+			resID := req.ResourceID()
 			sub, ok := subsets[resID]
 			if !ok {
-				sub = idx.subsetFor(resID)
+				sub = snap.index.subsetFor(resID)
 				subsets[resID] = sub
 			}
 			out[p] = sub.set.Evaluate(ctx)
-			candidates[mi] = sub.candidates
+			candidates = sub.candidates
 		} else {
-			out[p] = root.Evaluate(ctx)
+			out[p] = snap.root.Evaluate(ctx)
 		}
-	}
+		policy.ReleaseContext(ctx)
 
-	e.mu.Lock()
-	// See DecideAt: a moved epoch means the policy base changed under
-	// this batch, so the results must not be written back.
-	fill := useCache && e.epoch == epoch
-	for mi, p := range misses {
-		e.stats.Evaluations++
-		e.stats.IndexedCandidates += int64(candidates[mi])
-		e.stats.record(out[p].Decision)
-		if fill {
-			if len(e.cache) >= e.cacheMax {
-				for k := range e.cache {
-					delete(e.cache, k)
-					break
-				}
-			}
-			e.cache[reqs[p].CacheKey()] = cacheEntry{res: out[p], expires: at.Add(e.cacheTTL), resID: reqs[p].ResourceID()}
+		var hash uint64
+		if e.cache != nil {
+			hash = req.CacheKeyHash()
+		} else {
+			hash = policy.HashString(req.ResourceID())
+		}
+		e.stats.stripe(hash).recordEvaluation(out[p], candidates)
+		if e.cache != nil {
+			e.fill(snap, req.CacheKey(), hash, req.ResourceID(), out[p], at)
 		}
 	}
-	e.mu.Unlock()
 }
 
 // targetIndex partitions the direct children of a policy set by the exact

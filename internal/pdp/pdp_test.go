@@ -202,10 +202,7 @@ func TestCacheBoundEviction(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		e.Decide(policy.NewAccessRequest("u", fmt.Sprintf("res-%d", i), "read"))
 	}
-	e.mu.RLock()
-	n := len(e.cache)
-	e.mu.RUnlock()
-	if n > 2 {
+	if n := e.Stats().CacheEntries; n > 2 {
 		t.Errorf("cache holds %d entries, bound is 2", n)
 	}
 }

@@ -33,8 +33,10 @@ type Update struct {
 // target does not pin resource-id), any cached decision could be affected
 // and the whole cache is flushed, exactly as SetRoot would.
 //
-// The installed root and index are never mutated: readers that loaded them
-// before the swap keep evaluating a consistent snapshot. The root must be a
+// The update is published as a fresh snapshot: readers that loaded the
+// previous one keep evaluating a consistent root/index pair, and the
+// snapshot swap happens before the cache sweep so the epoch guard can
+// reject any stale fill that raced the change. The root must be a
 // *policy.PolicySet; otherwise ErrNotIncremental is returned and the caller
 // should rebuild via SetRoot.
 func (e *Engine) ApplyUpdate(u Update) error {
@@ -50,10 +52,14 @@ func (e *Engine) ApplyUpdate(u Update) error {
 		}
 	}
 
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	set, ok := e.root.(*policy.PolicySet)
-	if !ok || set == nil {
+	e.writerMu.Lock()
+	defer e.writerMu.Unlock()
+	snap := e.snap.Load()
+	var set *policy.PolicySet
+	if snap != nil {
+		set, _ = snap.root.(*policy.PolicySet)
+	}
+	if set == nil {
 		return fmt.Errorf("pdp %s: %w", e.name, ErrNotIncremental)
 	}
 
@@ -61,24 +67,28 @@ func (e *Engine) ApplyUpdate(u Update) error {
 	if newSet == nil {
 		return nil // removing an absent child is a no-op
 	}
-	e.root = newSet
+	next := &snapshot{root: newSet, epoch: snap.epoch + 1}
 	if e.indexEnabled {
-		if e.index != nil {
-			e.index = e.index.patched(newSet, pos, delta, u.Child)
+		if snap.index != nil {
+			next.index = snap.index.patched(newSet, pos, delta, u.Child)
 		} else {
-			e.index = buildIndex(newSet)
+			next.index = buildIndex(newSet)
 		}
 	}
-	e.stats.Updates++
-	e.epoch++ // in-flight evaluations of the old root must not cache
-	e.invalidateLocked(oldChild, u.Child)
+	// Publish before invalidating: in-flight evaluations of the old
+	// snapshot either observe the moved epoch and skip their cache fill,
+	// or land before the sweep below and are removed by it.
+	e.snap.Store(next)
+	e.stats.updates.Add(1)
+	e.invalidate(oldChild, u.Child)
 	return nil
 }
 
-// invalidateLocked drops exactly the cached decisions the change can
-// affect: entries whose resource key the old or new child constrains. A
-// catch-all on either side forces a full flush. Callers hold e.mu.
-func (e *Engine) invalidateLocked(oldChild, newChild policy.Evaluable) {
+// invalidate drops exactly the cached decisions the change can affect:
+// entries whose resource key the old or new child constrains, swept shard
+// by shard under each shard's own lock. A catch-all on either side forces
+// a full flush. Callers hold e.writerMu.
+func (e *Engine) invalidate(oldChild, newChild policy.Evaluable) {
 	if e.cache == nil {
 		return
 	}
@@ -89,20 +99,15 @@ func (e *Engine) invalidateLocked(oldChild, newChild policy.Evaluable) {
 		}
 		keys, catchAll := policy.ResourceKeys(ch)
 		if catchAll {
-			e.cache = make(map[string]cacheEntry, 64)
-			e.stats.CacheInvalidations++
+			e.cache.flush()
+			e.stats.cacheInvalidations.Add(1)
 			return
 		}
 		for _, k := range keys {
 			affected[k] = struct{}{}
 		}
 	}
-	for key, entry := range e.cache {
-		if _, hit := affected[entry.resID]; hit {
-			delete(e.cache, key)
-			e.stats.CacheInvalidations++
-		}
-	}
+	e.stats.cacheInvalidations.Add(e.cache.invalidate(affected))
 }
 
 // patched returns a copy of the index over newSet's children where the

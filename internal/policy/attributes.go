@@ -79,16 +79,24 @@ const (
 	AttrCurrentDate = "current-date"
 )
 
+// cacheKey is the memoised rendering of a request's cache key together
+// with its 64-bit hash, computed once and shared by every cache layer.
+type cacheKey struct {
+	rendered string
+	hash     uint64
+}
+
 // Request holds the attributes describing one access request: who (subject)
 // wants to do what (action) to which resource, in which environment. It is
 // the in-memory form of an XACML request context.
 type Request struct {
 	attrs map[Category]map[string]Bag
-	// key memoises CacheKey: decision caches at the PEP, the PDP and the
-	// cluster batch sweep all key on it, and rendering it dominates the
-	// cache-hit path. Stored atomically so concurrent evaluations of a
-	// shared request stay race-free; Add and Set invalidate it.
-	key atomic.Pointer[string]
+	// key memoises CacheKey and CacheKeyHash: decision caches at the PEP,
+	// the PDP and the cluster batch sweep all key on them, and rendering
+	// dominates the cache-hit path. Stored atomically so concurrent
+	// evaluations of a shared request stay race-free; Add and Set
+	// invalidate it.
+	key atomic.Pointer[cacheKey]
 }
 
 // NewRequest returns an empty request.
@@ -186,9 +194,16 @@ func (r *Request) Clone() *Request {
 // sorted order so logically equal requests share a key. The rendering is
 // memoised until the next Add or Set, so stacked cache layers (PEP, PDP,
 // batch sweep) pay for it once per request, not once per lookup.
-func (r *Request) CacheKey() string {
+func (r *Request) CacheKey() string { return r.cacheKey().rendered }
+
+// CacheKeyHash returns a 64-bit FNV-1a hash of CacheKey, memoised with the
+// rendering. Sharded decision caches use it to pick a shard (and the PDP a
+// stat stripe) without re-hashing the key per lookup.
+func (r *Request) CacheKeyHash() uint64 { return r.cacheKey().hash }
+
+func (r *Request) cacheKey() *cacheKey {
 	if k := r.key.Load(); k != nil {
-		return *k
+		return k
 	}
 	var sb strings.Builder
 	for _, cat := range Categories() {
@@ -205,9 +220,22 @@ func (r *Request) CacheKey() string {
 			sb.WriteByte(';')
 		}
 	}
-	key := sb.String()
-	r.key.Store(&key)
-	return key
+	k := &cacheKey{rendered: sb.String(), hash: HashString(sb.String())}
+	r.key.Store(k)
+	return k
+}
+
+// HashString is an allocation-free FNV-1a 64 over a string: deterministic
+// and well mixed in the low bits power-of-two masks select on. It is the
+// one hash behind CacheKeyHash, the PDP's cache-shard choice and its stat
+// stripes, so every layer agrees on placement.
+func HashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 // String renders a compact human-readable summary of the request.

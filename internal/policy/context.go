@@ -2,6 +2,7 @@ package policy
 
 import (
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -45,9 +46,43 @@ type Context struct {
 	Now time.Time
 
 	resolved map[attrKey]Bag
+	// timeBag and dateBag memoise the built-in environment attribute
+	// bags: Now is fixed for the context's lifetime, and current-date in
+	// particular costs an fmt.Sprintf to render, so repeated designator
+	// lookups reuse the first rendering.
+	timeBag, dateBag Bag
 	// ResolverCalls counts round-trips to the resolver, exposed so
 	// experiments can account PIP traffic (experiment E4).
 	ResolverCalls int
+}
+
+// contextPool recycles evaluation contexts: the PDP acquires one per
+// cache-miss evaluation, so at decision rates the per-call Context (and
+// its memo map, once grown) would otherwise dominate hot-path allocation.
+var contextPool = sync.Pool{New: func() any { return new(Context) }}
+
+// AcquireContext returns a pooled evaluation context over the request at
+// an explicit clock — the allocation-free counterpart of NewContextAt for
+// high-rate callers. Pass it to ReleaseContext once the evaluation's
+// Result has been read; Results never retain the context.
+func AcquireContext(req *Request, now time.Time) *Context {
+	c := contextPool.Get().(*Context)
+	c.Request = req
+	c.Now = now.UTC()
+	return c
+}
+
+// ReleaseContext resets a context acquired with AcquireContext and returns
+// it to the pool. The context must not be used after release.
+func ReleaseContext(c *Context) {
+	c.Request = nil
+	c.Resolver = nil
+	c.Now = time.Time{}
+	c.timeBag = nil
+	c.dateBag = nil
+	c.ResolverCalls = 0
+	clear(c.resolved) // keep the map: its capacity is the point of pooling
+	contextPool.Put(c)
 }
 
 // NewContext builds an evaluation context over the request with no resolver
@@ -89,10 +124,16 @@ func (c *Context) Attribute(cat Category, name string) (Bag, error) {
 	if cat == CategoryEnvironment {
 		switch name {
 		case AttrCurrentTime:
-			return Singleton(Time(c.now())), nil
+			if c.timeBag == nil {
+				c.timeBag = Singleton(Time(c.now()))
+			}
+			return c.timeBag, nil
 		case AttrCurrentDate:
-			y, m, d := c.now().Date()
-			return Singleton(String(fmt.Sprintf("%04d-%02d-%02d", y, m, d))), nil
+			if c.dateBag == nil {
+				y, m, d := c.now().Date()
+				c.dateBag = Singleton(String(fmt.Sprintf("%04d-%02d-%02d", y, m, d)))
+			}
+			return c.dateBag, nil
 		}
 	}
 	if c.Resolver == nil {
