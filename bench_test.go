@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -94,7 +95,7 @@ func BenchmarkPDPDecide(b *testing.B) {
 				engine, reqs := scalabilityFixture(b, n, index)
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					engine.DecideAt(reqs[i%len(reqs)], at)
+					engine.DecideAt(context.Background(), reqs[i%len(reqs)], at)
 				}
 			})
 		}
@@ -143,11 +144,11 @@ func BenchmarkClusterDecide(b *testing.B) {
 			b.Run(fmt.Sprintf("config=%s/shards=%d", cfg.name, shards), func(b *testing.B) {
 				router, reqs := clusterFixture(b, shards, cfg.opts...)
 				for _, req := range reqs {
-					router.DecideAt(req, at) // warm caches and indexes
+					router.DecideAt(context.Background(), req, at) // warm caches and indexes
 				}
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					router.DecideAt(reqs[i%len(reqs)], at)
+					router.DecideAt(context.Background(), reqs[i%len(reqs)], at)
 				}
 				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "decisions/s")
 			})
@@ -167,11 +168,11 @@ func BenchmarkClusterDecideBatch(b *testing.B) {
 	for _, shards := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("config=full/shards=%d", shards), func(b *testing.B) {
 			router, reqs := clusterFixture(b, shards, fullConfig()...)
-			router.DecideBatchAt(reqs, at) // warm caches and indexes
+			router.DecideBatchAt(context.Background(), reqs, at) // warm caches and indexes
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				off := (i * batch) % (len(reqs) - batch + 1)
-				router.DecideBatchAt(reqs[off:off+batch], at)
+				router.DecideBatchAt(context.Background(), reqs[off:off+batch], at)
 			}
 			b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "decisions/s")
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/decision")
@@ -202,7 +203,7 @@ func BenchmarkPolicyChurn(b *testing.B) {
 			router, reqs := clusterFixture(b, 4, fullConfig()...)
 			base := router.Root().(*policy.PolicySet)
 			for _, req := range reqs {
-				router.DecideAt(req, at) // warm caches and indexes
+				router.DecideAt(context.Background(), req, at) // warm caches and indexes
 			}
 			before := router.EngineStats()
 			writes := 0
@@ -227,7 +228,7 @@ func BenchmarkPolicyChurn(b *testing.B) {
 						b.Fatal(err)
 					}
 				}
-				router.DecideAt(reqs[i%len(reqs)], at)
+				router.DecideAt(context.Background(), reqs[i%len(reqs)], at)
 			}
 			b.StopTimer()
 			after := router.EngineStats()
@@ -249,7 +250,7 @@ func BenchmarkPEPEnforceCached(b *testing.B) {
 		pep.WithClock(func() time.Time { return at }))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		enf.EnforceAt(reqs[i%len(reqs)], at)
+		enf.EnforceAt(context.Background(), reqs[i%len(reqs)], at)
 	}
 }
 
@@ -463,13 +464,13 @@ func BenchmarkParallelDecide(b *testing.B) {
 		b.Run(mode, func(b *testing.B) {
 			engine, reqs := fixture(b, mode == "hit")
 			for _, req := range reqs {
-				engine.DecideAt(req, at) // warm cache, index and key memos
+				engine.DecideAt(context.Background(), req, at) // warm cache, index and key memos
 			}
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				i := int(parallelSeed.Add(7919))
 				for pb.Next() {
-					engine.DecideAt(reqs[i%len(reqs)], at)
+					engine.DecideAt(context.Background(), reqs[i%len(reqs)], at)
 					i++
 				}
 			})
@@ -486,13 +487,13 @@ func BenchmarkParallelClusterDecide(b *testing.B) {
 	at := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
 	router, reqs := clusterFixture(b, 4, fullConfig()...)
 	for _, req := range reqs {
-		router.DecideAt(req, at) // warm caches and indexes
+		router.DecideAt(context.Background(), req, at) // warm caches and indexes
 	}
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		i := int(parallelSeed.Add(7919))
 		for pb.Next() {
-			router.DecideAt(reqs[i%len(reqs)], at)
+			router.DecideAt(context.Background(), reqs[i%len(reqs)], at)
 			i++
 		}
 	})

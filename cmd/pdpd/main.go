@@ -58,10 +58,12 @@ import (
 )
 
 // decisionPoint is the deployment-independent surface pdpd serves: a
-// single pdp.Engine or a cluster.Router.
+// single pdp.Engine or a cluster.Router. Decisions carry the request
+// context wire.HTTPHandler arms from the envelope's deadline budget, so a
+// remote caller's deadline bounds the work this daemon does for it.
 type decisionPoint interface {
-	Decide(req *policy.Request) policy.Result
-	DecideBatch(reqs []*policy.Request) []policy.Result
+	Decide(ctx context.Context, req *policy.Request) policy.Result
+	DecideBatch(ctx context.Context, reqs []*policy.Request) []policy.Result
 	ApplyUpdate(u pdp.Update) error
 	SetRoot(root policy.Evaluable) error
 }
@@ -130,7 +132,14 @@ func main() {
 	})
 	log.Printf("pdpd: serving %s on %s (index=%v cache=%v shards=%d replicas=%d strategy=%s data-dir=%q)",
 		*policyPath, *addr, *useIndex, *cacheTTL, *shards, *replicas, *strategy, *dataDir)
-	server := &http.Server{Addr: *addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 
 	// SIGINT/SIGTERM trigger a graceful shutdown: stop accepting
 	// connections, drain in-flight requests, then flush and close the

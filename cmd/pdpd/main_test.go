@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -48,10 +49,10 @@ func TestAdminPreservesRootTarget(t *testing.T) {
 		t.Fatal(err)
 	}
 	outside := policy.NewAccessRequest("u", "res-1", "read")
-	if got := point.Decide(outside); got.Decision != policy.DecisionNotApplicable {
+	if got := point.Decide(context.Background(), outside); got.Decision != policy.DecisionNotApplicable {
 		t.Fatalf("out-of-target decision = %v, want not-applicable (root target dropped?)", got.Decision)
 	}
-	if got := point.Decide(policy.NewAccessRequest("u", "res-0", "read")); got.Decision != policy.DecisionPermit {
+	if got := point.Decide(context.Background(), policy.NewAccessRequest("u", "res-0", "read")); got.Decision != policy.DecisionPermit {
 		t.Fatalf("in-target decision = %v, want permit", got.Decision)
 	}
 	// The delta path preserves the root target too.
@@ -64,7 +65,7 @@ func TestAdminPreservesRootTarget(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("POST = %d: %s", rec.Code, rec.Body)
 	}
-	if got := point.Decide(outside); got.Decision != policy.DecisionNotApplicable {
+	if got := point.Decide(context.Background(), outside); got.Decision != policy.DecisionNotApplicable {
 		t.Fatalf("out-of-target decision after update = %v, want not-applicable", got.Decision)
 	}
 }
@@ -91,7 +92,7 @@ func TestAdminLiveUpdates(t *testing.T) {
 				t.Fatal(err)
 			}
 			req := policy.NewAccessRequest("u", "res-1", "write")
-			if got := point.Decide(req); got.Decision != policy.DecisionDeny {
+			if got := point.Decide(context.Background(), req); got.Decision != policy.DecisionDeny {
 				t.Fatalf("seed decision = %v, want deny", got.Decision)
 			}
 
@@ -111,7 +112,7 @@ func TestAdminLiveUpdates(t *testing.T) {
 			if rec.Code != http.StatusOK {
 				t.Fatalf("POST = %d: %s", rec.Code, rec.Body)
 			}
-			if got := point.Decide(req); got.Decision != policy.DecisionPermit {
+			if got := point.Decide(context.Background(), req); got.Decision != policy.DecisionPermit {
 				t.Fatalf("decision after POST = %v, want permit", got.Decision)
 			}
 
@@ -121,7 +122,7 @@ func TestAdminLiveUpdates(t *testing.T) {
 			if rec.Code != http.StatusNoContent {
 				t.Fatalf("DELETE = %d: %s", rec.Code, rec.Body)
 			}
-			if got := point.Decide(req); got.Decision != policy.DecisionNotApplicable {
+			if got := point.Decide(context.Background(), req); got.Decision != policy.DecisionNotApplicable {
 				t.Fatalf("decision after DELETE = %v, want not-applicable", got.Decision)
 			}
 			rec = httptest.NewRecorder()

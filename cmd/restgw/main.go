@@ -16,6 +16,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -23,7 +25,9 @@ import (
 	"net/http/httputil"
 	"net/url"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/dialect"
@@ -105,8 +109,38 @@ func run(upstream, policyPath, pdpEndpoint, addr string, routes routeFlags) erro
 			st.Requests, st.Permitted, st.Denied, st.Unrouted, st.Unauthenticated, st.Transformed)
 	})
 	log.Printf("restgw: protecting %s on %s (%d routes)", upstream, addr, len(routes))
-	server := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	return server.ListenAndServe()
+	server := &http.Server{
+		Addr:              addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	// SIGINT/SIGTERM trigger a graceful shutdown, mirroring cmd/pdpd: stop
+	// accepting connections and drain in-flight requests (whose decision
+	// queries the enforcement point cancels via each request's context).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- server.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		stop()
+		log.Printf("restgw: signal received, shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := server.Shutdown(shutCtx); err != nil {
+			return fmt.Errorf("restgw: http shutdown: %w", err)
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
 }
 
 // buildProvider loads the local engine or dials the remote PDP.

@@ -46,4 +46,23 @@
 // exactly the acknowledged pre-crash decisions. Experiment E19 and
 // BenchmarkWALAppend/BenchmarkRecovery measure the write and restart
 // paths.
+//
+// Every decision is context-bounded. The paper's architecture makes
+// authorisation an autonomous service reached over a network, so each
+// decision is an RPC that can hang; context.Context therefore threads
+// through every layer of the pipeline — engine, enforcement points,
+// ensembles, cluster scatter, federation flows and the wire transport.
+// Deadline expiry or cancellation surfaces as Indeterminate carrying the
+// cause, which deny-biased enforcement refuses: running out of time fails
+// closed, never open, and never hangs. The remaining deadline budget
+// travels in the envelope's signed header block (and as an HTTP header),
+// so a downstream PDP arms the same deadline the caller is counting down;
+// on the simulated network the budget bounds the call's virtual clock
+// across every hop of a multi-hop flow. Attribute resolution is a live,
+// cancelable part of evaluation: the ctx-aware policy.Resolver contract
+// lets engines fetch missing attributes mid-evaluation through pip
+// provider chains, with per-request memoisation (pip.RequestResolver) and
+// concurrent-miss coalescing (pip.Cache), so requests need not arrive
+// with attributes pre-populated. Experiment E21 measures the tail-latency
+// bound deadlines buy under an injected slow shard.
 package repro

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -49,7 +50,7 @@ func main() {
 		Add(policy.CategoryResource, policy.AttrResourceType, policy.String("dataset"))
 
 	// I+II of Fig. 2: capability request and response.
-	cap, issue := s.VO.RequestCapability("consumer", req, s.At(0))
+	cap, issue := s.VO.RequestCapability(context.Background(), "consumer", req, s.At(0))
 	if cap == nil {
 		log.Fatalf("capability refused: %v", issue.Err)
 	}
@@ -65,7 +66,7 @@ func main() {
 	// local to the PEP.
 	total := 0
 	for i := 0; i < 5; i++ {
-		out := s.VO.RequestWithCapability("consumer", req, cap, s.At(time.Duration(i)*time.Second))
+		out := s.VO.RequestWithCapability(context.Background(), "consumer", req, cap, s.At(time.Duration(i)*time.Second))
 		if !out.Allowed {
 			log.Fatalf("access %d refused: %v", i, out.Err)
 		}
@@ -78,11 +79,11 @@ func main() {
 	writeReq := policy.NewAccessRequest("bob", "trades-2026", "write").
 		Add(policy.CategoryResource, policy.AttrResourceDomain, policy.String("provider")).
 		Add(policy.CategoryResource, policy.AttrResourceType, policy.String("dataset"))
-	if out := s.VO.RequestWithCapability("consumer", writeReq, cap, s.At(0)); !out.Allowed {
+	if out := s.VO.RequestWithCapability(context.Background(), "consumer", writeReq, cap, s.At(0)); !out.Allowed {
 		fmt.Printf("write with a read capability: refused (%v)\n", out.Err)
 	}
 	// And it expires.
-	if out := s.VO.RequestWithCapability("consumer", req, cap, s.At(time.Hour)); !out.Allowed {
+	if out := s.VO.RequestWithCapability(context.Background(), "consumer", req, cap, s.At(time.Hour)); !out.Allowed {
 		fmt.Println("after its window: refused (expired)")
 	}
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -25,6 +26,7 @@ func main() {
 	dir := gen.Directory("idp")
 	base := gen.PolicyBase("org")
 	at := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	ctx := context.Background()
 
 	single := pdp.New("single", pdp.WithResolver(dir))
 	if err := single.SetRoot(base); err != nil {
@@ -55,7 +57,7 @@ func main() {
 	reqs := gen.Requests(1000)
 	agree := 0
 	for _, req := range reqs {
-		if router.DecideAt(req, at).Decision == single.DecideAt(req, at).Decision {
+		if router.DecideAt(ctx, req, at).Decision == single.DecideAt(ctx, req, at).Decision {
 			agree++
 		}
 	}
@@ -66,11 +68,11 @@ func main() {
 	// 2. Batching: group per shard, evaluate each group in one pass.
 	start := time.Now()
 	for _, req := range reqs {
-		router.DecideAt(req, at)
+		router.DecideAt(ctx, req, at)
 	}
 	perReq := time.Since(start)
 	start = time.Now()
-	router.DecideBatchAt(reqs, at)
+	router.DecideBatchAt(ctx, reqs, at)
 	batched := time.Since(start)
 	fmt.Printf("1000 decisions: per-request %v, batched %v (%.1fx)\n",
 		perReq.Round(time.Microsecond), batched.Round(time.Microsecond),
@@ -88,7 +90,7 @@ func main() {
 	}
 	survived := 0
 	for _, req := range reqs[:200] {
-		if router.DecideAt(req, at).Decision == single.DecideAt(req, at).Decision {
+		if router.DecideAt(ctx, req, at).Decision == single.DecideAt(ctx, req, at).Decision {
 			survived++
 		}
 	}
@@ -106,7 +108,7 @@ func main() {
 		name, moved, 100*float64(moved)/2000)
 	agree = 0
 	for _, req := range reqs[:200] {
-		if router.DecideAt(req, at).Decision == single.DecideAt(req, at).Decision {
+		if router.DecideAt(ctx, req, at).Decision == single.DecideAt(ctx, req, at).Decision {
 			agree++
 		}
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -38,7 +39,7 @@ func main() {
 	entropy := &seededReader{r: rand.New(rand.NewSource(7))}
 
 	net := wire.NewNetwork(5*time.Millisecond, 7)
-	net.Register("pep.ward", func(_ *wire.Call, env *wire.Envelope) (*wire.Envelope, error) {
+	net.Register("pep.ward", func(_ context.Context, _ *wire.Call, env *wire.Envelope) (*wire.Envelope, error) {
 		return env, nil
 	})
 
@@ -83,7 +84,7 @@ func main() {
 		if role != "" {
 			req.Add(policy.CategorySubject, policy.AttrSubjectRole, policy.String(role))
 		}
-		res := client.DecideAt(req, epoch.Add(time.Hour))
+		res := client.DecideAt(context.Background(), req, epoch.Add(time.Hour))
 		fmt.Printf("%-34s -> %-13s (decided by %s)\n", label, res.Decision, orDash(res.By))
 	}
 

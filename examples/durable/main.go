@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -88,7 +89,7 @@ func main() {
 
 	// The owning role (i mod 4) may read resource i; probe as the owner.
 	ownerRead := func(i int) policy.Result {
-		return router.Decide(policy.NewAccessRequest("alice", workload.ResourceID(i), "read").
+		return router.Decide(context.Background(), policy.NewAccessRequest("alice", workload.ResourceID(i), "read").
 			Add(policy.CategorySubject, "role", policy.String(workload.RoleID(i%4))))
 	}
 	for _, i := range []int{0, 7, 19} {

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -65,7 +66,7 @@ func main() {
 			Add(policy.CategoryResource, policy.AttrResourceType, policy.String("patient-record")),
 	}
 	for _, req := range requests {
-		out := enforcer.Enforce(req)
+		out := enforcer.Enforce(context.Background(), req)
 		verdict := "DENIED"
 		if out.Allowed {
 			verdict = "ALLOWED"

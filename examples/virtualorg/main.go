@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -93,7 +94,7 @@ func main() {
 		if tc.mutate != nil {
 			tc.mutate(req)
 		}
-		out := s.VO.Request(tc.home, req, s.At(time.Duration(i)*time.Minute))
+		out := s.VO.Request(context.Background(), tc.home, req, s.At(time.Duration(i)*time.Minute))
 		verdict := "DENIED"
 		if out.Allowed {
 			verdict = "allowed"

@@ -14,6 +14,7 @@
 package capability
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
@@ -38,16 +39,16 @@ var (
 )
 
 // DecisionProvider abstracts the policy engine the capability service
-// consults; *pdp.Engine satisfies it.
+// consults; *pdp.Engine satisfies it. ctx bounds the decision query.
 type DecisionProvider interface {
-	DecideAt(req *policy.Request, at time.Time) policy.Result
+	DecideAt(ctx context.Context, req *policy.Request, at time.Time) policy.Result
 }
 
 // AttributeSource abstracts the directory used for VOMS-style attribute
 // certificates; *pip.Directory's typed accessors are adapted through this
-// narrow interface.
+// narrow interface (it matches policy.Resolver, ctx included).
 type AttributeSource interface {
-	ResolveAttribute(req *policy.Request, cat policy.Category, name string) (policy.Bag, error)
+	ResolveAttribute(ctx context.Context, req *policy.Request, cat policy.Category, name string) (policy.Bag, error)
 }
 
 // Service is the trusted capability service of Fig. 2.
@@ -100,9 +101,9 @@ func (s *Service) nextID() string {
 // policy and, on Permit, returns a signed CAS-style capability (II)
 // asserting that subject may perform action on resource. The audience pins
 // the capability to one resource provider; empty means unrestricted.
-func (s *Service) IssueCapability(req *policy.Request, audience string) (*assertion.Assertion, error) {
+func (s *Service) IssueCapability(ctx context.Context, req *policy.Request, audience string) (*assertion.Assertion, error) {
 	now := s.now()
-	res := s.pdp.DecideAt(req, now)
+	res := s.pdp.DecideAt(ctx, req, now)
 	if res.Decision != policy.DecisionPermit {
 		s.mu.Lock()
 		s.rejected++
@@ -135,7 +136,7 @@ func (s *Service) IssueCapability(req *policy.Request, audience string) (*assert
 // certificate carrying the subject's attributes from the configured
 // attribute source. The resource provider evaluates its own policy against
 // these attributes, retaining the final decision as the paper describes.
-func (s *Service) IssueAttributeCertificate(subject string, attrNames []string, audience string) (*assertion.Assertion, error) {
+func (s *Service) IssueAttributeCertificate(ctx context.Context, subject string, attrNames []string, audience string) (*assertion.Assertion, error) {
 	if s.attrs == nil {
 		return nil, errors.New("capability: no attribute source configured")
 	}
@@ -143,7 +144,7 @@ func (s *Service) IssueAttributeCertificate(subject string, attrNames []string, 
 	probe := policy.NewRequest().Add(policy.CategorySubject, policy.AttrSubjectID, policy.String(subject))
 	attrs := make(map[string]policy.Bag, len(attrNames))
 	for _, name := range attrNames {
-		bag, err := s.attrs.ResolveAttribute(probe, policy.CategorySubject, name)
+		bag, err := s.attrs.ResolveAttribute(ctx, probe, policy.CategorySubject, name)
 		if err != nil {
 			return nil, fmt.Errorf("capability: resolve %s: %w", name, err)
 		}

@@ -1,6 +1,7 @@
 package capability
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -76,7 +77,7 @@ func newFixture(t *testing.T) *fixture {
 func TestIssueAndValidateCapability(t *testing.T) {
 	f := newFixture(t)
 	req := policy.NewAccessRequest("alice", "rec-7", "read")
-	cap, err := f.svc.IssueCapability(req, "pep.hospital-b")
+	cap, err := f.svc.IssueCapability(context.Background(), req, "pep.hospital-b")
 	if err != nil {
 		t.Fatalf("IssueCapability: %v", err)
 	}
@@ -95,11 +96,11 @@ func TestIssueAndValidateCapability(t *testing.T) {
 func TestIssueRefusedWhenPolicyDenies(t *testing.T) {
 	f := newFixture(t)
 	req := policy.NewAccessRequest("alice", "rec-7", "write") // only read is permitted
-	if _, err := f.svc.IssueCapability(req, ""); !errors.Is(err, ErrNotAuthorized) {
+	if _, err := f.svc.IssueCapability(context.Background(), req, ""); !errors.Is(err, ErrNotAuthorized) {
 		t.Errorf("want ErrNotAuthorized, got %v", err)
 	}
 	req = policy.NewAccessRequest("mallory", "rec-7", "read") // unknown subject
-	if _, err := f.svc.IssueCapability(req, ""); !errors.Is(err, ErrNotAuthorized) {
+	if _, err := f.svc.IssueCapability(context.Background(), req, ""); !errors.Is(err, ErrNotAuthorized) {
 		t.Errorf("unknown subject: want ErrNotAuthorized, got %v", err)
 	}
 	if _, rejected := f.svc.Counts(); rejected != 2 {
@@ -109,7 +110,7 @@ func TestIssueRefusedWhenPolicyDenies(t *testing.T) {
 
 func TestCapabilityInsufficientForOtherAccess(t *testing.T) {
 	f := newFixture(t)
-	cap, err := f.svc.IssueCapability(policy.NewAccessRequest("alice", "rec-7", "read"), "pep.hospital-b")
+	cap, err := f.svc.IssueCapability(context.Background(), policy.NewAccessRequest("alice", "rec-7", "read"), "pep.hospital-b")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestCapabilityInsufficientForOtherAccess(t *testing.T) {
 
 func TestCapabilityExpires(t *testing.T) {
 	f := newFixture(t)
-	cap, err := f.svc.IssueCapability(policy.NewAccessRequest("alice", "rec-7", "read"), "pep.hospital-b")
+	cap, err := f.svc.IssueCapability(context.Background(), policy.NewAccessRequest("alice", "rec-7", "read"), "pep.hospital-b")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestCapabilityExpires(t *testing.T) {
 
 func TestCapabilityWrongAudience(t *testing.T) {
 	f := newFixture(t)
-	cap, err := f.svc.IssueCapability(policy.NewAccessRequest("alice", "rec-7", "read"), "pep.other")
+	cap, err := f.svc.IssueCapability(context.Background(), policy.NewAccessRequest("alice", "rec-7", "read"), "pep.other")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestAttributeCertificateFlow(t *testing.T) {
 	// VOMS-style: the certificate carries roles; the provider's local
 	// policy makes the final decision.
 	f := newFixture(t)
-	ac, err := f.svc.IssueAttributeCertificate("alice",
+	ac, err := f.svc.IssueAttributeCertificate(context.Background(), "alice",
 		[]string{policy.AttrSubjectRole, policy.AttrSubjectGroup, "nonexistent"}, "pep.hospital-b")
 	if err != nil {
 		t.Fatalf("IssueAttributeCertificate: %v", err)
@@ -168,7 +169,7 @@ func TestAttributeCertificateFlow(t *testing.T) {
 
 func TestAttributeCertificateSubjectBinding(t *testing.T) {
 	f := newFixture(t)
-	ac, err := f.svc.IssueAttributeCertificate("alice", []string{policy.AttrSubjectRole}, "pep.hospital-b")
+	ac, err := f.svc.IssueAttributeCertificate(context.Background(), "alice", []string{policy.AttrSubjectRole}, "pep.hospital-b")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +182,7 @@ func TestAttributeCertificateSubjectBinding(t *testing.T) {
 
 func TestValidateRejectsMissingDecision(t *testing.T) {
 	f := newFixture(t)
-	ac, err := f.svc.IssueAttributeCertificate("alice", []string{policy.AttrSubjectRole}, "pep.hospital-b")
+	ac, err := f.svc.IssueAttributeCertificate(context.Background(), "alice", []string{policy.AttrSubjectRole}, "pep.hospital-b")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +195,7 @@ func TestCapabilityIDsUnique(t *testing.T) {
 	f := newFixture(t)
 	seen := make(map[string]bool)
 	for i := 0; i < 10; i++ {
-		cap, err := f.svc.IssueCapability(policy.NewAccessRequest("alice", "rec-7", "read"), "")
+		cap, err := f.svc.IssueCapability(context.Background(), policy.NewAccessRequest("alice", "rec-7", "read"), "")
 		if err != nil {
 			t.Fatal(err)
 		}

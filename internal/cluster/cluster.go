@@ -26,6 +26,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -457,21 +458,24 @@ func movedCount(prev, next []int) int {
 }
 
 // Decide routes the request at the router clock.
-func (r *Router) Decide(req *policy.Request) policy.Result {
-	return r.DecideAt(req, r.now())
+func (r *Router) Decide(ctx context.Context, req *policy.Request) policy.Result {
+	return r.DecideAt(ctx, req, r.now())
 }
 
 // DecideAt implements the DecisionProvider contract: route the request to
-// the shard owning its resource key and decide there. The read lock is
-// held across evaluation so a concurrent rebalance can never route a
-// request to a shard that no longer serves its policies.
-func (r *Router) DecideAt(req *policy.Request, at time.Time) policy.Result {
-	return r.DecideAtWith(req, at, nil)
+// the shard owning its resource key and decide there, bounded by ctx. The
+// read lock is held across evaluation so a concurrent rebalance can never
+// route a request to a shard that no longer serves its policies.
+func (r *Router) DecideAt(ctx context.Context, req *policy.Request, at time.Time) policy.Result {
+	return r.DecideAtWith(ctx, req, at, nil)
 }
 
 // DecideAtWith implements the ha.ResolverProvider extension, threading a
 // per-call attribute resolver to the owning shard group.
-func (r *Router) DecideAtWith(req *policy.Request, at time.Time, resolver policy.Resolver) policy.Result {
+func (r *Router) DecideAtWith(ctx context.Context, req *policy.Request, at time.Time, resolver policy.Resolver) policy.Result {
+	if err := ctx.Err(); err != nil {
+		return r.ctxDone(err)
+	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	r.stats.requests.Add(1)
@@ -479,7 +483,14 @@ func (r *Router) DecideAtWith(req *policy.Request, at time.Time, resolver policy
 	if s == nil {
 		return r.noShards()
 	}
-	return s.group.DecideAtWith(req, at, resolver)
+	return s.group.DecideAtWith(ctx, req, at, resolver)
+}
+
+// ctxDone renders a caller context expiring at the router: the fail-closed
+// Indeterminate every layer of the pipeline surfaces for out-of-time work.
+func (r *Router) ctxDone(err error) policy.Result {
+	return policy.Result{Decision: policy.DecisionIndeterminate,
+		Err: fmt.Errorf("cluster %s: context done before decision: %w", r.name, err)}
 }
 
 // shardForLocked resolves the owning shard. Keys the policy base
@@ -506,8 +517,8 @@ func (r *Router) noShards() policy.Result {
 
 // DecideBatch evaluates many requests at the router clock. See
 // DecideBatchAt.
-func (r *Router) DecideBatch(reqs []*policy.Request) []policy.Result {
-	return r.DecideBatchAt(reqs, r.now())
+func (r *Router) DecideBatch(ctx context.Context, reqs []*policy.Request) []policy.Result {
+	return r.DecideBatchAt(ctx, reqs, r.now())
 }
 
 // DecideBatchAt implements the batch contract: requests are grouped by
@@ -515,11 +526,19 @@ func (r *Router) DecideBatch(reqs []*policy.Request) []policy.Result {
 // amortising lock, cache-sweep and index overhead in the engines. Result i
 // answers request i.
 //
+// ctx bounds the whole scatter: once it is done the router stops fanning
+// out — undispatched shard groups are never started, in-flight groups see
+// the same ctx and abort inside the engine (or inside a stalled replica's
+// injected latency), and every position that did not finish returns
+// Indeterminate with the cause. One slow shard therefore bounds the
+// batch's latency at the caller's deadline instead of the shard's worst
+// case.
+//
 // Groups evaluate concurrently across shards only when the runtime has
 // spare parallelism (GOMAXPROCS > 2): policy evaluation is allocation-
 // heavy, and on small or heavily virtualised hosts the scheduler and GC
 // handoff cost of fan-out goroutines exceeds the overlap they buy.
-func (r *Router) DecideBatchAt(reqs []*policy.Request, at time.Time) []policy.Result {
+func (r *Router) DecideBatchAt(ctx context.Context, reqs []*policy.Request, at time.Time) []policy.Result {
 	if len(reqs) == 0 {
 		return nil
 	}
@@ -529,6 +548,13 @@ func (r *Router) DecideBatchAt(reqs []*policy.Request, at time.Time) []policy.Re
 	r.stats.batchRequests.Add(int64(len(reqs)))
 
 	out := make([]policy.Result, len(reqs))
+	if err := ctx.Err(); err != nil {
+		res := r.ctxDone(err)
+		for i := range out {
+			out[i] = res
+		}
+		return out
+	}
 	// Group request positions by shard ordinal: a slice walk, not a map,
 	// on the hot path.
 	groups := make([][]int, len(r.order))
@@ -548,9 +574,17 @@ func (r *Router) DecideBatchAt(reqs []*policy.Request, at time.Time) []policy.Re
 
 	// The scatter path threads the shared out buffer through ensemble,
 	// replica and engine: no per-group request slice, no per-layer result
-	// allocation, no copy-back.
+	// allocation, no copy-back. A group that is not dispatched because ctx
+	// expired first fails its positions closed here.
 	evaluate := func(s *shard, indexes []int) {
-		s.group.DecideScatterAt(reqs, indexes, at, out)
+		if err := ctx.Err(); err != nil {
+			res := r.ctxDone(err)
+			for _, p := range indexes {
+				out[p] = res
+			}
+			return
+		}
+		s.group.DecideScatterAt(ctx, reqs, indexes, at, out)
 	}
 
 	if live <= 1 || runtime.GOMAXPROCS(0) <= 2 {

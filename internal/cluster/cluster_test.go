@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -58,8 +59,8 @@ func TestClusterMatchesSingleEngine(t *testing.T) {
 			single, router, gen := fixture(t, tc.cfg, 200)
 			for i := 0; i < 500; i++ {
 				req := gen.NextRequest()
-				want := single.DecideAt(req, testEpoch)
-				got := router.DecideAt(req, testEpoch)
+				want := single.DecideAt(context.Background(), req, testEpoch)
+				got := router.DecideAt(context.Background(), req, testEpoch)
 				if got.Decision != want.Decision || got.By != want.By {
 					t.Fatalf("request %d (%s): cluster says %s by %s, single engine %s by %s",
 						i, req, got.Decision, got.By, want.Decision, want.By)
@@ -72,18 +73,18 @@ func TestClusterMatchesSingleEngine(t *testing.T) {
 func TestClusterDecideBatchMatchesDecide(t *testing.T) {
 	single, router, gen := fixture(t, Config{Shards: 4}, 200)
 	reqs := gen.Requests(300)
-	results := router.DecideBatchAt(reqs, testEpoch)
+	results := router.DecideBatchAt(context.Background(), reqs, testEpoch)
 	if len(results) != len(reqs) {
 		t.Fatalf("got %d results for %d requests", len(results), len(reqs))
 	}
 	for i, res := range results {
-		want := single.DecideAt(reqs[i], testEpoch)
+		want := single.DecideAt(context.Background(), reqs[i], testEpoch)
 		if res.Decision != want.Decision || res.By != want.By {
 			t.Fatalf("batch item %d: %s by %s, want %s by %s",
 				i, res.Decision, res.By, want.Decision, want.By)
 		}
 	}
-	if got := router.DecideBatchAt(nil, testEpoch); got != nil {
+	if got := router.DecideBatchAt(context.Background(), nil, testEpoch); got != nil {
 		t.Fatalf("empty batch returned %v", got)
 	}
 	st := router.Stats()
@@ -137,8 +138,8 @@ func TestClusterRebalanceStability(t *testing.T) {
 	check := func() {
 		for i := 0; i < 300; i++ {
 			req := gen.NextRequest()
-			want := single.DecideAt(req, testEpoch)
-			got := router.DecideAt(req, testEpoch)
+			want := single.DecideAt(context.Background(), req, testEpoch)
+			got := router.DecideAt(context.Background(), req, testEpoch)
 			if got.Decision != want.Decision || got.By != want.By {
 				t.Fatalf("after rebalance, %s: %s by %s, want %s by %s",
 					req, got.Decision, got.By, want.Decision, want.By)
@@ -177,7 +178,7 @@ func TestClusterShardFailover(t *testing.T) {
 	if victimReq == nil {
 		t.Fatal("no resource owned by the victim shard")
 	}
-	want := single.DecideAt(victimReq, testEpoch)
+	want := single.DecideAt(context.Background(), victimReq, testEpoch)
 
 	replicas, err := router.Replicas(victim)
 	if err != nil {
@@ -186,18 +187,18 @@ func TestClusterShardFailover(t *testing.T) {
 	// Two of three replicas down: failover keeps the verdict identical.
 	replicas[0].SetDown(true)
 	replicas[1].SetDown(true)
-	if got := router.DecideAt(victimReq, testEpoch); got.Decision != want.Decision {
+	if got := router.DecideAt(context.Background(), victimReq, testEpoch); got.Decision != want.Decision {
 		t.Fatalf("with 2/3 replicas down: %s, want %s", got.Decision, want.Decision)
 	}
 
 	// All three down: the shard's requests fail closed...
 	replicas[2].SetDown(true)
-	got := router.DecideAt(victimReq, testEpoch)
+	got := router.DecideAt(context.Background(), victimReq, testEpoch)
 	if got.Decision != policy.DecisionIndeterminate || !errors.Is(got.Err, ha.ErrAllReplicasDown) {
 		t.Fatalf("with 3/3 replicas down: %s (%v), want Indeterminate/all-replicas-down", got.Decision, got.Err)
 	}
 	// ...and batches against the dead shard fail closed per-request too.
-	for _, res := range router.DecideBatchAt([]*policy.Request{victimReq, victimReq}, testEpoch) {
+	for _, res := range router.DecideBatchAt(context.Background(), []*policy.Request{victimReq, victimReq}, testEpoch) {
 		if res.Decision != policy.DecisionIndeterminate {
 			t.Fatalf("batch against dead shard: %s, want Indeterminate", res.Decision)
 		}
@@ -213,8 +214,8 @@ func TestClusterShardFailover(t *testing.T) {
 		}
 	}
 	req := policy.NewAccessRequest("user-1", other, "read")
-	want = single.DecideAt(req, testEpoch)
-	if got := router.DecideAt(req, testEpoch); got.Decision != want.Decision {
+	want = single.DecideAt(context.Background(), req, testEpoch)
+	if got := router.DecideAt(context.Background(), req, testEpoch); got.Decision != want.Decision {
 		t.Fatalf("healthy shard affected by sibling crash: %s, want %s", got.Decision, want.Decision)
 	}
 
@@ -222,8 +223,8 @@ func TestClusterShardFailover(t *testing.T) {
 	for _, rep := range replicas {
 		rep.SetDown(false)
 	}
-	want = single.DecideAt(victimReq, testEpoch)
-	if got := router.DecideAt(victimReq, testEpoch); got.Decision != want.Decision {
+	want = single.DecideAt(context.Background(), victimReq, testEpoch)
+	if got := router.DecideAt(context.Background(), victimReq, testEpoch); got.Decision != want.Decision {
 		t.Fatalf("after revival: %s, want %s", got.Decision, want.Decision)
 	}
 }
@@ -240,8 +241,8 @@ func TestClusterRebalanceFlushesMovedCaches(t *testing.T) {
 
 	reqs := gen.Requests(200)
 	for _, req := range reqs {
-		router.DecideAt(req, testEpoch)
-		router.DecideAt(req, testEpoch) // warm the per-shard caches
+		router.DecideAt(context.Background(), req, testEpoch)
+		router.DecideAt(context.Background(), req, testEpoch) // warm the per-shard caches
 	}
 	if _, err := router.AddShard(); err != nil {
 		t.Fatal(err)
@@ -249,7 +250,7 @@ func TestClusterRebalanceFlushesMovedCaches(t *testing.T) {
 	// Decisions for moved resources re-evaluate on the new owner rather
 	// than serving another shard's stale cache; verdicts stay correct.
 	for _, req := range reqs {
-		res := router.DecideAt(req, testEpoch)
+		res := router.DecideAt(context.Background(), req, testEpoch)
 		if res.Decision == policy.DecisionIndeterminate {
 			t.Fatalf("post-rebalance Indeterminate for %s: %v", req, res.Err)
 		}
@@ -268,7 +269,7 @@ func TestClusterConfigAndErrors(t *testing.T) {
 		t.Fatal("SetRoot accepted nil root")
 	}
 	// Deciding before any root is installed fails closed.
-	res := router.DecideAt(policy.NewAccessRequest("u", "r", "read"), testEpoch)
+	res := router.DecideAt(context.Background(), policy.NewAccessRequest("u", "r", "read"), testEpoch)
 	if res.Decision != policy.DecisionIndeterminate {
 		t.Fatalf("rootless decide: %s, want Indeterminate", res.Decision)
 	}
@@ -305,8 +306,8 @@ func TestClusterNonPartitionableRoot(t *testing.T) {
 	for _, action := range []string{"read", "write"} {
 		for i := 0; i < 30; i++ {
 			req := policy.NewAccessRequest("u", workload.ResourceID(i), action)
-			want := single.DecideAt(req, testEpoch)
-			got := router.DecideAt(req, testEpoch)
+			want := single.DecideAt(context.Background(), req, testEpoch)
+			got := router.DecideAt(context.Background(), req, testEpoch)
 			if got.Decision != want.Decision {
 				t.Fatalf("%s %s: %s, want %s", action, workload.ResourceID(i), got.Decision, want.Decision)
 			}
@@ -318,7 +319,7 @@ func TestClusterNonPartitionableRoot(t *testing.T) {
 		t.Fatal(err)
 	}
 	req := policy.NewAccessRequest("u", "anything", "read")
-	if got := router.DecideAt(req, testEpoch); got.Decision != policy.DecisionPermit {
+	if got := router.DecideAt(context.Background(), req, testEpoch); got.Decision != policy.DecisionPermit {
 		t.Fatalf("new shard after rebalance: %s, want Permit", got.Decision)
 	}
 }
@@ -359,8 +360,8 @@ func TestClusterDisjunctiveTargetReplicated(t *testing.T) {
 	for i := 0; i < 40; i++ {
 		req := policy.NewAccessRequest("root", workload.ResourceID(i), "write").
 			Add(policy.CategorySubject, policy.AttrSubjectRole, policy.String("admin"))
-		want := single.DecideAt(req, testEpoch)
-		got := router.DecideAt(req, testEpoch)
+		want := single.DecideAt(context.Background(), req, testEpoch)
+		got := router.DecideAt(context.Background(), req, testEpoch)
 		if want.Decision != policy.DecisionPermit {
 			t.Fatalf("single engine: admin on %s = %s, want Permit", workload.ResourceID(i), want.Decision)
 		}
@@ -376,7 +377,7 @@ func TestClusterDisjunctiveTargetReplicated(t *testing.T) {
 func TestClusterLoadBalance(t *testing.T) {
 	_, router, gen := fixture(t, Config{Shards: 4}, 500)
 	for _, req := range gen.Requests(2000) {
-		router.DecideAt(req, testEpoch)
+		router.DecideAt(context.Background(), req, testEpoch)
 	}
 	loads := router.ShardLoads()
 	if len(loads) != 4 {

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -139,8 +140,8 @@ func TestRouterApplyUpdateEquivalence(t *testing.T) {
 						t.Fatalf("seed %d op %d: rebuild: %v", seed, op, err)
 					}
 					for _, req := range reqs {
-						got := router.DecideAt(req, testEpoch)
-						want := rebuilt.DecideAt(req, testEpoch)
+						got := router.DecideAt(context.Background(), req, testEpoch)
+						want := rebuilt.DecideAt(context.Background(), req, testEpoch)
 						if got.Decision != want.Decision || got.By != want.By {
 							t.Fatalf("seed %d op %d: %s on %s: cluster delta = %v by %s, rebuild = %v by %s",
 								seed, op, req.ActionID(), req.ResourceID(),
@@ -177,7 +178,7 @@ func TestRouterApplyUpdateKeepsOtherShardsWarm(t *testing.T) {
 		warm = append(warm, policy.NewAccessRequest("u", fmt.Sprintf("res-%d", i), "read"))
 	}
 	for _, req := range warm {
-		if got := router.DecideAt(req, testEpoch); got.Decision != policy.DecisionPermit {
+		if got := router.DecideAt(context.Background(), req, testEpoch); got.Decision != policy.DecisionPermit {
 			t.Fatalf("warm-up %s: %v", req.ResourceID(), got.Decision)
 		}
 	}
@@ -192,11 +193,11 @@ func TestRouterApplyUpdateKeepsOtherShardsWarm(t *testing.T) {
 	}
 
 	for _, req := range warm[1:] {
-		if got := router.DecideAt(req, testEpoch); got.Decision != policy.DecisionPermit {
+		if got := router.DecideAt(context.Background(), req, testEpoch); got.Decision != policy.DecisionPermit {
 			t.Fatalf("unaffected %s: %v", req.ResourceID(), got.Decision)
 		}
 	}
-	if got := router.DecideAt(warm[0], testEpoch); got.Decision != policy.DecisionDeny {
+	if got := router.DecideAt(context.Background(), warm[0], testEpoch); got.Decision != policy.DecisionDeny {
 		t.Fatalf("res-0 read after update = %v, want deny", got.Decision)
 	}
 	after := router.EngineStats()
@@ -216,7 +217,7 @@ func TestRouterApplyUpdateKeepsOtherShardsWarm(t *testing.T) {
 	}
 	mid := router.EngineStats()
 	for _, req := range warm {
-		router.DecideAt(req, testEpoch)
+		router.DecideAt(context.Background(), req, testEpoch)
 	}
 	cold := router.EngineStats()
 	if hits := cold.CacheHits - mid.CacheHits; hits != 0 {
@@ -265,8 +266,8 @@ func TestRouterApplyUpdateUnsortedInsertFallsBack(t *testing.T) {
 		for _, res := range resources {
 			for _, action := range []string{"read", "write"} {
 				req := policy.NewAccessRequest("u", res, action)
-				got := router.DecideAt(req, testEpoch)
-				want := ref.DecideAt(req, testEpoch)
+				got := router.DecideAt(context.Background(), req, testEpoch)
+				want := ref.DecideAt(context.Background(), req, testEpoch)
 				if got.Decision != want.Decision || got.By != want.By {
 					t.Fatalf("%s %s: cluster = %v by %s, engine = %v by %s",
 						action, res, got.Decision, got.By, want.Decision, want.By)
@@ -349,7 +350,7 @@ func TestAddShardRollback(t *testing.T) {
 	if err := router.SetRoot(updModelRoot(model)); err != nil {
 		t.Fatal(err)
 	}
-	want := router.DecideAt(policy.NewAccessRequest("u", "res-3", "read"), testEpoch)
+	want := router.DecideAt(context.Background(), policy.NewAccessRequest("u", "res-3", "read"), testEpoch)
 	if want.Decision != policy.DecisionPermit {
 		t.Fatalf("baseline decision = %v", want.Decision)
 	}
@@ -378,7 +379,7 @@ func TestAddShardRollback(t *testing.T) {
 			t.Fatalf("res-%d owner = %q after rollback, want c/shard-0", i, owner)
 		}
 	}
-	got := router.DecideAt(policy.NewAccessRequest("u", "res-3", "read"), testEpoch)
+	got := router.DecideAt(context.Background(), policy.NewAccessRequest("u", "res-3", "read"), testEpoch)
 	if got.Decision != want.Decision {
 		t.Fatalf("decision after rollback = %v, want %v", got.Decision, want.Decision)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -48,7 +49,7 @@ func TestSystemEndToEnd(t *testing.T) {
 		Add(policy.CategorySubject, policy.AttrSubjectDomain, policy.String("hospital-a")).
 		Add(policy.CategoryResource, policy.AttrResourceDomain, policy.String("hospital-a")).
 		Add(policy.CategoryResource, policy.AttrResourceType, policy.String("patient-record"))
-	out := s.VO.Request("hospital-a", req, s.At(time.Hour))
+	out := s.VO.Request(context.Background(), "hospital-a", req, s.At(time.Hour))
 	if !out.Allowed {
 		t.Fatalf("end-to-end request refused: %v", out.Err)
 	}
@@ -192,13 +193,13 @@ func TestReplicatePDP(t *testing.T) {
 	req := policy.NewAccessRequest("u", "rec", "read").
 		Add(policy.CategorySubject, policy.AttrSubjectRole, policy.String("doctor")).
 		Add(policy.CategoryResource, policy.AttrResourceType, policy.String("patient-record"))
-	if res := ensemble.DecideAt(req, s.At(0)); res.Decision != policy.DecisionPermit {
+	if res := ensemble.DecideAt(context.Background(), req, s.At(0)); res.Decision != policy.DecisionPermit {
 		t.Fatalf("ensemble decision = %v", res.Decision)
 	}
 	// Survives two crashes under failover.
 	replicas[0].SetDown(true)
 	replicas[1].SetDown(true)
-	if res := ensemble.DecideAt(req, s.At(0)); res.Decision != policy.DecisionPermit {
+	if res := ensemble.DecideAt(context.Background(), req, s.At(0)); res.Decision != policy.DecisionPermit {
 		t.Errorf("2-crash decision = %v (%v)", res.Decision, res.Err)
 	}
 	if _, _, err := s.ReplicatePDP(d, 0, ha.Failover); err == nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -45,7 +46,7 @@ func crossDomainReq() *policy.Request {
 
 func TestFederatedRequestsThroughEnsemble(t *testing.T) {
 	s, _ := dependableFixture(t, ha.Failover, 3)
-	out := s.VO.Request("hospital-b", crossDomainReq(), s.At(time.Hour))
+	out := s.VO.Request(context.Background(), "hospital-b", crossDomainReq(), s.At(time.Hour))
 	if !out.Allowed {
 		t.Fatalf("ensemble-backed request refused: %v", out.Err)
 	}
@@ -60,13 +61,13 @@ func TestFederatedFlowSurvivesReplicaCrashes(t *testing.T) {
 	s, replicas := dependableFixture(t, ha.Failover, 3)
 	replicas[0].SetDown(true)
 	replicas[1].SetDown(true)
-	out := s.VO.Request("hospital-b", crossDomainReq(), s.At(time.Hour))
+	out := s.VO.Request(context.Background(), "hospital-b", crossDomainReq(), s.At(time.Hour))
 	if !out.Allowed {
 		t.Fatalf("request with 2/3 replicas down refused: %v", out.Err)
 	}
 	// All three down: deny-biased refusal, not a hang or a permit.
 	replicas[2].SetDown(true)
-	out = s.VO.Request("hospital-b", crossDomainReq(), s.At(time.Hour))
+	out = s.VO.Request(context.Background(), "hospital-b", crossDomainReq(), s.At(time.Hour))
 	if out.Allowed {
 		t.Fatal("request with all replicas down must be refused")
 	}
@@ -77,7 +78,7 @@ func TestFederatedFlowSurvivesReplicaCrashes(t *testing.T) {
 
 func TestRevocationReachesAllReplicas(t *testing.T) {
 	s, _ := dependableFixture(t, ha.Quorum, 3)
-	out := s.VO.Request("hospital-b", crossDomainReq(), s.At(time.Hour))
+	out := s.VO.Request(context.Background(), "hospital-b", crossDomainReq(), s.At(time.Hour))
 	if !out.Allowed {
 		t.Fatalf("precondition: %v", out.Err)
 	}
@@ -90,7 +91,7 @@ func TestRevocationReachesAllReplicas(t *testing.T) {
 		Build()); err != nil {
 		t.Fatal(err)
 	}
-	out = s.VO.Request("hospital-b", crossDomainReq(), s.At(2*time.Hour))
+	out = s.VO.Request(context.Background(), "hospital-b", crossDomainReq(), s.At(2*time.Hour))
 	if out.Allowed {
 		t.Fatal("revocation must propagate to every replica")
 	}
@@ -100,13 +101,13 @@ func TestQuorumEnsembleInFederation(t *testing.T) {
 	s, replicas := dependableFixture(t, ha.Quorum, 3)
 	// A quorum tolerates one crash.
 	replicas[1].SetDown(true)
-	out := s.VO.Request("hospital-b", crossDomainReq(), s.At(time.Hour))
+	out := s.VO.Request(context.Background(), "hospital-b", crossDomainReq(), s.At(time.Hour))
 	if !out.Allowed {
 		t.Fatalf("quorum with one crash refused: %v", out.Err)
 	}
 	// Two crashes break the majority: refused.
 	replicas[2].SetDown(true)
-	out = s.VO.Request("hospital-b", crossDomainReq(), s.At(time.Hour))
+	out = s.VO.Request(context.Background(), "hospital-b", crossDomainReq(), s.At(time.Hour))
 	if out.Allowed {
 		t.Fatal("no quorum must refuse")
 	}
@@ -116,12 +117,12 @@ func TestUseDeciderRestoresDefault(t *testing.T) {
 	s, replicas := dependableFixture(t, ha.Failover, 1)
 	a, _ := s.VO.Domain("hospital-a")
 	replicas[0].SetDown(true)
-	if out := s.VO.Request("hospital-b", crossDomainReq(), s.At(time.Hour)); out.Allowed {
+	if out := s.VO.Request(context.Background(), "hospital-b", crossDomainReq(), s.At(time.Hour)); out.Allowed {
 		t.Fatal("downed single replica must refuse")
 	}
 	// Restoring the built-in engine brings the domain back.
 	a.UseDecider(nil)
-	if out := s.VO.Request("hospital-b", crossDomainReq(), s.At(time.Hour)); !out.Allowed {
+	if out := s.VO.Request(context.Background(), "hospital-b", crossDomainReq(), s.At(time.Hour)); !out.Allowed {
 		t.Fatalf("default engine restore: %v", out.Err)
 	}
 }

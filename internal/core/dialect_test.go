@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -38,10 +39,10 @@ policy records first-applicable {
 			Add(policy.CategoryResource, policy.AttrResourceDomain, policy.String("hospital-b")).
 			Add(policy.CategoryResource, policy.AttrResourceType, policy.String("patient-record"))
 	}
-	if out := s.VO.Request("hospital-b", req("bob"), s.At(time.Hour)); !out.Allowed {
+	if out := s.VO.Request(context.Background(), "hospital-b", req("bob"), s.At(time.Hour)); !out.Allowed {
 		t.Fatalf("dialect-admitted policy refused bob: %v", out.Err)
 	}
-	if out := s.VO.Request("hospital-b", req("mallory"), s.At(time.Hour)); out.Allowed {
+	if out := s.VO.Request(context.Background(), "hospital-b", req("mallory"), s.At(time.Hour)); out.Allowed {
 		t.Fatal("dialect-admitted policy permitted mallory")
 	}
 }

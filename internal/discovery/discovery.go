@@ -27,6 +27,7 @@
 package discovery
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -112,7 +113,7 @@ func (r *Registry) Lookup(authority string) []Entry {
 
 // Decider is the decision source a signed decision point serves.
 type Decider interface {
-	DecideAt(req *policy.Request, at time.Time) policy.Result
+	DecideAt(ctx context.Context, req *policy.Request, at time.Time) policy.Result
 }
 
 // ServeSigned registers a decision point on the network: it answers
@@ -120,12 +121,12 @@ type Decider interface {
 // and valid for ttl. Both permits and denies are signed — a deny is a
 // decision, not an error.
 func ServeSigned(net *wire.Network, node string, decider Decider, key pki.KeyPair, issuer string, ttl time.Duration) {
-	net.Register(node, func(_ *wire.Call, env *wire.Envelope) (*wire.Envelope, error) {
+	net.Register(node, func(ctx context.Context, _ *wire.Call, env *wire.Envelope) (*wire.Envelope, error) {
 		req, err := xacml.UnmarshalRequestJSON(env.Body)
 		if err != nil {
 			return nil, fmt.Errorf("discovery: %s: %w", node, err)
 		}
-		res := decider.DecideAt(req, env.Timestamp)
+		res := decider.DecideAt(ctx, req, env.Timestamp)
 		a := &assertion.Assertion{
 			ID:           net.NextMessageID(node),
 			Issuer:       issuer,
@@ -230,22 +231,38 @@ func (c *Client) reject(node string, err error) {
 
 // DecideAt discovers a decision point of the client's authority and
 // returns its verified decision. Unreachable nodes fail over; responses
-// that do not verify are discarded. With no verifiable decision the result
-// is Indeterminate carrying ErrNoDecisionPoint.
-func (c *Client) DecideAt(req *policy.Request, at time.Time) policy.Result {
+// that do not verify are discarded; a ctx done between nodes stops the
+// walk — discovery does not keep shopping for a decision its caller can
+// no longer use. With no verifiable decision the result is Indeterminate
+// carrying ErrNoDecisionPoint.
+func (c *Client) DecideAt(ctx context.Context, req *policy.Request, at time.Time) policy.Result {
 	c.count(func(s *Stats) { s.Queries++ })
 	entries := c.reg.Lookup(c.authority)
 	body, err := xacml.MarshalRequestJSON(req)
 	if err != nil {
 		return policy.Result{Decision: policy.DecisionIndeterminate, Err: err}
 	}
+	// A caller deadline becomes the envelope budget, so the virtual
+	// network bounds each discovery attempt exactly as a real transport
+	// would.
+	var budget time.Duration
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem > 0 {
+			budget = rem
+		}
+	}
 	for _, e := range entries {
+		if err := ctx.Err(); err != nil {
+			return policy.Result{Decision: policy.DecisionIndeterminate,
+				Err: fmt.Errorf("discovery: context done before decision: %w", err)}
+		}
 		c.count(func(s *Stats) { s.NodesTried++ })
-		reply, err := c.net.Send(&wire.Call{}, &wire.Envelope{
+		reply, err := c.net.Send(ctx, &wire.Call{}, &wire.Envelope{
 			From:      c.from,
 			To:        e.Node,
 			Action:    "pdp:decide-signed",
 			Timestamp: at,
+			Deadline:  budget,
 			Body:      body,
 		})
 		if err != nil {

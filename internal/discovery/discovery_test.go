@@ -1,6 +1,7 @@
 package discovery
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -94,7 +95,7 @@ func newFixture(t *testing.T, opts ...ClientOption) *fixture {
 			f.med2Entry = entry
 		}
 	}
-	f.net.Register("pep.ward", func(_ *wire.Call, env *wire.Envelope) (*wire.Envelope, error) {
+	f.net.Register("pep.ward", func(_ context.Context, _ *wire.Call, env *wire.Envelope) (*wire.Envelope, error) {
 		return env, nil
 	})
 	f.client = NewClient(f.net, f.reg, root.Certificate(), "authority.med", "pep.ward", opts...)
@@ -108,7 +109,7 @@ func doctorReq(subject, action string) *policy.Request {
 
 func TestSignedDecisionHappyPath(t *testing.T) {
 	f := newFixture(t)
-	res := f.client.DecideAt(doctorReq("alice", "read"), at)
+	res := f.client.DecideAt(context.Background(), doctorReq("alice", "read"), at)
 	if res.Decision != policy.DecisionPermit {
 		t.Fatalf("decision = %v (%v), want Permit", res.Decision, res.Err)
 	}
@@ -116,7 +117,7 @@ func TestSignedDecisionHappyPath(t *testing.T) {
 		t.Errorf("decider = %q, want first registered node", res.By)
 	}
 	// A deny is a verified decision too, not a reason to shop around.
-	res = f.client.DecideAt(doctorReq("alice", "delete"), at)
+	res = f.client.DecideAt(context.Background(), doctorReq("alice", "delete"), at)
 	if res.Decision != policy.DecisionDeny {
 		t.Fatalf("deny decision = %v, want Deny", res.Decision)
 	}
@@ -129,7 +130,7 @@ func TestSignedDecisionHappyPath(t *testing.T) {
 func TestFailoverToSecondNode(t *testing.T) {
 	f := newFixture(t)
 	f.net.SetNodeDown("pdp.med.1", true)
-	res := f.client.DecideAt(doctorReq("alice", "read"), at)
+	res := f.client.DecideAt(context.Background(), doctorReq("alice", "read"), at)
 	if res.Decision != policy.DecisionPermit {
 		t.Fatalf("decision = %v (%v), want Permit via second node", res.Decision, res.Err)
 	}
@@ -145,7 +146,7 @@ func TestAllNodesDownFailsClosed(t *testing.T) {
 	f := newFixture(t)
 	f.net.SetNodeDown("pdp.med.1", true)
 	f.net.SetNodeDown("pdp.med.2", true)
-	res := f.client.DecideAt(doctorReq("alice", "read"), at)
+	res := f.client.DecideAt(context.Background(), doctorReq("alice", "read"), at)
 	if res.Decision != policy.DecisionIndeterminate || !errors.Is(res.Err, ErrNoDecisionPoint) {
 		t.Fatalf("result = %+v, want Indeterminate/ErrNoDecisionPoint", res)
 	}
@@ -184,7 +185,7 @@ func TestRoguePDPIsRejected(t *testing.T) {
 
 	// mallory is no doctor: the rogue would permit her, the honest node
 	// denies. The verified outcome must be the honest deny.
-	res := client.DecideAt(policy.NewAccessRequest("mallory", "rec-7", "read"), at)
+	res := client.DecideAt(context.Background(), policy.NewAccessRequest("mallory", "rec-7", "read"), at)
 	if res.Decision != policy.DecisionDeny {
 		t.Fatalf("decision = %v (%v), want honest Deny", res.Decision, res.Err)
 	}
@@ -199,12 +200,12 @@ func TestTamperedDecisionIsRejected(t *testing.T) {
 	f := newFixture(t)
 	key := f.keys["pdp.med.1"]
 	engine := newEngine(t, "mitm-engine")
-	f.net.Register("pdp.med.1", func(_ *wire.Call, env *wire.Envelope) (*wire.Envelope, error) {
+	f.net.Register("pdp.med.1", func(_ context.Context, _ *wire.Call, env *wire.Envelope) (*wire.Envelope, error) {
 		req, err := xacmlRequest(env.Body)
 		if err != nil {
 			return nil, err
 		}
-		res := engine.DecideAt(req, env.Timestamp)
+		res := engine.DecideAt(context.Background(), req, env.Timestamp)
 		a := &assertion.Assertion{
 			ID: "forged", Issuer: "pdp.med.1", Subject: req.SubjectID(),
 			IssuedAt: env.Timestamp, NotBefore: env.Timestamp,
@@ -221,7 +222,7 @@ func TestTamperedDecisionIsRejected(t *testing.T) {
 		}
 		return &wire.Envelope{Action: "pdp:signed-decision", Timestamp: env.Timestamp, Body: body}, nil
 	})
-	res := f.client.DecideAt(policy.NewAccessRequest("mallory", "rec-7", "read"), at)
+	res := f.client.DecideAt(context.Background(), policy.NewAccessRequest("mallory", "rec-7", "read"), at)
 	// The tampered permit is discarded; the honest second node denies.
 	if res.Decision != policy.DecisionDeny {
 		t.Fatalf("decision = %v (%v), want Deny", res.Decision, res.Err)
@@ -236,7 +237,7 @@ func TestMisboundDecisionIsRejected(t *testing.T) {
 	// binding check must refuse it even though the signature verifies.
 	f := newFixture(t)
 	key := f.keys["pdp.med.1"]
-	f.net.Register("pdp.med.1", func(_ *wire.Call, env *wire.Envelope) (*wire.Envelope, error) {
+	f.net.Register("pdp.med.1", func(_ context.Context, _ *wire.Call, env *wire.Envelope) (*wire.Envelope, error) {
 		req, err := xacmlRequest(env.Body)
 		if err != nil {
 			return nil, err
@@ -259,7 +260,7 @@ func TestMisboundDecisionIsRejected(t *testing.T) {
 	var rejectErr error
 	client := NewClient(f.net, f.reg, f.root.Certificate(), "authority.med", "pep.ward",
 		WithRejectHook(func(_ string, err error) { rejectErr = err }))
-	res := client.DecideAt(doctorReq("alice", "read"), at)
+	res := client.DecideAt(context.Background(), doctorReq("alice", "read"), at)
 	if res.Decision != policy.DecisionPermit || res.By != "pdp.med.2" {
 		t.Fatalf("decision = %v by %q, want Permit by pdp.med.2", res.Decision, res.By)
 	}
@@ -280,7 +281,7 @@ func TestExpiredDecisionIsRejected(t *testing.T) {
 	var rejectErr error
 	client := NewClient(f.net, f.reg, f.root.Certificate(), "authority.med", "pep.ward",
 		WithRejectHook(func(_ string, err error) { rejectErr = err }))
-	res := client.DecideAt(doctorReq("alice", "read"), at)
+	res := client.DecideAt(context.Background(), doctorReq("alice", "read"), at)
 	if res.Decision != policy.DecisionPermit || res.By != "pdp.med.2" {
 		t.Fatalf("decision = %v by %q, want Permit by pdp.med.2", res.Decision, res.By)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -33,7 +34,7 @@ func RunE5Syndication() (*metrics.Table, error) {
 		// Syndication tree.
 		net := wire.NewNetwork(5*time.Millisecond, 3)
 		root := syndication.BuildTree("pap", net, shape.fanOut, shape.depth)
-		rep, err := root.Publish(update, at)
+		rep, err := root.Publish(context.Background(), update, at)
 		if err != nil {
 			return nil, err
 		}
@@ -46,7 +47,7 @@ func RunE5Syndication() (*metrics.Table, error) {
 		if _, err := flat.Store.Put(update); err != nil {
 			return nil, err
 		}
-		pullRep, err := flat.PullAll("global-update", at)
+		pullRep, err := flat.PullAll(context.Background(), "global-update", at)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -60,13 +61,14 @@ func RunE18Churn() (*metrics.Table, error) {
 	}
 
 	type point interface {
-		DecideBatchAt(reqs []*policy.Request, at time.Time) []policy.Result
+		DecideBatchAt(ctx context.Context, reqs []*policy.Request, at time.Time) []policy.Result
 		SetRoot(root policy.Evaluable) error
 		ApplyUpdate(u pdp.Update) error
 	}
 
 	run := func(p point, incremental bool, stats func() pdp.Stats) (decRate, hitRate float64, writes int, err error) {
-		p.DecideBatchAt(reqs, at) // warm caches and indexes
+		ctx := context.Background()
+		p.DecideBatchAt(ctx, reqs, at) // warm caches and indexes
 		before := stats()
 		start := time.Now()
 		for pass := 0; pass < passes; pass++ {
@@ -88,7 +90,7 @@ func RunE18Churn() (*metrics.Table, error) {
 					return 0, 0, writes, err
 				}
 				writes++
-				p.DecideBatchAt(reqs[off:off+batchSize], at)
+				p.DecideBatchAt(ctx, reqs[off:off+batchSize], at)
 			}
 		}
 		elapsed := time.Since(start).Seconds()

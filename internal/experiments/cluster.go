@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -50,18 +51,19 @@ func RunE17Cluster() (*metrics.Table, error) {
 		pdp.WithDecisionCache(time.Hour, 8192)}
 
 	type provider interface {
-		DecideAt(req *policy.Request, at time.Time) policy.Result
-		DecideBatchAt(reqs []*policy.Request, at time.Time) []policy.Result
+		DecideAt(ctx context.Context, req *policy.Request, at time.Time) policy.Result
+		DecideBatchAt(ctx context.Context, reqs []*policy.Request, at time.Time) []policy.Result
 	}
 	// Warmed (cache-hit) passes finish in milliseconds, so they repeat to
 	// average out scheduler noise; the scan pass evaluates every policy
 	// linearly and is measured once.
 	const fastPasses = 10
+	ctx := context.Background()
 	perRequestRate := func(p provider, passes int) float64 {
 		start := time.Now()
 		for pass := 0; pass < passes; pass++ {
 			for _, req := range reqs {
-				p.DecideAt(req, at)
+				p.DecideAt(ctx, req, at)
 			}
 		}
 		return float64(passes*nRequests) / time.Since(start).Seconds()
@@ -70,7 +72,7 @@ func RunE17Cluster() (*metrics.Table, error) {
 		start := time.Now()
 		for pass := 0; pass < fastPasses; pass++ {
 			for i := 0; i+batchSize <= nRequests; i += batchSize {
-				p.DecideBatchAt(reqs[i:i+batchSize], at)
+				p.DecideBatchAt(ctx, reqs[i:i+batchSize], at)
 			}
 		}
 		return float64(fastPasses*nRequests) / time.Since(start).Seconds()
@@ -96,7 +98,7 @@ func RunE17Cluster() (*metrics.Table, error) {
 
 	addRow := func(name string, scan, full provider, loads func() []int64) {
 		scanRate := perRequestRate(scan, 1)
-		full.DecideBatchAt(reqs, at) // warm the decision caches
+		full.DecideBatchAt(ctx, reqs, at) // warm the decision caches
 		fullRate := perRequestRate(full, fastPasses)
 		batched := batchRate(full)
 		imbalance := "-"

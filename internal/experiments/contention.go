@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -21,10 +22,10 @@ type serializedEngine struct {
 	e  *pdp.Engine
 }
 
-func (s *serializedEngine) DecideAt(req *policy.Request, at time.Time) policy.Result {
+func (s *serializedEngine) DecideAt(ctx context.Context, req *policy.Request, at time.Time) policy.Result {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.e.DecideAt(req, at)
+	return s.e.DecideAt(ctx, req, at)
 }
 
 // RunE20Contention measures the decision hot path under parallel load: the
@@ -58,7 +59,7 @@ func RunE20Contention() (*metrics.Table, error) {
 		pdp.WithDecisionCache(time.Hour, 0)}
 
 	type decider interface {
-		DecideAt(req *policy.Request, at time.Time) policy.Result
+		DecideAt(ctx context.Context, req *policy.Request, at time.Time) policy.Result
 	}
 	measure := func(d decider, workers int) float64 {
 		var wg sync.WaitGroup
@@ -68,7 +69,7 @@ func RunE20Contention() (*metrics.Table, error) {
 			go func(w int) {
 				defer wg.Done()
 				for i := 0; i < opsPerWorker; i++ {
-					d.DecideAt(reqs[(i*7+w*131)%nRequests], at)
+					d.DecideAt(context.Background(), reqs[(i*7+w*131)%nRequests], at)
 				}
 			}(w)
 		}
@@ -91,10 +92,11 @@ func RunE20Contention() (*metrics.Table, error) {
 	if err := router.SetRoot(base); err != nil {
 		return nil, err
 	}
+	ctx := context.Background()
 	for _, req := range reqs { // warm every decision cache
-		engine.DecideAt(req, at)
-		baseline.e.DecideAt(req, at)
-		router.DecideAt(req, at)
+		engine.DecideAt(ctx, req, at)
+		baseline.e.DecideAt(ctx, req, at)
+		router.DecideAt(ctx, req, at)
 	}
 
 	for _, workers := range []int{1, 4, 16} {

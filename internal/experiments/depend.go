@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -72,7 +73,7 @@ func RunE9DependablePDP() (*metrics.Table, error) {
 					replicas[r].SetDown(schedule.downAt(r, t))
 				}
 				req := policy.NewAccessRequest(fmt.Sprintf("u%d", i), "res", "read")
-				if res := ens.DecideAt(req, epoch.Add(t)); res.Decision == policy.DecisionPermit {
+				if res := ens.DecideAt(context.Background(), req, epoch.Add(t)); res.Decision == policy.DecisionPermit {
 					available++
 				}
 			}

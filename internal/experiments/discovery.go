@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -63,7 +64,7 @@ func runDiscoveryConfig(down int, rogue bool) (*discoveryRow, error) {
 	entropy := &seededReader{r: rng}
 
 	net := wire.NewNetwork(5*time.Millisecond, 16)
-	net.Register("pep.e16", func(_ *wire.Call, env *wire.Envelope) (*wire.Envelope, error) {
+	net.Register("pep.e16", func(_ context.Context, _ *wire.Call, env *wire.Envelope) (*wire.Envelope, error) {
 		return env, nil
 	})
 	root, err := pki.NewRootAuthority("authority.e16", entropy, epoch, later)
@@ -131,7 +132,7 @@ func runDiscoveryConfig(down int, rogue bool) (*discoveryRow, error) {
 		if isDoctor {
 			req.Add(policy.CategorySubject, policy.AttrSubjectRole, policy.String("doctor"))
 		}
-		res := client.DecideAt(req, epoch.Add(time.Duration(q)*time.Second))
+		res := client.DecideAt(context.Background(), req, epoch.Add(time.Duration(q)*time.Second))
 		switch res.Decision {
 		case policy.DecisionPermit:
 			verified++

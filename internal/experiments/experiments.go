@@ -45,6 +45,7 @@ func All() []Experiment {
 		{ID: "E18", Title: "§3.2 — live administration: policy churn, full rebuild vs incremental delta", Run: RunE18Churn},
 		{ID: "E19", Title: "§3.3 — durable policy base: WAL group commit and crash recovery", Run: RunE19Durability},
 		{ID: "E20", Title: "§3 — decision hot-path contention: lock-free engine vs serialized baseline", Run: RunE20Contention},
+		{ID: "E21", Title: "§3.2 — deadlines and cancellation: bounded tail latency under a slow shard", Run: RunE21Deadlines},
 	}
 	sort.Slice(exps, func(i, j int) bool {
 		// Numeric ID order (E2 < E10).

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -76,7 +77,7 @@ func RunE1VirtualOrganisation() (*metrics.Table, error) {
 			to := rng.Intn(n)
 			subject := fmt.Sprintf("doc-%d", from)
 			req := recordRequest(subject, fmt.Sprintf("domain-%d", from), fmt.Sprintf("domain-%d", to), fmt.Sprintf("rec-%d", i))
-			out := s.VO.Request(fmt.Sprintf("domain-%d", from), req, s.At(time.Duration(i)*time.Second))
+			out := s.VO.Request(context.Background(), fmt.Sprintf("domain-%d", from), req, s.At(time.Duration(i)*time.Second))
 			if out.Allowed {
 				permits++
 			}
@@ -108,14 +109,14 @@ func RunE2Push() (*metrics.Table, error) {
 	}
 	req := recordRequest("doc-1", "domain-1", "domain-0", "rec-1")
 	for _, k := range []int{1, 2, 5, 10, 20} {
-		cap, issueOut := s.VO.RequestCapability("domain-1", req, s.At(0))
+		cap, issueOut := s.VO.RequestCapability(context.Background(), "domain-1", req, s.At(0))
 		if cap == nil {
 			return nil, fmt.Errorf("E2: capability refused: %w", issueOut.Err)
 		}
 		msgs, bytes := issueOut.Messages, issueOut.Bytes
 		latency := issueOut.Latency
 		for i := 0; i < k; i++ {
-			out := s.VO.RequestWithCapability("domain-1", req, cap, s.At(time.Duration(i)*time.Second))
+			out := s.VO.RequestWithCapability(context.Background(), "domain-1", req, cap, s.At(time.Duration(i)*time.Second))
 			if !out.Allowed {
 				return nil, fmt.Errorf("E2: access %d refused: %w", i, out.Err)
 			}
@@ -142,20 +143,20 @@ func RunE3PullVsPush() (*metrics.Table, error) {
 	for _, k := range []int{1, 2, 5, 10, 20} {
 		pullMsgs, pullBytes := 0, 0
 		for i := 0; i < k; i++ {
-			out := s.VO.Request("domain-1", req, s.At(time.Duration(i)*time.Second))
+			out := s.VO.Request(context.Background(), "domain-1", req, s.At(time.Duration(i)*time.Second))
 			if !out.Allowed {
 				return nil, fmt.Errorf("E3: pull access refused: %w", out.Err)
 			}
 			pullMsgs += out.Messages
 			pullBytes += out.Bytes
 		}
-		cap, issueOut := s.VO.RequestCapability("domain-1", req, s.At(0))
+		cap, issueOut := s.VO.RequestCapability(context.Background(), "domain-1", req, s.At(0))
 		if cap == nil {
 			return nil, fmt.Errorf("E3: capability refused: %w", issueOut.Err)
 		}
 		pushMsgs, pushBytes := issueOut.Messages, issueOut.Bytes
 		for i := 0; i < k; i++ {
-			out := s.VO.RequestWithCapability("domain-1", req, cap, s.At(time.Duration(i)*time.Second))
+			out := s.VO.RequestWithCapability(context.Background(), "domain-1", req, cap, s.At(time.Duration(i)*time.Second))
 			if !out.Allowed {
 				return nil, fmt.Errorf("E3: push access refused: %w", out.Err)
 			}
@@ -221,7 +222,7 @@ func RunE4XACMLDataFlow() (*metrics.Table, error) {
 
 		// The federated decision, counting IdP round-trips on the wire.
 		s.Net.ResetStats()
-		out := s.VO.Request("domain-1", v.req, s.At(0))
+		out := s.VO.Request(context.Background(), "domain-1", v.req, s.At(0))
 		pipRoundTrips := (out.Messages - 4) / 2 // minus client<->pep, pep<->pdp
 		table.AddRow(v.name, len(xmlData), len(jsonData),
 			float64(perRT.Microseconds()), pipRoundTrips, out.Decision.String())

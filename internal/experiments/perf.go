@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -119,7 +120,7 @@ func RunE7Caching() (*metrics.Table, error) {
 				revoked = true
 			}
 			req := gen.NextRequest()
-			out := enforcer.EnforceAt(req, now)
+			out := enforcer.EnforceAt(context.Background(), req, now)
 			requests++
 			if revoked && out.Allowed {
 				stalePermits++
@@ -254,7 +255,7 @@ func RunE13Scalability() (*metrics.Table, error) {
 			start := time.Now()
 			count := 0
 			for i := 0; i < iters; i++ {
-				e.DecideAt(reqs[i%len(reqs)], at)
+				e.DecideAt(context.Background(), reqs[i%len(reqs)], at)
 				count++
 			}
 			return float64(count) / time.Since(start).Seconds()

@@ -1,6 +1,7 @@
 package federation
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -22,7 +23,7 @@ func TestConcurrentFederatedTraffic(t *testing.T) {
 	run := func(subject, domain string, wantAllowed bool) {
 		defer wg.Done()
 		for i := 0; i < perClient; i++ {
-			out := vo.Request(domain, recordReq(subject, domain), at.Add(time.Duration(i)*time.Second))
+			out := vo.Request(context.Background(), domain, recordReq(subject, domain), at.Add(time.Duration(i)*time.Second))
 			if out.Allowed != wantAllowed {
 				errs <- subject + ": unexpected outcome"
 				return

@@ -1,0 +1,81 @@
+package federation
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/wire"
+	"repro/internal/xacml"
+)
+
+// TestWirePropagatedDeadlineFailsClosed is the satellite requirement: a
+// deadline propagated through the envelope that is shorter than the
+// injected network latency must surface as a refused (Indeterminate, not
+// Permit) outcome — and, the network being virtual, must not burn real
+// time doing it. Pre-refactor this exchange simply took the full latency;
+// with a hung hop it took forever.
+func TestWirePropagatedDeadlineFailsClosed(t *testing.T) {
+	vo, _, _ := twoHospitalVO(t)
+	// Inject a slow client->PEP link: 5 virtual seconds one way.
+	vo.Net.SetLink(ClientAddr("hospital-a"), PEPAddr("hospital-a"),
+		wire.LinkProps{Latency: 5 * time.Second})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	out := vo.Request(ctx, "hospital-a", recordReq("alice", "hospital-a"), at)
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("deadline-bounded request burned real time against a virtual link")
+	}
+	if out.Allowed {
+		t.Fatal("request permitted although its budget could not cover the link")
+	}
+	if out.Decision == policy.DecisionPermit {
+		t.Fatalf("decision = %v", out.Decision)
+	}
+	if !errors.Is(out.Err, wire.ErrDeadline) {
+		t.Fatalf("err = %v, want wire.ErrDeadline", out.Err)
+	}
+}
+
+// TestDeadlineCoversAllHopsOfPullFlow: the envelope budget is spent across
+// the whole multi-hop pull flow (client -> PEP -> PDP -> IdP), not per
+// hop: a budget that covers the first hop but not the flow's total virtual
+// latency is refused. The budget is set directly on the envelope here to
+// keep the test independent of real scheduling time.
+func TestDeadlineCoversAllHopsOfPullFlow(t *testing.T) {
+	vo, _, _ := twoHospitalVO(t)
+	// Measure the flow's total virtual cost unbounded first.
+	unbounded := vo.Request(context.Background(), "hospital-b", recordReq("bob", "hospital-b"), at)
+	if !unbounded.Allowed {
+		t.Fatalf("baseline cross-domain request refused: %v", unbounded.Err)
+	}
+	if unbounded.Latency <= 0 {
+		t.Fatal("baseline latency not accounted")
+	}
+
+	body, err := xacml.MarshalRequestJSON(recordReq("bob", "hospital-b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	send := func(budget time.Duration) error {
+		_, err := vo.Net.Send(context.Background(), &wire.Call{}, &wire.Envelope{
+			From: ClientAddr("hospital-b"), To: PEPAddr("hospital-b"),
+			Action: "resource:access", Timestamp: at, Body: body,
+			Deadline: budget,
+		})
+		return err
+	}
+	// A generous budget covers the whole flow.
+	if err := send(2 * unbounded.Latency); err != nil {
+		t.Fatalf("over-budget flow failed: %v", err)
+	}
+	// A budget below the total (but above one hop) must fail closed with
+	// the deadline cause.
+	if err := send(unbounded.Latency / 2); !errors.Is(err, wire.ErrDeadline) {
+		t.Fatalf("err = %v, want wire.ErrDeadline", err)
+	}
+}

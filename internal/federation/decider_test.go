@@ -1,6 +1,7 @@
 package federation
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
@@ -17,7 +18,7 @@ type stubDecider struct {
 	res   policy.Result
 }
 
-func (s *stubDecider) DecideAtWith(*policy.Request, time.Time, policy.Resolver) policy.Result {
+func (s *stubDecider) DecideAtWith(context.Context, *policy.Request, time.Time, policy.Resolver) policy.Result {
 	atomic.AddInt64(&s.calls, 1)
 	return s.res
 }
@@ -27,14 +28,14 @@ func TestUseDeciderReplacesAndRestoresDecisionSource(t *testing.T) {
 	req := recordReq("alice", "hospital-a")
 
 	// Baseline: the built-in PDP permits alice.
-	if out := vo.Request("hospital-a", req, at); !out.Allowed {
+	if out := vo.Request(context.Background(), "hospital-a", req, at); !out.Allowed {
 		t.Fatalf("baseline refused: %v", out.Err)
 	}
 
 	// A replacement decider takes over the domain's decisions entirely.
 	stub := &stubDecider{res: policy.Result{Decision: policy.DecisionDeny, By: "stub"}}
 	a.UseDecider(stub)
-	out := vo.Request("hospital-a", req, at.Add(time.Second))
+	out := vo.Request(context.Background(), "hospital-a", req, at.Add(time.Second))
 	if out.Allowed {
 		t.Fatal("stub decider's deny was ignored")
 	}
@@ -47,7 +48,7 @@ func TestUseDeciderReplacesAndRestoresDecisionSource(t *testing.T) {
 
 	// nil restores the built-in PDP.
 	a.UseDecider(nil)
-	if out := vo.Request("hospital-a", req, at.Add(2*time.Second)); !out.Allowed {
+	if out := vo.Request(context.Background(), "hospital-a", req, at.Add(2*time.Second)); !out.Allowed {
 		t.Fatalf("restored PDP refused: %v", out.Err)
 	}
 }
@@ -63,7 +64,7 @@ func TestUseDeciderWithReplicatedEnsemble(t *testing.T) {
 	a.UseDecider(ens)
 
 	primary.SetDown(true)
-	out := vo.Request("hospital-b", recordReq("bob", "hospital-b"), at)
+	out := vo.Request(context.Background(), "hospital-b", recordReq("bob", "hospital-b"), at)
 	if !out.Allowed {
 		t.Fatalf("cross-domain read through ensemble with crashed primary refused: %v", out.Err)
 	}

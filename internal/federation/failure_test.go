@@ -1,6 +1,7 @@
 package federation
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"testing"
@@ -17,7 +18,7 @@ import (
 func TestRequestWithoutResourceDomain(t *testing.T) {
 	vo, _, _ := twoHospitalVO(t)
 	req := policy.NewAccessRequest("alice", "rec-7", "read") // no resource-domain
-	out := vo.Request("hospital-a", req, at)
+	out := vo.Request(context.Background(), "hospital-a", req, at)
 	if out.Allowed {
 		t.Fatal("domainless request permitted")
 	}
@@ -30,7 +31,7 @@ func TestRequestToUnknownDomain(t *testing.T) {
 	vo, _, _ := twoHospitalVO(t)
 	req := policy.NewAccessRequest("alice", "rec-7", "read").
 		Add(policy.CategoryResource, policy.AttrResourceDomain, policy.String("hospital-z"))
-	if out := vo.Request("hospital-a", req, at); !errors.Is(out.Err, ErrUnknownDomain) {
+	if out := vo.Request(context.Background(), "hospital-a", req, at); !errors.Is(out.Err, ErrUnknownDomain) {
 		t.Errorf("err = %v, want ErrUnknownDomain", out.Err)
 	}
 }
@@ -41,7 +42,7 @@ func TestSubjectFromUnknownDomainFailsClosed(t *testing.T) {
 		Add(policy.CategorySubject, policy.AttrSubjectDomain, policy.String("hospital-z")).
 		Add(policy.CategoryResource, policy.AttrResourceDomain, policy.String("hospital-a")).
 		Add(policy.CategoryResource, policy.AttrResourceType, policy.String("patient-record"))
-	out := vo.Request("hospital-a", req, at)
+	out := vo.Request(context.Background(), "hospital-a", req, at)
 	if out.Allowed {
 		t.Fatal("subject with unknown home domain permitted")
 	}
@@ -50,7 +51,7 @@ func TestSubjectFromUnknownDomainFailsClosed(t *testing.T) {
 func TestCrashedPDPFailsClosed(t *testing.T) {
 	vo, _, _ := twoHospitalVO(t)
 	vo.Net.SetNodeDown(PDPAddr("hospital-a"), true)
-	out := vo.Request("hospital-a", recordReq("alice", "hospital-a"), at)
+	out := vo.Request(context.Background(), "hospital-a", recordReq("alice", "hospital-a"), at)
 	if out.Allowed {
 		t.Fatal("request permitted with the PDP down")
 	}
@@ -65,7 +66,7 @@ func TestCrashedForeignIdPFailsClosed(t *testing.T) {
 	// attributes.
 	vo, _, _ := twoHospitalVO(t)
 	vo.Net.SetNodeDown(IdPAddr("hospital-b"), true)
-	out := vo.Request("hospital-b", recordReq("bob", "hospital-b"), at)
+	out := vo.Request(context.Background(), "hospital-b", recordReq("bob", "hospital-b"), at)
 	if out.Allowed {
 		t.Fatal("cross-domain request permitted with the home IdP down")
 	}
@@ -75,7 +76,7 @@ func TestCapabilityForUnknownDomainRefused(t *testing.T) {
 	vo, _, _ := twoHospitalVO(t)
 	req := policy.NewAccessRequest("alice", "rec-7", "read").
 		Add(policy.CategoryResource, policy.AttrResourceDomain, policy.String("hospital-z"))
-	cap, out := vo.RequestCapability("hospital-a", req, at)
+	cap, out := vo.RequestCapability(context.Background(), "hospital-a", req, at)
 	if cap != nil || out.Allowed {
 		t.Fatalf("capability issued for unknown domain: %+v", out)
 	}
@@ -86,13 +87,13 @@ func TestCapabilityRequestMismatchRefused(t *testing.T) {
 	// be refused by the outcome binding even though the token verifies.
 	vo, _, _ := twoHospitalVO(t)
 	issueReq := recordReq("alice", "hospital-a")
-	cap, out := vo.RequestCapability("hospital-a", issueReq, at)
+	cap, out := vo.RequestCapability(context.Background(), "hospital-a", issueReq, at)
 	if cap == nil {
 		t.Fatalf("issuance failed: %v", out.Err)
 	}
 	otherReq := policy.NewAccessRequest("alice", "rec-8", "read").
 		Add(policy.CategoryResource, policy.AttrResourceDomain, policy.String("hospital-a"))
-	out = vo.RequestWithCapability("hospital-a", otherReq, cap, at.Add(time.Minute))
+	out = vo.RequestWithCapability(context.Background(), "hospital-a", otherReq, cap, at.Add(time.Minute))
 	if out.Allowed {
 		t.Fatal("capability accepted for a different resource")
 	}
@@ -103,13 +104,13 @@ func TestCapabilityRequestMismatchRefused(t *testing.T) {
 
 func TestPushToUnknownDomainRefused(t *testing.T) {
 	vo, _, _ := twoHospitalVO(t)
-	cap, out := vo.RequestCapability("hospital-a", recordReq("alice", "hospital-a"), at)
+	cap, out := vo.RequestCapability(context.Background(), "hospital-a", recordReq("alice", "hospital-a"), at)
 	if cap == nil {
 		t.Fatalf("issuance failed: %v", out.Err)
 	}
 	req := policy.NewAccessRequest("alice", "rec-7", "read").
 		Add(policy.CategoryResource, policy.AttrResourceDomain, policy.String("hospital-z"))
-	if out := vo.RequestWithCapability("hospital-a", req, cap, at); !errors.Is(out.Err, ErrUnknownDomain) {
+	if out := vo.RequestWithCapability(context.Background(), "hospital-a", req, cap, at); !errors.Is(out.Err, ErrUnknownDomain) {
 		t.Errorf("err = %v, want ErrUnknownDomain", out.Err)
 	}
 }
@@ -117,7 +118,7 @@ func TestPushToUnknownDomainRefused(t *testing.T) {
 func TestIdPRejectsMalformedQueries(t *testing.T) {
 	vo, _, _ := twoHospitalVO(t)
 	send := func(body []byte) error {
-		_, err := vo.Net.Send(&wire.Call{}, &wire.Envelope{
+		_, err := vo.Net.Send(context.Background(), &wire.Call{}, &wire.Envelope{
 			From: ClientAddr("hospital-a"), To: IdPAddr("hospital-a"),
 			Action: "idp:query", Timestamp: at, Body: body,
 		})
@@ -137,7 +138,7 @@ func TestIdPRejectsMalformedQueries(t *testing.T) {
 
 func TestPEPRejectsMalformedAccessBody(t *testing.T) {
 	vo, _, _ := twoHospitalVO(t)
-	_, err := vo.Net.Send(&wire.Call{}, &wire.Envelope{
+	_, err := vo.Net.Send(context.Background(), &wire.Call{}, &wire.Envelope{
 		From: ClientAddr("hospital-a"), To: PEPAddr("hospital-a"),
 		Action: "resource:access", Timestamp: at, Body: []byte("garbage"),
 	})

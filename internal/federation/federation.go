@@ -23,6 +23,7 @@
 package federation
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -87,6 +88,9 @@ type Domain struct {
 	deciderMu sync.RWMutex
 	decider   Decider
 
+	pipMu sync.RWMutex
+	pip   policy.Resolver
+
 	refreshMu    sync.Mutex
 	refreshErrs  atomic.Int64
 	onRefreshErr func(error)
@@ -95,9 +99,9 @@ type Domain struct {
 // Decider abstracts where a domain's decisions come from: the single PDP
 // engine (the default) or a replicated ha.Ensemble installed for
 // dependability. The resolver threads per-call cross-domain attribute
-// retrieval.
+// retrieval; ctx bounds the decision, resolver round-trips included.
 type Decider interface {
-	DecideAtWith(req *policy.Request, at time.Time, resolver policy.Resolver) policy.Result
+	DecideAtWith(ctx context.Context, req *policy.Request, at time.Time, resolver policy.Resolver) policy.Result
 }
 
 // UseDecider replaces the domain's decision source; a nil decider restores
@@ -116,6 +120,25 @@ func (d *Domain) currentDecider() Decider {
 		return d.decider
 	}
 	return d.PDP
+}
+
+// UsePIP attaches an information point consulted during this domain's
+// decisions for attributes neither the request nor the Directory supplies
+// — the hook through which resource metadata stores, access-history
+// providers and external attribute authorities join the live resolution
+// path. A nil resolver detaches it. Chains built from pip providers
+// (typically behind a pip.Cache) are the intended argument.
+func (d *Domain) UsePIP(p policy.Resolver) {
+	d.pipMu.Lock()
+	defer d.pipMu.Unlock()
+	d.pip = p
+}
+
+// currentPIP returns the attached information point, or nil.
+func (d *Domain) currentPIP() policy.Resolver {
+	d.pipMu.RLock()
+	defer d.pipMu.RUnlock()
+	return d.pip
 }
 
 // NewDomain builds a domain with a fresh CA (deterministic from the
@@ -257,7 +280,7 @@ func (vo *VO) AddDomain(d *Domain) {
 	vo.Trust.AddRoot(d.CA.Certificate())
 	vo.Delegation.AddRoot("authority." + d.Name)
 
-	vo.Net.Register(ClientAddr(d.Name), func(_ *wire.Call, env *wire.Envelope) (*wire.Envelope, error) {
+	vo.Net.Register(ClientAddr(d.Name), func(_ context.Context, _ *wire.Call, env *wire.Envelope) (*wire.Envelope, error) {
 		return &wire.Envelope{Action: "ack", Timestamp: env.Timestamp}, nil
 	})
 	vo.Net.Register(IdPAddr(d.Name), d.handleAttributeQuery)
@@ -301,7 +324,7 @@ type attrReply struct {
 }
 
 // handleAttributeQuery serves the domain's IdP attributes over the wire.
-func (d *Domain) handleAttributeQuery(_ *wire.Call, env *wire.Envelope) (*wire.Envelope, error) {
+func (d *Domain) handleAttributeQuery(ctx context.Context, _ *wire.Call, env *wire.Envelope) (*wire.Envelope, error) {
 	var q attrQuery
 	if err := json.Unmarshal(env.Body, &q); err != nil {
 		return nil, fmt.Errorf("federation: idp %s: %w", d.Name, err)
@@ -311,7 +334,7 @@ func (d *Domain) handleAttributeQuery(_ *wire.Call, env *wire.Envelope) (*wire.E
 		return nil, err
 	}
 	probe := policy.NewRequest().Add(policy.CategorySubject, policy.AttrSubjectID, policy.String(q.Subject))
-	bag, err := d.Directory.ResolveAttribute(probe, cat, q.Name)
+	bag, err := d.Directory.ResolveAttribute(ctx, probe, cat, q.Name)
 	if err != nil {
 		return nil, err
 	}
@@ -339,16 +362,22 @@ type crossDomainResolver struct {
 
 var _ policy.Resolver = (*crossDomainResolver)(nil)
 
-func (r *crossDomainResolver) ResolveAttribute(req *policy.Request, cat policy.Category, name string) (policy.Bag, error) {
+func (r *crossDomainResolver) ResolveAttribute(ctx context.Context, req *policy.Request, cat policy.Category, name string) (policy.Bag, error) {
 	if cat != policy.CategorySubject || req == nil {
-		return nil, nil
+		// Non-subject attributes never cross domains; the domain's own
+		// information point (if any) is their only source.
+		return r.localPIP(ctx, req, cat, name)
 	}
 	home := ""
 	if bag, ok := req.Get(policy.CategorySubject, policy.AttrSubjectDomain); ok && !bag.Empty() {
 		home = bag[0].String()
 	}
 	if home == "" || home == r.local.Name {
-		return r.local.Directory.ResolveAttribute(req, cat, name)
+		bag, err := r.local.Directory.ResolveAttribute(ctx, req, cat, name)
+		if err != nil || !bag.Empty() {
+			return bag, err
+		}
+		return r.localPIP(ctx, req, cat, name)
 	}
 	vo := r.local.vo
 	if vo == nil {
@@ -362,7 +391,7 @@ func (r *crossDomainResolver) ResolveAttribute(req *policy.Request, cat policy.C
 	if err != nil {
 		return nil, err
 	}
-	reply, err := vo.Net.Send(r.call, &wire.Envelope{
+	reply, err := vo.Net.Send(ctx, r.call, &wire.Envelope{
 		From:      PDPAddr(r.local.Name),
 		To:        IdPAddr(home),
 		Action:    "idp:query",
@@ -391,7 +420,31 @@ func (r *crossDomainResolver) ResolveAttribute(req *policy.Request, cat policy.C
 	return bag, nil
 }
 
+// localPIP consults the domain's attached information point, if any.
+func (r *crossDomainResolver) localPIP(ctx context.Context, req *policy.Request, cat policy.Category, name string) (policy.Bag, error) {
+	if p := r.local.currentPIP(); p != nil {
+		return p.ResolveAttribute(ctx, req, cat, name)
+	}
+	return nil, nil
+}
+
 // --- the pull flow ---
+
+// armDeadline translates a caller context deadline into the envelope's
+// Deadline budget (when the envelope does not already carry one), so the
+// simulated network's virtual clock enforces the same bound a real
+// transport would. Every client-facing flow entry point uses it.
+func armDeadline(ctx context.Context, env *wire.Envelope) *wire.Envelope {
+	if env.Deadline > 0 {
+		return env
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem > 0 {
+			env.Deadline = rem
+		}
+	}
+	return env
+}
 
 // combine applies domain autonomy: access requires a local permit and
 // survives only if the VO policy does not veto it.
@@ -406,17 +459,20 @@ func combine(local, vo policy.Result) policy.Result {
 }
 
 // handleDecide answers authorisation decision queries at the domain PDP,
-// consulting foreign IdPs and the VO policy as needed.
-func (d *Domain) handleDecide(call *wire.Call, env *wire.Envelope) (*wire.Envelope, error) {
+// consulting foreign IdPs and the VO policy as needed. The cross-domain
+// resolver is fronted by a per-request memo (pip.RequestResolver), so an
+// attribute fetched for the local decision is not fetched again when the
+// VO policy consults it — one IdP round-trip per attribute per request.
+func (d *Domain) handleDecide(ctx context.Context, call *wire.Call, env *wire.Envelope) (*wire.Envelope, error) {
 	req, err := xacml.UnmarshalRequestJSON(env.Body)
 	if err != nil {
 		return nil, err
 	}
-	resolver := &crossDomainResolver{local: d, call: call, at: env.Timestamp}
-	local := d.currentDecider().DecideAtWith(req, env.Timestamp, resolver)
+	resolver := pip.NewRequestResolver(&crossDomainResolver{local: d, call: call, at: env.Timestamp})
+	local := d.currentDecider().DecideAtWith(ctx, req, env.Timestamp, resolver)
 	var final policy.Result
 	if d.vo != nil {
-		voRes := d.vo.voPDP.DecideAtWith(req, env.Timestamp, resolver)
+		voRes := d.vo.voPDP.DecideAtWith(ctx, req, env.Timestamp, resolver)
 		final = combine(local, voRes)
 	} else {
 		final = local
@@ -431,13 +487,13 @@ func (d *Domain) handleDecide(call *wire.Call, env *wire.Envelope) (*wire.Envelo
 // handleAccess is the domain PEP: it receives resource access requests,
 // obtains a decision from the domain PDP (one wire round-trip), enforces
 // deny-bias and records the audit event.
-func (d *Domain) handleAccess(call *wire.Call, env *wire.Envelope) (*wire.Envelope, error) {
+func (d *Domain) handleAccess(ctx context.Context, call *wire.Call, env *wire.Envelope) (*wire.Envelope, error) {
 	req, err := xacml.UnmarshalRequestJSON(env.Body)
 	if err != nil {
 		return nil, err
 	}
 	startElapsed := call.Elapsed
-	reply, err := d.vo.Net.Send(call, &wire.Envelope{
+	reply, err := d.vo.Net.Send(ctx, call, &wire.Envelope{
 		From:      PEPAddr(d.Name),
 		To:        PDPAddr(d.Name),
 		Action:    "pdp:decide",
@@ -490,8 +546,11 @@ type Outcome struct {
 
 // Request runs the pull-model flow of Fig. 3: the client in clientDomain
 // accesses a resource in the domain named by the request's
-// resource-domain attribute.
-func (vo *VO) Request(clientDomain string, req *policy.Request, at time.Time) Outcome {
+// resource-domain attribute. ctx bounds the whole flow; a ctx deadline is
+// additionally translated into an envelope deadline budget, so every hop
+// of the flow (PEP → PDP → foreign IdP) spends the one budget on the
+// network's virtual clock and an over-budget flow fails closed.
+func (vo *VO) Request(ctx context.Context, clientDomain string, req *policy.Request, at time.Time) Outcome {
 	resourceDomain := ""
 	if bag, ok := req.Get(policy.CategoryResource, policy.AttrResourceDomain); ok && !bag.Empty() {
 		resourceDomain = bag[0].String()
@@ -505,13 +564,14 @@ func (vo *VO) Request(clientDomain string, req *policy.Request, at time.Time) Ou
 		return Outcome{Decision: policy.DecisionIndeterminate, Err: err}
 	}
 	call := &wire.Call{}
-	reply, err := vo.Net.Send(call, &wire.Envelope{
+	env := armDeadline(ctx, &wire.Envelope{
 		From:      ClientAddr(clientDomain),
 		To:        PEPAddr(resourceDomain),
 		Action:    "resource:access",
 		Timestamp: at,
 		Body:      body,
 	})
+	reply, err := vo.Net.Send(ctx, call, env)
 	out := Outcome{Latency: call.Elapsed, Messages: call.Messages, Bytes: call.Bytes}
 	if err != nil {
 		out.Decision = policy.DecisionIndeterminate
@@ -540,7 +600,7 @@ func (vo *VO) Request(clientDomain string, req *policy.Request, at time.Time) Ou
 // handleCapabilityRequest serves the VO capability service over the wire:
 // the body is a request context; the reply is a signed capability
 // assertion or a refusal.
-func (vo *VO) handleCapabilityRequest(call *wire.Call, env *wire.Envelope) (*wire.Envelope, error) {
+func (vo *VO) handleCapabilityRequest(ctx context.Context, call *wire.Call, env *wire.Envelope) (*wire.Envelope, error) {
 	req, err := xacml.UnmarshalRequestJSON(env.Body)
 	if err != nil {
 		return nil, err
@@ -554,10 +614,11 @@ func (vo *VO) handleCapabilityRequest(call *wire.Call, env *wire.Envelope) (*wir
 		return nil, fmt.Errorf("federation: capability for domain %q: %w", resourceDomain, ErrUnknownDomain)
 	}
 	// The CAS pre-screens against the same combined view the pull flow
-	// enforces: resource-domain policy plus VO policy.
-	resolver := &crossDomainResolver{local: d, call: call, at: env.Timestamp}
-	local := d.PDP.DecideAtWith(req, env.Timestamp, resolver)
-	final := combine(local, vo.voPDP.DecideAtWith(req, env.Timestamp, resolver))
+	// enforces: resource-domain policy plus VO policy, sharing one
+	// per-request attribute memo across both evaluations.
+	resolver := pip.NewRequestResolver(&crossDomainResolver{local: d, call: call, at: env.Timestamp})
+	local := d.PDP.DecideAtWith(ctx, req, env.Timestamp, resolver)
+	final := combine(local, vo.voPDP.DecideAtWith(ctx, req, env.Timestamp, resolver))
 	if final.Decision != policy.DecisionPermit {
 		return nil, fmt.Errorf("federation: capability refused: %s: %w", final.Decision, capability.ErrNotAuthorized)
 	}
@@ -586,19 +647,19 @@ func (vo *VO) handleCapabilityRequest(call *wire.Call, env *wire.Envelope) (*wir
 
 // RequestCapability obtains a capability from the VO capability service
 // (steps I-II of Fig. 2), returning it with the traffic spent.
-func (vo *VO) RequestCapability(clientDomain string, req *policy.Request, at time.Time) (*assertion.Assertion, Outcome) {
+func (vo *VO) RequestCapability(ctx context.Context, clientDomain string, req *policy.Request, at time.Time) (*assertion.Assertion, Outcome) {
 	body, err := xacml.MarshalRequestJSON(req)
 	if err != nil {
 		return nil, Outcome{Decision: policy.DecisionIndeterminate, Err: err}
 	}
 	call := &wire.Call{}
-	reply, err := vo.Net.Send(call, &wire.Envelope{
+	reply, err := vo.Net.Send(ctx, call, armDeadline(ctx, &wire.Envelope{
 		From:      ClientAddr(clientDomain),
 		To:        vo.CASAddr(),
 		Action:    "cas:request",
 		Timestamp: at,
 		Body:      body,
-	})
+	}))
 	out := Outcome{Latency: call.Elapsed, Messages: call.Messages, Bytes: call.Bytes}
 	if err != nil {
 		out.Decision = policy.DecisionIndeterminate
@@ -619,7 +680,7 @@ func (vo *VO) RequestCapability(clientDomain string, req *policy.Request, at tim
 // RequestWithCapability presents a previously issued capability to the
 // resource PEP (steps III-IV of Fig. 2). Validation is local to the PEP:
 // no PDP round-trip occurs.
-func (vo *VO) RequestWithCapability(clientDomain string, req *policy.Request, cap *assertion.Assertion, at time.Time) Outcome {
+func (vo *VO) RequestWithCapability(ctx context.Context, clientDomain string, req *policy.Request, cap *assertion.Assertion, at time.Time) Outcome {
 	resourceDomain := ""
 	if bag, ok := req.Get(policy.CategoryResource, policy.AttrResourceDomain); ok && !bag.Empty() {
 		resourceDomain = bag[0].String()
@@ -634,16 +695,16 @@ func (vo *VO) RequestWithCapability(clientDomain string, req *policy.Request, ca
 		return Outcome{Decision: policy.DecisionIndeterminate, Err: err}
 	}
 	call := &wire.Call{}
-	env := &wire.Envelope{
+	env := armDeadline(ctx, &wire.Envelope{
 		From:      ClientAddr(clientDomain),
 		To:        PEPAddr(resourceDomain) + ".push",
 		Action:    "resource:access-with-capability",
 		Timestamp: at,
 		Body:      capBody,
-	}
+	})
 	// The push endpoint is registered lazily per domain.
 	vo.ensurePushEndpoint(d)
-	reply, err := vo.Net.Send(call, env)
+	reply, err := vo.Net.Send(ctx, call, env)
 	out := Outcome{Latency: call.Elapsed, Messages: call.Messages, Bytes: call.Bytes}
 	if err != nil {
 		out.Decision = policy.DecisionIndeterminate
@@ -677,7 +738,7 @@ func (vo *VO) RequestWithCapability(clientDomain string, req *policy.Request, ca
 func (vo *VO) ensurePushEndpoint(d *Domain) {
 	name := PEPAddr(d.Name) + ".push"
 	validator := capability.NewValidator(vo.Trust, PEPAddr(d.Name), vo.capCert)
-	vo.Net.Register(name, func(call *wire.Call, env *wire.Envelope) (*wire.Envelope, error) {
+	vo.Net.Register(name, func(_ context.Context, call *wire.Call, env *wire.Envelope) (*wire.Envelope, error) {
 		a, err := assertion.UnmarshalXML(env.Body)
 		var res policy.Result
 		if err != nil {

@@ -1,6 +1,7 @@
 package federation
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -75,7 +76,7 @@ func recordReq(subject, subjectDomain string) *policy.Request {
 
 func TestLocalDomainRequest(t *testing.T) {
 	vo, _, _ := twoHospitalVO(t)
-	out := vo.Request("hospital-a", recordReq("alice", "hospital-a"), at)
+	out := vo.Request(context.Background(), "hospital-a", recordReq("alice", "hospital-a"), at)
 	if !out.Allowed {
 		t.Fatalf("alice local read refused: %v", out.Err)
 	}
@@ -90,7 +91,7 @@ func TestLocalDomainRequest(t *testing.T) {
 
 func TestCrossDomainRequestCostsIdPRoundTrip(t *testing.T) {
 	vo, _, _ := twoHospitalVO(t)
-	out := vo.Request("hospital-b", recordReq("bob", "hospital-b"), at)
+	out := vo.Request(context.Background(), "hospital-b", recordReq("bob", "hospital-b"), at)
 	if !out.Allowed {
 		t.Fatalf("visiting doctor refused: %v", out.Err)
 	}
@@ -102,7 +103,7 @@ func TestCrossDomainRequestCostsIdPRoundTrip(t *testing.T) {
 
 func TestCrossDomainDeniesNonDoctors(t *testing.T) {
 	vo, _, _ := twoHospitalVO(t)
-	out := vo.Request("hospital-b", recordReq("mallory", "hospital-b"), at)
+	out := vo.Request(context.Background(), "hospital-b", recordReq("mallory", "hospital-b"), at)
 	if out.Allowed {
 		t.Fatal("visitor must be denied")
 	}
@@ -128,12 +129,12 @@ func TestVOPolicyVetoes(t *testing.T) {
 	}
 	req := recordReq("alice", "hospital-a").
 		Add(policy.CategoryResource, "embargoed", policy.String("true"))
-	out := vo.Request("hospital-a", req, at)
+	out := vo.Request(context.Background(), "hospital-a", req, at)
 	if out.Allowed {
 		t.Fatal("VO veto must hold")
 	}
 	// Without the embargo attribute the VO abstains and local permit wins.
-	out = vo.Request("hospital-a", recordReq("alice", "hospital-a"), at)
+	out = vo.Request(context.Background(), "hospital-a", recordReq("alice", "hospital-a"), at)
 	if !out.Allowed {
 		t.Fatalf("non-embargoed access: %v", out.Err)
 	}
@@ -147,7 +148,7 @@ func TestDomainAutonomyLocalDenyIsFinal(t *testing.T) {
 		t.Fatal(err)
 	}
 	_ = a
-	out := vo.Request("hospital-b", recordReq("mallory", "hospital-b"), at)
+	out := vo.Request(context.Background(), "hospital-b", recordReq("mallory", "hospital-b"), at)
 	if out.Allowed {
 		t.Fatal("local deny must be final (domain autonomy)")
 	}
@@ -157,13 +158,13 @@ func TestUnknownDomains(t *testing.T) {
 	vo, _, _ := twoHospitalVO(t)
 	req := recordReq("alice", "hospital-a")
 	req.Set(policy.CategoryResource, policy.AttrResourceDomain, policy.Singleton(policy.String("ghost")))
-	out := vo.Request("hospital-a", req, at)
+	out := vo.Request(context.Background(), "hospital-a", req, at)
 	if !errors.Is(out.Err, ErrUnknownDomain) {
 		t.Errorf("want ErrUnknownDomain, got %v", out.Err)
 	}
 	// Unknown subject domain surfaces as Indeterminate -> denied.
 	req2 := recordReq("bob", "ghost-domain")
-	out = vo.Request("hospital-b", req2, at)
+	out = vo.Request(context.Background(), "hospital-b", req2, at)
 	if out.Allowed {
 		t.Error("unknown subject domain must not be allowed")
 	}
@@ -173,7 +174,7 @@ func TestPushFlowCapability(t *testing.T) {
 	vo, _, _ := twoHospitalVO(t)
 	req := recordReq("bob", "hospital-b")
 
-	cap, capOut := vo.RequestCapability("hospital-b", req, at)
+	cap, capOut := vo.RequestCapability(context.Background(), "hospital-b", req, at)
 	if cap == nil {
 		t.Fatalf("capability refused: %v", capOut.Err)
 	}
@@ -181,7 +182,7 @@ func TestPushFlowCapability(t *testing.T) {
 		// The CAS consults hospital-b's IdP for bob's role: 2 + 2.
 		t.Errorf("capability messages = %d, want 4", capOut.Messages)
 	}
-	out := vo.RequestWithCapability("hospital-b", req, cap, at)
+	out := vo.RequestWithCapability(context.Background(), "hospital-b", req, cap, at)
 	if !out.Allowed {
 		t.Fatalf("capability access refused: %v", out.Err)
 	}
@@ -193,7 +194,7 @@ func TestPushFlowCapability(t *testing.T) {
 	// Reuse amortisation: k accesses cost 2 messages each after one
 	// issuance — the push-vs-pull trade-off of Fig. 2/3.
 	for i := 0; i < 3; i++ {
-		if out := vo.RequestWithCapability("hospital-b", req, cap, at.Add(time.Duration(i)*time.Minute)); !out.Allowed {
+		if out := vo.RequestWithCapability(context.Background(), "hospital-b", req, cap, at.Add(time.Duration(i)*time.Minute)); !out.Allowed {
 			t.Fatalf("reuse %d refused: %v", i, out.Err)
 		}
 	}
@@ -202,7 +203,7 @@ func TestPushFlowCapability(t *testing.T) {
 func TestPushFlowRefusesUnauthorised(t *testing.T) {
 	vo, _, _ := twoHospitalVO(t)
 	req := recordReq("mallory", "hospital-b")
-	if cap, out := vo.RequestCapability("hospital-b", req, at); cap != nil {
+	if cap, out := vo.RequestCapability(context.Background(), "hospital-b", req, at); cap != nil {
 		t.Fatalf("capability for visitor must be refused, got one (out=%+v)", out)
 	}
 }
@@ -210,19 +211,19 @@ func TestPushFlowRefusesUnauthorised(t *testing.T) {
 func TestPushFlowRejectsMismatchedCapability(t *testing.T) {
 	vo, _, _ := twoHospitalVO(t)
 	readReq := recordReq("bob", "hospital-b")
-	cap, _ := vo.RequestCapability("hospital-b", readReq, at)
+	cap, _ := vo.RequestCapability(context.Background(), "hospital-b", readReq, at)
 	if cap == nil {
 		t.Fatal("precondition: capability issued")
 	}
 	// Try to use the read capability for a write.
 	writeReq := recordReq("bob", "hospital-b")
 	writeReq.Set(policy.CategoryAction, policy.AttrActionID, policy.Singleton(policy.String("write")))
-	out := vo.RequestWithCapability("hospital-b", writeReq, cap, at)
+	out := vo.RequestWithCapability(context.Background(), "hospital-b", writeReq, cap, at)
 	if out.Allowed {
 		t.Fatal("capability must not cover a different action")
 	}
 	// Expired capability.
-	out = vo.RequestWithCapability("hospital-b", readReq, cap, at.Add(time.Hour))
+	out = vo.RequestWithCapability(context.Background(), "hospital-b", readReq, cap, at.Add(time.Hour))
 	if out.Allowed {
 		t.Fatal("expired capability must be refused")
 	}
@@ -230,8 +231,8 @@ func TestPushFlowRejectsMismatchedCapability(t *testing.T) {
 
 func TestAuditConsolidation(t *testing.T) {
 	vo, _, _ := twoHospitalVO(t)
-	vo.Request("hospital-a", recordReq("alice", "hospital-a"), at)
-	vo.Request("hospital-b", recordReq("mallory", "hospital-b"), at)
+	vo.Request(context.Background(), "hospital-a", recordReq("alice", "hospital-a"), at)
+	vo.Request(context.Background(), "hospital-b", recordReq("mallory", "hospital-b"), at)
 	sum := vo.Audit.Summarise()
 	a := sum["hospital-a"]
 	if a == nil || a.Permits != 1 || a.Denies != 1 {
@@ -241,7 +242,7 @@ func TestAuditConsolidation(t *testing.T) {
 
 func TestPolicyUpdateRefreshesPDP(t *testing.T) {
 	vo, a, _ := twoHospitalVO(t)
-	out := vo.Request("hospital-a", recordReq("alice", "hospital-a"), at)
+	out := vo.Request(context.Background(), "hospital-a", recordReq("alice", "hospital-a"), at)
 	if !out.Allowed {
 		t.Fatal("precondition")
 	}
@@ -252,7 +253,7 @@ func TestPolicyUpdateRefreshesPDP(t *testing.T) {
 		Build()); err != nil {
 		t.Fatal(err)
 	}
-	out = vo.Request("hospital-a", recordReq("alice", "hospital-a"), at.Add(time.Minute))
+	out = vo.Request(context.Background(), "hospital-a", recordReq("alice", "hospital-a"), at.Add(time.Minute))
 	if out.Allowed {
 		t.Fatal("policy update must take effect via the PAP watch")
 	}

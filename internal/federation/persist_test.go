@@ -1,6 +1,7 @@
 package federation
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/policy"
@@ -44,7 +45,7 @@ func TestDomainHydratePAP(t *testing.T) {
 		t.Fatal(err)
 	}
 	read := func(d *Domain, res string) policy.Decision {
-		return d.PDP.Decide(policy.NewAccessRequest("alice", res, "read")).Decision
+		return d.PDP.Decide(context.Background(), policy.NewAccessRequest("alice", res, "read")).Decision
 	}
 	if got := read(first, "records"); got != policy.DecisionPermit {
 		t.Fatalf("records pre-crash = %v", got)

@@ -1,6 +1,7 @@
 package ha
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -12,7 +13,7 @@ import (
 // cache overhead (pdp.Engine does). The result slice is positional: result
 // i answers request i.
 type BatchProvider interface {
-	DecideBatchAt(reqs []*policy.Request, at time.Time) []policy.Result
+	DecideBatchAt(ctx context.Context, reqs []*policy.Request, at time.Time) []policy.Result
 }
 
 // ScatterProvider is the zero-copy batch extension: evaluate reqs[p] for
@@ -21,7 +22,7 @@ type BatchProvider interface {
 // replica → engine) share one result buffer instead of allocating and
 // copying one per layer. pdp.Engine implements it.
 type ScatterProvider interface {
-	DecideScatterAt(reqs []*policy.Request, positions []int, at time.Time, out []policy.Result)
+	DecideScatterAt(ctx context.Context, reqs []*policy.Request, positions []int, at time.Time, out []policy.Result)
 }
 
 // eachPosition visits every selected request position.
@@ -39,16 +40,18 @@ func eachPosition(n int, positions []int, visit func(p int)) {
 
 // DecideBatchAt implements BatchProvider over the replica; see
 // DecideScatterAt.
-func (f *Failable) DecideBatchAt(reqs []*policy.Request, at time.Time) []policy.Result {
+func (f *Failable) DecideBatchAt(ctx context.Context, reqs []*policy.Request, at time.Time) []policy.Result {
 	out := make([]policy.Result, len(reqs))
-	f.DecideScatterAt(reqs, nil, at, out)
+	f.DecideScatterAt(ctx, reqs, nil, at, out)
 	return out
 }
 
 // DecideScatterAt implements ScatterProvider: a crashed replica yields an
-// unavailable Indeterminate at every position; a live one delegates to the
-// wrapped provider's scatter path when it has one and loops otherwise.
-func (f *Failable) DecideScatterAt(reqs []*policy.Request, positions []int, at time.Time, out []policy.Result) {
+// unavailable Indeterminate at every position; a stalled replica blocks
+// once per batch (the batch is one call) for the stall or the caller's
+// deadline; a live one delegates to the wrapped provider's scatter path
+// when it has one and loops otherwise.
+func (f *Failable) DecideScatterAt(ctx context.Context, reqs []*policy.Request, positions []int, at time.Time, out []policy.Result) {
 	n := len(reqs)
 	if positions != nil {
 		n = len(positions)
@@ -63,23 +66,32 @@ func (f *Failable) DecideScatterAt(reqs []*policy.Request, positions []int, at t
 		})
 		return
 	}
+	if err := f.stallFor(ctx); err != nil {
+		eachPosition(len(reqs), positions, func(p int) {
+			out[p] = policy.Result{
+				Decision: policy.DecisionIndeterminate,
+				Err:      fmt.Errorf("ha: replica %s: context done before decision: %w", f.name, err),
+			}
+		})
+		return
+	}
 	if sp, ok := f.inner.(ScatterProvider); ok {
-		sp.DecideScatterAt(reqs, positions, at, out)
+		sp.DecideScatterAt(ctx, reqs, positions, at, out)
 		return
 	}
 	eachPosition(len(reqs), positions, func(p int) {
-		out[p] = f.inner.DecideAt(reqs[p], at)
+		out[p] = f.inner.DecideAt(ctx, reqs[p], at)
 	})
 }
 
 // DecideBatchAt implements BatchProvider over the ensemble; see
 // DecideScatterAt.
-func (e *Ensemble) DecideBatchAt(reqs []*policy.Request, at time.Time) []policy.Result {
+func (e *Ensemble) DecideBatchAt(ctx context.Context, reqs []*policy.Request, at time.Time) []policy.Result {
 	if len(reqs) == 0 {
 		return nil
 	}
 	out := make([]policy.Result, len(reqs))
-	e.DecideScatterAt(reqs, nil, at, out)
+	e.DecideScatterAt(ctx, reqs, nil, at, out)
 	return out
 }
 
@@ -87,8 +99,9 @@ func (e *Ensemble) DecideBatchAt(reqs []*policy.Request, at time.Time) []policy.
 // sends the whole batch to the first live replica (a replica is
 // all-or-nothing: crashed replicas fail every request, live ones answer
 // every request); quorum sends the batch to all replicas and
-// majority-votes per position.
-func (e *Ensemble) DecideScatterAt(reqs []*policy.Request, positions []int, at time.Time, out []policy.Result) {
+// majority-votes per position. A ctx done between replicas stops the walk
+// and fails the selected positions closed.
+func (e *Ensemble) DecideScatterAt(ctx context.Context, reqs []*policy.Request, positions []int, at time.Time, out []policy.Result) {
 	n := len(reqs)
 	if positions != nil {
 		n = len(positions)
@@ -99,9 +112,9 @@ func (e *Ensemble) DecideScatterAt(reqs []*policy.Request, positions []int, at t
 	e.stats.requests.Add(int64(n))
 	switch e.strategy {
 	case Quorum:
-		e.quorumScatter(e.replicas, reqs, positions, n, at, out)
+		e.quorumScatter(ctx, e.replicas, reqs, positions, n, at, out)
 	default:
-		e.failoverScatter(e.replicas, *e.order.Load(), reqs, positions, n, at, out)
+		e.failoverScatter(ctx, e.replicas, *e.order.Load(), reqs, positions, n, at, out)
 	}
 }
 
@@ -114,10 +127,15 @@ func probe(positions []int) int {
 	return positions[0]
 }
 
-func (e *Ensemble) failoverScatter(replicas []*Failable, order []int, reqs []*policy.Request, positions []int, n int, at time.Time, out []policy.Result) {
+func (e *Ensemble) failoverScatter(ctx context.Context, replicas []*Failable, order []int, reqs []*policy.Request, positions []int, n int, at time.Time, out []policy.Result) {
 	skipped := false
 	for _, idx := range order {
-		replicas[idx].DecideScatterAt(reqs, positions, at, out)
+		if err := ctx.Err(); err != nil {
+			res := e.ctxDone(err)
+			eachPosition(len(reqs), positions, func(p int) { out[p] = res })
+			return
+		}
+		replicas[idx].DecideScatterAt(ctx, reqs, positions, at, out)
 		e.stats.replicaQueries.Add(int64(n))
 		if unavailable(out[probe(positions)]) {
 			skipped = true
@@ -137,7 +155,7 @@ func (e *Ensemble) failoverScatter(replicas []*Failable, order []int, reqs []*po
 	})
 }
 
-func (e *Ensemble) quorumScatter(replicas []*Failable, reqs []*policy.Request, positions []int, n int, at time.Time, out []policy.Result) {
+func (e *Ensemble) quorumScatter(ctx context.Context, replicas []*Failable, reqs []*policy.Request, positions []int, n int, at time.Time, out []policy.Result) {
 	// Compact the selected requests so per-replica vote buffers are sized
 	// to the selection, not the caller's whole batch.
 	sel := reqs
@@ -149,8 +167,13 @@ func (e *Ensemble) quorumScatter(replicas []*Failable, reqs []*policy.Request, p
 	}
 	votes := make([][]policy.Result, 0, len(replicas))
 	for _, r := range replicas {
+		if err := ctx.Err(); err != nil {
+			res := e.ctxDone(err)
+			eachPosition(len(reqs), positions, func(p int) { out[p] = res })
+			return
+		}
 		rep := make([]policy.Result, n)
-		r.DecideScatterAt(sel, nil, at, rep)
+		r.DecideScatterAt(ctx, sel, nil, at, rep)
 		votes = append(votes, rep)
 	}
 	need := len(replicas)/2 + 1

@@ -1,6 +1,7 @@
 package ha
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -36,13 +37,13 @@ func TestFailableDecideBatch(t *testing.T) {
 	at := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
 	f := NewFailable("r0", batchFixture(t, policy.DecisionPermit))
 	reqs := batchRequests(5)
-	for _, res := range f.DecideBatchAt(reqs, at) {
+	for _, res := range f.DecideBatchAt(context.Background(), reqs, at) {
 		if res.Decision != policy.DecisionPermit {
 			t.Fatalf("live replica: %s, want Permit", res.Decision)
 		}
 	}
 	f.SetDown(true)
-	for _, res := range f.DecideBatchAt(reqs, at) {
+	for _, res := range f.DecideBatchAt(context.Background(), reqs, at) {
 		if !errors.Is(res.Err, ErrUnavailable) {
 			t.Fatalf("crashed replica: %v, want ErrUnavailable", res.Err)
 		}
@@ -60,7 +61,7 @@ func TestEnsembleFailoverBatch(t *testing.T) {
 	reqs := batchRequests(4)
 
 	r0.SetDown(true)
-	for _, res := range ens.DecideBatchAt(reqs, at) {
+	for _, res := range ens.DecideBatchAt(context.Background(), reqs, at) {
 		if res.Decision != policy.DecisionPermit {
 			t.Fatalf("failover batch: %s, want Permit", res.Decision)
 		}
@@ -71,12 +72,12 @@ func TestEnsembleFailoverBatch(t *testing.T) {
 	}
 
 	r1.SetDown(true)
-	for _, res := range ens.DecideBatchAt(reqs, at) {
+	for _, res := range ens.DecideBatchAt(context.Background(), reqs, at) {
 		if !errors.Is(res.Err, ErrAllReplicasDown) {
 			t.Fatalf("dead ensemble batch: %v, want ErrAllReplicasDown", res.Err)
 		}
 	}
-	if got := ens.DecideBatchAt(nil, at); got != nil {
+	if got := ens.DecideBatchAt(context.Background(), nil, at); got != nil {
 		t.Fatalf("empty batch returned %v", got)
 	}
 }
@@ -90,7 +91,7 @@ func TestEnsembleQuorumBatchMasksMinority(t *testing.T) {
 	ens := NewEnsemble("ens", Quorum, good0, good1, stale)
 
 	reqs := batchRequests(3)
-	for _, res := range ens.DecideBatchAt(reqs, at) {
+	for _, res := range ens.DecideBatchAt(context.Background(), reqs, at) {
 		if res.Decision != policy.DecisionPermit {
 			t.Fatalf("quorum batch: %s, want Permit (minority masked)", res.Decision)
 		}
@@ -101,7 +102,7 @@ func TestEnsembleQuorumBatchMasksMinority(t *testing.T) {
 
 	// Losing a good replica drops the vote to 1-1: no quorum, fail closed.
 	good1.SetDown(true)
-	for _, res := range ens.DecideBatchAt(reqs, at) {
+	for _, res := range ens.DecideBatchAt(context.Background(), reqs, at) {
 		if !errors.Is(res.Err, ErrNoQuorum) {
 			t.Fatalf("split vote: %v, want ErrNoQuorum", res.Err)
 		}

@@ -11,6 +11,7 @@
 package ha
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -33,15 +34,20 @@ var (
 // DecisionProvider is re-declared from pep to keep the package
 // dependency-light; *pdp.Engine satisfies it.
 type DecisionProvider interface {
-	DecideAt(req *policy.Request, at time.Time) policy.Result
+	DecideAt(ctx context.Context, req *policy.Request, at time.Time) policy.Result
 }
 
 // Failable wraps a decision provider with a crash switch, the failure
-// injection handle used by experiments E9.
+// injection handle used by experiments E9, and a stall switch injecting
+// per-decision latency — the slow-replica failure mode (a wedged disk, a
+// GC-thrashing host, a saturated PIP backend) that deadlines exist to
+// bound. A stalled replica blocks each decision for the stall duration or
+// until the caller's context is done, whichever comes first.
 type Failable struct {
 	name  string
 	inner DecisionProvider
 	down  atomic.Bool
+	stall atomic.Int64 // nanoseconds injected per decision
 	// Queries counts decision attempts routed to this replica.
 	queries atomic.Int64
 }
@@ -63,11 +69,36 @@ func (f *Failable) Down() bool { return f.down.Load() }
 // Queries reports how many decisions were attempted against this replica.
 func (f *Failable) Queries() int64 { return f.queries.Load() }
 
+// SetStall injects d of latency into every decision this replica answers;
+// zero removes the injection. Unlike SetDown — which fails fast and lets
+// failover skip the replica — a stalled replica is the pathological slow
+// dependency: it holds the caller until the stall elapses or the caller's
+// deadline fires.
+func (f *Failable) SetStall(d time.Duration) { f.stall.Store(int64(d)) }
+
+// stallFor blocks for the injected stall, aborting early when ctx is
+// done. It reports the ctx error when the caller's deadline cut the stall
+// short.
+func (f *Failable) stallFor(ctx context.Context) error {
+	d := time.Duration(f.stall.Load())
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return ctx.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // DecideAt implements DecisionProvider: a crashed replica yields an
 // unavailable Indeterminate, which ensembles treat as a liveness failure
 // rather than a decision.
-func (f *Failable) DecideAt(req *policy.Request, at time.Time) policy.Result {
-	return f.DecideAtWith(req, at, nil)
+func (f *Failable) DecideAt(ctx context.Context, req *policy.Request, at time.Time) policy.Result {
+	return f.DecideAtWith(ctx, req, at, nil)
 }
 
 // ResolverProvider is the optional extension a replica may implement to
@@ -75,12 +106,12 @@ func (f *Failable) DecideAt(req *policy.Request, at time.Time) policy.Result {
 // deployments use it to thread cross-domain attribute retrieval through
 // replicated decision points.
 type ResolverProvider interface {
-	DecideAtWith(req *policy.Request, at time.Time, resolver policy.Resolver) policy.Result
+	DecideAtWith(ctx context.Context, req *policy.Request, at time.Time, resolver policy.Resolver) policy.Result
 }
 
 // DecideAtWith decides with a caller-supplied resolver when the wrapped
 // provider supports one, falling back to DecideAt otherwise.
-func (f *Failable) DecideAtWith(req *policy.Request, at time.Time, resolver policy.Resolver) policy.Result {
+func (f *Failable) DecideAtWith(ctx context.Context, req *policy.Request, at time.Time, resolver policy.Resolver) policy.Result {
 	f.queries.Add(1)
 	if f.down.Load() {
 		return policy.Result{
@@ -88,12 +119,18 @@ func (f *Failable) DecideAtWith(req *policy.Request, at time.Time, resolver poli
 			Err:      fmt.Errorf("ha: replica %s: %w", f.name, ErrUnavailable),
 		}
 	}
-	if resolver != nil {
-		if rp, ok := f.inner.(ResolverProvider); ok {
-			return rp.DecideAtWith(req, at, resolver)
+	if err := f.stallFor(ctx); err != nil {
+		return policy.Result{
+			Decision: policy.DecisionIndeterminate,
+			Err:      fmt.Errorf("ha: replica %s: context done before decision: %w", f.name, err),
 		}
 	}
-	return f.inner.DecideAt(req, at)
+	if resolver != nil {
+		if rp, ok := f.inner.(ResolverProvider); ok {
+			return rp.DecideAtWith(ctx, req, at, resolver)
+		}
+	}
+	return f.inner.DecideAt(ctx, req, at)
 }
 
 // Strategy selects how an ensemble combines its replicas.
@@ -210,19 +247,29 @@ func (e *Ensemble) Probe() (alive int) {
 }
 
 // DecideAt implements DecisionProvider.
-func (e *Ensemble) DecideAt(req *policy.Request, at time.Time) policy.Result {
-	return e.DecideAtWith(req, at, nil)
+func (e *Ensemble) DecideAt(ctx context.Context, req *policy.Request, at time.Time) policy.Result {
+	return e.DecideAtWith(ctx, req, at, nil)
 }
 
 // DecideAtWith implements ResolverProvider, threading a per-call resolver
-// to every queried replica.
-func (e *Ensemble) DecideAtWith(req *policy.Request, at time.Time, resolver policy.Resolver) policy.Result {
+// to every queried replica. A ctx done between replicas stops the walk:
+// failover does not try further replicas for a caller that is gone, and a
+// quorum vote short-circuits to Indeterminate.
+func (e *Ensemble) DecideAtWith(ctx context.Context, req *policy.Request, at time.Time, resolver policy.Resolver) policy.Result {
 	e.stats.requests.Add(1)
 	switch e.strategy {
 	case Quorum:
-		return e.quorum(e.replicas, req, at, resolver)
+		return e.quorum(ctx, e.replicas, req, at, resolver)
 	default:
-		return e.failover(e.replicas, *e.order.Load(), req, at, resolver)
+		return e.failover(ctx, e.replicas, *e.order.Load(), req, at, resolver)
+	}
+}
+
+// ctxDone renders a caller context expiring inside the ensemble.
+func (e *Ensemble) ctxDone(err error) policy.Result {
+	return policy.Result{
+		Decision: policy.DecisionIndeterminate,
+		Err:      fmt.Errorf("ha: ensemble %s: context done before decision: %w", e.name, err),
 	}
 }
 
@@ -230,10 +277,13 @@ func unavailable(res policy.Result) bool {
 	return res.Decision == policy.DecisionIndeterminate && errors.Is(res.Err, ErrUnavailable)
 }
 
-func (e *Ensemble) failover(replicas []*Failable, order []int, req *policy.Request, at time.Time, resolver policy.Resolver) policy.Result {
+func (e *Ensemble) failover(ctx context.Context, replicas []*Failable, order []int, req *policy.Request, at time.Time, resolver policy.Resolver) policy.Result {
 	skipped := false
 	for _, idx := range order {
-		res := replicas[idx].DecideAtWith(req, at, resolver)
+		if err := ctx.Err(); err != nil {
+			return e.ctxDone(err)
+		}
+		res := replicas[idx].DecideAtWith(ctx, req, at, resolver)
 		e.stats.replicaQueries.Add(1)
 		if unavailable(res) {
 			skipped = true
@@ -251,12 +301,15 @@ func (e *Ensemble) failover(replicas []*Failable, order []int, req *policy.Reque
 	}
 }
 
-func (e *Ensemble) quorum(replicas []*Failable, req *policy.Request, at time.Time, resolver policy.Resolver) policy.Result {
+func (e *Ensemble) quorum(ctx context.Context, replicas []*Failable, req *policy.Request, at time.Time, resolver policy.Resolver) policy.Result {
 	votes := make(map[policy.Decision]int, 4)
 	results := make(map[policy.Decision]policy.Result, 4)
 	answered := 0
 	for _, r := range replicas {
-		res := r.DecideAtWith(req, at, resolver)
+		if err := ctx.Err(); err != nil {
+			return e.ctxDone(err)
+		}
+		res := r.DecideAtWith(ctx, req, at, resolver)
 		e.stats.replicaQueries.Add(1)
 		if unavailable(res) {
 			continue

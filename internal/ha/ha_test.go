@@ -1,6 +1,7 @@
 package ha
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -35,16 +36,16 @@ func req() *policy.Request { return policy.NewAccessRequest("u", "r", "read") }
 
 func TestFailableCrashAndRevive(t *testing.T) {
 	r := NewFailable("r1", permitEngine(t, "p1"))
-	if res := r.DecideAt(req(), testTime); res.Decision != policy.DecisionPermit {
+	if res := r.DecideAt(context.Background(), req(), testTime); res.Decision != policy.DecisionPermit {
 		t.Fatalf("up replica = %v", res.Decision)
 	}
 	r.SetDown(true)
-	res := r.DecideAt(req(), testTime)
+	res := r.DecideAt(context.Background(), req(), testTime)
 	if !errors.Is(res.Err, ErrUnavailable) {
 		t.Fatalf("down replica err = %v", res.Err)
 	}
 	r.SetDown(false)
-	if res := r.DecideAt(req(), testTime); res.Decision != policy.DecisionPermit {
+	if res := r.DecideAt(context.Background(), req(), testTime); res.Decision != policy.DecisionPermit {
 		t.Fatalf("revived replica = %v", res.Decision)
 	}
 	if r.Queries() != 3 {
@@ -59,7 +60,7 @@ func TestFailoverSkipsDeadReplicas(t *testing.T) {
 	ens := NewEnsemble("ens", Failover, r1, r2, r3)
 
 	r1.SetDown(true)
-	res := ens.DecideAt(req(), testTime)
+	res := ens.DecideAt(context.Background(), req(), testTime)
 	if res.Decision != policy.DecisionPermit {
 		t.Fatalf("failover decision = %v (%v)", res.Decision, res.Err)
 	}
@@ -79,7 +80,7 @@ func TestFailoverAllDown(t *testing.T) {
 	ens := NewEnsemble("ens", Failover, r1, r2)
 	r1.SetDown(true)
 	r2.SetDown(true)
-	res := ens.DecideAt(req(), testTime)
+	res := ens.DecideAt(context.Background(), req(), testTime)
 	if !errors.Is(res.Err, ErrAllReplicasDown) {
 		t.Fatalf("want ErrAllReplicasDown, got %v", res.Err)
 	}
@@ -100,7 +101,7 @@ func TestProbeReordersFailoverChain(t *testing.T) {
 	// penalty.
 	before := r1.Queries()
 	for i := 0; i < 5; i++ {
-		if res := ens.DecideAt(req(), testTime); res.Decision != policy.DecisionPermit {
+		if res := ens.DecideAt(context.Background(), req(), testTime); res.Decision != policy.DecisionPermit {
 			t.Fatal(res.Err)
 		}
 	}
@@ -121,7 +122,7 @@ func TestQuorumMajority(t *testing.T) {
 		NewFailable("r2", permitEngine(t, "p2")),
 		NewFailable("r3", denyEngine(t, "p3")),
 	)
-	res := ens.DecideAt(req(), testTime)
+	res := ens.DecideAt(context.Background(), req(), testTime)
 	if res.Decision != policy.DecisionPermit {
 		t.Fatalf("quorum = %v, want Permit by 2/3", res.Decision)
 	}
@@ -138,7 +139,7 @@ func TestQuorumToleratesMinorityCrash(t *testing.T) {
 		r3,
 	)
 	r3.SetDown(true)
-	res := ens.DecideAt(req(), testTime)
+	res := ens.DecideAt(context.Background(), req(), testTime)
 	if res.Decision != policy.DecisionPermit {
 		t.Fatalf("quorum with 1 crash = %v (%v)", res.Decision, res.Err)
 	}
@@ -153,7 +154,7 @@ func TestQuorumFailsWithoutMajority(t *testing.T) {
 	)
 	r2.SetDown(true)
 	r3.SetDown(true)
-	res := ens.DecideAt(req(), testTime)
+	res := ens.DecideAt(context.Background(), req(), testTime)
 	if !errors.Is(res.Err, ErrNoQuorum) {
 		t.Fatalf("want ErrNoQuorum, got %v", res.Err)
 	}
@@ -171,7 +172,7 @@ func TestQuorumSplitVote(t *testing.T) {
 		NewFailable("r3", denyEngine(t, "p3")),
 		NewFailable("r4", denyEngine(t, "p4")),
 	)
-	res := ens.DecideAt(req(), testTime)
+	res := ens.DecideAt(context.Background(), req(), testTime)
 	if !errors.Is(res.Err, ErrNoQuorum) {
 		t.Fatalf("split vote: want ErrNoQuorum, got %v (%v)", res.Err, res.Decision)
 	}
@@ -181,7 +182,7 @@ func TestEnsembleAsPEPProvider(t *testing.T) {
 	// The ensemble drops into any place a single PDP fits.
 	var provider DecisionProvider = NewEnsemble("ens", Failover,
 		NewFailable("r1", permitEngine(t, "p1")))
-	if res := provider.DecideAt(req(), testTime); res.Decision != policy.DecisionPermit {
+	if res := provider.DecideAt(context.Background(), req(), testTime); res.Decision != policy.DecisionPermit {
 		t.Errorf("provider = %v", res.Decision)
 	}
 }
@@ -206,10 +207,10 @@ func TestAvailabilityUnderCrashWindow(t *testing.T) {
 		r3.SetDown(i >= 66)
 		single.replicas[0].SetDown(i%10 < 3) // 30% downtime
 
-		if res := ens.DecideAt(req(), at); res.Decision == policy.DecisionPermit {
+		if res := ens.DecideAt(context.Background(), req(), at); res.Decision == policy.DecisionPermit {
 			okEns++
 		}
-		if res := single.DecideAt(req(), at); res.Decision == policy.DecisionPermit {
+		if res := single.DecideAt(context.Background(), req(), at); res.Decision == policy.DecisionPermit {
 			okSingle++
 		}
 	}

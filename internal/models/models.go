@@ -9,6 +9,7 @@
 package models
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -282,7 +283,7 @@ func (m *MAC) CanWrite(subject, object string) bool {
 
 // Resolver bridges MAC labels into the policy engine: it serves subject
 // clearance and resource classification as integer attributes.
-func (m *MAC) ResolveAttribute(req *policy.Request, cat policy.Category, name string) (policy.Bag, error) {
+func (m *MAC) ResolveAttribute(_ context.Context, req *policy.Request, cat policy.Category, name string) (policy.Bag, error) {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	switch {

@@ -1,6 +1,7 @@
 package models
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -165,10 +166,10 @@ func TestMACAsResolverWithPolicy(t *testing.T) {
 	if err := engine.SetRoot(noReadUp); err != nil {
 		t.Fatal(err)
 	}
-	if res := engine.Decide(policy.NewAccessRequest("analyst", "briefing", "read")); res.Decision != policy.DecisionPermit {
+	if res := engine.Decide(context.Background(), policy.NewAccessRequest("analyst", "briefing", "read")); res.Decision != policy.DecisionPermit {
 		t.Errorf("read down via policy = %v", res.Decision)
 	}
-	if res := engine.Decide(policy.NewAccessRequest("analyst", "warplan", "read")); res.Decision != policy.DecisionDeny {
+	if res := engine.Decide(context.Background(), policy.NewAccessRequest("analyst", "warplan", "read")); res.Decision != policy.DecisionDeny {
 		t.Errorf("read up via policy = %v", res.Decision)
 	}
 }
@@ -225,7 +226,7 @@ func TestChineseWallHistoryAttribute(t *testing.T) {
 		t.Fatal(err)
 	}
 	req := policy.NewAccessRequest("carol", "bank-b", "read")
-	bag, err := w.History().ResolveAttribute(req, policy.CategorySubject, "accessed-dataset")
+	bag, err := w.History().ResolveAttribute(context.Background(), req, policy.CategorySubject, "accessed-dataset")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package pap
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -347,12 +348,12 @@ func NewGuardedStore(store *Store, guard *pep.Enforcer) *GuardedStore {
 }
 
 // Put stores a policy if the administrator is authorised to write it.
-func (g *GuardedStore) Put(admin string, e policy.Evaluable) (int, error) {
+func (g *GuardedStore) Put(ctx context.Context, admin string, e policy.Evaluable) (int, error) {
 	if e == nil {
 		return 0, fmt.Errorf("pap %s: nil policy", g.store.Name())
 	}
 	req := AdminRequest(admin, g.store.Name(), e.EntityID(), ActionPolicyWrite)
-	if out := g.guard.Enforce(req); !out.Allowed {
+	if out := g.guard.Enforce(ctx, req); !out.Allowed {
 		return 0, fmt.Errorf("pap %s: %s may not write %s: %v: %w",
 			g.store.Name(), admin, e.EntityID(), out.Err, ErrForbidden)
 	}
@@ -360,9 +361,9 @@ func (g *GuardedStore) Put(admin string, e policy.Evaluable) (int, error) {
 }
 
 // Get retrieves a policy if the administrator is authorised to read it.
-func (g *GuardedStore) Get(admin, id string) (policy.Evaluable, error) {
+func (g *GuardedStore) Get(ctx context.Context, admin, id string) (policy.Evaluable, error) {
 	req := AdminRequest(admin, g.store.Name(), id, ActionPolicyRead)
-	if out := g.guard.Enforce(req); !out.Allowed {
+	if out := g.guard.Enforce(ctx, req); !out.Allowed {
 		return nil, fmt.Errorf("pap %s: %s may not read %s: %v: %w",
 			g.store.Name(), admin, id, out.Err, ErrForbidden)
 	}
@@ -370,9 +371,9 @@ func (g *GuardedStore) Get(admin, id string) (policy.Evaluable, error) {
 }
 
 // Delete removes a policy if the administrator is authorised to delete it.
-func (g *GuardedStore) Delete(admin, id string) error {
+func (g *GuardedStore) Delete(ctx context.Context, admin, id string) error {
 	req := AdminRequest(admin, g.store.Name(), id, ActionPolicyDelete)
-	if out := g.guard.Enforce(req); !out.Allowed {
+	if out := g.guard.Enforce(ctx, req); !out.Allowed {
 		return fmt.Errorf("pap %s: %s may not delete %s: %v: %w",
 			g.store.Name(), admin, id, out.Err, ErrForbidden)
 	}

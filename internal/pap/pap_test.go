@@ -1,6 +1,7 @@
 package pap
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -141,7 +142,7 @@ func TestBuildRoot(t *testing.T) {
 	if err := engine.SetRoot(root); err != nil {
 		t.Fatal(err)
 	}
-	if res := engine.Decide(policy.NewAccessRequest("u", "r", "read")); res.Decision != policy.DecisionPermit {
+	if res := engine.Decide(context.Background(), policy.NewAccessRequest("u", "r", "read")); res.Decision != policy.DecisionPermit {
 		t.Errorf("decision = %v", res.Decision)
 	}
 }
@@ -172,26 +173,26 @@ func TestGuardedStoreSelfProtection(t *testing.T) {
 	gs := NewGuardedStore(NewStore("pap"), adminGuard(t))
 
 	// root-admin can write.
-	if _, err := gs.Put("root-admin", permitPolicy("p1")); err != nil {
+	if _, err := gs.Put(context.Background(), "root-admin", permitPolicy("p1")); err != nil {
 		t.Fatalf("root-admin write: %v", err)
 	}
 	// An intern cannot.
-	if _, err := gs.Put("intern", permitPolicy("p2")); !errors.Is(err, ErrForbidden) {
+	if _, err := gs.Put(context.Background(), "intern", permitPolicy("p2")); !errors.Is(err, ErrForbidden) {
 		t.Errorf("intern write: want ErrForbidden, got %v", err)
 	}
 	// Anyone can read.
-	if _, err := gs.Get("intern", "p1"); err != nil {
+	if _, err := gs.Get(context.Background(), "intern", "p1"); err != nil {
 		t.Errorf("intern read: %v", err)
 	}
 	// Delete requires write-grade rights; the policy above permits only
 	// reads and root-admin, so intern deletion is refused.
-	if err := gs.Delete("intern", "p1"); !errors.Is(err, ErrForbidden) {
+	if err := gs.Delete(context.Background(), "intern", "p1"); !errors.Is(err, ErrForbidden) {
 		t.Errorf("intern delete: want ErrForbidden, got %v", err)
 	}
-	if err := gs.Delete("root-admin", "p1"); err != nil {
+	if err := gs.Delete(context.Background(), "root-admin", "p1"); err != nil {
 		t.Errorf("root-admin delete: %v", err)
 	}
-	if _, err := gs.Put("root-admin", nil); err == nil {
+	if _, err := gs.Put(context.Background(), "root-admin", nil); err == nil {
 		t.Error("nil policy must be rejected before enforcement")
 	}
 }

@@ -3,6 +3,7 @@
 package pdp
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -21,11 +22,11 @@ func TestCacheHitDecideAllocsFree(t *testing.T) {
 		t.Fatal(err)
 	}
 	req := policy.NewAccessRequest("u", "res-3", "read")
-	if res := e.DecideAt(req, at); res.Decision != policy.DecisionPermit {
+	if res := e.DecideAt(context.Background(), req, at); res.Decision != policy.DecisionPermit {
 		t.Fatalf("warm-up decision = %v", res.Decision)
 	}
 	allocs := testing.AllocsPerRun(200, func() {
-		e.DecideAt(req, at)
+		e.DecideAt(context.Background(), req, at)
 	})
 	if allocs != 0 {
 		t.Fatalf("cache-hit DecideAt allocates %.1f objects/op, want 0", allocs)

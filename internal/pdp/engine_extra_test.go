@@ -1,6 +1,7 @@
 package pdp
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -21,7 +22,7 @@ func rolePolicy() *policy.PolicySet {
 }
 
 func roleResolver(role string) policy.Resolver {
-	return policy.ResolverFunc(func(_ *policy.Request, cat policy.Category, name string) (policy.Bag, error) {
+	return policy.ResolverFunc(func(_ context.Context, _ *policy.Request, cat policy.Category, name string) (policy.Bag, error) {
 		if cat == policy.CategorySubject && name == policy.AttrSubjectRole {
 			return policy.Singleton(policy.String(role)), nil
 		}
@@ -40,14 +41,14 @@ func TestDecideAtWithOverridesResolver(t *testing.T) {
 	at := time.Date(2026, 6, 12, 10, 0, 0, 0, time.UTC)
 	req := policy.NewAccessRequest("alice", "rec-1", "read")
 
-	if got := e.DecideAt(req, at); got.Decision != policy.DecisionDeny {
+	if got := e.DecideAt(context.Background(), req, at); got.Decision != policy.DecisionDeny {
 		t.Fatalf("configured resolver: got %v, want Deny", got.Decision)
 	}
-	if got := e.DecideAtWith(req, at, roleResolver("doctor")); got.Decision != policy.DecisionPermit {
+	if got := e.DecideAtWith(context.Background(), req, at, roleResolver("doctor")); got.Decision != policy.DecisionPermit {
 		t.Fatalf("per-call resolver: got %v, want Permit", got.Decision)
 	}
 	// Falling back to nil must use the configured resolver again.
-	if got := e.DecideAtWith(req, at, nil); got.Decision != policy.DecisionDeny {
+	if got := e.DecideAtWith(context.Background(), req, at, nil); got.Decision != policy.DecisionDeny {
 		t.Fatalf("nil per-call resolver: got %v, want Deny", got.Decision)
 	}
 }
@@ -62,11 +63,11 @@ func TestDecideAtWithBypassesCache(t *testing.T) {
 	at := time.Date(2026, 6, 12, 10, 0, 0, 0, time.UTC)
 	req := policy.NewAccessRequest("alice", "rec-1", "read")
 
-	if got := e.DecideAtWith(req, at, roleResolver("doctor")); got.Decision != policy.DecisionPermit {
+	if got := e.DecideAtWith(context.Background(), req, at, roleResolver("doctor")); got.Decision != policy.DecisionPermit {
 		t.Fatalf("got %v, want Permit", got.Decision)
 	}
 	// A cached permit here would be a cross-context information leak.
-	if got := e.DecideAt(req, at.Add(time.Second)); got.Decision != policy.DecisionDeny {
+	if got := e.DecideAt(context.Background(), req, at.Add(time.Second)); got.Decision != policy.DecisionDeny {
 		t.Fatalf("cache leaked a per-call decision: got %v, want Deny", got.Decision)
 	}
 	if hits := e.Stats().CacheHits; hits != 0 {
@@ -76,7 +77,7 @@ func TestDecideAtWithBypassesCache(t *testing.T) {
 
 func TestDecideAtWithNoPolicy(t *testing.T) {
 	e := New("empty")
-	res := e.DecideAtWith(policy.NewRequest(), time.Now(), nil)
+	res := e.DecideAtWith(context.Background(), policy.NewRequest(), time.Now(), nil)
 	if res.Decision != policy.DecisionIndeterminate || res.Err == nil {
 		t.Errorf("no-policy engine: got %+v, want Indeterminate with error", res)
 	}
@@ -108,13 +109,13 @@ func TestFlushCacheForcesReevaluation(t *testing.T) {
 	req := policy.NewAccessRequest("alice", "rec-1", "read").
 		Add(policy.CategorySubject, policy.AttrSubjectRole, policy.String("doctor"))
 
-	e.DecideAt(req, at)
-	e.DecideAt(req, at.Add(time.Second))
+	e.DecideAt(context.Background(), req, at)
+	e.DecideAt(context.Background(), req, at.Add(time.Second))
 	if st := e.Stats(); st.CacheHits != 1 || st.Evaluations != 1 {
 		t.Fatalf("before flush: %+v", st)
 	}
 	e.FlushCache()
-	e.DecideAt(req, at.Add(2*time.Second))
+	e.DecideAt(context.Background(), req, at.Add(2*time.Second))
 	if st := e.Stats(); st.CacheHits != 1 || st.Evaluations != 2 {
 		t.Errorf("after flush: %+v, want a fresh evaluation", st)
 	}

@@ -34,9 +34,17 @@
 // changed child's resource keys invalidated from the decision cache — so
 // a policy write never flushes the working set the way SetRoot must (see
 // update.go).
+//
+// Every decision is bounded by the caller's context.Context: a deadline
+// or cancellation — observed at entry, between batch positions, and
+// inside resolver round-trips mid-evaluation — surfaces as Indeterminate
+// carrying the cause, which deny-biased enforcement points refuse. A
+// result poisoned by an expired context is never written to the decision
+// cache.
 package pdp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -49,6 +57,17 @@ import (
 // ErrNoPolicy is returned when the engine is asked to decide before any
 // policy has been loaded.
 var ErrNoPolicy = errors.New("pdp: no policy loaded")
+
+// ctxResult renders a done request context as the fail-closed decision the
+// pipeline surfaces everywhere: Indeterminate carrying the cancellation or
+// deadline cause as its status message. Deny-biased enforcement points
+// refuse it, so running out of time never grants access.
+func ctxResult(name string, err error) policy.Result {
+	return policy.Result{
+		Decision: policy.DecisionIndeterminate,
+		Err:      fmt.Errorf("pdp %s: request context done before decision: %w", name, err),
+	}
+}
 
 // Stats aggregates engine activity for experiments and monitoring.
 type Stats struct {
@@ -214,60 +233,70 @@ func (e *Engine) FlushCache() {
 }
 
 // Decide evaluates the request against the policy base at the current
-// engine clock.
-func (e *Engine) Decide(req *policy.Request) policy.Result {
-	return e.DecideAt(req, e.now())
+// engine clock, bounded by ctx.
+func (e *Engine) Decide(ctx context.Context, req *policy.Request) policy.Result {
+	return e.DecideAt(ctx, req, e.now())
 }
 
 // DecideAtWith evaluates the request at an explicit time with a caller-
 // supplied resolver overriding the engine's configured one. Multi-domain
 // deployments use this to thread per-call network context (virtual clocks,
-// message accounting) into cross-domain attribute retrieval. Decisions
-// made through a caller-supplied resolver bypass the decision cache, since
-// the resolver's view may differ per call.
-func (e *Engine) DecideAtWith(req *policy.Request, at time.Time, resolver policy.Resolver) policy.Result {
+// message accounting) into cross-domain attribute retrieval; ctx bounds
+// the evaluation, including any resolver round-trips it triggers.
+// Decisions made through a caller-supplied resolver bypass the decision
+// cache, since the resolver's view may differ per call.
+func (e *Engine) DecideAtWith(ctx context.Context, req *policy.Request, at time.Time, resolver policy.Resolver) policy.Result {
+	if err := ctx.Err(); err != nil {
+		return ctxResult(e.name, err)
+	}
 	snap := e.snap.Load()
 	if snap == nil {
 		return policy.Result{Decision: policy.DecisionIndeterminate, Err: ErrNoPolicy}
 	}
-	res, candidates := e.evaluate(snap, req, at, resolver)
+	res, candidates := e.evaluate(ctx, snap, req, at, resolver)
 	e.stats.stripe(policy.HashString(req.ResourceID())).recordEvaluation(res, candidates)
 	return res
 }
 
 // evaluate runs one uncached evaluation against the snapshot with a pooled
-// context. resolver nil falls back to the engine's configured resolver.
-// The Result never aliases the context, so it is released before return.
-func (e *Engine) evaluate(snap *snapshot, req *policy.Request, at time.Time, resolver policy.Resolver) (policy.Result, int) {
-	ctx := policy.AcquireContext(req, at)
+// evaluation context carrying the request ctx. resolver nil falls back to
+// the engine's configured resolver. The Result never aliases the
+// evaluation context, so it is released before return.
+func (e *Engine) evaluate(ctx context.Context, snap *snapshot, req *policy.Request, at time.Time, resolver policy.Resolver) (policy.Result, int) {
+	ec := policy.AcquireContext(ctx, req, at)
 	if resolver == nil {
 		resolver = e.resolver
 	}
 	if resolver != nil {
-		ctx.WithResolver(resolver)
+		ec.WithResolver(resolver)
 	}
 	var res policy.Result
 	candidates := 0
 	if snap.index != nil {
-		res, candidates = snap.index.evaluate(ctx, req)
+		res, candidates = snap.index.evaluate(ec, req)
 	} else {
-		res = snap.root.Evaluate(ctx)
+		res = snap.root.Evaluate(ec)
 	}
-	policy.ReleaseContext(ctx)
+	policy.ReleaseContext(ec)
 	return res, candidates
 }
 
-// DecideAt evaluates the request at an explicit time. A cache hit takes no
-// engine-wide lock — one snapshot pointer load, one shard mutex, zero
-// allocations.
-func (e *Engine) DecideAt(req *policy.Request, at time.Time) policy.Result {
+// DecideAt evaluates the request at an explicit time, bounded by ctx: a
+// context done before or during evaluation (a stuck information point, an
+// expired caller deadline) yields Indeterminate with the cause, never a
+// hang. A cache hit takes no engine-wide lock — one snapshot pointer load,
+// one shard mutex, zero allocations.
+func (e *Engine) DecideAt(ctx context.Context, req *policy.Request, at time.Time) policy.Result {
+	if err := ctx.Err(); err != nil {
+		return ctxResult(e.name, err)
+	}
 	snap := e.snap.Load()
 	if snap == nil {
 		return policy.Result{Decision: policy.DecisionIndeterminate, Err: ErrNoPolicy}
 	}
 
 	if e.cache == nil {
-		res, candidates := e.evaluate(snap, req, at, nil)
+		res, candidates := e.evaluate(ctx, snap, req, at, nil)
 		e.stats.stripe(policy.HashString(req.ResourceID())).recordEvaluation(res, candidates)
 		return res
 	}
@@ -281,9 +310,11 @@ func (e *Engine) DecideAt(req *policy.Request, at time.Time) policy.Result {
 		return res
 	}
 
-	res, candidates := e.evaluate(snap, req, at, nil)
+	res, candidates := e.evaluate(ctx, snap, req, at, nil)
 	st.recordEvaluation(res, candidates)
-	e.fill(snap, key, hash, req.ResourceID(), res, at)
+	if res.Err == nil || ctx.Err() == nil {
+		e.fill(snap, key, hash, req.ResourceID(), res, at)
+	}
 	return res
 }
 
@@ -304,21 +335,23 @@ func (e *Engine) fill(snap *snapshot, key string, hash uint64, resID string, res
 
 // DecideBatch evaluates many requests at the current engine clock. See
 // DecideBatchAt.
-func (e *Engine) DecideBatch(reqs []*policy.Request) []policy.Result {
-	return e.DecideBatchAt(reqs, e.now())
+func (e *Engine) DecideBatch(ctx context.Context, reqs []*policy.Request) []policy.Result {
+	return e.DecideBatchAt(ctx, reqs, e.now())
 }
 
 // DecideBatchAt evaluates many requests in one pass, answering position i
 // of the result slice for request i. Compared to per-request DecideAt it
 // amortises snapshot loads (one per batch) and shares index candidate
 // sets across same-resource requests; cache lookups and fills still cost
-// only their one shard lock each.
-func (e *Engine) DecideBatchAt(reqs []*policy.Request, at time.Time) []policy.Result {
+// only their one shard lock each. A ctx done mid-batch stops evaluating:
+// finished positions keep their decisions, unfinished ones are
+// Indeterminate with the cause.
+func (e *Engine) DecideBatchAt(ctx context.Context, reqs []*policy.Request, at time.Time) []policy.Result {
 	if len(reqs) == 0 {
 		return nil
 	}
 	out := make([]policy.Result, len(reqs))
-	e.DecideScatterAt(reqs, nil, at, out)
+	e.DecideScatterAt(ctx, reqs, nil, at, out)
 	return out
 }
 
@@ -328,7 +361,7 @@ func (e *Engine) DecideBatchAt(reqs []*policy.Request, at time.Time) []policy.Re
 // (cluster router → ha ensemble → engine) share one result buffer instead
 // of allocating and copying per layer. The whole batch evaluates against
 // one snapshot, so its decisions are mutually consistent.
-func (e *Engine) DecideScatterAt(reqs []*policy.Request, positions []int, at time.Time, out []policy.Result) {
+func (e *Engine) DecideScatterAt(ctx context.Context, reqs []*policy.Request, positions []int, at time.Time, out []policy.Result) {
 	n := len(reqs)
 	if positions != nil {
 		n = len(positions)
@@ -336,9 +369,7 @@ func (e *Engine) DecideScatterAt(reqs []*policy.Request, positions []int, at tim
 	if n == 0 {
 		return
 	}
-	snap := e.snap.Load()
-	if snap == nil {
-		res := policy.Result{Decision: policy.DecisionIndeterminate, Err: ErrNoPolicy}
+	fail := func(res policy.Result) {
 		if positions == nil {
 			for i := range out {
 				out[i] = res
@@ -348,6 +379,14 @@ func (e *Engine) DecideScatterAt(reqs []*policy.Request, positions []int, at tim
 				out[p] = res
 			}
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		fail(ctxResult(e.name, err))
+		return
+	}
+	snap := e.snap.Load()
+	if snap == nil {
+		fail(policy.Result{Decision: policy.DecisionIndeterminate, Err: ErrNoPolicy})
 		return
 	}
 
@@ -394,11 +433,21 @@ func (e *Engine) DecideScatterAt(reqs []*policy.Request, positions []int, at tim
 	if snap.index != nil {
 		subsets = make(map[string]indexSubset, len(misses))
 	}
-	for _, p := range misses {
+	for mi, p := range misses {
+		// A ctx done mid-batch sheds the unfinished tail: those positions
+		// fail closed immediately instead of evaluating against a dead
+		// caller.
+		if err := ctx.Err(); err != nil {
+			res := ctxResult(e.name, err)
+			for _, q := range misses[mi:] {
+				out[q] = res
+			}
+			return
+		}
 		req := reqs[p]
-		ctx := policy.AcquireContext(req, at)
+		ec := policy.AcquireContext(ctx, req, at)
 		if e.resolver != nil {
-			ctx.WithResolver(e.resolver)
+			ec.WithResolver(e.resolver)
 		}
 		candidates := 0
 		if snap.index != nil {
@@ -408,12 +457,12 @@ func (e *Engine) DecideScatterAt(reqs []*policy.Request, positions []int, at tim
 				sub = snap.index.subsetFor(resID)
 				subsets[resID] = sub
 			}
-			out[p] = sub.set.Evaluate(ctx)
+			out[p] = sub.set.Evaluate(ec)
 			candidates = sub.candidates
 		} else {
-			out[p] = snap.root.Evaluate(ctx)
+			out[p] = snap.root.Evaluate(ec)
 		}
-		policy.ReleaseContext(ctx)
+		policy.ReleaseContext(ec)
 
 		var hash uint64
 		if e.cache != nil {
@@ -422,7 +471,7 @@ func (e *Engine) DecideScatterAt(reqs []*policy.Request, positions []int, at tim
 			hash = policy.HashString(req.ResourceID())
 		}
 		e.stats.stripe(hash).recordEvaluation(out[p], candidates)
-		if e.cache != nil {
+		if e.cache != nil && (out[p].Err == nil || ctx.Err() == nil) {
 			e.fill(snap, req.CacheKey(), hash, req.ResourceID(), out[p], at)
 		}
 	}

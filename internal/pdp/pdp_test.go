@@ -1,6 +1,7 @@
 package pdp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -47,7 +48,7 @@ func TestEngineBasicDecisions(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			if got := e.Decide(tt.req); got.Decision != tt.want {
+			if got := e.Decide(context.Background(), tt.req); got.Decision != tt.want {
 				t.Errorf("got %v, want %v", got.Decision, tt.want)
 			}
 		})
@@ -60,7 +61,7 @@ func TestEngineBasicDecisions(t *testing.T) {
 
 func TestEngineNoPolicy(t *testing.T) {
 	e := New("empty")
-	res := e.Decide(policy.NewAccessRequest("u", "r", "read"))
+	res := e.Decide(context.Background(), policy.NewAccessRequest("u", "r", "read"))
 	if res.Decision != policy.DecisionIndeterminate || !errors.Is(res.Err, ErrNoPolicy) {
 		t.Errorf("got %v / %v, want Indeterminate / ErrNoPolicy", res.Decision, res.Err)
 	}
@@ -96,8 +97,8 @@ func TestIndexMatchesLinearScan(t *testing.T) {
 		policy.NewAccessRequest("u", "nonexistent", "read"),
 	}
 	for i, req := range reqs {
-		a := linear.Decide(req)
-		b := indexed.Decide(req)
+		a := linear.Decide(context.Background(), req)
+		b := indexed.Decide(context.Background(), req)
 		if a.Decision != b.Decision {
 			t.Errorf("request %d: linear=%v indexed=%v", i, a.Decision, b.Decision)
 		}
@@ -135,11 +136,11 @@ func TestIndexPreservesFirstApplicableOrder(t *testing.T) {
 	if err := indexed.SetRoot(root); err != nil {
 		t.Fatal(err)
 	}
-	res := indexed.Decide(policy.NewAccessRequest("u", "db", "write"))
+	res := indexed.Decide(context.Background(), policy.NewAccessRequest("u", "db", "write"))
 	if res.Decision != policy.DecisionDeny {
 		t.Errorf("got %v, want Deny (catch-all must keep its position)", res.Decision)
 	}
-	res = indexed.Decide(policy.NewAccessRequest("u", "db", "read"))
+	res = indexed.Decide(context.Background(), policy.NewAccessRequest("u", "db", "read"))
 	if res.Decision != policy.DecisionPermit {
 		t.Errorf("got %v, want Permit", res.Decision)
 	}
@@ -155,7 +156,7 @@ func TestDecisionCache(t *testing.T) {
 	}
 	req := policy.NewAccessRequest("u", "res-1", "read")
 	for i := 0; i < 5; i++ {
-		if res := e.Decide(req); res.Decision != policy.DecisionPermit {
+		if res := e.Decide(context.Background(), req); res.Decision != policy.DecisionPermit {
 			t.Fatalf("decision %d = %v", i, res.Decision)
 		}
 	}
@@ -166,7 +167,7 @@ func TestDecisionCache(t *testing.T) {
 
 	// TTL expiry forces re-evaluation.
 	now = now.Add(time.Minute)
-	e.Decide(req)
+	e.Decide(context.Background(), req)
 	if st := e.Stats(); st.Evaluations != 2 {
 		t.Errorf("after TTL: evaluations = %d, want 2", st.Evaluations)
 	}
@@ -182,14 +183,14 @@ func TestSetRootFlushesCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	req := policy.NewAccessRequest("u", "r", "read")
-	if res := e.Decide(req); res.Decision != policy.DecisionPermit {
+	if res := e.Decide(context.Background(), req); res.Decision != policy.DecisionPermit {
 		t.Fatalf("v1 decision = %v", res.Decision)
 	}
 	denyAll := policy.NewPolicySet("v2").Combining(policy.DenyUnlessPermit).Build()
 	if err := e.SetRoot(denyAll); err != nil {
 		t.Fatal(err)
 	}
-	if res := e.Decide(req); res.Decision != policy.DecisionDeny {
+	if res := e.Decide(context.Background(), req); res.Decision != policy.DecisionDeny {
 		t.Errorf("after policy update decision = %v, want Deny (cache flushed)", res.Decision)
 	}
 }
@@ -200,7 +201,7 @@ func TestCacheBoundEviction(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 8; i++ {
-		e.Decide(policy.NewAccessRequest("u", fmt.Sprintf("res-%d", i), "read"))
+		e.Decide(context.Background(), policy.NewAccessRequest("u", fmt.Sprintf("res-%d", i), "read"))
 	}
 	if n := e.Stats().CacheEntries; n > 2 {
 		t.Errorf("cache holds %d entries, bound is 2", n)
@@ -222,10 +223,10 @@ func TestEngineWithResolver(t *testing.T) {
 	if err := e.SetRoot(root); err != nil {
 		t.Fatal(err)
 	}
-	if res := e.Decide(policy.NewAccessRequest("alice", "ledger", "read")); res.Decision != policy.DecisionPermit {
+	if res := e.Decide(context.Background(), policy.NewAccessRequest("alice", "ledger", "read")); res.Decision != policy.DecisionPermit {
 		t.Errorf("alice = %v, want Permit", res.Decision)
 	}
-	if res := e.Decide(policy.NewAccessRequest("bob", "ledger", "read")); res.Decision != policy.DecisionDeny {
+	if res := e.Decide(context.Background(), policy.NewAccessRequest("bob", "ledger", "read")); res.Decision != policy.DecisionDeny {
 		t.Errorf("bob = %v, want Deny", res.Decision)
 	}
 }
@@ -247,10 +248,10 @@ func TestDecideAtTimeDependentPolicy(t *testing.T) {
 	req := policy.NewAccessRequest("u", "r", "read")
 	noon := time.Date(2026, 6, 12, 12, 0, 0, 0, time.UTC)
 	night := time.Date(2026, 6, 12, 22, 0, 0, 0, time.UTC)
-	if res := e.DecideAt(req, noon); res.Decision != policy.DecisionPermit {
+	if res := e.DecideAt(context.Background(), req, noon); res.Decision != policy.DecisionPermit {
 		t.Errorf("noon = %v, want Permit", res.Decision)
 	}
-	if res := e.DecideAt(req, night); res.Decision != policy.DecisionDeny {
+	if res := e.DecideAt(context.Background(), req, night); res.Decision != policy.DecisionDeny {
 		t.Errorf("night = %v, want Deny", res.Decision)
 	}
 }

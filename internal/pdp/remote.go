@@ -1,6 +1,7 @@
 package pdp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -44,19 +45,23 @@ func (c *Client) WithClock(now func() time.Time) *Client {
 }
 
 // Decide queries the remote PDP at the current time.
-func (c *Client) Decide(req *policy.Request) policy.Result {
-	return c.DecideAt(req, c.now())
+func (c *Client) Decide(ctx context.Context, req *policy.Request) policy.Result {
+	return c.DecideAt(ctx, req, c.now())
 }
 
 // DecideAt queries the remote PDP. The at time stamps the envelope; the
 // remote engine evaluates at its own clock, as a real deployment would.
-func (c *Client) DecideAt(req *policy.Request, at time.Time) policy.Result {
+// ctx bounds the round-trip, and its remaining deadline budget travels in
+// the envelope so the remote PDP arms the same deadline (see
+// wire.HTTPClient.Send) — a dead or slow PDP yields Indeterminate within
+// the budget instead of hanging the enforcement point.
+func (c *Client) DecideAt(ctx context.Context, req *policy.Request, at time.Time) policy.Result {
 	body, err := xacml.MarshalRequestXML(req)
 	if err != nil {
 		return policy.Result{Decision: policy.DecisionIndeterminate,
 			Err: fmt.Errorf("pdp client: encode request: %w", err)}
 	}
-	reply, err := c.http.Send(&wire.Envelope{
+	reply, err := c.http.Send(ctx, &wire.Envelope{
 		MessageID: fmt.Sprintf("%s-%d", c.from, at.UnixNano()),
 		From:      c.from,
 		To:        c.to,
@@ -83,7 +88,7 @@ func (c *Client) DecideAt(req *policy.Request, at time.Time) policy.Result {
 // DecideBatchAt queries a remote batch endpoint (cmd/pdpd's
 // /decide-batch) with every request in one envelope. Transport failures
 // fail every request closed, mirroring DecideAt.
-func (c *Client) DecideBatchAt(reqs []*policy.Request, at time.Time) []policy.Result {
+func (c *Client) DecideBatchAt(ctx context.Context, reqs []*policy.Request, at time.Time) []policy.Result {
 	if len(reqs) == 0 {
 		return nil
 	}
@@ -106,7 +111,7 @@ func (c *Client) DecideBatchAt(reqs []*policy.Request, at time.Time) []policy.Re
 	if err != nil {
 		return fail(fmt.Errorf("pdp client: %w", err))
 	}
-	reply, err := c.http.Send(&wire.Envelope{
+	reply, err := c.http.Send(ctx, &wire.Envelope{
 		MessageID: fmt.Sprintf("%s-%d", c.from, at.UnixNano()),
 		From:      c.from,
 		To:        c.to,
@@ -144,25 +149,27 @@ func (c *Client) DecideBatchAt(reqs []*policy.Request, at time.Time) []policy.Re
 // cluster.Router satisfy it, so cmd/pdpd exposes a single engine and a
 // sharded cluster through the same endpoint.
 type Provider interface {
-	Decide(req *policy.Request) policy.Result
+	Decide(ctx context.Context, req *policy.Request) policy.Result
 }
 
 // BatchProvider answers many requests in one pass; result i answers
 // request i. *Engine and cluster.Router satisfy it.
 type BatchProvider interface {
-	DecideBatch(reqs []*policy.Request) []policy.Result
+	DecideBatch(ctx context.Context, reqs []*policy.Request) []policy.Result
 }
 
 // Handler adapts a decision provider to the envelope endpoint the Client
 // speaks, shared by cmd/pdpd and tests. It accepts XML or JSON request
-// contexts and answers XML response contexts.
+// contexts and answers XML response contexts. The handler ctx — carrying
+// the deadline the transport armed from the envelope's budget — bounds
+// the decision.
 func Handler(p Provider) wire.Handler {
-	return func(_ *wire.Call, env *wire.Envelope) (*wire.Envelope, error) {
+	return func(ctx context.Context, _ *wire.Call, env *wire.Envelope) (*wire.Envelope, error) {
 		req, err := decodeRequestContext(env.Body)
 		if err != nil {
 			return nil, err
 		}
-		res := p.Decide(req)
+		res := p.Decide(ctx, req)
 		body, err := xacml.MarshalResponseXML(res)
 		if err != nil {
 			return nil, err
@@ -176,7 +183,7 @@ func Handler(p Provider) wire.Handler {
 // contexts in the same order. Clusters use it to amortise transport and
 // evaluation overhead across a whole burst of queries.
 func BatchHandler(p BatchProvider) wire.Handler {
-	return func(_ *wire.Call, env *wire.Envelope) (*wire.Envelope, error) {
+	return func(ctx context.Context, _ *wire.Call, env *wire.Envelope) (*wire.Envelope, error) {
 		bodies, err := wire.DecodeBodies(env.Body)
 		if err != nil {
 			return nil, err
@@ -187,7 +194,7 @@ func BatchHandler(p BatchProvider) wire.Handler {
 				return nil, fmt.Errorf("pdp: batch item %d: %w", i, err)
 			}
 		}
-		results := p.DecideBatch(reqs)
+		results := p.DecideBatch(ctx, reqs)
 		replies := make([][]byte, len(results))
 		for i, res := range results {
 			if replies[i], err = xacml.MarshalResponseXML(res); err != nil {

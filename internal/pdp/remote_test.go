@@ -1,6 +1,7 @@
 package pdp
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -30,7 +31,7 @@ func TestRemoteClientRoundTrip(t *testing.T) {
 
 	doctor := policy.NewAccessRequest("alice", "rec-1", "read").
 		Add(policy.CategorySubject, policy.AttrSubjectRole, policy.String("doctor"))
-	res := client.DecideAt(doctor, at)
+	res := client.DecideAt(context.Background(), doctor, at)
 	if res.Decision != policy.DecisionPermit {
 		t.Fatalf("remote decision = %v (%v), want Permit", res.Decision, res.Err)
 	}
@@ -39,7 +40,7 @@ func TestRemoteClientRoundTrip(t *testing.T) {
 	}
 
 	visitor := policy.NewAccessRequest("eve", "rec-1", "read")
-	if res := client.Decide(visitor); res.Decision != policy.DecisionDeny {
+	if res := client.Decide(context.Background(), visitor); res.Decision != policy.DecisionDeny {
 		t.Errorf("visitor decision = %v, want Deny", res.Decision)
 	}
 }
@@ -50,7 +51,7 @@ func TestRemoteClientFailsClosed(t *testing.T) {
 	srv := newRemotePDP(t)
 	srv.Close()
 	client := NewClient(srv.URL, "pep.test", "pdp.remote")
-	res := client.Decide(policy.NewAccessRequest("alice", "rec-1", "read"))
+	res := client.Decide(context.Background(), policy.NewAccessRequest("alice", "rec-1", "read"))
 	if res.Decision != policy.DecisionIndeterminate || res.Err == nil {
 		t.Errorf("dead PDP: got %+v, want Indeterminate with error", res)
 	}
@@ -63,7 +64,7 @@ func TestRemoteClientRejectsGarbageEndpoint(t *testing.T) {
 	}))
 	defer srv.Close()
 	client := NewClient(srv.URL, "pep.test", "pdp.remote")
-	res := client.Decide(policy.NewAccessRequest("alice", "rec-1", "read"))
+	res := client.Decide(context.Background(), policy.NewAccessRequest("alice", "rec-1", "read"))
 	if res.Decision != policy.DecisionIndeterminate {
 		t.Errorf("garbage endpoint: got %v, want Indeterminate", res.Decision)
 	}
@@ -75,7 +76,7 @@ func TestHandlerRejectsUndecodableContext(t *testing.T) {
 		t.Fatal(err)
 	}
 	h := Handler(engine)
-	_, err := h(&wire.Call{}, &wire.Envelope{Body: []byte("neither xml nor json")})
+	_, err := h(context.Background(), &wire.Call{}, &wire.Envelope{Body: []byte("neither xml nor json")})
 	if err == nil {
 		t.Error("undecodable context must error")
 	}

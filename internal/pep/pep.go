@@ -18,6 +18,7 @@
 package pep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -41,9 +42,14 @@ var (
 )
 
 // DecisionProvider abstracts where decisions come from: a local pdp.Engine,
-// a remote client, or a replicated ensemble.
+// a remote client, or a replicated ensemble. In the paper's architecture a
+// decision is a network call to an autonomous authorisation service, so
+// every query carries the enforcement point's context: a deadline or
+// cancellation bounds the round-trip, and an out-of-time decision comes
+// back Indeterminate — which the deny bias below refuses. Losing the PDP,
+// or merely being too slow, fails closed at the PEP.
 type DecisionProvider interface {
-	DecideAt(req *policy.Request, at time.Time) policy.Result
+	DecideAt(ctx context.Context, req *policy.Request, at time.Time) policy.Result
 }
 
 // ObligationHandler performs one obligation before access is granted or
@@ -157,13 +163,18 @@ func (e *Enforcer) FlushCache() {
 	}
 }
 
-// Enforce intercepts one access request and produces the final outcome.
-func (e *Enforcer) Enforce(req *policy.Request) Outcome {
-	return e.EnforceAt(req, e.now())
+// Enforce intercepts one access request and produces the final outcome,
+// bounded by ctx.
+func (e *Enforcer) Enforce(ctx context.Context, req *policy.Request) Outcome {
+	return e.EnforceAt(ctx, req, e.now())
 }
 
-// EnforceAt enforces at an explicit time.
-func (e *Enforcer) EnforceAt(req *policy.Request, at time.Time) Outcome {
+// EnforceAt enforces at an explicit time. ctx bounds the decision query: a
+// deadline expiring mid-query surfaces as an Indeterminate decision, which
+// the deny bias refuses. Decisions poisoned by an expired context are not
+// cached — the next request with time to spare must be able to earn a real
+// decision.
+func (e *Enforcer) EnforceAt(ctx context.Context, req *policy.Request, at time.Time) Outcome {
 	e.mu.Lock()
 	e.stats.Requests++
 	useCache := e.cache != nil
@@ -181,10 +192,10 @@ func (e *Enforcer) EnforceAt(req *policy.Request, at time.Time) Outcome {
 	e.mu.Unlock()
 
 	if !hit {
-		res = e.pdp.DecideAt(req, at)
+		res = e.pdp.DecideAt(ctx, req, at)
 		e.mu.Lock()
 		e.stats.DecisionQueries++
-		if useCache {
+		if useCache && (res.Err == nil || ctx.Err() == nil) {
 			if len(e.cache) >= e.cacheMax {
 				for k := range e.cache {
 					delete(e.cache, k)
@@ -266,9 +277,10 @@ type Guard struct {
 func NewGuard(e *Enforcer) *Guard { return &Guard{enforcer: e} }
 
 // Do enforces the request and, when allowed, invokes the protected
-// operation.
-func (g *Guard) Do(req *policy.Request, op func() error) error {
-	out := g.enforcer.Enforce(req)
+// operation. ctx bounds the decision; the operation itself is the
+// caller's to bound.
+func (g *Guard) Do(ctx context.Context, req *policy.Request, op func() error) error {
+	out := g.enforcer.Enforce(ctx, req)
 	if !out.Allowed {
 		return out.Err
 	}
@@ -306,15 +318,24 @@ func (e *PushEnforcer) Stats() Stats {
 
 // EnforceCapability validates the presented capability for the request's
 // resource and action.
-func (e *PushEnforcer) EnforceCapability(req *policy.Request, cap *assertion.Assertion) Outcome {
-	return e.EnforceCapabilityAt(req, cap, e.now())
+func (e *PushEnforcer) EnforceCapability(ctx context.Context, req *policy.Request, cap *assertion.Assertion) Outcome {
+	return e.EnforceCapabilityAt(ctx, req, cap, e.now())
 }
 
-// EnforceCapabilityAt validates at an explicit time.
-func (e *PushEnforcer) EnforceCapabilityAt(req *policy.Request, cap *assertion.Assertion, at time.Time) Outcome {
+// EnforceCapabilityAt validates at an explicit time. Validation is local —
+// no PDP round-trip — but the enforcement still honours the caller's
+// context: a request whose deadline already passed is refused outright,
+// keeping push- and pull-model enforcement uniformly fail-closed under
+// time pressure.
+func (e *PushEnforcer) EnforceCapabilityAt(ctx context.Context, req *policy.Request, cap *assertion.Assertion, at time.Time) Outcome {
 	e.mu.Lock()
 	e.stats.Requests++
 	e.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		e.countPush(false)
+		return Outcome{Decision: policy.DecisionIndeterminate,
+			Err: fmt.Errorf("pep %s: context done before enforcement: %v: %w", e.name, err, ErrNotPermitted)}
+	}
 	if cap == nil {
 		e.countPush(false)
 		return Outcome{Decision: policy.DecisionDeny,

@@ -1,6 +1,7 @@
 package pep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -53,7 +54,7 @@ func TestEnforcePermitWithObligation(t *testing.T) {
 		}),
 		WithObligationHandler("alert", func(policy.FulfilledObligation, *policy.Request) error { return nil }),
 	)
-	out := enf.Enforce(doctorReq("read"))
+	out := enf.Enforce(context.Background(), doctorReq("read"))
 	if !out.Allowed {
 		t.Fatalf("denied: %v", out.Err)
 	}
@@ -70,7 +71,7 @@ func TestEnforceDeny(t *testing.T) {
 			return nil
 		}),
 	)
-	out := enf.Enforce(doctorReq("write"))
+	out := enf.Enforce(context.Background(), doctorReq("write"))
 	if out.Allowed {
 		t.Fatal("write must be denied")
 	}
@@ -88,7 +89,7 @@ func TestEnforceFailClosedOnUnknownObligation(t *testing.T) {
 	enf := NewEnforcer("pep", newEngine(t))
 	req := policy.NewAccessRequest("bob", "rec-1", "read").
 		Add(policy.CategorySubject, policy.AttrSubjectRole, policy.String("experimental"))
-	out := enf.Enforce(req)
+	out := enf.Enforce(context.Background(), req)
 	if out.Allowed {
 		t.Fatal("permit with unhandled obligation must be discarded")
 	}
@@ -106,7 +107,7 @@ func TestEnforceFailClosedOnObligationError(t *testing.T) {
 			return errors.New("audit log unreachable")
 		}),
 	)
-	out := enf.Enforce(doctorReq("read"))
+	out := enf.Enforce(context.Background(), doctorReq("read"))
 	if out.Allowed {
 		t.Fatal("permit must be discarded when the obligation handler fails")
 	}
@@ -118,7 +119,7 @@ func TestEnforceFailClosedOnObligationError(t *testing.T) {
 func TestEnforceDenyBiasOnIndeterminate(t *testing.T) {
 	empty := pdp.New("no-policy") // no root loaded: Indeterminate
 	enf := NewEnforcer("pep", empty)
-	out := enf.Enforce(doctorReq("read"))
+	out := enf.Enforce(context.Background(), doctorReq("read"))
 	if out.Allowed {
 		t.Fatal("Indeterminate must not allow access")
 	}
@@ -135,7 +136,7 @@ func TestEnforceCacheReducesDecisionQueries(t *testing.T) {
 		WithClock(func() time.Time { return now }),
 	)
 	for i := 0; i < 10; i++ {
-		if out := enf.Enforce(doctorReq("read")); !out.Allowed {
+		if out := enf.Enforce(context.Background(), doctorReq("read")); !out.Allowed {
 			t.Fatalf("iteration %d: %v", i, out.Err)
 		}
 	}
@@ -146,7 +147,7 @@ func TestEnforceCacheReducesDecisionQueries(t *testing.T) {
 
 	// Obligations are re-fulfilled on every (cached) permit.
 	now = now.Add(2 * time.Minute)
-	enf.Enforce(doctorReq("read"))
+	enf.Enforce(context.Background(), doctorReq("read"))
 	if st := enf.Stats(); st.DecisionQueries != 2 {
 		t.Errorf("after TTL: queries = %d, want 2", st.DecisionQueries)
 	}
@@ -162,18 +163,18 @@ func TestEnforceCacheStaleWindow(t *testing.T) {
 		WithDecisionCache(time.Hour, 0),
 		WithClock(func() time.Time { return now }),
 	)
-	if out := enf.Enforce(doctorReq("read")); !out.Allowed {
+	if out := enf.Enforce(context.Background(), doctorReq("read")); !out.Allowed {
 		t.Fatal(out.Err)
 	}
 	// Revoke: replace the policy base with deny-all.
 	if err := engine.SetRoot(policy.NewPolicySet("lockdown").Combining(policy.DenyUnlessPermit).Build()); err != nil {
 		t.Fatal(err)
 	}
-	if out := enf.Enforce(doctorReq("read")); !out.Allowed {
+	if out := enf.Enforce(context.Background(), doctorReq("read")); !out.Allowed {
 		t.Error("stale cached permit expected inside TTL (the modelled risk)")
 	}
 	enf.FlushCache()
-	if out := enf.Enforce(doctorReq("read")); out.Allowed {
+	if out := enf.Enforce(context.Background(), doctorReq("read")); out.Allowed {
 		t.Error("after flush the revocation must take effect")
 	}
 }
@@ -185,14 +186,14 @@ func TestGuardAgentModel(t *testing.T) {
 	)
 	guard := NewGuard(enf)
 	ran := false
-	if err := guard.Do(doctorReq("read"), func() error { ran = true; return nil }); err != nil {
+	if err := guard.Do(context.Background(), doctorReq("read"), func() error { ran = true; return nil }); err != nil {
 		t.Fatalf("guard: %v", err)
 	}
 	if !ran {
 		t.Error("protected operation did not run")
 	}
 	ran = false
-	if err := guard.Do(doctorReq("write"), func() error { ran = true; return nil }); err == nil {
+	if err := guard.Do(context.Background(), doctorReq("write"), func() error { ran = true; return nil }); err == nil {
 		t.Error("guard must refuse denied requests")
 	}
 	if ran {
@@ -200,7 +201,7 @@ func TestGuardAgentModel(t *testing.T) {
 	}
 	// Errors from the operation itself propagate.
 	opErr := errors.New("disk full")
-	if err := guard.Do(doctorReq("read"), func() error { return opErr }); !errors.Is(err, opErr) {
+	if err := guard.Do(context.Background(), doctorReq("read"), func() error { return opErr }); !errors.Is(err, opErr) {
 		t.Errorf("want op error, got %v", err)
 	}
 }
@@ -210,8 +211,8 @@ func TestStatsAccounting(t *testing.T) {
 		WithObligationHandler("log-access", func(policy.FulfilledObligation, *policy.Request) error { return nil }),
 		WithObligationHandler("alert", func(policy.FulfilledObligation, *policy.Request) error { return nil }),
 	)
-	enf.Enforce(doctorReq("read"))  // permit
-	enf.Enforce(doctorReq("write")) // deny
+	enf.Enforce(context.Background(), doctorReq("read"))  // permit
+	enf.Enforce(context.Background(), doctorReq("write")) // deny
 	st := enf.Stats()
 	if st.Requests != 2 || st.Permitted != 1 || st.Denied != 1 || st.DecisionQueries != 2 {
 		t.Errorf("stats = %+v", st)
@@ -237,7 +238,7 @@ func TestConcurrentEnforcement(t *testing.T) {
 				}
 				req := policy.NewAccessRequest(fmt.Sprintf("user-%d", w), "rec-1", action).
 					Add(policy.CategorySubject, policy.AttrSubjectRole, policy.String("doctor"))
-				enf.Enforce(req)
+				enf.Enforce(context.Background(), req)
 			}
 		}(w)
 	}

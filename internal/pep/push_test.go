@@ -1,6 +1,7 @@
 package pep
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -79,7 +80,7 @@ func newPushFixture(t *testing.T) *pushFixture {
 
 func (f *pushFixture) issue(t *testing.T, subject, resource, action string) *assertion.Assertion {
 	t.Helper()
-	cap, err := f.svc.IssueCapability(policy.NewAccessRequest(subject, resource, action), "pep.hospital-b")
+	cap, err := f.svc.IssueCapability(context.Background(), policy.NewAccessRequest(subject, resource, action), "pep.hospital-b")
 	if err != nil {
 		t.Fatalf("IssueCapability: %v", err)
 	}
@@ -89,7 +90,7 @@ func (f *pushFixture) issue(t *testing.T, subject, resource, action string) *ass
 func TestPushEnforcerPermitsValidCapability(t *testing.T) {
 	f := newPushFixture(t)
 	cap := f.issue(t, "alice", "rec-7", "read")
-	out := f.enf.EnforceCapability(policy.NewAccessRequest("alice", "rec-7", "read"), cap)
+	out := f.enf.EnforceCapability(context.Background(), policy.NewAccessRequest("alice", "rec-7", "read"), cap)
 	if !out.Allowed {
 		t.Fatalf("valid capability denied: %v", out.Err)
 	}
@@ -107,7 +108,7 @@ func TestPushEnforcerPermitsValidCapability(t *testing.T) {
 
 func TestPushEnforcerDeniesMissingCapability(t *testing.T) {
 	f := newPushFixture(t)
-	out := f.enf.EnforceCapability(policy.NewAccessRequest("alice", "rec-7", "read"), nil)
+	out := f.enf.EnforceCapability(context.Background(), policy.NewAccessRequest("alice", "rec-7", "read"), nil)
 	if out.Allowed {
 		t.Fatal("nil capability must deny")
 	}
@@ -123,7 +124,7 @@ func TestPushEnforcerDeniesWrongResourceOrAction(t *testing.T) {
 		policy.NewAccessRequest("alice", "rec-8", "read"),
 		policy.NewAccessRequest("alice", "rec-7", "write"),
 	} {
-		out := f.enf.EnforceCapability(req, cap)
+		out := f.enf.EnforceCapability(context.Background(), req, cap)
 		if out.Allowed {
 			t.Errorf("capability for rec-7/read accepted for %s/%s", req.ResourceID(), req.ActionID())
 		}
@@ -142,7 +143,7 @@ func TestPushEnforcerDeniesStolenCapability(t *testing.T) {
 	// must fail even though the token itself verifies.
 	f := newPushFixture(t)
 	cap := f.issue(t, "alice", "rec-7", "read")
-	out := f.enf.EnforceCapability(policy.NewAccessRequest("mallory", "rec-7", "read"), cap)
+	out := f.enf.EnforceCapability(context.Background(), policy.NewAccessRequest("mallory", "rec-7", "read"), cap)
 	if out.Allowed {
 		t.Fatal("stolen capability accepted")
 	}
@@ -154,7 +155,7 @@ func TestPushEnforcerDeniesStolenCapability(t *testing.T) {
 func TestPushEnforcerDeniesExpiredCapability(t *testing.T) {
 	f := newPushFixture(t)
 	cap := f.issue(t, "alice", "rec-7", "read")
-	out := f.enf.EnforceCapabilityAt(policy.NewAccessRequest("alice", "rec-7", "read"),
+	out := f.enf.EnforceCapabilityAt(context.Background(), policy.NewAccessRequest("alice", "rec-7", "read"),
 		cap, pushNow.Add(time.Hour)) // TTL is 15 minutes
 	if out.Allowed {
 		t.Fatal("expired capability accepted")
@@ -166,7 +167,7 @@ func TestPushEnforcerDeniesTamperedCapability(t *testing.T) {
 	cap := f.issue(t, "alice", "rec-7", "read")
 	forged := *cap
 	forged.Subject = "mallory" // breaks the signature
-	out := f.enf.EnforceCapability(policy.NewAccessRequest("mallory", "rec-7", "read"), &forged)
+	out := f.enf.EnforceCapability(context.Background(), policy.NewAccessRequest("mallory", "rec-7", "read"), &forged)
 	if out.Allowed {
 		t.Fatal("tampered capability accepted")
 	}

@@ -9,6 +9,8 @@
 package pip
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -56,7 +58,7 @@ func (s *StaticStore) Set(cat policy.Category, name string, vals ...policy.Value
 }
 
 // ResolveAttribute implements policy.Resolver.
-func (s *StaticStore) ResolveAttribute(_ *policy.Request, cat policy.Category, name string) (policy.Bag, error) {
+func (s *StaticStore) ResolveAttribute(_ context.Context, _ *policy.Request, cat policy.Category, name string) (policy.Bag, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.attrs[staticKey(cat, name)].Clone(), nil
@@ -143,7 +145,7 @@ func (d *Directory) SubjectIDs() []string {
 
 // ResolveAttribute implements policy.Resolver: subject-category attributes
 // are looked up by the request's subject-id.
-func (d *Directory) ResolveAttribute(req *policy.Request, cat policy.Category, name string) (policy.Bag, error) {
+func (d *Directory) ResolveAttribute(_ context.Context, req *policy.Request, cat policy.Category, name string) (policy.Bag, error) {
 	if cat != policy.CategorySubject || req == nil {
 		return nil, nil
 	}
@@ -230,7 +232,7 @@ func (h *HistoryProvider) Accessed(subject, dataset string) bool {
 }
 
 // ResolveAttribute implements policy.Resolver.
-func (h *HistoryProvider) ResolveAttribute(req *policy.Request, cat policy.Category, name string) (policy.Bag, error) {
+func (h *HistoryProvider) ResolveAttribute(_ context.Context, req *policy.Request, cat policy.Category, name string) (policy.Bag, error) {
 	if cat != policy.CategorySubject || name != h.AttributeName || req == nil {
 		return nil, nil
 	}
@@ -273,10 +275,15 @@ func (c *Chain) Name() string { return c.name }
 // Append adds a provider at the end of the chain.
 func (c *Chain) Append(p Provider) { c.providers = append(c.providers, p) }
 
-// ResolveAttribute implements policy.Resolver.
-func (c *Chain) ResolveAttribute(req *policy.Request, cat policy.Category, name string) (policy.Bag, error) {
+// ResolveAttribute implements policy.Resolver. A done context stops the
+// chain between providers, so a multi-source lookup cannot outlive the
+// caller's deadline by walking every remaining source.
+func (c *Chain) ResolveAttribute(ctx context.Context, req *policy.Request, cat policy.Category, name string) (policy.Bag, error) {
 	for _, p := range c.providers {
-		bag, err := p.ResolveAttribute(req, cat, name)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("pip: chain %s: %w", c.name, err)
+		}
+		bag, err := p.ResolveAttribute(ctx, req, cat, name)
 		if err != nil {
 			return nil, fmt.Errorf("pip: provider %s: %w", p.Name(), err)
 		}
@@ -291,8 +298,12 @@ func (c *Chain) ResolveAttribute(req *policy.Request, cat policy.Category, name 
 type CacheStats struct {
 	// Hits counts lookups served from cache.
 	Hits int64
-	// Misses counts lookups that reached the underlying provider.
+	// Misses counts lookups the cache could not serve. Backend fetches
+	// issued are Misses - Coalesced.
 	Misses int64
+	// Coalesced counts misses that piggybacked on another miss's
+	// in-flight backend fetch instead of issuing their own.
+	Coalesced int64
 }
 
 // HitRate returns Hits / (Hits + Misses), or 0 for no traffic.
@@ -309,10 +320,26 @@ type cacheEntry struct {
 	expires time.Time
 }
 
+// flight is one in-progress backend fetch that concurrent misses for the
+// same key wait on instead of issuing their own.
+type flight struct {
+	done chan struct{}
+	bag  policy.Bag
+	err  error
+}
+
 // Cache wraps a provider with a TTL cache keyed by subject/attribute. It
 // implements the information-point caching the paper discusses under
 // Communication Performance (Section 3.2), including the staleness risk:
 // values changed at the source remain visible until their entry expires.
+//
+// Concurrent misses for the same key are coalesced: one fetch travels to
+// the backend and every waiter shares its result, so a burst of decisions
+// over the same cold subject costs one information-point round-trip, not
+// one per decision (the thundering-herd guard attribute resolution in the
+// decision hot path requires). Waiters honour their own context: a waiter
+// whose deadline expires abandons the flight with ctx.Err() while the
+// leader's fetch completes and fills the cache for later lookups.
 type Cache struct {
 	name     string
 	inner    Provider
@@ -320,9 +347,10 @@ type Cache struct {
 	now      func() time.Time
 	maxItems int
 
-	mu      sync.Mutex
-	entries map[string]cacheEntry
-	stats   CacheStats
+	mu       sync.Mutex
+	entries  map[string]cacheEntry
+	inflight map[string]*flight
+	stats    CacheStats
 }
 
 var _ Provider = (*Cache)(nil)
@@ -341,7 +369,20 @@ func NewCache(inner Provider, ttl time.Duration, maxItems int) *Cache {
 		now:      time.Now,
 		maxItems: maxItems,
 		entries:  make(map[string]cacheEntry),
+		inflight: make(map[string]*flight),
 	}
+}
+
+// NewCachedChain builds the standard information-point stack: the
+// providers chained in order behind a TTL cache that coalesces concurrent
+// misses. ttl <= 0 defaults to one minute. This is the recipe the
+// decision pipeline wires into engines (pdp.WithResolver) and domains
+// (federation.Domain.UsePIP) for live attribute resolution.
+func NewCachedChain(name string, ttl time.Duration, providers ...Provider) *Cache {
+	if ttl <= 0 {
+		ttl = time.Minute
+	}
+	return NewCache(NewChain(name, providers...), ttl, 0)
 }
 
 // WithClock overrides the cache clock, for deterministic tests.
@@ -367,8 +408,12 @@ func (c *Cache) Invalidate() {
 	c.entries = make(map[string]cacheEntry)
 }
 
-// ResolveAttribute implements policy.Resolver.
-func (c *Cache) ResolveAttribute(req *policy.Request, cat policy.Category, name string) (policy.Bag, error) {
+// ResolveAttribute implements policy.Resolver. See the Cache doc for the
+// coalescing and cancellation semantics. A flight that fails because its
+// *leader's* context died is not inherited by the waiters: a waiter whose
+// own context is still live retries as the new leader, so one impatient
+// caller cannot poison a burst of healthy ones.
+func (c *Cache) ResolveAttribute(ctx context.Context, req *policy.Request, cat policy.Category, name string) (policy.Bag, error) {
 	subject := ""
 	if req != nil {
 		subject = req.SubjectID()
@@ -376,28 +421,57 @@ func (c *Cache) ResolveAttribute(req *policy.Request, cat policy.Category, name 
 	key := subject + "|" + staticKey(cat, name)
 	now := c.now()
 
-	c.mu.Lock()
-	if e, ok := c.entries[key]; ok && now.Before(e.expires) {
-		c.stats.Hits++
-		c.mu.Unlock()
-		return e.bag.Clone(), nil
-	}
-	c.stats.Misses++
-	c.mu.Unlock()
-
-	bag, err := c.inner.ResolveAttribute(req, cat, name)
-	if err != nil {
-		return nil, err
-	}
-
-	c.mu.Lock()
-	if len(c.entries) >= c.maxItems {
-		for k := range c.entries {
-			delete(c.entries, k)
-			break
+	for {
+		c.mu.Lock()
+		if e, ok := c.entries[key]; ok && now.Before(e.expires) {
+			c.stats.Hits++
+			c.mu.Unlock()
+			return e.bag.Clone(), nil
 		}
+		c.stats.Misses++
+		if f, ok := c.inflight[key]; ok {
+			// Another miss is already fetching this key: wait for it
+			// rather than thundering-herd the backend.
+			c.stats.Coalesced++
+			c.mu.Unlock()
+			select {
+			case <-f.done:
+				if f.err == nil {
+					return f.bag.Clone(), nil
+				}
+				if errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded) {
+					// The leader ran out of time, not the backend; this
+					// waiter still has time — become the next leader.
+					continue
+				}
+				return nil, f.err
+			case <-ctx.Done():
+				return nil, fmt.Errorf("pip: cache %s: %w", c.name, ctx.Err())
+			}
+		}
+		f := &flight{done: make(chan struct{})}
+		c.inflight[key] = f
+		c.mu.Unlock()
+
+		bag, err := c.inner.ResolveAttribute(ctx, req, cat, name)
+
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if err == nil {
+			if len(c.entries) >= c.maxItems {
+				for k := range c.entries {
+					delete(c.entries, k)
+					break
+				}
+			}
+			c.entries[key] = cacheEntry{bag: bag.Clone(), expires: now.Add(c.ttl)}
+		}
+		c.mu.Unlock()
+		f.bag, f.err = bag, err
+		close(f.done)
+		if err != nil {
+			return nil, err
+		}
+		return bag, nil
 	}
-	c.entries[key] = cacheEntry{bag: bag.Clone(), expires: now.Add(c.ttl)}
-	c.mu.Unlock()
-	return bag, nil
 }

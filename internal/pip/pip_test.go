@@ -1,6 +1,7 @@
 package pip
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -11,20 +12,20 @@ import (
 func TestStaticStore(t *testing.T) {
 	s := NewStaticStore("env")
 	s.Set(policy.CategoryEnvironment, "site", policy.String("newcastle"))
-	bag, err := s.ResolveAttribute(nil, policy.CategoryEnvironment, "site")
+	bag, err := s.ResolveAttribute(context.Background(), nil, policy.CategoryEnvironment, "site")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bag.Contains(policy.String("newcastle")) {
 		t.Errorf("got %v", bag.Strings())
 	}
-	missing, err := s.ResolveAttribute(nil, policy.CategoryEnvironment, "absent")
+	missing, err := s.ResolveAttribute(context.Background(), nil, policy.CategoryEnvironment, "absent")
 	if err != nil || !missing.Empty() {
 		t.Errorf("absent attribute: got %v, %v", missing, err)
 	}
 	// Mutating the returned bag must not corrupt the store.
 	bag[0] = policy.String("corrupted")
-	again, _ := s.ResolveAttribute(nil, policy.CategoryEnvironment, "site")
+	again, _ := s.ResolveAttribute(context.Background(), nil, policy.CategoryEnvironment, "site")
 	if !again.Contains(policy.String("newcastle")) {
 		t.Error("store aliased its internal bag")
 	}
@@ -49,26 +50,26 @@ func TestDirectoryResolvesSubjectAttributes(t *testing.T) {
 	d := directoryWithAlice()
 	req := policy.NewAccessRequest("alice", "r", "read")
 
-	roles, err := d.ResolveAttribute(req, policy.CategorySubject, policy.AttrSubjectRole)
+	roles, err := d.ResolveAttribute(context.Background(), req, policy.CategorySubject, policy.AttrSubjectRole)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !roles.Contains(policy.String("doctor")) || !roles.Contains(policy.String("researcher")) {
 		t.Errorf("roles = %v", roles.Strings())
 	}
-	dom, _ := d.ResolveAttribute(req, policy.CategorySubject, policy.AttrSubjectDomain)
+	dom, _ := d.ResolveAttribute(context.Background(), req, policy.CategorySubject, policy.AttrSubjectDomain)
 	if !dom.Contains(policy.String("hospital-a")) {
 		t.Errorf("domain = %v", dom.Strings())
 	}
-	clr, _ := d.ResolveAttribute(req, policy.CategorySubject, policy.AttrClearance)
+	clr, _ := d.ResolveAttribute(context.Background(), req, policy.CategorySubject, policy.AttrClearance)
 	if v, _ := clr.One(); v.Int() != 3 {
 		t.Errorf("clearance = %v", clr.Strings())
 	}
-	email, _ := d.ResolveAttribute(req, policy.CategorySubject, "email")
+	email, _ := d.ResolveAttribute(context.Background(), req, policy.CategorySubject, "email")
 	if !email.Contains(policy.String("alice@hospital-a.example")) {
 		t.Errorf("extra attr = %v", email.Strings())
 	}
-	groups, _ := d.ResolveAttribute(req, policy.CategorySubject, policy.AttrSubjectGroup)
+	groups, _ := d.ResolveAttribute(context.Background(), req, policy.CategorySubject, policy.AttrSubjectGroup)
 	if !groups.Contains(policy.String("cardiology")) {
 		t.Errorf("groups = %v", groups.Strings())
 	}
@@ -77,16 +78,16 @@ func TestDirectoryResolvesSubjectAttributes(t *testing.T) {
 func TestDirectoryUnknownSubjectAndCategories(t *testing.T) {
 	d := directoryWithAlice()
 	unknown := policy.NewAccessRequest("mallory", "r", "read")
-	bag, err := d.ResolveAttribute(unknown, policy.CategorySubject, policy.AttrSubjectRole)
+	bag, err := d.ResolveAttribute(context.Background(), unknown, policy.CategorySubject, policy.AttrSubjectRole)
 	if err != nil || !bag.Empty() {
 		t.Errorf("unknown subject: %v, %v", bag, err)
 	}
 	// Non-subject categories are not this provider's business.
-	bag, err = d.ResolveAttribute(policy.NewAccessRequest("alice", "r", "read"), policy.CategoryResource, "owner")
+	bag, err = d.ResolveAttribute(context.Background(), policy.NewAccessRequest("alice", "r", "read"), policy.CategoryResource, "owner")
 	if err != nil || !bag.Empty() {
 		t.Errorf("resource category: %v, %v", bag, err)
 	}
-	if _, err := d.ResolveAttribute(nil, policy.CategorySubject, policy.AttrSubjectRole); err != nil {
+	if _, err := d.ResolveAttribute(context.Background(), nil, policy.CategorySubject, policy.AttrSubjectRole); err != nil {
 		t.Errorf("nil request must not error: %v", err)
 	}
 }
@@ -114,14 +115,14 @@ func TestHistoryProvider(t *testing.T) {
 		t.Error("Accessed bookkeeping wrong")
 	}
 	req := policy.NewAccessRequest("alice", "r", "read")
-	bag, err := h.ResolveAttribute(req, policy.CategorySubject, "accessed-dataset")
+	bag, err := h.ResolveAttribute(context.Background(), req, policy.CategorySubject, "accessed-dataset")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bag.SetEquals(policy.BagOf(policy.String("bank-a"), policy.String("oil-x"))) {
 		t.Errorf("history = %v", bag.Strings())
 	}
-	empty, _ := h.ResolveAttribute(policy.NewAccessRequest("bob", "r", "read"), policy.CategorySubject, "accessed-dataset")
+	empty, _ := h.ResolveAttribute(context.Background(), policy.NewAccessRequest("bob", "r", "read"), policy.CategorySubject, "accessed-dataset")
 	if !empty.Empty() {
 		t.Errorf("bob should have no history, got %v", empty.Strings())
 	}
@@ -130,7 +131,7 @@ func TestHistoryProvider(t *testing.T) {
 type failingProvider struct{ err error }
 
 func (f failingProvider) Name() string { return "failing" }
-func (f failingProvider) ResolveAttribute(*policy.Request, policy.Category, string) (policy.Bag, error) {
+func (f failingProvider) ResolveAttribute(context.Context, *policy.Request, policy.Category, string) (policy.Bag, error) {
 	return nil, f.err
 }
 
@@ -142,21 +143,21 @@ func TestChainOrderingAndErrors(t *testing.T) {
 	second.Set(policy.CategoryEnvironment, "only-second", policy.String("x"))
 
 	chain := NewChain("chain", first, second)
-	bag, err := chain.ResolveAttribute(nil, policy.CategoryEnvironment, "shared")
+	bag, err := chain.ResolveAttribute(context.Background(), nil, policy.CategoryEnvironment, "shared")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bag.Contains(policy.String("from-first")) {
 		t.Errorf("chain should prefer earlier providers, got %v", bag.Strings())
 	}
-	bag, _ = chain.ResolveAttribute(nil, policy.CategoryEnvironment, "only-second")
+	bag, _ = chain.ResolveAttribute(context.Background(), nil, policy.CategoryEnvironment, "only-second")
 	if !bag.Contains(policy.String("x")) {
 		t.Error("chain should fall through to later providers")
 	}
 
 	boom := errors.New("boom")
 	failChain := NewChain("failing-chain", failingProvider{err: boom}, first)
-	if _, err := failChain.ResolveAttribute(nil, policy.CategoryEnvironment, "shared"); !errors.Is(err, boom) {
+	if _, err := failChain.ResolveAttribute(context.Background(), nil, policy.CategoryEnvironment, "shared"); !errors.Is(err, boom) {
 		t.Errorf("chain must surface provider errors, got %v", err)
 	}
 }
@@ -168,7 +169,7 @@ func TestCacheHitMissAndTTL(t *testing.T) {
 	req := policy.NewAccessRequest("alice", "r", "read")
 
 	for i := 0; i < 3; i++ {
-		if _, err := cache.ResolveAttribute(req, policy.CategorySubject, policy.AttrSubjectRole); err != nil {
+		if _, err := cache.ResolveAttribute(context.Background(), req, policy.CategorySubject, policy.AttrSubjectRole); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -182,7 +183,7 @@ func TestCacheHitMissAndTTL(t *testing.T) {
 
 	// After the TTL the entry must be refreshed.
 	now = now.Add(time.Minute)
-	if _, err := cache.ResolveAttribute(req, policy.CategorySubject, policy.AttrSubjectRole); err != nil {
+	if _, err := cache.ResolveAttribute(context.Background(), req, policy.CategorySubject, policy.AttrSubjectRole); err != nil {
 		t.Fatal(err)
 	}
 	if st := cache.Stats(); st.Misses != 2 {
@@ -198,19 +199,19 @@ func TestCacheServesStaleUntilExpiry(t *testing.T) {
 	cache := NewCache(d, time.Minute, 0).WithClock(func() time.Time { return now })
 	req := policy.NewAccessRequest("alice", "r", "read")
 
-	bag, _ := cache.ResolveAttribute(req, policy.CategorySubject, policy.AttrSubjectRole)
+	bag, _ := cache.ResolveAttribute(context.Background(), req, policy.CategorySubject, policy.AttrSubjectRole)
 	if !bag.Contains(policy.String("doctor")) {
 		t.Fatal("precondition: alice is a doctor")
 	}
 	// Revoke at the source.
 	d.RemoveSubject("alice")
-	bag, _ = cache.ResolveAttribute(req, policy.CategorySubject, policy.AttrSubjectRole)
+	bag, _ = cache.ResolveAttribute(context.Background(), req, policy.CategorySubject, policy.AttrSubjectRole)
 	if !bag.Contains(policy.String("doctor")) {
 		t.Error("within TTL the stale role is still served (expected model behaviour)")
 	}
 	// Explicit invalidation closes the window immediately.
 	cache.Invalidate()
-	bag, _ = cache.ResolveAttribute(req, policy.CategorySubject, policy.AttrSubjectRole)
+	bag, _ = cache.ResolveAttribute(context.Background(), req, policy.CategorySubject, policy.AttrSubjectRole)
 	if !bag.Empty() {
 		t.Errorf("after invalidation the revocation must be visible, got %v", bag.Strings())
 	}
@@ -222,7 +223,7 @@ func TestCacheBound(t *testing.T) {
 	cache := NewCache(s, time.Hour, 2)
 	for _, subj := range []string{"a", "b", "c", "d"} {
 		req := policy.NewAccessRequest(subj, "r", "read")
-		if _, err := cache.ResolveAttribute(req, policy.CategoryEnvironment, "k"); err != nil {
+		if _, err := cache.ResolveAttribute(context.Background(), req, policy.CategoryEnvironment, "k"); err != nil {
 			t.Fatal(err)
 		}
 	}

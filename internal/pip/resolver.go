@@ -1,0 +1,75 @@
+package pip
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/policy"
+)
+
+// RequestResolver is the ctx-aware policy.Resolver adapter the decision
+// pipeline threads into evaluation: it fronts any resolver (a Provider, a
+// Chain of providers, a federation cross-domain resolver, ...) with a
+// memo scoped to one access request. Create one per request and pass it to
+// every evaluation of that request.
+//
+// The engine's evaluation context already memoises within a single
+// evaluation; the RequestResolver extends that guarantee across the
+// several evaluations one request triggers — a local decision followed by
+// a VO-policy decision, quorum replicas voting on the same request, or a
+// candidate set whose policies test the same subject attribute — so an
+// attribute is fetched from the information point at most once per
+// request, however many times policy consults it.
+//
+// It is safe for concurrent use (quorum ensembles fan one request out to
+// replicas in parallel); concurrent first lookups of the same attribute
+// may both reach the inner resolver, which a pip.Cache beneath coalesces.
+type RequestResolver struct {
+	inner policy.Resolver
+
+	mu   sync.Mutex
+	memo map[memoKey]policy.Bag
+}
+
+type memoKey struct {
+	cat  policy.Category
+	name string
+}
+
+var _ policy.Resolver = (*RequestResolver)(nil)
+
+// NewRequestResolver builds a per-request memoising resolver over inner.
+// A nil inner resolves nothing (every attribute is an empty bag).
+func NewRequestResolver(inner policy.Resolver) *RequestResolver {
+	return &RequestResolver{inner: inner}
+}
+
+// ResolveAttribute implements policy.Resolver. The first lookup of each
+// attribute reaches the inner resolver; repeats are served from the memo.
+// Errors are not memoised: a failed fetch may be retried by a later
+// evaluation of the same request (a quorum replica voting after a
+// transient fault should not inherit it).
+func (r *RequestResolver) ResolveAttribute(ctx context.Context, req *policy.Request, cat policy.Category, name string) (policy.Bag, error) {
+	if r.inner == nil {
+		return nil, nil
+	}
+	key := memoKey{cat: cat, name: name}
+	r.mu.Lock()
+	if bag, ok := r.memo[key]; ok {
+		r.mu.Unlock()
+		return bag, nil
+	}
+	r.mu.Unlock()
+
+	bag, err := r.inner.ResolveAttribute(ctx, req, cat, name)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if r.memo == nil {
+		r.memo = make(map[memoKey]policy.Bag, 4)
+	}
+	r.memo[key] = bag
+	r.mu.Unlock()
+	return bag, nil
+}

@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -8,23 +9,28 @@ import (
 
 // Resolver supplies attribute values that are not carried in the request
 // itself. It is the hook through which the Policy Decision Point consults
-// Policy Information Points (Section 2.2 of the paper).
+// Policy Information Points (Section 2.2 of the paper). Resolution is a
+// live, cancelable part of evaluation: implementations must honour the
+// context — a PIP fetch is a network round-trip in the architecture the
+// paper argues for, and a stuck backend must not stall the decision past
+// the caller's deadline.
 type Resolver interface {
 	// ResolveAttribute returns the bag of values for the named attribute,
 	// or an empty bag if the attribute is unknown. Implementations may
 	// consult the partially-populated request for correlation (for
-	// example, looking up roles by subject identifier).
-	ResolveAttribute(req *Request, cat Category, name string) (Bag, error)
+	// example, looking up roles by subject identifier) and must return
+	// promptly with ctx.Err() once the context is done.
+	ResolveAttribute(ctx context.Context, req *Request, cat Category, name string) (Bag, error)
 }
 
 // ResolverFunc adapts a function to the Resolver interface.
-type ResolverFunc func(req *Request, cat Category, name string) (Bag, error)
+type ResolverFunc func(ctx context.Context, req *Request, cat Category, name string) (Bag, error)
 
 var _ Resolver = (ResolverFunc)(nil)
 
 // ResolveAttribute implements Resolver.
-func (f ResolverFunc) ResolveAttribute(req *Request, cat Category, name string) (Bag, error) {
-	return f(req, cat, name)
+func (f ResolverFunc) ResolveAttribute(ctx context.Context, req *Request, cat Category, name string) (Bag, error) {
+	return f(ctx, req, cat, name)
 }
 
 type attrKey struct {
@@ -33,9 +39,14 @@ type attrKey struct {
 }
 
 // Context carries everything one evaluation needs: the request, the
-// information-point resolver, and the evaluation clock. A Context is used by
-// a single evaluation and is not safe for concurrent use.
+// information-point resolver, the evaluation clock, and the caller's
+// cancellation context. A Context is used by a single evaluation and is not
+// safe for concurrent use.
 type Context struct {
+	// Ctx is the caller's request context, threaded into every resolver
+	// round-trip so a deadline or cancellation aborts in-flight attribute
+	// retrieval. Nil means context.Background().
+	Ctx context.Context
 	// Request holds the attributes supplied by the enforcement point.
 	Request *Request
 	// Resolver optionally supplies attributes missing from the request.
@@ -63,10 +74,12 @@ var contextPool = sync.Pool{New: func() any { return new(Context) }}
 
 // AcquireContext returns a pooled evaluation context over the request at
 // an explicit clock — the allocation-free counterpart of NewContextAt for
-// high-rate callers. Pass it to ReleaseContext once the evaluation's
-// Result has been read; Results never retain the context.
-func AcquireContext(req *Request, now time.Time) *Context {
+// high-rate callers. ctx bounds resolver round-trips; nil means
+// context.Background(). Pass the result to ReleaseContext once the
+// evaluation's Result has been read; Results never retain the context.
+func AcquireContext(ctx context.Context, req *Request, now time.Time) *Context {
 	c := contextPool.Get().(*Context)
+	c.Ctx = ctx
 	c.Request = req
 	c.Now = now.UTC()
 	return c
@@ -75,6 +88,7 @@ func AcquireContext(req *Request, now time.Time) *Context {
 // ReleaseContext resets a context acquired with AcquireContext and returns
 // it to the pool. The context must not be used after release.
 func ReleaseContext(c *Context) {
+	c.Ctx = nil
 	c.Request = nil
 	c.Resolver = nil
 	c.Now = time.Time{}
@@ -103,6 +117,13 @@ func (c *Context) WithResolver(r Resolver) *Context {
 	return c
 }
 
+// WithCtx attaches the caller's cancellation context and returns the
+// evaluation context.
+func (c *Context) WithCtx(ctx context.Context) *Context {
+	c.Ctx = ctx
+	return c
+}
+
 func (c *Context) now() time.Time {
 	if c.Now.IsZero() {
 		c.Now = time.Now().UTC()
@@ -110,11 +131,21 @@ func (c *Context) now() time.Time {
 	return c.Now
 }
 
+// ctx returns the caller context, defaulting to Background.
+func (c *Context) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
+}
+
 // Attribute fetches an attribute bag, looking first at the request, then at
 // built-in environment attributes, then at the resolver. Resolved values are
 // memoised for the lifetime of the context so repeated designators do not
 // repeat information-point traffic. A missing attribute yields an empty bag
-// and no error; designators enforce MustBePresent themselves.
+// and no error; designators enforce MustBePresent themselves. A done
+// caller context aborts the resolver round-trip with its error, which
+// evaluation surfaces as Indeterminate.
 func (c *Context) Attribute(cat Category, name string) (Bag, error) {
 	if c.Request != nil {
 		if bag, ok := c.Request.Get(cat, name); ok {
@@ -143,8 +174,12 @@ func (c *Context) Attribute(cat Category, name string) (Bag, error) {
 	if bag, ok := c.resolved[key]; ok {
 		return bag, nil
 	}
+	ctx := c.ctx()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("policy: resolve %s/%s: %w", cat, name, err)
+	}
 	c.ResolverCalls++
-	bag, err := c.Resolver.ResolveAttribute(c.Request, cat, name)
+	bag, err := c.Resolver.ResolveAttribute(ctx, c.Request, cat, name)
 	if err != nil {
 		return nil, fmt.Errorf("policy: resolve %s/%s: %w", cat, name, err)
 	}

@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -230,7 +231,7 @@ func TestWalkAndCollect(t *testing.T) {
 func TestContextMemoisesResolver(t *testing.T) {
 	calls := 0
 	c := NewContext(NewAccessRequest("u", "r", "read")).WithResolver(
-		ResolverFunc(func(_ *Request, cat Category, name string) (Bag, error) {
+		ResolverFunc(func(_ context.Context, _ *Request, cat Category, name string) (Bag, error) {
 			calls++
 			return Singleton(String("resolved")), nil
 		}))
@@ -250,7 +251,7 @@ func TestContextMemoisesResolver(t *testing.T) {
 
 func TestContextRequestShadowsResolver(t *testing.T) {
 	c := NewContext(NewAccessRequest("u", "r", "read")).WithResolver(
-		ResolverFunc(func(*Request, Category, string) (Bag, error) {
+		ResolverFunc(func(context.Context, *Request, Category, string) (Bag, error) {
 			return Singleton(String("from-pip")), nil
 		}))
 	bag, err := c.Attribute(CategorySubject, AttrSubjectID)

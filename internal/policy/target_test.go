@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -128,7 +129,7 @@ func TestTargetUnknownPredicateIndeterminate(t *testing.T) {
 func TestTargetResolverErrorIndeterminate(t *testing.T) {
 	target := NewTarget(MatchRole("doctor"))
 	c := NewContext(NewAccessRequest("a", "x", "read")).WithResolver(
-		ResolverFunc(func(*Request, Category, string) (Bag, error) {
+		ResolverFunc(func(context.Context, *Request, Category, string) (Bag, error) {
 			return nil, fmt.Errorf("directory down")
 		}))
 	got, err := target.Evaluate(c)

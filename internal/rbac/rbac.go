@@ -11,6 +11,7 @@
 package rbac
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -405,7 +406,7 @@ func (s *Session) CheckAccess(p Permission) bool {
 
 // ResolveAttribute implements policy.Resolver: the model serves each
 // subject's effective roles, bridging RBAC into attribute-based policies.
-func (m *Model) ResolveAttribute(req *policy.Request, cat policy.Category, name string) (policy.Bag, error) {
+func (m *Model) ResolveAttribute(_ context.Context, req *policy.Request, cat policy.Category, name string) (policy.Bag, error) {
 	if cat != policy.CategorySubject || name != policy.AttrSubjectRole || req == nil {
 		return nil, nil
 	}

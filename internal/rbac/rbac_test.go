@@ -1,6 +1,7 @@
 package rbac
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -211,7 +212,7 @@ func TestModelAsResolver(t *testing.T) {
 		t.Fatal(err)
 	}
 	req := policy.NewAccessRequest("hank", "vitals", "read")
-	bag, err := m.ResolveAttribute(req, policy.CategorySubject, policy.AttrSubjectRole)
+	bag, err := m.ResolveAttribute(context.Background(), req, policy.CategorySubject, policy.AttrSubjectRole)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +220,7 @@ func TestModelAsResolver(t *testing.T) {
 		t.Errorf("resolver roles = %v", bag.Strings())
 	}
 	// Unknown users resolve to empty, not error: attribute absence.
-	bag, err = m.ResolveAttribute(policy.NewAccessRequest("ghost", "r", "a"), policy.CategorySubject, policy.AttrSubjectRole)
+	bag, err = m.ResolveAttribute(context.Background(), policy.NewAccessRequest("ghost", "r", "a"), policy.CategorySubject, policy.AttrSubjectRole)
 	if err != nil || !bag.Empty() {
 		t.Errorf("ghost: %v, %v", bag, err)
 	}
@@ -244,15 +245,15 @@ func TestPolicyForCompilesRole(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Inherited clinician permission compiled into the doctor policy.
-	res := engine.Decide(policy.NewAccessRequest("iris", "vitals", "read"))
+	res := engine.Decide(context.Background(), policy.NewAccessRequest("iris", "vitals", "read"))
 	if res.Decision != policy.DecisionPermit {
 		t.Errorf("vitals read = %v, want Permit", res.Decision)
 	}
-	res = engine.Decide(policy.NewAccessRequest("iris", "schedule", "approve"))
+	res = engine.Decide(context.Background(), policy.NewAccessRequest("iris", "schedule", "approve"))
 	if res.Decision != policy.DecisionDeny {
 		t.Errorf("senior permission must not leak down: %v", res.Decision)
 	}
-	res = engine.Decide(policy.NewAccessRequest("mallory", "vitals", "read"))
+	res = engine.Decide(context.Background(), policy.NewAccessRequest("mallory", "vitals", "read"))
 	if res.Decision != policy.DecisionDeny {
 		t.Errorf("unknown user = %v, want Deny", res.Decision)
 	}

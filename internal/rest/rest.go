@@ -19,6 +19,7 @@ package rest
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
@@ -241,9 +242,13 @@ func (r *Router) BuildRequest(method, path string, actions map[string]string) (*
 	return req, m, nil
 }
 
-// DecisionProvider abstracts the PDP the middleware queries.
+// DecisionProvider abstracts the PDP the middleware queries. The incoming
+// http.Request's context is threaded into every query, so a client that
+// disconnects — or a server write deadline about to fire — cancels the
+// decision instead of leaving it running; an out-of-time decision is
+// Indeterminate, which the middleware denies.
 type DecisionProvider interface {
-	DecideAt(req *policy.Request, at time.Time) policy.Result
+	DecideAt(ctx context.Context, req *policy.Request, at time.Time) policy.Result
 }
 
 // SubjectFunc extracts the requesting subject from the HTTP request and
@@ -380,7 +385,7 @@ func (m *Middleware) Wrap(next http.Handler) http.Handler {
 			http.Error(w, "authentication required", http.StatusUnauthorized)
 			return
 		}
-		res := m.pdp.DecideAt(req, m.now())
+		res := m.pdp.DecideAt(r.Context(), req, m.now())
 		if res.Decision != policy.DecisionPermit {
 			m.count(func(s *Stats) { s.Denied++ })
 			http.Error(w, "access denied", http.StatusForbidden)

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"path/filepath"
@@ -72,8 +73,8 @@ func TestBootstrapClusterHydratesShards(t *testing.T) {
 	for i := 0; i < ids; i++ {
 		for _, action := range []string{"read", "write"} {
 			req := policy.NewAccessRequest("u", fmt.Sprintf("res-p-%d", i), action)
-			got := router.Decide(req)
-			ref := single.Decide(policy.NewAccessRequest("u", fmt.Sprintf("res-p-%d", i), action))
+			got := router.Decide(context.Background(), req)
+			ref := single.Decide(context.Background(), policy.NewAccessRequest("u", fmt.Sprintf("res-p-%d", i), action))
 			if got.Decision != ref.Decision {
 				t.Fatalf("res-p-%d %s: cluster = %v, single = %v", i, action, got.Decision, ref.Decision)
 			}

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -75,8 +76,8 @@ func probe(engine *pdp.Engine, ids int) []policy.Decision {
 	for i := 0; i < ids; i++ {
 		res := fmt.Sprintf("res-p-%d", i)
 		out = append(out,
-			engine.Decide(policy.NewAccessRequest("u", res, "read")).Decision,
-			engine.Decide(policy.NewAccessRequest("u", res, "write")).Decision)
+			engine.Decide(context.Background(), policy.NewAccessRequest("u", res, "read")).Decision,
+			engine.Decide(context.Background(), policy.NewAccessRequest("u", res, "write")).Decision)
 	}
 	return out
 }

@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -108,10 +109,10 @@ func TestAppendRecoverRoundTrip(t *testing.T) {
 	if s.History("p-a") != 2 {
 		t.Fatalf("History(p-a) = %d, want 2", s.History("p-a"))
 	}
-	if res := engine.Decide(policy.NewAccessRequest("u", "res-1", "read")); res.Decision != policy.DecisionPermit {
+	if res := engine.Decide(context.Background(), policy.NewAccessRequest("u", "res-1", "read")); res.Decision != policy.DecisionPermit {
 		t.Fatalf("decide res-1 = %v, want permit", res.Decision)
 	}
-	if res := engine.Decide(policy.NewAccessRequest("u", "res-2", "read")); res.Decision != policy.DecisionNotApplicable {
+	if res := engine.Decide(context.Background(), policy.NewAccessRequest("u", "res-2", "read")); res.Decision != policy.DecisionNotApplicable {
 		t.Fatalf("decide deleted res-2 = %v, want not-applicable", res.Decision)
 	}
 	// A write after bootstrap goes through the reattached backend.

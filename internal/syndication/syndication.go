@@ -12,6 +12,7 @@
 package syndication
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -49,7 +50,7 @@ func NewNode(name string, net *wire.Network, filter Filter) *Node {
 		Filter: filter,
 		net:    net,
 	}
-	net.Register(name, func(_ *wire.Call, env *wire.Envelope) (*wire.Envelope, error) {
+	net.Register(name, func(_ context.Context, _ *wire.Call, env *wire.Envelope) (*wire.Envelope, error) {
 		// The push protocol acknowledges receipt; application and
 		// further relaying are handled by the tree walk, which owns
 		// the recursion so propagation latency composes correctly.
@@ -101,17 +102,19 @@ func (r *Report) merge(child Report) {
 }
 
 // Publish stores the policy at this node (subject to its filter) and
-// syndicates it through the subtree, returning the aggregated report.
-func (n *Node) Publish(e policy.Evaluable, at time.Time) (Report, error) {
+// syndicates it through the subtree, returning the aggregated report. ctx
+// bounds the push fan-out: a canceled publication stops descending and
+// reports the unreached subtree as unreachable.
+func (n *Node) Publish(ctx context.Context, e policy.Evaluable, at time.Time) (Report, error) {
 	data, err := xacml.MarshalXML(e)
 	if err != nil {
 		return Report{}, fmt.Errorf("syndication: encode: %w", err)
 	}
-	return n.apply(e, data, at)
+	return n.apply(ctx, e, data, at)
 }
 
 // apply stores locally and pushes to children.
-func (n *Node) apply(e policy.Evaluable, data []byte, at time.Time) (Report, error) {
+func (n *Node) apply(ctx context.Context, e policy.Evaluable, data []byte, at time.Time) (Report, error) {
 	var rep Report
 	if n.Filter == nil || n.Filter(e) {
 		if _, err := n.Store.Put(e); err != nil {
@@ -130,13 +133,13 @@ func (n *Node) apply(e policy.Evaluable, data []byte, at time.Time) (Report, err
 			Timestamp: at,
 			Body:      data,
 		}
-		if _, err := n.net.Send(call, env); err != nil {
+		if _, err := n.net.Send(ctx, call, env); err != nil {
 			// The child (and its whole subtree) misses this update:
 			// the staleness risk of Section 3.2.
 			rep.Unreachable += child.subtreeSize()
 			continue
 		}
-		childRep, err := child.apply(e, data, at)
+		childRep, err := child.apply(ctx, e, data, at)
 		if err != nil {
 			return rep, err
 		}
@@ -197,7 +200,7 @@ func (n *Node) Leaves() []*Node {
 // syndication: every leaf PAP pulls the named policy directly from this
 // (global) node on demand. It returns the traffic such a refresh costs,
 // for the E5 ablation.
-func (n *Node) PullAll(policyID string, at time.Time) (Report, error) {
+func (n *Node) PullAll(ctx context.Context, policyID string, at time.Time) (Report, error) {
 	e, err := n.Store.Get(policyID)
 	if err != nil {
 		return Report{}, err
@@ -219,7 +222,7 @@ func (n *Node) PullAll(policyID string, at time.Time) (Report, error) {
 			Timestamp: at,
 			Body:      []byte(policyID),
 		}
-		if _, err := n.net.Send(call, reqEnv); err != nil {
+		if _, err := n.net.Send(ctx, call, reqEnv); err != nil {
 			rep.Unreachable++
 			continue
 		}

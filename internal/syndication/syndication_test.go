@@ -1,6 +1,7 @@
 package syndication
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -23,7 +24,7 @@ func TestPublishReachesWholeTree(t *testing.T) {
 	if root.SubtreeSize() != 7 {
 		t.Fatalf("tree size = %d, want 7", root.SubtreeSize())
 	}
-	rep, err := root.Publish(permitPolicy("global"), at)
+	rep, err := root.Publish(context.Background(), permitPolicy("global"), at)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestLocalConstraintsFilter(t *testing.T) {
 	root.Attach(strict)
 	strict.Attach(grandchild)
 
-	rep, err := root.Publish(permitPolicy("permissive"), at)
+	rep, err := root.Publish(context.Background(), permitPolicy("permissive"), at)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestUnreachableSubtreeCounted(t *testing.T) {
 	victim := root.Children()[0]
 	net.SetNodeDown(victim.Name, true)
 
-	rep, err := root.Publish(permitPolicy("p"), at)
+	rep, err := root.Publish(context.Background(), permitPolicy("p"), at)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,10 +101,10 @@ func TestUnreachableSubtreeCounted(t *testing.T) {
 func TestRepublishBumpsVersions(t *testing.T) {
 	net := wire.NewNetwork(time.Millisecond, 1)
 	root := BuildTree("pap", net, 2, 1)
-	if _, err := root.Publish(permitPolicy("p"), at); err != nil {
+	if _, err := root.Publish(context.Background(), permitPolicy("p"), at); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := root.Publish(permitPolicy("p"), at.Add(time.Minute)); err != nil {
+	if _, err := root.Publish(context.Background(), permitPolicy("p"), at.Add(time.Minute)); err != nil {
 		t.Fatal(err)
 	}
 	for _, leaf := range root.Leaves() {
@@ -119,7 +120,7 @@ func TestPullAllComparison(t *testing.T) {
 	if _, err := root.Store.Put(permitPolicy("p")); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := root.PullAll("p", at)
+	rep, err := root.PullAll(context.Background(), "p", at)
 	if err != nil {
 		t.Fatal(err)
 	}

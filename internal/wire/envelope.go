@@ -8,6 +8,13 @@
 // The simulated network carries a virtual clock per call: latency is
 // accounted, not slept, so large multi-domain experiments are fast and
 // exactly reproducible.
+//
+// Exchanges are deadline-aware: an envelope's Deadline header carries the
+// sender's remaining budget inside the signed header block, the simulated
+// network enforces it against the call's virtual clock across every hop
+// (ErrDeadline), and the HTTP binding arms a real context.Context from it
+// on the serving side — so a caller's deadline bounds the work done on
+// its behalf anywhere in the system.
 package wire
 
 import (
@@ -91,6 +98,16 @@ type Envelope struct {
 	// Timestamp is the sender's clock, covered by the signature to
 	// bound replay.
 	Timestamp time.Time
+	// Deadline is the remaining deadline budget the sender grants this
+	// exchange: how long, measured from the moment the message is sent,
+	// the receiver may spend before the answer is worthless. Zero means
+	// unbounded. The budget propagates the caller's deadline across
+	// process boundaries — a downstream PDP arms the same deadline
+	// instead of working past it (the HTTP binding arms a context from
+	// it; the simulated network bounds the call's virtual clock with it).
+	// It travels in the signed header block, so a relay cannot stretch a
+	// deadline the sender signed.
+	Deadline time.Duration
 	// Security is present on protected messages.
 	Security *SecurityHeader
 	// Body is the payload.
@@ -98,7 +115,7 @@ type Envelope struct {
 }
 
 // Canonical returns the byte string covered by signatures: every routing
-// header plus the body.
+// header (the deadline budget included) plus the body.
 func (e *Envelope) Canonical() []byte {
 	var buf bytes.Buffer
 	for _, s := range []string{e.MessageID, e.From, e.To, e.Action} {
@@ -110,6 +127,9 @@ func (e *Envelope) Canonical() []byte {
 	var ts [8]byte
 	binary.BigEndian.PutUint64(ts[:], uint64(e.Timestamp.UnixNano()))
 	buf.Write(ts[:])
+	var dl [8]byte
+	binary.BigEndian.PutUint64(dl[:], uint64(e.Deadline))
+	buf.Write(dl[:])
 	buf.Write(e.Body)
 	return buf.Bytes()
 }
@@ -122,26 +142,30 @@ type xmlSecurity struct {
 }
 
 type xmlEnvelope struct {
-	XMLName   xml.Name     `xml:"Envelope"`
-	MessageID string       `xml:"Header>MessageID"`
-	From      string       `xml:"Header>From"`
-	To        string       `xml:"Header>To"`
-	Action    string       `xml:"Header>Action"`
-	Timestamp string       `xml:"Header>Timestamp"`
-	Security  *xmlSecurity `xml:"Header>Security,omitempty"`
-	Body      string       `xml:"Body"`
+	XMLName   xml.Name `xml:"Envelope"`
+	MessageID string   `xml:"Header>MessageID"`
+	From      string   `xml:"Header>From"`
+	To        string   `xml:"Header>To"`
+	Action    string   `xml:"Header>Action"`
+	Timestamp string   `xml:"Header>Timestamp"`
+	// DeadlineNs is the remaining deadline budget in nanoseconds; absent
+	// or zero means unbounded.
+	DeadlineNs int64        `xml:"Header>Deadline,omitempty"`
+	Security   *xmlSecurity `xml:"Header>Security,omitempty"`
+	Body       string       `xml:"Body"`
 }
 
 // EncodeXML renders the envelope in its SOAP-style XML form. The body and
 // binary security material are base64-encoded.
 func (e *Envelope) EncodeXML() ([]byte, error) {
 	out := xmlEnvelope{
-		MessageID: e.MessageID,
-		From:      e.From,
-		To:        e.To,
-		Action:    e.Action,
-		Timestamp: e.Timestamp.Format(time.RFC3339Nano),
-		Body:      base64.StdEncoding.EncodeToString(e.Body),
+		MessageID:  e.MessageID,
+		From:       e.From,
+		To:         e.To,
+		Action:     e.Action,
+		Timestamp:  e.Timestamp.Format(time.RFC3339Nano),
+		DeadlineNs: int64(e.Deadline),
+		Body:       base64.StdEncoding.EncodeToString(e.Body),
 	}
 	if e.Security != nil {
 		out.Security = &xmlSecurity{
@@ -178,6 +202,7 @@ func DecodeXML(data []byte) (*Envelope, error) {
 		To:        in.To,
 		Action:    in.Action,
 		Timestamp: ts,
+		Deadline:  time.Duration(in.DeadlineNs),
 		Body:      body,
 	}
 	if in.Security != nil {

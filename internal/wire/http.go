@@ -2,15 +2,29 @@ package wire
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 )
+
+// DeadlineHeader is the HTTP header carrying the remaining deadline budget
+// in milliseconds, mirroring the envelope's Deadline field so
+// intermediaries that never decode the envelope (load balancers, access
+// logs) can still observe and enforce the budget.
+const DeadlineHeader = "X-Deadline-Budget-Ms"
 
 // HTTPHandler adapts an envelope Handler to net/http, the real-network
 // binding used by cmd/pdpd. Envelopes travel as XML request and response
 // bodies over POST.
+//
+// The handler arms the downstream deadline: the request context (which
+// net/http cancels when the client disconnects) is bounded further by the
+// envelope's Deadline budget — or, absent one, by the DeadlineHeader — so
+// the decision work a remote PEP paid for is abandoned the moment its
+// budget runs out, not when the PDP happens to finish.
 func HTTPHandler(h Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -27,8 +41,20 @@ func HTTPHandler(h Handler) http.Handler {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		call := &Call{}
-		reply, err := h(call, env)
+		ctx := r.Context()
+		budget := env.Deadline
+		if budget <= 0 {
+			if ms, err := strconv.ParseInt(r.Header.Get(DeadlineHeader), 10, 64); err == nil && ms > 0 {
+				budget = time.Duration(ms) * time.Millisecond
+			}
+		}
+		if budget > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, budget)
+			defer cancel()
+		}
+		call := &Call{Deadline: budget}
+		reply, err := h(ctx, call, env)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
@@ -62,8 +88,20 @@ type HTTPClient struct {
 	Client *http.Client
 }
 
-// Send posts the envelope and decodes the reply.
-func (c *HTTPClient) Send(env *Envelope) (*Envelope, error) {
+// Send posts the envelope and decodes the reply. ctx bounds the round-trip
+// and propagates the caller's remaining deadline budget downstream: when
+// ctx carries a deadline and the envelope does not already state one, the
+// remaining budget is written into the envelope's Deadline header and the
+// DeadlineHeader HTTP header, so the receiving PDP arms the same deadline
+// this caller is counting down.
+func (c *HTTPClient) Send(ctx context.Context, env *Envelope) (*Envelope, error) {
+	if dl, ok := ctx.Deadline(); ok && env.Deadline <= 0 {
+		if rem := time.Until(dl); rem > 0 {
+			env.Deadline = rem
+		} else {
+			return nil, fmt.Errorf("wire: post %s: %w", c.Endpoint, context.DeadlineExceeded)
+		}
+	}
 	data, err := env.EncodeXML()
 	if err != nil {
 		return nil, err
@@ -72,7 +110,15 @@ func (c *HTTPClient) Send(env *Envelope) (*Envelope, error) {
 	if httpClient == nil {
 		httpClient = &http.Client{Timeout: 10 * time.Second}
 	}
-	resp, err := httpClient.Post(c.Endpoint, "application/xml", bytes.NewReader(data))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Endpoint, bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("wire: post %s: %w", c.Endpoint, err)
+	}
+	req.Header.Set("Content-Type", "application/xml")
+	if env.Deadline > 0 {
+		req.Header.Set(DeadlineHeader, strconv.FormatInt(env.Deadline.Milliseconds(), 10))
+	}
+	resp, err := httpClient.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("wire: post %s: %w", c.Endpoint, err)
 	}

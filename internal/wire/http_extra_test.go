@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"context"
 	"errors"
 	"net/http"
 	"net/http/httptest"
@@ -10,7 +11,7 @@ import (
 )
 
 func TestHTTPHandlerRejectsNonPost(t *testing.T) {
-	srv := httptest.NewServer(HTTPHandler(func(_ *Call, env *Envelope) (*Envelope, error) {
+	srv := httptest.NewServer(HTTPHandler(func(_ context.Context, _ *Call, env *Envelope) (*Envelope, error) {
 		return env, nil
 	}))
 	defer srv.Close()
@@ -25,7 +26,7 @@ func TestHTTPHandlerRejectsNonPost(t *testing.T) {
 }
 
 func TestHTTPHandlerRejectsMalformedEnvelope(t *testing.T) {
-	srv := httptest.NewServer(HTTPHandler(func(_ *Call, env *Envelope) (*Envelope, error) {
+	srv := httptest.NewServer(HTTPHandler(func(_ context.Context, _ *Call, env *Envelope) (*Envelope, error) {
 		return env, nil
 	}))
 	defer srv.Close()
@@ -40,24 +41,24 @@ func TestHTTPHandlerRejectsMalformedEnvelope(t *testing.T) {
 }
 
 func TestHTTPHandlerSurfacesHandlerError(t *testing.T) {
-	srv := httptest.NewServer(HTTPHandler(func(*Call, *Envelope) (*Envelope, error) {
+	srv := httptest.NewServer(HTTPHandler(func(context.Context, *Call, *Envelope) (*Envelope, error) {
 		return nil, errors.New("pdp exploded")
 	}))
 	defer srv.Close()
 	client := &HTTPClient{Endpoint: srv.URL}
-	_, err := client.Send(sampleEnvelope())
+	_, err := client.Send(context.Background(), sampleEnvelope())
 	if err == nil || !strings.Contains(err.Error(), "pdp exploded") {
 		t.Errorf("handler error not surfaced: %v", err)
 	}
 }
 
 func TestHTTPHandlerNoContentReply(t *testing.T) {
-	srv := httptest.NewServer(HTTPHandler(func(*Call, *Envelope) (*Envelope, error) {
+	srv := httptest.NewServer(HTTPHandler(func(context.Context, *Call, *Envelope) (*Envelope, error) {
 		return nil, nil // one-way message
 	}))
 	defer srv.Close()
 	client := &HTTPClient{Endpoint: srv.URL}
-	reply, err := client.Send(sampleEnvelope())
+	reply, err := client.Send(context.Background(), sampleEnvelope())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,9 +83,9 @@ func TestProtectionString(t *testing.T) {
 
 func TestResetStats(t *testing.T) {
 	n := NewNetwork(time.Millisecond, 1)
-	n.Register("a", func(_ *Call, env *Envelope) (*Envelope, error) { return env, nil })
-	n.Register("b", func(_ *Call, env *Envelope) (*Envelope, error) { return env, nil })
-	if _, err := n.Send(&Call{}, &Envelope{From: "a", To: "b", Timestamp: time.Unix(0, 0)}); err != nil {
+	n.Register("a", func(_ context.Context, _ *Call, env *Envelope) (*Envelope, error) { return env, nil })
+	n.Register("b", func(_ context.Context, _ *Call, env *Envelope) (*Envelope, error) { return env, nil })
+	if _, err := n.Send(context.Background(), &Call{}, &Envelope{From: "a", To: "b", Timestamp: time.Unix(0, 0)}); err != nil {
 		t.Fatal(err)
 	}
 	if n.Stats().Messages == 0 {

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -17,21 +18,46 @@ var (
 	ErrUnreachable = errors.New("wire: node unreachable")
 	// ErrLost reports a message dropped by the lossy link model.
 	ErrLost = errors.New("wire: message lost")
+	// ErrDeadline reports an exchange whose deadline budget (the
+	// envelope's Deadline header, enforced on the call's virtual clock)
+	// or caller context expired before the reply arrived.
+	ErrDeadline = errors.New("wire: deadline exceeded")
 )
 
 // Handler processes an incoming envelope at a node and returns the reply.
 // Handlers may issue nested Sends with the same Call to model multi-hop
 // protocols (PEP → PDP → PIP); the virtual clock accumulates across hops.
-type Handler func(call *Call, env *Envelope) (*Envelope, error)
+// ctx carries the sender's cancellation and deadline; handlers doing real
+// work (deciding, resolving attributes) must thread it through.
+type Handler func(ctx context.Context, call *Call, env *Envelope) (*Envelope, error)
 
 // Call carries the per-request virtual clock and traffic counters through
 // a (possibly nested) message exchange.
 type Call struct {
 	// Elapsed is the accumulated virtual network latency.
 	Elapsed time.Duration
+	// Deadline bounds Elapsed: once the virtual clock passes it, further
+	// hops on this call fail with ErrDeadline. Zero means unbounded. It
+	// is armed from the first envelope carrying a Deadline budget and is
+	// shared by nested hops, so a multi-hop flow (PEP → PDP → IdP) spends
+	// one budget end-to-end — exactly how a real deadline propagates.
+	Deadline time.Duration
 	// Messages and Bytes count traffic attributed to this call.
 	Messages int
 	Bytes    int
+}
+
+// Remaining reports the virtual budget left on the call; unbounded calls
+// return 0, false.
+func (c *Call) Remaining() (time.Duration, bool) {
+	if c.Deadline <= 0 {
+		return 0, false
+	}
+	rem := c.Deadline - c.Elapsed
+	if rem < 0 {
+		rem = 0
+	}
+	return rem, true
 }
 
 // LinkProps configures one directed link.
@@ -143,7 +169,8 @@ func (n *Network) linkProps(from, to string) LinkProps {
 }
 
 // traverse accounts one directed hop, returning an error when the link or
-// destination refuses it.
+// destination refuses it, or when the hop pushes the call's virtual clock
+// past its deadline.
 func (n *Network) traverse(call *Call, from, to string, size int) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -169,12 +196,27 @@ func (n *Network) traverse(call *Call, from, to string, size int) error {
 	call.Bytes += size
 	n.stats.Messages++
 	n.stats.Bytes += int64(size)
+	if call.Deadline > 0 && call.Elapsed > call.Deadline {
+		// The message was on the wire when the budget ran out: the
+		// traffic is spent, the answer is worthless.
+		return fmt.Errorf("wire: %s->%s after %v of %v budget: %w", from, to, call.Elapsed, call.Deadline, ErrDeadline)
+	}
 	return nil
 }
 
 // Send delivers the envelope to its destination's handler and returns the
-// reply, accounting both directions on the call's virtual clock.
-func (n *Network) Send(call *Call, env *Envelope) (*Envelope, error) {
+// reply, accounting both directions on the call's virtual clock. An
+// envelope carrying a Deadline budget arms the call's virtual deadline (if
+// none is armed yet), and a done ctx or an exhausted budget fails the
+// exchange with ErrDeadline/the ctx error instead of delivering — the
+// simulated-network analogue of a real transport timeout.
+func (n *Network) Send(ctx context.Context, call *Call, env *Envelope) (*Envelope, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("wire: send %s->%s: %w", env.From, env.To, err)
+	}
+	if env.Deadline > 0 && call.Deadline == 0 {
+		call.Deadline = call.Elapsed + env.Deadline
+	}
 	if env.MessageID == "" {
 		env.MessageID = n.NextMessageID(env.From)
 	}
@@ -186,7 +228,7 @@ func (n *Network) Send(call *Call, env *Envelope) (*Envelope, error) {
 	handler := n.nodes[env.To]
 	n.mu.Unlock()
 
-	reply, err := handler(call, env)
+	reply, err := handler(ctx, call, env)
 	if err != nil {
 		return nil, fmt.Errorf("wire: %s handling %s: %w", env.To, env.Action, err)
 	}
@@ -206,11 +248,12 @@ func (n *Network) Send(call *Call, env *Envelope) (*Envelope, error) {
 // SendWithRetry retries a Send up to attempts times on loss or
 // unreachability, adding a timeout penalty to the virtual clock for each
 // failed attempt — the PEP-side resilience mechanism used by the
-// dependability experiments.
-func (n *Network) SendWithRetry(call *Call, env *Envelope, attempts int, timeout time.Duration) (*Envelope, error) {
+// dependability experiments. Deadline expiry (virtual budget or ctx) is
+// final: there is no point retrying for a caller that is out of time.
+func (n *Network) SendWithRetry(ctx context.Context, call *Call, env *Envelope, attempts int, timeout time.Duration) (*Envelope, error) {
 	var lastErr error
 	for i := 0; i < attempts; i++ {
-		reply, err := n.Send(call, env)
+		reply, err := n.Send(ctx, call, env)
 		if err == nil {
 			return reply, nil
 		}
@@ -219,6 +262,9 @@ func (n *Network) SendWithRetry(call *Call, env *Envelope, attempts int, timeout
 			return nil, err
 		}
 		call.Elapsed += timeout
+		if call.Deadline > 0 && call.Elapsed > call.Deadline {
+			return nil, fmt.Errorf("wire: retry budget exhausted after %d attempts to %s: %w", i+1, env.To, ErrDeadline)
+		}
 		env.MessageID = "" // a retry is a fresh message
 	}
 	return nil, fmt.Errorf("wire: %d attempts to %s failed: %w", attempts, env.To, lastErr)

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"net/http/httptest"
@@ -203,7 +204,7 @@ func TestProtectionSizesIncrease(t *testing.T) {
 	}
 }
 
-func echoNode(*Call, *Envelope) (*Envelope, error) {
+func echoNode(context.Context, *Call, *Envelope) (*Envelope, error) {
 	return &Envelope{Action: "echo-reply", Timestamp: epoch, Body: []byte("ok")}, nil
 }
 
@@ -216,7 +217,7 @@ func TestNetworkSendAccountsLatencyAndBytes(t *testing.T) {
 
 	call := &Call{}
 	env := &Envelope{From: "a", To: "b", Action: "echo", Timestamp: epoch, Body: []byte("hi")}
-	reply, err := n.Send(call, env)
+	reply, err := n.Send(context.Background(), call, env)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,9 +239,9 @@ func TestNetworkSendAccountsLatencyAndBytes(t *testing.T) {
 func TestNetworkNestedCallsAccumulate(t *testing.T) {
 	n := NewNetwork(10*time.Millisecond, 1)
 	n.Register("pip", echoNode)
-	n.Register("pdp", func(call *Call, env *Envelope) (*Envelope, error) {
+	n.Register("pdp", func(_ context.Context, call *Call, env *Envelope) (*Envelope, error) {
 		// The PDP consults the PIP before answering.
-		_, err := n.Send(call, &Envelope{From: "pdp", To: "pip", Action: "pip:fetch", Timestamp: epoch})
+		_, err := n.Send(context.Background(), call, &Envelope{From: "pdp", To: "pip", Action: "pip:fetch", Timestamp: epoch})
 		if err != nil {
 			return nil, err
 		}
@@ -249,7 +250,7 @@ func TestNetworkNestedCallsAccumulate(t *testing.T) {
 	n.Register("pep", echoNode)
 
 	call := &Call{}
-	if _, err := n.Send(call, &Envelope{From: "pep", To: "pdp", Action: "pdp:decide", Timestamp: epoch}); err != nil {
+	if _, err := n.Send(context.Background(), call, &Envelope{From: "pep", To: "pdp", Action: "pdp:decide", Timestamp: epoch}); err != nil {
 		t.Fatal(err)
 	}
 	// Four hops of 10ms: pep->pdp, pdp->pip, pip->pdp, pdp->pep.
@@ -267,11 +268,11 @@ func TestNetworkFailures(t *testing.T) {
 	n.Register("b", echoNode)
 
 	call := &Call{}
-	if _, err := n.Send(call, &Envelope{From: "a", To: "ghost", Timestamp: epoch}); !errors.Is(err, ErrUnknownNode) {
+	if _, err := n.Send(context.Background(), call, &Envelope{From: "a", To: "ghost", Timestamp: epoch}); !errors.Is(err, ErrUnknownNode) {
 		t.Errorf("unknown node: %v", err)
 	}
 	n.SetNodeDown("b", true)
-	if _, err := n.Send(call, &Envelope{From: "a", To: "b", Timestamp: epoch}); !errors.Is(err, ErrUnreachable) {
+	if _, err := n.Send(context.Background(), call, &Envelope{From: "a", To: "b", Timestamp: epoch}); !errors.Is(err, ErrUnreachable) {
 		t.Errorf("downed node: %v", err)
 	}
 	if !n.NodeDown("b") {
@@ -279,7 +280,7 @@ func TestNetworkFailures(t *testing.T) {
 	}
 	n.SetNodeDown("b", false)
 	n.SetLink("a", "b", LinkProps{Latency: time.Millisecond, Down: true})
-	if _, err := n.Send(call, &Envelope{From: "a", To: "b", Timestamp: epoch}); !errors.Is(err, ErrUnreachable) {
+	if _, err := n.Send(context.Background(), call, &Envelope{From: "a", To: "b", Timestamp: epoch}); !errors.Is(err, ErrUnreachable) {
 		t.Errorf("partitioned link: %v", err)
 	}
 }
@@ -291,7 +292,7 @@ func TestNetworkLossAndRetry(t *testing.T) {
 	n.SetLink("a", "b", LinkProps{Latency: time.Millisecond, Loss: 1.0}) // always lose
 
 	call := &Call{}
-	if _, err := n.Send(call, &Envelope{From: "a", To: "b", Timestamp: epoch}); !errors.Is(err, ErrLost) {
+	if _, err := n.Send(context.Background(), call, &Envelope{From: "a", To: "b", Timestamp: epoch}); !errors.Is(err, ErrLost) {
 		t.Fatalf("want ErrLost, got %v", err)
 	}
 	if n.Stats().Lost == 0 {
@@ -300,7 +301,7 @@ func TestNetworkLossAndRetry(t *testing.T) {
 
 	// Retry against total loss still fails, with timeout accounted.
 	call = &Call{}
-	_, err := n.SendWithRetry(call, &Envelope{From: "a", To: "b", Timestamp: epoch}, 3, 100*time.Millisecond)
+	_, err := n.SendWithRetry(context.Background(), call, &Envelope{From: "a", To: "b", Timestamp: epoch}, 3, 100*time.Millisecond)
 	if !errors.Is(err, ErrLost) {
 		t.Fatalf("want ErrLost after retries, got %v", err)
 	}
@@ -312,7 +313,7 @@ func TestNetworkLossAndRetry(t *testing.T) {
 	n.SetLink("a", "b", LinkProps{Latency: time.Millisecond, Loss: 0.5})
 	ok := 0
 	for i := 0; i < 20; i++ {
-		if _, err := n.SendWithRetry(&Call{}, &Envelope{From: "a", To: "b", Timestamp: epoch}, 10, time.Millisecond); err == nil {
+		if _, err := n.SendWithRetry(context.Background(), &Call{}, &Envelope{From: "a", To: "b", Timestamp: epoch}, 10, time.Millisecond); err == nil {
 			ok++
 		}
 	}
@@ -328,7 +329,7 @@ func TestNetworkDeterminism(t *testing.T) {
 		n.Register("b", echoNode)
 		n.SetLink("a", "b", LinkProps{Latency: time.Millisecond, Loss: 0.3})
 		for i := 0; i < 100; i++ {
-			_, _ = n.Send(&Call{}, &Envelope{From: "a", To: "b", Timestamp: epoch})
+			_, _ = n.Send(context.Background(), &Call{}, &Envelope{From: "a", To: "b", Timestamp: epoch})
 		}
 		st := n.Stats()
 		return st.Messages, st.Lost
@@ -341,14 +342,14 @@ func TestNetworkDeterminism(t *testing.T) {
 }
 
 func TestHTTPBinding(t *testing.T) {
-	handler := HTTPHandler(func(_ *Call, env *Envelope) (*Envelope, error) {
+	handler := HTTPHandler(func(_ context.Context, _ *Call, env *Envelope) (*Envelope, error) {
 		return &Envelope{Action: env.Action + "-reply", Timestamp: epoch, Body: append([]byte("seen:"), env.Body...)}, nil
 	})
 	srv := httptest.NewServer(handler)
 	defer srv.Close()
 
 	client := &HTTPClient{Endpoint: srv.URL}
-	reply, err := client.Send(sampleEnvelope())
+	reply, err := client.Send(context.Background(), sampleEnvelope())
 	if err != nil {
 		t.Fatal(err)
 	}

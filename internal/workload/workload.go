@@ -81,17 +81,40 @@ func RoleID(i int) string { return fmt.Sprintf("role-%d", i) }
 
 // NextRequest draws one access request: a uniform user, a Zipf-popular
 // resource, and an action from the read/write mix.
+//
+// The request is cold: it carries only the subject/resource/action
+// identifiers, no subject attributes. Decisions over cold requests rely on
+// the live resolution path — the engine fetches roles mid-evaluation from
+// the information point wired in via pdp.WithResolver (or a domain's
+// attached PIP chain). WarmRequest is the pre-resolved counterpart.
 func (g *Generator) NextRequest() *policy.Request {
-	user := UserID(g.rng.Intn(g.cfg.Users))
-	res := 0
+	user, res, action := g.draw()
+	return policy.NewAccessRequest(UserID(user), ResourceID(res), action)
+}
+
+// WarmRequest draws one access request with the subject's role attribute
+// pre-populated, modelling a caller that resolved attributes itself before
+// asking for a decision. The cold/warm pair is the ablation axis of the
+// cold-subject scenario: identical decisions, different place of
+// resolution.
+func (g *Generator) WarmRequest() *policy.Request {
+	user, res, action := g.draw()
+	return policy.NewAccessRequest(UserID(user), ResourceID(res), action).
+		Add(policy.CategorySubject, policy.AttrSubjectRole, policy.String(RoleID(user%g.cfg.Roles)))
+}
+
+// draw samples the (user, resource, action) triple shared by the cold and
+// warm request forms.
+func (g *Generator) draw() (user, res int, action string) {
+	user = g.rng.Intn(g.cfg.Users)
 	if g.zipf != nil {
 		res = int(g.zipf.Uint64())
 	}
-	action := g.cfg.Actions[0]
+	action = g.cfg.Actions[0]
 	if g.rng.Float64() >= g.cfg.ReadFraction && len(g.cfg.Actions) > 1 {
 		action = g.cfg.Actions[1+g.rng.Intn(len(g.cfg.Actions)-1)]
 	}
-	return policy.NewAccessRequest(user, ResourceID(res), action)
+	return user, res, action
 }
 
 // Requests draws n access requests, the bulk form of NextRequest used by
@@ -129,6 +152,14 @@ func (g *Generator) Directory(name string) *pip.Directory {
 		})
 	}
 	return dir
+}
+
+// InformationPoints builds the standard PIP stack for the cold-subject
+// scenario: the directory population behind a TTL cache that coalesces
+// concurrent misses (pip.NewCachedChain), ready to hand to
+// pdp.WithResolver (or a domain's UsePIP).
+func (g *Generator) InformationPoints(name string, ttl time.Duration) *pip.Cache {
+	return pip.NewCachedChain(name, ttl, g.Directory(name+"-idp"))
 }
 
 // ResourcePolicy builds the administered policy of resource i under a

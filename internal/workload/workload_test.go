@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -92,12 +93,12 @@ func TestDirectoryAndPolicyBaseAgree(t *testing.T) {
 	}
 	// user-7 holds role-2 (7 mod 5); resource res-12 belongs to role-2
 	// (12 mod 5): permit.
-	res := engine.Decide(policy.NewAccessRequest(UserID(7), ResourceID(12), "read"))
+	res := engine.Decide(context.Background(), policy.NewAccessRequest(UserID(7), ResourceID(12), "read"))
 	if res.Decision != policy.DecisionPermit {
 		t.Errorf("owner read = %v, want Permit", res.Decision)
 	}
 	// user-7 (role-2) on res-10 (role-0): deny.
-	res = engine.Decide(policy.NewAccessRequest(UserID(7), ResourceID(10), "read"))
+	res = engine.Decide(context.Background(), policy.NewAccessRequest(UserID(7), ResourceID(10), "read"))
 	if res.Decision != policy.DecisionDeny {
 		t.Errorf("foreign read = %v, want Deny", res.Decision)
 	}
