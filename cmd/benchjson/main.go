@@ -1,0 +1,175 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON document, so benchmark numbers can be committed,
+// diffed and consumed by tooling instead of being re-parsed from logs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench ParallelDecide -benchmem . | benchjson > BENCH.json
+//	benchjson -in bench.txt -out BENCH.json
+//
+// Each benchmark result line contributes one entry with its run count and
+// every reported metric (ns/op, B/op, allocs/op and custom b.ReportMetric
+// units alike). The goos/goarch/pkg/cpu header lines are carried into the
+// document head when present.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+)
+
+func main() {
+	in := flag.String("in", "", "bench output file (default stdin)")
+	out := flag.String("out", "", "JSON destination (default stdout)")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatalf("benchjson: %v", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	doc, err := Parse(r)
+	if err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		log.Fatal("benchjson: no benchmark result lines in input")
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		if _, err := os.Stdout.Write(data); err != nil {
+			log.Fatalf("benchjson: %v", err)
+		}
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(doc.Benchmarks), *out)
+}
+
+// Doc is the emitted document.
+type Doc struct {
+	// Goos, Goarch, Pkg and CPU echo the bench header when present.
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	Pkg    string `json:"pkg,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// Benchmarks are the parsed result lines, in input order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the benchmark name including sub-bench path and -cpu
+	// suffix, as printed (e.g. "BenchmarkParallelDecide/hit-16").
+	Name string `json:"name"`
+	// Runs is the measured iteration count (the b.N column).
+	Runs int64 `json:"runs"`
+	// Metrics maps each reported unit to its value: ns/op, B/op,
+	// allocs/op and any custom b.ReportMetric units.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Parse reads `go test -bench` output. Non-benchmark lines (test chatter,
+// PASS/ok trailers) are skipped; malformed Benchmark lines are an error so
+// truncated logs do not silently yield partial documents.
+func Parse(r io.Reader) (*Doc, error) {
+	doc := &Doc{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		var rest string
+		switch {
+		case scanHeader(line, "goos: ", &rest):
+			doc.Goos = rest
+		case scanHeader(line, "goarch: ", &rest):
+			doc.Goarch = rest
+		case scanHeader(line, "pkg: ", &rest):
+			doc.Pkg = rest
+		case scanHeader(line, "cpu: ", &rest):
+			doc.CPU = rest
+		case len(line) > 9 && line[:9] == "Benchmark":
+			b, err := parseResult(line)
+			if err != nil {
+				return nil, err
+			}
+			doc.Benchmarks = append(doc.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+func scanHeader(line, prefix string, rest *string) bool {
+	if len(line) < len(prefix) || line[:len(prefix)] != prefix {
+		return false
+	}
+	*rest = line[len(prefix):]
+	return true
+}
+
+// parseResult parses one result line: name, iteration count, then
+// value/unit pairs.
+func parseResult(line string) (Benchmark, error) {
+	fields := splitFields(line)
+	if len(fields) < 2 {
+		return Benchmark{}, fmt.Errorf("malformed bench line %q", line)
+	}
+	b := Benchmark{Name: fields[0], Metrics: map[string]float64{}}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("bench line %q: bad run count %q", line, fields[1])
+	}
+	b.Runs = runs
+	pairs := fields[2:]
+	if len(pairs)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("bench line %q: odd value/unit fields", line)
+	}
+	for i := 0; i < len(pairs); i += 2 {
+		v, err := strconv.ParseFloat(pairs[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("bench line %q: bad value %q", line, pairs[i])
+		}
+		b.Metrics[pairs[i+1]] = v
+	}
+	return b, nil
+}
+
+func splitFields(line string) []string {
+	var out []string
+	start := -1
+	for i, r := range line {
+		if r == ' ' || r == '\t' {
+			if start >= 0 {
+				out = append(out, line[start:i])
+				start = -1
+			}
+			continue
+		}
+		if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		out = append(out, line[start:])
+	}
+	return out
+}

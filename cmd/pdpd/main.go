@@ -48,11 +48,15 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/debughttp"
 	"repro/internal/ha"
 	"repro/internal/pap"
 	"repro/internal/pdp"
+	"repro/internal/pip"
 	"repro/internal/policy"
 	"repro/internal/store"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/wire"
 	"repro/internal/xacml"
 )
@@ -78,6 +82,11 @@ func main() {
 	strategy := flag.String("strategy", "failover", "shard replication strategy: failover or quorum")
 	dataDir := flag.String("data-dir", "", "durable policy store directory (empty runs in-memory only)")
 	snapshotEvery := flag.Int("snapshot-every", 1024, "WAL records between snapshot/compact cycles (persistence mode)")
+	traceSample := flag.Float64("trace-sample", 0.01, "decision-trace head-sampling fraction in [0,1]; slow and Indeterminate traces are always kept")
+	traceSlow := flag.Duration("trace-slow", 250*time.Millisecond, "always keep traces at least this slow (0 disables the slow path)")
+	traceBuffer := flag.Int("trace-buffer", 256, "kept-trace ring capacity behind /debug/traces")
+	subjectsPath := flag.String("subjects", "", "subject directory JSON file wired (behind a coalescing cache) as the engines' PIP resolver")
+	debugAddr := flag.String("debug-addr", "", "optional pprof listen address (profiling stays off unless set)")
 	flag.Parse()
 
 	if *policyPath == "" {
@@ -98,7 +107,28 @@ func main() {
 		log.Printf("pdpd: recovered %s: %d snapshot entries + %d WAL records (seq %d, %d torn bytes truncated)",
 			*dataDir, st.RecoveredSnapshot, st.RecoveredTail, st.LastSeq, st.TruncatedBytes)
 	}
-	point, stats, err := buildDecisionPoint(*useIndex, *cacheTTL, *shards, *replicas, *strategy)
+	reg := telemetry.NewRegistry()
+	tracer := trace.NewTracer(trace.Options{
+		Sample:        *traceSample,
+		SlowThreshold: *traceSlow,
+		Capacity:      *traceBuffer,
+	})
+	tracer.RegisterMetrics(reg)
+	if lg != nil {
+		lg.RegisterMetrics(reg)
+	}
+	var resolver policy.Resolver
+	if *subjectsPath != "" {
+		dir, err := loadSubjects(*subjectsPath)
+		if err != nil {
+			log.Fatalf("pdpd: %v", err)
+		}
+		cache := pip.NewCachedChain("pdpd-pip", 30*time.Second, dir)
+		cache.RegisterMetrics(reg)
+		resolver = cache
+		log.Printf("pdpd: %d subjects loaded from %s", dir.Len(), *subjectsPath)
+	}
+	point, stats, err := buildDecisionPoint(*useIndex, *cacheTTL, *shards, *replicas, *strategy, resolver, reg)
 	if err != nil {
 		log.Fatalf("pdpd: %v", err)
 	}
@@ -108,8 +138,10 @@ func main() {
 	}
 
 	mux := http.NewServeMux()
-	mux.Handle("/decide", wire.HTTPHandler(pdp.Handler(point)))
-	mux.Handle("/decide-batch", wire.HTTPHandler(pdp.BatchHandler(point)))
+	mux.Handle("/decide", wire.HTTPHandler(pdp.Handler(point), wire.WithTracer(tracer)))
+	mux.Handle("/decide-batch", wire.HTTPHandler(pdp.BatchHandler(point), wire.WithTracer(tracer)))
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/traces", tracer.Handler())
 	mux.HandleFunc("/admin/policy", adm.handlePolicy)
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -130,8 +162,21 @@ func main() {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
-	log.Printf("pdpd: serving %s on %s (index=%v cache=%v shards=%d replicas=%d strategy=%s data-dir=%q)",
-		*policyPath, *addr, *useIndex, *cacheTTL, *shards, *replicas, *strategy, *dataDir)
+	log.Printf("pdpd: serving %s on %s (index=%v cache=%v shards=%d replicas=%d strategy=%s data-dir=%q trace-sample=%g)",
+		*policyPath, *addr, *useIndex, *cacheTTL, *shards, *replicas, *strategy, *dataDir, *traceSample)
+	if *debugAddr != "" {
+		dbg := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           debughttp.Handler(),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			log.Printf("pdpd: pprof debug server on %s", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("pdpd: debug server: %v", err)
+			}
+		}()
+	}
 	server := &http.Server{
 		Addr:              *addr,
 		Handler:           mux,
@@ -167,7 +212,7 @@ func main() {
 	}
 }
 
-func buildDecisionPoint(useIndex bool, cacheTTL time.Duration, shards, replicas int, strategy string) (decisionPoint, func() any, error) {
+func buildDecisionPoint(useIndex bool, cacheTTL time.Duration, shards, replicas int, strategy string, resolver policy.Resolver, reg *telemetry.Registry) (decisionPoint, func() any, error) {
 	var opts []pdp.Option
 	if useIndex {
 		opts = append(opts, pdp.WithTargetIndex())
@@ -175,9 +220,15 @@ func buildDecisionPoint(useIndex bool, cacheTTL time.Duration, shards, replicas 
 	if cacheTTL > 0 {
 		opts = append(opts, pdp.WithDecisionCache(cacheTTL, 0))
 	}
+	if resolver != nil {
+		opts = append(opts, pdp.WithResolver(resolver))
+	}
 
 	if shards <= 1 && replicas <= 1 {
 		engine := pdp.New("pdpd", opts...)
+		if reg != nil {
+			engine.RegisterMetrics(reg)
+		}
 		return engine, func() any { return engine.Stats() }, nil
 	}
 
@@ -198,6 +249,9 @@ func buildDecisionPoint(useIndex bool, cacheTTL time.Duration, shards, replicas 
 	})
 	if err != nil {
 		return nil, nil, err
+	}
+	if reg != nil {
+		router.RegisterMetrics(reg)
 	}
 	return router, func() any {
 		return struct {
@@ -367,6 +421,39 @@ func parsePolicy(body []byte) (policy.Evaluable, error) {
 		return xacml.UnmarshalXML(body)
 	}
 	return xacml.UnmarshalJSON(body)
+}
+
+// loadSubjects reads a JSON subject-directory file — an array of
+// {id, domain, roles, groups, clearance} objects — into a pip.Directory.
+func loadSubjects(path string) (*pip.Directory, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []struct {
+		ID        string   `json:"id"`
+		Domain    string   `json:"domain"`
+		Roles     []string `json:"roles"`
+		Groups    []string `json:"groups"`
+		Clearance int64    `json:"clearance"`
+	}
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	dir := pip.NewDirectory("pdpd-subjects")
+	for _, e := range entries {
+		if e.ID == "" {
+			return nil, fmt.Errorf("%s: subject entry without an id", path)
+		}
+		dir.AddSubject(pip.Subject{
+			ID:        e.ID,
+			Domain:    e.Domain,
+			Roles:     e.Roles,
+			Groups:    e.Groups,
+			Clearance: e.Clearance,
+		})
+	}
+	return dir, nil
 }
 
 func loadPolicy(path string) (policy.Evaluable, error) {

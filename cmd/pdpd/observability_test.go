@@ -1,0 +1,140 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/pdp"
+	"repro/internal/pip"
+	"repro/internal/policy"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// rolePolicy permits read on res-0 for subjects holding the auditor role.
+// Requests carry only the subject ID, so the role must come from the PIP.
+func rolePolicy() *policy.PolicySet {
+	return policy.NewPolicySet("role-base").Combining(policy.DenyOverrides).
+		Add(policy.NewPolicy("pol-res-0").
+			Combining(policy.FirstApplicable).
+			When(policy.MatchResourceID("res-0")).
+			Rule(policy.Permit("auditors").When(policy.MatchRole("auditor")).Build()).
+			Rule(policy.Deny("default").Build()).
+			Build()).
+		Build()
+}
+
+// TestDaemonObservabilitySurface assembles the daemon's serving surface the
+// way main() does — engine with a subjects-file PIP, wire handler with a
+// tracer, /metrics and /debug/traces on the mux — and checks one decision
+// shows up on every exposition: the decision counters, the PIP counters,
+// and a retained trace whose spans cover the wire and evaluation layers.
+func TestDaemonObservabilitySurface(t *testing.T) {
+	subjectsPath := filepath.Join(t.TempDir(), "subjects.json")
+	err := os.WriteFile(subjectsPath,
+		[]byte(`[{"id":"alice","domain":"hospital","roles":["auditor"],"clearance":3}]`), 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := loadSubjects(subjectsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dir.Len() != 1 {
+		t.Fatalf("loaded %d subjects, want 1", dir.Len())
+	}
+
+	reg := telemetry.NewRegistry()
+	cache := pip.NewCachedChain("pdpd-pip", time.Minute, dir)
+	cache.RegisterMetrics(reg)
+	point, _, err := buildDecisionPoint(false, time.Minute, 1, 1, "failover", cache, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newAdmin(point, rolePolicy(), nil); err != nil {
+		t.Fatal(err)
+	}
+	tracer := trace.NewTracer(trace.Options{Sample: 1})
+	tracer.RegisterMetrics(reg)
+
+	mux := http.NewServeMux()
+	mux.Handle("/decide", wire.HTTPHandler(pdp.Handler(point), wire.WithTracer(tracer)))
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/traces", tracer.Handler())
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	client := pdp.NewClient(srv.URL+"/decide", "gw", "pdpd")
+	res := client.Decide(context.Background(), policy.NewAccessRequest("alice", "res-0", "read"))
+	if res.Decision != policy.DecisionPermit {
+		t.Fatalf("decision = %v, want permit (PIP role resolution)", res.Decision)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(body)
+	for _, want := range []string{
+		`repro_pdp_decisions_total{outcome="permit"} 1`,
+		"repro_pdp_evaluations_total 1",
+		"repro_pip_cache_misses_total 1",
+		"repro_trace_started_total 1",
+		`repro_trace_kept_total{cause="sampled"} 1`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	resp, err = http.Get(srv.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Stats  trace.Stats     `json:"stats"`
+		Traces []*trace.Record `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Traces) != 1 {
+		t.Fatalf("retained %d traces, want 1", len(out.Traces))
+	}
+	rec := out.Traces[0]
+	if !strings.HasPrefix(rec.Root, "serve ") {
+		t.Errorf("trace root = %q, want a serve span", rec.Root)
+	}
+	spanNames := make(map[string]bool, len(rec.Spans))
+	for _, sp := range rec.Spans {
+		spanNames[sp.Name] = true
+	}
+	for _, want := range []string{"pdp.eval", "pip.fetch"} {
+		if !spanNames[want] {
+			t.Errorf("trace spans %v missing %q", keys(spanNames), want)
+		}
+	}
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

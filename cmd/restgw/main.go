@@ -30,10 +30,13 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/debughttp"
 	"repro/internal/dialect"
 	"repro/internal/pdp"
 	"repro/internal/policy"
 	"repro/internal/rest"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/xacml"
 )
 
@@ -49,22 +52,40 @@ func (r *routeFlags) Set(v string) error {
 	return nil
 }
 
+// obsConfig carries the gateway's observability settings from flags.
+type obsConfig struct {
+	traceSample float64
+	traceSlow   time.Duration
+	traceBuffer int
+	debugAddr   string
+}
+
 func main() {
 	var routes routeFlags
 	upstream := flag.String("upstream", "", "upstream service base URL (required)")
 	policyPath := flag.String("policy", "", "local policy file (XML, JSON or .acl dialect)")
 	pdpEndpoint := flag.String("pdp", "", "remote PDP envelope endpoint (alternative to -policy)")
 	addr := flag.String("addr", ":8081", "listen address")
+	traceSample := flag.Float64("trace-sample", 0.01, "request-trace head-sampling fraction in [0,1]; slow and Indeterminate traces are always kept")
+	traceSlow := flag.Duration("trace-slow", 250*time.Millisecond, "always keep traces at least this slow (0 disables the slow path)")
+	traceBuffer := flag.Int("trace-buffer", 256, "kept-trace ring capacity behind /debug/traces")
+	debugAddr := flag.String("debug-addr", "", "optional pprof listen address (profiling stays off unless set)")
 	flag.Var(&routes, "route", "URI route as pattern=resource-type (repeatable)")
 	flag.Parse()
 
-	if err := run(*upstream, *policyPath, *pdpEndpoint, *addr, routes); err != nil {
+	obs := obsConfig{
+		traceSample: *traceSample,
+		traceSlow:   *traceSlow,
+		traceBuffer: *traceBuffer,
+		debugAddr:   *debugAddr,
+	}
+	if err := run(*upstream, *policyPath, *pdpEndpoint, *addr, routes, obs); err != nil {
 		log.Println("restgw:", err)
 		os.Exit(1)
 	}
 }
 
-func run(upstream, policyPath, pdpEndpoint, addr string, routes routeFlags) error {
+func run(upstream, policyPath, pdpEndpoint, addr string, routes routeFlags, obs obsConfig) error {
 	if upstream == "" {
 		return fmt.Errorf("-upstream is required")
 	}
@@ -96,19 +117,44 @@ func run(upstream, policyPath, pdpEndpoint, addr string, routes routeFlags) erro
 		return err
 	}
 
+	reg := telemetry.NewRegistry()
+	tracer := trace.NewTracer(trace.Options{
+		Sample:        obs.traceSample,
+		SlowThreshold: obs.traceSlow,
+		Capacity:      obs.traceBuffer,
+	})
+	tracer.RegisterMetrics(reg)
+
 	mw := rest.NewMiddleware(router, provider, rest.HeaderSubject,
 		rest.WithTransformer("redact", rest.RedactJSON),
-		rest.WithTransformer("check-content", rest.RequireField))
+		rest.WithTransformer("check-content", rest.RequireField),
+		rest.WithTracer(tracer))
+	mw.RegisterMetrics(reg)
 	proxy := httputil.NewSingleHostReverseProxy(target)
 
 	mux := http.NewServeMux()
 	mux.Handle("/", mw.Wrap(proxy))
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/traces", tracer.Handler())
 	mux.HandleFunc("/gw/stats", func(w http.ResponseWriter, _ *http.Request) {
 		st := mw.Stats()
 		fmt.Fprintf(w, "requests=%d permitted=%d denied=%d unrouted=%d unauthenticated=%d transformed=%d\n",
 			st.Requests, st.Permitted, st.Denied, st.Unrouted, st.Unauthenticated, st.Transformed)
 	})
-	log.Printf("restgw: protecting %s on %s (%d routes)", upstream, addr, len(routes))
+	if obs.debugAddr != "" {
+		dbg := &http.Server{
+			Addr:              obs.debugAddr,
+			Handler:           debughttp.Handler(),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			log.Printf("restgw: pprof debug server on %s", obs.debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("restgw: debug server: %v", err)
+			}
+		}()
+	}
+	log.Printf("restgw: protecting %s on %s (%d routes, trace-sample=%g)", upstream, addr, len(routes), obs.traceSample)
 	server := &http.Server{
 		Addr:              addr,
 		Handler:           mux,

@@ -65,4 +65,20 @@
 // concurrent-miss coalescing (pip.Cache), so requests need not arrive
 // with attributes pre-populated. Experiment E21 measures the tail-latency
 // bound deadlines buy under an injected slow shard.
+//
+// The running system is observable end to end. internal/trace gives every
+// decision a trace: spans follow the request through enforcement, the
+// remote decision client, the wire, the serving hop, engine evaluation
+// and PIP fetches, and the trace context crosses domain boundaries inside
+// the envelope — the IDs in the signed canonical block, the remote hop's
+// spans returned unsigned and re-homed onto the caller's trace — so a
+// multi-hop federated decision yields one stitched trace on
+// /debug/traces. Retention is head-sampled with always-on capture of
+// slow and Indeterminate decisions. internal/telemetry is a lock-free
+// metrics registry (atomic counters, gauges, log-bucketed histograms)
+// with Prometheus text exposition on /metrics; instrumented packages
+// register pull-model collectors that read their existing atomic stats
+// only at scrape time, so the decision hot path stays alloc-free.
+// Experiment E22 quantifies tracing overhead against the cache-hit worst
+// case, and cmd/benchjson renders benchmark output machine-readable.
 package repro

@@ -29,6 +29,11 @@ type Event struct {
 	By       string
 	// Latency is the end-to-end authorisation latency.
 	Latency time.Duration
+	// TraceID links the event to its decision trace (internal/trace wire
+	// form), empty when the decision was untraced. An auditor reading a
+	// suspicious event can pull the full cross-component trace from
+	// /debug/traces by this ID.
+	TraceID string
 }
 
 // Query filters events; zero fields match everything.
@@ -38,6 +43,8 @@ type Query struct {
 	Resource string
 	Decision policy.Decision
 	Since    time.Time
+	// TraceID matches events recorded under one decision trace.
+	TraceID string
 }
 
 func (q Query) matches(e Event) bool {
@@ -54,6 +61,9 @@ func (q Query) matches(e Event) bool {
 		return false
 	}
 	if !q.Since.IsZero() && e.Time.Before(q.Since) {
+		return false
+	}
+	if q.TraceID != "" && e.TraceID != q.TraceID {
 		return false
 	}
 	return true

@@ -37,6 +37,8 @@ import (
 	"repro/internal/ha"
 	"repro/internal/pdp"
 	"repro/internal/policy"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Cluster errors, matched with errors.Is.
@@ -120,6 +122,9 @@ type shard struct {
 	// installed reports whether a base has ever been installed, so fresh
 	// shards are always populated on their first repartition.
 	installed bool
+	// lat is the shard's decision-latency histogram, observed only while
+	// the router's metrics are registered (see Router.metricsOn).
+	lat telemetry.Histogram
 }
 
 // Router is a horizontally sharded Policy Decision Point. It satisfies the
@@ -144,6 +149,9 @@ type Router struct {
 	// same owner.
 	ownerIndex map[string]*shard
 	stats      counters
+	// metricsOn gates per-decision latency observation: zero clock reads
+	// on the decision path until RegisterMetrics flips it.
+	metricsOn atomic.Bool
 }
 
 // New builds a cluster of cfg.Shards empty shard groups.
@@ -483,6 +491,18 @@ func (r *Router) DecideAtWith(ctx context.Context, req *policy.Request, at time.
 	if s == nil {
 		return r.noShards()
 	}
+	if sp := trace.FromContext(ctx); sp != nil {
+		var route *trace.Span
+		ctx, route = trace.StartSpan(ctx, "cluster.route")
+		route.SetAttr("cluster.shard", s.name)
+		defer route.End()
+	}
+	if r.metricsOn.Load() {
+		start := time.Now()
+		res := s.group.DecideAtWith(ctx, req, at, resolver)
+		s.lat.Observe(time.Since(start))
+		return res
+	}
 	return s.group.DecideAtWith(ctx, req, at, resolver)
 }
 
@@ -572,19 +592,47 @@ func (r *Router) DecideBatchAt(ctx context.Context, reqs []*policy.Request, at t
 		groups[s.ord] = append(groups[s.ord], i)
 	}
 
+	// Traced batches get a scatter span plus one span per shard group; the
+	// group spans record shed positions when the deadline expires mid-
+	// scatter — the trace shows which shards never ran and why.
+	var scatter *trace.Span
+	traced := trace.FromContext(ctx) != nil
+	if traced {
+		ctx, scatter = trace.StartSpan(ctx, "cluster.scatter")
+		scatter.SetInt("batch.n", int64(len(reqs)))
+		scatter.SetInt("cluster.groups", int64(live))
+		defer scatter.End()
+	}
+
 	// The scatter path threads the shared out buffer through ensemble,
 	// replica and engine: no per-group request slice, no per-layer result
 	// allocation, no copy-back. A group that is not dispatched because ctx
 	// expired first fails its positions closed here.
 	evaluate := func(s *shard, indexes []int) {
+		gctx := ctx
+		var gsp *trace.Span
+		if traced {
+			gctx, gsp = trace.StartSpan(ctx, "cluster.shard")
+			gsp.SetAttr("cluster.shard", s.name)
+			gsp.SetInt("batch.n", int64(len(indexes)))
+			defer gsp.End()
+		}
 		if err := ctx.Err(); err != nil {
 			res := r.ctxDone(err)
 			for _, p := range indexes {
 				out[p] = res
 			}
+			gsp.SetInt("cluster.shed", int64(len(indexes)))
+			gsp.Keep()
 			return
 		}
-		s.group.DecideScatterAt(ctx, reqs, indexes, at, out)
+		if r.metricsOn.Load() {
+			start := time.Now()
+			s.group.DecideScatterAt(gctx, reqs, indexes, at, out)
+			s.lat.Observe(time.Since(start))
+			return
+		}
+		s.group.DecideScatterAt(gctx, reqs, indexes, at, out)
 	}
 
 	if live <= 1 || runtime.GOMAXPROCS(0) <= 2 {

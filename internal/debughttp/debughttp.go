@@ -1,0 +1,24 @@
+// Package debughttp builds the optional operator debug surface the
+// daemons serve behind -debug-addr: the net/http/pprof profiling
+// endpoints on a mux of their own, so profiling stays off the production
+// listener (and off entirely unless the flag is set).
+package debughttp
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns a mux serving the standard pprof endpoints under
+// /debug/pprof/. The handlers are registered explicitly rather than via
+// net/http/pprof's DefaultServeMux side effect, so only the returned mux
+// exposes them.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

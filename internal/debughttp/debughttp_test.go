@@ -1,0 +1,51 @@
+package debughttp
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestPprofIndexServes smoke-tests the debug surface: the pprof index
+// answers 200 and lists the standard profiles.
+func TestPprofIndexServes(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index: status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, profile := range []string{"goroutine", "heap"} {
+		if !strings.Contains(string(body), profile) {
+			t.Errorf("pprof index missing profile %q", profile)
+		}
+	}
+}
+
+// TestPprofProfileEndpoints checks the non-index handlers answer.
+func TestPprofProfileEndpoints(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	for _, path := range []string{"/debug/pprof/cmdline", "/debug/pprof/symbol", "/debug/pprof/goroutine?debug=1"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d", path, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}

@@ -28,8 +28,8 @@ func TestAllExperimentsRun(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 21 {
-		t.Fatalf("registry has %d experiments, want 21", len(all))
+	if len(all) != 22 {
+		t.Fatalf("registry has %d experiments, want 22", len(all))
 	}
 	for i, exp := range all {
 		want := i + 1

@@ -42,6 +42,7 @@ import (
 	"repro/internal/pip"
 	"repro/internal/pki"
 	"repro/internal/policy"
+	"repro/internal/trace"
 	"repro/internal/wire"
 	"repro/internal/xacml"
 )
@@ -519,6 +520,7 @@ func (d *Domain) handleAccess(ctx context.Context, call *wire.Call, env *wire.En
 		Decision:  res.Decision,
 		By:        res.By,
 		Latency:   call.Elapsed - startElapsed,
+		TraceID:   trace.CurrentID(ctx),
 	})
 	body, err := xacml.MarshalResponseJSON(res)
 	if err != nil {
@@ -738,7 +740,7 @@ func (vo *VO) RequestWithCapability(ctx context.Context, clientDomain string, re
 func (vo *VO) ensurePushEndpoint(d *Domain) {
 	name := PEPAddr(d.Name) + ".push"
 	validator := capability.NewValidator(vo.Trust, PEPAddr(d.Name), vo.capCert)
-	vo.Net.Register(name, func(_ context.Context, call *wire.Call, env *wire.Envelope) (*wire.Envelope, error) {
+	vo.Net.Register(name, func(ctx context.Context, call *wire.Call, env *wire.Envelope) (*wire.Envelope, error) {
 		a, err := assertion.UnmarshalXML(env.Body)
 		var res policy.Result
 		if err != nil {
@@ -761,6 +763,7 @@ func (vo *VO) ensurePushEndpoint(d *Domain) {
 			Time: env.Timestamp, Domain: d.Name, Component: name,
 			Subject: subject, Resource: resource, Action: action,
 			Decision: res.Decision, By: res.By,
+			TraceID: trace.CurrentID(ctx),
 		})
 		body, err := xacml.MarshalResponseJSON(res)
 		if err != nil {

@@ -19,6 +19,8 @@ import (
 	"time"
 
 	"repro/internal/policy"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Dependability errors, matched with errors.Is.
@@ -225,6 +227,28 @@ func (e *Ensemble) Stats() Stats {
 	return e.stats.snapshot()
 }
 
+// RegisterMetrics exposes the ensemble's counters on the registry,
+// pull-model (collectors read the atomic counters at scrape time only).
+// Deployments running a single ensemble outside a cluster use this; the
+// cluster router registers per-shard ensemble families itself.
+func (e *Ensemble) RegisterMetrics(reg *telemetry.Registry) {
+	reg.CounterFunc("repro_ha_requests_total",
+		"Decisions asked of the ensemble.",
+		func() int64 { return e.Stats().Requests })
+	reg.CounterFunc("repro_ha_failovers_total",
+		"Decisions that skipped at least one dead replica.",
+		func() int64 { return e.Stats().Failovers })
+	reg.CounterFunc("repro_ha_unavailable_total",
+		"Decisions no replica could answer.",
+		func() int64 { return e.Stats().Unavailable })
+	reg.CounterFunc("repro_ha_disagreements_total",
+		"Quorum votes whose replicas split.",
+		func() int64 { return e.Stats().Disagreements })
+	reg.CounterFunc("repro_ha_replica_queries_total",
+		"Individual replica decisions issued.",
+		func() int64 { return e.Stats().ReplicaQueries })
+}
+
 // Probe health-checks every replica and moves dead ones to the back of the
 // failover order, preserving relative preference among live replicas. It
 // models the periodic heartbeat of a health monitor.
@@ -278,7 +302,7 @@ func unavailable(res policy.Result) bool {
 }
 
 func (e *Ensemble) failover(ctx context.Context, replicas []*Failable, order []int, req *policy.Request, at time.Time, resolver policy.Resolver) policy.Result {
-	skipped := false
+	skipped := 0
 	for _, idx := range order {
 		if err := ctx.Err(); err != nil {
 			return e.ctxDone(err)
@@ -286,15 +310,28 @@ func (e *Ensemble) failover(ctx context.Context, replicas []*Failable, order []i
 		res := replicas[idx].DecideAtWith(ctx, req, at, resolver)
 		e.stats.replicaQueries.Add(1)
 		if unavailable(res) {
-			skipped = true
+			skipped++
 			continue
 		}
-		if skipped {
+		if skipped > 0 {
 			e.stats.failovers.Add(1)
+			// The span lookup happens only on the degraded path: a
+			// failover-free decision pays nothing here. Failover traces
+			// are force-retained — a decision that survived dead replicas
+			// is worth reading whatever the sampling rate.
+			if sp := trace.FromContext(ctx); sp != nil {
+				sp.SetInt("ha.failover_skipped", int64(skipped))
+				sp.SetAttr("ha.replica", replicas[idx].Name())
+				sp.Keep()
+			}
 		}
 		return res
 	}
 	e.stats.unavailable.Add(1)
+	if sp := trace.FromContext(ctx); sp != nil {
+		sp.SetAttr("ha.error", ErrAllReplicasDown.Error())
+		sp.Keep()
+	}
 	return policy.Result{
 		Decision: policy.DecisionIndeterminate,
 		Err:      fmt.Errorf("ha: ensemble %s: %w", e.name, ErrAllReplicasDown),
@@ -330,11 +367,21 @@ func (e *Ensemble) quorum(ctx context.Context, replicas []*Failable, req *policy
 	}
 	if answered > 0 && len(votes) > 1 {
 		e.stats.disagreements.Add(1)
+		// A split vote is always worth a trace: annotate and retain.
+		if sp := trace.FromContext(ctx); sp != nil {
+			sp.SetInt("ha.quorum_answered", int64(answered))
+			sp.SetInt("ha.quorum_votes", int64(len(votes)))
+			sp.Keep()
+		}
 	}
 	if best >= need {
 		return results[winner]
 	}
 	e.stats.unavailable.Add(1)
+	if sp := trace.FromContext(ctx); sp != nil {
+		sp.SetAttr("ha.error", ErrNoQuorum.Error())
+		sp.Keep()
+	}
 	return policy.Result{
 		Decision: policy.DecisionIndeterminate,
 		Err: fmt.Errorf("ha: ensemble %s: %d/%d answered, need %d agreeing: %w",

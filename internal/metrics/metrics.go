@@ -25,67 +25,114 @@ func (c *Counter) Add(delta int64) { c.n.Add(delta) }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.n.Load() }
 
-// Histogram collects duration samples and reports percentiles. It stores
-// raw samples, which keeps percentiles exact for experiment-scale counts.
+// reservoirCap bounds how many raw samples a Histogram retains. Below the
+// cap percentiles are exact; beyond it the histogram switches to reservoir
+// sampling (Vitter's Algorithm R), so memory stays bounded no matter how
+// long an experiment runs while count, mean and max remain exact.
+const reservoirCap = 16384
+
+// Histogram collects duration samples and reports percentiles. Counts,
+// mean and max are tracked exactly; the percentile source is a bounded
+// uniform reservoir, exact up to reservoirCap samples and a statistically
+// unbiased estimate past it.
 type Histogram struct {
-	mu      sync.Mutex
-	samples []time.Duration
-	sorted  bool
+	mu        sync.Mutex
+	reservoir []time.Duration
+	count     int64
+	sum       time.Duration
+	max       time.Duration
+	rng       uint64
+	// sortedView caches the sorted reservoir between observations, so a
+	// run of percentile queries (p50, p95, p99, max — the harness's
+	// reporting pattern) sorts once instead of once per query.
+	sortedView []time.Duration
+}
+
+// rand steps a xorshift64 generator under h.mu; seeded from a fixed
+// constant, so reservoir contents are reproducible run to run.
+func (h *Histogram) rand() uint64 {
+	if h.rng == 0 {
+		h.rng = 0x9E3779B97F4A7C15
+	}
+	h.rng ^= h.rng << 13
+	h.rng ^= h.rng >> 7
+	h.rng ^= h.rng << 17
+	return h.rng
 }
 
 // Observe records a sample.
 func (h *Histogram) Observe(d time.Duration) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.samples = append(h.samples, d)
-	h.sorted = false
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+	switch {
+	case len(h.reservoir) < reservoirCap:
+		h.reservoir = append(h.reservoir, d)
+		h.sortedView = nil
+	default:
+		// Algorithm R: the new sample replaces a uniformly random slot
+		// with probability cap/count, keeping the reservoir a uniform
+		// sample of everything observed.
+		if j := h.rand() % uint64(h.count); j < reservoirCap {
+			h.reservoir[j] = d
+			h.sortedView = nil
+		}
+	}
 }
 
-// Count returns the number of samples.
+// Count returns the number of samples observed (exact, not the retained
+// reservoir size).
 func (h *Histogram) Count() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return len(h.samples)
+	return int(h.count)
 }
 
-// Mean returns the arithmetic mean, or zero without samples.
+// Mean returns the arithmetic mean over every observed sample, or zero
+// without samples.
 func (h *Histogram) Mean() time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
+	if h.count == 0 {
 		return 0
 	}
-	var sum time.Duration
-	for _, s := range h.samples {
-		sum += s
-	}
-	return sum / time.Duration(len(h.samples))
+	return h.sum / time.Duration(h.count)
 }
 
 // Percentile returns the p-th percentile (0 < p <= 100), or zero without
-// samples.
+// samples. Exact up to reservoirCap samples, a reservoir estimate beyond.
 func (h *Histogram) Percentile(p float64) time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
+	if len(h.reservoir) == 0 {
 		return 0
 	}
-	if !h.sorted {
-		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
-		h.sorted = true
+	if h.sortedView == nil {
+		h.sortedView = make([]time.Duration, len(h.reservoir))
+		copy(h.sortedView, h.reservoir)
+		sort.Slice(h.sortedView, func(i, j int) bool { return h.sortedView[i] < h.sortedView[j] })
 	}
-	idx := int(math.Ceil(p/100*float64(len(h.samples)))) - 1
+	idx := int(math.Ceil(p/100*float64(len(h.sortedView)))) - 1
 	if idx < 0 {
 		idx = 0
 	}
-	if idx >= len(h.samples) {
-		idx = len(h.samples) - 1
+	if idx >= len(h.sortedView) {
+		idx = len(h.sortedView) - 1
 	}
-	return h.samples[idx]
+	return h.sortedView[idx]
 }
 
-// Max returns the largest sample.
-func (h *Histogram) Max() time.Duration { return h.Percentile(100) }
+// Max returns the largest sample ever observed (exact even when the
+// reservoir has cycled it out).
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
 
 // Imbalance reports how unevenly load spreads across units as the ratio
 // of the largest load to the mean (1.0 is perfect balance). The cluster

@@ -64,6 +64,57 @@ func TestHistogramObserveAfterPercentile(t *testing.T) {
 	}
 }
 
+// TestHistogramReservoirBounded pins the fix for unbounded sample growth:
+// past reservoirCap the retained slice stops growing, while count, mean
+// and max stay exact and percentiles remain sane estimates.
+func TestHistogramReservoirBounded(t *testing.T) {
+	var h Histogram
+	const n = 100000
+	for i := 1; i <= n; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if got := len(h.reservoir); got != reservoirCap {
+		t.Errorf("reservoir len = %d, want capped at %d", got, reservoirCap)
+	}
+	if h.Count() != n {
+		t.Errorf("Count = %d, want %d (exact despite sampling)", h.Count(), n)
+	}
+	if got, want := h.Mean(), time.Duration(n+1)*time.Microsecond/2; got != want {
+		t.Errorf("Mean = %v, want %v (exact despite sampling)", got, want)
+	}
+	if got := h.Max(); got != n*time.Microsecond {
+		t.Errorf("Max = %v, want %v (exact despite sampling)", got, n*time.Microsecond)
+	}
+	// The reservoir is a uniform sample of 1..n microseconds, so p50
+	// should land near n/2: allow a generous ±10% band.
+	p50 := h.Percentile(50)
+	lo, hi := time.Duration(n*45/100)*time.Microsecond, time.Duration(n*55/100)*time.Microsecond
+	if p50 < lo || p50 > hi {
+		t.Errorf("p50 = %v, want within [%v, %v]", p50, lo, hi)
+	}
+}
+
+// TestHistogramPercentileCaching checks the sorted view survives repeated
+// queries and invalidates on new observations.
+func TestHistogramPercentileCaching(t *testing.T) {
+	var h Histogram
+	h.Observe(3 * time.Millisecond)
+	h.Observe(1 * time.Millisecond)
+	if got := h.Percentile(100); got != 3*time.Millisecond {
+		t.Fatalf("p100 = %v", got)
+	}
+	if h.sortedView == nil {
+		t.Fatal("sorted view not cached after a percentile query")
+	}
+	h.Observe(5 * time.Millisecond)
+	if h.sortedView != nil {
+		t.Fatal("sorted view not invalidated by Observe")
+	}
+	if got := h.Percentile(100); got != 5*time.Millisecond {
+		t.Fatalf("p100 after re-observe = %v", got)
+	}
+}
+
 func TestTableRendering(t *testing.T) {
 	tbl := NewTable("E1: example", "domains", "latency", "rate")
 	tbl.AddRow(2, 40*time.Millisecond, 0.5)

@@ -52,6 +52,7 @@ import (
 	"time"
 
 	"repro/internal/policy"
+	"repro/internal/trace"
 )
 
 // ErrNoPolicy is returned when the engine is asked to decide before any
@@ -66,6 +67,26 @@ func ctxResult(name string, err error) policy.Result {
 	return policy.Result{
 		Decision: policy.DecisionIndeterminate,
 		Err:      fmt.Errorf("pdp %s: request context done before decision: %w", name, err),
+	}
+}
+
+// traceDecision annotates the request's span with the decision outcome.
+// Indeterminate decisions force trace retention (trace.Span.Keep): the
+// decisions that need explaining most are always captured, whatever the
+// sampling rate. A nil span (untraced request) costs nothing.
+func (e *Engine) traceDecision(sp *trace.Span, epoch uint64, res policy.Result, cache string, candidates int) {
+	if sp == nil {
+		return
+	}
+	sp.SetAttr("pdp.engine", e.name)
+	sp.SetAttr("pdp.cache", cache)
+	sp.SetAttr("pdp.decision", res.Decision.String())
+	sp.SetInt("pdp.epoch", int64(epoch))
+	if candidates > 0 {
+		sp.SetInt("pdp.candidates", int64(candidates))
+	}
+	if res.Decision == policy.DecisionIndeterminate {
+		sp.Keep()
 	}
 }
 
@@ -253,8 +274,14 @@ func (e *Engine) DecideAtWith(ctx context.Context, req *policy.Request, at time.
 	if snap == nil {
 		return policy.Result{Decision: policy.DecisionIndeterminate, Err: ErrNoPolicy}
 	}
+	var ev *trace.Span
+	if sp := trace.FromContext(ctx); sp != nil {
+		ctx, ev = trace.StartSpan(ctx, "pdp.eval")
+	}
 	res, candidates := e.evaluate(ctx, snap, req, at, resolver)
 	e.stats.stripe(policy.HashString(req.ResourceID())).recordEvaluation(res, candidates)
+	e.traceDecision(ev, snap.epoch, res, "bypass", candidates)
+	ev.End()
 	return res
 }
 
@@ -295,9 +322,19 @@ func (e *Engine) DecideAt(ctx context.Context, req *policy.Request, at time.Time
 		return policy.Result{Decision: policy.DecisionIndeterminate, Err: ErrNoPolicy}
 	}
 
+	// One context lookup is the whole tracing cost for untraced requests;
+	// the cache-hit fast path below stays lock-free and allocation-free.
+	sp := trace.FromContext(ctx)
+
 	if e.cache == nil {
+		var ev *trace.Span
+		if sp != nil {
+			ctx, ev = trace.StartSpan(ctx, "pdp.eval")
+		}
 		res, candidates := e.evaluate(ctx, snap, req, at, nil)
 		e.stats.stripe(policy.HashString(req.ResourceID())).recordEvaluation(res, candidates)
+		e.traceDecision(ev, snap.epoch, res, "off", candidates)
+		ev.End()
 		return res
 	}
 
@@ -307,14 +344,21 @@ func (e *Engine) DecideAt(ctx context.Context, req *policy.Request, at time.Time
 	if res, ok := e.cache.get(key, hash, at); ok {
 		st.cacheHits.Add(1)
 		st.record(res.Decision)
+		e.traceDecision(sp, snap.epoch, res, "hit", 0)
 		return res
 	}
 
+	var ev *trace.Span
+	if sp != nil {
+		ctx, ev = trace.StartSpan(ctx, "pdp.eval")
+	}
 	res, candidates := e.evaluate(ctx, snap, req, at, nil)
 	st.recordEvaluation(res, candidates)
 	if res.Err == nil || ctx.Err() == nil {
 		e.fill(snap, key, hash, req.ResourceID(), res, at)
 	}
+	e.traceDecision(ev, snap.epoch, res, "miss", candidates)
+	ev.End()
 	return res
 }
 
@@ -390,6 +434,37 @@ func (e *Engine) DecideScatterAt(ctx context.Context, reqs []*policy.Request, po
 		return
 	}
 
+	// Traced batches get one span covering the whole scatter, not one per
+	// position: the batch is the unit of work the caller dispatched.
+	var batchSpan *trace.Span
+	if sp := trace.FromContext(ctx); sp != nil {
+		ctx, batchSpan = trace.StartSpan(ctx, "pdp.batch")
+		batchSpan.SetAttr("pdp.engine", e.name)
+		batchSpan.SetInt("pdp.epoch", int64(snap.epoch))
+		batchSpan.SetInt("batch.n", int64(n))
+		defer func() {
+			indeterminate := 0
+			if positions == nil {
+				for i := range out {
+					if out[i].Decision == policy.DecisionIndeterminate {
+						indeterminate++
+					}
+				}
+			} else {
+				for _, p := range positions {
+					if out[p].Decision == policy.DecisionIndeterminate {
+						indeterminate++
+					}
+				}
+			}
+			if indeterminate > 0 {
+				batchSpan.SetInt("batch.indeterminate", int64(indeterminate))
+				batchSpan.Keep()
+			}
+			batchSpan.End()
+		}()
+	}
+
 	misses := make([]int, 0, n)
 	if e.cache != nil {
 		sweep := func(p int) {
@@ -424,6 +499,8 @@ func (e *Engine) DecideScatterAt(ctx context.Context, reqs []*policy.Request, po
 	} else {
 		misses = positions
 	}
+
+	batchSpan.SetInt("batch.misses", int64(len(misses)))
 
 	// Within one batch, requests for the same resource share the same
 	// index candidate set; memoising the assembled subset amortises the

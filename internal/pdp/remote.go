@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/policy"
+	"repro/internal/trace"
 	"repro/internal/wire"
 	"repro/internal/xacml"
 )
@@ -56,6 +57,9 @@ func (c *Client) Decide(ctx context.Context, req *policy.Request) policy.Result 
 // wire.HTTPClient.Send) — a dead or slow PDP yields Indeterminate within
 // the budget instead of hanging the enforcement point.
 func (c *Client) DecideAt(ctx context.Context, req *policy.Request, at time.Time) policy.Result {
+	ctx, sp := trace.StartSpan(ctx, "pdp.remote")
+	defer sp.End()
+	sp.SetAttr("rpc.to", c.to)
 	body, err := xacml.MarshalRequestXML(req)
 	if err != nil {
 		return policy.Result{Decision: policy.DecisionIndeterminate,
@@ -70,18 +74,26 @@ func (c *Client) DecideAt(ctx context.Context, req *policy.Request, at time.Time
 		Body:      body,
 	})
 	if err != nil {
-		return policy.Result{Decision: policy.DecisionIndeterminate,
+		res := policy.Result{Decision: policy.DecisionIndeterminate,
 			Err: fmt.Errorf("pdp client: %w", err)}
+		annotateResultSpan(sp, res)
+		return res
 	}
 	if reply == nil {
-		return policy.Result{Decision: policy.DecisionIndeterminate,
+		res := policy.Result{Decision: policy.DecisionIndeterminate,
 			Err: fmt.Errorf("pdp client: empty reply from %s", c.to)}
+		annotateResultSpan(sp, res)
+		return res
 	}
 	res, err := xacml.UnmarshalResponseXML(reply.Body)
 	if err != nil {
-		return policy.Result{Decision: policy.DecisionIndeterminate,
+		res = policy.Result{Decision: policy.DecisionIndeterminate,
 			Err: fmt.Errorf("pdp client: decode response: %w", err)}
 	}
+	// A transport or decode failure surfaced as Indeterminate forces
+	// retention via annotateResultSpan — lost-PDP traces are the ones
+	// worth reading.
+	annotateResultSpan(sp, res)
 	return res
 }
 
@@ -170,6 +182,10 @@ func Handler(p Provider) wire.Handler {
 			return nil, err
 		}
 		res := p.Decide(ctx, req)
+		// Annotate the serving hop's span (opened by the transport when
+		// the envelope carried trace headers) so the caller's stitched
+		// trace shows the decision this hop produced.
+		annotateResultSpan(trace.FromContext(ctx), res)
 		body, err := xacml.MarshalResponseXML(res)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,68 @@
+package pdp
+
+import (
+	"repro/internal/policy"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// RegisterMetrics exposes the engine's counters on the registry. The
+// bridge is pull-model: collectors aggregate the engine's padded atomic
+// stat stripes only at scrape time, so registration adds nothing to the
+// decision hot path. Call once per registry; duplicate registration
+// panics (telemetry.Registry semantics).
+func (e *Engine) RegisterMetrics(reg *telemetry.Registry) {
+	reg.Register("repro_pdp_decisions_total",
+		"Decisions returned, by outcome (cache hits included).",
+		telemetry.KindCounter, func() []telemetry.Sample {
+			st := e.Stats()
+			return []telemetry.Sample{
+				{Labels: []telemetry.Label{telemetry.L("outcome", "permit")}, Value: float64(st.Permits)},
+				{Labels: []telemetry.Label{telemetry.L("outcome", "deny")}, Value: float64(st.Denies)},
+				{Labels: []telemetry.Label{telemetry.L("outcome", "not_applicable")}, Value: float64(st.NotApplicables)},
+				{Labels: []telemetry.Label{telemetry.L("outcome", "indeterminate")}, Value: float64(st.Indeterminates)},
+			}
+		})
+	reg.CounterFunc("repro_pdp_evaluations_total",
+		"Full policy evaluations (decision cache misses).",
+		func() int64 { return e.Stats().Evaluations })
+	reg.CounterFunc("repro_pdp_cache_hits_total",
+		"Decisions served from the decision cache.",
+		func() int64 { return e.Stats().CacheHits })
+	reg.GaugeFunc("repro_pdp_cache_entries",
+		"Decisions currently cached, summed across cache shards.",
+		func() int64 { return e.Stats().CacheEntries })
+	reg.CounterFunc("repro_pdp_cache_invalidations_total",
+		"Cached decisions dropped by live policy updates.",
+		func() int64 { return e.Stats().CacheInvalidations })
+	reg.CounterFunc("repro_pdp_updates_total",
+		"Incremental root patches applied.",
+		func() int64 { return e.Stats().Updates })
+	reg.CounterFunc("repro_pdp_indexed_candidates_total",
+		"Sum of target-index candidate-set sizes considered.",
+		func() int64 { return e.Stats().IndexedCandidates })
+	reg.GaugeFunc("repro_pdp_epoch",
+		"Policy snapshot epoch (bumps on installs, patches and flushes).",
+		func() int64 {
+			if snap := e.snap.Load(); snap != nil {
+				return int64(snap.epoch)
+			}
+			return 0
+		})
+}
+
+// annotateResultSpan marks a span with a decision outcome, forcing trace
+// retention for Indeterminate — shared by the remote client and handler.
+// Nil-safe, like all Span methods.
+func annotateResultSpan(sp *trace.Span, res policy.Result) {
+	if sp == nil {
+		return
+	}
+	sp.SetAttr("pdp.decision", res.Decision.String())
+	if res.Err != nil {
+		sp.SetAttr("error", res.Err.Error())
+	}
+	if res.Decision == policy.DecisionIndeterminate {
+		sp.Keep()
+	}
+}

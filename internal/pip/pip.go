@@ -17,6 +17,8 @@ import (
 	"time"
 
 	"repro/internal/policy"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Provider is a named attribute source. It extends policy.Resolver with
@@ -401,6 +403,21 @@ func (c *Cache) Stats() CacheStats {
 	return c.stats
 }
 
+// RegisterMetrics exposes the cache's effectiveness counters on the
+// registry, pull-model: the collector takes the cache lock only at scrape
+// time.
+func (c *Cache) RegisterMetrics(reg *telemetry.Registry) {
+	reg.CounterFunc("repro_pip_cache_hits_total",
+		"Attribute lookups served from the PIP cache.",
+		func() int64 { return c.Stats().Hits })
+	reg.CounterFunc("repro_pip_cache_misses_total",
+		"Attribute lookups the PIP cache could not serve.",
+		func() int64 { return c.Stats().Misses })
+	reg.CounterFunc("repro_pip_cache_coalesced_total",
+		"Misses that piggybacked on another miss's in-flight backend fetch.",
+		func() int64 { return c.Stats().Coalesced })
+}
+
 // Invalidate drops every cached entry, modelling explicit revocation push.
 func (c *Cache) Invalidate() {
 	c.mu.Lock()
@@ -434,8 +451,17 @@ func (c *Cache) ResolveAttribute(ctx context.Context, req *policy.Request, cat p
 			// rather than thundering-herd the backend.
 			c.stats.Coalesced++
 			c.mu.Unlock()
+			// Traced requests record the wait as its own span so the
+			// trace shows the coalescing the stats only count.
+			var wsp *trace.Span
+			if trace.FromContext(ctx) != nil {
+				_, wsp = trace.StartSpan(ctx, "pip.fetch")
+				wsp.SetAttr("pip.attr", staticKey(cat, name))
+				wsp.SetAttr("pip.coalesced", "true")
+			}
 			select {
 			case <-f.done:
+				wsp.End()
 				if f.err == nil {
 					return f.bag.Clone(), nil
 				}
@@ -446,6 +472,8 @@ func (c *Cache) ResolveAttribute(ctx context.Context, req *policy.Request, cat p
 				}
 				return nil, f.err
 			case <-ctx.Done():
+				wsp.SetAttr("error", ctx.Err().Error())
+				wsp.End()
 				return nil, fmt.Errorf("pip: cache %s: %w", c.name, ctx.Err())
 			}
 		}
@@ -453,7 +481,19 @@ func (c *Cache) ResolveAttribute(ctx context.Context, req *policy.Request, cat p
 		c.inflight[key] = f
 		c.mu.Unlock()
 
-		bag, err := c.inner.ResolveAttribute(ctx, req, cat, name)
+		// The leader's backend fetch is the round-trip worth timing.
+		var fsp *trace.Span
+		fctx := ctx
+		if trace.FromContext(ctx) != nil {
+			fctx, fsp = trace.StartSpan(ctx, "pip.fetch")
+			fsp.SetAttr("pip.attr", staticKey(cat, name))
+			fsp.SetAttr("pip.provider", c.inner.Name())
+		}
+		bag, err := c.inner.ResolveAttribute(fctx, req, cat, name)
+		if err != nil {
+			fsp.SetAttr("error", err.Error())
+		}
+		fsp.End()
 
 		c.mu.Lock()
 		delete(c.inflight, key)

@@ -28,6 +28,8 @@ import (
 	"time"
 
 	"repro/internal/policy"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Package errors, matched with errors.Is.
@@ -285,6 +287,7 @@ type Middleware struct {
 	actions      map[string]string
 	transformers map[string]Transformer
 	now          func() time.Time
+	tracer       *trace.Tracer
 
 	mu    sync.Mutex
 	stats Stats
@@ -319,6 +322,16 @@ func WithClock(now func() time.Time) MiddlewareOption {
 	return func(m *Middleware) { m.now = now }
 }
 
+// WithTracer roots a decision trace at the enforcement point: each
+// intercepted request becomes a trace whose spans follow the decision
+// through engine, cluster, PIP and any remote PDP hop. Sampled (and
+// slow/Indeterminate) traces are retained by the tracer; every traced
+// response carries its ID in the X-Trace-Id header so a caller can quote
+// it against /debug/traces.
+func WithTracer(t *trace.Tracer) MiddlewareOption {
+	return func(m *Middleware) { m.tracer = t }
+}
+
 // NewMiddleware builds the enforcement point.
 func NewMiddleware(router *Router, pdp DecisionProvider, subject SubjectFunc, opts ...MiddlewareOption) *Middleware {
 	m := &Middleware{
@@ -339,6 +352,29 @@ func (m *Middleware) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.stats
+}
+
+// RegisterMetrics exposes the enforcement point's counters on the
+// registry (pull-model; the collector takes the stats lock at scrape time
+// only).
+func (m *Middleware) RegisterMetrics(reg *telemetry.Registry) {
+	reg.CounterFunc("repro_rest_requests_total",
+		"Accesses intercepted by the REST enforcement point.",
+		func() int64 { return m.Stats().Requests })
+	reg.Register("repro_rest_outcomes_total",
+		"Enforcement outcomes at the REST enforcement point.",
+		telemetry.KindCounter, func() []telemetry.Sample {
+			st := m.Stats()
+			return []telemetry.Sample{
+				{Labels: []telemetry.Label{telemetry.L("outcome", "permitted")}, Value: float64(st.Permitted)},
+				{Labels: []telemetry.Label{telemetry.L("outcome", "denied")}, Value: float64(st.Denied)},
+				{Labels: []telemetry.Label{telemetry.L("outcome", "unrouted")}, Value: float64(st.Unrouted)},
+				{Labels: []telemetry.Label{telemetry.L("outcome", "unauthenticated")}, Value: float64(st.Unauthenticated)},
+			}
+		})
+	reg.CounterFunc("repro_rest_transformed_total",
+		"Responses rewritten by content obligations.",
+		func() int64 { return m.Stats().Transformed })
 }
 
 func (m *Middleware) count(f func(*Stats)) {
@@ -374,18 +410,38 @@ func (b *bodyRecorder) Write(p []byte) (int, error) { return b.body.Write(p) }
 func (m *Middleware) Wrap(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		m.count(func(s *Stats) { s.Requests++ })
+		ctx := r.Context()
+		var root *trace.Span
+		if m.tracer != nil {
+			ctx, root = m.tracer.StartRoot(ctx, "rest "+r.Method+" "+r.URL.Path)
+			defer root.End()
+			root.SetAttr("http.method", r.Method)
+			root.SetAttr("http.path", r.URL.Path)
+			w.Header().Set("X-Trace-Id", root.TraceID.String())
+			r = r.WithContext(ctx)
+		}
 		req, _, err := m.router.BuildRequest(r.Method, r.URL.Path, m.actions)
 		if err != nil {
 			m.count(func(s *Stats) { s.Unrouted++; s.Denied++ })
+			root.SetAttr("rest.outcome", "unrouted")
 			http.Error(w, "no such resource", http.StatusNotFound)
 			return
 		}
 		if err := m.subject(r, req); err != nil {
 			m.count(func(s *Stats) { s.Unauthenticated++; s.Denied++ })
+			root.SetAttr("rest.outcome", "unauthenticated")
 			http.Error(w, "authentication required", http.StatusUnauthorized)
 			return
 		}
-		res := m.pdp.DecideAt(r.Context(), req, m.now())
+		root.SetAttr("rest.subject", req.SubjectID())
+		res := m.pdp.DecideAt(ctx, req, m.now())
+		root.SetAttr("rest.decision", res.Decision.String())
+		if res.Decision == policy.DecisionIndeterminate {
+			// The always-capture invariant at the enforcement point: a
+			// decision that failed closed is retained whatever the
+			// sampling rate says.
+			root.Keep()
+		}
 		if res.Decision != policy.DecisionPermit {
 			m.count(func(s *Stats) { s.Denied++ })
 			http.Error(w, "access denied", http.StatusForbidden)

@@ -1,0 +1,321 @@
+// Package telemetry is the production metric layer: a named registry of
+// counters, gauges and histograms with labels, exposed in Prometheus text
+// format on the daemons' /metrics endpoints.
+//
+// The design keeps telemetry off the lock-free decision hot path. Metrics
+// are pull-model: a registered family owns a collect function invoked only
+// at scrape time, so the decision layers keep incrementing the padded
+// atomic stripes they already own (pdp.engineStats, cluster/ha counters,
+// store.Stats) and the registry merely snapshots them when /metrics is
+// read. For new instrumentation the package offers live instruments —
+// atomic Counter/Gauge and the log-bucketed Histogram (histogram.go) —
+// whose write paths are single atomic adds: no locks, no allocation.
+//
+// Naming follows Prometheus conventions: snake_case families, a base unit
+// suffix (_total for counters, _seconds/_ns where applicable), and label
+// sets small enough to bound cardinality (shard names, outcome classes —
+// never subjects or resources).
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind is the metric family type.
+type Kind int
+
+// Metric kinds, matching the Prometheus text-format TYPE names.
+const (
+	KindCounter Kind = iota + 1
+	KindGauge
+	KindHistogram
+)
+
+// String renders the TYPE name.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Label is one name/value pair on a sample.
+type Label struct {
+	Key, Value string
+}
+
+// L builds a label, the compact constructor collectors use.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Sample is one series' value at scrape time. Exactly one of Value
+// (counter/gauge) or Hist (histogram) is meaningful, per the family kind.
+type Sample struct {
+	Labels []Label
+	Value  float64
+	Hist   HistogramSnapshot
+}
+
+// Collector produces a family's samples at scrape time. Collectors must be
+// safe for concurrent use; they typically read atomic counters or call a
+// component's Stats() snapshot.
+type Collector func() []Sample
+
+// family is one registered metric family.
+type family struct {
+	name    string
+	help    string
+	kind    Kind
+	collect Collector
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// format. Registration happens at startup; scraping takes a read lock
+// only over the family list — never over the instruments themselves.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// validName matches the Prometheus metric/label name charset.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_' || r == ':'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// Register adds a metric family backed by a collector. It panics on a
+// duplicate or invalid name: registration is startup wiring, and a
+// half-registered daemon is a bug to surface, not to serve.
+func (r *Registry) Register(name, help string, kind Kind, collect Collector) {
+	if !validName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	if kind < KindCounter || kind > KindHistogram {
+		panic(fmt.Sprintf("telemetry: metric %s: invalid kind %d", name, int(kind)))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[name]; dup {
+		panic(fmt.Sprintf("telemetry: duplicate metric %q", name))
+	}
+	r.families[name] = &family{name: name, help: help, kind: kind, collect: collect}
+}
+
+// Counter is a lock-free monotonic counter instrument.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Add increments the counter; negative deltas are ignored (counters are
+// monotonic by contract).
+func (c *Counter) Add(delta int64) {
+	if delta > 0 {
+		c.n.Add(delta)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n.Load() }
+
+// Gauge is a lock-free instantaneous-value instrument.
+type Gauge struct {
+	n atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.n.Store(v) }
+
+// Add moves the gauge.
+func (g *Gauge) Add(delta int64) { g.n.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.n.Load() }
+
+// NewCounter registers and returns a live counter with fixed labels.
+func (r *Registry) NewCounter(name, help string, labels ...Label) *Counter {
+	c := &Counter{}
+	r.Register(name, help, KindCounter, func() []Sample {
+		return []Sample{{Labels: labels, Value: float64(c.Value())}}
+	})
+	return c
+}
+
+// NewGauge registers and returns a live gauge with fixed labels.
+func (r *Registry) NewGauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{}
+	r.Register(name, help, KindGauge, func() []Sample {
+		return []Sample{{Labels: labels, Value: float64(g.Value())}}
+	})
+	return g
+}
+
+// NewHistogram registers and returns a live log-bucketed histogram with
+// fixed labels. Values are observed in seconds on the exposition side
+// (buckets are recorded in nanoseconds internally).
+func (r *Registry) NewHistogram(name, help string, labels ...Label) *Histogram {
+	h := &Histogram{}
+	r.Register(name, help, KindHistogram, func() []Sample {
+		return []Sample{{Labels: labels, Hist: h.Snapshot()}}
+	})
+	return h
+}
+
+// CounterFunc registers a counter family read from a snapshot function —
+// the bridge for components that already keep their own atomic stats.
+func (r *Registry) CounterFunc(name, help string, read func() int64, labels ...Label) {
+	r.Register(name, help, KindCounter, func() []Sample {
+		return []Sample{{Labels: labels, Value: float64(read())}}
+	})
+}
+
+// GaugeFunc registers a gauge family read from a snapshot function.
+func (r *Registry) GaugeFunc(name, help string, read func() int64, labels ...Label) {
+	r.Register(name, help, KindGauge, func() []Sample {
+		return []Sample{{Labels: labels, Value: float64(read())}}
+	})
+}
+
+// escapeLabel escapes a label value per the text format: backslash,
+// double-quote and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// writeSeries renders one sample line: name{labels} value.
+func writeSeries(b *strings.Builder, name string, labels []Label, extra []Label, v float64) {
+	b.WriteString(name)
+	if len(labels)+len(extra) > 0 {
+		b.WriteByte('{')
+		first := true
+		for _, set := range [][]Label{labels, extra} {
+			for _, l := range set {
+				if !first {
+					b.WriteByte(',')
+				}
+				first = false
+				b.WriteString(l.Key)
+				b.WriteString(`="`)
+				b.WriteString(escapeLabel(l.Value))
+				b.WriteByte('"')
+			}
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatValue(v))
+	b.WriteByte('\n')
+}
+
+// Render produces the full Prometheus text-format exposition, families in
+// name order.
+func (r *Registry) Render() string {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	fams := make([]*family, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		samples := f.collect()
+		if len(samples) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range samples {
+			if f.kind != KindHistogram {
+				writeSeries(&b, f.name, s.Labels, nil, s.Value)
+				continue
+			}
+			cumulative := uint64(0)
+			for i, count := range s.Hist.Counts {
+				cumulative += count
+				writeSeries(&b, f.name+"_bucket", s.Labels,
+					[]Label{{Key: "le", Value: formatValue(s.Hist.UpperBoundSeconds(i))}},
+					float64(cumulative))
+			}
+			writeSeries(&b, f.name+"_bucket", s.Labels,
+				[]Label{{Key: "le", Value: "+Inf"}}, float64(s.Hist.Count))
+			writeSeries(&b, f.name+"_sum", s.Labels, nil, s.Hist.SumSeconds())
+			writeSeries(&b, f.name+"_count", s.Labels, nil, float64(s.Hist.Count))
+		}
+	}
+	return b.String()
+}
+
+// Handler serves the exposition: the daemons' /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(r.Render()))
+	})
+}

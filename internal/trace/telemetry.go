@@ -1,0 +1,28 @@
+package trace
+
+import "repro/internal/telemetry"
+
+// RegisterMetrics exposes the tracer's retention counters on reg, so the
+// sampling policy's behaviour (how many traces were kept, and why) is
+// visible on /metrics next to the decision counters.
+func (t *Tracer) RegisterMetrics(reg *telemetry.Registry) {
+	reg.CounterFunc("repro_trace_started_total",
+		"Traces opened at this process's roots.",
+		func() int64 { return t.Stats().Started })
+	reg.Register("repro_trace_kept_total",
+		"Traces retained in the /debug/traces ring, by retention cause.",
+		telemetry.KindCounter, func() []telemetry.Sample {
+			st := t.Stats()
+			return []telemetry.Sample{
+				{Labels: []telemetry.Label{telemetry.L("cause", "forced")}, Value: float64(st.KeptForced)},
+				{Labels: []telemetry.Label{telemetry.L("cause", "slow")}, Value: float64(st.KeptSlow)},
+				{Labels: []telemetry.Label{telemetry.L("cause", "sampled")}, Value: float64(st.KeptSampled)},
+			}
+		})
+	reg.CounterFunc("repro_trace_dropped_total",
+		"Traces discarded at the root by the sampling policy.",
+		func() int64 { return t.Stats().Dropped })
+	reg.CounterFunc("repro_trace_evicted_total",
+		"Kept traces pushed out of the ring by newer ones.",
+		func() int64 { return t.Stats().Evicted })
+}

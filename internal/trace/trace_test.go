@@ -1,0 +1,233 @@
+package trace
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// virtualClock is a deterministic, manually advanced clock.
+type virtualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newVirtualClock() *virtualClock {
+	return &virtualClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *virtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *virtualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestUntracedContextIsFree(t *testing.T) {
+	ctx := context.Background()
+	if sp := FromContext(ctx); sp != nil {
+		t.Fatalf("FromContext(Background) = %v, want nil", sp)
+	}
+	ctx2, sp := StartSpan(ctx, "child")
+	if ctx2 != ctx || sp != nil {
+		t.Fatal("StartSpan on untraced context must return the context unchanged and a nil span")
+	}
+	// Every method must be a no-op on nil.
+	sp.SetAttr("k", "v")
+	sp.SetInt("k", 1)
+	sp.SetDuration("k", time.Second)
+	sp.Keep()
+	sp.End()
+	if got := CurrentID(ctx); got != "" {
+		t.Fatalf("CurrentID(untraced) = %q, want empty", got)
+	}
+}
+
+func TestHeadSamplingDeterministic(t *testing.T) {
+	tr := NewTracer(Options{Sample: 0.25, Capacity: 100})
+	for i := 0; i < 100; i++ {
+		_, sp := tr.StartRoot(context.Background(), "root")
+		sp.End()
+	}
+	st := tr.Stats()
+	if st.Kept != 25 || st.KeptSampled != 25 {
+		t.Fatalf("Sample=0.25 over 100 roots kept %d (sampled %d), want 25", st.Kept, st.KeptSampled)
+	}
+	if st.Dropped != 75 {
+		t.Fatalf("dropped = %d, want 75", st.Dropped)
+	}
+}
+
+// TestSlowDecisionAlwaysKept pins the always-on invariant: with head
+// sampling fully off, a root that runs past the slow threshold is
+// retained, and a fast one is not.
+func TestSlowDecisionAlwaysKept(t *testing.T) {
+	clock := newVirtualClock()
+	tr := NewTracer(Options{Sample: 0, SlowThreshold: 10 * time.Millisecond, Clock: clock.Now})
+
+	_, fast := tr.StartRoot(context.Background(), "fast")
+	clock.Advance(time.Millisecond)
+	fast.End()
+
+	_, slow := tr.StartRoot(context.Background(), "slow")
+	clock.Advance(50 * time.Millisecond)
+	slow.End()
+
+	st := tr.Stats()
+	if st.Kept != 1 || st.KeptSlow != 1 || st.Dropped != 1 {
+		t.Fatalf("stats = %+v, want exactly the slow trace kept", st)
+	}
+	recs := tr.Recent(0)
+	if len(recs) != 1 || recs[0].Root != "slow" || recs[0].Kept != "slow" {
+		t.Fatalf("recent = %+v, want the slow root", recs)
+	}
+}
+
+// TestForcedKeepWins pins the Indeterminate path: Keep retains a fast
+// trace even at zero sampling, attributed to the forced cause.
+func TestForcedKeepWins(t *testing.T) {
+	tr := NewTracer(Options{Sample: 0})
+	ctx, root := tr.StartRoot(context.Background(), "root")
+	_, child := StartSpan(ctx, "pdp.decide")
+	child.SetAttr("decision", "Indeterminate")
+	child.Keep()
+	child.End()
+	root.End()
+	st := tr.Stats()
+	if st.KeptForced != 1 || st.Kept != 1 {
+		t.Fatalf("stats = %+v, want one forced keep", st)
+	}
+	rec := tr.Recent(1)[0]
+	if len(rec.Spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(rec.Spans))
+	}
+	if rec.Spans[1].Parent != rec.Spans[0].ID {
+		t.Fatalf("child parent = %s, want root id %s", rec.Spans[1].Parent, rec.Spans[0].ID)
+	}
+}
+
+func TestRingBounded(t *testing.T) {
+	tr := NewTracer(Options{Sample: 1, Capacity: 4})
+	for i := 0; i < 10; i++ {
+		_, sp := tr.StartRoot(context.Background(), "r")
+		sp.SetInt("i", int64(i))
+		sp.End()
+	}
+	recs := tr.Recent(0)
+	if len(recs) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(recs))
+	}
+	if tr.Stats().Evicted != 6 {
+		t.Fatalf("evicted = %d, want 6", tr.Stats().Evicted)
+	}
+	// Newest first.
+	if recs[0].Spans[0].Attrs[0].Value != "9" {
+		t.Fatalf("newest = %+v, want i=9", recs[0].Spans[0].Attrs)
+	}
+}
+
+func TestRemoteJoinExportMerge(t *testing.T) {
+	// Origin side: a traced context.
+	tr := NewTracer(Options{Sample: 1})
+	ctx, root := tr.StartRoot(context.Background(), "origin")
+
+	// Simulate the wire: carry IDs as strings, join on the "server".
+	tid, sid := root.TraceID.String(), root.ID.String()
+	serverCtx, serverRoot, err := JoinRemote(context.Background(), tid, sid, "serve pdp:decide")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CurrentID(serverCtx); got != tid {
+		t.Fatalf("server trace id = %s, want %s", got, tid)
+	}
+	_, inner := StartSpan(serverCtx, "pip.fetch")
+	inner.SetAttr("attr", "subject-role")
+	inner.End()
+	serverRoot.End()
+	exported := Export(serverRoot)
+	if exported == nil {
+		t.Fatal("Export returned nil")
+	}
+
+	// Back at the origin: merge and finish.
+	if err := Merge(ctx, exported); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	rec := tr.Find(tid)
+	if rec == nil {
+		t.Fatalf("trace %s not retained", tid)
+	}
+	if len(rec.Spans) != 3 {
+		t.Fatalf("stitched trace has %d spans, want 3 (origin + serve + pip.fetch)", len(rec.Spans))
+	}
+	// The remote hop's root must be parented on the origin span.
+	var serve *SpanRecord
+	for i := range rec.Spans {
+		if rec.Spans[i].Name == "serve pdp:decide" {
+			serve = &rec.Spans[i]
+		}
+	}
+	if serve == nil || serve.Parent != sid {
+		t.Fatalf("serve span = %+v, want parent %s", serve, sid)
+	}
+}
+
+func TestJoinRemoteRejectsBadIDs(t *testing.T) {
+	if _, _, err := JoinRemote(context.Background(), "not-hex", "", "x"); err == nil {
+		t.Fatal("want error for malformed trace id")
+	}
+	if _, _, err := JoinRemote(context.Background(), "00000000000000ab", "nope", "x"); err == nil {
+		t.Fatal("want error for malformed parent span id")
+	}
+}
+
+func TestMergeIntoUntracedContextIsNoop(t *testing.T) {
+	if err := Merge(context.Background(), []byte(`[{"id":"01","name":"x"}]`)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentSpans exercises batch-style fan-out: many goroutines open,
+// annotate and end child spans of one trace while the root waits. Run
+// under -race.
+func TestConcurrentSpans(t *testing.T) {
+	tr := NewTracer(Options{Sample: 1})
+	ctx, root := tr.StartRoot(context.Background(), "batch")
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, sp := StartSpan(ctx, "shard")
+			sp.SetInt("ord", int64(i))
+			sp.End()
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	rec := tr.Recent(1)[0]
+	if len(rec.Spans) != 33 {
+		t.Fatalf("spans = %d, want 33", len(rec.Spans))
+	}
+}
+
+func TestIDRoundTrip(t *testing.T) {
+	id := ID(nextID())
+	back, err := ParseID(id.String())
+	if err != nil || back != id {
+		t.Fatalf("round trip %s -> %v (%v)", id, back, err)
+	}
+	sid := SpanID(nextID())
+	sback, err := ParseSpanID(sid.String())
+	if err != nil || sback != sid {
+		t.Fatalf("round trip %s -> %v (%v)", sid, sback, err)
+	}
+}

@@ -108,6 +108,21 @@ type Envelope struct {
 	// It travels in the signed header block, so a relay cannot stretch a
 	// deadline the sender signed.
 	Deadline time.Duration
+	// TraceID and TraceParent carry the caller's decision trace across
+	// the hop (internal/trace wire form): the receiver joins the trace and
+	// parents its spans on TraceParent, so a federated decision yields one
+	// stitched trace. Both travel in the signed header block — a relay
+	// cannot re-home a signed request onto another trace. Empty means the
+	// caller is not tracing.
+	TraceID     string
+	TraceParent string
+	// TraceSpans is the serving hop's exported span set (trace.Export),
+	// present on replies when the request carried a TraceID. It is
+	// deliberately OUTSIDE the signature: the serving layer appends it
+	// after the reply body may already have been signed, and it is pure
+	// observability — a tampered span set can mislead a trace view but
+	// never an authorization decision.
+	TraceSpans []byte
 	// Security is present on protected messages.
 	Security *SecurityHeader
 	// Body is the payload.
@@ -118,7 +133,7 @@ type Envelope struct {
 // header (the deadline budget included) plus the body.
 func (e *Envelope) Canonical() []byte {
 	var buf bytes.Buffer
-	for _, s := range []string{e.MessageID, e.From, e.To, e.Action} {
+	for _, s := range []string{e.MessageID, e.From, e.To, e.Action, e.TraceID, e.TraceParent} {
 		var l [4]byte
 		binary.BigEndian.PutUint32(l[:], uint32(len(s)))
 		buf.Write(l[:])
@@ -150,22 +165,32 @@ type xmlEnvelope struct {
 	Timestamp string   `xml:"Header>Timestamp"`
 	// DeadlineNs is the remaining deadline budget in nanoseconds; absent
 	// or zero means unbounded.
-	DeadlineNs int64        `xml:"Header>Deadline,omitempty"`
-	Security   *xmlSecurity `xml:"Header>Security,omitempty"`
-	Body       string       `xml:"Body"`
+	DeadlineNs int64 `xml:"Header>Deadline,omitempty"`
+	// TraceID/TraceParent continue the caller's trace; TraceSpans carries
+	// the serving hop's exported spans back (base64, unsigned).
+	TraceID     string       `xml:"Header>TraceID,omitempty"`
+	TraceParent string       `xml:"Header>TraceParent,omitempty"`
+	TraceSpans  string       `xml:"Header>TraceSpans,omitempty"`
+	Security    *xmlSecurity `xml:"Header>Security,omitempty"`
+	Body        string       `xml:"Body"`
 }
 
 // EncodeXML renders the envelope in its SOAP-style XML form. The body and
 // binary security material are base64-encoded.
 func (e *Envelope) EncodeXML() ([]byte, error) {
 	out := xmlEnvelope{
-		MessageID:  e.MessageID,
-		From:       e.From,
-		To:         e.To,
-		Action:     e.Action,
-		Timestamp:  e.Timestamp.Format(time.RFC3339Nano),
-		DeadlineNs: int64(e.Deadline),
-		Body:       base64.StdEncoding.EncodeToString(e.Body),
+		MessageID:   e.MessageID,
+		From:        e.From,
+		To:          e.To,
+		Action:      e.Action,
+		Timestamp:   e.Timestamp.Format(time.RFC3339Nano),
+		DeadlineNs:  int64(e.Deadline),
+		TraceID:     e.TraceID,
+		TraceParent: e.TraceParent,
+		Body:        base64.StdEncoding.EncodeToString(e.Body),
+	}
+	if len(e.TraceSpans) > 0 {
+		out.TraceSpans = base64.StdEncoding.EncodeToString(e.TraceSpans)
 	}
 	if e.Security != nil {
 		out.Security = &xmlSecurity{
@@ -197,13 +222,22 @@ func DecodeXML(data []byte) (*Envelope, error) {
 		return nil, fmt.Errorf("wire: body: %v: %w", err, ErrBadEnvelope)
 	}
 	e := &Envelope{
-		MessageID: in.MessageID,
-		From:      in.From,
-		To:        in.To,
-		Action:    in.Action,
-		Timestamp: ts,
-		Deadline:  time.Duration(in.DeadlineNs),
-		Body:      body,
+		MessageID:   in.MessageID,
+		From:        in.From,
+		To:          in.To,
+		Action:      in.Action,
+		Timestamp:   ts,
+		Deadline:    time.Duration(in.DeadlineNs),
+		TraceID:     in.TraceID,
+		TraceParent: in.TraceParent,
+		Body:        body,
+	}
+	if in.TraceSpans != "" {
+		spans, err := base64.StdEncoding.DecodeString(in.TraceSpans)
+		if err != nil {
+			return nil, fmt.Errorf("wire: trace spans: %v: %w", err, ErrBadEnvelope)
+		}
+		e.TraceSpans = spans
 	}
 	if in.Security != nil {
 		sig, err := base64.StdEncoding.DecodeString(in.Security.Signature)

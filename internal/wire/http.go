@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // DeadlineHeader is the HTTP header carrying the remaining deadline budget
@@ -15,6 +17,22 @@ import (
 // intermediaries that never decode the envelope (load balancers, access
 // logs) can still observe and enforce the budget.
 const DeadlineHeader = "X-Deadline-Budget-Ms"
+
+// HTTPOption configures the HTTP binding.
+type HTTPOption func(*httpConfig)
+
+type httpConfig struct {
+	tracer *trace.Tracer
+}
+
+// WithTracer gives the serving side a local tracer. Requests that arrive
+// without trace headers are then rooted (and head-sampled) here, so a
+// standalone PDP daemon collects its own traces even when its callers do
+// not trace. Requests that do carry a TraceID always join the caller's
+// trace instead — the caller owns retention.
+func WithTracer(t *trace.Tracer) HTTPOption {
+	return func(c *httpConfig) { c.tracer = t }
+}
 
 // HTTPHandler adapts an envelope Handler to net/http, the real-network
 // binding used by cmd/pdpd. Envelopes travel as XML request and response
@@ -25,7 +43,16 @@ const DeadlineHeader = "X-Deadline-Budget-Ms"
 // envelope's Deadline budget — or, absent one, by the DeadlineHeader — so
 // the decision work a remote PEP paid for is abandoned the moment its
 // budget runs out, not when the PDP happens to finish.
-func HTTPHandler(h Handler) http.Handler {
+//
+// Tracing: when the envelope carries a TraceID, the handler joins that
+// trace — the work here runs under a span parented on the caller's
+// TraceParent, and every span recorded this hop is exported into the
+// reply's (unsigned) TraceSpans header for the caller to stitch.
+func HTTPHandler(h Handler, opts ...HTTPOption) http.Handler {
+	var cfg httpConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST required", http.StatusMethodNotAllowed)
@@ -53,8 +80,21 @@ func HTTPHandler(h Handler) http.Handler {
 			ctx, cancel = context.WithTimeout(ctx, budget)
 			defer cancel()
 		}
+		// Join the caller's trace, or root a local one when this daemon
+		// traces on its own behalf.
+		var hop *trace.Span
+		joined := false
+		if env.TraceID != "" {
+			if jctx, sp, jerr := trace.JoinRemote(ctx, env.TraceID, env.TraceParent, "serve "+env.Action); jerr == nil {
+				ctx, hop, joined = jctx, sp, true
+			}
+		} else if cfg.tracer != nil {
+			ctx, hop = cfg.tracer.StartRoot(ctx, "serve "+env.Action)
+		}
+		hop.SetAttr("wire.from", env.From)
 		call := &Call{Deadline: budget}
 		reply, err := h(ctx, call, env)
+		hop.End()
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
@@ -62,6 +102,11 @@ func HTTPHandler(h Handler) http.Handler {
 		if reply == nil {
 			w.WriteHeader(http.StatusNoContent)
 			return
+		}
+		if joined {
+			// Appended after the handler, outside any signature the
+			// handler applied — TraceSpans is deliberately unsigned.
+			reply.TraceSpans = trace.Export(hop)
 		}
 		reply.From, reply.To = env.To, env.From
 		if reply.MessageID == "" {
@@ -95,6 +140,17 @@ type HTTPClient struct {
 // DeadlineHeader HTTP header, so the receiving PDP arms the same deadline
 // this caller is counting down.
 func (c *HTTPClient) Send(ctx context.Context, env *Envelope) (*Envelope, error) {
+	// Propagate the caller's trace. The IDs live in the signed header
+	// block, so they are injected only into not-yet-protected envelopes;
+	// a caller that signs its envelopes sets them before Protect. The rpc
+	// span becomes the parent of the remote hop's spans.
+	ctx, rpc := trace.StartSpan(ctx, "wire.send "+env.Action)
+	defer rpc.End()
+	rpc.SetAttr("wire.to", env.To)
+	if rpc != nil && env.TraceID == "" && env.Security == nil {
+		env.TraceID = rpc.TraceID.String()
+		env.TraceParent = rpc.ID.String()
+	}
 	if dl, ok := ctx.Deadline(); ok && env.Deadline <= 0 {
 		if rem := time.Until(dl); rem > 0 {
 			env.Deadline = rem
@@ -131,7 +187,16 @@ func (c *HTTPClient) Send(ctx context.Context, env *Envelope) (*Envelope, error)
 		return nil, nil
 	}
 	if resp.StatusCode != http.StatusOK {
+		rpc.SetAttr("error", resp.Status)
 		return nil, fmt.Errorf("wire: %s returned %s: %s", c.Endpoint, resp.Status, body)
 	}
-	return DecodeXML(body)
+	reply, err := DecodeXML(body)
+	if err != nil {
+		return nil, err
+	}
+	// Stitch the remote hop's spans into this trace.
+	if len(reply.TraceSpans) > 0 {
+		_ = trace.Merge(ctx, reply.TraceSpans)
+	}
+	return reply, nil
 }

@@ -1,0 +1,161 @@
+package wire
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func TestEnvelopeTraceRoundTripsXML(t *testing.T) {
+	e := sampleEnvelope()
+	e.TraceID = "00000000000004d2"
+	e.TraceParent = "0000000000000929"
+	e.TraceSpans = []byte(`[{"id":"01","name":"serve"}]`)
+	data, err := e.EncodeXML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeXML(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceID != e.TraceID || got.TraceParent != e.TraceParent {
+		t.Errorf("trace IDs diverge: %q/%q", got.TraceID, got.TraceParent)
+	}
+	if string(got.TraceSpans) != string(e.TraceSpans) {
+		t.Errorf("trace spans diverge: %q", got.TraceSpans)
+	}
+}
+
+// TestCanonicalCoversTraceContext pins the signing boundary: the trace
+// IDs are part of the signed canonical form (a forged trace parent must
+// break the signature), while TraceSpans — appended by the serving side
+// after the handler signs its reply — must stay outside it.
+func TestCanonicalCoversTraceContext(t *testing.T) {
+	f := newSecFixture(t)
+	e := sampleEnvelope()
+	e.TraceID = "00000000000004d2"
+	e.TraceParent = "0000000000000929"
+	if err := f.alice.Protect(e, Signed); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.bob.Verify(e, Signed, epoch.Add(time.Hour)); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	e.TraceSpans = []byte(`[{"id":"01","name":"added-after-signing"}]`)
+	if err := f.bob.Verify(e, Signed, epoch.Add(time.Hour)); err != nil {
+		t.Errorf("TraceSpans must be outside the signature, got %v", err)
+	}
+	e.TraceID = "00000000000004d3"
+	if err := f.bob.Verify(e, Signed, epoch.Add(time.Hour)); err == nil {
+		t.Error("tampered TraceID passed signature verification")
+	}
+}
+
+// TestHTTPTraceStitching drives a traced request through the full HTTP
+// binding: the client's send span carries the trace over the wire, the
+// serving side joins it and records its own spans, and the reply merges
+// them back — one trace holding both sides' spans.
+func TestHTTPTraceStitching(t *testing.T) {
+	handler := func(ctx context.Context, _ *Call, env *Envelope) (*Envelope, error) {
+		_, sp := trace.StartSpan(ctx, "pdp.work")
+		sp.SetAttr("pdp.decision", "Permit")
+		sp.End()
+		return &Envelope{MessageID: "r-1", Action: "pdp:decide-reply", Timestamp: epoch, Body: []byte("ok")}, nil
+	}
+	srv := httptest.NewServer(HTTPHandler(handler))
+	defer srv.Close()
+
+	tracer := trace.NewTracer(trace.Options{Sample: 1})
+	ctx, root := tracer.StartRoot(context.Background(), "test-root")
+	client := &HTTPClient{Endpoint: srv.URL}
+	reply, err := client.Send(ctx, sampleEnvelope())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply == nil {
+		t.Fatal("no reply")
+	}
+	root.End()
+
+	recent := tracer.Recent(1)
+	if len(recent) != 1 {
+		t.Fatalf("retained %d traces, want 1", len(recent))
+	}
+	rec := recent[0]
+	names := make(map[string]bool, len(rec.Spans))
+	for _, sp := range rec.Spans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"test-root", "wire.send pdp:decide", "serve pdp:decide", "pdp.work"} {
+		if !names[want] {
+			t.Errorf("stitched trace missing span %q (have %v)", want, rec.Spans)
+		}
+	}
+	// The remote hop's spans are re-homed onto the caller's trace ID.
+	for _, sp := range rec.Spans {
+		if sp.Name == "pdp.work" {
+			for _, a := range sp.Attrs {
+				if a.Key == "pdp.decision" && a.Value != "Permit" {
+					t.Errorf("merged span lost attrs: %+v", sp.Attrs)
+				}
+			}
+		}
+	}
+}
+
+// TestHTTPTraceNotInjectedIntoProtectedEnvelope pins the signing
+// interaction on the client side: Send must not mutate an envelope the
+// caller already protected, because the trace IDs live in the signed
+// canonical form.
+func TestHTTPTraceNotInjectedIntoProtectedEnvelope(t *testing.T) {
+	f := newSecFixture(t)
+	received := make(chan *Envelope, 1)
+	handler := func(_ context.Context, _ *Call, env *Envelope) (*Envelope, error) {
+		received <- env
+		return nil, nil
+	}
+	srv := httptest.NewServer(HTTPHandler(handler))
+	defer srv.Close()
+
+	tracer := trace.NewTracer(trace.Options{Sample: 1})
+	ctx, root := tracer.StartRoot(context.Background(), "root")
+	defer root.End()
+	env := sampleEnvelope()
+	if err := f.alice.Protect(env, Signed); err != nil {
+		t.Fatal(err)
+	}
+	client := &HTTPClient{Endpoint: srv.URL}
+	if _, err := client.Send(ctx, env); err != nil {
+		t.Fatal(err)
+	}
+	got := <-received
+	if got.TraceID != "" || got.TraceParent != "" {
+		t.Errorf("trace IDs injected into a protected envelope: %q/%q", got.TraceID, got.TraceParent)
+	}
+	if err := f.bob.Verify(got, Signed, epoch.Add(time.Hour)); err != nil {
+		t.Errorf("protected envelope no longer verifies after Send: %v", err)
+	}
+}
+
+// TestDecodeXMLRejectsBadTraceSpans keeps malformed base64 in the unsigned
+// observability field from slipping through as a silent nil.
+func TestDecodeXMLRejectsBadTraceSpans(t *testing.T) {
+	e := sampleEnvelope()
+	e.TraceSpans = []byte("x")
+	data, err := e.EncodeXML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(data), "eA==", "!!not-base64!!", 1)
+	if tampered == string(data) {
+		t.Skip("encoded form changed; update the fixture")
+	}
+	if _, err := DecodeXML([]byte(tampered)); err == nil {
+		t.Error("malformed TraceSpans base64 decoded without error")
+	}
+}

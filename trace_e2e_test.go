@@ -1,0 +1,155 @@
+package repro
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/pdp"
+	"repro/internal/policy"
+	"repro/internal/rest"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// TestFederatedDecisionStitchesOneTrace is the end-to-end acceptance check
+// for decision tracing: a REST request enforced in one domain, decided by
+// a remote PDP daemon in another over the signed envelope wire, must yield
+// ONE trace — retrievable from /debug/traces by the X-Trace-Id the caller
+// received — whose spans cover both sides of the hop: the gateway's rest
+// root, the client and wire send spans, and the remote daemon's serve and
+// evaluation spans, stitched back through the reply envelope.
+func TestFederatedDecisionStitchesOneTrace(t *testing.T) {
+	// Domain B: a PDP daemon serving /decide. No local tracer: it joins
+	// whatever trace arrives in the envelope header.
+	engine := pdp.New("hospital-b-pdp")
+	root := policy.NewPolicySet("b-root").Combining(policy.DenyOverrides).
+		Add(policy.NewPolicy("records").
+			Combining(policy.FirstApplicable).
+			When(policy.MatchResource(policy.AttrResourceType, policy.String("patient-record"))).
+			Rule(policy.Permit("doctors").When(policy.MatchRole("doctor")).Build()).
+			Rule(policy.Deny("default").Build()).
+			Build()).
+		Build()
+	if err := engine.SetRoot(root); err != nil {
+		t.Fatal(err)
+	}
+	pdpSrv := httptest.NewServer(wire.HTTPHandler(pdp.Handler(engine)))
+	defer pdpSrv.Close()
+
+	// Domain A: the REST gateway roots traces and decides remotely.
+	tracer := trace.NewTracer(trace.Options{Sample: 1})
+	router := rest.NewRouter()
+	if err := router.Add("/records/{id}", "patient-record"); err != nil {
+		t.Fatal(err)
+	}
+	mw := rest.NewMiddleware(router, pdp.NewClient(pdpSrv.URL, "gw.hospital-a", "pdp.hospital-b"),
+		rest.HeaderSubject, rest.WithTracer(tracer))
+	upstream := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte(`{"record":"data"}`))
+	})
+	gwSrv := httptest.NewServer(mw.Wrap(upstream))
+	defer gwSrv.Close()
+	debugSrv := httptest.NewServer(tracer.Handler())
+	defer debugSrv.Close()
+
+	req, err := http.NewRequest(http.MethodGet, gwSrv.URL+"/records/1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Subject", "alice")
+	req.Header.Set("X-Roles", "doctor")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("gateway status = %d, want 200", resp.StatusCode)
+	}
+	traceID := resp.Header.Get("X-Trace-Id")
+	if traceID == "" {
+		t.Fatal("response carries no X-Trace-Id")
+	}
+
+	// The caller-quoted ID must resolve on /debug/traces to the one
+	// stitched trace.
+	dresp, err := http.Get(debugSrv.URL + "/?id=" + traceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/traces?id=%s = %d, want 200", traceID, dresp.StatusCode)
+	}
+	var rec trace.Record
+	if err := json.NewDecoder(dresp.Body).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.TraceID != traceID {
+		t.Errorf("retained trace ID %s, want %s", rec.TraceID, traceID)
+	}
+	names := make(map[string]bool, len(rec.Spans))
+	for _, sp := range rec.Spans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{
+		"rest GET /records/1",  // gateway root (domain A)
+		"pdp.remote",           // remote-decision client span (domain A)
+		"wire.send pdp:decide", // envelope leaving domain A
+		"serve pdp:decide",     // remote hop joining the trace (domain B)
+		"pdp.eval",             // evaluation inside domain B's engine
+	} {
+		if !names[want] {
+			t.Errorf("stitched trace missing span %q (have %d spans)", want, len(rec.Spans))
+		}
+	}
+	if tracer.Stats().Kept != 1 {
+		t.Errorf("kept %d traces, want exactly 1 (one request, one stitched trace)", tracer.Stats().Kept)
+	}
+}
+
+// TestIndeterminateAlwaysCaptured pins the retention invariant at the
+// system level: with head sampling fully off, a decision that comes back
+// Indeterminate (here: the remote PDP is unreachable) must still be
+// captured for /debug/traces — failures are exactly the traces an
+// operator needs.
+func TestIndeterminateAlwaysCaptured(t *testing.T) {
+	dead := httptest.NewServer(nil)
+	dead.Close() // unreachable endpoint
+
+	tracer := trace.NewTracer(trace.Options{Sample: 0})
+	router := rest.NewRouter()
+	if err := router.Add("/records/{id}", "patient-record"); err != nil {
+		t.Fatal(err)
+	}
+	client := pdp.NewClient(dead.URL, "gw", "pdp")
+	mw := rest.NewMiddleware(router, client, rest.HeaderSubject, rest.WithTracer(tracer))
+	srv := httptest.NewServer(mw.Wrap(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})))
+	defer srv.Close()
+
+	req, err := http.NewRequest(http.MethodGet, srv.URL+"/records/1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Subject", "alice")
+	req.Header.Set("X-Roles", "doctor")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("unreachable PDP returned %d, want 403 (fail closed)", resp.StatusCode)
+	}
+	st := tracer.Stats()
+	if st.KeptForced != 1 {
+		t.Errorf("forced-keep count = %d, want 1 (Indeterminate must always be captured)", st.KeptForced)
+	}
+	if st.KeptSampled != 0 {
+		t.Errorf("sampled-keep count = %d with sampling off", st.KeptSampled)
+	}
+}
