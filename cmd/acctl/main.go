@@ -1,23 +1,32 @@
 // Command acctl is the administrator's tool for working with policy files:
 // validating them, evaluating ad-hoc requests against them, converting
-// between the XML and JSON encodings, and running the static conflict
-// analysis of Section 3.1.
+// between the XML and JSON encodings, and running the static analysis of
+// Section 3.1 — the full lint pass (conflicts, shadowing, redundancy,
+// dead attributes, combining dead zones) or the legacy conflict report.
 //
 // Usage:
 //
 //	acctl validate <policy.xml|policy.json>...
 //	acctl evaluate <policy-file> subject=<id> resource=<id> action=<id> [cat/attr=value ...]
 //	acctl convert  <policy-file>            # XML<->JSON to stdout
-//	acctl conflicts <policy-file>...        # static modality-conflict report
+//	acctl lint [-json] [-root-combining=<alg>] <policy-file>...
+//	acctl conflicts <policy-file>...        # legacy modality-conflict report
 //	acctl translate <policy.acl>            # local dialect -> standard XML
 //	acctl fmt <policy.acl>                  # canonical dialect formatting
+//
+// lint and conflicts are CI-friendly: exit 0 with a clean base, 1 when
+// findings exist, 2 when a policy file cannot be loaded.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/conflict"
 	"repro/internal/dialect"
 	"repro/internal/policy"
@@ -25,44 +34,47 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	if len(args) < 1 {
-		usage()
+		usage(stderr)
 		return 2
 	}
 	var err error
 	switch args[0] {
 	case "validate":
-		err = validate(args[1:])
+		err = validate(args[1:], stdout)
 	case "evaluate":
-		err = evaluate(args[1:])
+		err = evaluate(args[1:], stdout)
 	case "convert":
-		err = convert(args[1:])
+		err = convert(args[1:], stdout)
+	case "lint":
+		return lint(args[1:], stdout, stderr)
 	case "conflicts":
-		err = conflicts(args[1:])
+		return conflicts(args[1:], stdout, stderr)
 	case "translate":
-		err = translate(args[1:])
+		err = translate(args[1:], stdout)
 	case "fmt":
-		err = fmtDialect(args[1:])
+		err = fmtDialect(args[1:], stdout)
 	default:
-		usage()
+		usage(stderr)
 		return 2
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "acctl:", err)
+		fmt.Fprintln(stderr, "acctl:", err)
 		return 1
 	}
 	return 0
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage:
+func usage(stderr io.Writer) {
+	fmt.Fprintln(stderr, `usage:
   acctl validate <policy-file>...
   acctl evaluate <policy-file> subject=<id> resource=<id> action=<id> [category/attr=value ...]
   acctl convert <policy-file>
+  acctl lint [-json] [-root-combining=<alg>] <policy-file>...
   acctl conflicts <policy-file>...
   acctl translate <policy.acl>
   acctl fmt <policy.acl>`)
@@ -84,7 +96,7 @@ func loadPolicy(path string) (policy.Evaluable, error) {
 }
 
 // fmtDialect reprints a dialect file in canonical form.
-func fmtDialect(args []string) error {
+func fmtDialect(args []string, stdout io.Writer) error {
 	if len(args) != 1 {
 		return fmt.Errorf("fmt needs exactly one dialect file")
 	}
@@ -96,13 +108,13 @@ func fmtDialect(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(dialect.Format(doc))
+	fmt.Fprint(stdout, dialect.Format(doc))
 	return nil
 }
 
 // translate converts a local-dialect policy file to the standard XML
 // encoding, the convergence path of Section 3.1's heterogeneity discussion.
-func translate(args []string) error {
+func translate(args []string, stdout io.Writer) error {
 	if len(args) != 1 {
 		return fmt.Errorf("translate needs exactly one dialect file")
 	}
@@ -123,12 +135,12 @@ func translate(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(string(out))
+		fmt.Fprintln(stdout, string(out))
 	}
 	return nil
 }
 
-func validate(paths []string) error {
+func validate(paths []string, stdout io.Writer) error {
 	if len(paths) == 0 {
 		return fmt.Errorf("no policy files given")
 	}
@@ -140,12 +152,12 @@ func validate(paths []string) error {
 		if err := e.Validate(); err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
-		fmt.Printf("%s: ok (%s)\n", path, e.EntityID())
+		fmt.Fprintf(stdout, "%s: ok (%s)\n", path, e.EntityID())
 	}
 	return nil
 }
 
-func evaluate(args []string) error {
+func evaluate(args []string, stdout io.Writer) error {
 	if len(args) < 2 {
 		return fmt.Errorf("evaluate needs a policy file and attribute bindings")
 	}
@@ -179,20 +191,20 @@ func evaluate(args []string) error {
 		}
 	}
 	res := e.Evaluate(policy.NewContext(req))
-	fmt.Printf("decision: %s\n", res.Decision)
+	fmt.Fprintf(stdout, "decision: %s\n", res.Decision)
 	if res.By != "" {
-		fmt.Printf("by:       %s\n", res.By)
+		fmt.Fprintf(stdout, "by:       %s\n", res.By)
 	}
 	for _, ob := range res.Obligations {
-		fmt.Printf("obligation: %s %v\n", ob.ID, ob.Attributes)
+		fmt.Fprintf(stdout, "obligation: %s %v\n", ob.ID, ob.Attributes)
 	}
 	if res.Err != nil {
-		fmt.Printf("status:   %v\n", res.Err)
+		fmt.Fprintf(stdout, "status:   %v\n", res.Err)
 	}
 	return nil
 }
 
-func convert(args []string) error {
+func convert(args []string, stdout io.Writer) error {
 	if len(args) != 1 {
 		return fmt.Errorf("convert needs exactly one policy file")
 	}
@@ -209,35 +221,95 @@ func convert(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Println(string(out))
+	fmt.Fprintln(stdout, string(out))
 	return nil
 }
 
-func conflicts(paths []string) error {
+// loadAll loads and structurally validates every policy file.
+func loadAll(paths []string) ([]policy.Evaluable, error) {
 	if len(paths) == 0 {
-		return fmt.Errorf("no policy files given")
+		return nil, fmt.Errorf("no policy files given")
 	}
-	var all []*policy.Policy
+	evs := make([]policy.Evaluable, 0, len(paths))
 	for _, path := range paths {
 		e, err := loadPolicy(path)
 		if err != nil {
-			return fmt.Errorf("%s: %w", path, err)
+			return nil, fmt.Errorf("%s: %w", path, err)
 		}
+		if err := e.Validate(); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		evs = append(evs, e)
+	}
+	return evs, nil
+}
+
+// lint runs the full static analysis over the given policy files as one
+// base: each file is a root child, combined under -root-combining.
+// Exit codes: 0 clean, 1 findings, 2 load or flag error.
+func lint(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	rootAlg := fs.String("root-combining", policy.DenyOverrides.String(),
+		"policy-combining algorithm of the assembled root")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	combining, err := policy.AlgorithmFromString(*rootAlg)
+	if err != nil {
+		fmt.Fprintln(stderr, "acctl:", err)
+		return 2
+	}
+	evs, err := loadAll(fs.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, "acctl:", err)
+		return 2
+	}
+	rep := analysis.Analyze(analysis.Config{RootCombining: combining}, evs...)
+	if *asJSON {
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "acctl:", err)
+			return 2
+		}
+		fmt.Fprintln(stdout, string(out))
+	} else {
+		fmt.Fprint(stdout, rep.Text())
+	}
+	if rep.Clean() {
+		return 0
+	}
+	return 1
+}
+
+// conflicts is the legacy pairwise modality-conflict report, kept for
+// scripts that want only Section 3.1 conflicts with a resolution hint.
+// Exit codes match lint: 0 clean, 1 conflicts found, 2 load error.
+func conflicts(paths []string, stdout, stderr io.Writer) int {
+	evs, err := loadAll(paths)
+	if err != nil {
+		fmt.Fprintln(stderr, "acctl:", err)
+		return 2
+	}
+	var all []*policy.Policy
+	for _, e := range evs {
 		all = append(all, policy.CollectPolicies(e)...)
 	}
 	found := conflict.Analyze(all)
 	if len(found) == 0 {
-		fmt.Println("no modality conflicts")
-		return nil
+		fmt.Fprintln(stdout, "no modality conflicts")
+		return 0
 	}
 	for _, c := range found {
-		fmt.Println(c)
+		fmt.Fprintln(stdout, c)
 		winner, reason, err := conflict.PrecedenceStrategy{}.Resolve(c)
 		if err != nil {
-			return err
+			fmt.Fprintln(stderr, "acctl:", err)
+			return 2
 		}
-		fmt.Printf("  resolution (deny-overrides): %s — %s\n", winner, reason)
+		fmt.Fprintf(stdout, "  resolution (deny-overrides): %s — %s\n", winner, reason)
 	}
-	fmt.Printf("%d conflicts found\n", len(found))
-	return nil
+	fmt.Fprintf(stdout, "%d conflicts found\n", len(found))
+	return 1
 }

@@ -24,10 +24,22 @@
 // policy-ID order, the administration pipeline's deterministic ordering.
 // Refresh failures are counted in /stats as refresh_errors.
 //
+// Admin writes pass through the static policy lint gate (-policy-lint):
+// "warn" (the default) runs the incremental analysis on every write and
+// returns the findings the write introduces in the response; "strict"
+// additionally rejects writes that introduce blocking findings (actual
+// cross-policy conflicts, cross-policy shadowing) with 409 and the
+// findings in the body — strict is fail-closed: the write is vetoed
+// before it becomes durable or visible, so a rejected policy leaves no
+// trace in the store, the WAL or the decision point. "off" disables the
+// analyzer entirely. GET /admin/policy returns the current whole-base
+// report. Gate decisions are audited and stamped with trace IDs.
+//
 // Usage:
 //
 //	pdpd -policy policy.xml [-addr :8080] [-index] [-cache 30s]
 //	     [-shards N] [-replicas M] [-strategy failover|quorum]
+//	     [-policy-lint off|warn|strict]
 package main
 
 import (
@@ -47,6 +59,8 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/analysis"
+	"repro/internal/audit"
 	"repro/internal/cluster"
 	"repro/internal/debughttp"
 	"repro/internal/ha"
@@ -86,6 +100,7 @@ func main() {
 	traceSlow := flag.Duration("trace-slow", 250*time.Millisecond, "always keep traces at least this slow (0 disables the slow path)")
 	traceBuffer := flag.Int("trace-buffer", 256, "kept-trace ring capacity behind /debug/traces")
 	subjectsPath := flag.String("subjects", "", "subject directory JSON file wired (behind a coalescing cache) as the engines' PIP resolver")
+	policyLint := flag.String("policy-lint", "warn", "static policy lint gate on /admin/policy: off, warn, or strict (strict rejects writes introducing blocking findings, fail-closed)")
 	debugAddr := flag.String("debug-addr", "", "optional pprof listen address (profiling stays off unless set)")
 	flag.Parse()
 
@@ -132,9 +147,20 @@ func main() {
 	if err != nil {
 		log.Fatalf("pdpd: %v", err)
 	}
-	adm, err := newAdmin(point, root, lg)
+	lintMode, err := analysis.ParseMode(*policyLint)
 	if err != nil {
 		log.Fatalf("pdpd: %v", err)
+	}
+	adm, err := newAdmin(point, root, lg, lintMode, tracer, audit.NewLog(1024))
+	if err != nil {
+		log.Fatalf("pdpd: %v", err)
+	}
+	if adm.engine != nil {
+		adm.engine.RegisterMetrics(reg)
+		adm.gate.RegisterMetrics(reg)
+		if rep := adm.engine.Report(); !rep.Clean() {
+			log.Printf("pdpd: policy lint (%s): %s", lintMode, rep.Summary())
+		}
 	}
 
 	mux := http.NewServeMux()
@@ -278,6 +304,13 @@ type admin struct {
 	rootTarget      policy.Target
 	rootObligations []policy.Obligation
 	refreshErrs     atomic.Int64
+	// engine and gate are the incremental static analyzer and its
+	// admin-write veto; both nil when -policy-lint=off.
+	engine   *analysis.Engine
+	gate     *analysis.Gate
+	lintMode analysis.Mode
+	tracer   *trace.Tracer
+	auditLog *audit.Log
 }
 
 // newAdmin seeds the store from the loaded policy file (a policy set
@@ -294,8 +327,12 @@ type admin struct {
 // the seed file across restarts. The log is attached as the store's
 // backend during bootstrap, so the seeding Puts and every /admin/policy
 // write after them are committed to the WAL before they are acknowledged.
-func newAdmin(point decisionPoint, root policy.Evaluable, lg *store.Log) (*admin, error) {
-	a := &admin{store: pap.NewStore("pdpd"), point: point, rootID: "pdpd-root", combining: policy.DenyOverrides}
+func newAdmin(point decisionPoint, root policy.Evaluable, lg *store.Log, lint analysis.Mode, tracer *trace.Tracer, auditLog *audit.Log) (*admin, error) {
+	a := &admin{
+		store: pap.NewStore("pdpd"), point: point,
+		rootID: "pdpd-root", combining: policy.DenyOverrides,
+		lintMode: lint, tracer: tracer, auditLog: auditLog,
+	}
 	if lg != nil {
 		// Hydrate the store only; installRoot below assembles the
 		// decorated root (file-level target and obligations) itself.
@@ -339,6 +376,44 @@ func newAdmin(point decisionPoint, root policy.Evaluable, lg *store.Log) (*admin
 		return nil, err
 	}
 	a.store.Watch(a.apply)
+	if lint != analysis.ModeOff {
+		// Seed the analyzer atomically with watcher registration so no
+		// write can slip between the snapshot and the delta stream, then
+		// veto through the store's pre-commit hook: the gate decision is
+		// serialised with every writer and runs before durability.
+		eng := analysis.NewEngine(analysis.Config{RootCombining: a.combining})
+		err := a.store.WatchInstall(func(s *pap.Store) error {
+			children := make([]policy.Evaluable, 0, len(s.List()))
+			for _, id := range s.List() {
+				e, err := s.Get(id)
+				if err != nil {
+					return err
+				}
+				children = append(children, e)
+			}
+			eng.Install(children...)
+			return nil
+		}, func(u pap.Update) {
+			if u.Deleted {
+				eng.Apply(u.ID, nil)
+			} else {
+				eng.Apply(u.ID, u.Policy)
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		a.engine = eng
+		a.gate = analysis.NewGate(eng, lint)
+		a.store.PreCommit(func(u pap.Update) error {
+			ev := u.Policy
+			if u.Deleted {
+				ev = nil
+			}
+			_, err := a.gate.Check(u.ID, ev)
+			return err
+		})
+	}
 	return a, nil
 }
 
@@ -371,9 +446,64 @@ func (a *admin) apply(u pap.Update) {
 	}
 }
 
-// handlePolicy serves the live-administration endpoint.
+// writeResult is the admin-plane response body: the stored version on
+// success, the gate error on rejection, and — whenever the lint gate is
+// on — the findings this write introduces plus the trace ID that stamps
+// the audit event and the decision trace.
+type writeResult struct {
+	ID       string             `json:"id"`
+	Version  int                `json:"version,omitempty"`
+	Error    string             `json:"error,omitempty"`
+	Lint     string             `json:"lint,omitempty"`
+	Findings []analysis.Finding `json:"findings,omitempty"`
+	TraceID  string             `json:"trace_id,omitempty"`
+}
+
+// audit records one admin-plane write outcome in the audit log.
+func (a *admin) audit(action, id string, decision policy.Decision, traceID string, start time.Time) {
+	a.auditLog.Record(audit.Event{
+		Time:      time.Now(),
+		Component: "pdpd/admin",
+		Subject:   "admin",
+		Resource:  id,
+		Action:    action,
+		Decision:  decision,
+		By:        "policy-lint:" + a.lintMode.String(),
+		Latency:   time.Since(start),
+		TraceID:   traceID,
+	})
+}
+
+// handlePolicy serves the live-administration endpoint. Writes run the
+// static lint gate: findings the write would introduce come back in the
+// response body, and in strict mode a write introducing blocking findings
+// is rejected with 409 before it touches the store.
 func (a *admin) handlePolicy(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	ctx, span := a.tracer.StartRoot(r.Context(), "admin/policy")
+	defer span.End()
+	traceID := trace.CurrentID(ctx)
+	span.SetAttr("method", r.Method)
+	respond := func(status int, res writeResult) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		_ = json.NewEncoder(w).Encode(res)
+	}
 	switch r.Method {
+	case http.MethodGet:
+		// The current whole-base report, cheap to serve: the engine
+		// maintains it incrementally across admin writes.
+		if a.engine == nil {
+			http.Error(w, "policy lint is off", http.StatusNotFound)
+			return
+		}
+		rep := a.engine.Report()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(struct {
+			Mode     string             `json:"mode"`
+			Summary  string             `json:"summary"`
+			Findings []analysis.Finding `json:"findings"`
+		}{a.lintMode.String(), rep.Summary(), rep.Findings})
 	case http.MethodPost, http.MethodPut:
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 		if err != nil {
@@ -385,23 +515,46 @@ func (a *admin) handlePolicy(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
+		id := e.EntityID()
+		span.SetAttr("policy", id)
+		// Preview the findings this write introduces for the response
+		// body; enforcement happens in the pre-commit hook under the
+		// store's write serialisation, so a race cannot sneak a
+		// conflicting write past the gate.
+		var findings []analysis.Finding
+		if a.engine != nil {
+			findings = a.engine.Preview(id, e).Findings
+		}
 		version, err := a.store.Put(e)
 		if err != nil {
+			span.Keep()
+			if errors.Is(err, analysis.ErrRejected) {
+				a.audit("put", id, policy.DecisionDeny, traceID, start)
+				respond(http.StatusConflict, writeResult{
+					ID: id, Error: err.Error(),
+					Lint: a.lintMode.String(), Findings: findings, TraceID: traceID,
+				})
+				return
+			}
 			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(struct {
-			ID      string `json:"id"`
-			Version int    `json:"version"`
-		}{e.EntityID(), version})
+		a.audit("put", id, policy.DecisionPermit, traceID, start)
+		res := writeResult{ID: id, Version: version, TraceID: traceID}
+		if a.engine != nil {
+			res.Lint = a.lintMode.String()
+			res.Findings = findings
+		}
+		respond(http.StatusOK, res)
 	case http.MethodDelete:
 		id := r.URL.Query().Get("id")
 		if id == "" {
 			http.Error(w, "missing id parameter", http.StatusBadRequest)
 			return
 		}
+		span.SetAttr("policy", id)
 		if err := a.store.Delete(id); err != nil {
+			span.Keep()
 			status := http.StatusInternalServerError
 			if errors.Is(err, pap.ErrNotFound) {
 				status = http.StatusNotFound
@@ -409,6 +562,7 @@ func (a *admin) handlePolicy(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), status)
 			return
 		}
+		a.audit("delete", id, policy.DecisionPermit, traceID, start)
 		w.WriteHeader(http.StatusNoContent)
 	default:
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)

@@ -3,15 +3,30 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
 
+	"repro/internal/analysis"
+	"repro/internal/audit"
 	"repro/internal/policy"
+	"repro/internal/trace"
 	"repro/internal/xacml"
 )
+
+// testAdmin builds an admin the way main() does, with an in-memory store
+// and the given lint mode.
+func testAdmin(t *testing.T, point decisionPoint, root policy.Evaluable, mode analysis.Mode) *admin {
+	t.Helper()
+	adm, err := newAdmin(point, root, nil, mode, trace.NewTracer(trace.Options{}), audit.NewLog(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return adm
+}
 
 func testBase(resources int) *policy.PolicySet {
 	b := policy.NewPolicySet("base").Combining(policy.DenyOverrides)
@@ -44,10 +59,7 @@ func TestAdminPreservesRootTarget(t *testing.T) {
 		Add(testBase(2).Children[0]).
 		Add(testBase(2).Children[1]).
 		Build()
-	adm, err := newAdmin(point, root, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
+	adm := testAdmin(t, point, root, analysis.ModeWarn)
 	outside := policy.NewAccessRequest("u", "res-1", "read")
 	if got := point.Decide(context.Background(), outside); got.Decision != policy.DecisionNotApplicable {
 		t.Fatalf("out-of-target decision = %v, want not-applicable (root target dropped?)", got.Decision)
@@ -70,6 +82,130 @@ func TestAdminPreservesRootTarget(t *testing.T) {
 	}
 }
 
+// TestAdminPolicyLintGate drives the static-analysis gate on the admin
+// plane: strict mode rejects a write introducing an actual cross-policy
+// conflict with 409 and the finding in the response body, leaving the
+// store and the decision point untouched; warn mode accepts the same
+// write but still reports the findings.
+func TestAdminPolicyLintGate(t *testing.T) {
+	// Unconditionally permits every action on res-0 — an actual modality
+	// conflict with pol-res-0's unconditional deny "default" rule.
+	clashing := policy.NewPolicy("rogue").
+		Combining(policy.FirstApplicable).
+		When(policy.MatchResourceID("res-0")).
+		Rule(policy.Permit("open-door").Build()).
+		Build()
+	body, err := xacml.MarshalJSON(clashing)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type wireFinding struct {
+		Kind     string `json:"kind"`
+		Severity string `json:"severity"`
+		Actual   bool   `json:"actual"`
+		Detail   string `json:"detail"`
+	}
+	type wireResult struct {
+		ID       string        `json:"id"`
+		Version  int           `json:"version"`
+		Error    string        `json:"error"`
+		Findings []wireFinding `json:"findings"`
+		TraceID  string        `json:"trace_id"`
+	}
+	findConflict := func(t *testing.T, findings []wireFinding) wireFinding {
+		t.Helper()
+		for _, f := range findings {
+			if f.Kind == "conflict" && f.Actual {
+				return f
+			}
+		}
+		t.Fatalf("no actual conflict finding in %+v", findings)
+		return wireFinding{}
+	}
+
+	t.Run("strict-rejects", func(t *testing.T) {
+		point, _, err := buildDecisionPoint(false, 0, 1, 1, "failover", nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		adm := testAdmin(t, point, testBase(2), analysis.ModeStrict)
+		before := point.Decide(context.Background(), policy.NewAccessRequest("u", "res-0", "delete"))
+
+		rec := httptest.NewRecorder()
+		adm.handlePolicy(rec, httptest.NewRequest(http.MethodPost, "/admin/policy", bytes.NewReader(body)))
+		if rec.Code != http.StatusConflict {
+			t.Fatalf("strict POST = %d, want 409: %s", rec.Code, rec.Body)
+		}
+		var res wireResult
+		if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+			t.Fatalf("response body: %v", err)
+		}
+		if res.Error == "" {
+			t.Fatalf("rejection carries no error: %+v", res)
+		}
+		if f := findConflict(t, res.Findings); f.Severity != "error" {
+			t.Fatalf("conflict severity = %s, want error", f.Severity)
+		}
+		if res.TraceID == "" {
+			t.Fatal("rejection is not stamped with a trace ID")
+		}
+		// Fail-closed: nothing stored, nothing visible, decision unchanged.
+		if got := adm.store.History("rogue"); got != 0 {
+			t.Fatalf("rejected policy has %d stored versions, want 0", got)
+		}
+		after := point.Decide(context.Background(), policy.NewAccessRequest("u", "res-0", "delete"))
+		if after.Decision != before.Decision {
+			t.Fatalf("decision changed across rejected write: %v -> %v", before.Decision, after.Decision)
+		}
+		if got := adm.gate.Stats().Rejections; got != 1 {
+			t.Fatalf("gate rejections = %d, want 1", got)
+		}
+		if events := adm.auditLog.Select(audit.Query{}); len(events) == 0 {
+			t.Fatal("rejection left no audit event")
+		}
+	})
+
+	t.Run("warn-reports", func(t *testing.T) {
+		point, _, err := buildDecisionPoint(false, 0, 1, 1, "failover", nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		adm := testAdmin(t, point, testBase(2), analysis.ModeWarn)
+		rec := httptest.NewRecorder()
+		adm.handlePolicy(rec, httptest.NewRequest(http.MethodPost, "/admin/policy", bytes.NewReader(body)))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("warn POST = %d, want 200: %s", rec.Code, rec.Body)
+		}
+		var res wireResult
+		if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+			t.Fatalf("response body: %v", err)
+		}
+		if res.Version != 1 {
+			t.Fatalf("version = %d, want 1", res.Version)
+		}
+		findConflict(t, res.Findings)
+
+		// GET serves the incrementally-maintained whole-base report.
+		rec = httptest.NewRecorder()
+		adm.handlePolicy(rec, httptest.NewRequest(http.MethodGet, "/admin/policy", nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET = %d: %s", rec.Code, rec.Body)
+		}
+		var rep struct {
+			Mode     string        `json:"mode"`
+			Findings []wireFinding `json:"findings"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+			t.Fatal(err)
+		}
+		if rep.Mode != "warn" {
+			t.Fatalf("mode = %q, want warn", rep.Mode)
+		}
+		findConflict(t, rep.Findings)
+	})
+}
+
 // TestAdminLiveUpdates drives the daemon's live-administration pipeline in
 // both deployment modes: policies posted to /admin/policy change decisions
 // without a restart, deletes revoke, and updates flow through the delta
@@ -87,10 +223,7 @@ func TestAdminLiveUpdates(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			adm, err := newAdmin(point, testBase(4), nil)
-			if err != nil {
-				t.Fatal(err)
-			}
+			adm := testAdmin(t, point, testBase(4), analysis.ModeWarn)
 			req := policy.NewAccessRequest("u", "res-1", "write")
 			if got := point.Decide(context.Background(), req); got.Decision != policy.DecisionDeny {
 				t.Fatalf("seed decision = %v, want deny", got.Decision)

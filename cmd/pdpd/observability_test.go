@@ -12,6 +12,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/analysis"
+	"repro/internal/audit"
 	"repro/internal/pdp"
 	"repro/internal/pip"
 	"repro/internal/policy"
@@ -60,7 +62,7 @@ func TestDaemonObservabilitySurface(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := newAdmin(point, rolePolicy(), nil); err != nil {
+	if _, err := newAdmin(point, rolePolicy(), nil, analysis.ModeOff, trace.NewTracer(trace.Options{}), audit.NewLog(16)); err != nil {
 		t.Fatal(err)
 	}
 	tracer := trace.NewTracer(trace.Options{Sample: 1})

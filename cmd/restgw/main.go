@@ -30,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/debughttp"
 	"repro/internal/dialect"
 	"repro/internal/pdp"
@@ -112,12 +113,22 @@ func run(upstream, policyPath, pdpEndpoint, addr string, routes routeFlags, obs 
 		}
 	}
 
-	provider, err := buildProvider(policyPath, pdpEndpoint)
+	provider, localRoot, err := buildProvider(policyPath, pdpEndpoint)
 	if err != nil {
 		return err
 	}
 
 	reg := telemetry.NewRegistry()
+	if localRoot != nil {
+		// A locally-loaded policy gets a startup lint pass; the analyzer
+		// counters join the gateway's /metrics exposition, mirroring pdpd.
+		lintEngine := analysis.NewEngine(analysis.Config{})
+		lintEngine.Install(localRoot)
+		lintEngine.RegisterMetrics(reg)
+		if rep := lintEngine.Report(); !rep.Clean() {
+			log.Printf("restgw: policy lint: %s", rep.Summary())
+		}
+	}
 	tracer := trace.NewTracer(trace.Options{
 		Sample:        obs.traceSample,
 		SlowThreshold: obs.traceSlow,
@@ -189,14 +200,16 @@ func run(upstream, policyPath, pdpEndpoint, addr string, routes routeFlags, obs 
 	}
 }
 
-// buildProvider loads the local engine or dials the remote PDP.
-func buildProvider(policyPath, pdpEndpoint string) (rest.DecisionProvider, error) {
+// buildProvider loads the local engine or dials the remote PDP. The root
+// comes back non-nil only for a locally-loaded policy, so the caller can
+// lint it (a remote PDP lints its own base behind its admin gate).
+func buildProvider(policyPath, pdpEndpoint string) (rest.DecisionProvider, policy.Evaluable, error) {
 	if pdpEndpoint != "" {
-		return pdp.NewClient(pdpEndpoint, "restgw", "pdp"), nil
+		return pdp.NewClient(pdpEndpoint, "restgw", "pdp"), nil, nil
 	}
 	data, err := os.ReadFile(policyPath)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var root policy.Evaluable
 	switch {
@@ -208,11 +221,11 @@ func buildProvider(policyPath, pdpEndpoint string) (rest.DecisionProvider, error
 		root, err = xacml.UnmarshalXML(data)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", policyPath, err)
+		return nil, nil, fmt.Errorf("%s: %w", policyPath, err)
 	}
 	engine := pdp.New("restgw-pdp")
 	if err := engine.SetRoot(root); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return engine, nil
+	return engine, root, nil
 }

@@ -1,0 +1,79 @@
+// Command gen regenerates the example policy files in examples/policies/.
+// The files are committed; CI lints them with `acctl lint` and expects a
+// clean report, so keep any edits free of conflicts, shadowing and
+// redundancy (or regenerate after changing the builders below).
+package main
+
+import (
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/policy"
+	"repro/internal/xacml"
+)
+
+func main() {
+	dir := "examples/policies"
+	if len(os.Args) > 1 {
+		dir = os.Args[1]
+	}
+
+	wardRecords := policy.NewPolicy("ward-records").
+		Describe("Clinical access to patient records on the ward.").
+		Combining(policy.FirstApplicable).
+		When(policy.MatchResourceID("patient-record")).
+		Rule(policy.Permit("doctor-read").
+			When(policy.MatchActionID("read"),
+				policy.MatchSubject(policy.AttrSubjectRole, policy.String("doctor"))).
+			Build()).
+		Rule(policy.Permit("nurse-read").
+			When(policy.MatchActionID("read"),
+				policy.MatchSubject(policy.AttrSubjectRole, policy.String("nurse"))).
+			Build()).
+		Rule(policy.Deny("write-lockdown").
+			Describe("Records are amended through the registry, never in place.").
+			When(policy.MatchActionID("write")).
+			Build()).
+		Build()
+
+	pharmacy := policy.NewPolicy("pharmacy").
+		Describe("Dispensing and audit access to the medication cabinet.").
+		Combining(policy.DenyOverrides).
+		When(policy.MatchResourceID("medication-cabinet")).
+		Rule(policy.Permit("pharmacist-dispense").
+			When(policy.MatchActionID("dispense"),
+				policy.MatchSubject(policy.AttrSubjectRole, policy.String("pharmacist"))).
+			Build()).
+		Rule(policy.Permit("auditor-inspect").
+			When(policy.MatchActionID("inspect"),
+				policy.MatchSubject(policy.AttrSubjectRole, policy.String("auditor"))).
+			Build()).
+		Build()
+
+	emergency := policy.NewPolicySet("emergency").
+		Describe("Break-glass access during a declared emergency.").
+		Combining(policy.FirstApplicable).
+		When(policy.MatchActionID("emergency-access")).
+		Add(policy.NewPolicy("break-glass").
+			Combining(policy.FirstApplicable).
+			Rule(policy.Permit("clinician-override").
+				When(policy.MatchSubject(policy.AttrSubjectRole, policy.String("doctor"))).
+				Build()).
+			Build()).
+		Build()
+
+	for name, ev := range map[string]policy.Evaluable{
+		"ward-records.xml": wardRecords,
+		"pharmacy.xml":     pharmacy,
+		"emergency.xml":    emergency,
+	} {
+		data, err := xacml.MarshalXML(ev)
+		if err != nil {
+			log.Fatalf("gen: marshal %s: %v", name, err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			log.Fatalf("gen: %v", err)
+		}
+	}
+}

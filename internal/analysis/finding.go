@@ -1,0 +1,240 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind classifies a finding; see the package documentation for the
+// taxonomy.
+type Kind int
+
+// Finding kinds.
+const (
+	KindConflict Kind = iota + 1
+	KindShadow
+	KindRedundancy
+	KindDeadAttribute
+	KindDeadZone
+)
+
+// Kinds lists every finding kind in canonical order.
+func Kinds() []Kind {
+	return []Kind{KindConflict, KindShadow, KindRedundancy, KindDeadAttribute, KindDeadZone}
+}
+
+// String returns the canonical kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindConflict:
+		return "conflict"
+	case KindShadow:
+		return "shadow"
+	case KindRedundancy:
+		return "redundancy"
+	case KindDeadAttribute:
+		return "dead-attribute"
+	case KindDeadZone:
+		return "dead-zone"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Severity ranks findings. Only SeverityError findings block writes under
+// the strict gate mode.
+type Severity int
+
+// Severity levels.
+const (
+	SeverityInfo Severity = iota + 1
+	SeverityWarning
+	SeverityError
+)
+
+// String returns the canonical severity name.
+func (s Severity) String() string {
+	switch s {
+	case SeverityInfo:
+		return "info"
+	case SeverityWarning:
+		return "warning"
+	case SeverityError:
+		return "error"
+	default:
+		return fmt.Sprintf("severity(%d)", int(s))
+	}
+}
+
+// Ref locates a claim: the root child it was installed under (Owner), the
+// policy that authored it and the rule within. For a top-level policy,
+// Owner equals PolicyID; they differ for rules nested inside policy sets.
+type Ref struct {
+	Owner    string `json:"owner"`
+	PolicyID string `json:"policy"`
+	RuleID   string `json:"rule,omitempty"`
+}
+
+// String renders owner/policy/rule, collapsing the owner when redundant.
+func (r Ref) String() string {
+	s := r.PolicyID
+	if r.Owner != "" && r.Owner != r.PolicyID {
+		s = r.Owner + ":" + s
+	}
+	if r.RuleID != "" {
+		s += "/" + r.RuleID
+	}
+	return s
+}
+
+// Finding is one static-analysis result.
+type Finding struct {
+	// Kind and Severity classify the finding.
+	Kind     Kind     `json:"-"`
+	Severity Severity `json:"-"`
+	// Subject is the claim the finding is about: the shadowed,
+	// redundant or unreachable rule, the permit side of a conflict, or
+	// the policy holding a dead attribute reference.
+	Subject Ref `json:"subject"`
+	// Other is the counterpart claim of pairwise findings: the deny side
+	// of a conflict, or the covering rule of a shadow, dead zone or
+	// redundancy. Zero for dead-attribute findings.
+	Other Ref `json:"-"`
+	// Actual marks a conflict both of whose rules are condition-free.
+	Actual bool `json:"actual,omitempty"`
+	// Attribute names the dead reference as "category/name".
+	Attribute string `json:"attribute,omitempty"`
+	// Detail is the human-readable explanation.
+	Detail string `json:"detail"`
+}
+
+// MarshalJSON renders Kind and Severity by name and omits the zero Other
+// of single-claim findings, the stable wire form the admin responses and
+// acctl -json output share.
+func (f Finding) MarshalJSON() ([]byte, error) {
+	type alias Finding
+	var other *Ref
+	if f.Other != (Ref{}) {
+		other = &f.Other
+	}
+	return json.Marshal(struct {
+		Kind     string `json:"kind"`
+		Severity string `json:"severity"`
+		alias
+		Other *Ref `json:"other,omitempty"`
+	}{f.Kind.String(), f.Severity.String(), alias(f), other})
+}
+
+// Key returns the finding's identity for deduplication: two analyses that
+// discover the same defect produce the same key.
+func (f Finding) Key() string {
+	return fmt.Sprintf("%s|%s|%s|%s", f.Kind, f.Subject, f.Other, f.Attribute)
+}
+
+// String renders the finding as one report line.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Severity, f.Kind, f.Detail)
+}
+
+// Report is a sorted, deduplicated set of findings.
+type Report struct {
+	Findings []Finding `json:"findings"`
+}
+
+// sortFindings orders findings by severity (errors first), kind, then key,
+// so reports are deterministic and the worst news leads.
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].Severity != fs[j].Severity {
+			return fs[i].Severity > fs[j].Severity
+		}
+		if fs[i].Kind != fs[j].Kind {
+			return fs[i].Kind < fs[j].Kind
+		}
+		return fs[i].Key() < fs[j].Key()
+	})
+}
+
+// Counts tallies findings by kind.
+func (r Report) Counts() map[Kind]int {
+	out := make(map[Kind]int)
+	for _, f := range r.Findings {
+		out[f.Kind]++
+	}
+	return out
+}
+
+// Blocking returns the findings that reject a write under the strict gate
+// mode: everything at SeverityError.
+func (r Report) Blocking() []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Severity == SeverityError {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Clean reports an empty finding set.
+func (r Report) Clean() bool { return len(r.Findings) == 0 }
+
+// Summary renders a one-line tally ("2 errors, 3 warnings: 1 conflict,
+// ..."), or "clean" for an empty report.
+func (r Report) Summary() string {
+	if r.Clean() {
+		return "clean"
+	}
+	bySev := make(map[Severity]int)
+	for _, f := range r.Findings {
+		bySev[f.Severity]++
+	}
+	var parts []string
+	for _, sev := range []Severity{SeverityError, SeverityWarning, SeverityInfo} {
+		if n := bySev[sev]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s(s)", n, sev))
+		}
+	}
+	counts := r.Counts()
+	var kinds []string
+	for _, k := range Kinds() {
+		if n := counts[k]; n > 0 {
+			kinds = append(kinds, fmt.Sprintf("%d %s", n, k))
+		}
+	}
+	return strings.Join(parts, ", ") + ": " + strings.Join(kinds, ", ")
+}
+
+// Text renders the full report, one finding per line, summary last.
+func (r Report) Text() string {
+	var b strings.Builder
+	for _, f := range r.Findings {
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	b.WriteString(r.Summary())
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Merge deduplicates and sorts findings from several partial analyses into
+// one report — the aggregation step for per-shard analysis on a cluster
+// router, where a pair of overlapping claims co-resides on at least one
+// shard and may co-reside on several.
+func Merge(reports ...Report) Report {
+	seen := make(map[string]struct{})
+	var out []Finding
+	for _, r := range reports {
+		for _, f := range r.Findings {
+			if _, dup := seen[f.Key()]; dup {
+				continue
+			}
+			seen[f.Key()] = struct{}{}
+			out = append(out, f)
+		}
+	}
+	sortFindings(out)
+	return Report{Findings: out}
+}

@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/xacml"
+)
+
+// FuzzAnalyzeDecodedPolicy drives the claim extraction and the admin gate
+// with arbitrary policy documents, seeded like the XML decoder's fuzz
+// corpus. Whatever the decoder accepts — degenerate targets, empty rules,
+// duplicate IDs, nested sets — must flow through claim normalisation,
+// pairwise analysis and the strict gate without panicking: the admin plane
+// lints attacker-supplied documents before any other validation runs.
+func FuzzAnalyzeDecodedPolicy(f *testing.F) {
+	if data, err := xacml.MarshalXML(policy.NewPolicy("seed").
+		Combining(policy.FirstApplicable).
+		When(policy.MatchResourceID("res-1")).
+		Rule(policy.Permit("allow").When(policy.MatchActionID("read")).Build()).
+		Rule(policy.Deny("default").Build()).
+		Build()); err == nil {
+		f.Add(data)
+	}
+	f.Add([]byte(`<Policy PolicyId="p" RuleCombiningAlgId="deny-overrides"></Policy>`))
+	f.Add([]byte(`<Policy PolicyId="p" RuleCombiningAlgId="deny-overrides"><Target><AnyOf><AllOf></AllOf></AnyOf></Target></Policy>`))
+	f.Add([]byte(`<PolicySet PolicySetId="s" PolicyCombiningAlgId="first-applicable"><Policy PolicyId="p" RuleCombiningAlgId="permit-overrides"><Rule RuleId="" Effect="Permit"/></Policy></PolicySet>`))
+	f.Add([]byte(`<PolicySet PolicySetId="s" PolicyCombiningAlgId="only-one-applicable"></PolicySet>`))
+	f.Add([]byte(`<Bogus/>`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ev, err := xacml.UnmarshalXML(data)
+		if err != nil {
+			return
+		}
+		eng := NewEngine(Config{})
+		eng.Install(ev,
+			policy.NewPolicy("zz-fixed").Combining(policy.FirstApplicable).
+				Rule(policy.Deny("deny-everything").Build()).
+				Build())
+		gate := NewGate(eng, ModeStrict)
+		if _, err := gate.Check(ev.EntityID()+"-v2", ev); err != nil {
+			// A strict rejection is a valid outcome; only panics are bugs.
+			_ = err
+		}
+		eng.Apply(ev.EntityID()+"-v2", ev)
+		eng.Apply(ev.EntityID()+"-v2", nil)
+		_ = eng.Report().Text()
+	})
+}

@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/policy"
+	"repro/internal/workload"
+)
+
+// TestAnalyzeBaseMatchesFullAnalysis is the sharded-aggregation property:
+// per-shard analysis merged across the ring equals one whole-base
+// analysis, because every overlapping claim pair co-resides on at least
+// one shard (shared exact resource key, or a replicated catch-all).
+func TestAnalyzeBaseMatchesFullAnalysis(t *testing.T) {
+	for _, shards := range []int{2, 5} {
+		t.Run(fmt.Sprintf("%d-shards", shards), func(t *testing.T) {
+			gen := workload.NewGenerator(workload.Config{
+				Users: 20, Resources: 60, Roles: 4, Seed: 7,
+			})
+			base := gen.PolicyBase("base")
+			// Salt the generated base with hand-made defects so the
+			// property is not vacuously about clean reports: a catch-all
+			// conflicting with everything, and a duplicate-coverage pair.
+			rng := rand.New(rand.NewSource(3))
+			base.Children = append(base.Children,
+				policy.NewPolicy("zz-catchall").Combining(policy.FirstApplicable).
+					Rule(policy.Deny("deny-everything").Build()).
+					Build(),
+				policy.NewPolicy("aa-dup").Combining(policy.DenyOverrides).
+					When(policy.MatchResourceID(fmt.Sprintf("res-%d", rng.Intn(60)))).
+					Rule(policy.Permit("open").Build()).
+					Build())
+
+			router, err := New("c", Config{Shards: shards})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := router.SetRoot(base); err != nil {
+				t.Fatal(err)
+			}
+			got, err := router.AnalyzeBase(analysis.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			children := make([]policy.Evaluable, len(base.Children))
+			copy(children, base.Children)
+			want := analysis.Analyze(analysis.Config{RootCombining: base.Combining}, children...)
+			if want.Clean() {
+				t.Fatal("whole-base analysis is clean; the fixture should produce findings")
+			}
+			if !reflect.DeepEqual(got.Findings, want.Findings) {
+				t.Fatalf("sharded analysis diverged:\nsharded (%d):\n%swhole (%d):\n%s",
+					len(got.Findings), got.Text(), len(want.Findings), want.Text())
+			}
+		})
+	}
+}
+
+func TestAnalyzeBaseWithoutRoot(t *testing.T) {
+	router, err := New("c", Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := router.AnalyzeBase(analysis.Config{}); err == nil {
+		t.Fatal("AnalyzeBase with no installed root did not error")
+	}
+}

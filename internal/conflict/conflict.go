@@ -44,6 +44,32 @@ func (c ConstraintSet) MoreSpecificThan(o ConstraintSet) bool {
 	return !c.Wildcard() && o.Wildcard()
 }
 
+// Covers reports whether every value the other set admits is admitted by
+// this set: the one-dimensional subsumption test behind shadowing and
+// redundancy analysis. A wildcard covers everything; nothing but a
+// wildcard covers a wildcard.
+func (c ConstraintSet) Covers(o ConstraintSet) bool {
+	if c.Wildcard() {
+		return true
+	}
+	if o.Wildcard() {
+		return false
+	}
+	for _, v := range o {
+		if !contains(c, v) {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect narrows this set with another; wildcard is the identity. Two
+// disjoint non-wildcard sets intersect to the empty non-nil marker, which
+// keeps Overlaps false and marks the claim unsatisfiable.
+func (c ConstraintSet) Intersect(o ConstraintSet) ConstraintSet {
+	return intersectConstraints(c, o)
+}
+
 func (c ConstraintSet) String() string {
 	if c.Wildcard() {
 		return "*"
@@ -72,6 +98,23 @@ type Claim struct {
 	// Conditional marks rules with runtime conditions: their conflicts
 	// are potential rather than actual.
 	Conditional bool
+	// RuleIndex is the rule's position within its policy, the order input
+	// of shadowing analysis under order-dependent combining algorithms.
+	RuleIndex int
+	// Algorithm is the rule-combining algorithm of the policy the claim
+	// came from, governing intra-policy claim relationships.
+	Algorithm policy.Algorithm
+}
+
+// Covers reports whether this claim applies to every tuple the other claim
+// applies to: five-dimensional subsumption, the input of shadowing,
+// redundancy and dead-zone analysis.
+func (c Claim) Covers(o Claim) bool {
+	return c.Subjects.Covers(o.Subjects) &&
+		c.Roles.Covers(o.Roles) &&
+		c.Actions.Covers(o.Actions) &&
+		c.Resources.Covers(o.Resources) &&
+		c.ResourceTypes.Covers(o.ResourceTypes)
 }
 
 // Specificity counts constrained dimensions, the paper's "more specific
@@ -102,9 +145,11 @@ func ExtractClaims(p *policy.Policy) []Claim {
 	base.ResourceTypes = exact(p.Target, policy.CategoryResource, policy.AttrResourceType)
 
 	claims := make([]Claim, 0, len(p.Rules))
-	for _, r := range p.Rules {
+	for i, r := range p.Rules {
 		c := base
 		c.RuleID = r.ID
+		c.RuleIndex = i
+		c.Algorithm = p.Combining
 		c.Effect = r.Effect
 		c.Conditional = r.Condition != nil
 		c.Subjects = intersectConstraints(c.Subjects, exact(r.Target, policy.CategorySubject, policy.AttrSubjectID))
@@ -115,6 +160,13 @@ func ExtractClaims(p *policy.Policy) []Claim {
 		claims = append(claims, c)
 	}
 	return claims
+}
+
+// TargetConstraint extracts the equality constraint a target places on one
+// attribute as a ConstraintSet (nil = unconstrained), the normalisation
+// primitive shared with the static analyser's policy-set handling.
+func TargetConstraint(t policy.Target, cat policy.Category, name string) ConstraintSet {
+	return exact(t, cat, name)
 }
 
 func exact(t policy.Target, cat policy.Category, name string) ConstraintSet {
@@ -177,8 +229,10 @@ func (c Conflict) String() string {
 	return fmt.Sprintf("%s conflict: [%s] vs [%s]", kind, c.Permit, c.Deny)
 }
 
-// unsatisfiable reports a claim whose narrowed constraints admit no tuple.
-func unsatisfiable(c Claim) bool {
+// Unsatisfiable reports a claim whose narrowed constraints admit no tuple
+// (a rule target disjoint from its policy target). Such claims make no
+// authorisation statement and are excluded from analysis.
+func (c Claim) Unsatisfiable() bool {
 	for _, s := range []ConstraintSet{c.Subjects, c.Roles, c.Actions, c.Resources, c.ResourceTypes} {
 		if s != nil && len(s) == 0 {
 			return true
@@ -187,14 +241,20 @@ func unsatisfiable(c Claim) bool {
 	return false
 }
 
-// overlap reports whether two claims can apply to one access tuple.
-func overlap(a, b Claim) bool {
+// unsatisfiable reports a claim whose narrowed constraints admit no tuple.
+func unsatisfiable(c Claim) bool { return c.Unsatisfiable() }
+
+// Overlap reports whether two claims can apply to one access tuple.
+func Overlap(a, b Claim) bool {
 	return a.Subjects.Overlaps(b.Subjects) &&
 		a.Roles.Overlaps(b.Roles) &&
 		a.Actions.Overlaps(b.Actions) &&
 		a.Resources.Overlaps(b.Resources) &&
 		a.ResourceTypes.Overlaps(b.ResourceTypes)
 }
+
+// overlap reports whether two claims can apply to one access tuple.
+func overlap(a, b Claim) bool { return Overlap(a, b) }
 
 // Analyze detects modality conflicts across the policies.
 func Analyze(policies []*policy.Policy) []Conflict {

@@ -15,9 +15,10 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
-	"repro/internal/conflict"
+	"repro/internal/analysis"
 	"repro/internal/delegation"
 	"repro/internal/dialect"
 	"repro/internal/federation"
@@ -84,6 +85,11 @@ type System struct {
 
 	cfg     Config
 	entropy *detRand
+
+	// analyzers holds one incremental static analyser per domain, fed by
+	// the domain PAP's delta stream; see domainAnalyzer.
+	mu        sync.Mutex
+	analyzers map[string]*analysis.Engine
 }
 
 // NewSystem assembles a Virtual Organisation with no member domains.
@@ -96,12 +102,13 @@ func NewSystem(cfg Config) (*System, error) {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	return &System{
-		Name:    cfg.Name,
-		Net:     net,
-		VO:      vo,
-		Epoch:   cfg.Epoch,
-		cfg:     cfg,
-		entropy: entropy,
+		Name:      cfg.Name,
+		Net:       net,
+		VO:        vo,
+		Epoch:     cfg.Epoch,
+		cfg:       cfg,
+		entropy:   entropy,
+		analyzers: make(map[string]*analysis.Engine),
 	}, nil
 }
 
@@ -134,34 +141,66 @@ func (s *System) AdmitPolicy(d *federation.Domain, p *policy.Policy, at time.Tim
 			return fmt.Errorf("core: admit %s: %w", p.ID, err)
 		}
 	}
-	installed := make([]*policy.Policy, 0, 8)
-	for _, id := range d.PAP.List() {
-		if id == p.ID {
-			continue // replacing a policy cannot conflict with itself
-		}
-		e, err := d.PAP.Get(id)
-		if err != nil {
-			return fmt.Errorf("core: admit %s: %w", p.ID, err)
-		}
-		installed = append(installed, policy.CollectPolicies(e)...)
+	eng, err := s.domainAnalyzer(d)
+	if err != nil {
+		return fmt.Errorf("core: admit %s: %w", p.ID, err)
 	}
-	for _, c := range conflict.Analyze(append(installed, p)) {
-		if !c.Actual {
-			continue
-		}
-		if c.Permit.PolicyID == c.Deny.PolicyID {
-			// An intra-policy clash is resolved by that policy's own
-			// combining algorithm; it is the author's explicit choice.
-			continue
-		}
-		if c.Permit.PolicyID == p.ID || c.Deny.PolicyID == p.ID {
-			return fmt.Errorf("core: admit %s: %s: %w", p.ID, c, ErrConflict)
+	// Preview analyses the candidate against only the claims that can
+	// overlap it — incremental cost per admission instead of re-running
+	// the full pairwise analysis over the installed base. Its findings
+	// all involve p, and a replacement is not compared with its own
+	// previous revision, so the refusal rule below matches the original
+	// from-scratch check. An intra-policy clash (same owner on both
+	// sides) is resolved by the policy's own combining algorithm; it is
+	// the author's explicit choice and admitted.
+	for _, f := range eng.Preview(p.ID, p).Findings {
+		if f.Kind == analysis.KindConflict && f.Actual && f.Subject.Owner != f.Other.Owner {
+			return fmt.Errorf("core: admit %s: %s: %w", p.ID, f.Detail, ErrConflict)
 		}
 	}
 	if _, err := d.PAP.Put(p); err != nil {
 		return fmt.Errorf("core: admit %s: %w", p.ID, err)
 	}
 	return nil
+}
+
+// domainAnalyzer returns the domain's incremental static analyser,
+// creating it on first use: the engine is seeded from the domain's
+// administration point and registered as a watcher atomically
+// (WatchInstall), so every later Put or Delete folds into the claim index
+// as a delta. N admissions therefore cost N incremental analyses instead
+// of N full pairwise scans of an ever-growing base.
+func (s *System) domainAnalyzer(d *federation.Domain) (*analysis.Engine, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if eng, ok := s.analyzers[d.Name]; ok {
+		return eng, nil
+	}
+	eng := analysis.NewEngine(analysis.Config{RootCombining: policy.DenyOverrides})
+	install := func(store *pap.Store) error {
+		children := make([]policy.Evaluable, 0, 8)
+		for _, id := range store.List() {
+			e, err := store.Get(id)
+			if err != nil {
+				return err
+			}
+			children = append(children, e)
+		}
+		eng.Install(children...)
+		return nil
+	}
+	err := d.PAP.WatchInstall(install, func(u pap.Update) {
+		if u.Deleted {
+			eng.Apply(u.ID, nil)
+			return
+		}
+		eng.Apply(u.ID, u.Policy)
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.analyzers[d.Name] = eng
+	return eng, nil
 }
 
 // AdmitDialectSource translates a local-dialect policy document (Section

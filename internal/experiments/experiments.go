@@ -47,6 +47,7 @@ func All() []Experiment {
 		{ID: "E20", Title: "§3 — decision hot-path contention: lock-free engine vs serialized baseline", Run: RunE20Contention},
 		{ID: "E21", Title: "§3.2 — deadlines and cancellation: bounded tail latency under a slow shard", Run: RunE21Deadlines},
 		{ID: "E22", Title: "§3.2 — decision-tracing overhead at 0%/1%/100% head sampling", Run: RunE22TracingOverhead},
+		{ID: "E23", Title: "§3.1 — incremental static analysis: full vs delta re-analysis, gated admin-write p99", Run: RunE23Analysis},
 	}
 	sort.Slice(exps, func(i, j int) bool {
 		// Numeric ID order (E2 < E10).

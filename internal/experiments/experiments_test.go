@@ -28,8 +28,8 @@ func TestAllExperimentsRun(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 22 {
-		t.Fatalf("registry has %d experiments, want 22", len(all))
+	if len(all) != 23 {
+		t.Fatalf("registry has %d experiments, want 23", len(all))
 	}
 	for i, exp := range all {
 		want := i + 1
@@ -144,6 +144,32 @@ func parseFloat(s string) (float64, error) {
 		}
 	}
 	return v, nil
+}
+
+func TestE23IncrementalBeatsFullAt10k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measures analysis latency at 10k policies")
+	}
+	table, err := RunE23Analysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := table.Rows()
+	if len(rows) != 3 {
+		t.Fatalf("E23 has %d rows, want 3 scales", len(rows))
+	}
+	// The 10k row's speedup column: incremental delta re-analysis must be
+	// at least 10x faster than a from-scratch run of the same base.
+	speedup, err := parseFloat(strings.TrimSuffix(rows[1][4], "x"))
+	if err != nil {
+		t.Fatalf("speedup cell %q: %v", rows[1][4], err)
+	}
+	if speedup < 10 {
+		t.Errorf("10k-policy incremental speedup = %.1fx, want >= 10x", speedup)
+	}
+	if rows[2][6] == "0" {
+		t.Error("100k-policy base reports no findings; the fixture should surface intra-policy conflicts")
+	}
 }
 
 func TestE7CachingReducesTraffic(t *testing.T) {

@@ -82,6 +82,10 @@ type Store struct {
 	// becomes visible to readers or watchers, and a failed commit aborts
 	// the write entirely. See Backend in persist.go.
 	backend Backend
+
+	// preCommits run under notifyMu after validation but before the
+	// backend commit; an error aborts the write. See PreCommit.
+	preCommits []func(Update) error
 }
 
 // NewStore builds an empty administration point.
@@ -119,6 +123,34 @@ func (s *Store) WatchInstall(install func(*Store) error, w Watcher) error {
 	return nil
 }
 
+// PreCommit registers a hook consulted before every write commits. Hooks
+// run under the notification lock — serialised with all other writers and
+// before the change becomes durable or visible — so a hook sees the store
+// exactly as it is the instant before the write, with no later write
+// racing past it. A hook returning an error aborts the write entirely;
+// the store is unchanged and no watcher fires. This is how the static
+// policy lint gate vetoes admin-plane writes invariantly. Hooks may read
+// from the store but must not write to it (same self-deadlock rule as
+// watchers).
+func (s *Store) PreCommit(hook func(Update) error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.preCommits = append(s.preCommits, hook)
+}
+
+// runPreCommits consults the registered hooks; callers hold notifyMu.
+func (s *Store) runPreCommits(u Update) error {
+	s.mu.RLock()
+	hooks := s.preCommits
+	s.mu.RUnlock()
+	for _, hook := range hooks {
+		if err := hook(u); err != nil {
+			return fmt.Errorf("pap %s: pre-commit %s: %w", s.name, u.ID, err)
+		}
+	}
+	return nil
+}
+
 // Put validates and stores a policy, returning its new version number. The
 // policy's Version field is rewritten to the store-assigned version so
 // retrieved policies self-describe.
@@ -145,6 +177,12 @@ func (s *Store) Put(e policy.Evaluable) (int, error) {
 	s.mu.RUnlock()
 	setVersion(e, version)
 	u := Update{ID: id, Version: version, Policy: e}
+
+	// Pre-commit hooks veto before durability: an aborted write leaves no
+	// trace in the backend either.
+	if err := s.runPreCommits(u); err != nil {
+		return 0, err
+	}
 
 	// Durability before visibility: the change reaches the backend before
 	// the in-memory state or any watcher can observe it, so an
@@ -224,6 +262,9 @@ func (s *Store) Delete(id string) error {
 		return fmt.Errorf("pap %s: %q: %w", s.name, id, ErrNotFound)
 	}
 	u := Update{ID: id, Deleted: true}
+	if err := s.runPreCommits(u); err != nil {
+		return err
+	}
 	if backend != nil {
 		if err := backend.Commit(u); err != nil {
 			return fmt.Errorf("pap %s: commit delete %s: %w", s.name, id, err)

@@ -1,0 +1,83 @@
+package pap
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestPreCommitVeto pins the fail-closed contract the admin-plane lint
+// gate builds on: a vetoing hook aborts the write before it is durable or
+// visible — no version is assigned, no watcher fires, the store reads as
+// if the write never happened — while passing writes proceed untouched.
+func TestPreCommitVeto(t *testing.T) {
+	s := NewStore("pap")
+	if _, err := s.Put(permitPolicy("seed")); err != nil {
+		t.Fatal(err)
+	}
+
+	var notified []string
+	s.Watch(func(u Update) { notified = append(notified, u.ID) })
+
+	veto := errors.New("lint gate says no")
+	var hookSaw []Update
+	s.PreCommit(func(u Update) error {
+		hookSaw = append(hookSaw, u)
+		if u.ID == "bad" || (u.Deleted && u.ID == "seed") {
+			return veto
+		}
+		return nil
+	})
+
+	if _, err := s.Put(permitPolicy("bad")); !errors.Is(err, veto) {
+		t.Fatalf("vetoed Put err = %v, want the hook's error", err)
+	}
+	if got := s.History("bad"); got != 0 {
+		t.Fatalf("vetoed policy has %d versions, want 0", got)
+	}
+	if _, err := s.Get("bad"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("vetoed policy is readable: %v", err)
+	}
+	if err := s.Delete("seed"); !errors.Is(err, veto) {
+		t.Fatalf("vetoed Delete err = %v, want the hook's error", err)
+	}
+	if got := s.History("seed"); got != 1 {
+		t.Fatalf("vetoed delete changed history: %d versions, want 1", got)
+	}
+	if len(notified) != 0 {
+		t.Fatalf("vetoed writes notified watchers: %v", notified)
+	}
+
+	// The hook saw both attempts, with the delete marked as such.
+	if len(hookSaw) != 2 || hookSaw[0].ID != "bad" || !hookSaw[1].Deleted {
+		t.Fatalf("hook observed %+v, want the put then the delete", hookSaw)
+	}
+
+	// Passing writes commit and notify normally.
+	if _, err := s.Put(permitPolicy("good")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("good"); err != nil {
+		t.Fatal(err)
+	}
+	if len(notified) != 2 {
+		t.Fatalf("passing writes notified %d times, want 2", len(notified))
+	}
+}
+
+// TestPreCommitErrorNames the store and policy so operators can attribute
+// rejections in logs.
+func TestPreCommitErrorContext(t *testing.T) {
+	s := NewStore("ward-pap")
+	s.PreCommit(func(Update) error { return fmt.Errorf("nope") })
+	_, err := s.Put(permitPolicy("p1"))
+	if err == nil {
+		t.Fatal("vetoed Put returned nil")
+	}
+	for _, want := range []string{"ward-pap", "p1"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package pip
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/policy"
+)
+
+// AttributeRef names one attribute an information source can supply.
+type AttributeRef struct {
+	Category policy.Category
+	Name     string
+}
+
+// Introspector is an optional Provider extension enumerating the
+// attributes a source can ever supply. The static policy analyser uses it
+// to prove attribute references dead: a designator no registered source
+// lists (and no request bag conventionally carries) can only ever resolve
+// to an empty bag.
+//
+// complete=false marks an open-ended source that may supply attributes
+// beyond the listed ones; downstream dead-attribute analysis must then
+// treat every reference as potentially live.
+type Introspector interface {
+	SuppliedAttributes() (refs []AttributeRef, complete bool)
+}
+
+// Supplied walks a provider and returns the attributes it declares. A
+// provider that does not implement Introspector is open-ended: it returns
+// no refs and complete=false.
+func Supplied(p Provider) ([]AttributeRef, bool) {
+	if in, ok := p.(Introspector); ok {
+		return in.SuppliedAttributes()
+	}
+	return nil, false
+}
+
+// SuppliedAttributes implements Introspector: the store's current table
+// keys, exactly.
+func (s *StaticStore) SuppliedAttributes() ([]AttributeRef, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	refs := make([]AttributeRef, 0, len(s.attrs))
+	for key := range s.attrs {
+		parts := strings.SplitN(key, "/", 2)
+		if len(parts) != 2 {
+			continue
+		}
+		cat, err := policy.CategoryFromString(parts[0])
+		if err != nil {
+			continue
+		}
+		refs = append(refs, AttributeRef{Category: cat, Name: parts[1]})
+	}
+	sortRefs(refs)
+	return refs, true
+}
+
+// SuppliedAttributes implements Introspector: the well-known subject
+// attributes the directory serves for every subject, plus the union of
+// Extra attribute names across provisioned subjects.
+func (d *Directory) SuppliedAttributes() ([]AttributeRef, bool) {
+	refs := []AttributeRef{
+		{Category: policy.CategorySubject, Name: policy.AttrSubjectRole},
+		{Category: policy.CategorySubject, Name: policy.AttrSubjectGroup},
+		{Category: policy.CategorySubject, Name: policy.AttrSubjectDomain},
+		{Category: policy.CategorySubject, Name: policy.AttrClearance},
+	}
+	seen := make(map[string]struct{})
+	d.mu.RLock()
+	for _, s := range d.subjects {
+		for name := range s.Extra {
+			if _, ok := seen[name]; ok {
+				continue
+			}
+			seen[name] = struct{}{}
+			refs = append(refs, AttributeRef{Category: policy.CategorySubject, Name: name})
+		}
+	}
+	d.mu.RUnlock()
+	sortRefs(refs)
+	return refs, true
+}
+
+// SuppliedAttributes implements Introspector: the single history
+// attribute.
+func (h *HistoryProvider) SuppliedAttributes() ([]AttributeRef, bool) {
+	return []AttributeRef{{Category: policy.CategorySubject, Name: h.AttributeName}}, true
+}
+
+// SuppliedAttributes implements Introspector: the union over chain
+// members. One open-ended member makes the whole chain open-ended, but
+// the refs the other members declare are still returned.
+func (c *Chain) SuppliedAttributes() ([]AttributeRef, bool) {
+	var refs []AttributeRef
+	complete := true
+	for _, p := range c.providers {
+		sub, ok := Supplied(p)
+		refs = append(refs, sub...)
+		if !ok {
+			complete = false
+		}
+	}
+	sortRefs(refs)
+	return refs, complete
+}
+
+// SuppliedAttributes implements Introspector: caching never changes what
+// the inner source can supply.
+func (c *Cache) SuppliedAttributes() ([]AttributeRef, bool) { return Supplied(c.inner) }
+
+func sortRefs(refs []AttributeRef) {
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].Category != refs[j].Category {
+			return refs[i].Category < refs[j].Category
+		}
+		return refs[i].Name < refs[j].Name
+	})
+}

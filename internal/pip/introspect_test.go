@@ -1,0 +1,99 @@
+package pip
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+)
+
+// openProvider implements Provider but not Introspector: an open-ended
+// source whose attribute universe is unknowable.
+type openProvider struct{}
+
+func (openProvider) Name() string { return "open" }
+func (openProvider) ResolveAttribute(context.Context, *policy.Request, policy.Category, string) (policy.Bag, error) {
+	return policy.BagOf(), nil
+}
+
+func TestSuppliedAttributes(t *testing.T) {
+	t.Run("static-store-lists-its-table", func(t *testing.T) {
+		st := NewStaticStore("env")
+		st.Set(policy.CategoryEnvironment, "maintenance-window", policy.Boolean(true))
+		st.Set(policy.CategorySubject, "department", policy.String("oncology"))
+		refs, complete := Supplied(st)
+		want := []AttributeRef{
+			{Category: policy.CategorySubject, Name: "department"},
+			{Category: policy.CategoryEnvironment, Name: "maintenance-window"},
+		}
+		if !complete || !reflect.DeepEqual(refs, want) {
+			t.Fatalf("static store supplied = %v (complete=%v), want %v complete", refs, complete, want)
+		}
+	})
+
+	t.Run("directory-includes-extras", func(t *testing.T) {
+		d := NewDirectory("idp")
+		d.AddSubject(Subject{ID: "alice", Roles: []string{"doctor"},
+			Extra: map[string]policy.Bag{"pager": policy.Singleton(policy.String("1234"))}})
+		refs, complete := Supplied(d)
+		if !complete {
+			t.Fatal("directory should be a complete source")
+		}
+		got := make(map[string]bool)
+		for _, r := range refs {
+			got[r.Name] = true
+		}
+		for _, name := range []string{policy.AttrSubjectRole, policy.AttrSubjectGroup,
+			policy.AttrSubjectDomain, policy.AttrClearance, "pager"} {
+			if !got[name] {
+				t.Fatalf("directory did not declare %q: %v", name, refs)
+			}
+		}
+	})
+
+	t.Run("history-declares-its-attribute", func(t *testing.T) {
+		h := NewHistoryProvider("hist")
+		refs, complete := Supplied(h)
+		want := []AttributeRef{{Category: policy.CategorySubject, Name: "accessed-dataset"}}
+		if !complete || !reflect.DeepEqual(refs, want) {
+			t.Fatalf("history supplied = %v (complete=%v), want %v complete", refs, complete, want)
+		}
+	})
+
+	t.Run("chain-unions-and-propagates-openness", func(t *testing.T) {
+		st := NewStaticStore("env")
+		st.Set(policy.CategoryEnvironment, "maintenance-window", policy.Boolean(true))
+		closed := NewChain("closed", st, NewHistoryProvider("hist"))
+		refs, complete := Supplied(closed)
+		if !complete || len(refs) != 2 {
+			t.Fatalf("closed chain = %v (complete=%v), want 2 refs complete", refs, complete)
+		}
+		open := NewChain("open", st, openProvider{})
+		refs, complete = Supplied(open)
+		if complete {
+			t.Fatal("a chain with an open member must be open")
+		}
+		if len(refs) != 1 {
+			t.Fatalf("open chain still lists the closed members' refs: %v", refs)
+		}
+	})
+
+	t.Run("cache-delegates", func(t *testing.T) {
+		h := NewHistoryProvider("hist")
+		cached := NewCache(h, time.Minute, 0)
+		got, gotOK := Supplied(cached)
+		want, wantOK := Supplied(h)
+		if gotOK != wantOK || !reflect.DeepEqual(got, want) {
+			t.Fatalf("cache supplied %v/%v, inner %v/%v", got, gotOK, want, wantOK)
+		}
+	})
+
+	t.Run("non-introspector-is-open", func(t *testing.T) {
+		refs, complete := Supplied(openProvider{})
+		if complete || refs != nil {
+			t.Fatalf("open provider = %v (complete=%v), want nil, incomplete", refs, complete)
+		}
+	})
+}

@@ -128,6 +128,24 @@ func (a *Apply) Eval(c *Context) (Bag, error) {
 	return out, nil
 }
 
+// WalkDesignators calls visit for every attribute designator reachable
+// from the expression, the condition-side counterpart of
+// Target.VisitAttributes. Unknown expression node types contribute
+// nothing (they may reference attributes the walker cannot see, so
+// callers treating absence as proof must stick to the built-in nodes).
+func WalkDesignators(e Expression, visit func(*Designator)) {
+	switch v := e.(type) {
+	case nil:
+		return
+	case *Designator:
+		visit(v)
+	case *Apply:
+		for _, arg := range v.Args {
+			WalkDesignators(arg, visit)
+		}
+	}
+}
+
 // EvalCondition evaluates an expression expected to produce a singleton
 // boolean, the contract for rule conditions. A nil expression is treated as
 // the constant true, matching a rule without a condition.

@@ -227,6 +227,19 @@ func ResourceKeys(e Evaluable) (keys []string, catchAll bool) {
 	return keys, false
 }
 
+// VisitAttributes calls visit for every (category, attribute) pair the
+// target tests, duplicates included. The static analyser uses it to find
+// references no information source can ever supply.
+func (t Target) VisitAttributes(visit func(Category, string)) {
+	for _, group := range t {
+		for _, all := range group {
+			for _, m := range all {
+				visit(m.Category, m.Name)
+			}
+		}
+	}
+}
+
 // exactMatches reports the equality values a disjunction pins the
 // attribute to, and whether every alternative pins it.
 func (a AnyOf) exactMatches(cat Category, name string) ([]Value, bool) {
