@@ -1,11 +1,22 @@
 // Command benchjson converts `go test -bench` text output into a
-// machine-readable JSON document, so benchmark numbers can be committed,
-// diffed and consumed by tooling instead of being re-parsed from logs.
+// machine-readable JSON document (internal/benchfmt), so benchmark numbers
+// can be committed, diffed and consumed by tooling instead of being
+// re-parsed from logs — and diffs two such documents as the CI regression
+// gate.
 //
-// Usage:
+// Convert:
 //
 //	go test -run '^$' -bench ParallelDecide -benchmem . | benchjson > BENCH.json
 //	benchjson -in bench.txt -out BENCH.json
+//
+// Compare (the regression gate): the input (stdin or -in; JSON document or
+// raw bench text, sniffed) is the fresh run, -compare names the committed
+// baseline, and the exit status reports the verdict — 0 clean, 1 when any
+// direction-oriented metric worsened by more than -threshold percent or a
+// baseline benchmark is missing from the fresh run, 2 on a load error:
+//
+//	go test -run '^$' -bench ParallelDecide -benchmem . \
+//	  | benchjson -compare BENCH_PR8.json -threshold 40 -filter BenchmarkParallelDecide
 //
 // Each benchmark result line contributes one entry with its run count and
 // every reported metric (ns/op, B/op, allocs/op and custom b.ReportMetric
@@ -14,162 +25,121 @@
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"os"
-	"strconv"
+	"regexp"
+
+	"repro/internal/benchfmt"
 )
 
 func main() {
-	in := flag.String("in", "", "bench output file (default stdin)")
-	out := flag.String("out", "", "JSON destination (default stdout)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
 
-	var r io.Reader = os.Stdin
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "bench output file (default stdin)")
+	out := fs.String("out", "", "JSON destination (default stdout)")
+	compare := fs.String("compare", "", "baseline BENCH_*.json to diff the input against (gate mode)")
+	threshold := fs.Float64("threshold", 10, "regression threshold in percent (gate mode)")
+	filter := fs.String("filter", "", "regexp restricting gate mode to matching benchmark names")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var r io.Reader = stdin
 	if *in != "" {
 		f, err := os.Open(*in)
 		if err != nil {
-			log.Fatalf("benchjson: %v", err)
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 2
 		}
 		defer f.Close()
 		r = f
 	}
-	doc, err := Parse(r)
+	doc, err := benchfmt.Read(r)
 	if err != nil {
-		log.Fatalf("benchjson: %v", err)
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 2
 	}
 	if len(doc.Benchmarks) == 0 {
-		log.Fatal("benchjson: no benchmark result lines in input")
+		fmt.Fprintln(stderr, "benchjson: no benchmark result lines in input")
+		return 2
 	}
+
+	if *compare != "" {
+		return gate(doc, *compare, *threshold, *filter, stdout, stderr)
+	}
+
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
-		log.Fatalf("benchjson: %v", err)
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 2
 	}
 	data = append(data, '\n')
 	if *out == "" {
-		if _, err := os.Stdout.Write(data); err != nil {
-			log.Fatalf("benchjson: %v", err)
+		if _, err := stdout.Write(data); err != nil {
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 2
 		}
-		return
+		return 0
 	}
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		log.Fatalf("benchjson: %v", err)
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 2
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(doc.Benchmarks), *out)
+	fmt.Fprintf(stderr, "benchjson: %d benchmarks -> %s\n", len(doc.Benchmarks), *out)
+	return 0
 }
 
-// Doc is the emitted document.
-type Doc struct {
-	// Goos, Goarch, Pkg and CPU echo the bench header when present.
-	Goos   string `json:"goos,omitempty"`
-	Goarch string `json:"goarch,omitempty"`
-	Pkg    string `json:"pkg,omitempty"`
-	CPU    string `json:"cpu,omitempty"`
-	// Benchmarks are the parsed result lines, in input order.
-	Benchmarks []Benchmark `json:"benchmarks"`
-}
-
-// Benchmark is one parsed result line.
-type Benchmark struct {
-	// Name is the benchmark name including sub-bench path and -cpu
-	// suffix, as printed (e.g. "BenchmarkParallelDecide/hit-16").
-	Name string `json:"name"`
-	// Runs is the measured iteration count (the b.N column).
-	Runs int64 `json:"runs"`
-	// Metrics maps each reported unit to its value: ns/op, B/op,
-	// allocs/op and any custom b.ReportMetric units.
-	Metrics map[string]float64 `json:"metrics"`
-}
-
-// Parse reads `go test -bench` output. Non-benchmark lines (test chatter,
-// PASS/ok trailers) are skipped; malformed Benchmark lines are an error so
-// truncated logs do not silently yield partial documents.
-func Parse(r io.Reader) (*Doc, error) {
-	doc := &Doc{}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	for sc.Scan() {
-		line := sc.Text()
-		var rest string
-		switch {
-		case scanHeader(line, "goos: ", &rest):
-			doc.Goos = rest
-		case scanHeader(line, "goarch: ", &rest):
-			doc.Goarch = rest
-		case scanHeader(line, "pkg: ", &rest):
-			doc.Pkg = rest
-		case scanHeader(line, "cpu: ", &rest):
-			doc.CPU = rest
-		case len(line) > 9 && line[:9] == "Benchmark":
-			b, err := parseResult(line)
-			if err != nil {
-				return nil, err
-			}
-			doc.Benchmarks = append(doc.Benchmarks, b)
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return doc, nil
-}
-
-func scanHeader(line, prefix string, rest *string) bool {
-	if len(line) < len(prefix) || line[:len(prefix)] != prefix {
-		return false
-	}
-	*rest = line[len(prefix):]
-	return true
-}
-
-// parseResult parses one result line: name, iteration count, then
-// value/unit pairs.
-func parseResult(line string) (Benchmark, error) {
-	fields := splitFields(line)
-	if len(fields) < 2 {
-		return Benchmark{}, fmt.Errorf("malformed bench line %q", line)
-	}
-	b := Benchmark{Name: fields[0], Metrics: map[string]float64{}}
-	runs, err := strconv.ParseInt(fields[1], 10, 64)
+// gate diffs the fresh document against the committed baseline and renders
+// the verdict; the exit status is the CI contract.
+func gate(fresh *benchfmt.Doc, baselinePath string, threshold float64, filter string, stdout, stderr io.Writer) int {
+	f, err := os.Open(baselinePath)
 	if err != nil {
-		return Benchmark{}, fmt.Errorf("bench line %q: bad run count %q", line, fields[1])
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 2
 	}
-	b.Runs = runs
-	pairs := fields[2:]
-	if len(pairs)%2 != 0 {
-		return Benchmark{}, fmt.Errorf("bench line %q: odd value/unit fields", line)
+	defer f.Close()
+	baseline, err := benchfmt.Read(f)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: baseline %s: %v\n", baselinePath, err)
+		return 2
 	}
-	for i := 0; i < len(pairs); i += 2 {
-		v, err := strconv.ParseFloat(pairs[i], 64)
+	var re *regexp.Regexp
+	if filter != "" {
+		re, err = regexp.Compile(filter)
 		if err != nil {
-			return Benchmark{}, fmt.Errorf("bench line %q: bad value %q", line, pairs[i])
-		}
-		b.Metrics[pairs[i+1]] = v
-	}
-	return b, nil
-}
-
-func splitFields(line string) []string {
-	var out []string
-	start := -1
-	for i, r := range line {
-		if r == ' ' || r == '\t' {
-			if start >= 0 {
-				out = append(out, line[start:i])
-				start = -1
-			}
-			continue
-		}
-		if start < 0 {
-			start = i
+			fmt.Fprintf(stderr, "benchjson: bad -filter: %v\n", err)
+			return 2
 		}
 	}
-	if start >= 0 {
-		out = append(out, line[start:])
+	cmp := benchfmt.Compare(baseline, fresh, threshold, re)
+	if len(cmp.Deltas) == 0 && len(cmp.Missing) == 0 {
+		fmt.Fprintf(stderr, "benchjson: nothing to compare against %s (filter too narrow?)\n", baselinePath)
+		return 2
 	}
-	return out
+	for _, d := range cmp.Deltas {
+		fmt.Fprintf(stdout, "  %s\n", d)
+	}
+	for _, name := range cmp.Missing {
+		fmt.Fprintf(stdout, "  MISSING from fresh run: %s\n", name)
+	}
+	for _, name := range cmp.Added {
+		fmt.Fprintf(stdout, "  new benchmark (no baseline): %s\n", name)
+	}
+	if !cmp.Ok() {
+		fmt.Fprintf(stdout, "FAIL: %d regression(s) beyond %.1f%%, %d missing benchmark(s) vs %s\n",
+			len(cmp.Regressions), threshold, len(cmp.Missing), baselinePath)
+		for _, d := range cmp.Regressions {
+			fmt.Fprintf(stdout, "  REGRESSION %s\n", d)
+		}
+		return 1
+	}
+	fmt.Fprintf(stdout, "ok: %d metrics within %.1f%% of %s\n", len(cmp.Deltas), threshold, baselinePath)
+	return 0
 }

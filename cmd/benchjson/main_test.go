@@ -1,63 +1,136 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/benchfmt"
 )
 
-const sample = `goos: linux
-goarch: amd64
-pkg: repro
-cpu: Example CPU @ 2.00GHz
-BenchmarkParallelDecide/hit-16         	12504182	        95.8 ns/op	  10438221 decisions/s	       0 B/op	       0 allocs/op
-BenchmarkParallelDecide/miss-16        	  501826	      2390 ns/op	    418410 decisions/s	     312 B/op	       9 allocs/op
-BenchmarkParallelClusterDecide-16      	 8supplanted
+const sampleBench = `goos: linux
+BenchmarkParallelDecide/hit-16	1000	100 ns/op	1000000 decisions/s	0 allocs/op
+BenchmarkParallelDecide/miss-16	500	2000 ns/op	500000 decisions/s	9 allocs/op
 PASS
-ok  	repro	4.021s
 `
 
-func TestParse(t *testing.T) {
-	// The third bench line above is deliberately corrupt; first check the
-	// happy path without it.
-	good := strings.ReplaceAll(sample, "BenchmarkParallelClusterDecide-16      \t 8supplanted\n", "")
-	doc, err := Parse(strings.NewReader(good))
-	if err != nil {
+func runCLI(t *testing.T, args []string, stdin string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestConvertTextToJSON(t *testing.T) {
+	code, stdout, stderr := runCLI(t, nil, sampleBench)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr)
+	}
+	var doc benchfmt.Doc
+	if err := json.Unmarshal([]byte(stdout), &doc); err != nil {
 		t.Fatal(err)
 	}
-	if doc.Goos != "linux" || doc.Goarch != "amd64" || doc.Pkg != "repro" {
-		t.Errorf("header = %q/%q/%q", doc.Goos, doc.Goarch, doc.Pkg)
-	}
-	if len(doc.Benchmarks) != 2 {
-		t.Fatalf("parsed %d benchmarks, want 2", len(doc.Benchmarks))
-	}
-	hit := doc.Benchmarks[0]
-	if hit.Name != "BenchmarkParallelDecide/hit-16" {
-		t.Errorf("name = %q", hit.Name)
-	}
-	if hit.Runs != 12504182 {
-		t.Errorf("runs = %d", hit.Runs)
-	}
-	for unit, want := range map[string]float64{
-		"ns/op": 95.8, "decisions/s": 10438221, "B/op": 0, "allocs/op": 0,
-	} {
-		if got := hit.Metrics[unit]; got != want {
-			t.Errorf("metric %s = %g, want %g", unit, got, want)
-		}
+	if len(doc.Benchmarks) != 2 || doc.Goos != "linux" {
+		t.Fatalf("doc = %+v", doc)
 	}
 }
 
-func TestParseRejectsMalformedBenchLine(t *testing.T) {
-	if _, err := Parse(strings.NewReader(sample)); err == nil {
-		t.Fatal("corrupt bench line parsed without error")
+func TestConvertEmptyInputFails(t *testing.T) {
+	if code, _, _ := runCLI(t, nil, "PASS\n"); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
 	}
 }
 
-func TestParseSkipsChatter(t *testing.T) {
-	doc, err := Parse(strings.NewReader("=== RUN TestX\n--- PASS: TestX\nPASS\nok \trepro\t1s\n"))
+// writeBaseline converts sampleBench to a committed-baseline JSON file.
+func writeBaseline(t *testing.T, scale float64) string {
+	t.Helper()
+	doc, err := benchfmt.Parse(strings.NewReader(sampleBench))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(doc.Benchmarks) != 0 {
-		t.Fatalf("parsed %d benchmarks from chatter", len(doc.Benchmarks))
+	for i := range doc.Benchmarks {
+		m := doc.Benchmarks[i].Metrics
+		m["ns/op"] *= scale
+		m["decisions/s"] /= scale
+	}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGatePassesWithinThreshold(t *testing.T) {
+	baseline := writeBaseline(t, 1.0)
+	code, stdout, stderr := runCLI(t,
+		[]string{"-compare", baseline, "-threshold", "10"}, sampleBench)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "ok:") {
+		t.Fatalf("no verdict line: %s", stdout)
+	}
+}
+
+func TestGateFailsOnSyntheticFiftyPercentSlowdown(t *testing.T) {
+	// Baseline ran at half the fresh run's ns/op: the fresh run is a
+	// synthetic 50%+ slowdown and must exit 1.
+	baseline := writeBaseline(t, 0.5)
+	code, stdout, _ := runCLI(t,
+		[]string{"-compare", baseline, "-threshold", "40"}, sampleBench)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "REGRESSION") {
+		t.Fatalf("no regression line: %s", stdout)
+	}
+}
+
+func TestGateFailsOnMissingBenchmark(t *testing.T) {
+	baseline := writeBaseline(t, 1.0)
+	freshOnlyHit := `BenchmarkParallelDecide/hit-16	1000	100 ns/op
+PASS
+`
+	code, stdout, _ := runCLI(t, []string{"-compare", baseline}, freshOnlyHit)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "MISSING") {
+		t.Fatalf("no missing line: %s", stdout)
+	}
+}
+
+func TestGateFilterNarrowsComparison(t *testing.T) {
+	baseline := writeBaseline(t, 1.0)
+	freshOnlyHit := `BenchmarkParallelDecide/hit-16	1000	100 ns/op	1000000 decisions/s	0 allocs/op
+PASS
+`
+	code, stdout, _ := runCLI(t,
+		[]string{"-compare", baseline, "-filter", "hit"}, freshOnlyHit)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\n%s", code, stdout)
+	}
+}
+
+func TestGateEmptyIntersectionIsError(t *testing.T) {
+	baseline := writeBaseline(t, 1.0)
+	code, _, stderr := runCLI(t,
+		[]string{"-compare", baseline, "-filter", "NoSuchBench"}, sampleBench)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2 (%s)", code, stderr)
+	}
+}
+
+func TestGateMissingBaselineFileIsError(t *testing.T) {
+	code, _, _ := runCLI(t, []string{"-compare", "/does/not/exist.json"}, sampleBench)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
 	}
 }

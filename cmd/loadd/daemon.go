@@ -1,0 +1,114 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os/exec"
+	"syscall"
+	"time"
+)
+
+// daemon is a spawned pdpd under the harness's control: it implements
+// chaos.Process, so the kill-9/WAL-recovery event is a real SIGKILL of a
+// real process, not a simulation.
+type daemon struct {
+	bin  string
+	args []string
+	addr string
+	log  io.Writer
+	cmd  *exec.Cmd
+}
+
+// Start launches the daemon and blocks until /healthz answers.
+func (d *daemon) Start(ctx context.Context) error {
+	cmd := exec.Command(d.bin, d.args...)
+	cmd.Stdout, cmd.Stderr = d.log, d.log
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("start %s: %w", d.bin, err)
+	}
+	d.cmd = cmd
+	if err := waitHealthy(ctx, d.addr, 20*time.Second); err != nil {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+		return err
+	}
+	return nil
+}
+
+// Kill implements chaos.Process: SIGKILL, no shutdown hook runs — whatever
+// survives must come out of the WAL on Restart.
+func (d *daemon) Kill() error {
+	if d.cmd == nil || d.cmd.Process == nil {
+		return fmt.Errorf("daemon not running")
+	}
+	if err := d.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		return err
+	}
+	_ = d.cmd.Wait() // reap; exit status is the signal, not an error here
+	d.cmd = nil
+	return nil
+}
+
+// Restart implements chaos.Process: relaunch on the same address and data
+// directory and wait until it serves again.
+func (d *daemon) Restart(ctx context.Context) error {
+	if d.cmd != nil {
+		return fmt.Errorf("daemon already running")
+	}
+	return d.Start(ctx)
+}
+
+// Stop shuts the daemon down at the end of the run: SIGTERM for the
+// graceful path, SIGKILL if it lingers.
+func (d *daemon) Stop() {
+	if d.cmd == nil || d.cmd.Process == nil {
+		return
+	}
+	_ = d.cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		_ = d.cmd.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		_ = d.cmd.Process.Kill()
+		<-done
+	}
+	d.cmd = nil
+}
+
+// freeAddr reserves a loopback port for the spawned daemon.
+func freeAddr() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr, nil
+}
+
+// waitHealthy polls /healthz until it answers 200 or the timeout expires.
+func waitHealthy(ctx context.Context, addr string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	client := &http.Client{Timeout: time.Second}
+	for time.Now().Before(deadline) && ctx.Err() == nil {
+		resp, err := client.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("pdpd on %s never became healthy", addr)
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/benchfmt"
+)
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-scenario", "no-such-scenario", "-addr", "127.0.0.1:1"},
+		{},                         // neither -addr nor -spawn
+		{"-spawn", "-addr", "x:1"}, // both
+		{"-spawn"},                 // spawn without -pdpd-bin
+		{"-addr", "127.0.0.1:1", "-chaos", "-chaos-kill", "1s", "-chaos-crash", "0", "-chaos-partition", "0"},
+	}
+	for _, args := range cases {
+		if code, _, _ := runCLI(t, args...); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}
+
+// TestGoodputGateFailsAgainstDeadTarget: an unreachable PDP fails every
+// decision closed, so the goodput floor must trip (exit 1) — the same gate
+// CI relies on, exercised cheaply.
+func TestGoodputGateFailsAgainstDeadTarget(t *testing.T) {
+	code, stdout, stderr := runCLI(t,
+		"-addr", "127.0.0.1:1", // reserved port: connection refused
+		"-scenario", "steady-zipf",
+		"-duration", "200ms",
+		"-rate", "500",
+		"-min-goodput", "1",
+	)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stderr, "goodput") {
+		t.Fatalf("gate failure not reported: %s", stderr)
+	}
+}
+
+// TestEndToEndChaosRunAgainstRealDaemon is the acceptance run: build the
+// real pdpd, spawn a 2x2 cluster, drive the steady-zipf scenario open-loop
+// while the compressed chaos schedule crashes a replica, partitions a
+// shard, kill -9s the daemon and recovers it through the WAL — then
+// require a clean exit, held invariants, and a valid benchfmt document.
+func TestEndToEndChaosRunAgainstRealDaemon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and spawns the real daemon")
+	}
+	workDir := t.TempDir()
+	bin := filepath.Join(workDir, "pdpd")
+	build := exec.Command("go", "build", "-o", bin, "../pdpd")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build ../pdpd: %v\n%s", err, out)
+	}
+	outPath := filepath.Join(workDir, "bench.json")
+
+	code, stdout, stderr := runCLI(t,
+		"-spawn", "-pdpd-bin", bin,
+		"-shards", "2", "-replicas", "2",
+		"-scenario", "steady-zipf",
+		"-duration", "1500ms",
+		"-rate", "400",
+		"-chaos",
+		"-chaos-crash", "200ms",
+		"-chaos-partition", "500ms",
+		"-chaos-kill", "800ms",
+		"-chaos-heal", "250ms",
+		"-recovery-window", "10s",
+		"-out", outPath,
+		"-min-goodput", "10",
+	)
+	if code != 0 {
+		t.Fatalf("exit = %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	for _, want := range []string{"crash", "partition", "kill -9 pdpd", "restart pdpd (WAL recovery)", "invariants: all held"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("chaos report missing %q:\n%s", want, stdout)
+		}
+	}
+
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := benchfmt.Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("emitted document unreadable: %v", err)
+	}
+	entry := doc.Find("Loadgen/steady-zipf")
+	if entry == nil {
+		t.Fatalf("document has no Loadgen/steady-zipf entry: %+v", doc)
+	}
+	if entry.Metrics["goodput/s"] <= 0 {
+		t.Fatalf("zero goodput recorded: %+v", entry.Metrics)
+	}
+	if entry.Metrics["p99-ns/op"] <= 0 {
+		t.Fatalf("no latency recorded: %+v", entry.Metrics)
+	}
+
+	// The merge path: writing a second entry into the same file must keep
+	// the first.
+	if err := writeDoc(outPath, benchfmt.Benchmark{Name: "Loadgen/other", Runs: 1,
+		Metrics: map[string]float64{"goodput/s": 1}}); err != nil {
+		t.Fatal(err)
+	}
+	data, err = os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err = benchfmt.Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Find("Loadgen/steady-zipf") == nil || doc.Find("Loadgen/other") == nil {
+		t.Fatalf("merge dropped an entry: %+v", doc.Benchmarks)
+	}
+}

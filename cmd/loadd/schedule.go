@@ -1,0 +1,196 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/loadgen"
+	"repro/internal/policy"
+	"repro/internal/workload"
+)
+
+// chaosClient drives a daemon's /admin/chaos endpoint: the remote flavour
+// of the ha.Failable seams.
+type chaosClient struct {
+	endpoint string
+	client   *http.Client
+}
+
+func newChaosClient(base string) *chaosClient {
+	return &chaosClient{endpoint: base + "/admin/chaos", client: &http.Client{Timeout: 10 * time.Second}}
+}
+
+// topology returns shard names in listing order and the replica count.
+func (c *chaosClient) topology(ctx context.Context) (shards []string, replicasPerShard int, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.endpoint, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, 0, fmt.Errorf("chaos endpoint: %w (is the daemon running with -chaos and -shards > 1?)", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, 0, fmt.Errorf("chaos endpoint: %s: %s", resp.Status, body)
+	}
+	var state struct {
+		Replicas []struct {
+			Shard   string `json:"shard"`
+			Replica int    `json:"replica"`
+		} `json:"replicas"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&state); err != nil {
+		return nil, 0, err
+	}
+	seen := map[string]bool{}
+	for _, r := range state.Replicas {
+		if !seen[r.Shard] {
+			seen[r.Shard] = true
+			shards = append(shards, r.Shard)
+		}
+		if r.Replica+1 > replicasPerShard {
+			replicasPerShard = r.Replica + 1
+		}
+	}
+	if len(shards) == 0 {
+		return nil, 0, fmt.Errorf("chaos endpoint reports no replicas")
+	}
+	return shards, replicasPerShard, nil
+}
+
+// inject posts one fault action.
+func (c *chaosClient) inject(ctx context.Context, action, shard string, replica, stallMs int) error {
+	body, err := json.Marshal(map[string]any{
+		"action": action, "shard": shard, "replica": replica, "stall_ms": stallMs,
+	})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.endpoint, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("chaos %s %s/%d: %s: %s", action, shard, replica, resp.Status, msg)
+	}
+	return nil
+}
+
+// action adapts one injection into a schedule Action.
+func (c *chaosClient) action(action, shard string, replica int) chaos.Action {
+	return func(ctx context.Context) error { return c.inject(ctx, action, shard, replica, 0) }
+}
+
+// shardWide applies one action to every replica of a shard — the
+// "partition" fault: the whole shard group unreachable at once.
+func (c *chaosClient) shardWide(action, shard string, replicas int) chaos.Action {
+	return func(ctx context.Context) error {
+		for r := 0; r < replicas; r++ {
+			if err := c.inject(ctx, action, shard, r, 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// scheduleConfig parameterises the built-in fault schedule.
+type scheduleConfig struct {
+	endpoint  string
+	target    chaos.Decider
+	admin     loadgen.HTTPAdmin
+	workload  workload.Config
+	proc      *daemon // nil when attached to an external daemon
+	crash     time.Duration
+	partition time.Duration
+	kill      time.Duration
+	heal      time.Duration
+	recovery  time.Duration
+}
+
+// buildSchedule assembles the documented chaos run: snapshot the decision
+// probes and seed the acknowledged-write ledger first, then schedule
+// replica crash, shard partition and (for spawned daemons) a kill -9, each
+// healing after cfg.heal, with the strict recovery checks as the final
+// events. The tolerant invariants sweep after every event.
+func buildSchedule(ctx context.Context, cfg scheduleConfig) (*chaos.Orchestrator, error) {
+	inj := newChaosClient(cfg.endpoint)
+	shards, replicasPerShard, err := inj.topology(ctx)
+	if err != nil {
+		return nil, err
+	}
+
+	probe := &chaos.DecisionProbe{Target: cfg.target, Requests: []*policy.Request{
+		warmProbe(cfg.workload, 0), warmProbe(cfg.workload, 1),
+		warmProbe(cfg.workload, 2), warmProbe(cfg.workload, 3),
+	}}
+	if err := probe.Snapshot(ctx); err != nil {
+		return nil, fmt.Errorf("probe snapshot: %w", err)
+	}
+
+	// Acknowledged writes: sentinel policies written through the admin
+	// plane before the faults start. The WAL contract says none of them
+	// may ever disappear.
+	acked := &chaos.AckedWrites{Target: cfg.target}
+	for i := 0; i < 4; i++ {
+		pol, req := sentinelPolicy(i)
+		if err := cfg.admin.Put(ctx, pol); err != nil {
+			return nil, fmt.Errorf("sentinel write %d: %w", i, err)
+		}
+		acked.Acknowledge(pol.EntityID(), req, policy.DecisionPermit)
+	}
+
+	orch := chaos.New()
+	last := time.Duration(0)
+	add := func(at time.Duration, name string, do chaos.Action) {
+		orch.Add(chaos.Event{At: at, Name: name, Do: do})
+		if at > last {
+			last = at
+		}
+	}
+	if cfg.crash > 0 {
+		add(cfg.crash, fmt.Sprintf("crash %s/replica-0", shards[0]), inj.action("crash", shards[0], 0))
+		add(cfg.crash+cfg.heal, fmt.Sprintf("revive %s/replica-0", shards[0]), inj.action("revive", shards[0], 0))
+	}
+	if cfg.partition > 0 {
+		shard := shards[len(shards)-1]
+		add(cfg.partition, fmt.Sprintf("partition shard %s (all %d replicas down)", shard, replicasPerShard),
+			inj.shardWide("crash", shard, replicasPerShard))
+		add(cfg.partition+cfg.heal, fmt.Sprintf("heal shard %s", shard),
+			inj.shardWide("revive", shard, replicasPerShard))
+	}
+	if cfg.kill > 0 {
+		if cfg.proc == nil {
+			return nil, fmt.Errorf("-chaos-kill needs -spawn (cannot SIGKILL an external daemon); set -chaos-kill 0")
+		}
+		add(cfg.kill, "kill -9 pdpd", chaos.Kill9(cfg.proc))
+		add(cfg.kill+cfg.heal, "restart pdpd (WAL recovery)", chaos.Restart(cfg.proc))
+	}
+	// Strict recovery checks after the last repair: decisions identical,
+	// acknowledged writes provably in effect.
+	verifyAt := last + cfg.heal
+	add(verifyAt, "verify decisions recovered", chaos.Check(probe.Recovered(cfg.recovery)))
+	add(verifyAt, "verify acked writes durable", chaos.Check(acked.Durable(cfg.recovery)))
+
+	orch.Require(
+		probe.Unchanged(),
+		acked.Held(),
+		chaos.FailClosed(cfg.target, warmProbe(cfg.workload, 4)),
+	)
+	return orch, nil
+}

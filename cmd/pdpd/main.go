@@ -101,6 +101,7 @@ func main() {
 	traceBuffer := flag.Int("trace-buffer", 256, "kept-trace ring capacity behind /debug/traces")
 	subjectsPath := flag.String("subjects", "", "subject directory JSON file wired (behind a coalescing cache) as the engines' PIP resolver")
 	policyLint := flag.String("policy-lint", "warn", "static policy lint gate on /admin/policy: off, warn, or strict (strict rejects writes introducing blocking findings, fail-closed)")
+	chaosFlag := flag.Bool("chaos", false, "expose /admin/chaos fault injection (replica crash/revive/stall; cluster mode only) — load/chaos harness use, never production")
 	debugAddr := flag.String("debug-addr", "", "optional pprof listen address (profiling stays off unless set)")
 	flag.Parse()
 
@@ -143,7 +144,7 @@ func main() {
 		resolver = cache
 		log.Printf("pdpd: %d subjects loaded from %s", dir.Len(), *subjectsPath)
 	}
-	point, stats, err := buildDecisionPoint(*useIndex, *cacheTTL, *shards, *replicas, *strategy, resolver, reg)
+	point, stats, router, err := buildDecisionPoint(*useIndex, *cacheTTL, *shards, *replicas, *strategy, resolver, reg)
 	if err != nil {
 		log.Fatalf("pdpd: %v", err)
 	}
@@ -169,6 +170,10 @@ func main() {
 	mux.Handle("/metrics", reg.Handler())
 	mux.Handle("/debug/traces", tracer.Handler())
 	mux.HandleFunc("/admin/policy", adm.handlePolicy)
+	if *chaosFlag {
+		mux.Handle("/admin/chaos", &chaosAdmin{router: router})
+		log.Printf("pdpd: chaos fault injection enabled on /admin/chaos")
+	}
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		out := struct {
@@ -238,7 +243,10 @@ func main() {
 	}
 }
 
-func buildDecisionPoint(useIndex bool, cacheTTL time.Duration, shards, replicas int, strategy string, resolver policy.Resolver, reg *telemetry.Registry) (decisionPoint, func() any, error) {
+// buildDecisionPoint assembles the serving surface; the returned router is
+// non-nil only in cluster mode, where it additionally exposes the replica
+// handles /admin/chaos injects faults through.
+func buildDecisionPoint(useIndex bool, cacheTTL time.Duration, shards, replicas int, strategy string, resolver policy.Resolver, reg *telemetry.Registry) (decisionPoint, func() any, *cluster.Router, error) {
 	var opts []pdp.Option
 	if useIndex {
 		opts = append(opts, pdp.WithTargetIndex())
@@ -255,7 +263,7 @@ func buildDecisionPoint(useIndex bool, cacheTTL time.Duration, shards, replicas 
 		if reg != nil {
 			engine.RegisterMetrics(reg)
 		}
-		return engine, func() any { return engine.Stats() }, nil
+		return engine, func() any { return engine.Stats() }, nil, nil
 	}
 
 	var strat ha.Strategy
@@ -265,7 +273,7 @@ func buildDecisionPoint(useIndex bool, cacheTTL time.Duration, shards, replicas 
 	case "quorum":
 		strat = ha.Quorum
 	default:
-		return nil, nil, fmt.Errorf("unknown strategy %q (want failover or quorum)", strategy)
+		return nil, nil, nil, fmt.Errorf("unknown strategy %q (want failover or quorum)", strategy)
 	}
 	router, err := cluster.New("pdpd", cluster.Config{
 		Shards:        shards,
@@ -274,7 +282,7 @@ func buildDecisionPoint(useIndex bool, cacheTTL time.Duration, shards, replicas 
 		EngineOptions: opts,
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if reg != nil {
 		router.RegisterMetrics(reg)
@@ -287,7 +295,7 @@ func buildDecisionPoint(useIndex bool, cacheTTL time.Duration, shards, replicas 
 			Loads   []int64
 			Groups  map[string]ha.Stats
 		}{router.Stats(), router.EngineStats(), router.Shards(), router.ShardLoads(), router.GroupStats()}
-	}, nil
+	}, router, nil
 }
 
 // admin owns the daemon's Policy Administration Point and pushes its

@@ -1,0 +1,84 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Example CPU @ 2.00GHz
+BenchmarkParallelDecide/hit-16         	12504182	        95.8 ns/op	  10438221 decisions/s	       0 B/op	       0 allocs/op
+BenchmarkParallelDecide/miss-16        	  501826	      2390 ns/op	    418410 decisions/s	     312 B/op	       9 allocs/op
+BenchmarkParallelClusterDecide-16      	 8supplanted
+PASS
+ok  	repro	4.021s
+`
+
+func TestParse(t *testing.T) {
+	// The third bench line above is deliberately corrupt; first check the
+	// happy path without it.
+	good := strings.ReplaceAll(sample, "BenchmarkParallelClusterDecide-16      \t 8supplanted\n", "")
+	doc, err := Parse(strings.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || doc.Pkg != "repro" {
+		t.Errorf("header = %q/%q/%q", doc.Goos, doc.Goarch, doc.Pkg)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	hit := doc.Benchmarks[0]
+	if hit.Name != "BenchmarkParallelDecide/hit-16" {
+		t.Errorf("name = %q", hit.Name)
+	}
+	if hit.Runs != 12504182 {
+		t.Errorf("runs = %d", hit.Runs)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 95.8, "decisions/s": 10438221, "B/op": 0, "allocs/op": 0,
+	} {
+		if got := hit.Metrics[unit]; got != want {
+			t.Errorf("metric %s = %g, want %g", unit, got, want)
+		}
+	}
+}
+
+func TestParseRejectsMalformedBenchLine(t *testing.T) {
+	if _, err := Parse(strings.NewReader(sample)); err == nil {
+		t.Fatal("corrupt bench line parsed without error")
+	}
+}
+
+func TestParseSkipsChatter(t *testing.T) {
+	doc, err := Parse(strings.NewReader("=== RUN TestX\n--- PASS: TestX\nPASS\nok \trepro\t1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 0 {
+		t.Fatalf("parsed %d benchmarks from chatter", len(doc.Benchmarks))
+	}
+}
+
+func TestReadSniffsJSONAndText(t *testing.T) {
+	jsonDoc := `{"goos":"linux","benchmarks":[{"name":"BenchmarkX-4","runs":10,"metrics":{"ns/op":100}}]}`
+	doc, err := Read(strings.NewReader(jsonDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 1 || doc.Benchmarks[0].Name != "BenchmarkX-4" {
+		t.Fatalf("JSON read = %+v", doc)
+	}
+	doc, err = Read(strings.NewReader("BenchmarkY-2\t5\t20 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 1 || doc.Benchmarks[0].Name != "BenchmarkY-2" {
+		t.Fatalf("text read = %+v", doc)
+	}
+	if _, err := Read(strings.NewReader("{not json")); err == nil {
+		t.Fatal("malformed JSON read without error")
+	}
+}

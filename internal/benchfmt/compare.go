@@ -1,0 +1,162 @@
+package benchfmt
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Direction states whether a metric improves by going down or up.
+type Direction int
+
+// Metric directions.
+const (
+	// DirectionUnknown marks units the comparator cannot orient; they
+	// are skipped rather than misjudged.
+	DirectionUnknown Direction = iota
+	// LowerBetter covers cost-per-operation units: ns/op, B/op,
+	// allocs/op, p99-ns/op and friends.
+	LowerBetter
+	// HigherBetter covers rate units: decisions/s, goodput/s.
+	HigherBetter
+)
+
+// MetricDirection orients a unit by its suffix: anything per operation is
+// a cost (lower is better), anything per second is a rate (higher is
+// better).
+func MetricDirection(unit string) Direction {
+	switch {
+	case strings.HasSuffix(unit, "/op"):
+		return LowerBetter
+	case strings.HasSuffix(unit, "/s"):
+		return HigherBetter
+	default:
+		return DirectionUnknown
+	}
+}
+
+// Delta is one metric's old-vs-new comparison.
+type Delta struct {
+	// Name and Metric identify the benchmark entry and unit.
+	Name   string  `json:"name"`
+	Metric string  `json:"metric"`
+	Old    float64 `json:"old"`
+	New    float64 `json:"new"`
+	// Pct is the worsening in percent along the metric's direction:
+	// positive means the new value is worse (slower, bigger, fewer per
+	// second), negative means it improved.
+	Pct float64 `json:"pct"`
+}
+
+func (d Delta) String() string {
+	verb := "worsened"
+	if d.Pct < 0 {
+		verb = "improved"
+	}
+	return fmt.Sprintf("%s %s: %g -> %g (%s %.1f%%)", d.Name, d.Metric, d.Old, d.New, verb, abs(d.Pct))
+}
+
+func abs(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+// Comparison is the result of diffing two documents.
+type Comparison struct {
+	// Regressions are deltas worse than the threshold, worst first.
+	Regressions []Delta `json:"regressions,omitempty"`
+	// Deltas are every compared metric pair, in baseline order.
+	Deltas []Delta `json:"deltas"`
+	// Missing lists baseline benchmarks absent from the fresh document —
+	// a renamed or deleted benchmark must not silently pass the gate.
+	Missing []string `json:"missing,omitempty"`
+	// Added lists fresh benchmarks the baseline does not know.
+	Added []string `json:"added,omitempty"`
+}
+
+// Ok reports a comparison the gate should pass: no regression beyond the
+// threshold and no baseline benchmark missing.
+func (c *Comparison) Ok() bool {
+	return len(c.Regressions) == 0 && len(c.Missing) == 0
+}
+
+// Compare diffs fresh against the old baseline metric by metric. A metric
+// counts as a regression when it worsens along its direction by more than
+// thresholdPct percent. Metrics with unknown direction and metrics absent
+// from either side are skipped; whole benchmarks present in old but not in
+// fresh are reported as Missing (and fail Ok), so a renamed benchmark
+// cannot dodge the gate. filter, when non-nil, restricts the comparison to
+// benchmark names it matches — on both sides, so filtered-out baseline
+// entries are not "missing".
+func Compare(old, fresh *Doc, thresholdPct float64, filter *regexp.Regexp) *Comparison {
+	match := func(name string) bool { return filter == nil || filter.MatchString(name) }
+	c := &Comparison{}
+	seen := make(map[string]bool, len(old.Benchmarks))
+	for _, ob := range old.Benchmarks {
+		if !match(ob.Name) {
+			continue
+		}
+		seen[ob.Name] = true
+		nb := fresh.Find(ob.Name)
+		if nb == nil {
+			c.Missing = append(c.Missing, ob.Name)
+			continue
+		}
+		units := make([]string, 0, len(ob.Metrics))
+		for unit := range ob.Metrics {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			dir := MetricDirection(unit)
+			if dir == DirectionUnknown {
+				continue
+			}
+			nv, ok := nb.Metrics[unit]
+			if !ok {
+				continue
+			}
+			ov := ob.Metrics[unit]
+			d := Delta{Name: ob.Name, Metric: unit, Old: ov, New: nv, Pct: worsening(ov, nv, dir)}
+			c.Deltas = append(c.Deltas, d)
+			if d.Pct > thresholdPct {
+				c.Regressions = append(c.Regressions, d)
+			}
+		}
+	}
+	for _, nb := range fresh.Benchmarks {
+		if match(nb.Name) && !seen[nb.Name] {
+			c.Added = append(c.Added, nb.Name)
+		}
+	}
+	sort.Slice(c.Regressions, func(i, j int) bool { return c.Regressions[i].Pct > c.Regressions[j].Pct })
+	return c
+}
+
+// worsening returns the percentage by which new is worse than old along
+// the direction; negative values are improvements. A zero baseline cannot
+// be expressed as a percentage: it worsens only if the new value moved the
+// wrong way at all (reported as +100%), which keeps 0-allocs/op guards
+// meaningful.
+func worsening(old, new float64, dir Direction) float64 {
+	if dir == HigherBetter {
+		// A rate dropping to x of baseline worsens by (1 - x).
+		if old == 0 {
+			if new < 0 {
+				return 100
+			}
+			return 0
+		}
+		return (old - new) / old * 100
+	}
+	if old == 0 {
+		if new > 0 {
+			return 100
+		}
+		return 0
+	}
+	return (new - old) / old * 100
+}

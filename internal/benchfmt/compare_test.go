@@ -1,0 +1,127 @@
+package benchfmt
+
+import (
+	"regexp"
+	"testing"
+)
+
+func doc(entries ...Benchmark) *Doc { return &Doc{Benchmarks: entries} }
+
+func bench(name string, metrics map[string]float64) Benchmark {
+	return Benchmark{Name: name, Runs: 1, Metrics: metrics}
+}
+
+func TestCompareCleanWithinThreshold(t *testing.T) {
+	old := doc(bench("BenchmarkX-4", map[string]float64{"ns/op": 100, "decisions/s": 1000}))
+	fresh := doc(bench("BenchmarkX-4", map[string]float64{"ns/op": 105, "decisions/s": 960}))
+	c := Compare(old, fresh, 10, nil)
+	if !c.Ok() {
+		t.Fatalf("comparison not ok: %+v", c)
+	}
+	if len(c.Deltas) != 2 {
+		t.Fatalf("deltas = %d, want 2", len(c.Deltas))
+	}
+}
+
+func TestCompareFlagsSyntheticFiftyPercentSlowdown(t *testing.T) {
+	// The acceptance check: a 50% ns/op slowdown must trip the gate.
+	old := doc(bench("BenchmarkParallelDecide/hit-16", map[string]float64{"ns/op": 100}))
+	fresh := doc(bench("BenchmarkParallelDecide/hit-16", map[string]float64{"ns/op": 150}))
+	c := Compare(old, fresh, 40, nil)
+	if c.Ok() {
+		t.Fatal("50% slowdown passed a 40% threshold")
+	}
+	if len(c.Regressions) != 1 || c.Regressions[0].Pct != 50 {
+		t.Fatalf("regressions = %+v", c.Regressions)
+	}
+}
+
+func TestCompareRateDirection(t *testing.T) {
+	// A rate metric regresses by dropping, not rising.
+	old := doc(bench("BenchmarkX", map[string]float64{"decisions/s": 1000}))
+	up := doc(bench("BenchmarkX", map[string]float64{"decisions/s": 2000}))
+	if c := Compare(old, up, 5, nil); !c.Ok() {
+		t.Fatalf("rate doubling reported as regression: %+v", c.Regressions)
+	}
+	down := doc(bench("BenchmarkX", map[string]float64{"decisions/s": 500}))
+	c := Compare(old, down, 40, nil)
+	if c.Ok() || c.Regressions[0].Pct != 50 {
+		t.Fatalf("halved rate not flagged: %+v", c)
+	}
+}
+
+func TestCompareMissingBenchmarkFailsGate(t *testing.T) {
+	// A renamed benchmark disappears from the fresh run: the gate must
+	// fail rather than pass on an empty intersection.
+	old := doc(
+		bench("BenchmarkOldName-4", map[string]float64{"ns/op": 100}),
+		bench("BenchmarkKept-4", map[string]float64{"ns/op": 100}),
+	)
+	fresh := doc(
+		bench("BenchmarkNewName-4", map[string]float64{"ns/op": 100}),
+		bench("BenchmarkKept-4", map[string]float64{"ns/op": 100}),
+	)
+	c := Compare(old, fresh, 10, nil)
+	if c.Ok() {
+		t.Fatal("missing baseline benchmark passed the gate")
+	}
+	if len(c.Missing) != 1 || c.Missing[0] != "BenchmarkOldName-4" {
+		t.Fatalf("missing = %v", c.Missing)
+	}
+	if len(c.Added) != 1 || c.Added[0] != "BenchmarkNewName-4" {
+		t.Fatalf("added = %v", c.Added)
+	}
+}
+
+func TestCompareFilterScopesBothSides(t *testing.T) {
+	// The filter excludes baseline entries too: a baseline-only harness
+	// scenario must not count as missing when the gate targets only the
+	// contention benchmarks.
+	old := doc(
+		bench("BenchmarkParallelDecide/hit-16", map[string]float64{"ns/op": 100}),
+		bench("Loadgen/steady-zipf", map[string]float64{"p99-ns/op": 5e6}),
+	)
+	fresh := doc(bench("BenchmarkParallelDecide/hit-16", map[string]float64{"ns/op": 101}))
+	c := Compare(old, fresh, 10, regexp.MustCompile("^BenchmarkParallelDecide"))
+	if !c.Ok() {
+		t.Fatalf("filtered comparison not ok: %+v", c)
+	}
+	if len(c.Missing) != 0 {
+		t.Fatalf("filtered-out baseline entry reported missing: %v", c.Missing)
+	}
+}
+
+func TestCompareZeroBaseline(t *testing.T) {
+	// 0 allocs/op is a guard, not an unmeasurable baseline: any growth
+	// regresses it.
+	old := doc(bench("BenchmarkHit", map[string]float64{"allocs/op": 0}))
+	fresh := doc(bench("BenchmarkHit", map[string]float64{"allocs/op": 2}))
+	if c := Compare(old, fresh, 50, nil); c.Ok() {
+		t.Fatal("allocs growth from zero baseline passed")
+	}
+	same := doc(bench("BenchmarkHit", map[string]float64{"allocs/op": 0}))
+	if c := Compare(old, same, 50, nil); !c.Ok() {
+		t.Fatalf("zero-to-zero flagged: %+v", c.Regressions)
+	}
+}
+
+func TestCompareSkipsUnknownUnits(t *testing.T) {
+	old := doc(bench("BenchmarkX", map[string]float64{"widgets": 7, "ns/op": 100}))
+	fresh := doc(bench("BenchmarkX", map[string]float64{"widgets": 99, "ns/op": 100}))
+	c := Compare(old, fresh, 10, nil)
+	if !c.Ok() || len(c.Deltas) != 1 {
+		t.Fatalf("unknown unit compared: %+v", c.Deltas)
+	}
+}
+
+func TestMetricDirection(t *testing.T) {
+	for unit, want := range map[string]Direction{
+		"ns/op": LowerBetter, "B/op": LowerBetter, "allocs/op": LowerBetter,
+		"p99-ns/op": LowerBetter, "decisions/s": HigherBetter,
+		"goodput/s": HigherBetter, "widgets": DirectionUnknown,
+	} {
+		if got := MetricDirection(unit); got != want {
+			t.Errorf("MetricDirection(%q) = %v, want %v", unit, got, want)
+		}
+	}
+}

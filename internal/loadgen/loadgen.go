@@ -1,0 +1,332 @@
+// Package loadgen is the open-loop traffic driver behind cmd/loadd: it
+// fires Zipf-skewed decision requests at a decision point on an
+// arrival-rate schedule that does not slow down when the target does. The
+// paper's architecture is sized for real user populations, and a real
+// population is open-loop — users arrive when they arrive, not when the
+// previous answer returns. Closed-loop benchmarks hide overload behind
+// coordinated omission; this driver measures every request from its
+// *scheduled* arrival instant, so queueing delay under overload shows up
+// as latency rather than silently shrinking the offered rate.
+//
+// The queue model is explicit: arrivals land in a bounded queue drained by
+// a fixed pool of virtual enforcement points. A full queue sheds the
+// arrival (counted, never blocking the arrival process), a slow target
+// grows the queue and therefore the measured latency. Latency histograms
+// reuse internal/telemetry's lock-free log-bucketed histogram; results
+// export as internal/benchfmt entries so every run extends the committed
+// BENCH_<PR>.json perf trajectory.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/benchfmt"
+	"repro/internal/policy"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// Target is the decision point under load. pdp.Engine, cluster.Router,
+// pdp.Client (a real pdpd over HTTP) and NetworkTarget (the in-process
+// wire network) all satisfy it.
+type Target interface {
+	Decide(ctx context.Context, req *policy.Request) policy.Result
+}
+
+// Admin is the policy administration plane the churn scenarios write
+// through: a real pdpd's /admin/policy (HTTPAdmin) or an in-process
+// pap.Store (StoreAdmin).
+type Admin interface {
+	Put(ctx context.Context, pol policy.Evaluable) error
+	Delete(ctx context.Context, id string) error
+}
+
+// Config parameterises one open-loop run.
+type Config struct {
+	// Workload shapes the population and the arrival process (Zipf skew,
+	// Poisson mean interarrival, optional Burst window).
+	Workload workload.Config
+	// Duration bounds the arrival schedule; 2s when zero.
+	Duration time.Duration
+	// Workers is the virtual-PEP pool draining the queue; 16 when zero.
+	Workers int
+	// QueueCap bounds the arrival queue; beyond it arrivals are shed
+	// (counted). 1024 when zero.
+	QueueCap int
+	// Timeout is the per-decision deadline budget (0 leaves decisions
+	// unbounded); expiry surfaces as Indeterminate, fail-closed.
+	Timeout time.Duration
+	// Cold sends requests without subject attributes, forcing the target
+	// through its PIP chain mid-evaluation — the cold-subject storm.
+	Cold bool
+	// ChurnEvery issues one admin policy rewrite per that many arrivals
+	// (0 disables churn). Requires an Admin on the Driver.
+	ChurnEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.Workers <= 0 {
+		c.Workers = 16
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 1024
+	}
+	return c
+}
+
+// Result is the accounting of one run.
+type Result struct {
+	// Scenario names the run in reports and benchmark entries.
+	Scenario string
+	// Elapsed is the wall time from first scheduled arrival to last
+	// completion.
+	Elapsed time.Duration
+	// Offered counts scheduled arrivals; Completed the decisions that
+	// ran; Shed the arrivals dropped on a full queue.
+	Offered, Completed, Shed int64
+	// Permit, Deny, NotApplicable and Indeterminate split Completed by
+	// outcome. Goodput is the conclusive (non-Indeterminate) share.
+	Permit, Deny, NotApplicable, Indeterminate int64
+	// ChurnWrites and ChurnErrors count admin-plane rewrites issued by
+	// the churn scenario.
+	ChurnWrites, ChurnErrors int64
+	// QueueMax is the deepest the arrival queue got.
+	QueueMax int64
+	// Latency is the scheduled-arrival-to-completion distribution: it
+	// includes queueing delay, so overload reads as latency.
+	Latency telemetry.HistogramSnapshot
+}
+
+// Conclusive counts decisions that answered (Permit/Deny/NotApplicable).
+func (r Result) Conclusive() int64 { return r.Permit + r.Deny + r.NotApplicable }
+
+// GoodputPerSec is the conclusive decision rate over the run.
+func (r Result) GoodputPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Conclusive()) / r.Elapsed.Seconds()
+}
+
+// OfferedPerSec is the scheduled arrival rate actually achieved.
+func (r Result) OfferedPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Offered) / r.Elapsed.Seconds()
+}
+
+// frac renders a per-offered fraction, 0 when nothing was offered.
+func (r Result) frac(n int64) float64 {
+	if r.Offered == 0 {
+		return 0
+	}
+	return float64(n) / float64(r.Offered)
+}
+
+// Benchmark exports the result as one benchfmt entry named
+// "Loadgen/<scenario>". Metric units follow the comparator's direction
+// convention: *-ns/op latencies and per-offered fractions are
+// lower-better, rates are higher-better.
+func (r Result) Benchmark() benchfmt.Benchmark {
+	return benchfmt.Benchmark{
+		Name: "Loadgen/" + r.Scenario,
+		Runs: r.Completed,
+		Metrics: map[string]float64{
+			"p50-ns/op":        float64(r.Latency.Quantile(0.50)),
+			"p95-ns/op":        float64(r.Latency.Quantile(0.95)),
+			"p99-ns/op":        float64(r.Latency.Quantile(0.99)),
+			"mean-ns/op":       float64(r.Latency.Mean()),
+			"goodput/s":        r.GoodputPerSec(),
+			"offered/s":        r.OfferedPerSec(),
+			"shed/op":          r.frac(r.Shed),
+			"indeterminate/op": r.frac(r.Indeterminate),
+		},
+	}
+}
+
+// String renders the one-line human summary loadd logs per scenario.
+func (r Result) String() string {
+	return fmt.Sprintf(
+		"%s: offered %d (%.0f/s) completed %d shed %d | permit/deny/na/indet %d/%d/%d/%d | goodput %.0f/s | p50 %v p99 %v max-queue %d",
+		r.Scenario, r.Offered, r.OfferedPerSec(), r.Completed, r.Shed,
+		r.Permit, r.Deny, r.NotApplicable, r.Indeterminate,
+		r.GoodputPerSec(), r.Latency.Quantile(0.5), r.Latency.Quantile(0.99), r.QueueMax)
+}
+
+// Driver runs one open-loop scenario against a target.
+type Driver struct {
+	name   string
+	cfg    Config
+	target Target
+	admin  Admin
+}
+
+// New builds a driver. admin may be nil unless cfg.ChurnEvery > 0.
+func New(name string, cfg Config, target Target, admin Admin) (*Driver, error) {
+	cfg = cfg.withDefaults()
+	if target == nil {
+		return nil, errors.New("loadgen: nil target")
+	}
+	if cfg.ChurnEvery > 0 && admin == nil {
+		return nil, errors.New("loadgen: churn scenario needs an Admin")
+	}
+	return &Driver{name: name, cfg: cfg, target: target, admin: admin}, nil
+}
+
+// arrival is one scheduled request: latency is measured against sched, not
+// against dequeue, so time spent queued is part of the answer.
+type arrival struct {
+	req   *policy.Request
+	sched time.Time
+}
+
+// Run executes the open-loop schedule until the configured duration has
+// elapsed on the arrival clock (or ctx is done, whichever is first),
+// drains the queue, and returns the accounting.
+func (d *Driver) Run(ctx context.Context) Result {
+	cfg := d.cfg
+	gen := workload.NewGenerator(cfg.Workload)
+	queue := make(chan arrival, cfg.QueueCap)
+
+	var (
+		offered, shed, completed           atomic.Int64
+		permit, deny, notApplicable, indet atomic.Int64
+		churnWrites, churnErrors           atomic.Int64
+		queueMax                           int64
+		hist                               telemetry.Histogram
+	)
+
+	// Worker pool: each virtual PEP decides queued arrivals under the
+	// per-decision timeout and records completion latency from the
+	// scheduled arrival instant.
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for a := range queue {
+				dctx := ctx
+				var cancel context.CancelFunc
+				if cfg.Timeout > 0 {
+					dctx, cancel = context.WithDeadline(ctx, a.sched.Add(cfg.Timeout))
+				}
+				res := d.target.Decide(dctx, a.req)
+				if cancel != nil {
+					cancel()
+				}
+				hist.Observe(time.Since(a.sched))
+				completed.Add(1)
+				switch res.Decision {
+				case policy.DecisionPermit:
+					permit.Add(1)
+				case policy.DecisionDeny:
+					deny.Add(1)
+				case policy.DecisionNotApplicable:
+					notApplicable.Add(1)
+				default:
+					indet.Add(1)
+				}
+			}
+		}()
+	}
+
+	// Churn writer: admin rewrites ride a small side queue so a slow
+	// admin plane never stalls the arrival process.
+	var churnQ chan int
+	var churnWG sync.WaitGroup
+	if cfg.ChurnEvery > 0 {
+		churnQ = make(chan int, 64)
+		churnWG.Add(1)
+		go func() {
+			defer churnWG.Done()
+			roles := cfg.Workload.Roles
+			if roles <= 0 {
+				roles = 1
+			}
+			for i := range churnQ {
+				pol := workload.ResourcePolicy(i%cfg.Workload.Resources, roles)
+				if err := d.admin.Put(ctx, pol); err != nil {
+					churnErrors.Add(1)
+				} else {
+					churnWrites.Add(1)
+				}
+			}
+		}()
+	}
+
+	// Open-loop scheduler: arrivals fire on the virtual arrival clock
+	// mapped onto wall time, independent of response progress. A full
+	// queue sheds; it never pushes back on the schedule.
+	start := time.Now()
+	churnCountdown := cfg.ChurnEvery
+	for gen.ArrivalClock() < cfg.Duration && ctx.Err() == nil {
+		gen.NextInterarrival()
+		sched := start.Add(gen.ArrivalClock())
+		if wait := time.Until(sched); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+			}
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		var req *policy.Request
+		if cfg.Cold {
+			req = gen.NextRequest()
+		} else {
+			req = gen.WarmRequest()
+		}
+		offered.Add(1)
+		select {
+		case queue <- arrival{req: req, sched: sched}:
+			if depth := int64(len(queue)); depth > queueMax {
+				queueMax = depth
+			}
+		default:
+			shed.Add(1)
+		}
+		if cfg.ChurnEvery > 0 {
+			churnCountdown--
+			if churnCountdown <= 0 {
+				churnCountdown = cfg.ChurnEvery
+				select {
+				case churnQ <- int(offered.Load()):
+				default:
+					// Admin plane saturated; skip rather than stall.
+				}
+			}
+		}
+	}
+	close(queue)
+	wg.Wait()
+	if churnQ != nil {
+		close(churnQ)
+		churnWG.Wait()
+	}
+
+	return Result{
+		Scenario:      d.name,
+		Elapsed:       time.Since(start),
+		Offered:       offered.Load(),
+		Completed:     completed.Load(),
+		Shed:          shed.Load(),
+		Permit:        permit.Load(),
+		Deny:          deny.Load(),
+		NotApplicable: notApplicable.Load(),
+		Indeterminate: indet.Load(),
+		ChurnWrites:   churnWrites.Load(),
+		ChurnErrors:   churnErrors.Load(),
+		QueueMax:      queueMax,
+		Latency:       hist.Snapshot(),
+	}
+}

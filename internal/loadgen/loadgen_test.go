@@ -1,0 +1,283 @@
+package loadgen
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/pap"
+	"repro/internal/pdp"
+	"repro/internal/policy"
+	"repro/internal/workload"
+)
+
+// testEngine builds an engine serving the workload's policy base.
+func testEngine(t *testing.T, cfg workload.Config, opts ...pdp.Option) *pdp.Engine {
+	t.Helper()
+	gen := workload.NewGenerator(cfg)
+	engine := pdp.New("loadgen-test", opts...)
+	if err := engine.SetRoot(gen.PolicyBase("root")); err != nil {
+		t.Fatal(err)
+	}
+	return engine
+}
+
+// smallConfig is a fast, deterministic run shape for unit tests.
+func smallConfig(d time.Duration) Config {
+	return Config{
+		Workload: workload.Config{
+			Users: 50, Resources: 32, Roles: 4,
+			MeanInterarrival: 200 * time.Microsecond, Seed: 9,
+		},
+		Duration: d,
+		Workers:  8,
+		QueueCap: 512,
+	}
+}
+
+func TestOpenLoopSteadyAccounting(t *testing.T) {
+	cfg := smallConfig(300 * time.Millisecond)
+	engine := testEngine(t, cfg.Workload)
+	d, err := New("steady", cfg, engine, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := d.Run(context.Background())
+	if res.Offered == 0 {
+		t.Fatal("no arrivals offered")
+	}
+	if res.Completed+res.Shed != res.Offered {
+		t.Fatalf("accounting leak: offered %d != completed %d + shed %d",
+			res.Offered, res.Completed, res.Shed)
+	}
+	if int64(res.Latency.Count) != res.Completed {
+		t.Fatalf("histogram count %d != completed %d", res.Latency.Count, res.Completed)
+	}
+	// Warm requests against the matching base are all conclusive.
+	if res.Indeterminate != 0 {
+		t.Fatalf("%d Indeterminate decisions on a healthy engine", res.Indeterminate)
+	}
+	if res.Conclusive() != res.Completed {
+		t.Fatalf("conclusive %d != completed %d", res.Conclusive(), res.Completed)
+	}
+	if res.GoodputPerSec() <= 0 {
+		t.Fatal("zero goodput")
+	}
+	b := res.Benchmark()
+	if b.Name != "Loadgen/steady" || b.Runs != res.Completed {
+		t.Fatalf("benchmark entry = %+v", b)
+	}
+	for _, unit := range []string{"p50-ns/op", "p99-ns/op", "goodput/s", "shed/op", "indeterminate/op"} {
+		if _, ok := b.Metrics[unit]; !ok {
+			t.Errorf("benchmark entry missing metric %s", unit)
+		}
+	}
+}
+
+// slowTarget models a wedged decision point: each decision takes `delay`
+// unless the caller's deadline fires first (fail-closed Indeterminate).
+type slowTarget struct {
+	delay   time.Duration
+	decided atomic.Int64
+}
+
+func (s *slowTarget) Decide(ctx context.Context, _ *policy.Request) policy.Result {
+	t := time.NewTimer(s.delay)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		s.decided.Add(1)
+		return policy.Result{Decision: policy.DecisionPermit}
+	case <-ctx.Done():
+		return policy.Result{Decision: policy.DecisionIndeterminate, Err: ctx.Err()}
+	}
+}
+
+// TestOverloadShowsUpAsLatencyNotSilentBackpressure: with service capacity
+// far below the offered rate, the open-loop driver must (a) keep offering
+// at the scheduled rate, (b) report queueing as latency well above the
+// service time, and (c) shed — never block — once the bounded queue fills.
+func TestOverloadShowsUpAsLatencyNotSilentBackpressure(t *testing.T) {
+	cfg := smallConfig(250 * time.Millisecond)
+	cfg.Workers = 2
+	cfg.QueueCap = 8
+	target := &slowTarget{delay: 5 * time.Millisecond}
+	d, err := New("overload", cfg, target, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := d.Run(context.Background())
+	// Capacity is 2 workers / 5ms = 400/s against ~5000/s offered: the
+	// queue must overflow.
+	if res.Shed == 0 {
+		t.Fatalf("no shed under 10x overload: %+v", res)
+	}
+	if res.Completed+res.Shed != res.Offered {
+		t.Fatalf("accounting leak: offered %d != completed %d + shed %d",
+			res.Offered, res.Completed, res.Shed)
+	}
+	// Queueing delay dominates service time: p99 must be far above the
+	// 5ms a lone decision costs.
+	if p99 := res.Latency.Quantile(0.99); p99 < 15*time.Millisecond {
+		t.Fatalf("p99 = %v under overload, want queueing delay >> 5ms service time", p99)
+	}
+	// The offered rate must not collapse to the completion rate — that
+	// would be a closed loop.
+	if res.Offered < 4*res.Completed {
+		t.Fatalf("offered %d vs completed %d: arrival process slowed down with the target",
+			res.Offered, res.Completed)
+	}
+}
+
+func TestColdStormResolvesThroughPIPChain(t *testing.T) {
+	cfg := smallConfig(200 * time.Millisecond)
+	cfg.Cold = true
+	gen := workload.NewGenerator(cfg.Workload)
+	engine := testEngine(t, cfg.Workload,
+		pdp.WithResolver(gen.InformationPoints("storm", 10*time.Second)))
+	d, err := New("cold-storm", cfg, engine, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := d.Run(context.Background())
+	if res.Completed == 0 {
+		t.Fatal("nothing completed")
+	}
+	if res.Indeterminate != 0 {
+		t.Fatalf("%d Indeterminate cold decisions; PIP chain not resolving", res.Indeterminate)
+	}
+	if res.Permit == 0 {
+		t.Fatal("no permits; roles did not resolve through the PIP")
+	}
+}
+
+func TestChurnWritesFlowThroughAdmin(t *testing.T) {
+	cfg := smallConfig(200 * time.Millisecond)
+	cfg.ChurnEvery = 16
+	gen := workload.NewGenerator(cfg.Workload)
+	engine := pdp.New("churn-test")
+	st := pap.NewStore("churn-test")
+	base := gen.PolicyBase("root")
+	for _, ch := range base.Children {
+		if _, err := st.Put(ch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := engine.SetRoot(base); err != nil {
+		t.Fatal(err)
+	}
+	st.Watch(func(u pap.Update) {
+		if err := engine.ApplyUpdate(pdp.Update{ID: u.ID, Child: u.Policy}); err != nil {
+			t.Errorf("apply update %s: %v", u.ID, err)
+		}
+	})
+	d, err := New("policy-churn", cfg, engine, StoreAdmin{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := d.Run(context.Background())
+	if res.ChurnWrites == 0 {
+		t.Fatal("no churn writes issued")
+	}
+	if res.ChurnErrors != 0 {
+		t.Fatalf("%d churn errors", res.ChurnErrors)
+	}
+	if res.Indeterminate != 0 {
+		t.Fatalf("%d Indeterminate decisions under churn", res.Indeterminate)
+	}
+}
+
+func TestChurnRequiresAdmin(t *testing.T) {
+	cfg := smallConfig(time.Millisecond)
+	cfg.ChurnEvery = 8
+	if _, err := New("x", cfg, &slowTarget{}, nil); err == nil {
+		t.Fatal("churn without admin accepted")
+	}
+}
+
+func TestNilTargetRejected(t *testing.T) {
+	if _, err := New("x", smallConfig(time.Millisecond), nil, nil); err == nil {
+		t.Fatal("nil target accepted")
+	}
+}
+
+func TestTimeoutFailsClosed(t *testing.T) {
+	cfg := smallConfig(100 * time.Millisecond)
+	cfg.Timeout = 2 * time.Millisecond
+	target := &slowTarget{delay: time.Second}
+	cfg.Workers = 64
+	cfg.QueueCap = 4096
+	d, err := New("stalled", cfg, target, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := d.Run(context.Background())
+	if res.Completed == 0 {
+		t.Fatal("nothing completed")
+	}
+	if res.Indeterminate != res.Completed {
+		t.Fatalf("stalled target: %d/%d decisions escaped the deadline as conclusive",
+			res.Conclusive(), res.Completed)
+	}
+	if target.decided.Load() != 0 {
+		t.Fatalf("%d decisions outran a 2ms budget on a 1s stall", target.decided.Load())
+	}
+}
+
+func TestRunHonoursContextCancel(t *testing.T) {
+	cfg := smallConfig(time.Hour) // would run forever without the cancel
+	engine := testEngine(t, cfg.Workload)
+	d, err := New("cancel", cfg, engine, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	done := make(chan Result, 1)
+	go func() { done <- d.Run(ctx) }()
+	select {
+	case res := <-done:
+		if res.Offered == 0 {
+			t.Fatal("cancelled run offered nothing")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after ctx cancel")
+	}
+}
+
+func TestScenarioCatalog(t *testing.T) {
+	names := map[string]bool{}
+	for _, s := range Catalog() {
+		if s.Name == "" || s.Description == "" {
+			t.Fatalf("catalog entry missing name/description: %+v", s)
+		}
+		if names[s.Name] {
+			t.Fatalf("duplicate scenario %s", s.Name)
+		}
+		names[s.Name] = true
+	}
+	for _, want := range []string{"steady-zipf", "cold-storm", "policy-churn", "flash-crowd"} {
+		if !names[want] {
+			t.Errorf("catalog missing %s", want)
+		}
+	}
+	if _, err := Lookup("no-such-scenario"); err == nil {
+		t.Fatal("unknown scenario looked up without error")
+	}
+
+	fc, err := Lookup("flash-crowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc = fc.WithDuration(10 * time.Second)
+	b := fc.Config.Workload.Burst
+	if b.After != 4*time.Second || b.For != 2*time.Second || b.Factor <= 1 {
+		t.Fatalf("burst window not anchored: %+v", b)
+	}
+	sz, _ := Lookup("steady-zipf")
+	sz = sz.WithRate(4000)
+	if got := sz.Config.Workload.MeanInterarrival; got != 250*time.Microsecond {
+		t.Fatalf("WithRate(4000) mean interarrival = %v", got)
+	}
+}

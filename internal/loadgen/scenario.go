@@ -1,0 +1,133 @@
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// Scenario is a named, documented load shape — the unit cmd/loadd runs and
+// the README catalogs. Each scenario states what it stresses and what a
+// healthy system looks like under it; the chaos schedules compose on top.
+type Scenario struct {
+	// Name is the catalog key (loadd -scenario).
+	Name string
+	// Description states the stress and the acceptance shape, the
+	// scoped-scenario style of the spacetime-sim issue template.
+	Description string
+	// Config is the driver configuration at the default duration;
+	// WithDuration rescales the time-anchored parts.
+	Config Config
+}
+
+// basePopulation is the shared population shape: enough resources that
+// the Zipf tail stays long, users sized per scenario.
+func basePopulation(users int) workload.Config {
+	return workload.Config{
+		Users:            users,
+		Resources:        256,
+		Roles:            16,
+		ZipfS:            1.2,
+		MeanInterarrival: 500 * time.Microsecond, // ~2000 arrivals/s offered
+	}
+}
+
+// Catalog returns the built-in scenarios, name-sorted.
+func Catalog() []Scenario {
+	scenarios := []Scenario{
+		{
+			Name: "steady-zipf",
+			Description: "Steady-state open-loop baseline: Poisson arrivals at ~2k/s, " +
+				"Zipf(1.2) resource popularity, warm subjects. Healthy: goodput ~= offered, " +
+				"p99 well under the arrival interval, zero shed.",
+			Config: Config{
+				Workload: basePopulation(10000),
+				Workers:  32,
+				QueueCap: 4096,
+				Timeout:  250 * time.Millisecond,
+			},
+		},
+		{
+			Name: "cold-storm",
+			Description: "Cold-subject storm: a large subject population arrives with no " +
+				"attributes, forcing every decision through the PIP chain mid-evaluation. " +
+				"Healthy: miss coalescing keeps goodput up and the PIP never melts; " +
+				"Indeterminate stays near zero.",
+			Config: Config{
+				Workload: basePopulation(50000),
+				Workers:  32,
+				QueueCap: 4096,
+				Timeout:  250 * time.Millisecond,
+				Cold:     true,
+			},
+		},
+		{
+			Name: "policy-churn",
+			Description: "Admin-plane churn under read load: one policy rewrite per 64 " +
+				"arrivals rides /admin/policy while decisions flow. Healthy: the delta " +
+				"pipeline keeps caches warm, goodput holds, no refresh errors.",
+			Config: Config{
+				Workload:   basePopulation(10000),
+				Workers:    32,
+				QueueCap:   4096,
+				Timeout:    250 * time.Millisecond,
+				ChurnEvery: 64,
+			},
+		},
+		{
+			Name: "flash-crowd",
+			Description: "Flash crowd on one tenant: the arrival rate jumps 10x for the " +
+				"middle fifth of the run (workload.Burst), concentrated by Zipf skew on " +
+				"the hottest resources. Healthy: the queue absorbs the spike as bounded " +
+				"latency, shed stays near zero, and p99 recovers after the window.",
+			Config: Config{
+				Workload: func() workload.Config {
+					w := basePopulation(10000)
+					w.Burst = workload.Burst{Factor: 10} // window anchored by WithDuration
+					return w
+				}(),
+				Workers:  32,
+				QueueCap: 8192,
+				Timeout:  500 * time.Millisecond,
+			},
+		},
+	}
+	sort.Slice(scenarios, func(i, j int) bool { return scenarios[i].Name < scenarios[j].Name })
+	return scenarios
+}
+
+// Lookup finds a catalog scenario by name.
+func Lookup(name string) (Scenario, error) {
+	for _, s := range Catalog() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	names := make([]string, 0, len(Catalog()))
+	for _, s := range Catalog() {
+		names = append(names, s.Name)
+	}
+	return Scenario{}, fmt.Errorf("loadgen: unknown scenario %q (have %v)", name, names)
+}
+
+// WithDuration sets the run length and re-anchors time-proportional parts
+// of the scenario: a Burst window (flash-crowd) spans the middle fifth of
+// the run.
+func (s Scenario) WithDuration(d time.Duration) Scenario {
+	s.Config.Duration = d
+	if s.Config.Workload.Burst.Factor > 1 {
+		s.Config.Workload.Burst.After = d * 2 / 5
+		s.Config.Workload.Burst.For = d / 5
+	}
+	return s
+}
+
+// WithRate overrides the mean arrival rate (arrivals per second).
+func (s Scenario) WithRate(perSec float64) Scenario {
+	if perSec > 0 {
+		s.Config.Workload.MeanInterarrival = time.Duration(float64(time.Second) / perSec)
+	}
+	return s
+}

@@ -1,0 +1,143 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/pap"
+	"repro/internal/policy"
+	"repro/internal/wire"
+	"repro/internal/xacml"
+)
+
+// NetworkTarget drives a PDP registered on an in-process wire.Network: the
+// simulated-transport flavour of the open-loop harness, where link
+// partitions, latency and loss come from the network model instead of a
+// real socket. Transport failures surface as Indeterminate — the same
+// fail-closed contract as pdp.Client.
+type NetworkTarget struct {
+	// Net is the simulated network; From and To name the sending PEP and
+	// the serving PDP node.
+	Net  *wire.Network
+	From string
+	To   string
+	// Budget, when positive, arms each exchange's virtual deadline.
+	Budget time.Duration
+
+	serial atomic.Int64
+}
+
+// Decide implements Target over one envelope exchange.
+func (t *NetworkTarget) Decide(ctx context.Context, req *policy.Request) policy.Result {
+	body, err := xacml.MarshalRequestXML(req)
+	if err != nil {
+		return policy.Result{Decision: policy.DecisionIndeterminate,
+			Err: fmt.Errorf("loadgen: encode request: %w", err)}
+	}
+	env := &wire.Envelope{
+		MessageID: fmt.Sprintf("%s-l%d", t.From, t.serial.Add(1)),
+		From:      t.From,
+		To:        t.To,
+		Action:    "pdp:decide",
+		Timestamp: time.Now(),
+		Deadline:  t.Budget,
+		Body:      body,
+	}
+	reply, err := t.Net.Send(ctx, &wire.Call{}, env)
+	if err != nil {
+		return policy.Result{Decision: policy.DecisionIndeterminate,
+			Err: fmt.Errorf("loadgen: %w", err)}
+	}
+	if reply == nil {
+		return policy.Result{Decision: policy.DecisionIndeterminate,
+			Err: fmt.Errorf("loadgen: empty reply from %s", t.To)}
+	}
+	res, err := xacml.UnmarshalResponseXML(reply.Body)
+	if err != nil {
+		return policy.Result{Decision: policy.DecisionIndeterminate,
+			Err: fmt.Errorf("loadgen: decode response: %w", err)}
+	}
+	return res
+}
+
+// StoreAdmin adapts an in-process pap.Store to the Admin plane, for
+// harness runs against in-process engines and clusters.
+type StoreAdmin struct {
+	Store *pap.Store
+}
+
+// Put implements Admin.
+func (a StoreAdmin) Put(_ context.Context, pol policy.Evaluable) error {
+	_, err := a.Store.Put(pol)
+	return err
+}
+
+// Delete implements Admin.
+func (a StoreAdmin) Delete(_ context.Context, id string) error {
+	return a.Store.Delete(id)
+}
+
+// HTTPAdmin drives a real pdpd's /admin/policy endpoint, the churn plane
+// of runs against a live daemon.
+type HTTPAdmin struct {
+	// Endpoint is the full admin URL, e.g. "http://host:port/admin/policy".
+	Endpoint string
+	// Client is the underlying HTTP client; nil uses a 10s-timeout default.
+	Client *http.Client
+}
+
+func (a HTTPAdmin) client() *http.Client {
+	if a.Client != nil {
+		return a.Client
+	}
+	return &http.Client{Timeout: 10 * time.Second}
+}
+
+// Put implements Admin: POST the policy as XACML JSON. A 409 (the strict
+// lint gate) and any non-2xx are errors — an unacknowledged write.
+func (a HTTPAdmin) Put(ctx context.Context, pol policy.Evaluable) error {
+	doc, err := xacml.MarshalJSON(pol)
+	if err != nil {
+		return fmt.Errorf("loadgen: encode policy: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, a.Endpoint, bytes.NewReader(doc))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := a.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("loadgen: admin put %s: %s: %s", pol.EntityID(), resp.Status, body)
+	}
+	return nil
+}
+
+// Delete implements Admin.
+func (a HTTPAdmin) Delete(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
+		a.Endpoint+"?id="+url.QueryEscape(id), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := a.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("loadgen: admin delete %s: %s: %s", id, resp.Status, body)
+	}
+	return nil
+}

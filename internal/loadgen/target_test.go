@@ -1,0 +1,102 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/wire"
+	"repro/internal/workload"
+
+	"repro/internal/pdp"
+)
+
+func TestNetworkTargetDecidesOverWire(t *testing.T) {
+	wcfg := workload.Config{Users: 10, Resources: 8, Roles: 2, Seed: 1}
+	engine := testEngine(t, wcfg)
+	net := wire.NewNetwork(time.Millisecond, 1)
+	net.Register("pep", func(context.Context, *wire.Call, *wire.Envelope) (*wire.Envelope, error) {
+		return nil, nil
+	})
+	net.Register("pdp", pdp.Handler(engine))
+
+	target := &NetworkTarget{Net: net, From: "pep", To: "pdp"}
+	req := policy.NewAccessRequest(workload.UserID(0), workload.ResourceID(0), "read").
+		Add(policy.CategorySubject, policy.AttrSubjectRole, policy.String(workload.RoleID(0)))
+	res := target.Decide(context.Background(), req)
+	if res.Decision != policy.DecisionPermit {
+		t.Fatalf("decision over wire = %v (%v), want Permit", res.Decision, res.Err)
+	}
+
+	// Partition the PEP->PDP link: decisions must fail closed.
+	net.SetLink("pep", "pdp", wire.LinkProps{Down: true})
+	res = target.Decide(context.Background(), req)
+	if res.Decision != policy.DecisionIndeterminate || !errors.Is(res.Err, wire.ErrUnreachable) {
+		t.Fatalf("partitioned decision = %v (%v), want Indeterminate/unreachable", res.Decision, res.Err)
+	}
+	net.SetLink("pep", "pdp", wire.LinkProps{Latency: time.Millisecond})
+	if res := target.Decide(context.Background(), req); res.Decision != policy.DecisionPermit {
+		t.Fatalf("healed link decision = %v (%v), want Permit", res.Decision, res.Err)
+	}
+}
+
+func TestNetworkTargetBudgetFailsClosed(t *testing.T) {
+	wcfg := workload.Config{Users: 10, Resources: 8, Roles: 2, Seed: 1}
+	engine := testEngine(t, wcfg)
+	net := wire.NewNetwork(10*time.Millisecond, 1) // 10ms per hop on the virtual clock
+	net.Register("pep", func(context.Context, *wire.Call, *wire.Envelope) (*wire.Envelope, error) {
+		return nil, nil
+	})
+	net.Register("pdp", pdp.Handler(engine))
+	target := &NetworkTarget{Net: net, From: "pep", To: "pdp", Budget: 5 * time.Millisecond}
+	req := policy.NewAccessRequest("u", workload.ResourceID(0), "read")
+	res := target.Decide(context.Background(), req)
+	if res.Decision != policy.DecisionIndeterminate || !errors.Is(res.Err, wire.ErrDeadline) {
+		t.Fatalf("budget < link latency: %v (%v), want Indeterminate/deadline", res.Decision, res.Err)
+	}
+}
+
+func TestHTTPAdminPutAndDelete(t *testing.T) {
+	var gotPut, gotDelete bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodPost:
+			gotPut = true
+			w.WriteHeader(http.StatusOK)
+		case http.MethodDelete:
+			gotDelete = true
+			if r.URL.Query().Get("id") == "" {
+				http.Error(w, "no id", http.StatusBadRequest)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		}
+	}))
+	defer srv.Close()
+	adm := HTTPAdmin{Endpoint: srv.URL + "/admin/policy"}
+	pol := workload.ResourcePolicy(0, 2)
+	if err := adm.Put(context.Background(), pol); err != nil {
+		t.Fatal(err)
+	}
+	if err := adm.Delete(context.Background(), pol.EntityID()); err != nil {
+		t.Fatal(err)
+	}
+	if !gotPut || !gotDelete {
+		t.Fatalf("put=%v delete=%v", gotPut, gotDelete)
+	}
+}
+
+func TestHTTPAdminRejectionIsError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "conflict", http.StatusConflict)
+	}))
+	defer srv.Close()
+	adm := HTTPAdmin{Endpoint: srv.URL}
+	if err := adm.Put(context.Background(), workload.ResourcePolicy(0, 2)); err == nil {
+		t.Fatal("409 put acknowledged as success")
+	}
+}
