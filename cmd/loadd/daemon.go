@@ -4,9 +4,12 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"os/exec"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 )
@@ -91,6 +94,54 @@ func freeAddr() (string, error) {
 	addr := ln.Addr().String()
 	ln.Close()
 	return addr, nil
+}
+
+// scrapeCounter fetches a /metrics exposition and sums every series of the
+// named metric (label variants included), rounding to a whole count. Used
+// by the -min-stale gate to prove degraded mode engaged on the daemon side.
+func scrapeCounter(ctx context.Context, url, name string) (int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return 0, err
+	}
+	var total float64
+	found := false
+	for _, line := range strings.Split(string(body), "\n") {
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		if !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "{") {
+			continue // a different metric sharing the prefix
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			continue
+		}
+		total += v
+		found = true
+	}
+	if !found {
+		return 0, fmt.Errorf("metric %s not found at %s", name, url)
+	}
+	return int64(math.Round(total)), nil
 }
 
 // waitHealthy polls /healthz until it answers 200 or the timeout expires.

@@ -21,10 +21,20 @@
 // recovery checks. Violations, goodput below -min-goodput, or p99 above
 // -max-p99 exit non-zero, so CI can gate on a live run.
 //
+// With -resilience the spawned pdpd arms its breaker/serve-stale layer, so
+// the brownout scenario can prove degraded mode end to end: while the
+// partition holds, warm keys answer served-stale (counted by the daemon and
+// gated by -min-stale) instead of failing closed, and the harness reports
+// server-side admission rejections (rejected) and degraded serves
+// separately from its own queue shed.
+//
 // Usage:
 //
 //	loadd -spawn -pdpd-bin ./pdpd -scenario steady-zipf -duration 45s \
 //	      -chaos -out BENCH_PR8.json -min-goodput 100 -max-p99 2s
+//	loadd -spawn -pdpd-bin ./pdpd -scenario brownout -duration 20s \
+//	      -resilience -chaos -chaos-crash 0 -chaos-kill 0 \
+//	      -chaos-partition 5s -chaos-heal 8s -min-stale 1 -min-goodput 50
 package main
 
 import (
@@ -72,6 +82,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	outPath := fs.String("out", "", "write (or merge into) a benchfmt JSON document")
 	minGoodput := fs.Float64("min-goodput", 0, "fail (exit 1) when conclusive decisions/s fall below this")
 	maxP99 := fs.Duration("max-p99", 0, "fail (exit 1) when p99 latency exceeds this")
+	resilienceOn := fs.Bool("resilience", false, "spawn pdpd with the resilience layer armed (-breaker plus -stale-grace below); brownout runs need this")
+	staleGraceFlag := fs.Duration("stale-grace", 30*time.Second, "degraded-mode staleness bound forwarded to the spawned pdpd (with -resilience)")
+	minStale := fs.Int64("min-stale", 0, "fail (exit 1) when the daemon served fewer than this many stale decisions (repro_cluster_stale_served_total); proves degraded mode engaged during a brownout")
 	chaosOn := fs.Bool("chaos", false, "run the fault schedule during the load run")
 	chaosCrash := fs.Duration("chaos-crash", 10*time.Second, "replica-crash offset (0 disables)")
 	chaosPartition := fs.Duration("chaos-partition", 20*time.Second, "shard-partition offset (0 disables)")
@@ -104,6 +117,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		proc, err = spawnDaemon(ctx, spawnConfig{
 			bin: *pdpdBin, shards: *shards, replicas: *replicas,
 			dataDir: *dataDir, chaos: *chaosOn, scenario: scenario, log: stderr,
+			resilience: *resilienceOn, staleGrace: *staleGraceFlag,
 		})
 		if err != nil {
 			return fail(err)
@@ -170,6 +184,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "loadd: FAIL: p99 %v above ceiling %v\n", res.Latency.Quantile(0.99), *maxP99)
 		failed = true
 	}
+	if *minStale > 0 {
+		// The degraded-mode proof: the daemon itself must report having
+		// served stale decisions, not just the harness having survived.
+		served, err := scrapeCounter(ctx, endpoint+"/metrics", "repro_cluster_stale_served_total")
+		switch {
+		case err != nil:
+			fmt.Fprintf(stderr, "loadd: FAIL: stale-served scrape: %v\n", err)
+			failed = true
+		case served < *minStale:
+			fmt.Fprintf(stderr, "loadd: FAIL: %d stale decisions served, floor is %d (degraded mode never engaged?)\n", served, *minStale)
+			failed = true
+		default:
+			fmt.Fprintf(stdout, "loadd: degraded mode served %d stale decisions (floor %d)\n", served, *minStale)
+		}
+	}
 	if failed {
 		return 1
 	}
@@ -213,13 +242,15 @@ func deleteEntry(entries []benchfmt.Benchmark, name string) []benchfmt.Benchmark
 
 // spawnConfig parameterises the pdpd the harness starts for itself.
 type spawnConfig struct {
-	bin      string
-	shards   int
-	replicas int
-	dataDir  string
-	chaos    bool
-	scenario loadgen.Scenario
-	log      io.Writer
+	bin        string
+	shards     int
+	replicas   int
+	dataDir    string
+	chaos      bool
+	resilience bool
+	staleGrace time.Duration
+	scenario   loadgen.Scenario
+	log        io.Writer
 }
 
 // spawnDaemon materialises the scenario's policy base (and, for cold
@@ -260,6 +291,9 @@ func spawnDaemon(ctx context.Context, cfg spawnConfig) (*daemon, error) {
 	}
 	if cfg.chaos {
 		args = append(args, "-chaos")
+	}
+	if cfg.resilience {
+		args = append(args, "-breaker", "-stale-grace", cfg.staleGrace.String())
 	}
 	if cfg.scenario.Config.Cold {
 		subjectsPath := filepath.Join(workDir, "subjects.json")

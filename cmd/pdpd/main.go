@@ -35,11 +35,23 @@
 // analyzer entirely. GET /admin/policy returns the current whole-base
 // report. Gate decisions are audited and stamped with trace IDs.
 //
+// The resilience layer is opt-in per mechanism. -breaker arms per-shard
+// circuit breakers (a dead shard group fails fast instead of burning every
+// caller's deadline budget); -stale-grace arms bounded-staleness degraded
+// mode (an open breaker answers warm keys from the last-known-good cache,
+// marked degraded and audit-logged, while cold keys fail closed);
+// -hedge-after arms hedged replica fan-out for batch decisions; and
+// -admission arms adaptive (AIMD) admission control at ingress, shedding
+// excess decision traffic with 503 + Retry-After while the admin plane,
+// health probes and metric scrapes are never shed.
+//
 // Usage:
 //
 //	pdpd -policy policy.xml [-addr :8080] [-index] [-cache 30s]
 //	     [-shards N] [-replicas M] [-strategy failover|quorum]
 //	     [-policy-lint off|warn|strict]
+//	     [-breaker] [-breaker-threshold 5] [-breaker-cooldown 1s]
+//	     [-stale-grace 30s] [-hedge-after 5ms] [-admission 256]
 package main
 
 import (
@@ -68,6 +80,7 @@ import (
 	"repro/internal/pdp"
 	"repro/internal/pip"
 	"repro/internal/policy"
+	"repro/internal/resilience"
 	"repro/internal/store"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -103,6 +116,12 @@ func main() {
 	policyLint := flag.String("policy-lint", "warn", "static policy lint gate on /admin/policy: off, warn, or strict (strict rejects writes introducing blocking findings, fail-closed)")
 	chaosFlag := flag.Bool("chaos", false, "expose /admin/chaos fault injection (replica crash/revive/stall; cluster mode only) — load/chaos harness use, never production")
 	debugAddr := flag.String("debug-addr", "", "optional pprof listen address (profiling stays off unless set)")
+	breakerFlag := flag.Bool("breaker", false, "arm per-shard circuit breakers (cluster mode): a shard group observed down fails fast instead of burning per-request deadline budget")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive shard failures that open the breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", time.Second, "open-state cooldown before a single half-open probe is admitted")
+	staleGrace := flag.Duration("stale-grace", 0, "bounded-staleness degraded mode: serve a last-known-good decision no older than this while the owning dependency is down (0 fails closed instead)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "hedge replica batch fan-out after this delay (cluster mode; 0 disables)")
+	admissionLimit := flag.Int("admission", 0, "adaptive (AIMD) admission control: initial concurrency limit for decision traffic, shed with 503 + Retry-After beyond it; admin/health/metrics are never shed (0 disables)")
 	flag.Parse()
 
 	if *policyPath == "" {
@@ -133,6 +152,17 @@ func main() {
 	if lg != nil {
 		lg.RegisterMetrics(reg)
 	}
+	var resPolicy *resilience.Policy
+	if *breakerFlag || *staleGrace > 0 || *hedgeAfter > 0 {
+		resPolicy = &resilience.Policy{
+			Breaker: resilience.BreakerConfig{
+				Threshold: *breakerThreshold,
+				Cooldown:  *breakerCooldown,
+			},
+			StaleGrace: *staleGrace,
+			HedgeAfter: *hedgeAfter,
+		}
+	}
 	var resolver policy.Resolver
 	if *subjectsPath != "" {
 		dir, err := loadSubjects(*subjectsPath)
@@ -140,11 +170,18 @@ func main() {
 			log.Fatalf("pdpd: %v", err)
 		}
 		cache := pip.NewCachedChain("pdpd-pip", 30*time.Second, dir)
+		if resPolicy != nil {
+			// The PIP chain gets the same protection as the shards: failed
+			// lookups are remembered briefly (negative cache) and a dead
+			// backend trips a breaker instead of eating deadline budget.
+			cache = cache.WithNegativeTTL(2*time.Second).
+				WithBreaker(resPolicy.Breaker.Threshold, resPolicy.Breaker.Cooldown)
+		}
 		cache.RegisterMetrics(reg)
 		resolver = cache
 		log.Printf("pdpd: %d subjects loaded from %s", dir.Len(), *subjectsPath)
 	}
-	point, stats, router, err := buildDecisionPoint(*useIndex, *cacheTTL, *shards, *replicas, *strategy, resolver, reg)
+	point, stats, router, err := buildDecisionPoint(*useIndex, *cacheTTL, *shards, *replicas, *strategy, resolver, resPolicy, reg)
 	if err != nil {
 		log.Fatalf("pdpd: %v", err)
 	}
@@ -163,6 +200,33 @@ func main() {
 			log.Printf("pdpd: policy lint (%s): %s", lintMode, rep.Summary())
 		}
 	}
+	if router != nil && resPolicy != nil {
+		// Every degraded serve leaves an audit trail: which shard's outage
+		// was papered over, for which cache key, and how stale the answer
+		// was. The ring is shared with the admin plane, so one query shows
+		// the policy writes and the brownouts they rode through.
+		auditLog := adm.auditLog
+		router.SetOnDegraded(func(shard, key string, age time.Duration) {
+			auditLog.Record(audit.Event{
+				Time:      time.Now(),
+				Component: "pdpd/resilience",
+				Subject:   shard,
+				Resource:  key,
+				Action:    "serve-stale",
+				By:        "breaker:open",
+				Latency:   age,
+			})
+		})
+	}
+
+	var admission *resilience.Admission
+	if *admissionLimit > 0 {
+		admission = resilience.NewAdmission(resilience.AdmissionConfig{Initial: *admissionLimit})
+		reg.GaugeFunc("repro_admission_limit", "Current adaptive (AIMD) admission concurrency limit.", func() int64 { return int64(admission.Limit()) })
+		reg.GaugeFunc("repro_admission_inflight", "Admitted in-flight requests.", admission.Inflight)
+		reg.CounterFunc("repro_admission_rejected_total", "Requests shed at ingress by admission control.", func() int64 { return admission.Stats().Rejected })
+		reg.CounterFunc("repro_admission_throttles_total", "Multiplicative decreases applied to the admission limit.", func() int64 { return admission.Stats().Throttles })
+	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/decide", wire.HTTPHandler(pdp.Handler(point), wire.WithTracer(tracer)))
@@ -177,14 +241,19 @@ func main() {
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		out := struct {
-			Point         any          `json:"point"`
-			Policies      int          `json:"policies"`
-			RefreshErrors int64        `json:"refresh_errors"`
-			Persistence   *store.Stats `json:"persistence,omitempty"`
-		}{stats(), len(adm.store.List()), adm.refreshErrs.Load(), nil}
+			Point         any                        `json:"point"`
+			Policies      int                        `json:"policies"`
+			RefreshErrors int64                      `json:"refresh_errors"`
+			Persistence   *store.Stats               `json:"persistence,omitempty"`
+			Admission     *resilience.AdmissionStats `json:"admission,omitempty"`
+		}{stats(), len(adm.store.List()), adm.refreshErrs.Load(), nil, nil}
 		if lg != nil {
 			st := lg.Stats()
 			out.Persistence = &st
+		}
+		if admission != nil {
+			st := admission.Stats()
+			out.Admission = &st
 		}
 		if err := json.NewEncoder(w).Encode(out); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -195,6 +264,15 @@ func main() {
 	})
 	log.Printf("pdpd: serving %s on %s (index=%v cache=%v shards=%d replicas=%d strategy=%s data-dir=%q trace-sample=%g)",
 		*policyPath, *addr, *useIndex, *cacheTTL, *shards, *replicas, *strategy, *dataDir, *traceSample)
+	if resPolicy != nil {
+		log.Printf("pdpd: resilience armed (breaker threshold=%d cooldown=%v stale-grace=%v hedge-after=%v)",
+			*breakerThreshold, *breakerCooldown, *staleGrace, *hedgeAfter)
+	}
+	var handler http.Handler = mux
+	if admission != nil {
+		handler = admission.Middleware(admissionPriority, mux)
+		log.Printf("pdpd: adaptive admission control armed (initial limit %d)", *admissionLimit)
+	}
 	if *debugAddr != "" {
 		dbg := &http.Server{
 			Addr:              *debugAddr,
@@ -210,7 +288,7 @@ func main() {
 	}
 	server := &http.Server{
 		Addr:              *addr,
-		Handler:           mux,
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       15 * time.Second,
 		WriteTimeout:      30 * time.Second,
@@ -243,10 +321,27 @@ func main() {
 	}
 }
 
+// admissionPriority classifies ingress for the admission controller: the
+// admin plane, health probes and observability scrapes are Critical —
+// never shed before decision traffic, because they must stay reachable
+// precisely when the daemon is overloaded enough to shed — and everything
+// else is sheddable Decision work.
+func admissionPriority(r *http.Request) resilience.Priority {
+	p := r.URL.Path
+	switch {
+	case strings.HasPrefix(p, "/admin/"), strings.HasPrefix(p, "/debug/"),
+		p == "/healthz", p == "/metrics", p == "/stats":
+		return resilience.Critical
+	}
+	return resilience.Decision
+}
+
 // buildDecisionPoint assembles the serving surface; the returned router is
 // non-nil only in cluster mode, where it additionally exposes the replica
-// handles /admin/chaos injects faults through.
-func buildDecisionPoint(useIndex bool, cacheTTL time.Duration, shards, replicas int, strategy string, resolver policy.Resolver, reg *telemetry.Registry) (decisionPoint, func() any, *cluster.Router, error) {
+// handles /admin/chaos injects faults through. A non-nil res arms the
+// resilience layer: per-shard breakers, serve-stale and hedging in cluster
+// mode, engine-level serve-stale (PIP outages) in single-engine mode.
+func buildDecisionPoint(useIndex bool, cacheTTL time.Duration, shards, replicas int, strategy string, resolver policy.Resolver, res *resilience.Policy, reg *telemetry.Registry) (decisionPoint, func() any, *cluster.Router, error) {
 	var opts []pdp.Option
 	if useIndex {
 		opts = append(opts, pdp.WithTargetIndex())
@@ -256,6 +351,12 @@ func buildDecisionPoint(useIndex bool, cacheTTL time.Duration, shards, replicas 
 	}
 	if resolver != nil {
 		opts = append(opts, pdp.WithResolver(resolver))
+	}
+	if res != nil && res.StaleGrace > 0 && cacheTTL > 0 && shards <= 1 && replicas <= 1 {
+		// Single-engine degraded mode rides the decision cache: an
+		// Indeterminate (dead PIP backend) is answered from the
+		// last-known-good entry within the grace window.
+		opts = append(opts, pdp.WithStaleGrace(res.StaleGrace))
 	}
 
 	if shards <= 1 && replicas <= 1 {
@@ -280,6 +381,7 @@ func buildDecisionPoint(useIndex bool, cacheTTL time.Duration, shards, replicas 
 		Replicas:      replicas,
 		Strategy:      strat,
 		EngineOptions: opts,
+		Resilience:    res,
 	})
 	if err != nil {
 		return nil, nil, nil, err

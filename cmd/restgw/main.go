@@ -35,6 +35,7 @@ import (
 	"repro/internal/dialect"
 	"repro/internal/pdp"
 	"repro/internal/policy"
+	"repro/internal/resilience"
 	"repro/internal/rest"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -71,6 +72,7 @@ func main() {
 	traceSlow := flag.Duration("trace-slow", 250*time.Millisecond, "always keep traces at least this slow (0 disables the slow path)")
 	traceBuffer := flag.Int("trace-buffer", 256, "kept-trace ring capacity behind /debug/traces")
 	debugAddr := flag.String("debug-addr", "", "optional pprof listen address (profiling stays off unless set)")
+	admissionLimit := flag.Int("admission", 0, "adaptive (AIMD) admission control: initial concurrency limit for proxied traffic, shed with 503 + Retry-After beyond it; metrics/trace/stats endpoints are never shed (0 disables)")
 	flag.Var(&routes, "route", "URI route as pattern=resource-type (repeatable)")
 	flag.Parse()
 
@@ -80,13 +82,13 @@ func main() {
 		traceBuffer: *traceBuffer,
 		debugAddr:   *debugAddr,
 	}
-	if err := run(*upstream, *policyPath, *pdpEndpoint, *addr, routes, obs); err != nil {
+	if err := run(*upstream, *policyPath, *pdpEndpoint, *addr, routes, obs, *admissionLimit); err != nil {
 		log.Println("restgw:", err)
 		os.Exit(1)
 	}
 }
 
-func run(upstream, policyPath, pdpEndpoint, addr string, routes routeFlags, obs obsConfig) error {
+func run(upstream, policyPath, pdpEndpoint, addr string, routes routeFlags, obs obsConfig, admissionLimit int) error {
 	if upstream == "" {
 		return fmt.Errorf("-upstream is required")
 	}
@@ -166,9 +168,26 @@ func run(upstream, policyPath, pdpEndpoint, addr string, routes routeFlags, obs 
 		}()
 	}
 	log.Printf("restgw: protecting %s on %s (%d routes, trace-sample=%g)", upstream, addr, len(routes), obs.traceSample)
+	var handler http.Handler = mux
+	if admissionLimit > 0 {
+		// Shed excess proxied traffic at ingress before it queues into the
+		// upstream or the PDP; observability endpoints are never shed.
+		admission := resilience.NewAdmission(resilience.AdmissionConfig{Initial: admissionLimit})
+		reg.GaugeFunc("repro_admission_limit", "Current adaptive (AIMD) admission concurrency limit.", func() int64 { return int64(admission.Limit()) })
+		reg.GaugeFunc("repro_admission_inflight", "Admitted in-flight requests.", admission.Inflight)
+		reg.CounterFunc("repro_admission_rejected_total", "Requests shed at ingress by admission control.", func() int64 { return admission.Stats().Rejected })
+		handler = admission.Middleware(func(r *http.Request) resilience.Priority {
+			p := r.URL.Path
+			if strings.HasPrefix(p, "/debug/") || p == "/metrics" || p == "/gw/stats" {
+				return resilience.Critical
+			}
+			return resilience.Decision
+		}, mux)
+		log.Printf("restgw: adaptive admission control armed (initial limit %d)", admissionLimit)
+	}
 	server := &http.Server{
 		Addr:              addr,
-		Handler:           mux,
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       15 * time.Second,
 		WriteTimeout:      30 * time.Second,

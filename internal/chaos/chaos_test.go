@@ -306,6 +306,30 @@ func TestFailClosedInvariant(t *testing.T) {
 	}
 }
 
+// staleDecider always answers Degraded with a fixed age — the layer-level
+// contract StalenessBounded patrols.
+type staleDecider struct{ age time.Duration }
+
+func (d staleDecider) Decide(context.Context, *policy.Request) policy.Result {
+	return policy.Result{Decision: policy.DecisionPermit, Degraded: true, StaleFor: d.age}
+}
+
+func TestStalenessBoundedInvariant(t *testing.T) {
+	wcfg := workload.Config{Users: 10, Resources: 8, Roles: 2, Seed: 1}
+	req := permitRequest(wcfg, 0)
+	const grace = 30 * time.Second
+	if err := chaos.StalenessBounded(staleDecider{age: grace}, req, grace).Check(context.Background()); err != nil {
+		t.Fatalf("at-bound degraded decision flagged: %v", err)
+	}
+	if err := chaos.StalenessBounded(staleDecider{age: grace + time.Nanosecond}, req, grace).Check(context.Background()); err == nil {
+		t.Fatal("over-grace degraded decision passed the staleness invariant")
+	}
+	// Fresh answers — degraded mode off or the key warm — always pass.
+	if err := chaos.StalenessBounded(leakyDecider{}, req, grace).Check(context.Background()); err != nil {
+		t.Fatalf("fresh decision flagged: %v", err)
+	}
+}
+
 // TestKill9WALRecoveryKeepsAckedWrites drives the durability contract
 // in-process: writes acknowledged through a WAL-backed store must decide
 // identically on an engine bootstrapped from the crashed directory.

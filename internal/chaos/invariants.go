@@ -202,6 +202,28 @@ func (a *AckedWrites) Durable(window time.Duration) Invariant {
 	}
 }
 
+// StalenessBounded asserts the degraded-mode contract: a decision may be
+// served stale (Degraded) only within the configured grace window — a
+// StaleFor beyond grace means some layer's last-known-good cache leaked an
+// entry the bound should have evicted. Fresh answers and fail-closed
+// Indeterminates always pass; the invariant is meaningful while a fault
+// holds a breaker open, and harmless to sweep at any time.
+func StalenessBounded(d Decider, req *policy.Request, grace time.Duration) Invariant {
+	return Invariant{
+		Name: "staleness-bounded",
+		Check: func(ctx context.Context) error {
+			res := d.Decide(ctx, req)
+			if !res.Degraded {
+				return nil
+			}
+			if res.StaleFor > grace {
+				return fmt.Errorf("degraded decision served %v stale, grace is %v", res.StaleFor, grace)
+			}
+			return nil
+		},
+	}
+}
+
 // FailClosed asserts an expired deadline budget can never leak a
 // conclusive answer: a Decide under an already-dead context must be
 // Indeterminate. Swept after every event so no fault combination opens

@@ -37,6 +37,7 @@ import (
 	"repro/internal/ha"
 	"repro/internal/pdp"
 	"repro/internal/policy"
+	"repro/internal/resilience"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -67,6 +68,12 @@ type Config struct {
 	EngineOptions []pdp.Option
 	// Clock drives Decide and DecideBatch; time.Now when nil.
 	Clock func() time.Time
+	// Resilience, when non-nil, arms the router's degraded-mode machinery:
+	// a circuit breaker per shard group, a bounded-staleness last-known-good
+	// cache serving warm keys while a breaker is open, and optional hedged
+	// batch dispatch. Nil keeps the decision path exactly as before — no
+	// breaker check, no stale bookkeeping.
+	Resilience *resilience.Policy
 }
 
 // Stats aggregates router activity.
@@ -86,6 +93,12 @@ type Stats struct {
 	// UpdateShardsTouched sums the shard groups each delta reached; the
 	// remaining shards kept their policy bases and decision caches.
 	UpdateShardsTouched int64
+	// StaleServed counts degraded decisions answered from the
+	// last-known-good cache while a shard breaker was open.
+	StaleServed int64
+	// DegradedRejects counts open-breaker requests with no usable stale
+	// entry: they failed fast and closed (resilience.ErrOpen).
+	DegradedRejects int64
 }
 
 // counters is the lock-free mutable form of Stats: decisions increment it
@@ -93,6 +106,7 @@ type Stats struct {
 type counters struct {
 	requests, batches, batchRequests, rebalances, childrenMoved atomic.Int64
 	updates, updateShardsTouched                                atomic.Int64
+	staleServed, degradedRejects                                atomic.Int64
 }
 
 func (c *counters) snapshot() Stats {
@@ -104,6 +118,8 @@ func (c *counters) snapshot() Stats {
 		ChildrenMoved:       c.childrenMoved.Load(),
 		Updates:             c.updates.Load(),
 		UpdateShardsTouched: c.updateShardsTouched.Load(),
+		StaleServed:         c.staleServed.Load(),
+		DegradedRejects:     c.degradedRejects.Load(),
 	}
 }
 
@@ -125,6 +141,9 @@ type shard struct {
 	// lat is the shard's decision-latency histogram, observed only while
 	// the router's metrics are registered (see Router.metricsOn).
 	lat telemetry.Histogram
+	// breaker guards the shard group's availability when Config.Resilience
+	// is set; nil otherwise.
+	breaker *resilience.Breaker
 }
 
 // Router is a horizontally sharded Policy Decision Point. It satisfies the
@@ -152,6 +171,13 @@ type Router struct {
 	// metricsOn gates per-decision latency observation: zero clock reads
 	// on the decision path until RegisterMetrics flips it.
 	metricsOn atomic.Bool
+	// res and stale carry the degraded-mode state armed by
+	// Config.Resilience; both nil when resilience is off.
+	res   *resilience.Policy
+	stale *resilience.StaleCache
+	// onDegraded, when set (SetOnDegraded), observes every stale serve —
+	// the audit hook. Called under the router's read lock.
+	onDegraded func(shard, cacheKey string, age time.Duration)
 }
 
 // New builds a cluster of cfg.Shards empty shard groups.
@@ -175,6 +201,19 @@ func New(name string, cfg Config) (*Router, error) {
 		ring:   NewRing(cfg.VirtualNodes),
 		shards: make(map[string]*shard, cfg.Shards),
 	}
+	if cfg.Resilience != nil {
+		// Copy the policy so breaker defaults (and the clock fallback to
+		// the router clock, which keeps virtual-clock tests honest) never
+		// mutate the caller's struct.
+		res := *cfg.Resilience
+		if res.Breaker.Clock == nil {
+			res.Breaker.Clock = cfg.Clock
+		}
+		r.res = &res
+		if res.StaleGrace > 0 {
+			r.stale = resilience.NewStaleCache(res.StaleItems)
+		}
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		r.addShardLocked()
 	}
@@ -193,6 +232,9 @@ func (r *Router) addShardLocked() *shard {
 		s.replicas = append(s.replicas, ha.NewFailable(fmt.Sprintf("%s/r%d", name, j), engine))
 	}
 	s.group = ha.NewEnsemble(name, r.cfg.Strategy, s.replicas...)
+	if r.res != nil {
+		s.breaker = resilience.NewBreaker(name, r.res.Breaker)
+	}
 	r.shards[name] = s
 	r.order = append(r.order, name)
 	r.byOrd = append(r.byOrd, s)
@@ -497,13 +539,19 @@ func (r *Router) DecideAtWith(ctx context.Context, req *policy.Request, at time.
 		route.SetAttr("cluster.shard", s.name)
 		defer route.End()
 	}
+	if s.breaker != nil && !s.breaker.Allow() {
+		return r.serveDegradedLocked(ctx, s, req, at)
+	}
+	var res policy.Result
 	if r.metricsOn.Load() {
 		start := time.Now()
-		res := s.group.DecideAtWith(ctx, req, at, resolver)
+		res = s.group.DecideAtWith(ctx, req, at, resolver)
 		s.lat.Observe(time.Since(start))
-		return res
+	} else {
+		res = s.group.DecideAtWith(ctx, req, at, resolver)
 	}
-	return s.group.DecideAtWith(ctx, req, at, resolver)
+	r.observeShardLocked(s, req, at, res)
+	return res
 }
 
 // ctxDone renders a caller context expiring at the router: the fail-closed
@@ -626,13 +674,29 @@ func (r *Router) DecideBatchAt(ctx context.Context, reqs []*policy.Request, at t
 			gsp.Keep()
 			return
 		}
-		if r.metricsOn.Load() {
-			start := time.Now()
-			s.group.DecideScatterAt(gctx, reqs, indexes, at, out)
-			s.lat.Observe(time.Since(start))
+		if s.breaker != nil && !s.breaker.Allow() {
+			for _, p := range indexes {
+				out[p] = r.serveDegradedLocked(gctx, s, reqs[p], at)
+			}
+			gsp.SetInt("cluster.degraded", int64(len(indexes)))
+			gsp.Keep()
 			return
 		}
-		s.group.DecideScatterAt(gctx, reqs, indexes, at, out)
+		dispatch := func() {
+			if r.res != nil && r.res.HedgeAfter > 0 {
+				s.group.DecideScatterHedgedAt(gctx, reqs, indexes, at, out, r.res.HedgeAfter)
+				return
+			}
+			s.group.DecideScatterAt(gctx, reqs, indexes, at, out)
+		}
+		if r.metricsOn.Load() {
+			start := time.Now()
+			dispatch()
+			s.lat.Observe(time.Since(start))
+		} else {
+			dispatch()
+		}
+		r.observeGroupLocked(s, reqs, indexes, at, out)
 	}
 
 	if live <= 1 || runtime.GOMAXPROCS(0) <= 2 {

@@ -1,0 +1,264 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/ha"
+	"repro/internal/policy"
+	"repro/internal/resilience"
+)
+
+// resilienceRoot: "db" permits, every other resource denies via the
+// catch-all — every decision is conclusive, so warm keys always have a
+// last known good to fall back on.
+func resilienceRoot() policy.Evaluable {
+	return policy.NewPolicySet("base").Combining(policy.DenyUnlessPermit).
+		Add(policy.NewPolicy("db-readers").Combining(policy.FirstApplicable).
+			When(policy.MatchResourceID("db")).
+			Rule(policy.Permit("ok").Build()).
+			Build()).
+		Build()
+}
+
+func resilienceCluster(t *testing.T, clock func() time.Time, res *resilience.Policy) *Router {
+	t.Helper()
+	router, err := New("c", Config{Shards: 1, Clock: clock, Resilience: res})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := router.SetRoot(resilienceRoot()); err != nil {
+		t.Fatal(err)
+	}
+	return router
+}
+
+func downShard(t *testing.T, r *Router, down bool) []*ha.Failable {
+	t.Helper()
+	reps, err := r.Replicas(r.Shards()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range reps {
+		rep.SetDown(down)
+	}
+	return reps
+}
+
+// TestClusterBreakerDegradedMode walks the whole degraded lifecycle under a
+// virtual clock: trip, serve-stale within grace, fail fast on cold keys,
+// fail closed beyond grace, recover through the half-open probe.
+func TestClusterBreakerDegradedMode(t *testing.T) {
+	t0 := testEpoch
+	now := t0
+	clock := func() time.Time { return now }
+	router := resilienceCluster(t, clock, &resilience.Policy{
+		Breaker:    resilience.BreakerConfig{Threshold: 3, Cooldown: time.Minute},
+		StaleGrace: 30 * time.Second,
+	})
+	var hookShard, hookKey string
+	var hookAge time.Duration
+	hooked := 0
+	router.SetOnDegraded(func(shard, key string, age time.Duration) {
+		hookShard, hookKey, hookAge = shard, key, age
+		hooked++
+	})
+
+	warm := policy.NewAccessRequest("alice", "db", "read")
+	cold := policy.NewAccessRequest("alice", "ledger", "read")
+
+	if res := router.DecideAt(context.Background(), warm, t0); res.Decision != policy.DecisionPermit || res.Degraded {
+		t.Fatalf("healthy decision = %+v, want fresh Permit", res)
+	}
+
+	reps := downShard(t, router, true)
+	for i := 0; i < 3; i++ {
+		res := router.DecideAt(context.Background(), warm, now)
+		if !errors.Is(res.Err, ha.ErrAllReplicasDown) {
+			t.Fatalf("failure %d = %+v, want all-replicas-down", i, res)
+		}
+	}
+	bs := router.BreakerStats()[router.Shards()[0]]
+	if bs.State != resilience.StateOpen || bs.Opens != 1 {
+		t.Fatalf("breaker after threshold = %+v, want open after one trip", bs)
+	}
+
+	// Open breaker, warm key, within grace: the last known good serves,
+	// marked and aged — without touching the dead replicas.
+	queriesBefore := reps[0].Queries()
+	now = t0.Add(2 * time.Second)
+	res := router.DecideAt(context.Background(), warm, now)
+	if res.Decision != policy.DecisionPermit || !res.Degraded || res.StaleFor != 2*time.Second {
+		t.Fatalf("degraded decision = %+v, want stale Permit aged 2s", res)
+	}
+	if got := reps[0].Queries(); got != queriesBefore {
+		t.Fatalf("stale serve touched the dead replica (%d -> %d queries)", queriesBefore, got)
+	}
+	if hooked != 1 || hookShard != router.Shards()[0] || hookKey != warm.CacheKey() || hookAge != 2*time.Second {
+		t.Fatalf("audit hook saw (%q, %q, %v) x%d", hookShard, hookKey, hookAge, hooked)
+	}
+
+	// Cold key: no last known good, fail fast and closed.
+	res = router.DecideAt(context.Background(), cold, now)
+	if res.Decision != policy.DecisionIndeterminate || !errors.Is(res.Err, resilience.ErrOpen) {
+		t.Fatalf("cold-key decision = %+v, want ErrOpen Indeterminate", res)
+	}
+
+	// Beyond the grace window even the warm key fails closed.
+	now = t0.Add(31 * time.Second)
+	res = router.DecideAt(context.Background(), warm, now)
+	if res.Decision != policy.DecisionIndeterminate || !errors.Is(res.Err, resilience.ErrOpen) || res.Degraded {
+		t.Fatalf("over-grace decision = %+v, want fail-closed ErrOpen", res)
+	}
+
+	st := router.Stats()
+	if st.StaleServed != 1 || st.DegradedRejects != 2 {
+		t.Fatalf("stats = %+v, want 1 stale serve and 2 rejects", st)
+	}
+
+	// Revive and pass the cooldown: the single half-open probe goes
+	// through, succeeds, and closes the breaker.
+	downShard(t, router, false)
+	now = t0.Add(2 * time.Minute)
+	res = router.DecideAt(context.Background(), warm, now)
+	if res.Decision != policy.DecisionPermit || res.Degraded {
+		t.Fatalf("post-recovery decision = %+v, want fresh Permit", res)
+	}
+	bs = router.BreakerStats()[router.Shards()[0]]
+	if bs.State != resilience.StateClosed || bs.Probes < 1 {
+		t.Fatalf("breaker after recovery = %+v, want closed via probe", bs)
+	}
+}
+
+// TestClusterBatchDegradedPositions: in one batch against an open breaker,
+// warm positions serve stale and cold positions fail fast — per position,
+// not per batch.
+func TestClusterBatchDegradedPositions(t *testing.T) {
+	t0 := testEpoch
+	now := t0
+	router := resilienceCluster(t, func() time.Time { return now }, &resilience.Policy{
+		Breaker:    resilience.BreakerConfig{Threshold: 2, Cooldown: time.Minute},
+		StaleGrace: 30 * time.Second,
+	})
+	warm1 := policy.NewAccessRequest("alice", "db", "read")
+	warm2 := policy.NewAccessRequest("bob", "files", "read")
+	cold := policy.NewAccessRequest("carol", "vault", "read")
+
+	router.DecideBatchAt(context.Background(), []*policy.Request{warm1, warm2}, t0)
+
+	downShard(t, router, true)
+	for i := 0; i < 2; i++ {
+		router.DecideAt(context.Background(), warm1, t0)
+	}
+
+	now = t0.Add(10 * time.Second)
+	out := router.DecideBatchAt(context.Background(), []*policy.Request{warm1, cold, warm2}, now)
+	if !out[0].Degraded || out[0].Decision != policy.DecisionPermit || out[0].StaleFor != 10*time.Second {
+		t.Fatalf("warm position 0 = %+v, want stale Permit aged 10s", out[0])
+	}
+	if !out[2].Degraded || out[2].Decision != policy.DecisionDeny {
+		t.Fatalf("warm position 2 = %+v, want stale Deny", out[2])
+	}
+	if out[1].Degraded || !errors.Is(out[1].Err, resilience.ErrOpen) {
+		t.Fatalf("cold position 1 = %+v, want ErrOpen", out[1])
+	}
+}
+
+// TestClusterHedgedBatch: with a stalled preferred replica and HedgeAfter
+// armed, the batch is answered by the hedge well before the stall elapses.
+func TestClusterHedgedBatch(t *testing.T) {
+	router, err := New("c", Config{
+		Shards: 1, Replicas: 3,
+		Resilience: &resilience.Policy{HedgeAfter: 5 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := router.SetRoot(resilienceRoot()); err != nil {
+		t.Fatal(err)
+	}
+	reps, err := router.Replicas(router.Shards()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	const stall = 2 * time.Second
+	reps[0].SetStall(stall)
+
+	reqs := []*policy.Request{
+		policy.NewAccessRequest("alice", "db", "read"),
+		policy.NewAccessRequest("bob", "files", "read"),
+	}
+	start := time.Now()
+	out := router.DecideBatchAt(context.Background(), reqs, testEpoch)
+	if elapsed := time.Since(start); elapsed >= stall {
+		t.Fatalf("batch took %v, the hedge should beat the %v stall", elapsed, stall)
+	}
+	if out[0].Decision != policy.DecisionPermit || out[1].Decision != policy.DecisionDeny {
+		t.Fatalf("hedged batch = %+v, want conclusive verdicts", out)
+	}
+	gs := router.GroupStats()[router.Shards()[0]]
+	if gs.Hedges == 0 || gs.HedgeWins == 0 {
+		t.Fatalf("group stats = %+v, want hedges launched and won", gs)
+	}
+}
+
+// TestClusterBreakerFlapping hammers a resilient cluster while a chaos
+// goroutine flaps the shard's replicas, checking (under -race) that the
+// breaker lifecycle, stale cache and router counters stay coherent and the
+// cluster answers cleanly once the flapping stops.
+func TestClusterBreakerFlapping(t *testing.T) {
+	router := resilienceCluster(t, nil, &resilience.Policy{
+		Breaker:    resilience.BreakerConfig{Threshold: 2, Cooldown: 2 * time.Millisecond},
+		StaleGrace: time.Minute,
+	})
+	warm := policy.NewAccessRequest("alice", "db", "read")
+	router.Decide(context.Background(), warm)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		down := false
+		for !stop.Load() {
+			down = !down
+			downShard(t, router, down)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			reqs := []*policy.Request{
+				policy.NewAccessRequest("alice", "db", "read"),
+				policy.NewAccessRequest("bob", "other", "read"),
+			}
+			for i := 0; i < 400; i++ {
+				router.Decide(context.Background(), warm)
+				router.DecideBatch(context.Background(), reqs)
+			}
+		}(g)
+	}
+	time.Sleep(50 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+
+	downShard(t, router, false)
+	time.Sleep(5 * time.Millisecond)
+	deadline := time.Now().Add(time.Second)
+	for {
+		res := router.Decide(context.Background(), warm)
+		if res.Decision == policy.DecisionPermit && !res.Degraded {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster never recovered after flapping: %+v", res)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -104,5 +104,67 @@ func (r *Router) RegisterMetrics(reg *telemetry.Registry) {
 			}
 			return out
 		})
+	reg.CounterFunc("repro_cluster_stale_served_total",
+		"Degraded decisions answered from the last-known-good cache while a shard breaker was open.",
+		func() int64 { return r.Stats().StaleServed })
+	reg.CounterFunc("repro_cluster_degraded_rejects_total",
+		"Open-breaker requests with no usable stale entry (failed fast and closed).",
+		func() int64 { return r.Stats().DegradedRejects })
+	reg.Register("repro_cluster_breaker_state",
+		"Per-shard circuit-breaker state: 0 closed, 1 open, 2 half-open.",
+		telemetry.KindGauge, func() []telemetry.Sample {
+			r.mu.RLock()
+			defer r.mu.RUnlock()
+			out := make([]telemetry.Sample, 0, len(r.order))
+			for _, name := range r.order {
+				s := r.shards[name]
+				if s.breaker == nil {
+					continue
+				}
+				out = append(out, telemetry.Sample{
+					Labels: []telemetry.Label{telemetry.L("shard", name)},
+					Value:  float64(s.breaker.State()),
+				})
+			}
+			return out
+		})
+	reg.Register("repro_cluster_breaker_opens_total",
+		"Per-shard breaker trips (closed or half-open to open).",
+		telemetry.KindCounter, func() []telemetry.Sample {
+			r.mu.RLock()
+			defer r.mu.RUnlock()
+			out := make([]telemetry.Sample, 0, len(r.order))
+			for _, name := range r.order {
+				s := r.shards[name]
+				if s.breaker == nil {
+					continue
+				}
+				out = append(out, telemetry.Sample{
+					Labels: []telemetry.Label{telemetry.L("shard", name)},
+					Value:  float64(s.breaker.Stats().Opens),
+				})
+			}
+			return out
+		})
+	reg.Register("repro_cluster_shard_hedges_total",
+		"Hedged batch dispatches per shard group (and the subset the hedge won).",
+		telemetry.KindCounter, func() []telemetry.Sample {
+			r.mu.RLock()
+			defer r.mu.RUnlock()
+			out := make([]telemetry.Sample, 0, 2*len(r.order))
+			for _, name := range r.order {
+				st := r.shards[name].group.Stats()
+				out = append(out,
+					telemetry.Sample{
+						Labels: []telemetry.Label{telemetry.L("shard", name), telemetry.L("outcome", "launched")},
+						Value:  float64(st.Hedges),
+					},
+					telemetry.Sample{
+						Labels: []telemetry.Label{telemetry.L("shard", name), telemetry.L("outcome", "won")},
+						Value:  float64(st.HedgeWins),
+					})
+			}
+			return out
+		})
 	r.metricsOn.Store(true)
 }

@@ -172,6 +172,10 @@ type Stats struct {
 	Disagreements int64
 	// ReplicaQueries counts individual replica decisions issued.
 	ReplicaQueries int64
+	// Hedges counts requests duplicated onto a second replica because the
+	// first had not answered within the hedge delay; HedgeWins counts the
+	// subset the hedge answered first.
+	Hedges, HedgeWins int64
 }
 
 // counters is the lock-free mutable form of Stats: decision paths
@@ -180,6 +184,7 @@ type Stats struct {
 // (mirrors the PDP engine's atomic stat stripes).
 type counters struct {
 	requests, failovers, unavailable, disagreements, replicaQueries atomic.Int64
+	hedges, hedgeWins                                               atomic.Int64
 }
 
 func (c *counters) snapshot() Stats {
@@ -189,6 +194,8 @@ func (c *counters) snapshot() Stats {
 		Unavailable:    c.unavailable.Load(),
 		Disagreements:  c.disagreements.Load(),
 		ReplicaQueries: c.replicaQueries.Load(),
+		Hedges:         c.hedges.Load(),
+		HedgeWins:      c.hedgeWins.Load(),
 	}
 }
 

@@ -1,0 +1,94 @@
+package ha
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/policy"
+)
+
+// DecideScatterHedgedAt is the tail-cutting variant of the failover
+// scatter: the batch goes to the preferred replica, and if that replica
+// has not answered within `after`, a hedge copy of the batch is issued to
+// the rest of the failover chain — first conclusive answer wins. A stalled
+// replica (wedged disk, GC pause) then costs ~after extra latency instead
+// of the caller's whole deadline, at the price of duplicated work on the
+// slow tail only.
+//
+// Both attempts write private buffers; the winner is copied into out, so
+// the loser can finish (and be discarded) without racing the caller's
+// result slice. It reports whether a hedge was launched and whether it
+// won. Quorum ensembles, single-replica groups and after<=0 fall back to
+// the plain scatter.
+func (e *Ensemble) DecideScatterHedgedAt(ctx context.Context, reqs []*policy.Request, positions []int, at time.Time, out []policy.Result, after time.Duration) (hedged, hedgeWon bool) {
+	n := len(reqs)
+	if positions != nil {
+		n = len(positions)
+	}
+	if n == 0 {
+		return false, false
+	}
+	order := *e.order.Load()
+	if after <= 0 || e.strategy == Quorum || len(order) < 2 {
+		e.DecideScatterAt(ctx, reqs, positions, at, out)
+		return false, false
+	}
+	e.stats.requests.Add(int64(n))
+
+	copyInto := func(buf []policy.Result) {
+		eachPosition(len(reqs), positions, func(p int) { out[p] = buf[p] })
+	}
+
+	primary := make([]policy.Result, len(reqs))
+	primaryDone := make(chan struct{})
+	go func() {
+		defer close(primaryDone)
+		e.failoverScatter(ctx, e.replicas, order[:1], reqs, positions, n, at, primary)
+	}()
+
+	timer := time.NewTimer(after)
+	select {
+	case <-primaryDone:
+		timer.Stop()
+		// Fast primary: the common case pays one goroutine and one timer.
+		// An unavailable primary is not hedged here — it already failed
+		// fast, so the ordinary failover walk is cheaper than a hedge.
+		if !unavailable(primary[probe(positions)]) {
+			copyInto(primary)
+			return false, false
+		}
+		rest := make([]policy.Result, len(reqs))
+		e.failoverScatter(ctx, e.replicas, order[1:], reqs, positions, n, at, rest)
+		if !unavailable(rest[probe(positions)]) {
+			e.stats.failovers.Add(int64(n))
+		}
+		copyInto(rest)
+		return false, false
+	case <-timer.C:
+	}
+
+	// Primary is slow: hedge on the rest of the chain.
+	e.stats.hedges.Add(int64(n))
+	hedge := make([]policy.Result, len(reqs))
+	hedgeDone := make(chan struct{})
+	go func() {
+		defer close(hedgeDone)
+		e.failoverScatter(ctx, e.replicas, order[1:], reqs, positions, n, at, hedge)
+	}()
+
+	select {
+	case <-primaryDone:
+		copyInto(primary)
+		return true, false
+	case <-hedgeDone:
+		if unavailable(hedge[probe(positions)]) {
+			// The hedge found nobody; the primary is still the only hope.
+			<-primaryDone
+			copyInto(primary)
+			return true, false
+		}
+		e.stats.hedgeWins.Add(int64(n))
+		copyInto(hedge)
+		return true, true
+	}
+}

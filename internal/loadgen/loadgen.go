@@ -28,6 +28,7 @@ import (
 	"repro/internal/benchfmt"
 	"repro/internal/policy"
 	"repro/internal/telemetry"
+	"repro/internal/wire"
 	"repro/internal/workload"
 )
 
@@ -95,6 +96,14 @@ type Result struct {
 	// Permit, Deny, NotApplicable and Indeterminate split Completed by
 	// outcome. Goodput is the conclusive (non-Indeterminate) share.
 	Permit, Deny, NotApplicable, Indeterminate int64
+	// Rejected counts decisions the server refused under admission control
+	// (HTTP 503/429, wire.ErrOverload) — server-side load shedding, split
+	// out of Indeterminate and distinct from harness-side queue Shed.
+	Rejected int64
+	// Degraded counts completed decisions marked served-stale by a
+	// degraded-mode layer (open breaker downstream); they still count in
+	// their outcome bucket, so brownout goodput includes them.
+	Degraded int64
 	// ChurnWrites and ChurnErrors count admin-plane rewrites issued by
 	// the churn scenario.
 	ChurnWrites, ChurnErrors int64
@@ -149,6 +158,8 @@ func (r Result) Benchmark() benchfmt.Benchmark {
 			"offered/s":        r.OfferedPerSec(),
 			"shed/op":          r.frac(r.Shed),
 			"indeterminate/op": r.frac(r.Indeterminate),
+			"rejected/op":      r.frac(r.Rejected),
+			"degraded/op":      r.frac(r.Degraded),
 		},
 	}
 }
@@ -156,9 +167,9 @@ func (r Result) Benchmark() benchfmt.Benchmark {
 // String renders the one-line human summary loadd logs per scenario.
 func (r Result) String() string {
 	return fmt.Sprintf(
-		"%s: offered %d (%.0f/s) completed %d shed %d | permit/deny/na/indet %d/%d/%d/%d | goodput %.0f/s | p50 %v p99 %v max-queue %d",
-		r.Scenario, r.Offered, r.OfferedPerSec(), r.Completed, r.Shed,
-		r.Permit, r.Deny, r.NotApplicable, r.Indeterminate,
+		"%s: offered %d (%.0f/s) completed %d shed %d rejected %d | permit/deny/na/indet %d/%d/%d/%d degraded %d | goodput %.0f/s | p50 %v p99 %v max-queue %d",
+		r.Scenario, r.Offered, r.OfferedPerSec(), r.Completed, r.Shed, r.Rejected,
+		r.Permit, r.Deny, r.NotApplicable, r.Indeterminate, r.Degraded,
 		r.GoodputPerSec(), r.Latency.Quantile(0.5), r.Latency.Quantile(0.99), r.QueueMax)
 }
 
@@ -200,6 +211,7 @@ func (d *Driver) Run(ctx context.Context) Result {
 	var (
 		offered, shed, completed           atomic.Int64
 		permit, deny, notApplicable, indet atomic.Int64
+		rejected, degraded                 atomic.Int64
 		churnWrites, churnErrors           atomic.Int64
 		queueMax                           int64
 		hist                               telemetry.Histogram
@@ -225,13 +237,20 @@ func (d *Driver) Run(ctx context.Context) Result {
 				}
 				hist.Observe(time.Since(a.sched))
 				completed.Add(1)
-				switch res.Decision {
-				case policy.DecisionPermit:
+				if res.Degraded {
+					degraded.Add(1)
+				}
+				switch {
+				case res.Decision == policy.DecisionPermit:
 					permit.Add(1)
-				case policy.DecisionDeny:
+				case res.Decision == policy.DecisionDeny:
 					deny.Add(1)
-				case policy.DecisionNotApplicable:
+				case res.Decision == policy.DecisionNotApplicable:
 					notApplicable.Add(1)
+				case errors.Is(res.Err, wire.ErrOverload):
+					// Server-side admission shed: refused, not broken —
+					// accounted apart from real Indeterminates.
+					rejected.Add(1)
 				default:
 					indet.Add(1)
 				}
@@ -324,6 +343,8 @@ func (d *Driver) Run(ctx context.Context) Result {
 		Deny:          deny.Load(),
 		NotApplicable: notApplicable.Load(),
 		Indeterminate: indet.Load(),
+		Rejected:      rejected.Load(),
+		Degraded:      degraded.Load(),
 		ChurnWrites:   churnWrites.Load(),
 		ChurnErrors:   churnErrors.Load(),
 		QueueMax:      queueMax,

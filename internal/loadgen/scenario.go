@@ -38,6 +38,21 @@ func basePopulation(users int) workload.Config {
 func Catalog() []Scenario {
 	scenarios := []Scenario{
 		{
+			Name: "brownout",
+			Description: "Partial-outage brownout: steady Zipf traffic while the operator " +
+				"(loadd -chaos-partition or /admin/chaos) crashes one shard group mid-run. " +
+				"Healthy with resilience armed: the shard's breaker opens within ~1s, warm " +
+				"keys keep answering served-stale within the grace window (degraded > 0), " +
+				"cold keys fail fast instead of queueing, and goodput holds a floor through " +
+				"the outage; after revival the breaker probe closes and degraded stops.",
+			Config: Config{
+				Workload: basePopulation(10000),
+				Workers:  32,
+				QueueCap: 4096,
+				Timeout:  250 * time.Millisecond,
+			},
+		},
+		{
 			Name: "steady-zipf",
 			Description: "Steady-state open-loop baseline: Poisson arrivals at ~2k/s, " +
 				"Zipf(1.2) resource popularity, warm subjects. Healthy: goodput ~= offered, " +

@@ -11,6 +11,9 @@ import (
 type cacheEntry struct {
 	res     policy.Result
 	expires time.Time
+	// stored is the evaluation time — the staleness metadata degraded
+	// mode measures its grace window against.
+	stored time.Time
 	// resID keys the entry by the request's resource, so ApplyUpdate can
 	// invalidate only the decisions a changed child constrains.
 	resID string
@@ -23,8 +26,13 @@ type cacheEntry struct {
 // engine-wide lock; size bounds and eviction are per shard, so an eviction
 // sweep never stalls the other shards either.
 type decisionCache struct {
-	ttl    time.Duration
-	mask   uint64
+	ttl  time.Duration
+	mask uint64
+	// grace keeps expired entries touchable for bounded-staleness
+	// degraded serving (WithStaleGrace): an expired entry survives until
+	// its age exceeds grace, available to getStale but never to get. Zero
+	// restores delete-on-touch expiry.
+	grace  time.Duration
 	shards []cacheShard
 }
 
@@ -81,11 +89,38 @@ func (c *decisionCache) get(key string, hash uint64, at time.Time) (policy.Resul
 		sh.mu.Unlock()
 		return entry.res, true
 	}
-	if ok {
+	if ok && (c.grace <= 0 || at.Sub(entry.stored) > c.grace) {
+		// Beyond TTL — and, when degraded mode keeps a grace window,
+		// beyond that too: nothing can ever serve it again.
 		delete(sh.entries, key)
 	}
 	sh.mu.Unlock()
 	return policy.Result{}, false
+}
+
+// getStale returns the entry for the key regardless of TTL expiry, as long
+// as its age at `at` is within the configured grace window, along with
+// that age — the degraded-mode read path. Over-grace entries are deleted
+// on touch: the staleness bound is enforced here.
+func (c *decisionCache) getStale(key string, hash uint64, at time.Time) (policy.Result, time.Duration, bool) {
+	sh := c.shard(hash)
+	sh.mu.Lock()
+	entry, ok := sh.entries[key]
+	if !ok {
+		sh.mu.Unlock()
+		return policy.Result{}, 0, false
+	}
+	age := at.Sub(entry.stored)
+	if age > c.grace {
+		delete(sh.entries, key)
+		sh.mu.Unlock()
+		return policy.Result{}, 0, false
+	}
+	sh.mu.Unlock()
+	if age < 0 {
+		age = 0
+	}
+	return entry.res, age, true
 }
 
 // evictProbe bounds the expired-first scan on an at-capacity insert, so

@@ -101,6 +101,9 @@ type Stats struct {
 	// IndexedCandidates sums the candidate-set sizes considered when the
 	// target index is enabled, for measuring index selectivity.
 	IndexedCandidates int64
+	// StaleServed counts degraded decisions answered from expired cache
+	// entries within the stale grace window (WithStaleGrace).
+	StaleServed int64
 	// Updates counts incremental root patches applied via ApplyUpdate.
 	Updates int64
 	// CacheInvalidations counts cached decisions dropped by ApplyUpdate
@@ -143,6 +146,19 @@ func WithClock(now func() time.Time) Option {
 	return func(e *Engine) { e.now = now }
 }
 
+// WithStaleGrace enables bounded-staleness degraded serving on the
+// decision cache: an evaluation that comes back Indeterminate while the
+// caller's context is still alive — a failed attribute resolution, a down
+// information point — is answered from the key's expired cache entry
+// instead, provided the entry's age is within the grace window. Served
+// results are marked Degraded with their StaleFor age, counted, and
+// stamped on the trace span; Indeterminate results are never cached in
+// this mode, so a resolver outage cannot clobber the last known good.
+// Requires WithDecisionCache; without one the option is inert.
+func WithStaleGrace(grace time.Duration) Option {
+	return func(e *Engine) { e.staleGrace = grace }
+}
+
 // snapshot is the immutable unit of the engine's RCU scheme: the installed
 // policy base, its target index, and the epoch that publication bumped.
 // Readers load one snapshot per decision (per batch, for the batch paths)
@@ -167,6 +183,9 @@ type Engine struct {
 	resolver     policy.Resolver
 	indexEnabled bool
 	now          func() time.Time
+	// staleGrace bounds degraded-mode staleness; zero disables it.
+	staleGrace  time.Duration
+	staleServed atomic.Int64
 
 	// snap is the current root/index/epoch triple, nil until SetRoot.
 	snap atomic.Pointer[snapshot]
@@ -186,6 +205,11 @@ func New(name string, opts ...Option) *Engine {
 	e := &Engine{name: name, now: time.Now}
 	for _, opt := range opts {
 		opt(e)
+	}
+	if e.cache != nil && e.staleGrace > 0 {
+		// Option order is free: the grace window lands on whichever cache
+		// the options built.
+		e.cache.grace = e.staleGrace
 	}
 	return e
 }
@@ -236,6 +260,7 @@ func (e *Engine) Stats() Stats {
 	if e.cache != nil {
 		st.CacheEntries = e.cache.len()
 	}
+	st.StaleServed = e.staleServed.Load()
 	return st
 }
 
@@ -354,12 +379,52 @@ func (e *Engine) DecideAt(ctx context.Context, req *policy.Request, at time.Time
 	}
 	res, candidates := e.evaluate(ctx, snap, req, at, nil)
 	st.recordEvaluation(res, candidates)
-	if res.Err == nil || ctx.Err() == nil {
+	if stale, ok := e.serveStale(ctx, key, hash, at, res); ok {
+		ev.SetAttr("pdp.degraded", "true")
+		ev.Keep()
+		e.traceDecision(ev, snap.epoch, stale, "stale", candidates)
+		ev.End()
+		return stale
+	}
+	if e.cacheable(ctx, res) {
 		e.fill(snap, key, hash, req.ResourceID(), res, at)
 	}
 	e.traceDecision(ev, snap.epoch, res, "miss", candidates)
 	ev.End()
 	return res
+}
+
+// serveStale answers a failed evaluation from the key's expired cache
+// entry when degraded mode (WithStaleGrace) allows it: the evaluation came
+// back Indeterminate, the caller's own context is still alive (an expired
+// caller always fails closed), and the entry's age is within the grace
+// window.
+func (e *Engine) serveStale(ctx context.Context, key string, hash uint64, at time.Time, res policy.Result) (policy.Result, bool) {
+	if e.staleGrace <= 0 || e.cache == nil || res.Decision != policy.DecisionIndeterminate || ctx.Err() != nil {
+		return res, false
+	}
+	stale, age, ok := e.cache.getStale(key, hash, at)
+	if !ok {
+		return res, false
+	}
+	stale.Degraded = true
+	stale.StaleFor = age
+	e.staleServed.Add(1)
+	return stale, true
+}
+
+// cacheable reports whether an evaluated result may be written back: never
+// one poisoned by the caller's expired context, and — in degraded mode —
+// never an Indeterminate, which would clobber the last known good entry a
+// resolver outage needs.
+func (e *Engine) cacheable(ctx context.Context, res policy.Result) bool {
+	if res.Err != nil && ctx.Err() != nil {
+		return false
+	}
+	if e.staleGrace > 0 && res.Decision == policy.DecisionIndeterminate {
+		return false
+	}
+	return true
 }
 
 // fill writes an evaluated decision back into the cache unless the policy
@@ -372,7 +437,7 @@ func (e *Engine) fill(snap *snapshot, key string, hash uint64, resID string, res
 	sh := e.cache.shard(hash)
 	sh.mu.Lock()
 	if cur := e.snap.Load(); cur != nil && cur.epoch == snap.epoch {
-		sh.insertLocked(key, cacheEntry{res: res, expires: at.Add(e.cache.ttl), resID: resID}, at)
+		sh.insertLocked(key, cacheEntry{res: res, expires: at.Add(e.cache.ttl), stored: at, resID: resID}, at)
 	}
 	sh.mu.Unlock()
 }
@@ -548,7 +613,14 @@ func (e *Engine) DecideScatterAt(ctx context.Context, reqs []*policy.Request, po
 			hash = policy.HashString(req.ResourceID())
 		}
 		e.stats.stripe(hash).recordEvaluation(out[p], candidates)
-		if e.cache != nil && (out[p].Err == nil || ctx.Err() == nil) {
+		if e.cache == nil {
+			continue
+		}
+		if stale, ok := e.serveStale(ctx, req.CacheKey(), hash, at, out[p]); ok {
+			out[p] = stale
+			continue
+		}
+		if e.cacheable(ctx, out[p]) {
 			e.fill(snap, req.CacheKey(), hash, req.ResourceID(), out[p], at)
 		}
 	}

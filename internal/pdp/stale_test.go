@@ -1,0 +1,139 @@
+package pdp
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+)
+
+// Bounded-staleness degraded mode (WithStaleGrace): when evaluation comes
+// back Indeterminate and the caller is still alive, the engine may serve
+// the key's expired cache entry as long as its age is within the grace
+// window — never beyond it, and never to a cold key.
+
+// toggleResolver serves a fixed role until broken, then fails every fetch.
+type toggleResolver struct {
+	broken atomic.Bool
+}
+
+func (r *toggleResolver) ResolveAttribute(_ context.Context, _ *policy.Request, _ policy.Category, _ string) (policy.Bag, error) {
+	if r.broken.Load() {
+		return nil, context.DeadlineExceeded
+	}
+	return policy.Singleton(policy.String("doctor")), nil
+}
+
+func TestStaleGraceServesLastKnownGood(t *testing.T) {
+	resolver := &toggleResolver{}
+	now := time.Date(2026, 6, 12, 9, 0, 0, 0, time.UTC)
+	t0 := now
+	e := New("degraded",
+		WithResolver(resolver),
+		WithDecisionCache(time.Second, 0),
+		WithStaleGrace(30*time.Second),
+		WithClock(func() time.Time { return now }))
+	if err := e.SetRoot(ctxTestRoot(t)); err != nil {
+		t.Fatal(err)
+	}
+	warm := policy.NewAccessRequest("alice", "ward", "read")
+	cold := policy.NewAccessRequest("bob", "ward", "read")
+
+	if res := e.Decide(context.Background(), warm); res.Decision != policy.DecisionPermit || res.Degraded {
+		t.Fatalf("healthy decision = %+v, want fresh Permit", res)
+	}
+
+	// Resolver dies; the TTL has lapsed, so only the grace window can answer.
+	resolver.broken.Store(true)
+	now = t0.Add(2 * time.Second)
+	res := e.Decide(context.Background(), warm)
+	if res.Decision != policy.DecisionPermit || !res.Degraded {
+		t.Fatalf("degraded decision = %+v, want stale Permit", res)
+	}
+	if res.StaleFor != 2*time.Second {
+		t.Fatalf("StaleFor = %v, want exactly 2s under the virtual clock", res.StaleFor)
+	}
+
+	// A key never decided before the outage has no last known good: fail
+	// closed, not open.
+	if res := e.Decide(context.Background(), cold); res.Decision != policy.DecisionIndeterminate || res.Degraded {
+		t.Fatalf("cold-key decision = %+v, want fail-closed Indeterminate", res)
+	}
+
+	// At exactly the grace bound the entry still serves; one nanosecond
+	// past it the bound wins.
+	now = t0.Add(30 * time.Second)
+	if res := e.Decide(context.Background(), warm); !res.Degraded || res.StaleFor != 30*time.Second {
+		t.Fatalf("at-bound decision = %+v, want StaleFor=30s", res)
+	}
+	now = t0.Add(30*time.Second + time.Nanosecond)
+	if res := e.Decide(context.Background(), warm); res.Decision != policy.DecisionIndeterminate || res.Degraded {
+		t.Fatalf("over-grace decision = %+v, want fail-closed Indeterminate", res)
+	}
+
+	st := e.Stats()
+	if st.StaleServed != 2 {
+		t.Fatalf("StaleServed = %d, want 2", st.StaleServed)
+	}
+
+	// Recovery: the outage's Indeterminates must not have been cached, so a
+	// healed resolver immediately earns a fresh Permit.
+	resolver.broken.Store(false)
+	if res := e.Decide(context.Background(), warm); res.Decision != policy.DecisionPermit || res.Degraded {
+		t.Fatalf("post-recovery decision = %+v, want fresh Permit", res)
+	}
+}
+
+func TestStaleGraceBatchPath(t *testing.T) {
+	resolver := &toggleResolver{}
+	now := time.Date(2026, 6, 12, 9, 0, 0, 0, time.UTC)
+	e := New("degraded-batch",
+		WithResolver(resolver),
+		WithDecisionCache(time.Second, 0),
+		WithStaleGrace(30*time.Second),
+		WithClock(func() time.Time { return now }))
+	if err := e.SetRoot(ctxTestRoot(t)); err != nil {
+		t.Fatal(err)
+	}
+	warm := policy.NewAccessRequest("alice", "ward", "read")
+	cold := policy.NewAccessRequest("carol", "ward", "read")
+	e.Decide(context.Background(), warm)
+
+	resolver.broken.Store(true)
+	now = now.Add(5 * time.Second)
+	results := e.DecideBatch(context.Background(), []*policy.Request{warm, cold})
+	if !results[0].Degraded || results[0].Decision != policy.DecisionPermit || results[0].StaleFor != 5*time.Second {
+		t.Fatalf("warm batch position = %+v, want stale Permit aged 5s", results[0])
+	}
+	if results[1].Degraded || results[1].Decision != policy.DecisionIndeterminate {
+		t.Fatalf("cold batch position = %+v, want fail-closed Indeterminate", results[1])
+	}
+}
+
+// TestStaleGraceExpiredCallerFailsClosed: an already-dead caller context
+// never earns a stale answer — ctx expiry is the caller's fault, not the
+// dependency's.
+func TestStaleGraceExpiredCallerFailsClosed(t *testing.T) {
+	resolver := &toggleResolver{}
+	now := time.Date(2026, 6, 12, 9, 0, 0, 0, time.UTC)
+	e := New("degraded-ctx",
+		WithResolver(resolver),
+		WithDecisionCache(time.Second, 0),
+		WithStaleGrace(30*time.Second),
+		WithClock(func() time.Time { return now }))
+	if err := e.SetRoot(ctxTestRoot(t)); err != nil {
+		t.Fatal(err)
+	}
+	warm := policy.NewAccessRequest("alice", "ward", "read")
+	e.Decide(context.Background(), warm)
+
+	resolver.broken.Store(true)
+	now = now.Add(2 * time.Second)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if res := e.DecideAt(ctx, warm, now); res.Degraded || res.Decision != policy.DecisionIndeterminate {
+		t.Fatalf("expired-caller decision = %+v, want fail-closed Indeterminate", res)
+	}
+}

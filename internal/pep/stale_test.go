@@ -1,0 +1,86 @@
+package pep
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+)
+
+// outageProvider permits until broken, then answers Indeterminate — an
+// unreachable PDP as the enforcer sees it.
+type outageProvider struct {
+	broken bool
+}
+
+func (p *outageProvider) DecideAt(context.Context, *policy.Request, time.Time) policy.Result {
+	if p.broken {
+		return policy.Result{Decision: policy.DecisionIndeterminate,
+			Err: errors.New("pdp unreachable")}
+	}
+	return policy.Result{Decision: policy.DecisionPermit, By: "p"}
+}
+
+func TestEnforcerServeStale(t *testing.T) {
+	provider := &outageProvider{}
+	t0 := time.Date(2026, 3, 1, 12, 0, 0, 0, time.UTC)
+	e := NewEnforcer("pep", provider,
+		WithDecisionCache(time.Second, 0),
+		WithServeStale(30*time.Second))
+	warm := policy.NewAccessRequest("alice", "ward", "read")
+	cold := policy.NewAccessRequest("bob", "ward", "read")
+
+	if out := e.EnforceAt(context.Background(), warm, t0); !out.Allowed {
+		t.Fatalf("healthy enforcement = %+v, want allowed", out)
+	}
+
+	// The PDP dies and the cached permit's TTL lapses: the grace window
+	// keeps the warm key allowed, the cold key stays fail-closed.
+	provider.broken = true
+	at := t0.Add(5 * time.Second)
+	if out := e.EnforceAt(context.Background(), warm, at); !out.Allowed {
+		t.Fatalf("degraded enforcement = %+v, want allowed from stale permit", out)
+	}
+	if out := e.EnforceAt(context.Background(), cold, at); out.Allowed || !errors.Is(out.Err, ErrNotPermitted) {
+		t.Fatalf("cold-key enforcement = %+v, want fail-closed", out)
+	}
+
+	// Beyond grace the warm key fails closed too, permanently.
+	at = t0.Add(31 * time.Second)
+	if out := e.EnforceAt(context.Background(), warm, at); out.Allowed {
+		t.Fatalf("over-grace enforcement = %+v, want fail-closed", out)
+	}
+
+	st := e.Stats()
+	if st.ServedStale != 1 {
+		t.Fatalf("ServedStale = %d, want 1", st.ServedStale)
+	}
+
+	// Recovery: the outage's Indeterminates were never cached, so a healed
+	// PDP immediately answers fresh.
+	provider.broken = false
+	if out := e.EnforceAt(context.Background(), warm, at); !out.Allowed {
+		t.Fatalf("post-recovery enforcement = %+v, want allowed", out)
+	}
+}
+
+// TestEnforcerServeStaleExpiredCaller: a dead caller context never earns a
+// stale permit.
+func TestEnforcerServeStaleExpiredCaller(t *testing.T) {
+	provider := &outageProvider{}
+	t0 := time.Date(2026, 3, 1, 12, 0, 0, 0, time.UTC)
+	e := NewEnforcer("pep", provider,
+		WithDecisionCache(time.Second, 0),
+		WithServeStale(30*time.Second))
+	warm := policy.NewAccessRequest("alice", "ward", "read")
+	e.EnforceAt(context.Background(), warm, t0)
+
+	provider.broken = true
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if out := e.EnforceAt(ctx, warm, t0.Add(5*time.Second)); out.Allowed {
+		t.Fatalf("expired-caller enforcement = %+v, want fail-closed", out)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/policy"
+	"repro/internal/resilience"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -306,6 +307,12 @@ type CacheStats struct {
 	// Coalesced counts misses that piggybacked on another miss's
 	// in-flight backend fetch instead of issuing their own.
 	Coalesced int64
+	// NegativeHits counts lookups answered by a cached failure
+	// (WithNegativeTTL) without touching the backend.
+	NegativeHits int64
+	// BreakerFastFails counts lookups refused by an open breaker
+	// (WithBreaker) without touching the backend.
+	BreakerFastFails int64
 }
 
 // HitRate returns Hits / (Hits + Misses), or 0 for no traffic.
@@ -320,6 +327,10 @@ func (s CacheStats) HitRate() float64 {
 type cacheEntry struct {
 	bag     policy.Bag
 	expires time.Time
+	// err, when non-nil, makes this a negative entry: the backend failed
+	// recently and the failure itself is served until expiry, sparing a
+	// struggling information point a retry storm (WithNegativeTTL).
+	err error
 }
 
 // flight is one in-progress backend fetch that concurrent misses for the
@@ -346,8 +357,10 @@ type Cache struct {
 	name     string
 	inner    Provider
 	ttl      time.Duration
+	negTTL   time.Duration
 	now      func() time.Time
 	maxItems int
+	breaker  *resilience.Breaker
 
 	mu       sync.Mutex
 	entries  map[string]cacheEntry
@@ -393,6 +406,39 @@ func (c *Cache) WithClock(now func() time.Time) *Cache {
 	return c
 }
 
+// WithNegativeTTL arms short-TTL negative caching: a failed backend fetch
+// is remembered for d, and lookups within that window are answered with
+// the cached failure instead of hammering a struggling information point.
+// Context errors (the caller's own expired deadline) are never negatively
+// cached. Keep d much shorter than the positive TTL — it bounds how long a
+// recovered backend keeps looking broken.
+func (c *Cache) WithNegativeTTL(d time.Duration) *Cache {
+	c.negTTL = d
+	return c
+}
+
+// WithBreaker guards the backend with a circuit breaker: threshold
+// consecutive fetch failures trip it, and until the cooldown admits a
+// probe, lookups fail fast with resilience.ErrOpen instead of queueing on
+// a dead information point. The breaker shares the cache clock.
+func (c *Cache) WithBreaker(threshold int, cooldown time.Duration) *Cache {
+	c.breaker = resilience.NewBreaker(c.name, resilience.BreakerConfig{
+		Threshold: threshold,
+		Cooldown:  cooldown,
+		Clock:     func() time.Time { return c.now() },
+	})
+	return c
+}
+
+// BreakerStats returns the backend breaker's counters; zero without
+// WithBreaker.
+func (c *Cache) BreakerStats() resilience.BreakerStats {
+	if c.breaker == nil {
+		return resilience.BreakerStats{}
+	}
+	return c.breaker.Stats()
+}
+
 // Name implements Provider.
 func (c *Cache) Name() string { return c.name }
 
@@ -416,6 +462,12 @@ func (c *Cache) RegisterMetrics(reg *telemetry.Registry) {
 	reg.CounterFunc("repro_pip_cache_coalesced_total",
 		"Misses that piggybacked on another miss's in-flight backend fetch.",
 		func() int64 { return c.Stats().Coalesced })
+	reg.CounterFunc("repro_pip_cache_negative_hits_total",
+		"Attribute lookups answered by a cached backend failure.",
+		func() int64 { return c.Stats().NegativeHits })
+	reg.CounterFunc("repro_pip_cache_breaker_fast_fails_total",
+		"Attribute lookups refused by the backend circuit breaker.",
+		func() int64 { return c.Stats().BreakerFastFails })
 }
 
 // Invalidate drops every cached entry, modelling explicit revocation push.
@@ -441,6 +493,11 @@ func (c *Cache) ResolveAttribute(ctx context.Context, req *policy.Request, cat p
 	for {
 		c.mu.Lock()
 		if e, ok := c.entries[key]; ok && now.Before(e.expires) {
+			if e.err != nil {
+				c.stats.NegativeHits++
+				c.mu.Unlock()
+				return nil, fmt.Errorf("pip: cache %s: negative entry: %w", c.name, e.err)
+			}
 			c.stats.Hits++
 			c.mu.Unlock()
 			return e.bag.Clone(), nil
@@ -477,6 +534,11 @@ func (c *Cache) ResolveAttribute(ctx context.Context, req *policy.Request, cat p
 				return nil, fmt.Errorf("pip: cache %s: %w", c.name, ctx.Err())
 			}
 		}
+		if c.breaker != nil && !c.breaker.Allow() {
+			c.stats.BreakerFastFails++
+			c.mu.Unlock()
+			return nil, fmt.Errorf("pip: cache %s: %w", c.name, resilience.ErrOpen)
+		}
 		f := &flight{done: make(chan struct{})}
 		c.inflight[key] = f
 		c.mu.Unlock()
@@ -495,6 +557,16 @@ func (c *Cache) ResolveAttribute(ctx context.Context, req *policy.Request, cat p
 		}
 		fsp.End()
 
+		// A caller-context failure is nobody's verdict on the backend: it
+		// feeds neither the breaker nor the negative cache.
+		ctxFailure := err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+		if c.breaker != nil && !ctxFailure {
+			if err != nil {
+				c.breaker.OnFailure()
+			} else {
+				c.breaker.OnSuccess()
+			}
+		}
 		c.mu.Lock()
 		delete(c.inflight, key)
 		if err == nil {
@@ -505,6 +577,14 @@ func (c *Cache) ResolveAttribute(ctx context.Context, req *policy.Request, cat p
 				}
 			}
 			c.entries[key] = cacheEntry{bag: bag.Clone(), expires: now.Add(c.ttl)}
+		} else if c.negTTL > 0 && !ctxFailure {
+			if len(c.entries) >= c.maxItems {
+				for k := range c.entries {
+					delete(c.entries, k)
+					break
+				}
+			}
+			c.entries[key] = cacheEntry{err: err, expires: now.Add(c.negTTL)}
 		}
 		c.mu.Unlock()
 		f.bag, f.err = bag, err

@@ -1,0 +1,143 @@
+package pip
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/resilience"
+)
+
+// flakyProvider counts fetches and fails with failErr while it is set.
+type flakyProvider struct {
+	fetches int
+	failErr error
+}
+
+func (p *flakyProvider) Name() string { return "flaky" }
+
+func (p *flakyProvider) ResolveAttribute(context.Context, *policy.Request, policy.Category, string) (policy.Bag, error) {
+	p.fetches++
+	if p.failErr != nil {
+		return nil, p.failErr
+	}
+	return policy.Singleton(policy.String("doctor")), nil
+}
+
+func TestCacheNegativeTTL(t *testing.T) {
+	backend := &flakyProvider{failErr: errors.New("ldap down")}
+	now := time.Date(2026, 5, 1, 8, 0, 0, 0, time.UTC)
+	c := NewCache(backend, time.Minute, 0).
+		WithClock(func() time.Time { return now }).
+		WithNegativeTTL(2 * time.Second)
+	req := policy.NewAccessRequest("alice", "r", "read")
+	lookup := func() error {
+		_, err := c.ResolveAttribute(context.Background(), req, policy.CategorySubject, policy.AttrSubjectRole)
+		return err
+	}
+
+	if err := lookup(); err == nil {
+		t.Fatal("first lookup should surface the backend failure")
+	}
+	if backend.fetches != 1 {
+		t.Fatalf("fetches = %d, want 1", backend.fetches)
+	}
+
+	// Within the negative TTL the cached failure answers; the backend is
+	// spared the retry.
+	now = now.Add(time.Second)
+	if err := lookup(); err == nil {
+		t.Fatal("negative hit should surface the cached failure")
+	}
+	if backend.fetches != 1 {
+		t.Fatalf("fetches = %d after negative hit, want still 1", backend.fetches)
+	}
+	if st := c.Stats(); st.NegativeHits != 1 {
+		t.Fatalf("stats = %+v, want 1 negative hit", st)
+	}
+
+	// Past the negative TTL the backend (now healed) is retried and the
+	// real value replaces the cached failure.
+	backend.failErr = nil
+	now = now.Add(2 * time.Second)
+	if err := lookup(); err != nil {
+		t.Fatalf("post-recovery lookup failed: %v", err)
+	}
+	if backend.fetches != 2 {
+		t.Fatalf("fetches = %d, want 2", backend.fetches)
+	}
+	if err := lookup(); err != nil {
+		t.Fatalf("positive hit failed: %v", err)
+	}
+	if backend.fetches != 2 {
+		t.Fatalf("fetches = %d after positive hit, want still 2", backend.fetches)
+	}
+}
+
+// TestCacheNegativeTTLSkipsContextErrors: the caller's own expired
+// deadline must not be remembered against the backend.
+func TestCacheNegativeTTLSkipsContextErrors(t *testing.T) {
+	backend := &flakyProvider{failErr: context.DeadlineExceeded}
+	now := time.Date(2026, 5, 1, 8, 0, 0, 0, time.UTC)
+	c := NewCache(backend, time.Minute, 0).
+		WithClock(func() time.Time { return now }).
+		WithNegativeTTL(10 * time.Second)
+	req := policy.NewAccessRequest("alice", "r", "read")
+
+	if _, err := c.ResolveAttribute(context.Background(), req, policy.CategorySubject, policy.AttrSubjectRole); err == nil {
+		t.Fatal("lookup should surface the deadline error")
+	}
+	backend.failErr = nil
+	if _, err := c.ResolveAttribute(context.Background(), req, policy.CategorySubject, policy.AttrSubjectRole); err != nil {
+		t.Fatalf("ctx failure was negatively cached: %v", err)
+	}
+	if backend.fetches != 2 {
+		t.Fatalf("fetches = %d, want 2 (no negative entry for ctx errors)", backend.fetches)
+	}
+}
+
+func TestCacheBreaker(t *testing.T) {
+	backend := &flakyProvider{failErr: errors.New("ldap down")}
+	now := time.Date(2026, 5, 1, 8, 0, 0, 0, time.UTC)
+	c := NewCache(backend, time.Minute, 0).
+		WithClock(func() time.Time { return now }).
+		WithBreaker(2, 10*time.Second)
+	// Distinct subjects defeat the positive/negative entry, so every
+	// lookup is a fresh miss driving the breaker.
+	lookup := func(subject string) error {
+		req := policy.NewAccessRequest(subject, "r", "read")
+		_, err := c.ResolveAttribute(context.Background(), req, policy.CategorySubject, policy.AttrSubjectRole)
+		return err
+	}
+
+	if err := lookup("a"); err == nil {
+		t.Fatal("want failure")
+	}
+	if err := lookup("b"); err == nil {
+		t.Fatal("want failure")
+	}
+	// Two consecutive failures tripped the breaker: the next lookup fails
+	// fast without a backend fetch.
+	if err := lookup("c"); !errors.Is(err, resilience.ErrOpen) {
+		t.Fatalf("err = %v, want ErrOpen", err)
+	}
+	if backend.fetches != 2 {
+		t.Fatalf("fetches = %d, want 2 (fast fail spared the backend)", backend.fetches)
+	}
+	if st := c.Stats(); st.BreakerFastFails != 1 {
+		t.Fatalf("stats = %+v, want 1 breaker fast fail", st)
+	}
+
+	// Past the cooldown the healed backend passes the single probe and the
+	// breaker closes again.
+	backend.failErr = nil
+	now = now.Add(11 * time.Second)
+	if err := lookup("d"); err != nil {
+		t.Fatalf("probe lookup failed: %v", err)
+	}
+	if bs := c.BreakerStats(); bs.State != resilience.StateClosed || bs.Probes != 1 {
+		t.Fatalf("breaker stats = %+v, want closed after one probe", bs)
+	}
+}

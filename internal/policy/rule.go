@@ -1,6 +1,9 @@
 package policy
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Effect is the outcome a rule asserts when it applies.
 type Effect int
@@ -138,6 +141,14 @@ type Result struct {
 	By string
 	// Err carries the evaluation failure behind an Indeterminate.
 	Err error
+	// Degraded marks a decision served from a bounded-staleness
+	// last-known-good cache while the authoritative path was unavailable
+	// (open circuit breaker, all replicas down). Degraded results are
+	// conclusive but stale by at most the serving layer's grace window.
+	Degraded bool
+	// StaleFor is the age of the served entry when Degraded; zero for
+	// fresh decisions.
+	StaleFor time.Duration
 }
 
 func permit(by string) Result { return Result{Decision: DecisionPermit, By: by} }

@@ -1,0 +1,178 @@
+package resilience
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestAdmissionLimitEnforced(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{Initial: 4, Min: 4, Max: 8})
+	var releases []func(bool)
+	for i := 0; i < 4; i++ {
+		rel, ok := a.Acquire(Decision)
+		if !ok {
+			t.Fatalf("acquire %d rejected below the limit", i)
+		}
+		releases = append(releases, rel)
+	}
+	if _, ok := a.Acquire(Decision); ok {
+		t.Fatal("acquire admitted beyond the limit")
+	}
+	// Critical traffic is never shed, even at the limit.
+	rel, ok := a.Acquire(Critical)
+	if !ok {
+		t.Fatal("critical request shed")
+	}
+	rel(false)
+	for _, r := range releases {
+		r(false)
+	}
+	if in := a.Inflight(); in != 0 {
+		t.Fatalf("inflight = %d after all releases", in)
+	}
+}
+
+func TestAdmissionAIMD(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{Initial: 10, Min: 4, Max: 100})
+	start := a.Limit()
+
+	// Failures shrink the limit multiplicatively...
+	for i := 0; i < 5; i++ {
+		rel, ok := a.Acquire(Decision)
+		if !ok {
+			t.Fatalf("acquire %d rejected", i)
+		}
+		rel(true)
+	}
+	shrunk := a.Limit()
+	if shrunk >= start {
+		t.Fatalf("limit %v did not shrink from %v under failures", shrunk, start)
+	}
+	// ...to the floor, never below.
+	for i := 0; i < 100; i++ {
+		if rel, ok := a.Acquire(Decision); ok {
+			rel(true)
+		}
+	}
+	if lim := a.Limit(); lim < 4 {
+		t.Fatalf("limit %v fell below the floor", lim)
+	}
+
+	// Successes regrow it additively toward the ceiling.
+	for i := 0; i < 20_000; i++ {
+		if rel, ok := a.Acquire(Decision); ok {
+			rel(false)
+		}
+	}
+	if lim := a.Limit(); lim != 100 {
+		t.Fatalf("limit %v did not regrow to the ceiling under sustained success", lim)
+	}
+}
+
+func TestAdmissionLatencyTargetCountsAsPressure(t *testing.T) {
+	now := time.Unix(0, 0)
+	a := NewAdmission(AdmissionConfig{
+		Initial: 10, Min: 4, Max: 100,
+		LatencyTarget: 10 * time.Millisecond,
+		Clock:         func() time.Time { return now },
+	})
+	before := a.Limit()
+	rel, _ := a.Acquire(Decision)
+	now = now.Add(50 * time.Millisecond) // completion over target
+	rel(false)
+	if lim := a.Limit(); lim >= before {
+		t.Fatalf("limit %v did not shrink on an over-target completion (was %v)", lim, before)
+	}
+}
+
+func TestAdmissionConcurrent(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{Initial: 16, Min: 4, Max: 64})
+	var peak atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				rel, ok := a.Acquire(Decision)
+				if !ok {
+					continue
+				}
+				if in := a.Inflight(); in > peak.Load() {
+					peak.Store(in)
+				}
+				rel(i%10 == 0)
+			}
+		}()
+	}
+	wg.Wait()
+	if in := a.Inflight(); in != 0 {
+		t.Fatalf("inflight = %d after all goroutines drained", in)
+	}
+	// The limit never exceeded its ceiling, so admitted concurrency stays
+	// within Max plus the transient Add-then-check window.
+	if p := peak.Load(); p > 64+32 {
+		t.Fatalf("peak inflight %d far exceeds the configured ceiling", p)
+	}
+}
+
+func TestAdmissionMiddleware(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{Initial: 4, Min: 4, Max: 4})
+	blocked := make(chan struct{})
+	release := make(chan struct{})
+	handler := a.Middleware(
+		func(r *http.Request) Priority {
+			if r.URL.Path == "/healthz" {
+				return Critical
+			}
+			return Decision
+		},
+		http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/slow" {
+				blocked <- struct{}{}
+				<-release
+			}
+			w.WriteHeader(http.StatusOK)
+		}))
+
+	// Fill the limit with parked decision requests.
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := httptest.NewRecorder()
+			handler.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/slow", nil))
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		<-blocked
+	}
+
+	// The next decision request sheds with 503 + Retry-After.
+	rec := httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/decide", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d at the limit, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("503 missing Retry-After")
+	}
+
+	// A health probe still gets through.
+	rec = httptest.NewRecorder()
+	handler.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("health probe shed with %d at the limit", rec.Code)
+	}
+
+	close(release)
+	wg.Wait()
+	if st := a.Stats(); st.Rejected != 1 {
+		t.Fatalf("rejected = %d, want exactly the one shed decision request", st.Rejected)
+	}
+}

@@ -1,0 +1,193 @@
+package resilience
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Breaker states. The state machine is the classic three-state breaker:
+// Closed (calls pass, consecutive failures counted) -> Open (calls fail
+// fast for the cooldown) -> HalfOpen (exactly one probe call passes;
+// success closes, failure reopens).
+const (
+	StateClosed int32 = iota
+	StateOpen
+	StateHalfOpen
+)
+
+// BreakerConfig parameterises a Breaker.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that trips the breaker;
+	// 5 when zero or negative.
+	Threshold int
+	// Cooldown is how long an open breaker fails fast before admitting a
+	// half-open probe; 1s when zero or negative.
+	Cooldown time.Duration
+	// Clock overrides time.Now, for virtual-time tests.
+	Clock func() time.Time
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// BreakerStats is a snapshot of breaker activity.
+type BreakerStats struct {
+	// State is the current state word (StateClosed/StateOpen/StateHalfOpen).
+	State int32
+	// Opens counts transitions into Open, reopens after a failed probe
+	// included.
+	Opens int64
+	// FastFailures counts calls rejected without touching the dependency.
+	FastFailures int64
+	// Probes counts half-open probe admissions.
+	Probes int64
+}
+
+// Breaker is a per-dependency circuit breaker. All state is atomic: Allow,
+// OnSuccess and OnFailure are lock-free and safe for concurrent use, and
+// the half-open probe token is claimed by compare-and-swap so exactly one
+// caller tests a recovering dependency.
+//
+// Usage is advisory, not wrapping: the caller asks Allow() before the
+// dependency call and reports the outcome with OnSuccess()/OnFailure().
+// That keeps the breaker out of the call's data path (no closures, no
+// allocation) and lets layered code classify failures itself — only
+// dependency failures (unavailable, timed out) should count, never the
+// caller's own expired context at entry.
+type Breaker struct {
+	name string
+	cfg  BreakerConfig
+
+	state    atomic.Int32
+	failures atomic.Int32 // consecutive failures while closed
+	openedAt atomic.Int64 // UnixNano of the last trip
+	probing  atomic.Bool  // the single half-open probe token
+
+	opens     atomic.Int64
+	fastFails atomic.Int64
+	probes    atomic.Int64
+}
+
+// NewBreaker builds a closed breaker for one named dependency.
+func NewBreaker(name string, cfg BreakerConfig) *Breaker {
+	return &Breaker{name: name, cfg: cfg.withDefaults()}
+}
+
+// Name identifies the guarded dependency in metrics and diagnostics.
+func (b *Breaker) Name() string { return b.name }
+
+// Allow reports whether the caller may attempt the dependency. Closed
+// always admits; open fails fast until the cooldown elapses, then admits
+// exactly one half-open probe (the compare-and-swap on the probe token is
+// the race arbiter); half-open admits nothing beyond that probe.
+func (b *Breaker) Allow() bool {
+	for {
+		switch b.state.Load() {
+		case StateClosed:
+			return true
+		case StateOpen:
+			if b.cfg.Clock().Sub(time.Unix(0, b.openedAt.Load())) < b.cfg.Cooldown {
+				b.fastFails.Add(1)
+				return false
+			}
+			// Cooldown elapsed: claim the probe token first, then move the
+			// state. The token, not the state word, is what makes the probe
+			// single — a competing Allow that observes HalfOpen below still
+			// has to win the same token.
+			if b.probing.CompareAndSwap(false, true) {
+				b.state.CompareAndSwap(StateOpen, StateHalfOpen)
+				b.probes.Add(1)
+				return true
+			}
+			b.fastFails.Add(1)
+			return false
+		default: // StateHalfOpen
+			if b.probing.CompareAndSwap(false, true) {
+				// The probe owner may have resolved the state between our
+				// load and the claim; re-classify rather than probe a
+				// closed or freshly reopened breaker.
+				if b.state.Load() != StateHalfOpen {
+					b.probing.Store(false)
+					continue
+				}
+				b.probes.Add(1)
+				return true
+			}
+			b.fastFails.Add(1)
+			return false
+		}
+	}
+}
+
+// OnSuccess reports a successful dependency call: the consecutive-failure
+// count resets, and a half-open (or open — a straggler admitted before the
+// trip proves the dependency lives) breaker closes.
+func (b *Breaker) OnSuccess() {
+	b.failures.Store(0)
+	st := b.state.Load()
+	if st == StateClosed {
+		return
+	}
+	if b.state.CompareAndSwap(st, StateClosed) {
+		b.probing.Store(false)
+	}
+}
+
+// OnFailure reports a failed dependency call. While closed it counts
+// toward the trip threshold; a failed half-open probe reopens for a full
+// cooldown; failures reported while already open (stragglers) are ignored.
+func (b *Breaker) OnFailure() {
+	switch b.state.Load() {
+	case StateHalfOpen:
+		b.openedAt.Store(b.cfg.Clock().UnixNano())
+		if b.state.CompareAndSwap(StateHalfOpen, StateOpen) {
+			b.opens.Add(1)
+		}
+		b.probing.Store(false)
+	case StateOpen:
+		// Straggler from before the trip; the cooldown clock stands.
+	default:
+		if int(b.failures.Add(1)) >= b.cfg.Threshold {
+			b.openedAt.Store(b.cfg.Clock().UnixNano())
+			if b.state.CompareAndSwap(StateClosed, StateOpen) {
+				b.opens.Add(1)
+				b.failures.Store(0)
+			}
+		}
+	}
+}
+
+// State returns the current state word.
+func (b *Breaker) State() int32 { return b.state.Load() }
+
+// StateName renders the current state for gauges and logs.
+func (b *Breaker) StateName() string {
+	switch b.state.Load() {
+	case StateOpen:
+		return "open"
+	case StateHalfOpen:
+		return "half_open"
+	default:
+		return "closed"
+	}
+}
+
+// Stats returns a snapshot of breaker counters.
+func (b *Breaker) Stats() BreakerStats {
+	return BreakerStats{
+		State:        b.state.Load(),
+		Opens:        b.opens.Load(),
+		FastFailures: b.fastFails.Load(),
+		Probes:       b.probes.Load(),
+	}
+}

@@ -1,0 +1,171 @@
+package resilience
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// vclock is a virtual clock the tests advance by hand.
+type vclock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newVclock() *vclock {
+	return &vclock{now: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *vclock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *vclock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func testBreaker(clk *vclock) *Breaker {
+	return NewBreaker("dep", BreakerConfig{Threshold: 3, Cooldown: time.Second, Clock: clk.Now})
+}
+
+func TestBreakerOpensAfterThresholdAndFailsFast(t *testing.T) {
+	clk := newVclock()
+	b := testBreaker(clk)
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker rejected call %d", i)
+		}
+		b.OnFailure()
+	}
+	if b.State() != StateOpen {
+		t.Fatalf("state = %s after threshold failures, want open", b.StateName())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call inside the cooldown")
+	}
+	if st := b.Stats(); st.Opens != 1 || st.FastFailures == 0 {
+		t.Fatalf("stats = %+v, want 1 open and >0 fast failures", st)
+	}
+}
+
+func TestBreakerInterleavedSuccessResetsCount(t *testing.T) {
+	clk := newVclock()
+	b := testBreaker(clk)
+	for i := 0; i < 10; i++ {
+		if !b.Allow() {
+			t.Fatalf("breaker tripped at iteration %d despite interleaved successes", i)
+		}
+		b.OnFailure()
+		b.OnFailure()
+		b.OnSuccess() // two failures never reach the threshold of three
+	}
+	if b.State() != StateClosed {
+		t.Fatalf("state = %s, want closed", b.StateName())
+	}
+}
+
+func TestBreakerProbeSuccessClosesProbeFailureReopens(t *testing.T) {
+	clk := newVclock()
+	b := testBreaker(clk)
+	for i := 0; i < 3; i++ {
+		b.OnFailure()
+	}
+
+	// Probe after cooldown fails: reopen for a fresh cooldown.
+	clk.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but probe not admitted")
+	}
+	b.OnFailure()
+	if b.State() != StateOpen {
+		t.Fatalf("state = %s after failed probe, want open", b.StateName())
+	}
+	if b.Allow() {
+		t.Fatal("reopened breaker admitted a call before the new cooldown elapsed")
+	}
+
+	// Next probe succeeds: breaker closes and traffic flows.
+	clk.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("second probe not admitted")
+	}
+	b.OnSuccess()
+	if b.State() != StateClosed {
+		t.Fatalf("state = %s after successful probe, want closed", b.StateName())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker rejected traffic")
+	}
+}
+
+// TestBreakerHalfOpenSingleProbe races many goroutines against the
+// half-open transition: exactly one may win the probe, whatever the
+// interleaving (-race exercises the CAS arbitration).
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		clk := newVclock()
+		b := testBreaker(clk)
+		for i := 0; i < 3; i++ {
+			b.OnFailure()
+		}
+		clk.Advance(time.Second)
+
+		const goroutines = 32
+		var admitted atomic.Int64
+		var start, done sync.WaitGroup
+		start.Add(1)
+		done.Add(goroutines)
+		for g := 0; g < goroutines; g++ {
+			go func() {
+				defer done.Done()
+				start.Wait()
+				if b.Allow() {
+					admitted.Add(1)
+				}
+			}()
+		}
+		start.Done()
+		done.Wait()
+		if n := admitted.Load(); n != 1 {
+			t.Fatalf("round %d: %d probes admitted through a half-open breaker, want exactly 1", round, n)
+		}
+	}
+}
+
+// TestBreakerConcurrentLifecycle hammers the full state machine from many
+// goroutines while the clock advances; the test asserts nothing beyond
+// "no race, no panic, coherent final state" — -race is the oracle.
+func TestBreakerConcurrentLifecycle(t *testing.T) {
+	clk := newVclock()
+	b := testBreaker(clk)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				if b.Allow() {
+					if (i+seed)%3 == 0 {
+						b.OnFailure()
+					} else {
+						b.OnSuccess()
+					}
+				}
+				if i%100 == 0 {
+					clk.Advance(100 * time.Millisecond)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	switch b.State() {
+	case StateClosed, StateOpen, StateHalfOpen:
+	default:
+		t.Fatalf("incoherent final state %d", b.State())
+	}
+}

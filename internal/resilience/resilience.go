@@ -1,0 +1,93 @@
+// Package resilience provides the fault-handling building blocks that let
+// the decision fabric survive the failures the chaos harness injects,
+// instead of merely detecting them: circuit breakers around unreliable
+// dependencies, retry budgets with capped decorrelated-jitter backoff,
+// adaptive admission control at ingress, and a bounded-staleness
+// last-known-good cache backing the degraded serving mode.
+//
+// The pieces compose into one overload story:
+//
+//   - A Breaker turns a dead dependency (crashed shard group, stalled PIP
+//     backend, partitioned federation peer) from a per-request
+//     deadline-budget timeout into one fast local check. State is a single
+//     atomic word; the half-open probe is claimed by compare-and-swap, so
+//     exactly one request tests a recovering dependency while the rest
+//     keep failing fast.
+//
+//   - A RetryBudget bounds the retry amplification a failing dependency
+//     can provoke: retries withdraw from a token bucket that only
+//     successes refill, so a hard-down peer is retried at a small fraction
+//     of the offered load instead of multiplying it. Decorrelated jitter
+//     (Backoff/Decorrelated) spreads the retries that do happen.
+//
+//   - An Admission controller sheds excess concurrency at ingress with an
+//     AIMD limit, rejecting early with 503 + Retry-After while the caller
+//     still has deadline budget to go elsewhere — instead of queueing the
+//     request into certain expiry. Priorities are strict: Critical traffic
+//     (admin-plane writes, health probes) is never shed before Decision
+//     traffic.
+//
+//   - A StaleCache holds the last conclusive decision per cache key so an
+//     open breaker can serve bounded-staleness answers for warm keys
+//     within a configurable grace window — degraded (counted, audit
+//     logged, stamped degraded=true on the trace span) but conclusive —
+//     while cold keys keep failing closed.
+//
+// Fail-closed versus serve-stale, the decision table the enforcement
+// points implement:
+//
+//	caller ctx already expired    -> fail closed (Indeterminate), always
+//	dependency up                 -> fresh decision, never stale
+//	dependency down, warm key,
+//	  entry age <= grace          -> serve stale, Degraded=true
+//	dependency down, cold key     -> fail fast (breaker short-circuit)
+//	dependency down, entry older
+//	  than grace                  -> fail closed (staleness bound wins)
+//
+// Everything here is allocation-free and lock-free on its hot path
+// (atomics; the stale cache uses striped shard mutexes like the PDP
+// decision cache) and takes an injectable clock, so the chaos and load
+// tests drive it on virtual time.
+package resilience
+
+import (
+	"errors"
+	"time"
+)
+
+// ErrOpen reports a request short-circuited by an open circuit breaker:
+// the dependency was recently observed dead, and the fast local failure
+// stands in for the timeout the caller would otherwise pay. Matched with
+// errors.Is; enforcement points treat it as an unavailability (deny-biased
+// Indeterminate), and degraded mode may answer it from the stale cache.
+var ErrOpen = errors.New("resilience: circuit open")
+
+// Policy bundles the resilience configuration a layered deployment (the
+// cluster router, pdpd) threads through its construction. The zero value
+// of each knob means "that mechanism off": a nil *Policy or a zero Policy
+// adds no behaviour and no hot-path cost.
+type Policy struct {
+	// Breaker configures the per-dependency circuit breakers; a zero
+	// value uses the defaults (see BreakerConfig).
+	Breaker BreakerConfig
+	// StaleGrace bounds degraded-mode staleness: with a breaker open, a
+	// cached conclusive decision no older than StaleGrace may be served
+	// marked Degraded. Zero disables serve-stale (pure fail-fast).
+	StaleGrace time.Duration
+	// StaleItems caps the last-known-good cache; 8192 when zero.
+	StaleItems int
+	// HedgeAfter arms hedged batch fan-out: a replica group that has not
+	// answered a batch within HedgeAfter gets a second request on the
+	// next replica, first conclusive answer wins. Zero disables hedging.
+	HedgeAfter time.Duration
+	// Clock overrides time.Now for the breakers and staleness checks.
+	Clock func() time.Time
+}
+
+// Now returns the policy clock, defaulting to time.Now.
+func (p *Policy) Now() func() time.Time {
+	if p != nil && p.Clock != nil {
+		return p.Clock
+	}
+	return time.Now
+}

@@ -1,0 +1,130 @@
+package resilience
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// RetryBudget bounds retry amplification with a token bucket that only
+// successes refill: each retry withdraws one token, each success deposits
+// a fraction of one. Under total failure the bucket drains and retries
+// stop — a hard-down dependency is probed at the deposit rate of the
+// remaining successful traffic instead of multiplying the offered load.
+// The balance is milli-tokens in one atomic word; Withdraw and Deposit are
+// lock-free.
+type RetryBudget struct {
+	capMilli     int64
+	depositMilli int64
+	balance      atomic.Int64
+
+	withdrawals atomic.Int64
+	exhaustions atomic.Int64
+}
+
+// RetryBudgetStats is a snapshot of budget activity.
+type RetryBudgetStats struct {
+	// Balance is the current token balance.
+	Balance float64
+	// Withdrawals counts retries the budget paid for.
+	Withdrawals int64
+	// Exhaustions counts retries refused for an empty bucket.
+	Exhaustions int64
+}
+
+// NewRetryBudget builds a full bucket holding capacity tokens, refilled at
+// depositRate tokens per reported success. capacity <= 0 defaults to 10;
+// depositRate <= 0 defaults to 0.1 (one retry earned per ten successes).
+func NewRetryBudget(capacity, depositRate float64) *RetryBudget {
+	if capacity <= 0 {
+		capacity = 10
+	}
+	if depositRate <= 0 {
+		depositRate = 0.1
+	}
+	b := &RetryBudget{
+		capMilli:     int64(capacity * 1000),
+		depositMilli: int64(depositRate * 1000),
+	}
+	if b.depositMilli < 1 {
+		b.depositMilli = 1
+	}
+	b.balance.Store(b.capMilli)
+	return b
+}
+
+// Withdraw takes one token for a retry, reporting false (and counting an
+// exhaustion) when fewer than one whole token remains.
+func (b *RetryBudget) Withdraw() bool {
+	for {
+		cur := b.balance.Load()
+		if cur < 1000 {
+			b.exhaustions.Add(1)
+			return false
+		}
+		if b.balance.CompareAndSwap(cur, cur-1000) {
+			b.withdrawals.Add(1)
+			return true
+		}
+	}
+}
+
+// Deposit credits one success, capped at the bucket capacity.
+func (b *RetryBudget) Deposit() {
+	for {
+		cur := b.balance.Load()
+		next := cur + b.depositMilli
+		if next > b.capMilli {
+			next = b.capMilli
+		}
+		if next == cur || b.balance.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
+// Balance returns the current token balance.
+func (b *RetryBudget) Balance() float64 {
+	return float64(b.balance.Load()) / 1000
+}
+
+// Stats returns a snapshot of budget counters.
+func (b *RetryBudget) Stats() RetryBudgetStats {
+	return RetryBudgetStats{
+		Balance:     b.Balance(),
+		Withdrawals: b.withdrawals.Load(),
+		Exhaustions: b.exhaustions.Load(),
+	}
+}
+
+// Decorrelated computes the next capped decorrelated-jitter backoff:
+//
+//	next = min(max, base + rnd*(min(3*prev, max) - base))
+//
+// with rnd in [0, 1). Unlike plain exponential backoff, consecutive delays
+// are drawn from a widening window anchored at base rather than doubling
+// in lockstep, so a thundering herd of retriers decorrelates instead of
+// re-colliding every 2^n. The returned delay is always at least base
+// (callers may rely on a failed attempt costing no less than its timeout)
+// and at most max. rnd comes from the caller so deterministic simulations
+// stay deterministic.
+func Decorrelated(base, max, prev time.Duration, rnd float64) time.Duration {
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	if max < base {
+		max = base
+	}
+	if prev < base {
+		prev = base
+	}
+	hi := 3 * prev
+	if hi > max || hi < 0 { // hi < 0: 3*prev overflowed
+		hi = max
+	}
+	if rnd < 0 {
+		rnd = 0
+	} else if rnd >= 1 {
+		rnd = 0.999999
+	}
+	return base + time.Duration(rnd*float64(hi-base))
+}

@@ -1,0 +1,133 @@
+package resilience
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRetryBudgetExhaustionUnderConcurrentFailures drains a budget from
+// many goroutines at once: the total number of successful withdrawals must
+// equal the capacity exactly — the token bucket cannot be over-drawn by a
+// race (-race exercises the CAS loop).
+func TestRetryBudgetExhaustionUnderConcurrentFailures(t *testing.T) {
+	const capacity = 100
+	b := NewRetryBudget(capacity, 0.1)
+
+	const goroutines = 16
+	var granted atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < capacity; i++ { // 16x oversubscription
+				if b.Withdraw() {
+					granted.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := granted.Load(); n != capacity {
+		t.Fatalf("%d withdrawals granted from a %d-token budget", n, capacity)
+	}
+	if b.Withdraw() {
+		t.Fatal("withdrawal granted from an exhausted budget")
+	}
+	if st := b.Stats(); st.Exhaustions == 0 {
+		t.Fatalf("stats = %+v, want exhaustions counted", st)
+	}
+}
+
+func TestRetryBudgetSuccessesRefill(t *testing.T) {
+	b := NewRetryBudget(10, 0.5)
+	for i := 0; i < 10; i++ {
+		if !b.Withdraw() {
+			t.Fatalf("fresh budget refused withdrawal %d", i)
+		}
+	}
+	if b.Withdraw() {
+		t.Fatal("empty budget granted a withdrawal")
+	}
+	// Two successes at 0.5 tokens each earn exactly one retry.
+	b.Deposit()
+	b.Deposit()
+	if !b.Withdraw() {
+		t.Fatal("refilled budget refused a withdrawal")
+	}
+	if b.Withdraw() {
+		t.Fatal("budget granted more than the deposits earned")
+	}
+	// The balance never exceeds capacity.
+	for i := 0; i < 1000; i++ {
+		b.Deposit()
+	}
+	if bal := b.Balance(); bal > 10 {
+		t.Fatalf("balance %v exceeds capacity 10", bal)
+	}
+}
+
+func TestRetryBudgetConcurrentDepositWithdraw(t *testing.T) {
+	b := NewRetryBudget(50, 1)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				if i%2 == 0 {
+					b.Deposit()
+				} else {
+					b.Withdraw()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if bal := b.Balance(); bal < 0 || bal > 50 {
+		t.Fatalf("balance %v escaped [0, 50]", bal)
+	}
+}
+
+func TestDecorrelatedBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	base := 10 * time.Millisecond
+	max := 200 * time.Millisecond
+	prev := base
+	for i := 0; i < 10_000; i++ {
+		d := Decorrelated(base, max, prev, rng.Float64())
+		if d < base {
+			t.Fatalf("backoff %v below base %v at iteration %d", d, base, i)
+		}
+		if d > max {
+			t.Fatalf("backoff %v above cap %v at iteration %d", d, max, i)
+		}
+		prev = d
+	}
+}
+
+func TestDecorrelatedWidensThenCaps(t *testing.T) {
+	base := 10 * time.Millisecond
+	max := time.Second
+	// rnd=0.999999 tracks the top of the window: 3x growth per step until
+	// the cap pins it.
+	prev := base
+	var last time.Duration
+	for i := 0; i < 10; i++ {
+		d := Decorrelated(base, max, prev, 0.999999)
+		if d < last {
+			t.Fatalf("upper envelope shrank: %v -> %v", last, d)
+		}
+		last, prev = d, d
+	}
+	if last < max-time.Millisecond {
+		t.Fatalf("upper envelope %v never reached the cap %v", last, max)
+	}
+	// Degenerate inputs clamp instead of exploding.
+	if d := Decorrelated(0, 0, -time.Second, 2); d <= 0 {
+		t.Fatalf("degenerate inputs produced %v", d)
+	}
+}

@@ -1,0 +1,167 @@
+package resilience
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/policy"
+)
+
+// staleShards stripes the last-known-good cache the same way the PDP
+// decision cache is striped: entries land in the shard addressed by the
+// request's memoised cache-key hash, so concurrent Puts from the decision
+// hot path contend per-stripe, not globally.
+const staleShards = 16
+
+type staleEntry struct {
+	res    policy.Result
+	stored time.Time
+}
+
+type staleShard struct {
+	mu      sync.Mutex
+	entries map[string]staleEntry
+	max     int
+	// pad the shard to its own cache line so neighbouring shard mutexes
+	// do not false-share.
+	_ [40]byte
+}
+
+// StaleCache is the bounded last-known-good store behind degraded mode:
+// every conclusive decision is remembered with its stored-at time, and
+// while a dependency's breaker is open a warm key may be answered from
+// here — if and only if the entry's age is within the caller's grace
+// window. Entries beyond the grace window are dropped on touch, so a
+// degraded answer can never exceed the staleness bound.
+type StaleCache struct {
+	shards [staleShards]staleShard
+
+	puts     atomic.Int64
+	served   atomic.Int64
+	tooOld   atomic.Int64
+	coldMiss atomic.Int64
+}
+
+// StaleCacheStats is a snapshot of stale-cache activity.
+type StaleCacheStats struct {
+	// Entries is the current occupancy.
+	Entries int
+	// Puts counts conclusive decisions remembered.
+	Puts int64
+	// Served counts degraded answers handed out within the grace window.
+	Served int64
+	// TooOld counts lookups that found an entry beyond the grace window
+	// (the request failed closed instead).
+	TooOld int64
+	// ColdMisses counts lookups for keys with no entry at all.
+	ColdMisses int64
+}
+
+// NewStaleCache builds a cache bounded at maxItems entries (8192 when
+// zero or negative).
+func NewStaleCache(maxItems int) *StaleCache {
+	if maxItems <= 0 {
+		maxItems = 8192
+	}
+	perShard := maxItems / staleShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &StaleCache{}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]staleEntry)
+		c.shards[i].max = perShard
+	}
+	return c
+}
+
+func (c *StaleCache) shard(hash uint64) *staleShard {
+	return &c.shards[hash%staleShards]
+}
+
+// Put remembers a conclusive decision as the key's last known good. The
+// caller is responsible for filtering: only conclusive (non-Indeterminate)
+// results from a live dependency belong here.
+func (c *StaleCache) Put(key string, hash uint64, res policy.Result, at time.Time) {
+	sh := c.shard(hash)
+	sh.mu.Lock()
+	if _, exists := sh.entries[key]; !exists && len(sh.entries) >= sh.max {
+		sh.evictOldestLocked()
+	}
+	sh.entries[key] = staleEntry{res: res, stored: at}
+	sh.mu.Unlock()
+	c.puts.Add(1)
+}
+
+// evictOldestLocked drops the oldest of up to 8 probed entries — the same
+// probabilistic eviction the decision cache uses, O(1) instead of a full
+// scan, biased toward dropping the stalest data first.
+func (sh *staleShard) evictOldestLocked() {
+	const probe = 8
+	var victim string
+	var oldest time.Time
+	n := 0
+	for k, e := range sh.entries {
+		if n == 0 || e.stored.Before(oldest) {
+			victim, oldest = k, e.stored
+		}
+		n++
+		if n >= probe {
+			break
+		}
+	}
+	if n > 0 {
+		delete(sh.entries, victim)
+	}
+}
+
+// Get returns the key's last known good decision if its age at `at` is
+// within grace, along with that age. An entry beyond grace is deleted and
+// reported as a miss: the staleness bound is enforced here, not at the
+// caller's discretion.
+func (c *StaleCache) Get(key string, hash uint64, at time.Time, grace time.Duration) (policy.Result, time.Duration, bool) {
+	sh := c.shard(hash)
+	sh.mu.Lock()
+	e, ok := sh.entries[key]
+	if !ok {
+		sh.mu.Unlock()
+		c.coldMiss.Add(1)
+		return policy.Result{}, 0, false
+	}
+	age := at.Sub(e.stored)
+	if age > grace {
+		delete(sh.entries, key)
+		sh.mu.Unlock()
+		c.tooOld.Add(1)
+		return policy.Result{}, 0, false
+	}
+	sh.mu.Unlock()
+	if age < 0 {
+		age = 0
+	}
+	c.served.Add(1)
+	return e.res, age, true
+}
+
+// Len returns current occupancy.
+func (c *StaleCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += len(c.shards[i].entries)
+		c.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns a snapshot of cache counters.
+func (c *StaleCache) Stats() StaleCacheStats {
+	return StaleCacheStats{
+		Entries:    c.Len(),
+		Puts:       c.puts.Load(),
+		Served:     c.served.Load(),
+		TooOld:     c.tooOld.Load(),
+		ColdMisses: c.coldMiss.Load(),
+	}
+}

@@ -1,0 +1,100 @@
+package resilience
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+)
+
+func staleKey(i int) (string, uint64) {
+	k := fmt.Sprintf("key-%d", i)
+	return k, policy.HashString(k)
+}
+
+// TestStaleNeverExceedsGraceWindow is the staleness-bound proof on a
+// virtual clock: an entry is served while (and only while) its age is
+// within grace, and the first over-grace touch removes it for good.
+func TestStaleNeverExceedsGraceWindow(t *testing.T) {
+	c := NewStaleCache(64)
+	now := time.Unix(1_700_000_000, 0)
+	grace := 30 * time.Second
+	key, hash := staleKey(1)
+	want := policy.Result{Decision: policy.DecisionPermit, By: "p1"}
+	c.Put(key, hash, want, now)
+
+	for _, step := range []time.Duration{0, time.Second, 29 * time.Second, grace} {
+		res, age, ok := c.Get(key, hash, now.Add(step), grace)
+		if !ok {
+			t.Fatalf("entry aged %v not served within grace %v", step, grace)
+		}
+		if res.Decision != want.Decision || res.By != want.By {
+			t.Fatalf("served %+v, want %+v", res, want)
+		}
+		if age != step {
+			t.Fatalf("age = %v, want %v", age, step)
+		}
+	}
+
+	if _, _, ok := c.Get(key, hash, now.Add(grace+time.Nanosecond), grace); ok {
+		t.Fatal("entry served beyond the grace window")
+	}
+	// The over-grace touch evicted: even rolling the clock back cannot
+	// resurrect it.
+	if _, _, ok := c.Get(key, hash, now, grace); ok {
+		t.Fatal("over-grace entry resurrected")
+	}
+	if st := c.Stats(); st.TooOld != 1 {
+		t.Fatalf("stats = %+v, want 1 too-old rejection", st)
+	}
+}
+
+func TestStaleCacheColdMiss(t *testing.T) {
+	c := NewStaleCache(64)
+	key, hash := staleKey(7)
+	if _, _, ok := c.Get(key, hash, time.Unix(0, 0), time.Hour); ok {
+		t.Fatal("cold key served")
+	}
+	if st := c.Stats(); st.ColdMisses != 1 {
+		t.Fatalf("stats = %+v, want 1 cold miss", st)
+	}
+}
+
+func TestStaleCacheBounded(t *testing.T) {
+	const max = 64
+	c := NewStaleCache(max)
+	now := time.Unix(1_700_000_000, 0)
+	for i := 0; i < 10*max; i++ {
+		key, hash := staleKey(i)
+		c.Put(key, hash, policy.Result{Decision: policy.DecisionPermit}, now.Add(time.Duration(i)*time.Second))
+	}
+	if n := c.Len(); n > max {
+		t.Fatalf("occupancy %d exceeds bound %d", n, max)
+	}
+}
+
+func TestStaleCacheConcurrent(t *testing.T) {
+	c := NewStaleCache(256)
+	base := time.Unix(1_700_000_000, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				key, hash := staleKey((seed*31 + i) % 512)
+				at := base.Add(time.Duration(i) * time.Millisecond)
+				if i%2 == 0 {
+					c.Put(key, hash, policy.Result{Decision: policy.DecisionDeny}, at)
+				} else if res, age, ok := c.Get(key, hash, at, time.Minute); ok {
+					if res.Decision != policy.DecisionDeny || age > time.Minute {
+						panic(fmt.Sprintf("incoherent stale read: %+v age %v", res, age))
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

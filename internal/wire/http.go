@@ -188,6 +188,12 @@ func (c *HTTPClient) Send(ctx context.Context, env *Envelope) (*Envelope, error)
 	}
 	if resp.StatusCode != http.StatusOK {
 		rpc.SetAttr("error", resp.Status)
+		if resp.StatusCode == http.StatusServiceUnavailable || resp.StatusCode == http.StatusTooManyRequests {
+			// Admission rejection: the server is alive but shedding. The
+			// sentinel lets callers (and the load harness) count these
+			// separately from unreachability and deadline expiry.
+			return nil, fmt.Errorf("wire: %s returned %s: %s: %w", c.Endpoint, resp.Status, body, ErrOverload)
+		}
 		return nil, fmt.Errorf("wire: %s returned %s: %s", c.Endpoint, resp.Status, body)
 	}
 	reply, err := DecodeXML(body)

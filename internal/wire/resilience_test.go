@@ -1,0 +1,183 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/resilience"
+)
+
+func retryEnv() *Envelope {
+	return &Envelope{From: "pep", To: "pdp", Action: "pdp:decide", Timestamp: epoch}
+}
+
+// trippingCtx reports Canceled from the Nth Err() check onward — the
+// deterministic way to die exactly between retry attempts in a synchronous
+// loop.
+type trippingCtx struct {
+	context.Context
+	allow int
+	calls int
+}
+
+func (c *trippingCtx) Err() error {
+	c.calls++
+	if c.calls > c.allow {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestSendWithRetryChecksCtxBetweenAttempts: a caller that dies during the
+// backoff after a failed attempt stops the retry loop before the next
+// attempt is sent.
+func TestSendWithRetryChecksCtxBetweenAttempts(t *testing.T) {
+	n := NewNetwork(time.Millisecond, 1)
+	n.Register("pep", echoNode)
+	n.Register("pdp", echoNode)
+	n.SetLink("pep", "pdp", LinkProps{Latency: time.Millisecond, Loss: 1.0})
+
+	// One Err() check passes (attempt 1's Send entry); the next — the
+	// between-attempts check — observes the cancellation.
+	ctx := &trippingCtx{Context: context.Background(), allow: 1}
+	_, err := n.SendWithRetry(ctx, &Call{}, retryEnv(), 5, time.Millisecond)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st := n.Stats(); st.Lost != 1 {
+		t.Fatalf("%d attempts sent, want exactly 1 before the cancellation check", st.Lost)
+	}
+}
+
+// TestSendWithRetryAttemptCap: the attempt count is clamped, however large
+// the caller's ask.
+func TestSendWithRetryAttemptCap(t *testing.T) {
+	n := NewNetwork(time.Millisecond, 7)
+	n.Register("pep", echoNode)
+	n.Register("pdp", echoNode)
+	n.SetLink("pep", "pdp", LinkProps{Latency: time.Millisecond, Loss: 1.0})
+
+	call := &Call{}
+	_, err := n.SendWithRetry(context.Background(), call, retryEnv(), 1_000_000, time.Millisecond)
+	if !errors.Is(err, ErrLost) {
+		t.Fatalf("err = %v, want ErrLost", err)
+	}
+	// Each attempt is one lost message on the network counters.
+	if st := n.Stats(); st.Lost > maxRetryAttempts {
+		t.Fatalf("%d messages attempted, cap is %d", st.Lost, maxRetryAttempts)
+	}
+}
+
+// TestSendWithRetryBudgetExhaustion: with the network retry budget armed,
+// a hard-down peer drains the bucket and further retries fail with
+// ErrRetryBudget instead of multiplying load.
+func TestSendWithRetryBudgetExhaustion(t *testing.T) {
+	n := NewNetwork(time.Millisecond, 3)
+	n.Register("pep", echoNode)
+	n.Register("pdp", echoNode)
+	n.UseRetryBudget(4, 0.5)
+	n.SetNodeDown("pdp", true)
+
+	sawBudgetRefusal := false
+	for i := 0; i < 10 && !sawBudgetRefusal; i++ {
+		_, err := n.SendWithRetry(context.Background(), &Call{}, retryEnv(), 3, time.Millisecond)
+		if err == nil {
+			t.Fatal("send to a down node succeeded")
+		}
+		if errors.Is(err, ErrRetryBudget) {
+			sawBudgetRefusal = true
+		}
+	}
+	if !sawBudgetRefusal {
+		t.Fatal("retry budget never exhausted against a hard-down peer")
+	}
+
+	// Successful sends refill the budget.
+	n.SetNodeDown("pdp", false)
+	for i := 0; i < 20; i++ {
+		if _, err := n.SendWithRetry(context.Background(), &Call{}, retryEnv(), 3, time.Millisecond); err != nil {
+			t.Fatalf("send %d after revival: %v", i, err)
+		}
+	}
+	n.SetNodeDown("pdp", true)
+	_, err := n.SendWithRetry(context.Background(), &Call{}, retryEnv(), 2, time.Millisecond)
+	if errors.Is(err, ErrRetryBudget) {
+		t.Fatal("refilled budget refused the first retry")
+	}
+}
+
+// TestNetworkBreakerFastFail: with breakers armed, a down destination trips
+// after the threshold and later sends fail instantly — no virtual latency
+// charged — until the cooldown admits a probe that discovers the revival.
+func TestNetworkBreakerFastFail(t *testing.T) {
+	n := NewNetwork(10*time.Millisecond, 1)
+	n.Register("pep", echoNode)
+	n.Register("pdp", echoNode)
+	n.UseBreakers(resilience.BreakerConfig{Threshold: 3, Cooldown: 50 * time.Millisecond})
+	n.SetNodeDown("pdp", true)
+
+	// Trip: each of the first three sends pays the wire latency to
+	// discover the dead peer.
+	for i := 0; i < 3; i++ {
+		call := &Call{}
+		if _, err := n.Send(context.Background(), call, retryEnv()); !errors.Is(err, ErrUnreachable) {
+			t.Fatalf("send %d: %v, want ErrUnreachable", i, err)
+		}
+		if call.Elapsed == 0 {
+			t.Fatalf("send %d charged no latency before the trip", i)
+		}
+	}
+
+	// Open: the failure is now local and free.
+	call := &Call{}
+	_, err := n.Send(context.Background(), call, retryEnv())
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen", err)
+	}
+	if call.Elapsed != 0 {
+		t.Fatalf("open breaker charged %v of virtual latency", call.Elapsed)
+	}
+
+	// SendWithRetry treats it as final: one fast failure, no retry storm.
+	if _, err := n.SendWithRetry(context.Background(), &Call{}, retryEnv(), 5, time.Millisecond); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("retry err = %v, want ErrCircuitOpen", err)
+	}
+
+	// Revive; after the cooldown one probe discovers it and traffic flows.
+	n.SetNodeDown("pdp", false)
+	time.Sleep(60 * time.Millisecond)
+	if _, err := n.Send(context.Background(), &Call{}, retryEnv()); err != nil {
+		t.Fatalf("probe after revival: %v", err)
+	}
+	if _, err := n.Send(context.Background(), &Call{}, retryEnv()); err != nil {
+		t.Fatalf("traffic after reclose: %v", err)
+	}
+	st := n.BreakerStats()["pdp"]
+	if st.Opens == 0 || st.FastFailures == 0 {
+		t.Fatalf("breaker stats = %+v, want opens and fast failures recorded", st)
+	}
+}
+
+// TestSendWithRetryBackoffBounds: each failed attempt charges at least its
+// timeout and at most maxBackoffFactor timeouts of virtual time.
+func TestSendWithRetryBackoffBounds(t *testing.T) {
+	n := NewNetwork(0, 11)
+	n.Register("pep", echoNode)
+	n.Register("pdp", echoNode)
+	n.SetLink("pep", "pdp", LinkProps{Loss: 1.0})
+
+	timeout := 10 * time.Millisecond
+	call := &Call{}
+	_, err := n.SendWithRetry(context.Background(), call, retryEnv(), 4, timeout)
+	if !errors.Is(err, ErrLost) {
+		t.Fatalf("err = %v, want ErrLost", err)
+	}
+	if call.Elapsed < 4*timeout {
+		t.Fatalf("Elapsed = %v, want >= 4 timeouts", call.Elapsed)
+	}
+	if call.Elapsed > 4*maxBackoffFactor*timeout {
+		t.Fatalf("Elapsed = %v, exceeds the backoff cap", call.Elapsed)
+	}
+}

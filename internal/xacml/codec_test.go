@@ -286,6 +286,50 @@ func TestResponseRoundTrips(t *testing.T) {
 	}
 }
 
+// TestResponseCarriesDegradedMarker: the served-stale marker must survive
+// the wire in both codecs, or a remote PEP could not audit degraded serves.
+func TestResponseCarriesDegradedMarker(t *testing.T) {
+	orig := policy.Result{
+		Decision: policy.DecisionPermit,
+		By:       "org/records/doctors",
+		Degraded: true,
+		StaleFor: 2500 * time.Millisecond,
+	}
+	xmlData, err := MarshalResponseXML(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromXML, err := UnmarshalResponseXML(xmlData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonData, err := MarshalResponseJSON(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := UnmarshalResponseJSON(jsonData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, got := range map[string]policy.Result{"xml": fromXML, "json": fromJSON} {
+		if !got.Degraded || got.StaleFor != 2500*time.Millisecond {
+			t.Errorf("%s: degraded marker lost: %+v", name, got)
+		}
+	}
+	// A fresh result must not sprout the marker.
+	fresh, err := MarshalResponseXML(policy.Result{Decision: policy.DecisionDeny})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalResponseXML(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Degraded || got.StaleFor != 0 {
+		t.Errorf("fresh result gained a degraded marker: %+v", got)
+	}
+}
+
 func TestResponseCarriesIndeterminateStatus(t *testing.T) {
 	orig := policy.Result{Decision: policy.DecisionIndeterminate, Err: errors.New("pip unreachable")}
 	data, err := MarshalResponseXML(orig)

@@ -5,6 +5,7 @@ import (
 	"encoding/xml"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/policy"
 )
@@ -48,9 +49,15 @@ type xmlStatus struct {
 }
 
 type xmlResult struct {
-	Decision    string                `xml:"Decision,attr"`
-	By          string                `xml:"By,attr,omitempty"`
-	Status      *xmlStatus            `xml:"Status,omitempty"`
+	Decision string     `xml:"Decision,attr"`
+	By       string     `xml:"By,attr,omitempty"`
+	Status   *xmlStatus `xml:"Status,omitempty"`
+	// Degraded and StaleForMs carry the bounded-staleness degraded-mode
+	// marker across the wire (a local extension to the context schema), so
+	// a remote enforcement point can audit and count served-stale answers
+	// exactly like an in-process one.
+	Degraded    bool                  `xml:"Degraded,attr,omitempty"`
+	StaleForMs  int64                 `xml:"StaleForMs,attr,omitempty"`
 	Obligations []xmlResultObligation `xml:"Obligations>Obligation,omitempty"`
 }
 
@@ -126,6 +133,10 @@ func MarshalResponseXML(res policy.Result) ([]byte, error) {
 	if res.Err != nil {
 		out.Result.Status = &xmlStatus{Message: res.Err.Error()}
 	}
+	if res.Degraded {
+		out.Result.Degraded = true
+		out.Result.StaleForMs = res.StaleFor.Milliseconds()
+	}
 	for _, ob := range res.Obligations {
 		xo := xmlResultObligation{ObligationID: ob.ID}
 		for name, v := range ob.Attributes {
@@ -159,6 +170,10 @@ func UnmarshalResponseXML(data []byte) (policy.Result, error) {
 	res := policy.Result{Decision: dec, By: in.Result.By}
 	if in.Result.Status != nil && in.Result.Status.Message != "" {
 		res.Err = errors.New(in.Result.Status.Message)
+	}
+	if in.Result.Degraded {
+		res.Degraded = true
+		res.StaleFor = time.Duration(in.Result.StaleForMs) * time.Millisecond
 	}
 	for _, xo := range in.Result.Obligations {
 		ob := policy.FulfilledObligation{ID: xo.ObligationID}

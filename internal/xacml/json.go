@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/policy"
 )
@@ -552,9 +553,12 @@ type jsonResponseObligation struct {
 }
 
 type jsonResponse struct {
-	Decision    string                   `json:"decision"`
-	By          string                   `json:"by,omitempty"`
-	Status      string                   `json:"status,omitempty"`
+	Decision string `json:"decision"`
+	By       string `json:"by,omitempty"`
+	Status   string `json:"status,omitempty"`
+	// Degraded/StaleForMs mirror the XML codec's degraded-mode marker.
+	Degraded    bool                     `json:"degraded,omitempty"`
+	StaleForMs  int64                    `json:"stale_for_ms,omitempty"`
 	Obligations []jsonResponseObligation `json:"obligations,omitempty"`
 }
 
@@ -563,6 +567,10 @@ func MarshalResponseJSON(res policy.Result) ([]byte, error) {
 	out := jsonResponse{Decision: res.Decision.String(), By: res.By}
 	if res.Err != nil {
 		out.Status = res.Err.Error()
+	}
+	if res.Degraded {
+		out.Degraded = true
+		out.StaleForMs = res.StaleFor.Milliseconds()
 	}
 	for _, ob := range res.Obligations {
 		jo := jsonResponseObligation{ID: ob.ID}
@@ -594,6 +602,10 @@ func UnmarshalResponseJSON(data []byte) (policy.Result, error) {
 	res := policy.Result{Decision: dec, By: in.By}
 	if in.Status != "" {
 		res.Err = errors.New(in.Status)
+	}
+	if in.Degraded {
+		res.Degraded = true
+		res.StaleFor = time.Duration(in.StaleForMs) * time.Millisecond
 	}
 	for _, jo := range in.Obligations {
 		ob := policy.FulfilledObligation{ID: jo.ID}
