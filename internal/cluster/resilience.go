@@ -92,6 +92,16 @@ func shardFailure(res policy.Result) bool {
 		errors.Is(res.Err, ha.ErrNoQuorum)
 }
 
+// ctxExpired reports whether a result died with the caller's own context
+// mid-dispatch. Such a call proves nothing about the shard either way: it
+// must not trip the breaker, and it must not reset the failure count or
+// close a half-open breaker — under cancellation-heavy overload a dead
+// shard's breaker would otherwise flap closed and keep admitting traffic.
+func ctxExpired(res policy.Result) bool {
+	return res.Err != nil &&
+		(errors.Is(res.Err, context.Canceled) || errors.Is(res.Err, context.DeadlineExceeded))
+}
+
 // conclusive reports whether a decision is worth remembering as last known
 // good: anything but an Indeterminate.
 func conclusive(res policy.Result) bool {
@@ -113,6 +123,10 @@ func (r *Router) observeShardLocked(s *shard, req *policy.Request, at time.Time,
 		s.breaker.OnFailure()
 		return
 	}
+	if ctxExpired(res) {
+		s.breaker.OnAbandon()
+		return
+	}
 	s.breaker.OnSuccess()
 	if r.stale != nil && conclusive(res) {
 		r.stale.Put(req.CacheKey(), req.CacheKeyHash(), res, at)
@@ -127,18 +141,28 @@ func (r *Router) observeGroupLocked(s *shard, reqs []*policy.Request, indexes []
 	if s.breaker == nil {
 		return
 	}
-	failed := false
+	failed, expired := false, false
 	for _, p := range indexes {
 		if shardFailure(out[p]) {
 			failed = true
 			break
 		}
+		if ctxExpired(out[p]) {
+			expired = true
+		}
 	}
-	if failed {
+	switch {
+	case failed:
 		s.breaker.OnFailure()
 		return
+	case expired:
+		// The caller ran out of time mid-batch: neutral for the breaker,
+		// but any positions that did complete conclusively are still worth
+		// remembering below.
+		s.breaker.OnAbandon()
+	default:
+		s.breaker.OnSuccess()
 	}
-	s.breaker.OnSuccess()
 	if r.stale == nil {
 		return
 	}

@@ -206,6 +206,60 @@ func TestClusterHedgedBatch(t *testing.T) {
 	}
 }
 
+// TestClusterBreakerNeutralOnCallerExpiry: a caller context that expires
+// mid-dispatch proves nothing about the shard — it must neither close a
+// half-open breaker (cancellation-heavy overload would flap a dead shard's
+// breaker closed) nor leak the half-open probe token (which would wedge
+// the breaker in fail-fast until the token ages out).
+func TestClusterBreakerNeutralOnCallerExpiry(t *testing.T) {
+	t0 := testEpoch
+	now := t0
+	router := resilienceCluster(t, func() time.Time { return now }, &resilience.Policy{
+		Breaker: resilience.BreakerConfig{Threshold: 3, Cooldown: time.Minute},
+	})
+	warm := policy.NewAccessRequest("alice", "db", "read")
+
+	reps := downShard(t, router, true)
+	for i := 0; i < 3; i++ {
+		router.DecideAt(context.Background(), warm, now)
+	}
+	if bs := router.BreakerStats()[router.Shards()[0]]; bs.State != resilience.StateOpen {
+		t.Fatalf("breaker = %+v after threshold failures, want open", bs)
+	}
+
+	// Revive the shard but make it pathologically slow, and pass the
+	// cooldown: the next call is the half-open probe, and its caller's
+	// deadline fires long before the stall elapses.
+	downShard(t, router, false)
+	for _, rep := range reps {
+		rep.SetStall(30 * time.Second)
+	}
+	now = t0.Add(2 * time.Minute)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	res := router.DecideAt(ctx, warm, now)
+	if !errors.Is(res.Err, context.DeadlineExceeded) {
+		t.Fatalf("stalled probe = %+v, want caller deadline expiry", res)
+	}
+	bs := router.BreakerStats()[router.Shards()[0]]
+	if bs.State != resilience.StateHalfOpen {
+		t.Fatalf("breaker = %+v after ctx-expired probe, want half-open (neutral)", bs)
+	}
+
+	// The token went back with OnAbandon: a patient caller is admitted as
+	// the next probe immediately and closes the breaker.
+	for _, rep := range reps {
+		rep.SetStall(0)
+	}
+	res = router.DecideAt(context.Background(), warm, now)
+	if res.Decision != policy.DecisionPermit {
+		t.Fatalf("post-expiry probe = %+v, want fresh Permit", res)
+	}
+	if bs := router.BreakerStats()[router.Shards()[0]]; bs.State != resilience.StateClosed {
+		t.Fatalf("breaker = %+v after successful re-probe, want closed", bs)
+	}
+}
+
 // TestClusterBreakerFlapping hammers a resilient cluster while a chaos
 // goroutine flaps the shard's replicas, checking (under -race) that the
 // breaker lifecycle, stale cache and router counters stay coherent and the

@@ -2,10 +2,20 @@ package ha
 
 import (
 	"context"
+	"errors"
 	"time"
 
 	"repro/internal/policy"
 )
+
+// chainUnavailable reports whether a scatter attempt came back with an
+// availability failure: one replica unavailable, or a whole failover chain
+// exhausted (failoverScatter's terminal ErrAllReplicasDown — which plain
+// unavailable() does not match, since it is a per-replica predicate).
+func chainUnavailable(res policy.Result) bool {
+	return res.Decision == policy.DecisionIndeterminate &&
+		(errors.Is(res.Err, ErrUnavailable) || errors.Is(res.Err, ErrAllReplicasDown))
+}
 
 // DecideScatterHedgedAt is the tail-cutting variant of the failover
 // scatter: the batch goes to the preferred replica, and if that replica
@@ -53,13 +63,13 @@ func (e *Ensemble) DecideScatterHedgedAt(ctx context.Context, reqs []*policy.Req
 		// Fast primary: the common case pays one goroutine and one timer.
 		// An unavailable primary is not hedged here — it already failed
 		// fast, so the ordinary failover walk is cheaper than a hedge.
-		if !unavailable(primary[probe(positions)]) {
+		if !chainUnavailable(primary[probe(positions)]) {
 			copyInto(primary)
 			return false, false
 		}
 		rest := make([]policy.Result, len(reqs))
 		e.failoverScatter(ctx, e.replicas, order[1:], reqs, positions, n, at, rest)
-		if !unavailable(rest[probe(positions)]) {
+		if !chainUnavailable(rest[probe(positions)]) {
 			e.stats.failovers.Add(int64(n))
 		}
 		copyInto(rest)
@@ -78,10 +88,23 @@ func (e *Ensemble) DecideScatterHedgedAt(ctx context.Context, reqs []*policy.Req
 
 	select {
 	case <-primaryDone:
+		if chainUnavailable(primary[probe(positions)]) {
+			// The slow primary came back all-replicas-down. The hedge on
+			// the rest of the chain IS the failover walk the non-hedged
+			// path would now perform — wait for it rather than abandoning
+			// a failover that may still succeed.
+			<-hedgeDone
+			if !chainUnavailable(hedge[probe(positions)]) {
+				e.stats.failovers.Add(int64(n))
+				e.stats.hedgeWins.Add(int64(n))
+				copyInto(hedge)
+				return true, true
+			}
+		}
 		copyInto(primary)
 		return true, false
 	case <-hedgeDone:
-		if unavailable(hedge[probe(positions)]) {
+		if chainUnavailable(hedge[probe(positions)]) {
 			// The hedge found nobody; the primary is still the only hope.
 			<-primaryDone
 			copyInto(primary)

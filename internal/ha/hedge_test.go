@@ -1,0 +1,84 @@
+package ha
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+)
+
+// slowUnavailable is a decision provider that takes its time and then
+// reports unavailability — the slow-then-down primary (a replica whose
+// host dies mid-GC-pause) that must not preempt an in-flight hedge.
+type slowUnavailable struct {
+	delay time.Duration
+}
+
+func (s *slowUnavailable) DecideAt(ctx context.Context, req *policy.Request, at time.Time) policy.Result {
+	t := time.NewTimer(s.delay)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+	return policy.Result{Decision: policy.DecisionIndeterminate, Err: ErrUnavailable}
+}
+
+// TestHedgeBeatsStalledPrimary is the tail-cutting happy path: the
+// preferred replica stalls, the hedge answers conclusively well before
+// the stall elapses.
+func TestHedgeBeatsStalledPrimary(t *testing.T) {
+	at := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	r0 := NewFailable("r0", batchFixture(t, policy.DecisionPermit))
+	r1 := NewFailable("r1", batchFixture(t, policy.DecisionPermit))
+	const stall = 2 * time.Second
+	r0.SetStall(stall)
+	ens := NewEnsemble("ens", Failover, r0, r1)
+
+	reqs := batchRequests(3)
+	out := make([]policy.Result, len(reqs))
+	start := time.Now()
+	hedged, hedgeWon := ens.DecideScatterHedgedAt(context.Background(), reqs, nil, at, out, 5*time.Millisecond)
+	if elapsed := time.Since(start); elapsed >= stall {
+		t.Fatalf("hedged scatter took %v, should beat the %v stall", elapsed, stall)
+	}
+	if !hedged || !hedgeWon {
+		t.Fatalf("hedged=%v hedgeWon=%v, want the hedge launched and won", hedged, hedgeWon)
+	}
+	for p, res := range out {
+		if res.Decision != policy.DecisionPermit {
+			t.Fatalf("position %d = %+v, want Permit from the hedge", p, res)
+		}
+	}
+}
+
+// TestHedgeWaitsForFailoverOnUnavailablePrimary: once a hedge is in
+// flight, a slow primary that finally answers all-replicas-down must not
+// preempt it — the hedge on the rest of the chain IS the failover walk
+// the non-hedged path would perform, and abandoning it would turn a
+// previously-successful failover into an Indeterminate.
+func TestHedgeWaitsForFailoverOnUnavailablePrimary(t *testing.T) {
+	at := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	// Primary: unavailable, but only after 40ms — slow enough that the
+	// hedge launches first, fast enough to finish before the hedge does.
+	r0 := NewFailable("r0", &slowUnavailable{delay: 40 * time.Millisecond})
+	r1 := NewFailable("r1", batchFixture(t, policy.DecisionPermit))
+	r1.SetStall(150 * time.Millisecond)
+	ens := NewEnsemble("ens", Failover, r0, r1)
+
+	reqs := batchRequests(2)
+	out := make([]policy.Result, len(reqs))
+	hedged, hedgeWon := ens.DecideScatterHedgedAt(context.Background(), reqs, nil, at, out, 5*time.Millisecond)
+	if !hedged || !hedgeWon {
+		t.Fatalf("hedged=%v hedgeWon=%v, want the hedge carried the failover", hedged, hedgeWon)
+	}
+	for p, res := range out {
+		if res.Decision != policy.DecisionPermit {
+			t.Fatalf("position %d = %+v, want the hedge's Permit, not the primary's unavailability", p, res)
+		}
+	}
+	if st := ens.Stats(); st.HedgeWins != int64(len(reqs)) || st.Failovers != int64(len(reqs)) {
+		t.Fatalf("stats = %+v, want hedge wins counted as failovers too", st)
+	}
+}

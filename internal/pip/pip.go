@@ -558,12 +558,17 @@ func (c *Cache) ResolveAttribute(ctx context.Context, req *policy.Request, cat p
 		fsp.End()
 
 		// A caller-context failure is nobody's verdict on the backend: it
-		// feeds neither the breaker nor the negative cache.
+		// feeds neither the breaker nor the negative cache — but if this
+		// fetch held the half-open probe token, the token must go back, or
+		// the breaker wedges in fail-fast until the token ages out.
 		ctxFailure := err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
-		if c.breaker != nil && !ctxFailure {
-			if err != nil {
+		if c.breaker != nil {
+			switch {
+			case ctxFailure:
+				c.breaker.OnAbandon()
+			case err != nil:
 				c.breaker.OnFailure()
-			} else {
+			default:
 				c.breaker.OnSuccess()
 			}
 		}

@@ -1,7 +1,10 @@
 package resilience
 
 import (
+	"bufio"
+	"io"
 	"math"
+	"net"
 	"net/http"
 	"sync/atomic"
 	"time"
@@ -19,6 +22,23 @@ const (
 	// Critical is admin-plane writes, health probes and scrapes: admitted
 	// regardless of the concurrency limit.
 	Critical
+)
+
+// Outcome classifies a completed admitted request for the AIMD signal.
+type Outcome int
+
+const (
+	// OutcomeSuccess grows the limit additively (subject to the latency
+	// target — an over-target success still counts as congestion).
+	OutcomeSuccess Outcome = iota
+	// OutcomeFailure shrinks the limit multiplicatively: the server
+	// indicted itself (5xx, timeout serving).
+	OutcomeFailure
+	// OutcomeNeutral releases the slot without moving the limit: the
+	// client hung up or its deadline expired, which says nothing about
+	// server congestion — a burst of impatient clients must not shrink
+	// the limit on an otherwise healthy server.
+	OutcomeNeutral
 )
 
 // AdmissionConfig parameterises an Admission controller.
@@ -114,10 +134,12 @@ func (a *Admission) Inflight() int64 { return a.inflight.Load() }
 // Acquire admits or rejects one request. Critical requests are always
 // admitted; Decision requests are rejected when admitting them would
 // exceed the current limit. The returned release must be called exactly
-// once when the request completes, with failed=true when the request
-// failed or timed out (the congestion signal that shrinks the limit).
-// Acquire returns (nil, false) on rejection.
-func (a *Admission) Acquire(p Priority) (release func(failed bool), ok bool) {
+// once when the request completes, with the Outcome that classifies it:
+// only server-indicted failures (and over-target successes, when a
+// LatencyTarget is set) shrink the limit; OutcomeNeutral — client
+// cancellation — leaves it untouched. Acquire returns (nil, false) on
+// rejection.
+func (a *Admission) Acquire(p Priority) (release func(Outcome), ok bool) {
 	in := a.inflight.Add(1)
 	if p != Critical && float64(in) > a.Limit() {
 		a.inflight.Add(-1)
@@ -126,14 +148,15 @@ func (a *Admission) Acquire(p Priority) (release func(failed bool), ok bool) {
 	}
 	a.admitted.Add(1)
 	start := a.cfg.Clock()
-	return func(failed bool) {
+	return func(o Outcome) {
 		a.inflight.Add(-1)
-		if !failed && a.cfg.LatencyTarget > 0 && a.cfg.Clock().Sub(start) > a.cfg.LatencyTarget {
-			failed = true
+		if o == OutcomeSuccess && a.cfg.LatencyTarget > 0 && a.cfg.Clock().Sub(start) > a.cfg.LatencyTarget {
+			o = OutcomeFailure
 		}
-		if failed {
+		switch o {
+		case OutcomeFailure:
 			a.decrease()
-		} else {
+		case OutcomeSuccess:
 			a.increase()
 		}
 	}, true
@@ -190,8 +213,10 @@ func (a *Admission) Stats() AdmissionStats {
 // each request to its priority (nil classifies everything as Decision).
 // Rejected requests get 503 with Retry-After: 1 — a distinct, fast signal
 // the caller can act on while its deadline budget is still alive, unlike
-// queueing into expiry. A handler response of 5xx, or a request context
-// already dead at completion, counts as failure for the AIMD signal.
+// queueing into expiry. Only server-indicted completions (5xx, and
+// over-target latencies via LatencyTarget) count as failure for the AIMD
+// signal; a request context dead at completion means the client hung up
+// and releases neutrally.
 func (a *Admission) Middleware(classify func(*http.Request) Priority, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		p := Decision
@@ -206,11 +231,22 @@ func (a *Admission) Middleware(classify func(*http.Request) Priority, next http.
 		}
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		next.ServeHTTP(sw, r)
-		release(r.Context().Err() != nil || sw.code >= http.StatusInternalServerError)
+		switch {
+		case sw.code >= http.StatusInternalServerError:
+			release(OutcomeFailure)
+		case r.Context().Err() != nil:
+			release(OutcomeNeutral)
+		default:
+			release(OutcomeSuccess)
+		}
 	})
 }
 
 // statusWriter records the response code for the admission failure signal.
+// It forwards the optional ResponseWriter interfaces (Flusher, Hijacker,
+// ReaderFrom, Pusher) so handlers behind the admission middleware keep
+// streaming, WebSocket upgrades and sendfile, and unwraps for
+// http.ResponseController.
 type statusWriter struct {
 	http.ResponseWriter
 	code int
@@ -221,8 +257,30 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 func (w *statusWriter) Flush() {
 	if f, ok := w.ResponseWriter.(http.Flusher); ok {
 		f.Flush()
 	}
+}
+
+func (w *statusWriter) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	if h, ok := w.ResponseWriter.(http.Hijacker); ok {
+		return h.Hijack()
+	}
+	return nil, nil, http.ErrNotSupported
+}
+
+func (w *statusWriter) ReadFrom(src io.Reader) (int64, error) {
+	// io.Copy uses the underlying writer's ReadFrom when it has one and
+	// falls back to a plain copy otherwise.
+	return io.Copy(w.ResponseWriter, src)
+}
+
+func (w *statusWriter) Push(target string, opts *http.PushOptions) error {
+	if p, ok := w.ResponseWriter.(http.Pusher); ok {
+		return p.Push(target, opts)
+	}
+	return http.ErrNotSupported
 }

@@ -1,6 +1,9 @@
 package resilience
 
 import (
+	"bufio"
+	"context"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -11,7 +14,7 @@ import (
 
 func TestAdmissionLimitEnforced(t *testing.T) {
 	a := NewAdmission(AdmissionConfig{Initial: 4, Min: 4, Max: 8})
-	var releases []func(bool)
+	var releases []func(Outcome)
 	for i := 0; i < 4; i++ {
 		rel, ok := a.Acquire(Decision)
 		if !ok {
@@ -27,9 +30,9 @@ func TestAdmissionLimitEnforced(t *testing.T) {
 	if !ok {
 		t.Fatal("critical request shed")
 	}
-	rel(false)
+	rel(OutcomeSuccess)
 	for _, r := range releases {
-		r(false)
+		r(OutcomeSuccess)
 	}
 	if in := a.Inflight(); in != 0 {
 		t.Fatalf("inflight = %d after all releases", in)
@@ -46,7 +49,7 @@ func TestAdmissionAIMD(t *testing.T) {
 		if !ok {
 			t.Fatalf("acquire %d rejected", i)
 		}
-		rel(true)
+		rel(OutcomeFailure)
 	}
 	shrunk := a.Limit()
 	if shrunk >= start {
@@ -55,7 +58,7 @@ func TestAdmissionAIMD(t *testing.T) {
 	// ...to the floor, never below.
 	for i := 0; i < 100; i++ {
 		if rel, ok := a.Acquire(Decision); ok {
-			rel(true)
+			rel(OutcomeFailure)
 		}
 	}
 	if lim := a.Limit(); lim < 4 {
@@ -65,7 +68,7 @@ func TestAdmissionAIMD(t *testing.T) {
 	// Successes regrow it additively toward the ceiling.
 	for i := 0; i < 20_000; i++ {
 		if rel, ok := a.Acquire(Decision); ok {
-			rel(false)
+			rel(OutcomeSuccess)
 		}
 	}
 	if lim := a.Limit(); lim != 100 {
@@ -83,7 +86,7 @@ func TestAdmissionLatencyTargetCountsAsPressure(t *testing.T) {
 	before := a.Limit()
 	rel, _ := a.Acquire(Decision)
 	now = now.Add(50 * time.Millisecond) // completion over target
-	rel(false)
+	rel(OutcomeSuccess)
 	if lim := a.Limit(); lim >= before {
 		t.Fatalf("limit %v did not shrink on an over-target completion (was %v)", lim, before)
 	}
@@ -105,7 +108,11 @@ func TestAdmissionConcurrent(t *testing.T) {
 				if in := a.Inflight(); in > peak.Load() {
 					peak.Store(in)
 				}
-				rel(i%10 == 0)
+				if i%10 == 0 {
+					rel(OutcomeFailure)
+				} else {
+					rel(OutcomeSuccess)
+				}
 			}
 		}()
 	}
@@ -117,6 +124,89 @@ func TestAdmissionConcurrent(t *testing.T) {
 	// within Max plus the transient Add-then-check window.
 	if p := peak.Load(); p > 64+32 {
 		t.Fatalf("peak inflight %d far exceeds the configured ceiling", p)
+	}
+}
+
+// TestAdmissionNeutralRelease: client cancellations say nothing about
+// server congestion, so a neutral release moves the limit in neither
+// direction while still freeing the slot.
+func TestAdmissionNeutralRelease(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{Initial: 10, Min: 4, Max: 100})
+	before := a.Limit()
+	for i := 0; i < 50; i++ {
+		rel, ok := a.Acquire(Decision)
+		if !ok {
+			t.Fatalf("acquire %d rejected below the limit", i)
+		}
+		rel(OutcomeNeutral)
+	}
+	if lim := a.Limit(); lim != before {
+		t.Fatalf("limit moved %v -> %v under neutral releases", before, lim)
+	}
+	if in := a.Inflight(); in != 0 {
+		t.Fatalf("inflight = %d after all neutral releases", in)
+	}
+}
+
+// TestAdmissionMiddlewareClientCancelIsNeutral: a burst of impatient
+// clients (request context dead at completion, response still 2xx) must
+// not multiplicatively shrink the limit on a healthy server.
+func TestAdmissionMiddlewareClientCancelIsNeutral(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{Initial: 10, Min: 4, Max: 100})
+	handler := a.Middleware(nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	before := a.Limit()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i := 0; i < 20; i++ {
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/decide", nil).WithContext(ctx))
+	}
+	if lim := a.Limit(); lim < before {
+		t.Fatalf("client cancellations shrank the limit %v -> %v", before, lim)
+	}
+	// A genuine server failure still counts.
+	boom := a.Middleware(nil, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	boom.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodPost, "/decide", nil))
+	if lim := a.Limit(); lim >= before {
+		t.Fatalf("limit %v did not shrink on a 5xx completion (was %v)", a.Limit(), before)
+	}
+}
+
+// hijackRecorder is a ResponseWriter that supports hijacking, recording
+// whether the call reached it.
+type hijackRecorder struct {
+	http.ResponseWriter
+	hijacked bool
+}
+
+func (h *hijackRecorder) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	h.hijacked = true
+	return nil, nil, nil
+}
+
+// TestStatusWriterForwardsOptionalInterfaces: the admission middleware's
+// wrapper must not hide Hijacker (WebSocket upgrades) or the other
+// optional ResponseWriter interfaces from wrapped handlers.
+func TestStatusWriterForwardsOptionalInterfaces(t *testing.T) {
+	h := &hijackRecorder{ResponseWriter: httptest.NewRecorder()}
+	sw := &statusWriter{ResponseWriter: h, code: http.StatusOK}
+	if _, _, err := sw.Hijack(); err != nil || !h.hijacked {
+		t.Fatalf("Hijack not forwarded (err=%v, reached=%v)", err, h.hijacked)
+	}
+	if got := sw.Unwrap(); got != http.ResponseWriter(h) {
+		t.Fatal("Unwrap did not expose the underlying writer")
+	}
+	// A writer without Hijack support degrades to an error, not a panic.
+	plain := &statusWriter{ResponseWriter: httptest.NewRecorder(), code: http.StatusOK}
+	if _, _, err := plain.Hijack(); err == nil {
+		t.Fatal("Hijack on a non-hijackable writer reported success")
+	}
+	if err := plain.Push("/asset", nil); err == nil {
+		t.Fatal("Push on a non-pusher writer reported success")
 	}
 }
 

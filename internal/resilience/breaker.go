@@ -54,16 +54,17 @@ type BreakerStats struct {
 }
 
 // Breaker is a per-dependency circuit breaker. All state is atomic: Allow,
-// OnSuccess and OnFailure are lock-free and safe for concurrent use, and
+// OnSuccess, OnFailure and OnAbandon are lock-free and safe for concurrent use, and
 // the half-open probe token is claimed by compare-and-swap so exactly one
 // caller tests a recovering dependency.
 //
 // Usage is advisory, not wrapping: the caller asks Allow() before the
-// dependency call and reports the outcome with OnSuccess()/OnFailure().
-// That keeps the breaker out of the call's data path (no closures, no
-// allocation) and lets layered code classify failures itself — only
-// dependency failures (unavailable, timed out) should count, never the
-// caller's own expired context at entry.
+// dependency call and reports the outcome with OnSuccess()/OnFailure(),
+// or OnAbandon() when the outcome says nothing about the dependency (the
+// caller's own context died mid-call). That keeps the breaker out of the
+// call's data path (no closures, no allocation) and lets layered code
+// classify failures itself — only dependency failures (unavailable, timed
+// out) should count, never the caller's own expired context.
 type Breaker struct {
 	name string
 	cfg  BreakerConfig
@@ -72,6 +73,7 @@ type Breaker struct {
 	failures atomic.Int32 // consecutive failures while closed
 	openedAt atomic.Int64 // UnixNano of the last trip
 	probing  atomic.Bool  // the single half-open probe token
+	probedAt atomic.Int64 // UnixNano of the last probe-token claim
 
 	opens     atomic.Int64
 	fastFails atomic.Int64
@@ -105,6 +107,7 @@ func (b *Breaker) Allow() bool {
 			// single — a competing Allow that observes HalfOpen below still
 			// has to win the same token.
 			if b.probing.CompareAndSwap(false, true) {
+				b.probedAt.Store(b.cfg.Clock().UnixNano())
 				b.state.CompareAndSwap(StateOpen, StateHalfOpen)
 				b.probes.Add(1)
 				return true
@@ -120,6 +123,19 @@ func (b *Breaker) Allow() bool {
 					b.probing.Store(false)
 					continue
 				}
+				b.probedAt.Store(b.cfg.Clock().UnixNano())
+				b.probes.Add(1)
+				return true
+			}
+			// The token is held. A probe whose outcome is never reported
+			// (the owner vanished without OnSuccess/OnFailure/OnAbandon)
+			// must not wedge the breaker in fail-fast forever: a claim
+			// older than a full cooldown is reclaimable, with the CAS on
+			// the claim timestamp arbitrating competing reclaimers.
+			pa := b.probedAt.Load()
+			now := b.cfg.Clock()
+			if now.Sub(time.Unix(0, pa)) >= b.cfg.Cooldown &&
+				b.probedAt.CompareAndSwap(pa, now.UnixNano()) {
 				b.probes.Add(1)
 				return true
 			}
@@ -165,6 +181,16 @@ func (b *Breaker) OnFailure() {
 			}
 		}
 	}
+}
+
+// OnAbandon reports a call whose outcome proves nothing about the
+// dependency — the caller's own context was cancelled or its deadline
+// expired mid-call. It is neutral: the consecutive-failure count and the
+// state stand, but a held half-open probe token is returned so the next
+// Allow can admit a fresh probe instead of failing fast until the stale
+// token ages past the cooldown.
+func (b *Breaker) OnAbandon() {
+	b.probing.Store(false)
 }
 
 // State returns the current state word.

@@ -103,6 +103,65 @@ func TestBreakerProbeSuccessClosesProbeFailureReopens(t *testing.T) {
 	}
 }
 
+// TestBreakerAbandonReleasesProbeToken: a half-open probe whose call died
+// with the caller's own context reports OnAbandon, which returns the probe
+// token without moving the state — the next Allow admits a fresh probe
+// immediately instead of failing fast until the token ages out.
+func TestBreakerAbandonReleasesProbeToken(t *testing.T) {
+	clk := newVclock()
+	b := testBreaker(clk)
+	for i := 0; i < 3; i++ {
+		b.OnFailure()
+	}
+	clk.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but probe not admitted")
+	}
+	if b.Allow() {
+		t.Fatal("second probe admitted while the first is in flight")
+	}
+	b.OnAbandon()
+	if b.State() != StateHalfOpen {
+		t.Fatalf("state = %s after abandoned probe, want half-open", b.StateName())
+	}
+	if !b.Allow() {
+		t.Fatal("probe token not reusable after OnAbandon")
+	}
+	b.OnSuccess()
+	if b.State() != StateClosed {
+		t.Fatalf("state = %s after successful re-probe, want closed", b.StateName())
+	}
+}
+
+// TestBreakerStaleProbeReclaimed: a probe owner that vanishes without any
+// report at all (no OnSuccess/OnFailure/OnAbandon) must not wedge the
+// breaker in fail-fast forever — a claim older than a full cooldown is
+// reclaimable by the next Allow.
+func TestBreakerStaleProbeReclaimed(t *testing.T) {
+	clk := newVclock()
+	b := testBreaker(clk)
+	for i := 0; i < 3; i++ {
+		b.OnFailure()
+	}
+	clk.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but probe not admitted")
+	}
+	// The owner never reports. Inside the cooldown the token is still his...
+	if b.Allow() {
+		t.Fatal("held probe token reclaimed before the claim aged out")
+	}
+	// ...but a claim older than a cooldown is abandoned by definition.
+	clk.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("stale probe token not reclaimed after a full cooldown")
+	}
+	b.OnSuccess()
+	if b.State() != StateClosed {
+		t.Fatalf("state = %s after reclaimed probe succeeded, want closed", b.StateName())
+	}
+}
+
 // TestBreakerHalfOpenSingleProbe races many goroutines against the
 // half-open transition: exactly one may win the probe, whatever the
 // interleaving (-race exercises the CAS arbitration).
@@ -150,9 +209,12 @@ func TestBreakerConcurrentLifecycle(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 2000; i++ {
 				if b.Allow() {
-					if (i+seed)%3 == 0 {
+					switch (i + seed) % 4 {
+					case 0:
 						b.OnFailure()
-					} else {
+					case 1:
+						b.OnAbandon()
+					default:
 						b.OnSuccess()
 					}
 				}

@@ -12,7 +12,11 @@
 //     deadline-budget timeout into one fast local check. State is a single
 //     atomic word; the half-open probe is claimed by compare-and-swap, so
 //     exactly one request tests a recovering dependency while the rest
-//     keep failing fast.
+//     keep failing fast. Outcomes are three-valued: OnSuccess, OnFailure,
+//     and the neutral OnAbandon for calls killed by their own caller's
+//     context, which returns a held probe token without moving the state;
+//     a probe claim never reported at all ages out after a cooldown and
+//     is reclaimed by the next Allow.
 //
 //   - A RetryBudget bounds the retry amplification a failing dependency
 //     can provoke: retries withdraw from a token bucket that only
@@ -25,7 +29,10 @@
 //     still has deadline budget to go elsewhere — instead of queueing the
 //     request into certain expiry. Priorities are strict: Critical traffic
 //     (admin-plane writes, health probes) is never shed before Decision
-//     traffic.
+//     traffic. Only server-indicted completions (5xx, over-target latency)
+//     shrink the limit; a client that hangs up releases neutrally, so a
+//     burst of impatient callers cannot talk a healthy server into
+//     shedding.
 //
 //   - A StaleCache holds the last conclusive decision per cache key so an
 //     open breaker can serve bounded-staleness answers for warm keys

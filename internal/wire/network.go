@@ -311,8 +311,15 @@ func (n *Network) Send(ctx context.Context, call *Call, env *Envelope) (*Envelop
 	}
 	size := env.WireSize()
 	if err := n.traverse(call, env.From, env.To, size); err != nil {
-		if br != nil && (errors.Is(err, ErrUnreachable) || errors.Is(err, ErrLost)) {
-			br.OnFailure()
+		if br != nil {
+			if errors.Is(err, ErrUnreachable) || errors.Is(err, ErrLost) {
+				br.OnFailure()
+			} else {
+				// ErrDeadline and ErrUnknownNode indict the caller's budget
+				// or its addressing, not the peer: neutral, but a held
+				// half-open probe token must be returned, not leaked.
+				br.OnAbandon()
+			}
 		}
 		return nil, err
 	}
