@@ -443,16 +443,21 @@ var parallelSeed atomic.Int64
 // configuration (target index + warmed decision cache): one snapshot load,
 // one cache-shard lock, zero allocations per op, so throughput should
 // scale with procs instead of serializing on an engine-wide mutex. miss
-// ablates the cache (index-only evaluation) to show the uncached
-// evaluation path also shares no engine-wide locks.
+// ablates the cache, so every op runs the compiled decision program —
+// the uncached evaluation path, also free of engine-wide locks.
+// miss-interp additionally ablates compilation (index-only interpretation),
+// the same-run baseline the compiled path is judged against.
 func BenchmarkParallelDecide(b *testing.B) {
 	at := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
-	fixture := func(b *testing.B, cached bool) (*pdp.Engine, []*policy.Request) {
+	fixture := func(b *testing.B, mode string) (*pdp.Engine, []*policy.Request) {
 		b.Helper()
 		gen := workload.NewGenerator(workload.Config{Users: 100, Resources: 1000, Roles: 10, Seed: 7})
 		opts := []pdp.Option{pdp.WithResolver(gen.Directory("idp")), pdp.WithTargetIndex()}
-		if cached {
+		switch mode {
+		case "hit":
 			opts = append(opts, pdp.WithDecisionCache(time.Hour, 1<<16))
+		case "miss-interp":
+			opts = append(opts, pdp.WithoutCompilation())
 		}
 		engine := pdp.New("parallel", opts...)
 		if err := engine.SetRoot(gen.PolicyBase("base")); err != nil {
@@ -460,9 +465,9 @@ func BenchmarkParallelDecide(b *testing.B) {
 		}
 		return engine, gen.Requests(1024)
 	}
-	for _, mode := range []string{"hit", "miss"} {
+	for _, mode := range []string{"hit", "miss", "miss-interp"} {
 		b.Run(mode, func(b *testing.B) {
-			engine, reqs := fixture(b, mode == "hit")
+			engine, reqs := fixture(b, mode)
 			for _, req := range reqs {
 				engine.DecideAt(context.Background(), req, at) // warm cache, index and key memos
 			}
@@ -476,6 +481,67 @@ func BenchmarkParallelDecide(b *testing.B) {
 			})
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "decisions/s")
 		})
+	}
+}
+
+// missScaleFixtures caches the BenchmarkParallelMissScale engines per
+// policy count: generating and compiling a 100k-policy base dwarfs the
+// measurement, and -cpu variants re-enter the sub-benchmark body.
+var missScaleFixtures sync.Map
+
+type missScaleFixture struct {
+	engines map[string]*pdp.Engine
+	reqs    []*policy.Request
+}
+
+func missScaleFor(b *testing.B, n int) *missScaleFixture {
+	b.Helper()
+	if v, ok := missScaleFixtures.Load(n); ok {
+		return v.(*missScaleFixture)
+	}
+	gen := workload.NewGenerator(workload.Config{Users: 100, Resources: n, Roles: 10, Seed: 7})
+	root := gen.PolicyBase("base")
+	resolver := pdp.WithResolver(gen.Directory("idp"))
+	engines := map[string]*pdp.Engine{
+		"compiled": pdp.New("miss-compiled", resolver),
+		"indexed":  pdp.New("miss-indexed", resolver, pdp.WithoutCompilation(), pdp.WithTargetIndex()),
+		"scan":     pdp.New("miss-scan", resolver, pdp.WithoutCompilation()),
+	}
+	for _, engine := range engines {
+		if err := engine.SetRoot(root); err != nil {
+			b.Fatal(err)
+		}
+	}
+	f := &missScaleFixture{engines: engines, reqs: gen.Requests(1024)}
+	missScaleFixtures.Store(n, f)
+	return f
+}
+
+// BenchmarkParallelMissScale measures the uncached decision path against
+// policy-base size, one sub-benchmark per evaluation path: the compiled
+// decision program (production default), the PR 2 resource-id target index
+// with the tree-walking interpreter, and the bare linear scan. The
+// compiled-vs-indexed ratio at a given size is the payoff of compilation
+// on the miss path; scan shows what both optimisations buy over naive
+// evaluation.
+func BenchmarkParallelMissScale(b *testing.B) {
+	at := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	for _, n := range []int{1000, 10000, 100000} {
+		for _, path := range []string{"compiled", "indexed", "scan"} {
+			b.Run(fmt.Sprintf("policies=%d/path=%s", n, path), func(b *testing.B) {
+				f := missScaleFor(b, n)
+				engine, reqs := f.engines[path], f.reqs
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					i := int(parallelSeed.Add(7919))
+					for pb.Next() {
+						engine.DecideAt(context.Background(), reqs[i%len(reqs)], at)
+						i++
+					}
+				})
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "decisions/s")
+			})
+		}
 	}
 }
 

@@ -191,6 +191,15 @@ func (r *Router) EngineStats() pdp.Stats {
 			sum.Updates += st.Updates
 			sum.CacheInvalidations += st.CacheInvalidations
 			sum.CacheEntries += st.CacheEntries
+			sum.CompiledEvaluations += st.CompiledEvaluations
+			sum.InterpretedEvaluations += st.InterpretedEvaluations
+			sum.Compiles += st.Compiles
+			sum.CompileNanos += st.CompileNanos
+			sum.CompiledChildren += st.CompiledChildren
+			sum.RootChildren += st.RootChildren
+			if st.MaxCandidates > sum.MaxCandidates {
+				sum.MaxCandidates = st.MaxCandidates
+			}
 		}
 	}
 	return sum

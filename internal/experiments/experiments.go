@@ -48,6 +48,7 @@ func All() []Experiment {
 		{ID: "E21", Title: "§3.2 — deadlines and cancellation: bounded tail latency under a slow shard", Run: RunE21Deadlines},
 		{ID: "E22", Title: "§3.2 — decision-tracing overhead at 0%/1%/100% head sampling", Run: RunE22TracingOverhead},
 		{ID: "E23", Title: "§3.1 — incremental static analysis: full vs delta re-analysis, gated admin-write p99", Run: RunE23Analysis},
+		{ID: "E24", Title: "§3 — compiled decision program vs. interpreter on the decision miss path", Run: RunE24Compile},
 	}
 	sort.Slice(exps, func(i, j int) bool {
 		// Numeric ID order (E2 < E10).

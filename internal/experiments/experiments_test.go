@@ -28,8 +28,8 @@ func TestAllExperimentsRun(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 23 {
-		t.Fatalf("registry has %d experiments, want 23", len(all))
+	if len(all) != 24 {
+		t.Fatalf("registry has %d experiments, want 24", len(all))
 	}
 	for i, exp := range all {
 		want := i + 1
@@ -169,6 +169,33 @@ func TestE23IncrementalBeatsFullAt10k(t *testing.T) {
 	}
 	if rows[2][6] == "0" {
 		t.Error("100k-policy base reports no findings; the fixture should surface intra-policy conflicts")
+	}
+}
+
+func TestE24CompiledBeatsInterpreter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measures miss-path throughput at up to 20k policies")
+	}
+	table, err := RunE24Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := table.Rows()
+	if len(rows) != 3 {
+		t.Fatalf("E24 has %d rows, want 3 scales", len(rows))
+	}
+	// PR 10 acceptance: the compiled program must beat the interpreter by
+	// at least 5x on the miss path at every base size (the margin against
+	// the bare tree walk is orders of magnitude; 5x keeps the assertion
+	// robust to machine noise).
+	for _, row := range rows {
+		speedup, err := parseFloat(strings.TrimSuffix(row[4], "x"))
+		if err != nil {
+			t.Fatalf("speedup cell %q: %v", row[4], err)
+		}
+		if speedup < 5 {
+			t.Errorf("%s-policy compiled speedup = %.1fx over interpreter, want >= 5x", row[0], speedup)
+		}
 	}
 }
 

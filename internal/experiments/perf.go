@@ -230,11 +230,14 @@ func RunE13Scalability() (*metrics.Table, error) {
 		dir := gen.Directory("idp")
 		base := gen.PolicyBase("base")
 
-		linear := pdp.New("linear", pdp.WithResolver(dir))
+		// Both arms ablate compilation: this experiment isolates what the
+		// PR 2 target index buys the interpreter. E24 measures the
+		// compiled decision program against these interpretive paths.
+		linear := pdp.New("linear", pdp.WithResolver(dir), pdp.WithoutCompilation())
 		if err := linear.SetRoot(base); err != nil {
 			return nil, err
 		}
-		indexed := pdp.New("indexed", pdp.WithResolver(dir), pdp.WithTargetIndex())
+		indexed := pdp.New("indexed", pdp.WithResolver(dir), pdp.WithoutCompilation(), pdp.WithTargetIndex())
 		if err := indexed.SetRoot(base); err != nil {
 			return nil, err
 		}

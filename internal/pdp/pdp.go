@@ -29,6 +29,23 @@
 // horizontal answer to the Section 3 performance argument when one
 // engine's throughput ceiling is reached.
 //
+// At publication the root is additionally compiled into a flattened
+// decision program (see compile.go): per-child rule arrays with
+// precomputed decisions, decider chains and statically fulfilled
+// obligations, indexed by attribute-keyed posting lists over resource-id,
+// action-id and subject-role. A cache miss then assembles a candidate set
+// from the attributes the request carries and runs the combining algorithm
+// over those children only, allocation-free once warm. The program lives
+// inside the snapshot, so readers get it off the same single atomic load.
+// Compilation is semantics-preserving by construction: constructs the
+// compiler does not cover (rule conditions, dynamic obligation values,
+// custom match predicates, nested policy sets) fall back to the
+// interpreter per child, chosen at compile time — never per request — and
+// a root the compiler cannot handle at all leaves the program nil and the
+// interpretive paths in charge. ApplyUpdate recompiles only the patched
+// child and remaps the posting lists; WithoutCompilation ablates the whole
+// mechanism.
+//
 // The engine also supports live policy administration: ApplyUpdate
 // patches one root child in place — index patched, not rebuilt; only the
 // changed child's resource keys invalidated from the decision cache — so
@@ -52,6 +69,7 @@ import (
 	"time"
 
 	"repro/internal/policy"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -112,6 +130,24 @@ type Stats struct {
 	// CacheEntries is the number of decisions cached at snapshot time, a
 	// gauge summed across cache shards (zero when the cache is disabled).
 	CacheEntries int64
+	// CompiledEvaluations counts evaluations answered by the compiled
+	// decision program; InterpretedEvaluations counts the rest (no program:
+	// compilation disabled, or the root was uncompilable).
+	CompiledEvaluations    int64
+	InterpretedEvaluations int64
+	// MaxCandidates is the largest candidate set a single evaluation
+	// considered, complementing the IndexedCandidates sum for selectivity
+	// monitoring.
+	MaxCandidates int64
+	// Compiles counts policy-base compilations (full on SetRoot, delta on
+	// ApplyUpdate) and CompileNanos sums their wall time.
+	Compiles     int64
+	CompileNanos int64
+	// CompiledChildren and RootChildren describe the current program's
+	// coverage: how many direct root children compiled versus fell back to
+	// the interpreter. Both are zero when no program is installed.
+	CompiledChildren int64
+	RootChildren     int64
 }
 
 // Option configures an Engine.
@@ -127,6 +163,15 @@ func WithResolver(r policy.Resolver) Option {
 // set's direct children.
 func WithTargetIndex() Option {
 	return func(e *Engine) { e.indexEnabled = true }
+}
+
+// WithoutCompilation disables ahead-of-time compilation of the policy
+// base, keeping interpretive evaluation (with the target index when
+// enabled). It exists as the ablation arm for benchmarks, experiments and
+// the compiled-vs-interpreter equivalence tests; production engines have
+// no reason to use it.
+func WithoutCompilation() Option {
+	return func(e *Engine) { e.compileDisabled = true }
 }
 
 // WithDecisionCache enables a TTL decision cache. maxItems <= 0 defaults to
@@ -168,6 +213,10 @@ func WithStaleGrace(grace time.Duration) Option {
 type snapshot struct {
 	root  policy.Evaluable
 	index *targetIndex
+	// prog is the compiled decision program, nil when compilation is
+	// disabled or the root is uncompilable. Non-nil, it is the evaluation
+	// strategy; the index and the interpretive walk are the fallbacks.
+	prog *program
 	// epoch counts snapshot publications (installs, patches and flushes).
 	// Cache fills re-check it inside the shard lock and skip the write
 	// when it moved, so an evaluation that raced a policy change can never
@@ -182,10 +231,19 @@ type Engine struct {
 	name         string
 	resolver     policy.Resolver
 	indexEnabled bool
-	now          func() time.Time
+	// compileDisabled keeps the interpretive paths (WithoutCompilation).
+	compileDisabled bool
+	now             func() time.Time
 	// staleGrace bounds degraded-mode staleness; zero disables it.
 	staleGrace  time.Duration
 	staleServed atomic.Int64
+
+	// compiles / compileNanos / compileHist account policy-base
+	// compilation work: full compiles at SetRoot and delta recompiles at
+	// ApplyUpdate. Telemetry only — never consulted on the decision path.
+	compiles     atomic.Int64
+	compileNanos atomic.Int64
+	compileHist  telemetry.Histogram
 
 	// snap is the current root/index/epoch triple, nil until SetRoot.
 	snap atomic.Pointer[snapshot]
@@ -232,17 +290,32 @@ func (e *Engine) SetRoot(root policy.Evaluable) error {
 			idx = buildIndex(set)
 		}
 	}
+	var prog *program
+	if !e.compileDisabled {
+		start := time.Now()
+		if prog = compileProgram(root); prog != nil {
+			e.observeCompile(time.Since(start))
+		}
+	}
 	e.writerMu.Lock()
 	defer e.writerMu.Unlock()
 	epoch := uint64(1)
 	if old := e.snap.Load(); old != nil {
 		epoch = old.epoch + 1
 	}
-	e.snap.Store(&snapshot{root: root, index: idx, epoch: epoch})
+	e.snap.Store(&snapshot{root: root, index: idx, prog: prog, epoch: epoch})
 	if e.cache != nil {
 		e.cache.flush()
 	}
 	return nil
+}
+
+// observeCompile accounts one successful policy-base compilation (full or
+// delta) for stats and the repro_pdp_compile_ns histogram.
+func (e *Engine) observeCompile(d time.Duration) {
+	e.compiles.Add(1)
+	e.compileNanos.Add(int64(d))
+	e.compileHist.Observe(d)
 }
 
 // Root returns the installed policy base, or nil.
@@ -261,6 +334,12 @@ func (e *Engine) Stats() Stats {
 		st.CacheEntries = e.cache.len()
 	}
 	st.StaleServed = e.staleServed.Load()
+	st.Compiles = e.compiles.Load()
+	st.CompileNanos = e.compileNanos.Load()
+	if snap := e.snap.Load(); snap != nil && snap.prog != nil {
+		st.CompiledChildren = int64(snap.prog.compiled)
+		st.RootChildren = int64(len(snap.prog.children))
+	}
 	return st
 }
 
@@ -271,7 +350,7 @@ func (e *Engine) FlushCache() {
 	// Publish the epoch move first: in-flight evaluations of the current
 	// root must not refill the cache behind the flush.
 	if old := e.snap.Load(); old != nil {
-		e.snap.Store(&snapshot{root: old.root, index: old.index, epoch: old.epoch + 1})
+		e.snap.Store(&snapshot{root: old.root, index: old.index, prog: old.prog, epoch: old.epoch + 1})
 	}
 	if e.cache != nil {
 		e.cache.flush()
@@ -303,8 +382,8 @@ func (e *Engine) DecideAtWith(ctx context.Context, req *policy.Request, at time.
 	if sp := trace.FromContext(ctx); sp != nil {
 		ctx, ev = trace.StartSpan(ctx, "pdp.eval")
 	}
-	res, candidates := e.evaluate(ctx, snap, req, at, resolver)
-	e.stats.stripe(policy.HashString(req.ResourceID())).recordEvaluation(res, candidates)
+	res, candidates, compiled := e.evaluate(ctx, snap, req, at, resolver)
+	e.stats.stripe(policy.HashString(req.ResourceID())).recordEvaluation(res, candidates, compiled)
 	e.traceDecision(ev, snap.epoch, res, "bypass", candidates)
 	ev.End()
 	return res
@@ -314,7 +393,7 @@ func (e *Engine) DecideAtWith(ctx context.Context, req *policy.Request, at time.
 // evaluation context carrying the request ctx. resolver nil falls back to
 // the engine's configured resolver. The Result never aliases the
 // evaluation context, so it is released before return.
-func (e *Engine) evaluate(ctx context.Context, snap *snapshot, req *policy.Request, at time.Time, resolver policy.Resolver) (policy.Result, int) {
+func (e *Engine) evaluate(ctx context.Context, snap *snapshot, req *policy.Request, at time.Time, resolver policy.Resolver) (policy.Result, int, bool) {
 	ec := policy.AcquireContext(ctx, req, at)
 	if resolver == nil {
 		resolver = e.resolver
@@ -324,13 +403,18 @@ func (e *Engine) evaluate(ctx context.Context, snap *snapshot, req *policy.Reque
 	}
 	var res policy.Result
 	candidates := 0
-	if snap.index != nil {
+	compiled := false
+	switch {
+	case snap.prog != nil:
+		res, candidates = snap.prog.evaluate(ec, req)
+		compiled = true
+	case snap.index != nil:
 		res, candidates = snap.index.evaluate(ec, req)
-	} else {
+	default:
 		res = snap.root.Evaluate(ec)
 	}
 	policy.ReleaseContext(ec)
-	return res, candidates
+	return res, candidates, compiled
 }
 
 // DecideAt evaluates the request at an explicit time, bounded by ctx: a
@@ -356,8 +440,8 @@ func (e *Engine) DecideAt(ctx context.Context, req *policy.Request, at time.Time
 		if sp != nil {
 			ctx, ev = trace.StartSpan(ctx, "pdp.eval")
 		}
-		res, candidates := e.evaluate(ctx, snap, req, at, nil)
-		e.stats.stripe(policy.HashString(req.ResourceID())).recordEvaluation(res, candidates)
+		res, candidates, compiled := e.evaluate(ctx, snap, req, at, nil)
+		e.stats.stripe(policy.HashString(req.ResourceID())).recordEvaluation(res, candidates, compiled)
 		e.traceDecision(ev, snap.epoch, res, "off", candidates)
 		ev.End()
 		return res
@@ -377,8 +461,8 @@ func (e *Engine) DecideAt(ctx context.Context, req *policy.Request, at time.Time
 	if sp != nil {
 		ctx, ev = trace.StartSpan(ctx, "pdp.eval")
 	}
-	res, candidates := e.evaluate(ctx, snap, req, at, nil)
-	st.recordEvaluation(res, candidates)
+	res, candidates, compiled := e.evaluate(ctx, snap, req, at, nil)
+	st.recordEvaluation(res, candidates, compiled)
 	if stale, ok := e.serveStale(ctx, key, hash, at, res); ok {
 		ev.SetAttr("pdp.degraded", "true")
 		ev.Keep()
@@ -570,9 +654,11 @@ func (e *Engine) DecideScatterAt(ctx context.Context, reqs []*policy.Request, po
 	// Within one batch, requests for the same resource share the same
 	// index candidate set; memoising the assembled subset amortises the
 	// per-request candidate merge across the batch (Zipf-skewed workloads
-	// repeat popular resources heavily).
+	// repeat popular resources heavily). The compiled program needs no
+	// memo: its candidate assembly is a few posting-list probes per
+	// request.
 	var subsets map[string]indexSubset
-	if snap.index != nil {
+	if snap.prog == nil && snap.index != nil {
 		subsets = make(map[string]indexSubset, len(misses))
 	}
 	for mi, p := range misses {
@@ -592,16 +678,27 @@ func (e *Engine) DecideScatterAt(ctx context.Context, reqs []*policy.Request, po
 			ec.WithResolver(e.resolver)
 		}
 		candidates := 0
-		if snap.index != nil {
-			resID := req.ResourceID()
-			sub, ok := subsets[resID]
-			if !ok {
-				sub = snap.index.subsetFor(resID)
-				subsets[resID] = sub
+		compiled := false
+		switch {
+		case snap.prog != nil:
+			out[p], candidates = snap.prog.evaluate(ec, req)
+			compiled = true
+		case snap.index != nil:
+			var sub indexSubset
+			if key, single := resourceMemoKey(req); single {
+				var hit bool
+				if sub, hit = subsets[key]; !hit {
+					sub = snap.index.subsetFor(key)
+					subsets[key] = sub
+				}
+			} else {
+				// Multi-valued or absent resource-id: assembled per
+				// request, never memoised under a single-value key.
+				sub = snap.index.subsetForRequest(req)
 			}
 			out[p] = sub.set.Evaluate(ec)
 			candidates = sub.candidates
-		} else {
+		default:
 			out[p] = snap.root.Evaluate(ec)
 		}
 		policy.ReleaseContext(ec)
@@ -612,7 +709,7 @@ func (e *Engine) DecideScatterAt(ctx context.Context, reqs []*policy.Request, po
 		} else {
 			hash = policy.HashString(req.ResourceID())
 		}
-		e.stats.stripe(hash).recordEvaluation(out[p], candidates)
+		e.stats.stripe(hash).recordEvaluation(out[p], candidates, compiled)
 		if e.cache == nil {
 			continue
 		}
@@ -661,11 +758,38 @@ type indexSubset struct {
 	candidates int
 }
 
-// subsetFor assembles the candidate sub-set for a resource key.
+// subsetFor assembles the candidate sub-set for a single resource key.
 func (idx *targetIndex) subsetFor(resID string) indexSubset {
-	matched := idx.byResource[resID]
-	candidates := mergeSorted(matched, idx.catchAll)
+	return idx.subsetOf(mergeSorted(idx.byResource[resID], idx.catchAll))
+}
 
+// subsetForRequest assembles the candidate sub-set for the request's
+// resource-id bag, whatever its shape. A multi-valued bag takes the union
+// of every value's posting list (a target pinned to any one of the values
+// can match). A request with no resource-id at all cannot be pruned: a
+// resolver could still supply any value — or fail — so skipping a pinned
+// child would turn its Indeterminate into NotApplicable.
+func (idx *targetIndex) subsetForRequest(req *policy.Request) indexSubset {
+	bag, ok := req.Get(policy.CategoryResource, policy.AttrResourceID)
+	switch {
+	case !ok || bag.Empty():
+		return indexSubset{set: idx.set, candidates: len(idx.set.Children)}
+	case len(bag) == 1:
+		return idx.subsetFor(bag[0].String())
+	default:
+		merged := idx.catchAll
+		for _, v := range bag {
+			if matched := idx.byResource[v.String()]; len(matched) > 0 {
+				merged = mergeSorted(matched, merged)
+			}
+		}
+		return idx.subsetOf(merged)
+	}
+}
+
+// subsetOf materialises the sub-set holding the children at the given
+// ascending positions.
+func (idx *targetIndex) subsetOf(candidates []int) indexSubset {
 	children := make([]policy.Evaluable, len(candidates))
 	for i, pos := range candidates {
 		children[i] = idx.set.Children[pos]
@@ -684,10 +808,21 @@ func (idx *targetIndex) subsetFor(resID string) indexSubset {
 	}
 }
 
+// resourceMemoKey returns the memoisation key for a request's index
+// subset: only requests with exactly one resource-id value share subsets
+// keyed by that value.
+func resourceMemoKey(req *policy.Request) (string, bool) {
+	bag, ok := req.Get(policy.CategoryResource, policy.AttrResourceID)
+	if !ok || len(bag) != 1 {
+		return "", false
+	}
+	return bag[0].String(), true
+}
+
 // evaluate runs the set's combining algorithm over the candidate children
 // only, reporting the candidate count for selectivity metrics.
 func (idx *targetIndex) evaluate(ctx *policy.Context, req *policy.Request) (policy.Result, int) {
-	sub := idx.subsetFor(req.ResourceID())
+	sub := idx.subsetForRequest(req)
 	return sub.set.Evaluate(ctx), sub.candidates
 }
 

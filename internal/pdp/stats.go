@@ -21,14 +21,28 @@ type decisionCounters struct {
 	notApplicables    atomic.Int64
 	indeterminates    atomic.Int64
 	indexedCandidates atomic.Int64
-	_                 [72]byte
+	compiledEvals     atomic.Int64
+	maxCandidates     atomic.Int64
+	_                 [56]byte
 }
 
 // recordEvaluation counts one computed (non-cached) decision: the
-// evaluation itself, the index candidates it considered, and the outcome.
-func (c *decisionCounters) recordEvaluation(res policy.Result, candidates int) {
+// evaluation itself, the candidates it considered (and the running
+// maximum), whether the compiled program answered it, and the outcome.
+func (c *decisionCounters) recordEvaluation(res policy.Result, candidates int, compiled bool) {
 	c.evaluations.Add(1)
 	c.indexedCandidates.Add(int64(candidates))
+	if compiled {
+		c.compiledEvals.Add(1)
+	}
+	if n := int64(candidates); n > c.maxCandidates.Load() {
+		for {
+			cur := c.maxCandidates.Load()
+			if n <= cur || c.maxCandidates.CompareAndSwap(cur, n) {
+				break
+			}
+		}
+	}
 	c.record(res.Decision)
 }
 
@@ -69,7 +83,12 @@ func (s *engineStats) snapshot() Stats {
 		out.NotApplicables += c.notApplicables.Load()
 		out.Indeterminates += c.indeterminates.Load()
 		out.IndexedCandidates += c.indexedCandidates.Load()
+		out.CompiledEvaluations += c.compiledEvals.Load()
+		if m := c.maxCandidates.Load(); m > out.MaxCandidates {
+			out.MaxCandidates = m
+		}
 	}
+	out.InterpretedEvaluations = out.Evaluations - out.CompiledEvaluations
 	out.Updates = s.updates.Load()
 	out.CacheInvalidations = s.cacheInvalidations.Load()
 	return out

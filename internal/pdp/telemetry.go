@@ -41,6 +41,29 @@ func (e *Engine) RegisterMetrics(reg *telemetry.Registry) {
 	reg.CounterFunc("repro_pdp_indexed_candidates_total",
 		"Sum of target-index candidate-set sizes considered.",
 		func() int64 { return e.Stats().IndexedCandidates })
+	reg.CounterFunc("repro_pdp_compiled_evaluations_total",
+		"Evaluations answered by the compiled decision program.",
+		func() int64 { return e.Stats().CompiledEvaluations })
+	reg.CounterFunc("repro_pdp_interpreted_evaluations_total",
+		"Evaluations answered by the interpretive paths (no compiled program).",
+		func() int64 { return e.Stats().InterpretedEvaluations })
+	reg.GaugeFunc("repro_pdp_max_candidates",
+		"Largest candidate set a single evaluation considered.",
+		func() int64 { return e.Stats().MaxCandidates })
+	reg.CounterFunc("repro_pdp_compiles_total",
+		"Policy-base compilations (full on SetRoot, delta on ApplyUpdate).",
+		func() int64 { return e.Stats().Compiles })
+	reg.Register("repro_pdp_compile_ns",
+		"Policy-base compilation latency (full and delta compiles).",
+		telemetry.KindHistogram, func() []telemetry.Sample {
+			return []telemetry.Sample{{Hist: e.compileHist.Snapshot()}}
+		})
+	reg.GaugeFunc("repro_pdp_compiled_children",
+		"Direct root children lowered by the compiler in the current program.",
+		func() int64 { return e.Stats().CompiledChildren })
+	reg.GaugeFunc("repro_pdp_root_children",
+		"Direct root children in the current compiled program.",
+		func() int64 { return e.Stats().RootChildren })
 	reg.GaugeFunc("repro_pdp_epoch",
 		"Policy snapshot epoch (bumps on installs, patches and flushes).",
 		func() int64 {

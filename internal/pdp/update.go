@@ -3,6 +3,7 @@ package pdp
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/policy"
 )
@@ -74,6 +75,15 @@ func (e *Engine) ApplyUpdate(u Update) error {
 		} else {
 			next.index = buildIndex(newSet)
 		}
+	}
+	if snap.prog != nil {
+		// Delta recompile: only the new child is lowered; posting lists are
+		// remapped, untouched children shared. A nil program stays nil —
+		// patching a child cannot cure the root-level construct that made
+		// the base uncompilable.
+		start := time.Now()
+		next.prog = snap.prog.patched(newSet, pos, delta, u.Child)
+		e.observeCompile(time.Since(start))
 	}
 	// Publish before invalidating: in-flight evaluations of the old
 	// snapshot either observe the moved epoch and skip their cache fill,

@@ -1,0 +1,80 @@
+package policy
+
+// Static policy-shape extraction for ahead-of-time compilation. The PDP's
+// snapshot compiler (internal/pdp) flattens a policy base at publish time;
+// these helpers are the policy-side contract it compiles against, kept here
+// so the compiled semantics can never drift from the interpreter they
+// mirror.
+
+// PinnedFirstGroup reports the equality values the target's first AnyOf
+// group pins the attribute to, under a guarantee strictly stronger than
+// ExactMatches: every alternative of the first group must consist solely of
+// equality matches on exactly this attribute.
+//
+// The strength matters for candidate pruning. ExactMatches promises only
+// that a non-matching request cannot match the target — evaluation could
+// still come out Indeterminate if some other match in the target fails to
+// resolve an attribute. Here, a request that carries the attribute with
+// none of the returned values is guaranteed MatchNo: the first group
+// touches only the request-supplied bag (equality on a present attribute
+// never consults a resolver, and FnEqual never errors), and its MatchNo
+// short-circuits the rest of the target before any other group can go
+// Indeterminate. Pruning built on this is therefore exact — skipping a
+// pruned child is indistinguishable from evaluating it — not merely sound
+// for applicability.
+func (t Target) PinnedFirstGroup(cat Category, name string) ([]Value, bool) {
+	if len(t) == 0 {
+		return nil, false
+	}
+	group := t[0]
+	if len(group) == 0 {
+		// An empty disjunction never matches; the caller treats the child
+		// as unprunable rather than unreachable.
+		return nil, false
+	}
+	var vals []Value
+	for _, all := range group {
+		if len(all) == 0 {
+			// An empty conjunction matches everything: nothing is pinned.
+			return nil, false
+		}
+		for _, m := range all {
+			if m.Category != cat || m.Name != name {
+				return nil, false
+			}
+			if m.Function != "" && m.Function != FnEqual {
+				return nil, false
+			}
+			vals = append(vals, m.Value)
+		}
+	}
+	return vals, true
+}
+
+// StaticObligations fulfils the obligations bound to the effect entirely
+// ahead of time, mirroring fulfillObligations for obligations whose
+// assignment expressions are all literals. ok is false when any applicable
+// obligation carries a non-literal assignment — a dynamic value that must
+// be computed per request, which the caller handles by falling back to
+// interpretive evaluation.
+func StaticObligations(obs []Obligation, effect Effect) ([]FulfilledObligation, bool) {
+	var out []FulfilledObligation
+	for _, ob := range obs {
+		if ob.FulfillOn != effect {
+			continue
+		}
+		f := FulfilledObligation{ID: ob.ID}
+		if len(ob.Assignments) > 0 {
+			f.Attributes = make(map[string]Value, len(ob.Assignments))
+		}
+		for _, as := range ob.Assignments {
+			lit, ok := as.Expr.(*Literal)
+			if !ok || lit == nil {
+				return nil, false
+			}
+			f.Attributes[as.Name] = lit.Value
+		}
+		out = append(out, f)
+	}
+	return out, true
+}
